@@ -1,0 +1,295 @@
+// Reproduces Figure 16: "Druid and Presto Druid Connector performance
+// comparison" — 20 production-shaped queries (14 with predicates, 5 with
+// limits, 12 aggregations) run directly against mini-Druid and through the
+// Presto-Druid connector with predicate/limit/aggregation pushdown.
+//
+// Expected shape: with pushdown the connector adds <15% overhead on average
+// and most queries stay within real-time latency.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connectors/druid/druid_connector.h"
+#include "presto/tpch/workloads.h"
+
+namespace presto {
+namespace {
+
+constexpr int kNumEvents = 1'000'000;
+
+struct BenchQuery {
+  std::string name;
+  bool has_predicate;
+  bool has_limit;
+  bool is_aggregation;
+  std::string sql;
+  std::function<druid::DruidQuery()> native;
+};
+
+druid::DruidQuery BaseQuery() {
+  druid::DruidQuery q;
+  q.datasource = "events";
+  return q;
+}
+
+std::vector<BenchQuery> BuildQueries() {
+  const char* kCountries[] = {"us", "jp", "de", "br", "in"};
+  std::vector<BenchQuery> out;
+
+  // ---- 12 aggregation queries -------------------------------------------------
+  for (int i = 0; i < 5; ++i) {
+    std::string country = kCountries[i];
+    out.push_back(
+        {"agg_country_" + country, true, false, true,
+         "SELECT device, sum(revenue) AS rev, count(*) AS n "
+         "FROM druid.default.events WHERE country = '" + country +
+             "' GROUP BY device",
+         [country] {
+           druid::DruidQuery q = BaseQuery();
+           q.filters = {{"country", {country}}};
+           q.dimensions = {"device"};
+           q.aggregations = {{"rev", druid::AggKind::kSum, "revenue"},
+                             {"n", druid::AggKind::kCount, ""}};
+           return q;
+         }});
+  }
+  for (int i = 0; i < 2; ++i) {
+    int64_t hour = i * 2;
+    out.push_back(
+        {"agg_timeslice_" + std::to_string(i), true, false, true,
+         "SELECT country, max(revenue) AS peak FROM druid.default.events "
+         "WHERE __time >= " + std::to_string(hour * 3600000) +
+             " AND __time < " + std::to_string((hour + 1) * 3600000) +
+             " GROUP BY country",
+         [hour] {
+           druid::DruidQuery q = BaseQuery();
+           q.interval = {hour * 3600000, (hour + 1) * 3600000};
+           q.dimensions = {"country"};
+           q.aggregations = {{"peak", druid::AggKind::kMax, "revenue"}};
+           return q;
+         }});
+  }
+  out.push_back({"agg_all_hours", false, false, true,
+                 "SELECT country, max(revenue) AS peak FROM druid.default.events "
+                 "GROUP BY country",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.dimensions = {"country"};
+                   q.aggregations = {{"peak", druid::AggKind::kMax, "revenue"}};
+                   return q;
+                 }});
+  out.push_back({"agg_global", false, false, true,
+                 "SELECT sum(revenue) AS rev, count(*) AS n FROM druid.default.events",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.aggregations = {{"rev", druid::AggKind::kSum, "revenue"},
+                                     {"n", druid::AggKind::kCount, ""}};
+                   return q;
+                 }});
+  out.push_back({"agg_two_dims", false, false, true,
+                 "SELECT country, device, sum(revenue) AS rev "
+                 "FROM druid.default.events GROUP BY country, device",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.dimensions = {"country", "device"};
+                   q.aggregations = {{"rev", druid::AggKind::kSum, "revenue"}};
+                   return q;
+                 }});
+  out.push_back({"agg_in_filter", true, false, true,
+                 "SELECT device, min(revenue) AS lo FROM druid.default.events "
+                 "WHERE country IN ('us', 'jp') GROUP BY device",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.filters = {{"country", {"us", "jp"}}};
+                   q.dimensions = {"device"};
+                   q.aggregations = {{"lo", druid::AggKind::kMin, "revenue"}};
+                   return q;
+                 }});
+  out.push_back({"agg_limit", true, true, true,
+                 "SELECT country, count(*) AS n FROM druid.default.events "
+                 "WHERE device = 'ios' GROUP BY country LIMIT 3",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.filters = {{"device", {"ios"}}};
+                   q.dimensions = {"country"};
+                   q.aggregations = {{"n", druid::AggKind::kCount, ""}};
+                   q.limit = 3;
+                   return q;
+                 }});
+
+  // ---- 8 scan queries (predicates and/or limits) --------------------------------
+  for (int i = 0; i < 2; ++i) {
+    std::string country = kCountries[i];
+    out.push_back(
+        {"scan_" + country, true, true, false,
+         "SELECT __time, device, revenue FROM druid.default.events "
+         "WHERE country = '" + country + "' LIMIT 500",
+         [country] {
+           druid::DruidQuery q = BaseQuery();
+           q.filters = {{"country", {country}}};
+           q.scan_columns = {"__time", "device", "revenue"};
+           q.limit = 500;
+           return q;
+         }});
+  }
+  // Unlimited scans target the small "recent events" datasource, as
+  // production dashboards do.
+  for (int i = 0; i < 2; ++i) {
+    std::string column = i == 0 ? "revenue" : "device";
+    out.push_back(
+        {"scan_recent_" + std::to_string(i), false, false, false,
+         "SELECT " + column + " FROM druid.default.events_recent",
+         [column] {
+           druid::DruidQuery q = BaseQuery();
+           q.datasource = "events_recent";
+           q.scan_columns = {column};
+           return q;
+         }});
+  }
+  out.push_back({"scan_device_and", true, false, false,
+                 "SELECT __time, revenue FROM druid.default.events "
+                 "WHERE device = 'android' AND country = 'in'",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.filters = {{"device", {"android"}}, {"country", {"in"}}};
+                   q.scan_columns = {"__time", "revenue"};
+                   return q;
+                 }});
+  out.push_back({"scan_time_range", true, false, false,
+                 "SELECT country, revenue FROM druid.default.events "
+                 "WHERE __time >= 3600000 AND __time < 7200000",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.interval = {3600000, 7200000};
+                   q.scan_columns = {"country", "revenue"};
+                   return q;
+                 }});
+  out.push_back({"scan_limit_only", false, true, false,
+                 "SELECT country, device FROM druid.default.events LIMIT 1000",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.scan_columns = {"country", "device"};
+                   q.limit = 1000;
+                   return q;
+                 }});
+  out.push_back({"scan_in_limit", true, true, false,
+                 "SELECT device, revenue FROM druid.default.events "
+                 "WHERE country IN ('de', 'br') LIMIT 800",
+                 [] {
+                   druid::DruidQuery q = BaseQuery();
+                   q.filters = {{"country", {"de", "br"}}};
+                   q.scan_columns = {"device", "revenue"};
+                   q.limit = 800;
+                   return q;
+                 }});
+  return out;
+}
+
+}  // namespace
+}  // namespace presto
+
+int main() {
+  using namespace presto;
+  std::printf("=== Druid vs Presto-Druid connector (paper Figure 16) ===\n");
+
+  druid::DruidStore store;
+  druid::DatasourceSchema schema;
+  schema.dimensions = {"country", "device", "campaign"};
+  schema.metrics = {"revenue"};
+  schema.granularity_millis = 60000;  // per-minute rollup keeps rows plentiful
+  if (!store.CreateDatasource("events", schema).ok()) return 1;
+  if (!store.CreateDatasource("events_recent", schema).ok()) return 1;
+
+  {
+    Random rng(17);
+    const char* countries[] = {"us", "jp", "de", "br", "in"};
+    const char* devices[] = {"ios", "android", "web"};
+    std::vector<druid::DruidRow> events;
+    events.reserve(kNumEvents);
+    for (int i = 0; i < kNumEvents; ++i) {
+      events.push_back(
+          {static_cast<int64_t>(rng.NextBelow(6 * 3600000)),  // 6 hours
+           {countries[rng.NextBelow(5)], devices[rng.NextBelow(3)],
+            "camp-" + std::to_string(rng.NextBelow(400))},
+           {rng.NextDouble() * 20.0}});
+    }
+    if (!store.Ingest("events", events).ok()) return 1;
+    std::vector<druid::DruidRow> recent(events.begin(), events.begin() + 50000);
+    if (!store.Ingest("events_recent", recent).ok()) return 1;
+  }
+  std::printf("%d events ingested, %lld rows after rollup\n\n", kNumEvents,
+              static_cast<long long>(store.metrics().Get("druid.rows_after_rollup")));
+
+  PrestoCluster cluster("druidbench", 1, 1);
+  (void)cluster.catalogs().RegisterCatalog(
+      "druid", std::make_shared<DruidConnector>(&store));
+  Session session;
+
+  auto queries = BuildQueries();
+  int with_predicates = 0, with_limits = 0, aggregations = 0;
+  for (const auto& q : queries) {
+    with_predicates += q.has_predicate;
+    with_limits += q.has_limit;
+    aggregations += q.is_aggregation;
+  }
+  std::printf("%zu queries: %d with predicates, %d with limits, %d aggregations "
+              "(paper: 20 / 14 / 5 / 12)\n\n",
+              queries.size(), with_predicates, with_limits, aggregations);
+
+  std::printf("%-22s %12s %14s %10s\n", "query", "druid ms", "connector ms",
+              "overhead");
+  double total_native = 0, total_connector = 0;
+  double agg_native = 0, agg_connector = 0;
+  int within_second = 0;
+  constexpr int kReps = 5;
+  for (const auto& query : queries) {
+    // Native path.
+    double native_ms = 1e18;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      auto result = store.Execute(query.native());
+      if (!result.ok()) {
+        std::fprintf(stderr, "native failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      native_ms = std::min(native_ms, watch.ElapsedMillis());
+    }
+    // Connector path.
+    double connector_ms = 1e18;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      auto result = cluster.Execute(query.sql, session);
+      if (!result.ok()) {
+        std::fprintf(stderr, "connector failed: %s\n%s\n", query.sql.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      connector_ms = std::min(connector_ms, watch.ElapsedMillis());
+    }
+    double overhead = native_ms > 0 ? (connector_ms / native_ms - 1) * 100 : 0;
+    total_native += native_ms;
+    total_connector += connector_ms;
+    if (query.is_aggregation) {
+      agg_native += native_ms;
+      agg_connector += connector_ms;
+    }
+    if (connector_ms < 1000) ++within_second;
+    std::printf("%-22s %12.2f %14.2f %+9.0f%%\n", query.name.c_str(), native_ms,
+                connector_ms, overhead);
+  }
+  std::printf("\nTotals: druid %.0f ms, connector %.0f ms -> overall overhead "
+              "%+.1f%% (paper: <15%%)\n",
+              total_native, total_connector,
+              (total_connector / total_native - 1) * 100);
+  std::printf("Aggregation-pushdown queries only: druid %.0f ms, connector "
+              "%.0f ms -> overhead %+.1f%%\n",
+              agg_native, agg_connector,
+              (agg_connector / agg_native - 1) * 100);
+  std::printf("%d/%zu connector queries complete within 1 second "
+              "(paper: most within 1s)\n",
+              within_second, queries.size());
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Reproduces Figure 2 / Section IV.B: what aggregation pushdown buys.
+// Without pushdown, the connector streams (filtered) raw rows into the
+// engine which aggregates them; with pushdown, "only aggregated results are
+// streamed into the Presto engine". We measure latency and rows crossing
+// the connector boundary, plus a reader-feature ablation for the hive
+// connector (each Section V optimization toggled on top of the previous).
+
+#include <cstdio>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connectors/druid/druid_connector.h"
+#include "presto/connectors/hive/hive_connector.h"
+#include "presto/fs/simulated_hdfs.h"
+#include "presto/tpch/workloads.h"
+
+namespace presto {
+namespace {
+
+// A connector wrapper that disables aggregation pushdown (ablation).
+class NoAggPushdownDruid : public DruidConnector {
+ public:
+  using DruidConnector::DruidConnector;
+
+  Result<AcceptedPushdown> NegotiatePushdown(
+      const std::string& schema, const std::string& table,
+      const PushdownRequest& desired) override {
+    PushdownRequest stripped = desired;
+    stripped.group_by.clear();
+    stripped.aggregations.clear();
+    return DruidConnector::NegotiatePushdown(schema, table, stripped);
+  }
+};
+
+
+}  // namespace
+}  // namespace presto
+
+int main() {
+  using namespace presto;
+  std::printf("=== Pushdown ablations (paper Figure 2, Sections IV-V) ===\n\n");
+
+  // ---- Part 1: aggregation pushdown through the Druid connector --------------
+  druid::DruidStore store;
+  druid::DatasourceSchema schema;
+  schema.dimensions = {"country", "device"};
+  schema.metrics = {"revenue"};
+  schema.granularity_millis = 1000;  // fine rollup: real row volume survives
+  if (!store.CreateDatasource("events", schema).ok()) return 1;
+  {
+    Random rng(31);
+    const char* countries[] = {"us", "jp", "de", "br", "in"};
+    const char* devices[] = {"ios", "android", "web"};
+    std::vector<druid::DruidRow> events;
+    for (int i = 0; i < 400000; ++i) {
+      events.push_back({static_cast<int64_t>(rng.NextBelow(6 * 3600000)),
+                        {countries[rng.NextBelow(5)], devices[rng.NextBelow(3)]},
+                        {rng.NextDouble() * 20.0}});
+    }
+    if (!store.Ingest("events", events).ok()) return 1;
+  }
+
+  const std::string kAggQuery =
+      "SELECT country, max(revenue) FROM druid.default.events "
+      "WHERE device = 'ios' GROUP BY country";
+
+  PrestoCluster with_push("push-on", 1, 1);
+  (void)with_push.catalogs().RegisterCatalog(
+      "druid", std::make_shared<DruidConnector>(&store));
+  PrestoCluster without_push("push-off", 1, 1);
+  (void)without_push.catalogs().RegisterCatalog(
+      "druid", std::make_shared<NoAggPushdownDruid>(&store));
+
+  Session session;
+  auto best_of = [&](PrestoCluster* cluster, int64_t* result_rows) {
+    double best = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      auto result = cluster->Execute(kAggQuery, session);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return -1.0;
+      }
+      *result_rows = result->total_rows;
+      best = std::min(best, watch.ElapsedMillis());
+    }
+    return best;
+  };
+  int64_t scanned0 = 0, ignored = 0;
+  double on_ms = best_of(&with_push, &scanned0);
+  double off_ms = best_of(&without_push, &ignored);
+  if (on_ms < 0 || off_ms < 0) return 1;
+  (void)ignored;
+
+  // Rows streamed into the engine: with pushdown = group count; without =
+  // all filtered rolled-up rows.
+  druid::DruidQuery probe;
+  probe.datasource = "events";
+  probe.filters = {{"device", {"ios"}}};
+  auto filtered = store.Execute(probe);
+  int64_t rows_without = filtered.ok() ? static_cast<int64_t>(filtered->rows.size()) : -1;
+
+  std::printf("Part 1: aggregation pushdown (Presto-Druid connector)\n");
+  std::printf("  query: %s\n", kAggQuery.c_str());
+  std::printf("  %-34s %12s %18s\n", "mode", "latency ms", "rows into engine");
+  std::printf("  %-34s %12.1f %18lld\n", "aggregation pushed to Druid", on_ms,
+              static_cast<long long>(scanned0));
+  std::printf("  %-34s %12.1f %18lld\n", "engine-side aggregation", off_ms,
+              static_cast<long long>(rows_without));
+  std::printf("  -> pushdown streams %.0fx fewer rows and runs %.1fx faster\n\n",
+              static_cast<double>(rows_without) / std::max<int64_t>(1, scanned0),
+              off_ms / on_ms);
+
+  // ---- Part 2: reader-feature ablation (Section V) ------------------------------
+  SimulatedClock clock;
+  SimulatedHdfs hdfs(&clock);
+  auto hive = std::make_shared<HiveConnector>(&hdfs, "warehouse");
+  if (!hive->CreateTable("raw", "trips", workloads::TripsType()).ok()) return 1;
+  for (int f = 0; f < 4; ++f) {
+    workloads::TripsOptions options;
+    options.num_rows = 20000;
+    options.city_cluster_run = 500;
+    options.first_id = f * 20000;
+    options.seed = 40 + f;
+    lakefile::WriterOptions writer_options;
+    writer_options.row_group_rows = 4000;
+    if (!hive->WriteDataFile("raw", "trips", "",
+                             {workloads::GenerateTrips(options)}, writer_options)
+             .ok()) {
+      return 1;
+    }
+  }
+  PrestoCluster hive_cluster("ablation", 1, 1);
+  (void)hive_cluster.catalogs().RegisterCatalog("hive", hive);
+  const std::string kNeedle =
+      "SELECT base.driver_uuid FROM hive.raw.trips WHERE base.city_id = 17";
+
+  struct Step {
+    const char* name;
+    HiveConnectorOptions options;
+  };
+  std::vector<Step> steps;
+  {
+    HiveConnectorOptions legacy;
+    legacy.use_legacy_reader = true;
+    steps.push_back({"original reader (row by row)", legacy});
+    HiveConnectorOptions base;
+    base.use_legacy_reader = false;
+    base.reader.nested_column_pruning = false;
+    base.reader.predicate_pushdown = false;
+    base.reader.dictionary_pushdown = false;
+    base.reader.lazy_reads = false;
+    base.reader.vectorized = false;
+    steps.push_back({"+ columnar reads", base});
+    base.reader.nested_column_pruning = true;
+    steps.push_back({"+ nested column pruning", base});
+    base.reader.predicate_pushdown = true;
+    steps.push_back({"+ predicate pushdown (stats)", base});
+    base.reader.dictionary_pushdown = true;
+    steps.push_back({"+ dictionary pushdown", base});
+    base.reader.lazy_reads = true;
+    steps.push_back({"+ lazy reads", base});
+    base.reader.vectorized = true;
+    steps.push_back({"+ vectorized reader", base});
+  }
+
+  std::printf("Part 2: Section V reader features, enabled cumulatively\n");
+  std::printf("  needle-in-a-haystack query: %s\n", kNeedle.c_str());
+  std::printf("  %-34s %12s %10s\n", "configuration", "latency ms", "speedup");
+  double baseline_ms = -1;
+  for (const Step& step : steps) {
+    hive->set_options(step.options);
+    double best = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      auto result = hive_cluster.Execute(kNeedle, session);
+      if (!result.ok()) {
+        std::fprintf(stderr, "ablation query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      best = std::min(best, watch.ElapsedMillis());
+    }
+    if (baseline_ms < 0) baseline_ms = best;
+    std::printf("  %-34s %12.2f %9.1fx\n", step.name, best, baseline_ms / best);
+  }
+  std::printf("  (paper: the combined optimizations give 2-10x, and the new\n"
+              "   reader made P90 latency drop from 5 minutes to 40 seconds)\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Federated analytics: one SQL query over three storage systems with zero
+// data copies (paper Sections II, IV) — real-time events in mini-Druid,
+// a dimension table in mini-MySQL, and historical nested trips in lakefiles
+// on simulated HDFS through the Hive connector. EXPLAIN output shows which
+// pushdowns each connector absorbed.
+//
+//   build/examples/federated_analytics
+
+#include <cstdio>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connectors/druid/druid_connector.h"
+#include "presto/connectors/hive/hive_connector.h"
+#include "presto/connectors/mysql/mysql_connector.h"
+#include "presto/fs/simulated_hdfs.h"
+#include "presto/tpch/workloads.h"
+#include "presto/vector/vector_builder.h"
+
+using namespace presto;
+
+int main() {
+  PrestoCluster cluster("federation", 2, 2);
+  Session session;
+
+  // ---- Catalog 1: druid — real-time order events -----------------------------
+  druid::DruidStore druid_store;
+  druid::DatasourceSchema events_schema;
+  events_schema.dimensions = {"city", "status"};
+  events_schema.metrics = {"fare"};
+  (void)druid_store.CreateDatasource("rides", events_schema);
+  {
+    Random rng(7);
+    const char* cities[] = {"sf", "nyc", "la", "chi"};
+    std::vector<druid::DruidRow> events;
+    for (int i = 0; i < 100000; ++i) {
+      events.push_back({static_cast<int64_t>(i) * 100,
+                        {cities[rng.NextBelow(4)],
+                         rng.NextBool(0.8) ? "completed" : "canceled"},
+                        {2.5 + rng.NextDouble() * 40}});
+    }
+    (void)druid_store.Ingest("rides", events);
+  }
+  (void)cluster.catalogs().RegisterCatalog(
+      "druid", std::make_shared<DruidConnector>(&druid_store));
+
+  // ---- Catalog 2: mysql — city dimension --------------------------------------
+  mysqlite::MySqlLite mysql;
+  (void)mysql.CreateTable("dim", "cities",
+                          Type::Row({"city", "population", "launch_year"},
+                                    {Type::Varchar(), Type::Bigint(), Type::Bigint()}));
+  (void)mysql.Insert("dim", "cities",
+                     {{Value::String("sf"), Value::Int(800000), Value::Int(2010)},
+                      {Value::String("nyc"), Value::Int(8000000), Value::Int(2011)},
+                      {Value::String("la"), Value::Int(4000000), Value::Int(2012)},
+                      {Value::String("chi"), Value::Int(2700000), Value::Int(2013)}});
+  (void)cluster.catalogs().RegisterCatalog(
+      "mysql", std::make_shared<MySqlConnector>(&mysql));
+
+  // ---- Catalog 3: hive — historical nested trips on HDFS ------------------------
+  SimulatedClock clock;
+  SimulatedHdfs hdfs(&clock);
+  auto hive = std::make_shared<HiveConnector>(&hdfs, "warehouse");
+  (void)hive->CreateTable("raw", "trips", workloads::TripsType());
+  workloads::TripsOptions trips;
+  trips.num_rows = 50000;
+  trips.num_cities = 4;
+  (void)hive->WriteDataFile("raw", "trips", "", {workloads::GenerateTrips(trips)});
+  (void)cluster.catalogs().RegisterCatalog("hive", hive);
+
+  // ---- Query 1: join real-time Druid with the MySQL dimension -------------------
+  const char* q1 =
+      "SELECT c.city, c.population, sum(r.fare) AS realtime_revenue "
+      "FROM druid.default.rides r JOIN mysql.dim.cities c ON r.city = c.city "
+      "WHERE r.status = 'completed' GROUP BY c.city, c.population "
+      "ORDER BY realtime_revenue DESC";
+  std::printf("-- Fresh revenue report: real-time Druid x MySQL dimension --\n");
+  std::printf("presto> %s\n", q1);
+  auto r1 = cluster.Execute(q1, session);
+  if (!r1.ok()) {
+    std::printf("ERROR: %s\n", r1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", r1->ToString().c_str());
+
+  // ---- Query 2: historical nested data from hive ---------------------------------
+  const char* q2 =
+      "SELECT base.city_id, approx_distinct(base.driver_uuid) AS drivers, "
+      "avg(base.fare) AS avg_fare FROM hive.raw.trips "
+      "WHERE base.status = 'completed' GROUP BY base.city_id ORDER BY 1";
+  std::printf("-- Historical driver stats from nested lakefiles on HDFS --\n");
+  std::printf("presto> %s\n", q2);
+  auto r2 = cluster.Execute(q2, session);
+  if (!r2.ok()) {
+    std::printf("ERROR: %s\n", r2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", r2->ToString().c_str());
+
+  // ---- EXPLAIN: show connector pushdowns ------------------------------------------
+  std::printf("-- EXPLAIN shows aggregation pushdown into Druid and\n");
+  std::printf("-- predicate pushdown + nested column pruning into Hive --\n");
+  const char* q3 =
+      "SELECT city, count(*) FROM druid.default.rides "
+      "WHERE status = 'completed' GROUP BY city";
+  auto p3 = cluster.Explain(q3, session);
+  if (p3.ok()) std::printf("EXPLAIN %s\n%s\n", q3, p3->c_str());
+  auto p2 = cluster.Explain(q2, session);
+  if (p2.ok()) std::printf("EXPLAIN %s\n%s\n", q2, p2->c_str());
+  return 0;
+}

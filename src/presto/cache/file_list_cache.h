@@ -1,0 +1,48 @@
+#ifndef PRESTO_CACHE_FILE_LIST_CACHE_H_
+#define PRESTO_CACHE_FILE_LIST_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "presto/cache/lru_cache.h"
+#include "presto/fs/file_system.h"
+
+namespace presto {
+
+/// Coordinator-side file-list cache (Section VII.A): "Presto coordinator
+/// caches file lists in memory to avoid long listFile calls to remote
+/// storage. This can only be applied to sealed directories. For open
+/// partitions, Presto will skip caching those directories to guarantee data
+/// freshness." — open partitions keep receiving files from near-real-time
+/// ingestion, so their listings always go to the NameNode.
+class FileListCache {
+ public:
+  explicit FileListCache(size_t capacity = 10000) : cache_(capacity) {}
+
+  /// Lists `directory` through the cache. `sealed` comes from the table's
+  /// partition metadata: only sealed directories are cached.
+  Result<std::shared_ptr<const std::vector<FileInfo>>> List(
+      FileSystem* fs, const std::string& directory, bool sealed) {
+    if (sealed) {
+      if (auto hit = cache_.Get(directory)) return *hit;
+    }
+    ASSIGN_OR_RETURN(std::vector<FileInfo> listed, fs->ListFiles(directory));
+    auto shared =
+        std::make_shared<const std::vector<FileInfo>>(std::move(listed));
+    if (sealed) cache_.Put(directory, shared);
+    return shared;
+  }
+
+  /// Invalidation hook for partition rewrites / compaction.
+  void Invalidate(const std::string& directory) { cache_.Invalidate(directory); }
+
+  MetricsRegistry& metrics() { return cache_.metrics(); }
+
+ private:
+  LruCache<std::vector<FileInfo>> cache_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CACHE_FILE_LIST_CACHE_H_

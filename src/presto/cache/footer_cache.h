@@ -1,0 +1,64 @@
+#ifndef PRESTO_CACHE_FOOTER_CACHE_H_
+#define PRESTO_CACHE_FOOTER_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "presto/cache/lru_cache.h"
+#include "presto/fs/file_system.h"
+#include "presto/lakefile/reader.h"
+
+namespace presto {
+
+/// Worker-side file-handle + footer cache (Section VII.B): "Presto worker
+/// caches the file descriptors in memory to avoid long getFileInfo calls to
+/// remote storage. Also, a worker caches common columnar file and stripe
+/// footers in memory … due to the high hit rate of footers as they are the
+/// indexes to the data itself."
+class FooterCache {
+ public:
+  explicit FooterCache(size_t capacity = 20000)
+      : handles_(capacity), footers_(capacity) {}
+
+  /// Opens a file through the handle cache: a hit skips the getFileInfo /
+  /// open round trip to remote storage.
+  Result<std::shared_ptr<RandomAccessFile>> OpenFile(FileSystem* fs,
+                                                     const std::string& path) {
+    if (auto hit = handles_.Get(path)) {
+      // Stored as shared_ptr<const shared_ptr<RandomAccessFile>>.
+      return **hit;
+    }
+    ASSIGN_OR_RETURN(std::shared_ptr<RandomAccessFile> file, fs->OpenForRead(path));
+    handles_.Put(path, std::make_shared<const std::shared_ptr<RandomAccessFile>>(file));
+    return file;
+  }
+
+  /// Reads a lakefile footer through the cache.
+  Result<std::shared_ptr<const lakefile::FileFooter>> GetFooter(
+      FileSystem* fs, const std::string& path) {
+    if (auto hit = footers_.Get(path)) return *hit;
+    ASSIGN_OR_RETURN(std::shared_ptr<RandomAccessFile> file, OpenFile(fs, path));
+    ASSIGN_OR_RETURN(lakefile::FileFooter footer,
+                     lakefile::ReadFooter(file.get()));
+    auto shared =
+        std::make_shared<const lakefile::FileFooter>(std::move(footer));
+    footers_.Put(path, shared);
+    return shared;
+  }
+
+  void Invalidate(const std::string& path) {
+    handles_.Invalidate(path);
+    footers_.Invalidate(path);
+  }
+
+  MetricsRegistry& handle_metrics() { return handles_.metrics(); }
+  MetricsRegistry& footer_metrics() { return footers_.metrics(); }
+
+ private:
+  LruCache<std::shared_ptr<RandomAccessFile>> handles_;
+  LruCache<lakefile::FileFooter> footers_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CACHE_FOOTER_CACHE_H_

@@ -1,0 +1,88 @@
+#ifndef PRESTO_CACHE_LRU_CACHE_H_
+#define PRESTO_CACHE_LRU_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "presto/common/metrics.h"
+
+namespace presto {
+
+/// Thread-safe LRU cache with entry-count capacity. Values are shared_ptrs
+/// so hits stay valid while entries are evicted concurrently.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::optional<std::shared_ptr<const V>> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      metrics_.Increment("miss");
+      return std::nullopt;
+    }
+    // Move to front.
+    order_.splice(order_.begin(), order_, it->second.order_it);
+    metrics_.Increment("hit");
+    return it->second.value;
+  }
+
+  void Put(const std::string& key, std::shared_ptr<const V> value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second.value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second.order_it);
+      return;
+    }
+    order_.push_front(key);
+    index_[key] = Entry{std::move(value), order_.begin()};
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+      metrics_.Increment("eviction");
+    }
+  }
+
+  void Invalidate(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second.order_it);
+    index_.erase(it);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    order_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const V> value;
+    std::list<std::string>::iterator order_it;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> order_;  // front = most recent
+  std::map<std::string, Entry> index_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CACHE_LRU_CACHE_H_

@@ -1,0 +1,35 @@
+#include "presto/cluster/cluster.h"
+
+namespace presto {
+
+PrestoCluster::PrestoCluster(std::string name, size_t num_workers,
+                             size_t slots_per_worker, CoordinatorOptions options)
+    : name_(std::move(name)), coordinator_(&catalogs_, options) {
+  // The geo plugin is idempotently registered into the default registry.
+  (void)geo::RegisterGeoFunctions(&FunctionRegistry::Default());
+  for (size_t i = 0; i < num_workers; ++i) {
+    ExpandWorker(slots_per_worker);
+  }
+}
+
+std::string PrestoCluster::ExpandWorker(size_t slots) {
+  std::string id = name_ + "-worker-" + std::to_string(next_worker_id_++);
+  auto worker = std::make_shared<Worker>(id, slots);
+  workers_.push_back(worker);
+  coordinator_.AddWorker(std::move(worker));
+  return id;
+}
+
+Status PrestoCluster::ShrinkWorkerAndWait(const std::string& worker_id,
+                                          int64_t grace_period_nanos) {
+  RETURN_IF_ERROR(coordinator_.ShrinkWorker(worker_id, grace_period_nanos));
+  for (const auto& worker : workers_) {
+    if (worker->id() == worker_id) {
+      worker->AwaitShutdown();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("worker not tracked: " + worker_id);
+}
+
+}  // namespace presto

@@ -1,0 +1,52 @@
+#ifndef PRESTO_CLUSTER_CLUSTER_H_
+#define PRESTO_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "presto/cluster/coordinator.h"
+#include "presto/geo/geo_functions.h"
+
+namespace presto {
+
+/// Embedded single-process cluster: one coordinator plus N workers, the
+/// standard entry point for examples and tests. Registers the geospatial
+/// plugin functions on construction.
+class PrestoCluster {
+ public:
+  explicit PrestoCluster(std::string name, size_t num_workers = 2,
+                         size_t slots_per_worker = 2,
+                         CoordinatorOptions options = CoordinatorOptions());
+
+  const std::string& name() const { return name_; }
+  CatalogRegistry& catalogs() { return catalogs_; }
+  Coordinator& coordinator() { return coordinator_; }
+
+  /// Elastic expansion: adds a worker at runtime ("new workers are
+  /// automatically added to the existing cluster").
+  std::string ExpandWorker(size_t slots = 2);
+
+  /// Graceful shrink: drains one worker per the grace-period protocol and
+  /// waits for it to reach SHUT_DOWN.
+  Status ShrinkWorkerAndWait(const std::string& worker_id,
+                             int64_t grace_period_nanos = 1'000'000);
+
+  Result<QueryResult> Execute(const std::string& sql, const Session& session) {
+    return coordinator_.ExecuteSql(sql, session);
+  }
+  Result<std::string> Explain(const std::string& sql, const Session& session) {
+    return coordinator_.ExplainSql(sql, session);
+  }
+
+ private:
+  std::string name_;
+  CatalogRegistry catalogs_;
+  Coordinator coordinator_;
+  std::vector<std::shared_ptr<Worker>> workers_;
+  int next_worker_id_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CLUSTER_CLUSTER_H_

@@ -1,0 +1,330 @@
+#include "presto/cluster/coordinator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "presto/exec/operators.h"
+#include "presto/planner/optimizer.h"
+#include "presto/sql/analyzer.h"
+#include "presto/sql/parser.h"
+
+namespace presto {
+
+std::vector<Value> QueryResult::Row(size_t r) const {
+  for (const Page& page : pages) {
+    if (r < page.num_rows()) return page.GetRow(r);
+    r -= page.num_rows();
+  }
+  return {};
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += c == 0 ? "" : " | ";
+    out += column_names[c];
+  }
+  out += "\n";
+  size_t emitted = 0;
+  for (const Page& page : pages) {
+    for (size_t r = 0; r < page.num_rows() && emitted < max_rows; ++r, ++emitted) {
+      for (size_t c = 0; c < page.num_columns(); ++c) {
+        out += c == 0 ? "" : " | ";
+        out += page.column(c)->GetValue(r).ToString();
+      }
+      out += "\n";
+    }
+  }
+  if (emitted < static_cast<size_t>(total_rows)) {
+    out += "… (" + std::to_string(total_rows) + " rows total)\n";
+  }
+  return out;
+}
+
+void Coordinator::AddWorker(std::shared_ptr<Worker> worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_.push_back(std::move(worker));
+}
+
+Status Coordinator::ShrinkWorker(const std::string& worker_id,
+                                 int64_t grace_period_nanos) {
+  std::shared_ptr<Worker> target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& worker : workers_) {
+      if (worker->id() == worker_id) {
+        target = worker;
+        break;
+      }
+    }
+  }
+  if (target == nullptr) {
+    return Status::NotFound("no such worker: " + worker_id);
+  }
+  target->RequestGracefulShutdown(grace_period_nanos);
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<Worker>> Coordinator::ActiveWorkers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Worker>> out;
+  for (const auto& worker : workers_) {
+    if (worker->state() == WorkerState::kActive) out.push_back(worker);
+  }
+  return out;
+}
+
+size_t Coordinator::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+namespace {
+
+// Keeps exchange buffers alive until every producer task has fully exited:
+// without this, the root fragment can observe "all producers done" and let
+// the query tear down while a producer is still inside its final
+// notify_all() — a use-after-free on the buffer's condition variable.
+struct TaskLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 0;
+
+  void Done() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --remaining;
+    }
+    cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining <= 0; });
+  }
+};
+
+TableScanNode* FindScan(const PlanNodePtr& node) {
+  if (node->kind() == PlanNodeKind::kTableScan) {
+    return static_cast<TableScanNode*>(node.get());
+  }
+  for (const PlanNodePtr& source : node->sources()) {
+    if (TableScanNode* scan = FindScan(source)) return scan;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<FragmentedPlan> Coordinator::PlanSql(const std::string& sql,
+                                            const Session& session) {
+  ASSIGN_OR_RETURN(sql::Query query, sql::ParseQuery(sql));
+  sql::Analyzer analyzer(catalogs_, &session);
+  ASSIGN_OR_RETURN(PlanNodePtr plan, analyzer.Analyze(query));
+  Optimizer optimizer(catalogs_, &session, &analyzer.ids());
+  ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
+  Fragmenter fragmenter(&analyzer.ids());
+  return fragmenter.Fragment(std::move(plan));
+}
+
+Result<std::string> Coordinator::ExplainSql(const std::string& sql,
+                                            const Session& session) {
+  ASSIGN_OR_RETURN(FragmentedPlan plan, PlanSql(sql, session));
+  return plan.ToString();
+}
+
+Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
+                                            const Session& session) {
+  Stopwatch watch;
+  auto fragmented = PlanSql(sql, session);
+  if (!fragmented.ok()) {
+    queries_failed_.fetch_add(1);
+    return fragmented.status();
+  }
+
+  QueryResult result;
+  result.num_fragments = static_cast<int>(fragmented->fragments.size());
+
+  // -- Schedule leaf fragments. -------------------------------------------------
+  std::vector<std::shared_ptr<Worker>> workers = ActiveWorkers();
+  std::map<int, std::unique_ptr<ExchangeBuffer>> buffers;
+  std::map<int, ExchangeBuffer*> exchange_refs;
+  struct TaskSpec {
+    const PlanFragment* fragment;
+    std::vector<SplitPtr> splits;
+    ExchangeBuffer* buffer;
+  };
+  std::vector<TaskSpec> tasks;
+
+  for (const PlanFragment& fragment : fragmented->fragments) {
+    if (!fragment.leaf) continue;
+    TableScanNode* scan = FindScan(fragment.root);
+    if (scan == nullptr) {
+      queries_failed_.fetch_add(1);
+      return Status::Internal("leaf fragment without a table scan");
+    }
+    auto connector = catalogs_->GetConnector(scan->catalog());
+    if (!connector.ok()) {
+      queries_failed_.fetch_add(1);
+      return connector.status();
+    }
+    size_t parallelism = std::max<size_t>(
+        1, std::max(workers.size(), options_.tasks_per_fragment));
+    auto splits = (*connector)->CreateSplits(scan->table_schema_name(),
+                                             scan->table_name(),
+                                             *scan->accepted(), parallelism);
+    if (!splits.ok()) {
+      queries_failed_.fetch_add(1);
+      return splits.status();
+    }
+    result.num_splits += static_cast<int>(splits->size());
+
+    auto buffer = std::make_unique<ExchangeBuffer>();
+    size_t num_tasks = std::min<size_t>(
+        std::max<size_t>(1, splits->size()),
+        std::max<size_t>(1, std::max(workers.size(), size_t{1}) *
+                                options_.tasks_per_fragment));
+    // Round-robin splits across tasks.
+    std::vector<std::vector<SplitPtr>> batches(num_tasks);
+    for (size_t i = 0; i < splits->size(); ++i) {
+      batches[i % num_tasks].push_back((*splits)[i]);
+    }
+    buffer->SetProducerCount(static_cast<int>(num_tasks));
+    for (size_t t = 0; t < num_tasks; ++t) {
+      tasks.push_back(TaskSpec{&fragment, std::move(batches[t]), buffer.get()});
+    }
+    exchange_refs[fragment.id] = buffer.get();
+    buffers[fragment.id] = std::move(buffer);
+  }
+  result.num_tasks = static_cast<int>(tasks.size());
+
+  auto latch = std::make_shared<TaskLatch>();
+  latch->remaining = static_cast<int>(tasks.size());
+
+  bool use_fragment_cache =
+      session.Property("fragment_result_cache", "false") == "true";
+  ExecutionLimits limits;
+  {
+    std::string max_build = session.Property("max_join_build_rows", "");
+    if (!max_build.empty()) {
+      limits.max_join_build_rows = std::strtoll(max_build.c_str(), nullptr, 10);
+    }
+  }
+
+  // Task body: build the fragment's operator tree over its splits and pump
+  // pages into the exchange, consulting the fragment result cache first.
+  auto run_task = [this, &exchange_refs, use_fragment_cache, limits](
+                      const PlanFragment* fragment, std::vector<SplitPtr> splits,
+                      ExchangeBuffer* buffer) {
+    std::string cache_key;
+    if (use_fragment_cache) {
+      cache_key = fragment->root->ToString();
+      for (const SplitPtr& split : splits) {
+        cache_key += "\n";
+        cache_key += split->ToString();
+      }
+      if (auto hit = fragment_cache_.Get(cache_key)) {
+        for (const Page& page : **hit) {
+          buffer->Push(page);  // pages share immutable vectors
+        }
+        buffer->ProducerDone();
+        return;
+      }
+    }
+    OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(),
+                            &exchange_refs, &splits, limits);
+    auto op = builder.Build(fragment->root);
+    if (!op.ok()) {
+      buffer->Fail(op.status());
+      buffer->ProducerDone();
+      return;
+    }
+    std::vector<Page> produced;
+    bool failed = false;
+    while (true) {
+      auto page = (*op)->Next();
+      if (!page.ok()) {
+        buffer->Fail(page.status());
+        failed = true;
+        break;
+      }
+      if (!page->has_value()) break;
+      if (use_fragment_cache) produced.push_back(**page);
+      buffer->Push(std::move(**page));
+    }
+    if (use_fragment_cache && !failed) {
+      fragment_cache_.Put(cache_key,
+                          std::make_shared<const std::vector<Page>>(
+                              std::move(produced)));
+    }
+    buffer->ProducerDone();
+  };
+
+  // Dispatch: round-robin across active workers; with no workers, tasks run
+  // inline on the coordinator (embedded mode).
+  if (workers.empty()) {
+    for (TaskSpec& task : tasks) {
+      run_task(task.fragment, std::move(task.splits), task.buffer);
+      latch->Done();
+    }
+  } else {
+    size_t next_worker = 0;
+    for (TaskSpec& task : tasks) {
+      bool submitted = false;
+      for (size_t attempt = 0; attempt < workers.size(); ++attempt) {
+        auto& worker = workers[next_worker];
+        next_worker = (next_worker + 1) % workers.size();
+        if (worker->SubmitTask([run_task, latch, fragment = task.fragment,
+                                splits = task.splits, buffer = task.buffer] {
+              run_task(fragment, splits, buffer);
+              latch->Done();
+            })) {
+          submitted = true;
+          break;
+        }
+      }
+      if (!submitted) {
+        // Every worker is draining: run inline to guarantee no downtime.
+        run_task(task.fragment, std::move(task.splits), task.buffer);
+        latch->Done();
+      }
+    }
+  }
+
+  // -- Run the root fragment on the coordinator. -----------------------------------
+  const PlanFragment& root = fragmented->fragments[0];
+  OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(), &exchange_refs,
+                          nullptr, limits);
+  auto root_op = builder.Build(root.root);
+  if (!root_op.ok()) {
+    latch->Wait();
+    queries_failed_.fetch_add(1);
+    return root_op.status();
+  }
+  while (true) {
+    auto page = (*root_op)->Next();
+    if (!page.ok()) {
+      latch->Wait();
+      queries_failed_.fetch_add(1);
+      return page.status();
+    }
+    if (!page->has_value()) break;
+    result.total_rows += static_cast<int64_t>((*page)->num_rows());
+    result.pages.push_back(std::move(**page));
+  }
+  // All producer tasks must have fully exited before the buffers go away.
+  latch->Wait();
+
+  // Output metadata.
+  if (root.root->kind() == PlanNodeKind::kOutput) {
+    const auto* output = static_cast<const OutputNode*>(root.root.get());
+    result.column_names = output->column_names();
+    for (const VariablePtr& v : output->OutputVariables()) {
+      result.column_types.push_back(v->type());
+    }
+  }
+  result.wall_millis = watch.ElapsedMillis();
+  queries_completed_.fetch_add(1);
+  return result;
+}
+
+}  // namespace presto

@@ -1,0 +1,88 @@
+#ifndef PRESTO_CLUSTER_COORDINATOR_H_
+#define PRESTO_CLUSTER_COORDINATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "presto/cache/lru_cache.h"
+#include "presto/connector/connector.h"
+#include "presto/cluster/worker.h"
+#include "presto/planner/fragmenter.h"
+#include "presto/planner/session.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+
+/// Result of one query: pages plus metadata and basic stats.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<TypePtr> column_types;
+  std::vector<Page> pages;
+  int64_t total_rows = 0;
+  double wall_millis = 0;
+  int num_fragments = 0;
+  int num_tasks = 0;
+  int num_splits = 0;
+
+  /// Boxes one result row (r indexes across all pages).
+  std::vector<Value> Row(size_t r) const;
+  std::string ToString(size_t max_rows = 32) const;
+};
+
+struct CoordinatorOptions {
+  /// Target split batches (tasks) per leaf fragment; capped by split count.
+  size_t tasks_per_fragment = 4;
+};
+
+/// Single-coordinator query engine (Section III): parses incoming SQL into
+/// an AST, analyzes it into a logical plan, runs the optimizer rounds,
+/// fragments the physical plan, and schedules tasks on worker execution
+/// slots. There is one coordinator per cluster; it is stateful.
+class Coordinator {
+ public:
+  Coordinator(CatalogRegistry* catalogs,
+              CoordinatorOptions options = CoordinatorOptions())
+      : catalogs_(catalogs), options_(options) {}
+
+  // -- worker membership: elastic expansion / graceful shrink ----------------
+  void AddWorker(std::shared_ptr<Worker> worker);
+  /// Sends the shutdown command; the worker drains per the grace-period
+  /// protocol and is dropped from scheduling immediately.
+  Status ShrinkWorker(const std::string& worker_id, int64_t grace_period_nanos);
+  std::vector<std::shared_ptr<Worker>> ActiveWorkers() const;
+  size_t num_workers() const;
+
+  // -- queries -------------------------------------------------------------------
+  Result<QueryResult> ExecuteSql(const std::string& sql, const Session& session);
+  /// EXPLAIN: the fragmented physical plan as text.
+  Result<std::string> ExplainSql(const std::string& sql, const Session& session);
+
+  CatalogRegistry* catalogs() { return catalogs_; }
+  int64_t queries_completed() const { return queries_completed_; }
+  int64_t queries_failed() const { return queries_failed_; }
+
+  /// Fragment result cache (Section VII mentions it among the RaptorX cache
+  /// family): leaf-fragment outputs keyed by (fragment plan, splits). Opt-in
+  /// via session property fragment_result_cache=true — results are reused
+  /// only when the underlying data is immutable between runs, which the
+  /// session owner asserts by enabling it.
+  MetricsRegistry& fragment_cache_metrics() { return fragment_cache_.metrics(); }
+  void InvalidateFragmentCache() { fragment_cache_.Clear(); }
+
+ private:
+  Result<FragmentedPlan> PlanSql(const std::string& sql, const Session& session);
+
+  CatalogRegistry* catalogs_;
+  CoordinatorOptions options_;
+  LruCache<std::vector<Page>> fragment_cache_{256};
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Worker>> workers_;
+  std::atomic<int64_t> queries_completed_{0};
+  std::atomic<int64_t> queries_failed_{0};
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,116 @@
+#include "presto/cluster/gateway.h"
+
+namespace presto {
+
+namespace {
+constexpr char kRoutingSchema[] = "gateway";
+constexpr char kRoutingTable[] = "routing";
+}  // namespace
+
+PrestoGateway::PrestoGateway(mysqlite::MySqlLite* routing_db) : db_(routing_db) {
+  // The routing table may already exist (shared MySQL instance).
+  (void)db_->CreateTable(
+      kRoutingSchema, kRoutingTable,
+      Type::Row({"principal", "kind", "cluster"},
+                {Type::Varchar(), Type::Varchar(), Type::Varchar()}));
+}
+
+Status PrestoGateway::RegisterCluster(const std::string& name,
+                                      PrestoCluster* cluster) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clusters_.count(name) > 0) {
+    return Status::AlreadyExists("cluster already registered: " + name);
+  }
+  clusters_[name] = cluster;
+  return Status::OK();
+}
+
+Status PrestoGateway::SetRoute(const std::string& kind,
+                               const std::string& principal,
+                               const std::string& cluster) {
+  // Upsert: delete then insert.
+  RETURN_IF_ERROR(db_->Delete(kRoutingSchema, kRoutingTable,
+                              {{"principal", mysqlite::CompareOp::kEq,
+                                {Value::String(principal)}},
+                               {"kind", mysqlite::CompareOp::kEq,
+                                {Value::String(kind)}}})
+                      .status());
+  return db_->Insert(kRoutingSchema, kRoutingTable,
+                     {{Value::String(principal), Value::String(kind),
+                       Value::String(cluster)}});
+}
+
+Status PrestoGateway::SetUserRoute(const std::string& user,
+                                   const std::string& cluster) {
+  return SetRoute("user", user, cluster);
+}
+
+Status PrestoGateway::SetGroupRoute(const std::string& group,
+                                    const std::string& cluster) {
+  return SetRoute("group", group, cluster);
+}
+
+Status PrestoGateway::SetDefaultRoute(const std::string& cluster) {
+  return SetRoute("default", "*", cluster);
+}
+
+Status PrestoGateway::RemoveRoutes(const std::string& principal) {
+  return db_->Delete(kRoutingSchema, kRoutingTable,
+                     {{"principal", mysqlite::CompareOp::kEq,
+                       {Value::String(principal)}}})
+      .status();
+}
+
+Result<std::string> PrestoGateway::LookupRoute(const std::string& kind,
+                                               const std::string& principal) {
+  mysqlite::ScanRequest request;
+  request.columns = {"cluster"};
+  request.predicates = {{"kind", mysqlite::CompareOp::kEq, {Value::String(kind)}},
+                        {"principal", mysqlite::CompareOp::kEq,
+                         {Value::String(principal)}}};
+  request.limit = 1;
+  ASSIGN_OR_RETURN(mysqlite::ScanResult result,
+                   db_->Scan(kRoutingSchema, kRoutingTable, request));
+  if (result.rows.empty()) return Status::NotFound("no route");
+  return result.rows[0][0].string_value();
+}
+
+Result<PrestoCluster*> PrestoGateway::Route(const Session& session) {
+  metrics_.Increment("gateway.requests");
+  std::string target;
+  auto by_user = LookupRoute("user", session.user);
+  if (by_user.ok()) {
+    target = *by_user;
+  } else {
+    auto by_group = LookupRoute("group", session.group);
+    if (by_group.ok()) {
+      target = *by_group;
+    } else {
+      ASSIGN_OR_RETURN(target, LookupRoute("default", "*"));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clusters_.find(target);
+  if (it == clusters_.end()) {
+    return Status::NotFound("route points at unregistered cluster: " + target);
+  }
+  metrics_.Increment("gateway.redirects." + target);
+  return it->second;
+}
+
+Result<QueryResult> PrestoGateway::Submit(const std::string& sql,
+                                          const Session& session) {
+  ASSIGN_OR_RETURN(PrestoCluster * cluster, Route(session));
+  return cluster->Execute(sql, session);
+}
+
+Status PrestoGateway::DrainClusterRoutes(const std::string& from,
+                                         const std::string& to) {
+  metrics_.Increment("gateway.drains");
+  return db_->Update(kRoutingSchema, kRoutingTable,
+                     {{"cluster", mysqlite::CompareOp::kEq, {Value::String(from)}}},
+                     {{"cluster", Value::String(to)}})
+      .status();
+}
+
+}  // namespace presto

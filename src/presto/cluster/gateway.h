@@ -1,0 +1,66 @@
+#ifndef PRESTO_CLUSTER_GATEWAY_H_
+#define PRESTO_CLUSTER_GATEWAY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "presto/cluster/cluster.h"
+#include "presto/common/metrics.h"
+#include "presto/mysqlite/mysqlite.h"
+
+namespace presto {
+
+/// Presto gateway (Section VIII): "using HTTP Redirect, we developed a
+/// presto gateway. The gateway will redirect incoming queries to specific
+/// presto clusters, based on user name and group information. The user and
+/// group to cluster mapping data is stored in MySQL. Presto administrators
+/// could play with MySQL to dynamically redirect any traffic to any
+/// cluster."
+///
+/// The routing table lives in the mini-MySQL store
+/// (gateway.routing(principal VARCHAR, kind VARCHAR, cluster VARCHAR)).
+/// Resolution order: exact user match, then group match, then the '*'
+/// default. The gateway only redirects — queries execute on the target
+/// cluster's own coordinator, so the gateway never becomes a bottleneck for
+/// query execution (Section XII.B).
+class PrestoGateway {
+ public:
+  explicit PrestoGateway(mysqlite::MySqlLite* routing_db);
+
+  Status RegisterCluster(const std::string& name, PrestoCluster* cluster);
+
+  /// Routing-table administration (writes to MySQL).
+  Status SetUserRoute(const std::string& user, const std::string& cluster);
+  Status SetGroupRoute(const std::string& group, const std::string& cluster);
+  Status SetDefaultRoute(const std::string& cluster);
+  Status RemoveRoutes(const std::string& principal);
+
+  /// Resolves the redirect target for a session.
+  Result<PrestoCluster*> Route(const Session& session);
+
+  /// Convenience: route + execute (what a client library does after the
+  /// redirect).
+  Result<QueryResult> Submit(const std::string& sql, const Session& session);
+
+  /// Maintenance drain: every route pointing at `from` is rewritten to
+  /// `to`, so the cluster can be upgraded "with no downtime for end users".
+  Status DrainClusterRoutes(const std::string& from, const std::string& to);
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  Status SetRoute(const std::string& kind, const std::string& principal,
+                  const std::string& cluster);
+  Result<std::string> LookupRoute(const std::string& kind,
+                                  const std::string& principal);
+
+  mysqlite::MySqlLite* db_;
+  std::mutex mu_;
+  std::map<std::string, PrestoCluster*> clusters_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CLUSTER_GATEWAY_H_

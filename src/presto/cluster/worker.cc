@@ -1,0 +1,84 @@
+#include "presto/cluster/worker.h"
+
+namespace presto {
+
+const char* WorkerStateToString(WorkerState state) {
+  switch (state) {
+    case WorkerState::kActive:
+      return "ACTIVE";
+    case WorkerState::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case WorkerState::kShutDown:
+      return "SHUT_DOWN";
+  }
+  return "?";
+}
+
+Worker::Worker(std::string id, size_t execution_slots, Clock* clock)
+    : id_(std::move(id)), pool_(execution_slots) {
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<SystemClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = clock;
+  }
+}
+
+Worker::~Worker() {
+  if (shutdown_thread_.joinable()) shutdown_thread_.join();
+  pool_.Shutdown();
+}
+
+bool Worker::SubmitTask(std::function<void()> task) {
+  if (state_.load() != WorkerState::kActive) return false;
+  active_tasks_.fetch_add(1);
+  bool submitted = pool_.Submit([this, task = std::move(task)] {
+    task();
+    tasks_completed_.fetch_add(1);
+    if (active_tasks_.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained_cv_.notify_all();
+    }
+  });
+  if (!submitted) {
+    active_tasks_.fetch_sub(1);
+    return false;
+  }
+  return true;
+}
+
+void Worker::RequestGracefulShutdown(int64_t grace_period_nanos) {
+  WorkerState expected = WorkerState::kActive;
+  if (!state_.compare_exchange_strong(expected, WorkerState::kShuttingDown)) {
+    return;  // already shutting down or down
+  }
+  shutdown_thread_ = std::thread(
+      [this, grace_period_nanos] { GracefulShutdownSequence(grace_period_nanos); });
+}
+
+void Worker::GracefulShutdownSequence(int64_t grace_period_nanos) {
+  // 1. Sleep for shutdown.grace-period so the coordinator notices the
+  //    SHUTTING_DOWN state and stops sending tasks.
+  clock_->AdvanceNanos(grace_period_nanos);
+  // 2. Block until all active tasks are complete.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return active_tasks_.load() == 0; });
+  }
+  // 3. Sleep for the grace period again so the coordinator sees all tasks
+  //    complete.
+  clock_->AdvanceNanos(grace_period_nanos);
+  // 4. Shut down.
+  state_.store(WorkerState::kShutDown);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_cv_.notify_all();
+  }
+}
+
+void Worker::AwaitShutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return state_.load() == WorkerState::kShutDown; });
+}
+
+}  // namespace presto

@@ -1,0 +1,68 @@
+#ifndef PRESTO_CLUSTER_WORKER_H_
+#define PRESTO_CLUSTER_WORKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "presto/common/clock.h"
+#include "presto/common/thread_pool.h"
+
+namespace presto {
+
+/// Worker lifecycle (Section IX): "upon receiving the command, the worker
+/// will enter SHUTTING_DOWN state: sleep for shutdown.grace-period … the
+/// coordinator is aware of the shutdown and stops sending tasks … the worker
+/// will block until all active tasks are complete … sleep for the grace
+/// period again … finally shut down."
+enum class WorkerState { kActive, kShuttingDown, kShutDown };
+
+const char* WorkerStateToString(WorkerState state);
+
+/// A simulated Presto worker: execution slots backed by a thread pool plus
+/// the graceful-shutdown state machine.
+class Worker {
+ public:
+  Worker(std::string id, size_t execution_slots,
+         Clock* clock = nullptr /* defaults to an internal SystemClock */);
+  ~Worker();
+
+  const std::string& id() const { return id_; }
+  WorkerState state() const { return state_.load(); }
+  int active_tasks() const { return active_tasks_.load(); }
+  int64_t tasks_completed() const { return tasks_completed_.load(); }
+
+  /// Submits a task; returns false when the worker no longer accepts work
+  /// (SHUTTING_DOWN or later).
+  bool SubmitTask(std::function<void()> task);
+
+  /// Starts the graceful shutdown sequence asynchronously.
+  void RequestGracefulShutdown(int64_t grace_period_nanos = 120'000'000'000 /* 2 min */);
+
+  /// Blocks until the worker reaches SHUT_DOWN.
+  void AwaitShutdown();
+
+ private:
+  void GracefulShutdownSequence(int64_t grace_period_nanos);
+
+  std::string id_;
+  std::unique_ptr<SystemClock> owned_clock_;
+  Clock* clock_;
+  ThreadPool pool_;
+  std::atomic<WorkerState> state_{WorkerState::kActive};
+  std::atomic<int> active_tasks_{0};
+  std::atomic<int64_t> tasks_completed_{0};
+
+  std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::condition_variable shutdown_cv_;
+  std::thread shutdown_thread_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CLUSTER_WORKER_H_

@@ -1,0 +1,78 @@
+#ifndef PRESTO_COMMON_CLOCK_H_
+#define PRESTO_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace presto {
+
+/// Wall-clock stopwatch for benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Abstract time source. Latency models (simulated HDFS NameNode RPCs,
+/// simulated S3 requests, shutdown grace periods) charge time against a Clock
+/// so benches can run in virtual time instead of sleeping.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since an arbitrary epoch.
+  virtual int64_t NowNanos() const = 0;
+
+  /// Advances time by (or sleeps for) the given duration.
+  virtual void AdvanceNanos(int64_t nanos) = 0;
+
+  void AdvanceMillis(int64_t millis) { AdvanceNanos(millis * 1000000); }
+};
+
+/// Real wall-clock time; AdvanceNanos sleeps.
+class SystemClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void AdvanceNanos(int64_t nanos) override {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+};
+
+/// Virtual time that only moves when advanced. Thread-safe.
+class SimulatedClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceNanos(int64_t nanos) override {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_{0};
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_CLOCK_H_

@@ -1,0 +1,41 @@
+#ifndef PRESTO_COMMON_COMPRESSION_H_
+#define PRESTO_COMMON_COMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "presto/common/status.h"
+
+namespace presto {
+
+/// Compression codecs for lakefile pages. The paper evaluates the native
+/// Parquet writer under Snappy, Gzip, and no compression (Figures 18-20).
+/// We cannot ship the real snappy/zlib, so the repo implements two real LZ77
+/// compressors with the same speed/ratio ordering:
+///   kSnappy — fast greedy LZ with a small hash table (speed-oriented),
+///   kGzip   — chained-hash lazy-matching LZ with a large window
+///             (ratio-oriented, measurably slower).
+/// See DESIGN.md "Substitutions".
+enum class CompressionKind : uint8_t {
+  kNone = 0,
+  kSnappy = 1,
+  kGzip = 2,
+};
+
+const char* CompressionKindToString(CompressionKind kind);
+Result<CompressionKind> CompressionKindFromString(const std::string& name);
+
+/// Compresses `input` into a self-describing frame (uncompressed size +
+/// payload). Always succeeds; incompressible input degrades to a stored
+/// block with ~1/64 overhead.
+std::vector<uint8_t> Compress(CompressionKind kind, const uint8_t* input,
+                              size_t size);
+
+/// Decompresses a frame produced by Compress with the same kind.
+Result<std::vector<uint8_t>> Decompress(CompressionKind kind,
+                                        const uint8_t* input, size_t size);
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_COMPRESSION_H_

@@ -1,0 +1,43 @@
+#ifndef PRESTO_COMMON_HASH_H_
+#define PRESTO_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace presto {
+
+/// 64-bit finalization mix from MurmurHash3; good avalanche for integer keys
+/// used by hash joins, aggregations, and dictionary probes.
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a over raw bytes; used for string keys.
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return HashMix64(h);
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Combines two hashes (boost::hash_combine-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_HASH_H_

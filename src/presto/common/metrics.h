@@ -1,0 +1,46 @@
+#ifndef PRESTO_COMMON_METRICS_H_
+#define PRESTO_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace presto {
+
+/// Thread-safe named counters. Filesystems, caches, and connectors record
+/// call counts (listFiles, getFileInfo, bytes read, cache hits/misses) here;
+/// the cache and S3 benches report the paper's reduction percentages from
+/// these counters.
+class MetricsRegistry {
+ public:
+  void Increment(const std::string& name, int64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+
+  int64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+  }
+
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_METRICS_H_

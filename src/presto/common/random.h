@@ -1,0 +1,62 @@
+#ifndef PRESTO_COMMON_RANDOM_H_
+#define PRESTO_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace presto {
+
+/// Deterministic xorshift128+ PRNG. Workload generators use this so that
+/// tests and benches are reproducible across runs and platforms (std::mt19937
+/// distributions are not portable across standard libraries).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    s0_ = seed * 0x9e3779b97f4a7c15ULL + 1;
+    s1_ = (seed ^ 0xdeadbeefcafebabeULL) * 0xbf58476d1ce4e5b9ULL + 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;  // 2^53
+  }
+
+  /// True with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length) {
+    std::string s(length, 'a');
+    for (size_t i = 0; i < length; ++i) {
+      s[i] = static_cast<char>('a' + NextBelow(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_RANDOM_H_

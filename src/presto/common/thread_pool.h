@@ -1,0 +1,49 @@
+#ifndef PRESTO_COMMON_THREAD_POOL_H_
+#define PRESTO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace presto {
+
+/// Fixed-size worker pool used for task execution inside simulated workers
+/// and for parallel split processing. Tasks are std::function<void()>;
+/// exceptions must not escape tasks (the library is exception-free).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void WaitIdle();
+
+  /// Stops accepting tasks, drains the queue, joins all threads.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_THREAD_POOL_H_

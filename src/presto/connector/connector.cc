@@ -1,0 +1,34 @@
+#include "presto/connector/connector.h"
+
+namespace presto {
+
+Status CatalogRegistry::RegisterCatalog(const std::string& catalog,
+                                        ConnectorPtr connector) {
+  if (connector == nullptr) {
+    return Status::InvalidArgument("connector must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalogs_.count(catalog) > 0) {
+    return Status::AlreadyExists("catalog already registered: " + catalog);
+  }
+  catalogs_[catalog] = std::move(connector);
+  return Status::OK();
+}
+
+Result<Connector*> CatalogRegistry::GetConnector(const std::string& catalog) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalogs_.find(catalog);
+  if (it == catalogs_.end()) {
+    return Status::NotFound("no such catalog: " + catalog);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> CatalogRegistry::ListCatalogs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, connector] : catalogs_) out.push_back(name);
+  return out;
+}
+
+}  // namespace presto

@@ -1,0 +1,93 @@
+#ifndef PRESTO_CONNECTOR_CONNECTOR_H_
+#define PRESTO_CONNECTOR_CONNECTOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "presto/connector/pushdown.h"
+#include "presto/types/type.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+
+/// One unit of work against the underlying data — "ConnectorSplit, which
+/// defines one processing unit, or one shard of underlying data". Subclassed
+/// per connector (a file + row-group range, a Druid query slice, ...).
+class ConnectorSplit {
+ public:
+  virtual ~ConnectorSplit() = default;
+  virtual std::string ToString() const = 0;
+};
+
+using SplitPtr = std::shared_ptr<ConnectorSplit>;
+
+/// Streams pages of one split into the engine — the role of
+/// ConnectorRecordSetProvider/ConnectorPageSource: "upon getting data streams
+/// from underlying systems, how Presto parses and transforms them".
+class ConnectorPageSource {
+ public:
+  virtual ~ConnectorPageSource() = default;
+
+  /// Next page of data, or nullopt when the split is exhausted.
+  virtual Result<std::optional<Page>> NextPage() = 0;
+};
+
+/// A connector: metadata + split manager + page-source factory, the trio the
+/// paper lists as ConnectorMetadata / ConnectorSplitManager /
+/// ConnectorRecordSetProvider (Section IV).
+class Connector {
+ public:
+  virtual ~Connector() = default;
+
+  virtual std::string name() const = 0;
+
+  // -- ConnectorMetadata ------------------------------------------------------
+  virtual std::vector<std::string> ListSchemas() = 0;
+  virtual std::vector<std::string> ListTables(const std::string& schema) = 0;
+  /// ROW type describing the table's columns.
+  virtual Result<TypePtr> GetTableSchema(const std::string& schema,
+                                         const std::string& table) = 0;
+
+  // -- Pushdown negotiation -----------------------------------------------------
+  /// Given the engine's desired pushdown, returns what this connector will
+  /// actually absorb (connector-specific optimizer rule). Conjuncts and
+  /// aggregations the connector cannot handle must be left out of the
+  /// accepted pushdown; the planner keeps them in the engine plan.
+  virtual Result<AcceptedPushdown> NegotiatePushdown(
+      const std::string& schema, const std::string& table,
+      const PushdownRequest& desired) = 0;
+
+  // -- ConnectorSplitManager ------------------------------------------------------
+  /// "How Presto divides the underlying data into splits and processes them
+  /// in parallel."
+  virtual Result<std::vector<SplitPtr>> CreateSplits(
+      const std::string& schema, const std::string& table,
+      const AcceptedPushdown& pushdown, size_t target_splits) = 0;
+
+  // -- Page sources -----------------------------------------------------------------
+  virtual Result<std::unique_ptr<ConnectorPageSource>> CreatePageSource(
+      const SplitPtr& split, const AcceptedPushdown& pushdown) = 0;
+};
+
+using ConnectorPtr = std::shared_ptr<Connector>;
+
+/// catalog -> connector mapping: "to get a unified view of all data, Presto
+/// connector introduces catalog.schema.table for each table".
+class CatalogRegistry {
+ public:
+  Status RegisterCatalog(const std::string& catalog, ConnectorPtr connector);
+  Result<Connector*> GetConnector(const std::string& catalog) const;
+  std::vector<std::string> ListCatalogs() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ConnectorPtr> catalogs_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CONNECTOR_CONNECTOR_H_

@@ -1,0 +1,128 @@
+#include "presto/connector/pushdown.h"
+
+namespace presto {
+
+std::string SimplePredicate::ToString() const {
+  static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">=", "IN"};
+  std::string out = column;
+  out += " ";
+  out += kOps[static_cast<int>(op)];
+  out += " ";
+  if (op == Op::kIn) out += "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToString();
+  }
+  if (op == Op::kIn) out += ")";
+  return out;
+}
+
+std::optional<std::string> ExpressionToColumnPath(const RowExpression& expr) {
+  if (expr.expression_kind() == ExpressionKind::kVariableReference) {
+    return static_cast<const VariableReferenceExpression&>(expr).name();
+  }
+  if (expr.expression_kind() == ExpressionKind::kSpecialForm) {
+    const auto& form = static_cast<const SpecialFormExpression&>(expr);
+    if (form.form() == SpecialFormKind::kDereference) {
+      auto base = ExpressionToColumnPath(*form.arguments()[0]);
+      if (!base.has_value()) return std::nullopt;
+      const TypePtr& base_type = form.arguments()[0]->type();
+      return *base + "." + base_type->field_name(form.field_index());
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::optional<SimplePredicate::Op> ComparisonOp(const std::string& name) {
+  if (name == "eq") return SimplePredicate::Op::kEq;
+  if (name == "neq") return SimplePredicate::Op::kNe;
+  if (name == "lt") return SimplePredicate::Op::kLt;
+  if (name == "lte") return SimplePredicate::Op::kLe;
+  if (name == "gt") return SimplePredicate::Op::kGt;
+  if (name == "gte") return SimplePredicate::Op::kGe;
+  return std::nullopt;
+}
+
+SimplePredicate::Op FlipOp(SimplePredicate::Op op) {
+  switch (op) {
+    case SimplePredicate::Op::kLt:
+      return SimplePredicate::Op::kGt;
+    case SimplePredicate::Op::kLe:
+      return SimplePredicate::Op::kGe;
+    case SimplePredicate::Op::kGt:
+      return SimplePredicate::Op::kLt;
+    case SimplePredicate::Op::kGe:
+      return SimplePredicate::Op::kLe;
+    default:
+      return op;
+  }
+}
+
+std::optional<Value> LiteralValue(const RowExpression& expr) {
+  if (expr.expression_kind() != ExpressionKind::kConstant) return std::nullopt;
+  return static_cast<const ConstantExpression&>(expr).value();
+}
+
+}  // namespace
+
+std::optional<SimplePredicate> NormalizeConjunct(const RowExpression& expr) {
+  // col IN (literals)
+  if (expr.expression_kind() == ExpressionKind::kSpecialForm) {
+    const auto& form = static_cast<const SpecialFormExpression&>(expr);
+    if (form.form() != SpecialFormKind::kIn) return std::nullopt;
+    auto path = ExpressionToColumnPath(*form.arguments()[0]);
+    if (!path.has_value()) return std::nullopt;
+    SimplePredicate pred;
+    pred.column = *path;
+    pred.op = SimplePredicate::Op::kIn;
+    for (size_t i = 1; i < form.arguments().size(); ++i) {
+      auto literal = LiteralValue(*form.arguments()[i]);
+      if (!literal.has_value() || literal->is_null()) return std::nullopt;
+      pred.values.push_back(std::move(*literal));
+    }
+    return pred;
+  }
+  if (expr.expression_kind() != ExpressionKind::kCall) return std::nullopt;
+  const auto& call = static_cast<const CallExpression&>(expr);
+  auto op = ComparisonOp(call.function_name());
+  if (!op.has_value() || call.arguments().size() != 2) return std::nullopt;
+
+  auto left_path = ExpressionToColumnPath(*call.arguments()[0]);
+  auto right_literal = LiteralValue(*call.arguments()[1]);
+  if (left_path.has_value() && right_literal.has_value() &&
+      !right_literal->is_null()) {
+    return SimplePredicate{*left_path, *op, {std::move(*right_literal)}};
+  }
+  auto right_path = ExpressionToColumnPath(*call.arguments()[1]);
+  auto left_literal = LiteralValue(*call.arguments()[0]);
+  if (right_path.has_value() && left_literal.has_value() &&
+      !left_literal->is_null()) {
+    return SimplePredicate{*right_path, FlipOp(*op), {std::move(*left_literal)}};
+  }
+  return std::nullopt;
+}
+
+void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->expression_kind() == ExpressionKind::kSpecialForm) {
+    const auto& form = static_cast<const SpecialFormExpression&>(*expr);
+    if (form.form() == SpecialFormKind::kAnd) {
+      for (const ExprPtr& arg : form.arguments()) {
+        FlattenConjuncts(arg, out);
+      }
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  if (conjuncts.size() == 1) return conjuncts[0];
+  return SpecialFormExpression::Make(SpecialFormKind::kAnd, Type::Boolean(),
+                                     std::move(conjuncts));
+}
+
+}  // namespace presto

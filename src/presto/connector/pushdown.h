@@ -1,0 +1,85 @@
+#ifndef PRESTO_CONNECTOR_PUSHDOWN_H_
+#define PRESTO_CONNECTOR_PUSHDOWN_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "presto/expr/expression.h"
+#include "presto/types/value.h"
+
+namespace presto {
+
+/// Normalized single-column conjunct a connector can absorb: column (or
+/// dotted nested leaf path) OP literal(s). The planner converts pushable
+/// RowExpression conjuncts into this form; anything that does not normalize
+/// stays in the engine as a residual filter.
+struct SimplePredicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
+  std::string column;  // may be a dotted nested path, e.g. "base.city_id"
+  Op op = Op::kEq;
+  std::vector<Value> values;
+
+  std::string ToString() const;
+};
+
+/// One aggregation the engine would like the connector to compute
+/// (Section IV.B). Connector-side results are treated as PARTIAL aggregates:
+/// the engine still runs the final step, so multi-split sources stay correct.
+struct PushedAggregation {
+  std::string output_name;
+  std::string function;  // "count", "sum", "min", "max"
+  std::string argument;  // input column; empty for count(*)
+};
+
+/// What the engine would like pushed into the connector.
+struct PushdownRequest {
+  /// Projected columns in output order (projection pushdown).
+  std::vector<std::string> columns;
+  /// Nested leaf paths actually referenced (nested column pruning); empty
+  /// means whole columns.
+  std::vector<std::string> required_leaves;
+  /// Conjuncts of the WHERE clause in normalized form.
+  std::vector<SimplePredicate> predicates;
+  /// Row limit, -1 if none (limit pushdown).
+  int64_t limit = -1;
+  /// Aggregation pushdown: GROUP BY columns + aggregate functions.
+  std::vector<std::string> group_by;
+  std::vector<PushedAggregation> aggregations;
+};
+
+/// What the connector agreed to execute. `predicate_indices` lists which of
+/// the requested predicates were absorbed (the rest remain residual);
+/// `aggregations_pushed` set means the source emits
+/// group_by + aggregation columns instead of raw table columns.
+struct AcceptedPushdown {
+  PushdownRequest request;             // the absorbed subset
+  std::vector<size_t> predicate_indices;
+  bool limit_pushed = false;
+  bool aggregations_pushed = false;
+  /// ROW type of pages the source will produce (projection applied; when
+  /// aggregations_pushed: group keys followed by partial aggregate columns).
+  TypePtr output_schema;
+};
+
+/// Tries to normalize an expression conjunct into a SimplePredicate. The
+/// expression must be `col op literal`, `literal op col`, `col IN
+/// (literals)`, where col is a VariableReference possibly wrapped in
+/// DEREFERENCE chains (yielding a dotted path).
+std::optional<SimplePredicate> NormalizeConjunct(const RowExpression& expr);
+
+/// Splits an AND tree into conjuncts.
+void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Rebuilds an AND tree from conjuncts (nullptr if empty).
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+/// If `expr` is a variable or a DEREFERENCE chain over a variable, returns
+/// the dotted path ("base.city_id"); otherwise nullopt.
+std::optional<std::string> ExpressionToColumnPath(const RowExpression& expr);
+
+}  // namespace presto
+
+#endif  // PRESTO_CONNECTOR_PUSHDOWN_H_

@@ -1,0 +1,259 @@
+#include "presto/connectors/druid/druid_connector.h"
+
+#include <algorithm>
+
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+
+namespace {
+
+struct DruidSplit final : public ConnectorSplit {
+  std::string datasource;
+
+  std::string ToString() const override { return "druid[" + datasource + "]"; }
+};
+
+// Converts a DruidResult into a single Page (string payloads are moved,
+// not copied).
+Result<Page> ResultToPage(druid::DruidResult result) {
+  std::vector<VectorBuilder> builders;
+  builders.reserve(result.column_types.size());
+  for (const TypePtr& type : result.column_types) builders.emplace_back(type);
+  for (auto& row : result.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      RETURN_IF_ERROR(builders[c].Append(std::move(row[c])));
+    }
+  }
+  std::vector<VectorPtr> columns;
+  columns.reserve(builders.size());
+  for (auto& b : builders) columns.push_back(b.Build());
+  return Page(std::move(columns), result.rows.size());
+}
+
+class DruidPageSource final : public ConnectorPageSource {
+ public:
+  DruidPageSource(druid::DruidStore* store, druid::DruidQuery query)
+      : store_(store), query_(std::move(query)) {}
+
+  Result<std::optional<Page>> NextPage() override {
+    if (done_) return std::optional<Page>();
+    done_ = true;
+    ASSIGN_OR_RETURN(druid::DruidResult result, store_->Execute(query_));
+    if (result.rows.empty()) return std::optional<Page>();
+    ASSIGN_OR_RETURN(Page page, ResultToPage(std::move(result)));
+    return std::optional<Page>(std::move(page));
+  }
+
+ private:
+  druid::DruidStore* store_;
+  druid::DruidQuery query_;
+  bool done_ = false;
+};
+
+bool IsDimension(const druid::DatasourceSchema& schema, const std::string& name) {
+  return std::find(schema.dimensions.begin(), schema.dimensions.end(), name) !=
+         schema.dimensions.end();
+}
+
+bool IsMetric(const druid::DatasourceSchema& schema, const std::string& name) {
+  return std::find(schema.metrics.begin(), schema.metrics.end(), name) !=
+         schema.metrics.end();
+}
+
+// Builds the native query encoded by an accepted pushdown.
+Result<druid::DruidQuery> BuildQuery(const std::string& datasource,
+                                     const druid::DatasourceSchema& schema,
+                                     const AcceptedPushdown& pushdown) {
+  druid::DruidQuery query;
+  query.datasource = datasource;
+  for (const SimplePredicate& pred : pushdown.request.predicates) {
+    if (pred.column == "__time") {
+      for (const Value& v : pred.values) {
+        int64_t t = v.int_value();
+        switch (pred.op) {
+          case SimplePredicate::Op::kEq:
+            query.interval.start = std::max(query.interval.start, t);
+            query.interval.end = std::min(query.interval.end, t + 1);
+            break;
+          case SimplePredicate::Op::kGe:
+            query.interval.start = std::max(query.interval.start, t);
+            break;
+          case SimplePredicate::Op::kGt:
+            query.interval.start = std::max(query.interval.start, t + 1);
+            break;
+          case SimplePredicate::Op::kLt:
+            query.interval.end = std::min(query.interval.end, t);
+            break;
+          case SimplePredicate::Op::kLe:
+            query.interval.end = std::min(query.interval.end, t + 1);
+            break;
+          default:
+            return Status::Internal("unexpected accepted __time predicate");
+        }
+      }
+      continue;
+    }
+    druid::DimensionFilter filter;
+    filter.dimension = pred.column;
+    for (const Value& v : pred.values) {
+      filter.values.push_back(v.string_value());
+    }
+    query.filters.push_back(std::move(filter));
+  }
+  if (pushdown.aggregations_pushed) {
+    query.dimensions = pushdown.request.group_by;
+    for (const PushedAggregation& agg : pushdown.request.aggregations) {
+      druid::DruidAggregation native;
+      native.output_name = agg.output_name;
+      native.metric = agg.argument;
+      if (agg.function == "count") {
+        native.kind = druid::AggKind::kCount;
+      } else if (agg.function == "sum") {
+        native.kind = druid::AggKind::kSum;
+      } else if (agg.function == "min") {
+        native.kind = druid::AggKind::kMin;
+      } else if (agg.function == "max") {
+        native.kind = druid::AggKind::kMax;
+      } else {
+        return Status::Internal("unexpected accepted aggregation: " + agg.function);
+      }
+      query.aggregations.push_back(std::move(native));
+    }
+  } else {
+    query.scan_columns = pushdown.request.columns;
+  }
+  if (pushdown.limit_pushed) query.limit = pushdown.request.limit;
+  (void)schema;
+  return query;
+}
+
+}  // namespace
+
+std::vector<std::string> DruidConnector::ListTables(const std::string& schema) {
+  if (schema != "default") return {};
+  return store_->ListDatasources();
+}
+
+Result<TypePtr> DruidConnector::GetTableSchema(const std::string& schema,
+                                               const std::string& table) {
+  if (schema != "default") return Status::NotFound("no such schema: " + schema);
+  return store_->TableType(table);
+}
+
+Result<AcceptedPushdown> DruidConnector::NegotiatePushdown(
+    const std::string& schema, const std::string& table,
+    const PushdownRequest& desired) {
+  if (schema != "default") return Status::NotFound("no such schema: " + schema);
+  ASSIGN_OR_RETURN(druid::DatasourceSchema ds, store_->GetSchema(table));
+  AcceptedPushdown accepted;
+
+  // Predicate pushdown: dimension equality/IN (string literals) and __time
+  // ranges. Anything else stays residual in the engine.
+  for (size_t i = 0; i < desired.predicates.size(); ++i) {
+    const SimplePredicate& pred = desired.predicates[i];
+    bool ok = false;
+    if (pred.column == "__time") {
+      ok = pred.op != SimplePredicate::Op::kNe &&
+           pred.op != SimplePredicate::Op::kIn;
+      for (const Value& v : pred.values) ok = ok && v.is_int();
+    } else if (IsDimension(ds, pred.column)) {
+      ok = pred.op == SimplePredicate::Op::kEq ||
+           pred.op == SimplePredicate::Op::kIn;
+      for (const Value& v : pred.values) ok = ok && v.is_string();
+    }
+    if (ok) {
+      accepted.request.predicates.push_back(pred);
+      accepted.predicate_indices.push_back(i);
+    }
+  }
+
+  // Aggregation pushdown: group keys must be dimensions; functions must map
+  // to native Druid aggregators over metrics.
+  bool aggregations_ok = !desired.aggregations.empty() || !desired.group_by.empty();
+  if (desired.aggregations.empty() && desired.group_by.empty()) {
+    aggregations_ok = false;
+  }
+  for (const std::string& key : desired.group_by) {
+    if (!IsDimension(ds, key)) aggregations_ok = false;
+  }
+  for (const PushedAggregation& agg : desired.aggregations) {
+    if (agg.function == "count" && agg.argument.empty()) continue;
+    if ((agg.function == "sum" || agg.function == "min" ||
+         agg.function == "max") &&
+        IsMetric(ds, agg.argument)) {
+      continue;
+    }
+    aggregations_ok = false;
+  }
+  // Only push the aggregation when every filter went down too — otherwise
+  // the connector would aggregate unfiltered rows.
+  if (aggregations_ok &&
+      accepted.predicate_indices.size() == desired.predicates.size()) {
+    accepted.aggregations_pushed = true;
+    accepted.request.group_by = desired.group_by;
+    accepted.request.aggregations = desired.aggregations;
+    std::vector<std::string> names;
+    std::vector<TypePtr> types;
+    for (const std::string& key : desired.group_by) {
+      names.push_back(key);
+      types.push_back(Type::Varchar());
+    }
+    for (const PushedAggregation& agg : desired.aggregations) {
+      names.push_back(agg.output_name);
+      types.push_back(agg.function == "count" ? Type::Bigint() : Type::Double());
+    }
+    accepted.output_schema = Type::Row(std::move(names), std::move(types));
+  } else {
+    // Projection pushdown (scan).
+    ASSIGN_OR_RETURN(TypePtr table_type, store_->TableType(table));
+    accepted.request.columns = desired.columns;
+    std::vector<std::string> names;
+    std::vector<TypePtr> types;
+    for (const std::string& column : desired.columns) {
+      auto idx = table_type->FindField(column);
+      if (!idx.has_value()) return Status::NotFound("no such column: " + column);
+      names.push_back(column);
+      types.push_back(table_type->child(*idx));
+    }
+    accepted.output_schema = Type::Row(std::move(names), std::move(types));
+  }
+
+  // Limit pushdown: safe as an upper bound when all predicates went down.
+  if (desired.limit >= 0 &&
+      accepted.predicate_indices.size() == desired.predicates.size()) {
+    accepted.limit_pushed = true;
+    accepted.request.limit = desired.limit;
+  }
+  return accepted;
+}
+
+Result<std::vector<SplitPtr>> DruidConnector::CreateSplits(
+    const std::string& schema, const std::string& table,
+    const AcceptedPushdown& pushdown, size_t target_splits) {
+  (void)schema;
+  (void)pushdown;
+  (void)target_splits;
+  // One split per query: the store executes the whole native query itself
+  // (Druid brokers fan out internally).
+  auto split = std::make_shared<DruidSplit>();
+  split->datasource = table;
+  return std::vector<SplitPtr>{split};
+}
+
+Result<std::unique_ptr<ConnectorPageSource>> DruidConnector::CreatePageSource(
+    const SplitPtr& split, const AcceptedPushdown& pushdown) {
+  auto druid_split = std::dynamic_pointer_cast<const DruidSplit>(
+      std::shared_ptr<const ConnectorSplit>(split));
+  if (druid_split == nullptr) {
+    return Status::InvalidArgument("split is not a druid split");
+  }
+  ASSIGN_OR_RETURN(druid::DatasourceSchema ds,
+                   store_->GetSchema(druid_split->datasource));
+  ASSIGN_OR_RETURN(druid::DruidQuery query,
+                   BuildQuery(druid_split->datasource, ds, pushdown));
+  return std::unique_ptr<ConnectorPageSource>(
+      new DruidPageSource(store_, std::move(query)));
+}
+
+}  // namespace presto

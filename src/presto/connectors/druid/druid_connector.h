@@ -1,0 +1,49 @@
+#ifndef PRESTO_CONNECTORS_DRUID_DRUID_CONNECTOR_H_
+#define PRESTO_CONNECTORS_DRUID_DRUID_CONNECTOR_H_
+
+#include "presto/connector/connector.h"
+#include "presto/druid/druid_store.h"
+
+namespace presto {
+
+/// Presto-Druid connector (Sections IV.A/IV.B): exposes mini-Druid
+/// datasources as tables under schema "default" and pushes down
+///   * dimension equality/IN predicates (served by bitmap inverted indexes),
+///   * __time range predicates (segment pruning),
+///   * LIMIT,
+///   * count/sum/min/max aggregations with GROUP BY on dimensions —
+///     "only aggregated results are streamed into the Presto engine".
+/// Results of pushed aggregations are treated as partial aggregates by the
+/// engine, which runs the final step (cheap: a handful of rows).
+class DruidConnector : public Connector {
+ public:
+  explicit DruidConnector(druid::DruidStore* store) : store_(store) {}
+
+  std::string name() const override { return "druid"; }
+
+  std::vector<std::string> ListSchemas() override { return {"default"}; }
+  std::vector<std::string> ListTables(const std::string& schema) override;
+  Result<TypePtr> GetTableSchema(const std::string& schema,
+                                 const std::string& table) override;
+
+  Result<AcceptedPushdown> NegotiatePushdown(
+      const std::string& schema, const std::string& table,
+      const PushdownRequest& desired) override;
+
+  Result<std::vector<SplitPtr>> CreateSplits(const std::string& schema,
+                                             const std::string& table,
+                                             const AcceptedPushdown& pushdown,
+                                             size_t target_splits) override;
+
+  Result<std::unique_ptr<ConnectorPageSource>> CreatePageSource(
+      const SplitPtr& split, const AcceptedPushdown& pushdown) override;
+
+  druid::DruidStore* store() { return store_; }
+
+ private:
+  druid::DruidStore* store_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CONNECTORS_DRUID_DRUID_CONNECTOR_H_

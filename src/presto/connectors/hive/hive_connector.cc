@@ -1,0 +1,599 @@
+#include "presto/connectors/hive/hive_connector.h"
+
+#include <algorithm>
+
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& dotted) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= dotted.size()) {
+    size_t dot = dotted.find('.', start);
+    if (dot == std::string::npos) {
+      parts.push_back(dotted.substr(start));
+      break;
+    }
+    parts.push_back(dotted.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return parts;
+}
+
+// True when `dotted` names a non-repeated scalar leaf (structs-only path).
+bool IsScalarLeafPath(const TypePtr& row_type, const std::string& dotted) {
+  std::vector<std::string> parts = SplitPath(dotted);
+  const Type* node = row_type.get();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (node->kind() != TypeKind::kRow) return false;
+    auto idx = node->FindField(parts[i]);
+    if (!idx.has_value()) return false;
+    node = node->child(*idx).get();
+  }
+  return node->IsScalar();
+}
+
+lakefile::LeafPredicate::Op ToLeafOp(SimplePredicate::Op op) {
+  switch (op) {
+    case SimplePredicate::Op::kEq:
+      return lakefile::LeafPredicate::Op::kEq;
+    case SimplePredicate::Op::kNe:
+      return lakefile::LeafPredicate::Op::kNe;
+    case SimplePredicate::Op::kLt:
+      return lakefile::LeafPredicate::Op::kLt;
+    case SimplePredicate::Op::kLe:
+      return lakefile::LeafPredicate::Op::kLe;
+    case SimplePredicate::Op::kGt:
+      return lakefile::LeafPredicate::Op::kGt;
+    case SimplePredicate::Op::kGe:
+      return lakefile::LeafPredicate::Op::kGe;
+    case SimplePredicate::Op::kIn:
+      return lakefile::LeafPredicate::Op::kIn;
+  }
+  return lakefile::LeafPredicate::Op::kEq;
+}
+
+// Partition-value predicate evaluation (string compare semantics).
+bool PartitionMatches(const std::string& value, const SimplePredicate& pred) {
+  Value v = Value::String(value);
+  switch (pred.op) {
+    case SimplePredicate::Op::kEq:
+      return v.Compare(pred.values[0]) == 0;
+    case SimplePredicate::Op::kNe:
+      return v.Compare(pred.values[0]) != 0;
+    case SimplePredicate::Op::kLt:
+      return v.Compare(pred.values[0]) < 0;
+    case SimplePredicate::Op::kLe:
+      return v.Compare(pred.values[0]) <= 0;
+    case SimplePredicate::Op::kGt:
+      return v.Compare(pred.values[0]) > 0;
+    case SimplePredicate::Op::kGe:
+      return v.Compare(pred.values[0]) >= 0;
+    case SimplePredicate::Op::kIn:
+      for (const Value& candidate : pred.values) {
+        if (v.Compare(candidate) == 0) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+struct HiveSplit final : public ConnectorSplit {
+  std::string file_path;
+  std::string partition_column;  // empty = unpartitioned
+  std::string partition_value;
+  TypePtr table_schema;  // current table schema (files may be older)
+
+  std::string ToString() const override { return "hive[" + file_path + "]"; }
+};
+
+// Adapts a vector read under the file's (possibly older, possibly pruned)
+// schema to the target type: ROW fields missing in the file become all-NULL
+// children — the schema-evolution read rule.
+Result<VectorPtr> AdaptVector(const VectorPtr& actual, const TypePtr& target) {
+  if (actual->type()->Equals(*target)) return actual;
+  if (target->kind() != TypeKind::kRow ||
+      actual->type()->kind() != TypeKind::kRow) {
+    return Status::SchemaViolation("cannot adapt " + actual->type()->ToString() +
+                                   " to " + target->ToString());
+  }
+  ASSIGN_OR_RETURN(VectorPtr flat, Vector::Flatten(actual));
+  const auto* row = static_cast<const RowVector*>(flat.get());
+  size_t n = row->size();
+  std::vector<VectorPtr> children;
+  for (size_t f = 0; f < target->NumChildren(); ++f) {
+    const std::string& name = target->field_name(f);
+    auto idx = actual->type()->FindField(name);
+    if (!idx.has_value()) {
+      ASSIGN_OR_RETURN(VectorPtr nulls, MakeAllNullVector(target->child(f), n));
+      children.push_back(std::move(nulls));
+    } else {
+      ASSIGN_OR_RETURN(VectorPtr child,
+                       AdaptVector(row->child(*idx), target->child(f)));
+      children.push_back(std::move(child));
+    }
+  }
+  std::vector<uint8_t> nulls(n, 0);
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (row->IsNull(i)) {
+      nulls[i] = 1;
+      any = true;
+    }
+  }
+  if (!any) nulls.clear();
+  return VectorPtr(std::make_shared<RowVector>(target, n, std::move(children),
+                                               std::move(nulls)));
+}
+
+// -----------------------------------------------------------------------------
+// Page source
+// -----------------------------------------------------------------------------
+
+class HivePageSource final : public ConnectorPageSource {
+ public:
+  HivePageSource(HiveConnector* connector,
+                 std::shared_ptr<const HiveSplit> split,
+                 AcceptedPushdown pushdown)
+      : connector_(connector),
+        split_(std::move(split)),
+        pushdown_(std::move(pushdown)) {}
+
+  Result<std::optional<Page>> NextPage() override {
+    RETURN_IF_ERROR(EnsureOpen());
+    if (exhausted_) return std::optional<Page>();
+    while (true) {
+      std::optional<Page> raw;
+      if (legacy_reader_ != nullptr) {
+        ASSIGN_OR_RETURN(raw, legacy_reader_->NextBatch(file_columns_));
+      } else if (native_reader_ != nullptr) {
+        ASSIGN_OR_RETURN(raw, native_reader_->NextBatch(scan_spec_));
+      } else {
+        raw = std::nullopt;  // file contributes nothing (predicate on missing leaf)
+      }
+      if (!raw.has_value()) {
+        exhausted_ = true;
+        return std::optional<Page>();
+      }
+      if (raw->num_rows() == 0) continue;
+      ASSIGN_OR_RETURN(Page out, AssembleOutput(*raw));
+      if (limit_ >= 0) {
+        if (rows_emitted_ >= limit_) {
+          exhausted_ = true;
+          return std::optional<Page>();
+        }
+        if (rows_emitted_ + static_cast<int64_t>(out.num_rows()) > limit_) {
+          std::vector<int32_t> rows(limit_ - rows_emitted_);
+          for (size_t i = 0; i < rows.size(); ++i) {
+            rows[i] = static_cast<int32_t>(i);
+          }
+          out = out.SliceRows(rows);
+        }
+      }
+      rows_emitted_ += static_cast<int64_t>(out.num_rows());
+      return std::optional<Page>(std::move(out));
+    }
+  }
+
+ private:
+  Status EnsureOpen() {
+    if (opened_) return Status::OK();
+    opened_ = true;
+    const HiveConnectorOptions& options = connector_->options();
+    FileSystem* fs = connector_->file_system();
+    limit_ = pushdown_.limit_pushed ? pushdown_.request.limit : -1;
+
+    // File handle + footer via the worker cache.
+    std::shared_ptr<RandomAccessFile> file;
+    std::shared_ptr<const lakefile::FileFooter> footer;
+    if (options.enable_footer_cache) {
+      ASSIGN_OR_RETURN(file,
+                       connector_->footer_cache().OpenFile(fs, split_->file_path));
+      ASSIGN_OR_RETURN(footer, connector_->footer_cache().GetFooter(
+                                   fs, split_->file_path));
+    } else {
+      ASSIGN_OR_RETURN(file, fs->OpenForRead(split_->file_path));
+      ASSIGN_OR_RETURN(lakefile::FileFooter parsed,
+                       lakefile::ReadFooter(file.get()));
+      footer = std::make_shared<const lakefile::FileFooter>(std::move(parsed));
+    }
+    RETURN_IF_ERROR(
+        CheckReadCompatible(*split_->table_schema, *footer->schema));
+
+    // Which requested columns exist in the file (schema evolution).
+    for (const std::string& column : pushdown_.request.columns) {
+      if (column == split_->partition_column) continue;
+      if (footer->schema->FindField(column).has_value()) {
+        file_columns_.push_back(column);
+      }
+    }
+
+    if (options.use_legacy_reader) {
+      ASSIGN_OR_RETURN(legacy_reader_,
+                       lakefile::LegacyLakeFileReader::Open(file, footer));
+      return Status::OK();
+    }
+
+    // Native reader scan spec: prune leaves to those present in the file;
+    // predicates on leaves the file lacks mean no row can match.
+    ASSIGN_OR_RETURN(std::vector<lakefile::Leaf> file_leaves,
+                     lakefile::EnumerateLeaves(*footer->schema));
+    std::set<std::string> file_leaf_paths;
+    for (const auto& leaf : file_leaves) file_leaf_paths.insert(leaf.path);
+
+    for (const SimplePredicate& pred : pushdown_.request.predicates) {
+      if (pred.column == split_->partition_column) continue;
+      if (file_leaf_paths.count(pred.column) == 0) {
+        return Status::OK();  // reader stays null: zero rows from this file
+      }
+      lakefile::LeafPredicate leaf_pred;
+      leaf_pred.leaf_path = pred.column;
+      leaf_pred.op = ToLeafOp(pred.op);
+      leaf_pred.operands = pred.values;
+      scan_spec_.predicates.push_back(std::move(leaf_pred));
+    }
+    scan_spec_.columns = file_columns_;
+    for (const std::string& leaf : pushdown_.request.required_leaves) {
+      if (file_leaf_paths.count(leaf) > 0) {
+        scan_spec_.required_leaves.push_back(leaf);
+      }
+    }
+    ASSIGN_OR_RETURN(native_reader_, lakefile::NativeLakeFileReader::Open(
+                                         file, options.reader, footer));
+    return Status::OK();
+  }
+
+  // Maps the reader's output page to the requested output layout: inserts
+  // the partition column, null-fills missing columns, adapts pruned/evolved
+  // struct types.
+  Result<Page> AssembleOutput(const Page& raw) {
+    size_t n = raw.num_rows();
+    std::vector<VectorPtr> columns;
+    columns.reserve(pushdown_.request.columns.size());
+    for (size_t c = 0; c < pushdown_.request.columns.size(); ++c) {
+      const std::string& column = pushdown_.request.columns[c];
+      const TypePtr& target = pushdown_.output_schema->child(c);
+      if (column == split_->partition_column) {
+        ASSIGN_OR_RETURN(
+            VectorPtr part,
+            MakeConstantPartitionVector(split_->partition_value, n));
+        columns.push_back(std::move(part));
+        continue;
+      }
+      auto it = std::find(file_columns_.begin(), file_columns_.end(), column);
+      if (it == file_columns_.end()) {
+        ASSIGN_OR_RETURN(VectorPtr nulls, MakeAllNullVector(target, n));
+        columns.push_back(std::move(nulls));
+        continue;
+      }
+      size_t raw_index = static_cast<size_t>(it - file_columns_.begin());
+      ASSIGN_OR_RETURN(VectorPtr adapted,
+                       AdaptVector(raw.column(raw_index), target));
+      columns.push_back(std::move(adapted));
+    }
+    return Page(std::move(columns), n);
+  }
+
+  static Result<VectorPtr> MakeConstantPartitionVector(const std::string& value,
+                                                       size_t n) {
+    std::vector<std::string> values(n, value);
+    return MakeVarcharVector(std::move(values));
+  }
+
+  HiveConnector* connector_;
+  std::shared_ptr<const HiveSplit> split_;
+  AcceptedPushdown pushdown_;
+
+  bool opened_ = false;
+  bool exhausted_ = false;
+  std::vector<std::string> file_columns_;
+  lakefile::ScanSpec scan_spec_;
+  std::unique_ptr<lakefile::NativeLakeFileReader> native_reader_;
+  std::unique_ptr<lakefile::LegacyLakeFileReader> legacy_reader_;
+  int64_t limit_ = -1;
+  int64_t rows_emitted_ = 0;
+};
+
+}  // namespace
+
+// -----------------------------------------------------------------------------
+// HiveConnector
+// -----------------------------------------------------------------------------
+
+HiveConnector::HiveConnector(FileSystem* fs, std::string root,
+                             HiveConnectorOptions options)
+    : fs_(fs), root_(std::move(root)), options_(options) {}
+
+std::string HiveConnector::TableDir(const std::string& schema,
+                                    const std::string& table) const {
+  return root_ + "/" + schema + "/" + table;
+}
+
+Result<HiveConnector::TableMeta*> HiveConnector::FindTableLocked(
+    const std::string& schema, const std::string& table) {
+  auto s = tables_.find(schema);
+  if (s == tables_.end()) return Status::NotFound("no such schema: " + schema);
+  auto t = s->second.find(table);
+  if (t == s->second.end()) {
+    return Status::NotFound("no such table: " + schema + "." + table);
+  }
+  return &t->second;
+}
+
+Status HiveConnector::CreateTable(const std::string& schema,
+                                  const std::string& table, TypePtr row_type,
+                                  const std::string& partition_column) {
+  if (row_type == nullptr || row_type->kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("table type must be a ROW type");
+  }
+  if (!partition_column.empty()) {
+    auto idx = row_type->FindField(partition_column);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument("partition column not in schema: " +
+                                     partition_column);
+    }
+    if (row_type->child(*idx)->kind() != TypeKind::kVarchar) {
+      return Status::InvalidArgument("partition column must be VARCHAR");
+    }
+  }
+  RETURN_IF_ERROR(schema_registry_.RegisterTable(schema + "." + table, row_type));
+  std::lock_guard<std::mutex> lock(mu_);
+  TableMeta meta;
+  meta.partition_column = partition_column;
+  tables_[schema][table] = std::move(meta);
+  return Status::OK();
+}
+
+Status HiveConnector::EvolveSchema(const std::string& schema,
+                                   const std::string& table, TypePtr new_type) {
+  return schema_registry_.EvolveTable(schema + "." + table, std::move(new_type));
+}
+
+Status HiveConnector::WriteDataFile(const std::string& schema,
+                                    const std::string& table,
+                                    const std::string& partition_value,
+                                    const std::vector<Page>& pages,
+                                    lakefile::WriterOptions writer_options,
+                                    lakefile::WriterMode writer_mode,
+                                    TypePtr file_schema) {
+  std::string partition_column;
+  int64_t file_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ASSIGN_OR_RETURN(TableMeta * meta, FindTableLocked(schema, table));
+    partition_column = meta->partition_column;
+    if (partition_column.empty() && !partition_value.empty()) {
+      return Status::InvalidArgument("table is not partitioned");
+    }
+    if (!partition_column.empty() && partition_value.empty()) {
+      return Status::InvalidArgument("partition value required");
+    }
+    file_id = meta->next_file_id++;
+    // New partitions default to sealed; near-real-time partitions are
+    // explicitly opened via SetPartitionSealed(..., false).
+    meta->partition_sealed.emplace(partition_value, true);
+  }
+  if (file_schema == nullptr) {
+    ASSIGN_OR_RETURN(file_schema,
+                     schema_registry_.CurrentSchema(schema + "." + table));
+  }
+  // The partition column is encoded in the directory name, not the file:
+  // drop it from the file schema.
+  TypePtr on_disk = file_schema;
+  std::optional<size_t> partition_index;
+  if (!partition_column.empty()) {
+    partition_index = file_schema->FindField(partition_column);
+    if (partition_index.has_value()) {
+      std::vector<std::string> names;
+      std::vector<TypePtr> types;
+      for (size_t i = 0; i < file_schema->NumChildren(); ++i) {
+        if (i == *partition_index) continue;
+        names.push_back(file_schema->field_name(i));
+        types.push_back(file_schema->child(i));
+      }
+      on_disk = Type::Row(std::move(names), std::move(types));
+    }
+  }
+  std::vector<Page> on_disk_pages;
+  for (const Page& page : pages) {
+    if (partition_index.has_value()) {
+      std::vector<VectorPtr> columns;
+      for (size_t i = 0; i < page.num_columns(); ++i) {
+        if (i == *partition_index) continue;
+        columns.push_back(page.column(i));
+      }
+      on_disk_pages.emplace_back(std::move(columns), page.num_rows());
+    } else {
+      on_disk_pages.push_back(page);
+    }
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                   lakefile::WriteLakeFile(on_disk, on_disk_pages,
+                                           writer_options, writer_mode));
+  std::string dir = TableDir(schema, table);
+  if (!partition_column.empty()) {
+    dir += "/" + partition_column + "=" + partition_value;
+  }
+  std::string path = dir + "/part-" + std::to_string(file_id) + ".lake";
+  RETURN_IF_ERROR(fs_->WriteFile(path, bytes));
+  file_list_cache_.Invalidate(dir);
+  file_list_cache_.Invalidate(TableDir(schema, table));  // partition set changed
+  footer_cache_.Invalidate(path);
+  return Status::OK();
+}
+
+Status HiveConnector::SetPartitionSealed(const std::string& schema,
+                                         const std::string& table,
+                                         const std::string& partition_value,
+                                         bool sealed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(TableMeta * meta, FindTableLocked(schema, table));
+  meta->partition_sealed[partition_value] = sealed;
+  return Status::OK();
+}
+
+std::vector<std::string> HiveConnector::ListSchemas() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, tables] : tables_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> HiveConnector::ListTables(const std::string& schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  auto s = tables_.find(schema);
+  if (s == tables_.end()) return out;
+  for (const auto& [name, meta] : s->second) out.push_back(name);
+  return out;
+}
+
+Result<TypePtr> HiveConnector::GetTableSchema(const std::string& schema,
+                                              const std::string& table) {
+  return schema_registry_.CurrentSchema(schema + "." + table);
+}
+
+Result<AcceptedPushdown> HiveConnector::NegotiatePushdown(
+    const std::string& schema, const std::string& table,
+    const PushdownRequest& desired) {
+  ASSIGN_OR_RETURN(TypePtr row_type, GetTableSchema(schema, table));
+  std::string partition_column;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ASSIGN_OR_RETURN(TableMeta * meta, FindTableLocked(schema, table));
+    partition_column = meta->partition_column;
+  }
+
+  AcceptedPushdown accepted;
+  accepted.request.columns = desired.columns;
+
+  bool legacy = options_.use_legacy_reader;
+  if (!legacy) {
+    // Predicates: partition column, or non-repeated scalar leaf paths.
+    for (size_t i = 0; i < desired.predicates.size(); ++i) {
+      const SimplePredicate& pred = desired.predicates[i];
+      bool pushable = false;
+      if (!partition_column.empty() && pred.column == partition_column) {
+        pushable = true;
+        for (const Value& v : pred.values) pushable = pushable && v.is_string();
+      } else if (IsScalarLeafPath(row_type, pred.column)) {
+        pushable = true;
+      }
+      if (pushable) {
+        accepted.request.predicates.push_back(pred);
+        accepted.predicate_indices.push_back(i);
+      }
+    }
+    accepted.request.required_leaves = desired.required_leaves;
+    if (desired.limit >= 0 &&
+        accepted.predicate_indices.size() == desired.predicates.size()) {
+      accepted.limit_pushed = true;
+      accepted.request.limit = desired.limit;
+    }
+  }
+
+  // Output schema keeps the FULL table column types: nested column pruning
+  // is an I/O optimization inside the reader, and the page source null-fills
+  // pruned-away struct fields so upstream dereference indices stay valid.
+  std::vector<std::string> names;
+  std::vector<TypePtr> types;
+  for (const std::string& column : desired.columns) {
+    auto idx = row_type->FindField(column);
+    if (!idx.has_value()) return Status::NotFound("no such column: " + column);
+    names.push_back(column);
+    types.push_back(row_type->child(*idx));
+  }
+  accepted.output_schema = Type::Row(std::move(names), std::move(types));
+  return accepted;
+}
+
+Result<std::vector<SplitPtr>> HiveConnector::CreateSplits(
+    const std::string& schema, const std::string& table,
+    const AcceptedPushdown& pushdown, size_t target_splits) {
+  (void)target_splits;  // one split per file
+  ASSIGN_OR_RETURN(TypePtr row_type, GetTableSchema(schema, table));
+  std::string partition_column;
+  std::map<std::string, bool> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ASSIGN_OR_RETURN(TableMeta * meta, FindTableLocked(schema, table));
+    partition_column = meta->partition_column;
+    sealed = meta->partition_sealed;
+  }
+  std::string table_dir = TableDir(schema, table);
+
+  // Enumerate partitions (or the bare table directory).
+  struct PartitionRef {
+    std::string dir;
+    std::string value;
+  };
+  std::vector<PartitionRef> partitions;
+  if (partition_column.empty()) {
+    partitions.push_back({table_dir, ""});
+  } else {
+    // Partition enumeration also goes through the file-list cache: the set
+    // of partition directories only changes on writes, which invalidate the
+    // table-dir entry, so cached listings stay fresh.
+    ASSIGN_OR_RETURN(
+        std::shared_ptr<const std::vector<FileInfo>> entries_ptr,
+        file_list_cache_.List(fs_, table_dir,
+                              /*sealed=*/options_.enable_file_list_cache));
+    const std::vector<FileInfo>& entries = *entries_ptr;
+    std::string prefix = partition_column + "=";
+    for (const FileInfo& entry : entries) {
+      if (!entry.is_directory) continue;
+      std::string dirname = entry.path.substr(entry.path.rfind('/') + 1);
+      if (dirname.rfind(prefix, 0) != 0) continue;
+      std::string value = dirname.substr(prefix.size());
+      // Partition pruning against pushed partition-column predicates.
+      bool keep = true;
+      for (const SimplePredicate& pred : pushdown.request.predicates) {
+        if (pred.column == partition_column && !PartitionMatches(value, pred)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) partitions.push_back({entry.path, value});
+    }
+  }
+
+  std::vector<SplitPtr> splits;
+  for (const PartitionRef& partition : partitions) {
+    auto sealed_it = sealed.find(partition.value);
+    bool is_sealed = sealed_it != sealed.end() && sealed_it->second;
+    Result<std::shared_ptr<const std::vector<FileInfo>>> files =
+        options_.enable_file_list_cache
+            ? file_list_cache_.List(fs_, partition.dir, is_sealed)
+            : file_list_cache_.List(fs_, partition.dir, /*sealed=*/false);
+    if (!files.ok()) {
+      if (files.status().code() == StatusCode::kNotFound) continue;
+      return files.status();
+    }
+    for (const FileInfo& info : **files) {
+      if (info.is_directory) continue;
+      auto split = std::make_shared<HiveSplit>();
+      split->file_path = info.path;
+      split->partition_column = partition_column;
+      split->partition_value = partition.value;
+      split->table_schema = row_type;
+      splits.push_back(std::move(split));
+    }
+  }
+  return splits;
+}
+
+Result<std::unique_ptr<ConnectorPageSource>> HiveConnector::CreatePageSource(
+    const SplitPtr& split, const AcceptedPushdown& pushdown) {
+  auto hive_split = std::dynamic_pointer_cast<const HiveSplit>(
+      std::shared_ptr<const ConnectorSplit>(split));
+  if (hive_split == nullptr) {
+    return Status::InvalidArgument("split is not a hive split");
+  }
+  return std::unique_ptr<ConnectorPageSource>(
+      new HivePageSource(this, std::move(hive_split), pushdown));
+}
+
+}  // namespace presto

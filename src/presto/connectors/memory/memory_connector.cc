@@ -1,0 +1,193 @@
+#include "presto/connectors/memory/memory_connector.h"
+
+namespace presto {
+
+namespace {
+
+struct MemorySplit final : public ConnectorSplit {
+  std::shared_ptr<const std::vector<Page>> pages;
+  size_t begin = 0;
+  size_t end = 0;
+  TypePtr row_type;
+
+  std::string ToString() const override {
+    return "memory[pages " + std::to_string(begin) + ".." + std::to_string(end) + ")";
+  }
+};
+
+class MemoryPageSource final : public ConnectorPageSource {
+ public:
+  MemoryPageSource(std::shared_ptr<const MemorySplit> split,
+                   std::vector<int> projection, int64_t limit)
+      : split_(std::move(split)),
+        projection_(std::move(projection)),
+        limit_(limit),
+        next_(split_->begin) {}
+
+  Result<std::optional<Page>> NextPage() override {
+    while (next_ < split_->end) {
+      const Page& page = (*split_->pages)[next_++];
+      if (page.num_rows() == 0) continue;
+      std::vector<VectorPtr> columns;
+      columns.reserve(projection_.size());
+      for (int c : projection_) columns.push_back(page.column(c));
+      Page out(std::move(columns), page.num_rows());
+      if (limit_ >= 0) {
+        if (rows_emitted_ >= limit_) return std::optional<Page>();
+        if (rows_emitted_ + static_cast<int64_t>(out.num_rows()) > limit_) {
+          std::vector<int32_t> rows(limit_ - rows_emitted_);
+          for (size_t i = 0; i < rows.size(); ++i) {
+            rows[i] = static_cast<int32_t>(i);
+          }
+          out = out.SliceRows(rows);
+        }
+      }
+      rows_emitted_ += static_cast<int64_t>(out.num_rows());
+      return std::optional<Page>(std::move(out));
+    }
+    return std::optional<Page>();
+  }
+
+ private:
+  std::shared_ptr<const MemorySplit> split_;
+  std::vector<int> projection_;
+  int64_t limit_;
+  size_t next_;
+  int64_t rows_emitted_ = 0;
+};
+
+}  // namespace
+
+Status MemoryConnector::CreateTable(const std::string& schema,
+                                    const std::string& table, TypePtr row_type) {
+  if (row_type == nullptr || row_type->kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("table type must be a ROW type");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schemas_[schema].count(table) > 0) {
+    return Status::AlreadyExists("table exists: " + schema + "." + table);
+  }
+  auto t = std::make_shared<Table>();
+  t->row_type = std::move(row_type);
+  schemas_[schema][table] = std::move(t);
+  return Status::OK();
+}
+
+Status MemoryConnector::AppendPage(const std::string& schema,
+                                   const std::string& table, Page page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto s = schemas_.find(schema);
+  if (s == schemas_.end() || s->second.count(table) == 0) {
+    return Status::NotFound("no such table: " + schema + "." + table);
+  }
+  Table& t = *s->second[table];
+  if (page.num_columns() != t.row_type->NumChildren()) {
+    return Status::InvalidArgument("page width does not match table schema");
+  }
+  t.pages.push_back(std::move(page));
+  return Status::OK();
+}
+
+std::vector<std::string> MemoryConnector::ListSchemas() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, tables] : schemas_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MemoryConnector::ListTables(const std::string& schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  auto s = schemas_.find(schema);
+  if (s == schemas_.end()) return out;
+  for (const auto& [name, table] : s->second) out.push_back(name);
+  return out;
+}
+
+Result<TypePtr> MemoryConnector::GetTableSchema(const std::string& schema,
+                                                const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto s = schemas_.find(schema);
+  if (s == schemas_.end() || s->second.count(table) == 0) {
+    return Status::NotFound("no such table: " + schema + "." + table);
+  }
+  return s->second[table]->row_type;
+}
+
+Result<AcceptedPushdown> MemoryConnector::NegotiatePushdown(
+    const std::string& schema, const std::string& table,
+    const PushdownRequest& desired) {
+  ASSIGN_OR_RETURN(TypePtr row_type, GetTableSchema(schema, table));
+  AcceptedPushdown accepted;
+  accepted.request.columns = desired.columns;
+  // Filters can only be applied above; a limit alone is a valid upper bound.
+  accepted.limit_pushed = desired.limit >= 0 && desired.predicates.empty();
+  accepted.request.limit = accepted.limit_pushed ? desired.limit : -1;
+  std::vector<std::string> names;
+  std::vector<TypePtr> types;
+  for (const std::string& column : desired.columns) {
+    auto idx = row_type->FindField(column);
+    if (!idx.has_value()) {
+      return Status::NotFound("no such column: " + column);
+    }
+    names.push_back(column);
+    types.push_back(row_type->child(*idx));
+  }
+  accepted.output_schema = Type::Row(std::move(names), std::move(types));
+  return accepted;
+}
+
+Result<std::vector<SplitPtr>> MemoryConnector::CreateSplits(
+    const std::string& schema, const std::string& table,
+    const AcceptedPushdown& pushdown, size_t target_splits) {
+  (void)pushdown;
+  std::shared_ptr<Table> t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto s = schemas_.find(schema);
+    if (s == schemas_.end() || s->second.count(table) == 0) {
+      return Status::NotFound("no such table: " + schema + "." + table);
+    }
+    t = s->second[table];
+  }
+  auto pages = std::make_shared<const std::vector<Page>>(t->pages);
+  size_t n = pages->size();
+  if (target_splits == 0) target_splits = 1;
+  size_t per_split = std::max<size_t>(1, (n + target_splits - 1) / target_splits);
+  std::vector<SplitPtr> splits;
+  for (size_t begin = 0; begin < n; begin += per_split) {
+    auto split = std::make_shared<MemorySplit>();
+    split->pages = pages;
+    split->begin = begin;
+    split->end = std::min(n, begin + per_split);
+    split->row_type = t->row_type;
+    splits.push_back(std::move(split));
+  }
+  if (splits.empty()) {
+    // Empty table still yields one (empty) split so readers see the schema.
+    auto split = std::make_shared<MemorySplit>();
+    split->pages = pages;
+    split->row_type = t->row_type;
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+Result<std::unique_ptr<ConnectorPageSource>> MemoryConnector::CreatePageSource(
+    const SplitPtr& split, const AcceptedPushdown& pushdown) {
+  auto memory_split = std::dynamic_pointer_cast<const MemorySplit>(
+      std::shared_ptr<const ConnectorSplit>(split));
+  if (memory_split == nullptr) {
+    return Status::InvalidArgument("split is not a memory split");
+  }
+  std::vector<int> projection;
+  for (const std::string& column : pushdown.request.columns) {
+    auto idx = memory_split->row_type->FindField(column);
+    if (!idx.has_value()) return Status::NotFound("no such column: " + column);
+    projection.push_back(static_cast<int>(*idx));
+  }
+  return std::unique_ptr<ConnectorPageSource>(new MemoryPageSource(
+      std::move(memory_split), std::move(projection), pushdown.request.limit));
+}
+
+}  // namespace presto

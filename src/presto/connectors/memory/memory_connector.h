@@ -1,0 +1,53 @@
+#ifndef PRESTO_CONNECTORS_MEMORY_MEMORY_CONNECTOR_H_
+#define PRESTO_CONNECTORS_MEMORY_MEMORY_CONNECTOR_H_
+
+#include <map>
+#include <mutex>
+
+#include "presto/connector/connector.h"
+
+namespace presto {
+
+/// In-memory table connector: the simplest connector (projection and limit
+/// pushdown only — filtering and aggregation stay in the engine). Used for
+/// quickstarts, tests, and as the baseline "no pushdown support" connector
+/// in ablation benches.
+class MemoryConnector : public Connector {
+ public:
+  std::string name() const override { return "memory"; }
+
+  Status CreateTable(const std::string& schema, const std::string& table,
+                     TypePtr row_type);
+  Status AppendPage(const std::string& schema, const std::string& table,
+                    Page page);
+
+  std::vector<std::string> ListSchemas() override;
+  std::vector<std::string> ListTables(const std::string& schema) override;
+  Result<TypePtr> GetTableSchema(const std::string& schema,
+                                 const std::string& table) override;
+
+  Result<AcceptedPushdown> NegotiatePushdown(
+      const std::string& schema, const std::string& table,
+      const PushdownRequest& desired) override;
+
+  Result<std::vector<SplitPtr>> CreateSplits(const std::string& schema,
+                                             const std::string& table,
+                                             const AcceptedPushdown& pushdown,
+                                             size_t target_splits) override;
+
+  Result<std::unique_ptr<ConnectorPageSource>> CreatePageSource(
+      const SplitPtr& split, const AcceptedPushdown& pushdown) override;
+
+ private:
+  struct Table {
+    TypePtr row_type;
+    std::vector<Page> pages;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, std::shared_ptr<Table>>> schemas_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CONNECTORS_MEMORY_MEMORY_CONNECTOR_H_

@@ -1,0 +1,136 @@
+#include "presto/connectors/mysql/mysql_connector.h"
+
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+
+namespace {
+
+struct MySqlSplit final : public ConnectorSplit {
+  std::string schema;
+  std::string table;
+
+  std::string ToString() const override {
+    return "mysql[" + schema + "." + table + "]";
+  }
+};
+
+mysqlite::CompareOp ToMySqlOp(SimplePredicate::Op op) {
+  switch (op) {
+    case SimplePredicate::Op::kEq:
+      return mysqlite::CompareOp::kEq;
+    case SimplePredicate::Op::kNe:
+      return mysqlite::CompareOp::kNe;
+    case SimplePredicate::Op::kLt:
+      return mysqlite::CompareOp::kLt;
+    case SimplePredicate::Op::kLe:
+      return mysqlite::CompareOp::kLe;
+    case SimplePredicate::Op::kGt:
+      return mysqlite::CompareOp::kGt;
+    case SimplePredicate::Op::kGe:
+      return mysqlite::CompareOp::kGe;
+    case SimplePredicate::Op::kIn:
+      return mysqlite::CompareOp::kIn;
+  }
+  return mysqlite::CompareOp::kEq;
+}
+
+class MySqlPageSource final : public ConnectorPageSource {
+ public:
+  MySqlPageSource(mysqlite::MySqlLite* db, std::string schema, std::string table,
+                  mysqlite::ScanRequest request)
+      : db_(db),
+        schema_(std::move(schema)),
+        table_(std::move(table)),
+        request_(std::move(request)) {}
+
+  Result<std::optional<Page>> NextPage() override {
+    if (done_) return std::optional<Page>();
+    done_ = true;
+    ASSIGN_OR_RETURN(mysqlite::ScanResult result,
+                     db_->Scan(schema_, table_, request_));
+    if (result.rows.empty()) return std::optional<Page>();
+    std::vector<VectorBuilder> builders;
+    for (const TypePtr& type : result.column_types) builders.emplace_back(type);
+    for (auto& row : result.rows) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        RETURN_IF_ERROR(builders[c].Append(std::move(row[c])));
+      }
+    }
+    std::vector<VectorPtr> columns;
+    for (auto& b : builders) columns.push_back(b.Build());
+    return std::optional<Page>(Page(std::move(columns), result.rows.size()));
+  }
+
+ private:
+  mysqlite::MySqlLite* db_;
+  std::string schema_;
+  std::string table_;
+  mysqlite::ScanRequest request_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Result<AcceptedPushdown> MySqlConnector::NegotiatePushdown(
+    const std::string& schema, const std::string& table,
+    const PushdownRequest& desired) {
+  ASSIGN_OR_RETURN(TypePtr row_type, db_->TableType(schema, table));
+  AcceptedPushdown accepted;
+  accepted.request.columns = desired.columns;
+  // All scalar-column comparisons can run server-side.
+  for (size_t i = 0; i < desired.predicates.size(); ++i) {
+    const SimplePredicate& pred = desired.predicates[i];
+    if (row_type->FindField(pred.column).has_value()) {
+      accepted.request.predicates.push_back(pred);
+      accepted.predicate_indices.push_back(i);
+    }
+  }
+  if (desired.limit >= 0 &&
+      accepted.predicate_indices.size() == desired.predicates.size()) {
+    accepted.limit_pushed = true;
+    accepted.request.limit = desired.limit;
+  }
+  std::vector<std::string> names;
+  std::vector<TypePtr> types;
+  for (const std::string& column : desired.columns) {
+    auto idx = row_type->FindField(column);
+    if (!idx.has_value()) return Status::NotFound("no such column: " + column);
+    names.push_back(column);
+    types.push_back(row_type->child(*idx));
+  }
+  accepted.output_schema = Type::Row(std::move(names), std::move(types));
+  return accepted;
+}
+
+Result<std::vector<SplitPtr>> MySqlConnector::CreateSplits(
+    const std::string& schema, const std::string& table,
+    const AcceptedPushdown& pushdown, size_t target_splits) {
+  (void)pushdown;
+  (void)target_splits;
+  auto split = std::make_shared<MySqlSplit>();
+  split->schema = schema;
+  split->table = table;
+  return std::vector<SplitPtr>{split};
+}
+
+Result<std::unique_ptr<ConnectorPageSource>> MySqlConnector::CreatePageSource(
+    const SplitPtr& split, const AcceptedPushdown& pushdown) {
+  auto mysql_split = std::dynamic_pointer_cast<const MySqlSplit>(
+      std::shared_ptr<const ConnectorSplit>(split));
+  if (mysql_split == nullptr) {
+    return Status::InvalidArgument("split is not a mysql split");
+  }
+  mysqlite::ScanRequest request;
+  request.columns = pushdown.request.columns;
+  for (const SimplePredicate& pred : pushdown.request.predicates) {
+    request.predicates.push_back(
+        mysqlite::ColumnPredicate{pred.column, ToMySqlOp(pred.op), pred.values});
+  }
+  if (pushdown.limit_pushed) request.limit = pushdown.request.limit;
+  return std::unique_ptr<ConnectorPageSource>(
+      new MySqlPageSource(db_, mysql_split->schema, mysql_split->table,
+                          std::move(request)));
+}
+
+}  // namespace presto

@@ -1,0 +1,48 @@
+#ifndef PRESTO_CONNECTORS_MYSQL_MYSQL_CONNECTOR_H_
+#define PRESTO_CONNECTORS_MYSQL_MYSQL_CONNECTOR_H_
+
+#include "presto/connector/connector.h"
+#include "presto/mysqlite/mysqlite.h"
+
+namespace presto {
+
+/// Presto-MySQL connector: "users could join Hadoop data with MySQL data
+/// using Presto-Hive-connector and Presto-MySQL-connector, no need to copy
+/// any data" (Section IV.A). Pushes projections, predicates, and limits into
+/// the row store's scan API; joins and aggregations stay in the engine.
+class MySqlConnector : public Connector {
+ public:
+  explicit MySqlConnector(mysqlite::MySqlLite* db) : db_(db) {}
+
+  std::string name() const override { return "mysql"; }
+
+  std::vector<std::string> ListSchemas() override { return db_->ListSchemas(); }
+  std::vector<std::string> ListTables(const std::string& schema) override {
+    return db_->ListTables(schema);
+  }
+  Result<TypePtr> GetTableSchema(const std::string& schema,
+                                 const std::string& table) override {
+    return db_->TableType(schema, table);
+  }
+
+  Result<AcceptedPushdown> NegotiatePushdown(
+      const std::string& schema, const std::string& table,
+      const PushdownRequest& desired) override;
+
+  Result<std::vector<SplitPtr>> CreateSplits(const std::string& schema,
+                                             const std::string& table,
+                                             const AcceptedPushdown& pushdown,
+                                             size_t target_splits) override;
+
+  Result<std::unique_ptr<ConnectorPageSource>> CreatePageSource(
+      const SplitPtr& split, const AcceptedPushdown& pushdown) override;
+
+  mysqlite::MySqlLite* db() { return db_; }
+
+ private:
+  mysqlite::MySqlLite* db_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CONNECTORS_MYSQL_MYSQL_CONNECTOR_H_

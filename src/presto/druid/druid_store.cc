@@ -1,0 +1,416 @@
+#include "presto/druid/druid_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "presto/common/hash.h"
+
+namespace presto {
+namespace druid {
+
+namespace {
+
+struct RollupKey {
+  int64_t bucket;
+  std::vector<std::string> dims;
+
+  bool operator==(const RollupKey& other) const {
+    return bucket == other.bucket && dims == other.dims;
+  }
+};
+
+struct RollupKeyHash {
+  size_t operator()(const RollupKey& key) const {
+    uint64_t h = HashMix64(static_cast<uint64_t>(key.bucket));
+    for (const std::string& d : key.dims) h = HashCombine(h, HashString(d));
+    return static_cast<size_t>(h);
+  }
+};
+
+int64_t FloorBucket(int64_t ts, int64_t granularity) {
+  int64_t b = ts / granularity;
+  if (ts < 0 && ts % granularity != 0) --b;
+  return b * granularity;
+}
+
+}  // namespace
+
+Status DruidStore::CreateDatasource(const std::string& name,
+                                    DatasourceSchema schema) {
+  if (schema.granularity_millis <= 0) {
+    return Status::InvalidArgument("granularity must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (datasources_.count(name) > 0) {
+    return Status::AlreadyExists("datasource exists: " + name);
+  }
+  datasources_[name] = Datasource{std::move(schema), {}};
+  return Status::OK();
+}
+
+Status DruidStore::Ingest(const std::string& name,
+                          const std::vector<DruidRow>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasources_.find(name);
+  if (it == datasources_.end()) {
+    return Status::NotFound("no such datasource: " + name);
+  }
+  const DatasourceSchema& schema = it->second.schema;
+
+  // Rollup: collapse events sharing (time bucket, dims).
+  struct Accum {
+    std::vector<double> sums;
+    int64_t count = 0;
+  };
+  std::unordered_map<RollupKey, Accum, RollupKeyHash> rollup;
+  for (const DruidRow& row : rows) {
+    if (row.dimensions.size() != schema.dimensions.size() ||
+        row.metrics.size() != schema.metrics.size()) {
+      return Status::InvalidArgument("row shape does not match schema");
+    }
+    RollupKey key{FloorBucket(row.timestamp, schema.granularity_millis),
+                  row.dimensions};
+    Accum& acc = rollup[key];
+    if (acc.sums.empty()) acc.sums.resize(schema.metrics.size(), 0);
+    for (size_t m = 0; m < row.metrics.size(); ++m) {
+      acc.sums[m] += row.metrics[m];
+    }
+    ++acc.count;
+  }
+  metrics_.Increment("druid.events_ingested", static_cast<int64_t>(rows.size()));
+  metrics_.Increment("druid.rows_after_rollup", static_cast<int64_t>(rollup.size()));
+
+  // Deterministic segment order: sort rolled-up rows by (time, dims).
+  std::vector<std::pair<RollupKey, Accum>> sorted(
+      std::make_move_iterator(rollup.begin()), std::make_move_iterator(rollup.end()));
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.first.bucket != b.first.bucket) return a.first.bucket < b.first.bucket;
+    return a.first.dims < b.first.dims;
+  });
+
+  auto segment = std::make_shared<Segment>();
+  size_t n = sorted.size();
+  segment->num_rows = n;
+  segment->time.reserve(n);
+  segment->dim_codes.assign(schema.dimensions.size(), {});
+  segment->dim_dicts.assign(schema.dimensions.size(), {});
+  segment->dim_inverted.assign(schema.dimensions.size(), {});
+  segment->metric_values.assign(schema.metrics.size(), {});
+  segment->rollup_counts.reserve(n);
+
+  // Build sorted dictionaries per dimension.
+  for (size_t d = 0; d < schema.dimensions.size(); ++d) {
+    std::vector<std::string> values;
+    values.reserve(n);
+    for (const auto& [key, acc] : sorted) values.push_back(key.dims[d]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    segment->dim_dicts[d] = std::move(values);
+    segment->dim_inverted[d].assign(segment->dim_dicts[d].size(), {});
+    segment->dim_codes[d].reserve(n);
+  }
+
+  for (size_t r = 0; r < n; ++r) {
+    const auto& [key, acc] = sorted[r];
+    segment->time.push_back(key.bucket);
+    for (size_t d = 0; d < schema.dimensions.size(); ++d) {
+      const auto& dict = segment->dim_dicts[d];
+      int32_t code = static_cast<int32_t>(
+          std::lower_bound(dict.begin(), dict.end(), key.dims[d]) - dict.begin());
+      segment->dim_codes[d].push_back(code);
+      segment->dim_inverted[d][code].push_back(static_cast<int32_t>(r));
+    }
+    for (size_t m = 0; m < schema.metrics.size(); ++m) {
+      segment->metric_values[m].push_back(acc.sums[m]);
+    }
+    segment->rollup_counts.push_back(acc.count);
+  }
+  if (n > 0) {
+    segment->min_time = segment->time.front();
+    segment->max_time = segment->time.back();
+  }
+  it->second.segments.push_back(std::move(segment));
+  return Status::OK();
+}
+
+Result<DatasourceSchema> DruidStore::GetSchema(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasources_.find(name);
+  if (it == datasources_.end()) {
+    return Status::NotFound("no such datasource: " + name);
+  }
+  return it->second.schema;
+}
+
+std::vector<std::string> DruidStore::ListDatasources() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, ds] : datasources_) out.push_back(name);
+  return out;
+}
+
+Result<TypePtr> DruidStore::TableType(const std::string& name) const {
+  ASSIGN_OR_RETURN(DatasourceSchema schema, GetSchema(name));
+  std::vector<std::string> names = {"__time"};
+  std::vector<TypePtr> types = {Type::Timestamp()};
+  for (const std::string& d : schema.dimensions) {
+    names.push_back(d);
+    types.push_back(Type::Varchar());
+  }
+  for (const std::string& m : schema.metrics) {
+    names.push_back(m);
+    types.push_back(Type::Double());
+  }
+  names.push_back("rollup_count");
+  types.push_back(Type::Bigint());
+  return Type::Row(std::move(names), std::move(types));
+}
+
+Result<DruidResult> DruidStore::Execute(const DruidQuery& query) {
+  std::vector<std::shared_ptr<const Segment>> segments;
+  DatasourceSchema schema;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasources_.find(query.datasource);
+    if (it == datasources_.end()) {
+      return Status::NotFound("no such datasource: " + query.datasource);
+    }
+    schema = it->second.schema;
+    segments = it->second.segments;
+    metrics_.Increment("druid.queries");
+  }
+
+  auto dim_index = [&](const std::string& name) -> Result<size_t> {
+    for (size_t d = 0; d < schema.dimensions.size(); ++d) {
+      if (schema.dimensions[d] == name) return d;
+    }
+    return Status::NotFound("no such dimension: " + name);
+  };
+  auto metric_index = [&](const std::string& name) -> Result<size_t> {
+    for (size_t m = 0; m < schema.metrics.size(); ++m) {
+      if (schema.metrics[m] == name) return m;
+    }
+    return Status::NotFound("no such metric: " + name);
+  };
+
+  DruidResult result;
+  bool is_scan = query.aggregations.empty();
+
+  // Output shape.
+  if (is_scan) {
+    std::vector<std::string> columns = query.scan_columns;
+    if (columns.empty()) {
+      columns.push_back("__time");
+      for (const auto& d : schema.dimensions) columns.push_back(d);
+      for (const auto& m : schema.metrics) columns.push_back(m);
+      columns.push_back("rollup_count");
+    }
+    for (const std::string& c : columns) {
+      result.column_names.push_back(c);
+      if (c == "__time") {
+        result.column_types.push_back(Type::Timestamp());
+      } else if (c == "rollup_count") {
+        result.column_types.push_back(Type::Bigint());
+      } else if (auto d = dim_index(c); d.ok()) {
+        result.column_types.push_back(Type::Varchar());
+      } else if (auto m = metric_index(c); m.ok()) {
+        result.column_types.push_back(Type::Double());
+      } else {
+        return Status::NotFound("no such column: " + c);
+      }
+    }
+  } else {
+    for (const std::string& d : query.dimensions) {
+      RETURN_IF_ERROR(dim_index(d).status());
+      result.column_names.push_back(d);
+      result.column_types.push_back(Type::Varchar());
+    }
+    for (const DruidAggregation& agg : query.aggregations) {
+      result.column_names.push_back(agg.output_name);
+      if (agg.kind == AggKind::kCount) {
+        result.column_types.push_back(Type::Bigint());
+      } else {
+        RETURN_IF_ERROR(metric_index(agg.metric).status());
+        result.column_types.push_back(Type::Double());
+      }
+    }
+  }
+
+  // Group-by state across segments.
+  struct GroupState {
+    std::vector<Value> keys;
+    std::vector<double> doubles;  // per agg
+    std::vector<int64_t> counts;
+    std::vector<bool> seen;
+  };
+  std::unordered_map<uint64_t, std::vector<GroupState>> groups;
+  auto group_for = [&](std::vector<Value> keys) -> GroupState& {
+    uint64_t h = 0;
+    for (const Value& k : keys) h = HashCombine(h, k.Hash());
+    auto& bucket = groups[h];
+    for (GroupState& g : bucket) {
+      bool same = true;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (!g.keys[i].Equals(keys[i])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) return g;
+    }
+    GroupState g;
+    g.keys = std::move(keys);
+    g.doubles.assign(query.aggregations.size(), 0);
+    g.counts.assign(query.aggregations.size(), 0);
+    g.seen.assign(query.aggregations.size(), false);
+    bucket.push_back(std::move(g));
+    return bucket.back();
+  };
+
+  for (const auto& segment : segments) {
+    if (segment->num_rows == 0) continue;
+    // Segment-level time pruning.
+    if (segment->max_time < query.interval.start ||
+        segment->min_time >= query.interval.end) {
+      continue;
+    }
+    // Candidate rows via bitmap/inverted-index intersection.
+    std::vector<int32_t> candidates;
+    bool have_candidates = false;
+    for (const DimensionFilter& filter : query.filters) {
+      ASSIGN_OR_RETURN(size_t d, dim_index(filter.dimension));
+      const auto& dict = segment->dim_dicts[d];
+      std::vector<int32_t> rows_for_filter;
+      for (const std::string& value : filter.values) {
+        auto it = std::lower_bound(dict.begin(), dict.end(), value);
+        if (it == dict.end() || *it != value) continue;
+        const auto& list =
+            segment->dim_inverted[d][static_cast<size_t>(it - dict.begin())];
+        // Merge-union (lists are sorted).
+        std::vector<int32_t> merged;
+        std::set_union(rows_for_filter.begin(), rows_for_filter.end(),
+                       list.begin(), list.end(), std::back_inserter(merged));
+        rows_for_filter = std::move(merged);
+      }
+      if (!have_candidates) {
+        candidates = std::move(rows_for_filter);
+        have_candidates = true;
+      } else {
+        std::vector<int32_t> intersected;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              rows_for_filter.begin(), rows_for_filter.end(),
+                              std::back_inserter(intersected));
+        candidates = std::move(intersected);
+      }
+      if (candidates.empty()) break;
+    }
+    if (!have_candidates) {
+      candidates.resize(segment->num_rows);
+      for (size_t r = 0; r < segment->num_rows; ++r) {
+        candidates[r] = static_cast<int32_t>(r);
+      }
+    }
+
+    bool need_time_check = query.interval.start > segment->min_time ||
+                           query.interval.end <= segment->max_time;
+
+    for (int32_t r : candidates) {
+      if (need_time_check && (segment->time[r] < query.interval.start ||
+                              segment->time[r] >= query.interval.end)) {
+        continue;
+      }
+      ++result.rows_scanned;
+      if (is_scan) {
+        std::vector<Value> row;
+        row.reserve(result.column_names.size());
+        for (const std::string& c : result.column_names) {
+          if (c == "__time") {
+            row.push_back(Value::Int(segment->time[r]));
+          } else if (c == "rollup_count") {
+            row.push_back(Value::Int(segment->rollup_counts[r]));
+          } else if (auto d = dim_index(c); d.ok()) {
+            row.push_back(Value::String(
+                segment->dim_dicts[*d][segment->dim_codes[*d][r]]));
+          } else {
+            ASSIGN_OR_RETURN(size_t m, metric_index(c));
+            row.push_back(Value::Double(segment->metric_values[m][r]));
+          }
+        }
+        result.rows.push_back(std::move(row));
+        if (query.limit >= 0 &&
+            static_cast<int64_t>(result.rows.size()) >= query.limit) {
+          return result;
+        }
+        continue;
+      }
+      // Aggregation path.
+      std::vector<Value> keys;
+      keys.reserve(query.dimensions.size());
+      for (const std::string& dim : query.dimensions) {
+        ASSIGN_OR_RETURN(size_t d, dim_index(dim));
+        keys.push_back(
+            Value::String(segment->dim_dicts[d][segment->dim_codes[d][r]]));
+      }
+      GroupState& g = group_for(std::move(keys));
+      for (size_t a = 0; a < query.aggregations.size(); ++a) {
+        const DruidAggregation& agg = query.aggregations[a];
+        switch (agg.kind) {
+          case AggKind::kCount:
+            g.counts[a] += 1;  // rolled-up rows
+            break;
+          case AggKind::kSum: {
+            ASSIGN_OR_RETURN(size_t m, metric_index(agg.metric));
+            g.doubles[a] += segment->metric_values[m][r];
+            break;
+          }
+          case AggKind::kMin: {
+            ASSIGN_OR_RETURN(size_t m, metric_index(agg.metric));
+            double v = segment->metric_values[m][r];
+            g.doubles[a] = g.seen[a] ? std::min(g.doubles[a], v) : v;
+            break;
+          }
+          case AggKind::kMax: {
+            ASSIGN_OR_RETURN(size_t m, metric_index(agg.metric));
+            double v = segment->metric_values[m][r];
+            g.doubles[a] = g.seen[a] ? std::max(g.doubles[a], v) : v;
+            break;
+          }
+        }
+        g.seen[a] = true;
+      }
+    }
+  }
+
+  if (!is_scan) {
+    for (auto& [hash, bucket] : groups) {
+      for (GroupState& g : bucket) {
+        std::vector<Value> row = std::move(g.keys);
+        for (size_t a = 0; a < query.aggregations.size(); ++a) {
+          if (query.aggregations[a].kind == AggKind::kCount) {
+            row.push_back(Value::Int(g.counts[a]));
+          } else {
+            row.push_back(g.seen[a] ? Value::Double(g.doubles[a]) : Value::Null());
+          }
+        }
+        result.rows.push_back(std::move(row));
+      }
+    }
+    // Deterministic order + limit.
+    std::sort(result.rows.begin(), result.rows.end(),
+              [](const std::vector<Value>& a, const std::vector<Value>& b) {
+                for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                  int c = a[i].Compare(b[i]);
+                  if (c != 0) return c < 0;
+                }
+                return false;
+              });
+    if (query.limit >= 0 &&
+        static_cast<int64_t>(result.rows.size()) > query.limit) {
+      result.rows.resize(query.limit);
+    }
+  }
+  return result;
+}
+
+}  // namespace druid
+}  // namespace presto

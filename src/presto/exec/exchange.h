@@ -1,0 +1,74 @@
+#ifndef PRESTO_EXEC_EXCHANGE_H_
+#define PRESTO_EXEC_EXCHANGE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "presto/common/status.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+
+/// In-memory exchange between plan fragments: leaf tasks push pages, the
+/// downstream fragment pulls them. Stands in for Presto's HTTP-based
+/// exchange; multiple producers (one per task), single consumer.
+class ExchangeBuffer {
+ public:
+  /// Must be called before producers start.
+  void SetProducerCount(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    producers_ = n;
+  }
+
+  void Push(Page page) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pages_.push_back(std::move(page));
+    }
+    cv_.notify_one();
+  }
+
+  /// Marks one producer finished; the buffer closes when all are done.
+  void ProducerDone() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --producers_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Propagates a task failure to the consumer.
+  void Fail(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status_.ok()) status_ = std::move(status);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks for the next page; nullopt when all producers finished.
+  Result<std::optional<Page>> Next() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return !pages_.empty() || producers_ <= 0 || !status_.ok();
+    });
+    if (!status_.ok()) return status_;
+    if (pages_.empty()) return std::optional<Page>();
+    Page page = std::move(pages_.front());
+    pages_.pop_front();
+    return std::optional<Page>(std::move(page));
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Page> pages_;
+  int producers_ = 0;
+  Status status_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_EXEC_EXCHANGE_H_

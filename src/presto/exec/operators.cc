@@ -1,0 +1,1002 @@
+#include "presto/exec/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// Concatenates vectors of the same type (fast paths for flat scalars).
+Result<VectorPtr> ConcatVectors(const TypePtr& type,
+                                const std::vector<VectorPtr>& parts) {
+  if (parts.size() == 1) return parts[0];
+  bool all_flat_scalar = type->IsScalar();
+  for (const VectorPtr& part : parts) {
+    if (part->encoding() != VectorEncoding::kFlat) all_flat_scalar = false;
+  }
+  if (all_flat_scalar) {
+    switch (type->kind()) {
+      case TypeKind::kDouble: {
+        std::vector<double> values;
+        std::vector<uint8_t> nulls;
+        bool any_null = false;
+        for (const VectorPtr& part : parts) {
+          const auto* flat = static_cast<const DoubleVector*>(part.get());
+          for (size_t i = 0; i < flat->size(); ++i) {
+            values.push_back(flat->ValueAt(i));
+            bool is_null = flat->IsNull(i);
+            nulls.push_back(is_null ? 1 : 0);
+            any_null = any_null || is_null;
+          }
+        }
+        if (!any_null) nulls.clear();
+        return VectorPtr(std::make_shared<DoubleVector>(type, std::move(values),
+                                                        std::move(nulls)));
+      }
+      case TypeKind::kVarchar: {
+        std::vector<std::string> values;
+        std::vector<uint8_t> nulls;
+        bool any_null = false;
+        for (const VectorPtr& part : parts) {
+          const auto* flat = static_cast<const StringVector*>(part.get());
+          for (size_t i = 0; i < flat->size(); ++i) {
+            values.push_back(flat->ValueAt(i));
+            bool is_null = flat->IsNull(i);
+            nulls.push_back(is_null ? 1 : 0);
+            any_null = any_null || is_null;
+          }
+        }
+        if (!any_null) nulls.clear();
+        return VectorPtr(std::make_shared<StringVector>(type, std::move(values),
+                                                        std::move(nulls)));
+      }
+      case TypeKind::kBoolean: {
+        std::vector<uint8_t> values;
+        std::vector<uint8_t> nulls;
+        bool any_null = false;
+        for (const VectorPtr& part : parts) {
+          const auto* flat = static_cast<const BoolVector*>(part.get());
+          for (size_t i = 0; i < flat->size(); ++i) {
+            values.push_back(flat->ValueAt(i));
+            bool is_null = flat->IsNull(i);
+            nulls.push_back(is_null ? 1 : 0);
+            any_null = any_null || is_null;
+          }
+        }
+        if (!any_null) nulls.clear();
+        return VectorPtr(std::make_shared<BoolVector>(type, std::move(values),
+                                                      std::move(nulls)));
+      }
+      default: {  // integer-like
+        std::vector<int64_t> values;
+        std::vector<uint8_t> nulls;
+        bool any_null = false;
+        for (const VectorPtr& part : parts) {
+          const auto* flat = static_cast<const Int64Vector*>(part.get());
+          for (size_t i = 0; i < flat->size(); ++i) {
+            values.push_back(flat->ValueAt(i));
+            bool is_null = flat->IsNull(i);
+            nulls.push_back(is_null ? 1 : 0);
+            any_null = any_null || is_null;
+          }
+        }
+        if (!any_null) nulls.clear();
+        return VectorPtr(std::make_shared<Int64Vector>(type, std::move(values),
+                                                       std::move(nulls)));
+      }
+    }
+  }
+  // Generic path (nested types, mixed encodings).
+  VectorBuilder builder(type);
+  for (const VectorPtr& part : parts) {
+    for (size_t i = 0; i < part->size(); ++i) {
+      RETURN_IF_ERROR(builder.Append(part->GetValue(i)));
+    }
+  }
+  return builder.Build();
+}
+
+// Concatenates pages (types derived from the given output variables).
+Result<Page> ConcatPages(const std::vector<VariablePtr>& variables,
+                         const std::vector<Page>& pages) {
+  size_t rows = 0;
+  for (const Page& page : pages) rows += page.num_rows();
+  std::vector<VectorPtr> columns;
+  for (size_t c = 0; c < variables.size(); ++c) {
+    std::vector<VectorPtr> parts;
+    for (const Page& page : pages) {
+      if (page.num_rows() == 0) continue;
+      ASSIGN_OR_RETURN(VectorPtr flat, Vector::Flatten(page.column(c)));
+      parts.push_back(std::move(flat));
+    }
+    if (parts.empty()) {
+      ASSIGN_OR_RETURN(VectorPtr empty,
+                       MakeAllNullVector(variables[c]->type(), 0));
+      columns.push_back(std::move(empty));
+    } else {
+      ASSIGN_OR_RETURN(VectorPtr merged,
+                       ConcatVectors(variables[c]->type(), parts));
+      columns.push_back(std::move(merged));
+    }
+  }
+  return Page(std::move(columns), rows);
+}
+
+uint64_t HashRow(const Page& page, const std::vector<int>& channels, size_t row) {
+  uint64_t h = 0;
+  for (int c : channels) h = HashCombine(h, page.column(c)->HashAt(row));
+  return h;
+}
+
+bool RowsEqual(const Page& a, const std::vector<int>& a_channels, size_t a_row,
+               const Page& b, const std::vector<int>& b_channels, size_t b_row) {
+  for (size_t i = 0; i < a_channels.size(); ++i) {
+    if (a.column(a_channels[i])->CompareAt(a_row, *b.column(b_channels[i]), b_row) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Leaf operators
+// ---------------------------------------------------------------------------
+
+class TableScanOperator final : public Operator {
+ public:
+  TableScanOperator(Connector* connector, AcceptedPushdown pushdown,
+                    std::vector<SplitPtr> splits)
+      : connector_(connector),
+        pushdown_(std::move(pushdown)),
+        splits_(std::move(splits)) {}
+
+  Result<std::optional<Page>> Next() override {
+    while (true) {
+      if (source_ == nullptr) {
+        if (next_split_ >= splits_.size()) return std::optional<Page>();
+        ASSIGN_OR_RETURN(source_, connector_->CreatePageSource(
+                                      splits_[next_split_++], pushdown_));
+      }
+      ASSIGN_OR_RETURN(std::optional<Page> page, source_->NextPage());
+      if (!page.has_value()) {
+        source_.reset();
+        continue;
+      }
+      if (page->num_rows() == 0) continue;
+      rows_produced_ += static_cast<int64_t>(page->num_rows());
+      return page;
+    }
+  }
+
+ private:
+  Connector* connector_;
+  AcceptedPushdown pushdown_;
+  std::vector<SplitPtr> splits_;
+  size_t next_split_ = 0;
+  std::unique_ptr<ConnectorPageSource> source_;
+};
+
+class ValuesOperator final : public Operator {
+ public:
+  ValuesOperator(std::vector<VariablePtr> outputs,
+                 const std::vector<std::vector<Value>>* rows)
+      : outputs_(std::move(outputs)), rows_(rows) {}
+
+  Result<std::optional<Page>> Next() override {
+    if (done_) return std::optional<Page>();
+    done_ = true;
+    std::vector<VectorBuilder> builders;
+    for (const VariablePtr& v : outputs_) builders.emplace_back(v->type());
+    for (const auto& row : *rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        RETURN_IF_ERROR(builders[c].Append(row[c]));
+      }
+    }
+    std::vector<VectorPtr> columns;
+    for (auto& b : builders) columns.push_back(b.Build());
+    rows_produced_ += static_cast<int64_t>(rows_->size());
+    return std::optional<Page>(Page(std::move(columns), rows_->size()));
+  }
+
+ private:
+  std::vector<VariablePtr> outputs_;
+  const std::vector<std::vector<Value>>* rows_;
+  bool done_ = false;
+};
+
+class RemoteSourceOperator final : public Operator {
+ public:
+  explicit RemoteSourceOperator(ExchangeBuffer* buffer) : buffer_(buffer) {}
+
+  Result<std::optional<Page>> Next() override {
+    ASSIGN_OR_RETURN(std::optional<Page> page, buffer_->Next());
+    if (page.has_value()) {
+      rows_produced_ += static_cast<int64_t>(page->num_rows());
+    }
+    return page;
+  }
+
+ private:
+  ExchangeBuffer* buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Row-preserving operators
+// ---------------------------------------------------------------------------
+
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate,
+                 std::map<std::string, int> layout, FunctionRegistry* functions)
+      : child_(std::move(child)),
+        predicate_(std::move(predicate)),
+        layout_(std::move(layout)),
+        functions_(functions) {}
+
+  Result<std::optional<Page>> Next() override {
+    while (true) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
+      if (!page.has_value()) return std::optional<Page>();
+      ASSIGN_OR_RETURN(std::vector<int32_t> rows,
+                       EvalPredicate(*predicate_, *page, layout_, functions_));
+      if (rows.empty()) continue;
+      Page out = rows.size() == page->num_rows() ? std::move(*page)
+                                                 : page->SliceRows(rows);
+      rows_produced_ += static_cast<int64_t>(out.num_rows());
+      return std::optional<Page>(std::move(out));
+    }
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  std::map<std::string, int> layout_;
+  FunctionRegistry* functions_;
+};
+
+class ProjectOperator final : public Operator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<ProjectNode::Assignment> assignments,
+                  std::map<std::string, int> layout, FunctionRegistry* functions)
+      : child_(std::move(child)),
+        assignments_(std::move(assignments)),
+        layout_(std::move(layout)),
+        functions_(functions) {}
+
+  Result<std::optional<Page>> Next() override {
+    ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
+    if (!page.has_value()) return std::optional<Page>();
+    std::vector<VectorPtr> columns;
+    columns.reserve(assignments_.size());
+    for (const ProjectNode::Assignment& a : assignments_) {
+      ASSIGN_OR_RETURN(VectorPtr column,
+                       Evaluator::EvalExpression(*a.expression, *page, layout_,
+                                                 functions_));
+      columns.push_back(std::move(column));
+    }
+    rows_produced_ += static_cast<int64_t>(page->num_rows());
+    return std::optional<Page>(Page(std::move(columns), page->num_rows()));
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ProjectNode::Assignment> assignments_;
+  std::map<std::string, int> layout_;
+  FunctionRegistry* functions_;
+};
+
+class LimitOperator final : public Operator {
+ public:
+  LimitOperator(OperatorPtr child, int64_t count)
+      : child_(std::move(child)), remaining_(count) {}
+
+  Result<std::optional<Page>> Next() override {
+    if (remaining_ <= 0) return std::optional<Page>();
+    ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
+    if (!page.has_value()) return std::optional<Page>();
+    if (static_cast<int64_t>(page->num_rows()) > remaining_) {
+      std::vector<int32_t> rows(remaining_);
+      for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int32_t>(i);
+      *page = page->SliceRows(rows);
+    }
+    remaining_ -= static_cast<int64_t>(page->num_rows());
+    rows_produced_ += static_cast<int64_t>(page->num_rows());
+    return page;
+  }
+
+ private:
+  OperatorPtr child_;
+  int64_t remaining_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+class HashAggregationOperator final : public Operator {
+ public:
+  struct AggSpec {
+    const AggregateFunction* function;
+    std::vector<int> arg_channels;
+    TypePtr output_type;
+  };
+
+  HashAggregationOperator(OperatorPtr child, std::vector<int> key_channels,
+                          std::vector<TypePtr> key_types,
+                          std::vector<AggSpec> aggs, AggregationStep step)
+      : child_(std::move(child)),
+        key_channels_(std::move(key_channels)),
+        key_types_(std::move(key_types)),
+        aggs_(std::move(aggs)),
+        step_(step) {}
+
+  Result<std::optional<Page>> Next() override {
+    if (done_) return std::optional<Page>();
+    done_ = true;
+    RETURN_IF_ERROR(ConsumeInput().status());
+    return ProduceOutput();
+  }
+
+ private:
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<std::unique_ptr<Accumulator>> accumulators;
+  };
+
+  Result<bool> ConsumeInput() {
+    while (true) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
+      if (!page.has_value()) break;
+      // Flatten needed columns once per page.
+      std::vector<VectorPtr> flat(page->num_columns());
+      auto flat_column = [&](int c) -> Result<VectorPtr> {
+        if (flat[c] == nullptr) {
+          ASSIGN_OR_RETURN(flat[c], Vector::Flatten(page->column(c)));
+        }
+        return flat[c];
+      };
+      // Pre-flatten aggregate argument channels.
+      std::vector<std::vector<VectorPtr>> agg_args(aggs_.size());
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        for (int c : aggs_[a].arg_channels) {
+          ASSIGN_OR_RETURN(VectorPtr v, flat_column(c));
+          agg_args[a].push_back(std::move(v));
+        }
+      }
+      for (int c : key_channels_) {
+        RETURN_IF_ERROR(flat_column(c).status());
+      }
+      Page flat_page(flat, page->num_rows());
+
+      for (size_t row = 0; row < page->num_rows(); ++row) {
+        uint64_t h = key_channels_.empty()
+                         ? 0
+                         : HashRow(flat_page, key_channels_, row);
+        Group* group = FindOrCreateGroup(flat_page, row, h);
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          if (step_ == AggregationStep::kFinal) {
+            group->accumulators[a]->MergeIntermediate(
+                agg_args[a][0]->GetValue(row));
+          } else {
+            group->accumulators[a]->Add(agg_args[a], row);
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  Group* FindOrCreateGroup(const Page& page, size_t row, uint64_t hash) {
+    auto& bucket = groups_[hash];
+    for (auto& group : bucket) {
+      bool equal = true;
+      for (size_t k = 0; k < key_channels_.size(); ++k) {
+        if (!group.keys[k].Equals(page.column(key_channels_[k])->GetValue(row))) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return &group;
+    }
+    Group group;
+    for (int c : key_channels_) {
+      group.keys.push_back(page.column(c)->GetValue(row));
+    }
+    for (const AggSpec& agg : aggs_) {
+      group.accumulators.push_back(agg.function->factory());
+    }
+    bucket.push_back(std::move(group));
+    ++num_groups_;
+    return &bucket.back();
+  }
+
+  Result<std::optional<Page>> ProduceOutput() {
+    // Global aggregations emit exactly one row even over empty input.
+    if (key_channels_.empty() && num_groups_ == 0) {
+      Group group;
+      for (const AggSpec& agg : aggs_) {
+        group.accumulators.push_back(agg.function->factory());
+      }
+      groups_[0].push_back(std::move(group));
+      ++num_groups_;
+    }
+    std::vector<VectorBuilder> builders;
+    for (const TypePtr& t : key_types_) builders.emplace_back(t);
+    for (const AggSpec& agg : aggs_) {
+      builders.emplace_back(step_ == AggregationStep::kPartial
+                                ? agg.function->intermediate_type
+                                : agg.output_type);
+    }
+    size_t rows = 0;
+    for (auto& [hash, bucket] : groups_) {
+      for (Group& group : bucket) {
+        for (size_t k = 0; k < group.keys.size(); ++k) {
+          RETURN_IF_ERROR(builders[k].Append(group.keys[k]));
+        }
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          Value value = step_ == AggregationStep::kPartial
+                            ? group.accumulators[a]->Intermediate()
+                            : group.accumulators[a]->Final();
+          RETURN_IF_ERROR(builders[group.keys.size() + a].Append(value));
+        }
+        ++rows;
+      }
+    }
+    if (rows == 0) return std::optional<Page>();
+    std::vector<VectorPtr> columns;
+    for (auto& b : builders) columns.push_back(b.Build());
+    rows_produced_ += static_cast<int64_t>(rows);
+    return std::optional<Page>(Page(std::move(columns), rows));
+  }
+
+  OperatorPtr child_;
+  std::vector<int> key_channels_;
+  std::vector<TypePtr> key_types_;
+  std::vector<AggSpec> aggs_;
+  AggregationStep step_;
+  bool done_ = false;
+  std::unordered_map<uint64_t, std::vector<Group>> groups_;
+  size_t num_groups_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+// Hash join for equi-criteria joins; the build (right) side is fully
+// materialized into a hash table (broadcast-style).
+class HashJoinOperator final : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr probe, OperatorPtr build, JoinKind kind,
+                   std::vector<int> probe_keys, std::vector<int> build_keys,
+                   std::vector<VariablePtr> build_vars, ExprPtr filter,
+                   std::map<std::string, int> combined_layout,
+                   FunctionRegistry* functions, int64_t max_build_rows)
+      : probe_(std::move(probe)),
+        build_(std::move(build)),
+        kind_(kind),
+        probe_keys_(std::move(probe_keys)),
+        build_keys_(std::move(build_keys)),
+        build_vars_(std::move(build_vars)),
+        filter_(std::move(filter)),
+        combined_layout_(std::move(combined_layout)),
+        functions_(functions),
+        max_build_rows_(max_build_rows) {}
+
+  Result<std::optional<Page>> Next() override {
+    if (!built_) {
+      RETURN_IF_ERROR(BuildTable());
+      built_ = true;
+    }
+    while (true) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, probe_->Next());
+      if (!page.has_value()) return std::optional<Page>();
+      ASSIGN_OR_RETURN(std::optional<Page> out, ProbePage(*page));
+      if (!out.has_value()) continue;
+      rows_produced_ += static_cast<int64_t>(out->num_rows());
+      return out;
+    }
+  }
+
+ private:
+  Status BuildTable() {
+    std::vector<Page> pages;
+    int64_t build_rows = 0;
+    while (true) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, build_->Next());
+      if (!page.has_value()) break;
+      build_rows += static_cast<int64_t>(page->num_rows());
+      if (build_rows > max_build_rows_) {
+        // Section XII.C: the error users translate Hive/Spark queries over.
+        return Status::ResourceExhausted(
+            "Insufficient Resource: join build side exceeds " +
+            std::to_string(max_build_rows_) +
+            " rows (set session property max_join_build_rows, or rewrite "
+            "the query for Presto-on-Spark)");
+      }
+      pages.push_back(std::move(*page));
+    }
+    ASSIGN_OR_RETURN(build_page_, ConcatPages(build_vars_, pages));
+    // Append one all-null row used to null-extend LEFT-join misses.
+    std::vector<VectorPtr> with_null;
+    for (size_t c = 0; c < build_vars_.size(); ++c) {
+      ASSIGN_OR_RETURN(VectorPtr null_row,
+                       MakeAllNullVector(build_vars_[c]->type(), 1));
+      ASSIGN_OR_RETURN(VectorPtr merged,
+                       ConcatVectors(build_vars_[c]->type(),
+                                     {build_page_.column(c), null_row}));
+      with_null.push_back(std::move(merged));
+    }
+    null_row_index_ = static_cast<int32_t>(build_page_.num_rows());
+    build_page_ = Page(std::move(with_null), build_page_.num_rows() + 1);
+    for (int32_t r = 0; r < null_row_index_; ++r) {
+      // SQL equality: NULL keys never match anything, so they never enter
+      // the table.
+      bool has_null_key = false;
+      for (int c : build_keys_) {
+        if (build_page_.column(c)->IsNull(r)) {
+          has_null_key = true;
+          break;
+        }
+      }
+      if (has_null_key) continue;
+      table_[HashRow(build_page_, build_keys_, r)].push_back(r);
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Page>> ProbePage(const Page& probe_page) {
+    std::vector<int32_t> probe_rows, build_rows;
+    for (size_t r = 0; r < probe_page.num_rows(); ++r) {
+      bool has_null_key = false;
+      for (int c : probe_keys_) {
+        if (probe_page.column(c)->IsNull(r)) {
+          has_null_key = true;
+          break;
+        }
+      }
+      uint64_t h = has_null_key ? 0 : HashRow(probe_page, probe_keys_, r);
+      auto it = has_null_key ? table_.end() : table_.find(h);
+      size_t before = build_rows.size();
+      if (it != table_.end()) {
+        for (int32_t b : it->second) {
+          if (RowsEqual(probe_page, probe_keys_, r, build_page_, build_keys_, b)) {
+            probe_rows.push_back(static_cast<int32_t>(r));
+            build_rows.push_back(b);
+          }
+        }
+      }
+      if (kind_ == JoinKind::kLeft && build_rows.size() == before) {
+        probe_rows.push_back(static_cast<int32_t>(r));
+        build_rows.push_back(null_row_index_);
+      }
+    }
+    if (probe_rows.empty()) return std::optional<Page>();
+    Page probe_slice = probe_page.SliceRows(probe_rows);
+    Page build_slice = build_page_.SliceRows(build_rows);
+    std::vector<VectorPtr> columns = probe_slice.columns();
+    for (const VectorPtr& col : build_slice.columns()) columns.push_back(col);
+    Page combined(std::move(columns), probe_rows.size());
+
+    if (filter_ == nullptr) return std::optional<Page>(std::move(combined));
+
+    ASSIGN_OR_RETURN(std::vector<int32_t> pass,
+                     EvalPredicate(*filter_, combined, combined_layout_, functions_));
+    if (kind_ != JoinKind::kLeft) {
+      if (pass.empty()) return std::optional<Page>();
+      return std::optional<Page>(combined.SliceRows(pass));
+    }
+    // LEFT join: matched pairs failing the filter fall back to null rows,
+    // but only when the probe row has no surviving pair.
+    std::vector<uint8_t> pass_mask(combined.num_rows(), 0);
+    for (int32_t p : pass) pass_mask[p] = 1;
+    std::map<int32_t, int> survivors;
+    for (size_t i = 0; i < probe_rows.size(); ++i) {
+      if (pass_mask[i] != 0 || build_rows[i] == null_row_index_) {
+        survivors[probe_rows[i]] += pass_mask[i] != 0 ? 1 : 0;
+      } else {
+        survivors.try_emplace(probe_rows[i], 0);
+      }
+    }
+    std::vector<int32_t> out_rows;
+    std::vector<int32_t> extra_null_probe_rows;
+    for (size_t i = 0; i < probe_rows.size(); ++i) {
+      if (build_rows[i] == null_row_index_) {
+        out_rows.push_back(static_cast<int32_t>(i));  // already null-extended
+      } else if (pass_mask[i] != 0) {
+        out_rows.push_back(static_cast<int32_t>(i));
+      }
+    }
+    for (const auto& [probe_row, count] : survivors) {
+      if (count == 0) {
+        // Every matched pair was filtered out: null-extend this probe row.
+        bool had_null = false;
+        for (size_t i = 0; i < probe_rows.size(); ++i) {
+          if (probe_rows[i] == probe_row && build_rows[i] == null_row_index_) {
+            had_null = true;
+          }
+        }
+        if (!had_null) extra_null_probe_rows.push_back(probe_row);
+      }
+    }
+    if (out_rows.empty() && extra_null_probe_rows.empty()) {
+      return std::optional<Page>();
+    }
+    Page filtered = combined.SliceRows(out_rows);
+    if (extra_null_probe_rows.empty()) {
+      return std::optional<Page>(std::move(filtered));
+    }
+    // Assemble the extra null-extended rows and append.
+    Page extra_probe = probe_page.SliceRows(extra_null_probe_rows);
+    std::vector<int32_t> nulls(extra_null_probe_rows.size(), null_row_index_);
+    Page extra_build = build_page_.SliceRows(nulls);
+    std::vector<VectorPtr> extra_columns = extra_probe.columns();
+    for (const VectorPtr& col : extra_build.columns()) {
+      extra_columns.push_back(col);
+    }
+    Page extra(std::move(extra_columns), extra_null_probe_rows.size());
+    std::vector<Page> both = {std::move(filtered), std::move(extra)};
+    std::vector<VariablePtr> all_vars;  // types only
+    for (size_t c = 0; c < combined.num_columns(); ++c) {
+      all_vars.push_back(VariableReferenceExpression::Make(
+          "c" + std::to_string(c), both[0].column(c)->type()));
+    }
+    ASSIGN_OR_RETURN(Page merged, ConcatPages(all_vars, both));
+    return std::optional<Page>(std::move(merged));
+  }
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  JoinKind kind_;
+  std::vector<int> probe_keys_;
+  std::vector<int> build_keys_;
+  std::vector<VariablePtr> build_vars_;
+  ExprPtr filter_;
+  std::map<std::string, int> combined_layout_;
+  FunctionRegistry* functions_;
+  int64_t max_build_rows_;
+
+  bool built_ = false;
+  Page build_page_;
+  int32_t null_row_index_ = 0;
+  std::unordered_map<uint64_t, std::vector<int32_t>> table_;
+};
+
+// Nested-loop join for joins without equi criteria (cross joins, st_contains
+// joins in their brute-force form).
+class NestedLoopJoinOperator final : public Operator {
+ public:
+  NestedLoopJoinOperator(OperatorPtr probe, OperatorPtr build, JoinKind kind,
+                         std::vector<VariablePtr> build_vars, ExprPtr filter,
+                         std::map<std::string, int> combined_layout,
+                         FunctionRegistry* functions, int64_t max_build_rows)
+      : probe_(std::move(probe)),
+        build_(std::move(build)),
+        kind_(kind),
+        build_vars_(std::move(build_vars)),
+        filter_(std::move(filter)),
+        combined_layout_(std::move(combined_layout)),
+        functions_(functions),
+        max_build_rows_(max_build_rows) {}
+
+  Result<std::optional<Page>> Next() override {
+    if (!built_) {
+      std::vector<Page> pages;
+      int64_t build_rows = 0;
+      while (true) {
+        ASSIGN_OR_RETURN(std::optional<Page> page, build_->Next());
+        if (!page.has_value()) break;
+        build_rows += static_cast<int64_t>(page->num_rows());
+        if (build_rows > max_build_rows_) {
+          return Status::ResourceExhausted(
+              "Insufficient Resource: join build side exceeds " +
+              std::to_string(max_build_rows_) + " rows");
+        }
+        pages.push_back(std::move(*page));
+      }
+      ASSIGN_OR_RETURN(build_page_, ConcatPages(build_vars_, pages));
+      built_ = true;
+    }
+    while (true) {
+      if (!current_probe_.has_value()) {
+        ASSIGN_OR_RETURN(current_probe_, probe_->Next());
+        if (!current_probe_.has_value()) return std::optional<Page>();
+        next_build_row_ = 0;
+        probe_matched_.assign(current_probe_->num_rows(), 0);
+      }
+      if (next_build_row_ >= build_page_.num_rows()) {
+        // LEFT join: emit unmatched probe rows with a null build side.
+        if (kind_ == JoinKind::kLeft) {
+          std::vector<int32_t> unmatched;
+          for (size_t r = 0; r < current_probe_->num_rows(); ++r) {
+            if (probe_matched_[r] == 0) unmatched.push_back(static_cast<int32_t>(r));
+          }
+          if (!unmatched.empty()) {
+            Page probe_slice = current_probe_->SliceRows(unmatched);
+            std::vector<VectorPtr> columns = probe_slice.columns();
+            for (const VariablePtr& v : build_vars_) {
+              ASSIGN_OR_RETURN(VectorPtr nulls,
+                               MakeAllNullVector(v->type(), unmatched.size()));
+              columns.push_back(std::move(nulls));
+            }
+            current_probe_.reset();
+            Page out(std::move(columns), unmatched.size());
+            rows_produced_ += static_cast<int64_t>(out.num_rows());
+            return std::optional<Page>(std::move(out));
+          }
+        }
+        current_probe_.reset();
+        continue;
+      }
+      // Pair the whole probe page with one build row, replicated without
+      // copying via dictionary encoding.
+      int32_t b = static_cast<int32_t>(next_build_row_++);
+      size_t n = current_probe_->num_rows();
+      std::vector<VectorPtr> columns = current_probe_->columns();
+      for (const VectorPtr& col : build_page_.columns()) {
+        columns.push_back(std::make_shared<DictionaryVector>(
+            col, std::vector<int32_t>(n, b)));
+      }
+      Page combined(std::move(columns), n);
+      std::vector<int32_t> pass;
+      if (filter_ == nullptr) {
+        pass.resize(n);
+        for (size_t i = 0; i < n; ++i) pass[i] = static_cast<int32_t>(i);
+      } else {
+        ASSIGN_OR_RETURN(pass, EvalPredicate(*filter_, combined, combined_layout_,
+                                             functions_));
+      }
+      if (pass.empty()) continue;
+      for (int32_t p : pass) probe_matched_[p] = 1;
+      Page out = pass.size() == n ? std::move(combined) : combined.SliceRows(pass);
+      rows_produced_ += static_cast<int64_t>(out.num_rows());
+      return std::optional<Page>(std::move(out));
+    }
+  }
+
+ private:
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  JoinKind kind_;
+  std::vector<VariablePtr> build_vars_;
+  ExprPtr filter_;
+  std::map<std::string, int> combined_layout_;
+  FunctionRegistry* functions_;
+  int64_t max_build_rows_;
+
+  bool built_ = false;
+  Page build_page_;
+  std::optional<Page> current_probe_;
+  size_t next_build_row_ = 0;
+  std::vector<uint8_t> probe_matched_;
+};
+
+// ---------------------------------------------------------------------------
+// Sorting
+// ---------------------------------------------------------------------------
+
+class SortOperator final : public Operator {
+ public:
+  SortOperator(OperatorPtr child, std::vector<VariablePtr> output_vars,
+               std::vector<int> channels, std::vector<bool> ascending,
+               int64_t limit)
+      : child_(std::move(child)),
+        output_vars_(std::move(output_vars)),
+        channels_(std::move(channels)),
+        ascending_(std::move(ascending)),
+        limit_(limit) {}
+
+  Result<std::optional<Page>> Next() override {
+    if (done_) return std::optional<Page>();
+    done_ = true;
+    std::vector<Page> pages;
+    while (true) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
+      if (!page.has_value()) break;
+      pages.push_back(std::move(*page));
+    }
+    ASSIGN_OR_RETURN(Page all, ConcatPages(output_vars_, pages));
+    if (all.num_rows() == 0) return std::optional<Page>();
+    std::vector<int32_t> order(all.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      for (size_t k = 0; k < channels_.size(); ++k) {
+        const Vector& column = *all.column(channels_[k]);
+        // Presto default null ordering: NULLS LAST for ASC, FIRST for DESC.
+        bool null_a = column.IsNull(a);
+        bool null_b = column.IsNull(b);
+        if (null_a || null_b) {
+          if (null_a == null_b) continue;
+          return ascending_[k] ? !null_a : null_a;
+        }
+        int cmp = column.CompareAt(a, column, b);
+        if (cmp != 0) return ascending_[k] ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    if (limit_ >= 0 && static_cast<int64_t>(order.size()) > limit_) {
+      order.resize(limit_);
+    }
+    Page out = all.SliceRows(order);
+    rows_produced_ += static_cast<int64_t>(out.num_rows());
+    return std::optional<Page>(std::move(out));
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<VariablePtr> output_vars_;
+  std::vector<int> channels_;
+  std::vector<bool> ascending_;
+  int64_t limit_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+std::map<std::string, int> MakeLayout(const std::vector<VariablePtr>& variables) {
+  std::map<std::string, int> layout;
+  for (size_t i = 0; i < variables.size(); ++i) {
+    layout[variables[i]->name()] = static_cast<int>(i);
+  }
+  return layout;
+}
+
+Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
+  switch (node->kind()) {
+    case PlanNodeKind::kTableScan: {
+      const auto* scan = static_cast<const TableScanNode*>(node.get());
+      if (!scan->accepted().has_value()) {
+        return Status::Internal("table scan was not negotiated: " + scan->Label());
+      }
+      if (splits_ == nullptr) {
+        return Status::Internal("no splits provided for leaf fragment");
+      }
+      ASSIGN_OR_RETURN(Connector * connector,
+                       catalogs_->GetConnector(scan->catalog()));
+      return OperatorPtr(new TableScanOperator(connector, *scan->accepted(),
+                                               *splits_));
+    }
+    case PlanNodeKind::kValues: {
+      const auto* values = static_cast<const ValuesNode*>(node.get());
+      return OperatorPtr(new ValuesOperator(values->OutputVariables(),
+                                            &values->rows()));
+    }
+    case PlanNodeKind::kRemoteSource: {
+      const auto* remote = static_cast<const RemoteSourceNode*>(node.get());
+      auto it = exchanges_->find(remote->fragment_id());
+      if (it == exchanges_->end()) {
+        return Status::Internal("no exchange for fragment " +
+                                std::to_string(remote->fragment_id()));
+      }
+      return OperatorPtr(new RemoteSourceOperator(it->second));
+    }
+    case PlanNodeKind::kFilter: {
+      const auto* filter = static_cast<const FilterNode*>(node.get());
+      ASSIGN_OR_RETURN(OperatorPtr child, Build(filter->sources()[0]));
+      return OperatorPtr(new FilterOperator(
+          std::move(child), filter->predicate(),
+          MakeLayout(filter->sources()[0]->OutputVariables()), functions_));
+    }
+    case PlanNodeKind::kProject: {
+      const auto* project = static_cast<const ProjectNode*>(node.get());
+      ASSIGN_OR_RETURN(OperatorPtr child, Build(project->sources()[0]));
+      return OperatorPtr(new ProjectOperator(
+          std::move(child), project->assignments(),
+          MakeLayout(project->sources()[0]->OutputVariables()), functions_));
+    }
+    case PlanNodeKind::kLimit: {
+      const auto* limit = static_cast<const LimitNode*>(node.get());
+      ASSIGN_OR_RETURN(OperatorPtr child, Build(limit->sources()[0]));
+      return OperatorPtr(new LimitOperator(std::move(child), limit->count()));
+    }
+    case PlanNodeKind::kAggregate: {
+      const auto* agg = static_cast<const AggregateNode*>(node.get());
+      ASSIGN_OR_RETURN(OperatorPtr child, Build(agg->sources()[0]));
+      auto layout = MakeLayout(agg->sources()[0]->OutputVariables());
+      std::vector<int> key_channels;
+      std::vector<TypePtr> key_types;
+      for (const VariablePtr& key : agg->group_keys()) {
+        auto it = layout.find(key->name());
+        if (it == layout.end()) {
+          return Status::Internal("group key not in input: " + key->name());
+        }
+        key_channels.push_back(it->second);
+        key_types.push_back(key->type());
+      }
+      std::vector<HashAggregationOperator::AggSpec> specs;
+      for (const auto& aggregation : agg->aggregations()) {
+        ASSIGN_OR_RETURN(const AggregateFunction* impl,
+                         functions_->FindAggregate(aggregation.handle));
+        HashAggregationOperator::AggSpec spec;
+        spec.function = impl;
+        spec.output_type = aggregation.output->type();
+        for (const VariablePtr& arg : aggregation.arguments) {
+          auto it = layout.find(arg->name());
+          if (it == layout.end()) {
+            return Status::Internal("aggregate argument not in input: " +
+                                    arg->name());
+          }
+          spec.arg_channels.push_back(it->second);
+        }
+        specs.push_back(std::move(spec));
+      }
+      return OperatorPtr(new HashAggregationOperator(
+          std::move(child), std::move(key_channels), std::move(key_types),
+          std::move(specs), agg->step()));
+    }
+    case PlanNodeKind::kJoin: {
+      const auto* join = static_cast<const JoinNode*>(node.get());
+      ASSIGN_OR_RETURN(OperatorPtr probe, Build(join->sources()[0]));
+      ASSIGN_OR_RETURN(OperatorPtr build, Build(join->sources()[1]));
+      auto probe_layout = MakeLayout(join->sources()[0]->OutputVariables());
+      auto build_layout = MakeLayout(join->sources()[1]->OutputVariables());
+      auto combined_layout = MakeLayout(join->OutputVariables());
+      std::vector<VariablePtr> build_vars = join->sources()[1]->OutputVariables();
+      if (join->criteria().empty()) {
+        return OperatorPtr(new NestedLoopJoinOperator(
+            std::move(probe), std::move(build), join->join_kind(),
+            std::move(build_vars), join->filter(), std::move(combined_layout),
+            functions_, limits_.max_join_build_rows));
+      }
+      std::vector<int> probe_keys, build_keys;
+      for (const auto& clause : join->criteria()) {
+        auto l = probe_layout.find(clause.left->name());
+        auto r = build_layout.find(clause.right->name());
+        if (l == probe_layout.end() || r == build_layout.end()) {
+          return Status::Internal("join criteria not in inputs");
+        }
+        probe_keys.push_back(l->second);
+        build_keys.push_back(r->second);
+      }
+      return OperatorPtr(new HashJoinOperator(
+          std::move(probe), std::move(build), join->join_kind(),
+          std::move(probe_keys), std::move(build_keys), std::move(build_vars),
+          join->filter(), std::move(combined_layout), functions_,
+          limits_.max_join_build_rows));
+    }
+    case PlanNodeKind::kSort:
+    case PlanNodeKind::kTopN: {
+      std::vector<OrderingTerm> ordering;
+      int64_t limit = -1;
+      if (node->kind() == PlanNodeKind::kSort) {
+        ordering = static_cast<const SortNode*>(node.get())->ordering();
+      } else {
+        const auto* topn = static_cast<const TopNNode*>(node.get());
+        ordering = topn->ordering();
+        limit = topn->count();
+      }
+      ASSIGN_OR_RETURN(OperatorPtr child, Build(node->sources()[0]));
+      auto layout = MakeLayout(node->sources()[0]->OutputVariables());
+      std::vector<int> channels;
+      std::vector<bool> ascending;
+      for (const OrderingTerm& term : ordering) {
+        auto it = layout.find(term.variable->name());
+        if (it == layout.end()) {
+          return Status::Internal("sort key not in input: " + term.variable->name());
+        }
+        channels.push_back(it->second);
+        ascending.push_back(term.ascending);
+      }
+      return OperatorPtr(new SortOperator(std::move(child),
+                                          node->sources()[0]->OutputVariables(),
+                                          std::move(channels),
+                                          std::move(ascending), limit));
+    }
+    case PlanNodeKind::kOutput:
+      return Build(node->sources()[0]);
+  }
+  return Status::Internal("cannot build operator for node: " + node->Label());
+}
+
+}  // namespace presto

@@ -1,0 +1,71 @@
+#ifndef PRESTO_EXEC_OPERATORS_H_
+#define PRESTO_EXEC_OPERATORS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "presto/connector/connector.h"
+#include "presto/exec/exchange.h"
+#include "presto/expr/evaluator.h"
+#include "presto/planner/plan.h"
+
+namespace presto {
+
+/// Pull-based vectorized operator: Next() produces the next page or nullopt
+/// when exhausted. Single-threaded within a task; parallelism comes from
+/// running tasks (one per split batch) concurrently.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Result<std::optional<Page>> Next() = 0;
+
+  /// Rows this operator has emitted (basic operator stats).
+  int64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  int64_t rows_produced_ = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Maps variable names to channel indices for a node's input.
+std::map<std::string, int> MakeLayout(const std::vector<VariablePtr>& variables);
+
+/// Engine-side resource limits. The paper's Section XII.C: big joins fail
+/// with "Insufficient Resource" when the build side exceeds what a worker
+/// can hold in memory.
+struct ExecutionLimits {
+  int64_t max_join_build_rows = 10'000'000;
+};
+
+/// Builds operator trees from plan fragments. `exchanges` resolves
+/// RemoteSourceNode fragment ids to their buffers; `splits` feeds the
+/// (single) TableScanNode of a leaf fragment.
+class OperatorBuilder {
+ public:
+  OperatorBuilder(const CatalogRegistry* catalogs, FunctionRegistry* functions,
+                  const std::map<int, ExchangeBuffer*>* exchanges,
+                  const std::vector<SplitPtr>* splits,
+                  ExecutionLimits limits = ExecutionLimits())
+      : catalogs_(catalogs),
+        functions_(functions),
+        exchanges_(exchanges),
+        splits_(splits),
+        limits_(limits) {}
+
+  Result<OperatorPtr> Build(const PlanNodePtr& node);
+
+ private:
+  const CatalogRegistry* catalogs_;
+  FunctionRegistry* functions_;
+  const std::map<int, ExchangeBuffer*>* exchanges_;
+  const std::vector<SplitPtr>* splits_;
+  ExecutionLimits limits_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_EXEC_OPERATORS_H_

@@ -1,0 +1,172 @@
+#include "presto/expr/expression.h"
+
+#include <algorithm>
+
+namespace presto {
+
+const char* SpecialFormKindToString(SpecialFormKind kind) {
+  switch (kind) {
+    case SpecialFormKind::kAnd:
+      return "AND";
+    case SpecialFormKind::kOr:
+      return "OR";
+    case SpecialFormKind::kNot:
+      return "NOT";
+    case SpecialFormKind::kIn:
+      return "IN";
+    case SpecialFormKind::kIf:
+      return "IF";
+    case SpecialFormKind::kIsNull:
+      return "IS_NULL";
+    case SpecialFormKind::kCoalesce:
+      return "COALESCE";
+    case SpecialFormKind::kDereference:
+      return "DEREFERENCE";
+    case SpecialFormKind::kCast:
+      return "CAST";
+  }
+  return "UNKNOWN";
+}
+
+std::string FunctionHandle::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < argument_types.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += argument_types[i]->ToString();
+  }
+  out += "):" + return_type->ToString();
+  return out;
+}
+
+std::string CallExpression::ToString() const {
+  std::string out = handle_.name + "(";
+  for (size_t i = 0; i < arguments_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += arguments_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string SpecialFormExpression::ToString() const {
+  switch (form_) {
+    case SpecialFormKind::kAnd:
+    case SpecialFormKind::kOr: {
+      std::string op = form_ == SpecialFormKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < arguments_.size(); ++i) {
+        if (i > 0) out += op;
+        out += arguments_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case SpecialFormKind::kDereference:
+      return arguments_[0]->ToString() + "." +
+             arguments_[0]->type()->field_name(field_index_);
+    case SpecialFormKind::kCast:
+      return "CAST(" + arguments_[0]->ToString() + " AS " + type()->ToString() + ")";
+    case SpecialFormKind::kIsNull:
+      return "(" + arguments_[0]->ToString() + " IS NULL)";
+    case SpecialFormKind::kIn: {
+      std::string out = "(" + arguments_[0]->ToString() + " IN (";
+      for (size_t i = 1; i < arguments_.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += arguments_[i]->ToString();
+      }
+      out += "))";
+      return out;
+    }
+    default: {
+      std::string out = SpecialFormKindToString(form_);
+      out += "(";
+      for (size_t i = 0; i < arguments_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += arguments_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+}
+
+Result<ExprPtr> SpecialFormExpression::MakeDereference(ExprPtr base,
+                                                       const std::string& field) {
+  if (base->type()->kind() != TypeKind::kRow) {
+    return Status::UserError("cannot dereference non-ROW type " +
+                             base->type()->ToString());
+  }
+  auto index = base->type()->FindField(field);
+  if (!index.has_value()) {
+    return Status::UserError("no field '" + field + "' in " +
+                             base->type()->ToString());
+  }
+  TypePtr field_type = base->type()->child(*index);
+  return Make(SpecialFormKind::kDereference, std::move(field_type),
+              {std::move(base)}, *index);
+}
+
+std::string LambdaDefinitionExpression::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < argument_names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += argument_names_[i];
+    out += " ";
+    out += argument_types_[i]->ToString();
+  }
+  out += ") -> " + body_->ToString();
+  return out;
+}
+
+namespace {
+
+void CollectImpl(const RowExpression& expr, std::vector<std::string>* out,
+                 std::vector<std::string>* bound) {
+  switch (expr.expression_kind()) {
+    case ExpressionKind::kConstant:
+      return;
+    case ExpressionKind::kVariableReference: {
+      const auto& var = static_cast<const VariableReferenceExpression&>(expr);
+      if (std::find(bound->begin(), bound->end(), var.name()) == bound->end()) {
+        out->push_back(var.name());
+      }
+      return;
+    }
+    case ExpressionKind::kCall: {
+      const auto& call = static_cast<const CallExpression&>(expr);
+      for (const ExprPtr& arg : call.arguments()) CollectImpl(*arg, out, bound);
+      return;
+    }
+    case ExpressionKind::kSpecialForm: {
+      const auto& form = static_cast<const SpecialFormExpression&>(expr);
+      for (const ExprPtr& arg : form.arguments()) CollectImpl(*arg, out, bound);
+      return;
+    }
+    case ExpressionKind::kLambdaDefinition: {
+      const auto& lambda = static_cast<const LambdaDefinitionExpression&>(expr);
+      size_t before = bound->size();
+      for (const std::string& name : lambda.argument_names()) {
+        bound->push_back(name);
+      }
+      CollectImpl(*lambda.body(), out, bound);
+      bound->resize(before);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void CollectReferencedVariables(const RowExpression& expr,
+                                std::vector<std::string>* out) {
+  std::vector<std::string> bound;
+  CollectImpl(expr, out, &bound);
+}
+
+bool ReferencesVariable(const RowExpression& expr, const std::string& name) {
+  std::vector<std::string> vars;
+  CollectReferencedVariables(expr, &vars);
+  return std::find(vars.begin(), vars.end(), name) != vars.end();
+}
+
+}  // namespace presto

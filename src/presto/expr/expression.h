@@ -1,0 +1,223 @@
+#ifndef PRESTO_EXPR_EXPRESSION_H_
+#define PRESTO_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "presto/types/type.h"
+#include "presto/types/value.h"
+
+namespace presto {
+
+/// RowExpression subtypes, exactly the paper's Table I. RowExpression
+/// replaced Presto's AST-based expression representation: it is completely
+/// self-contained (function resolution is stored in the expression as a
+/// serializable FunctionHandle) and can be shared across systems — this is
+/// what makes connector pushdown of arbitrary sub-expressions possible.
+enum class ExpressionKind {
+  kConstant,            // literal values such as (1L, BIGINT)
+  kVariableReference,   // reference to an input column / previous output field
+  kCall,                // function calls: arithmetic, casts, UDFs
+  kSpecialForm,         // built-ins with special evaluation: IN, IF, AND, ...
+  kLambdaDefinition,    // anonymous functions, e.g. (x, y) -> x + y
+};
+
+/// Special built-in function calls whose evaluation rules (short circuit,
+/// null handling, field access) differ from plain calls.
+enum class SpecialFormKind {
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kIf,
+  kIsNull,
+  kCoalesce,
+  kDereference,  // struct field access: base.city_id
+  kCast,
+};
+
+const char* SpecialFormKindToString(SpecialFormKind kind);
+
+class RowExpression;
+using ExprPtr = std::shared_ptr<const RowExpression>;
+
+/// Fully resolved reference to a function: name plus argument and return
+/// types. Serializable, so an expression containing it can be consistently
+/// re-interpreted by a connector without re-running function resolution.
+struct FunctionHandle {
+  std::string name;
+  std::vector<TypePtr> argument_types;
+  TypePtr return_type;
+
+  std::string ToString() const;
+};
+
+/// Base class of the self-contained expression tree.
+class RowExpression {
+ public:
+  virtual ~RowExpression() = default;
+
+  RowExpression(const RowExpression&) = delete;
+  RowExpression& operator=(const RowExpression&) = delete;
+
+  ExpressionKind expression_kind() const { return kind_; }
+  const TypePtr& type() const { return type_; }
+
+  virtual std::string ToString() const = 0;
+
+ protected:
+  RowExpression(ExpressionKind kind, TypePtr type)
+      : kind_(kind), type_(std::move(type)) {}
+
+ private:
+  ExpressionKind kind_;
+  TypePtr type_;
+};
+
+/// Literal values such as (1L, BIGINT), ('string', VARCHAR).
+class ConstantExpression final : public RowExpression {
+ public:
+  ConstantExpression(Value value, TypePtr type)
+      : RowExpression(ExpressionKind::kConstant, std::move(type)),
+        value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+  static ExprPtr Make(Value value, TypePtr type) {
+    return std::make_shared<ConstantExpression>(std::move(value), std::move(type));
+  }
+  static ExprPtr MakeBigint(int64_t v) { return Make(Value::Int(v), Type::Bigint()); }
+  static ExprPtr MakeDouble(double v) { return Make(Value::Double(v), Type::Double()); }
+  static ExprPtr MakeVarchar(std::string v) {
+    return Make(Value::String(std::move(v)), Type::Varchar());
+  }
+  static ExprPtr MakeBool(bool v) { return Make(Value::Bool(v), Type::Boolean()); }
+  static ExprPtr MakeNull(TypePtr type) { return Make(Value::Null(), std::move(type)); }
+
+ private:
+  Value value_;
+};
+
+/// Reference to an input column (or a field of the output of the previous
+/// relational expression), identified by name.
+class VariableReferenceExpression final : public RowExpression {
+ public:
+  VariableReferenceExpression(std::string name, TypePtr type)
+      : RowExpression(ExpressionKind::kVariableReference, std::move(type)),
+        name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::string ToString() const override { return name_; }
+
+  static std::shared_ptr<const VariableReferenceExpression> Make(
+      std::string name, TypePtr type) {
+    return std::make_shared<VariableReferenceExpression>(std::move(name),
+                                                         std::move(type));
+  }
+
+ private:
+  std::string name_;
+};
+
+using VariablePtr = std::shared_ptr<const VariableReferenceExpression>;
+
+/// Function calls: all arithmetic operations, casts, UDFs. Carries a
+/// FunctionHandle so resolution travels with the expression.
+class CallExpression final : public RowExpression {
+ public:
+  CallExpression(FunctionHandle handle, std::vector<ExprPtr> arguments)
+      : RowExpression(ExpressionKind::kCall, handle.return_type),
+        handle_(std::move(handle)),
+        arguments_(std::move(arguments)) {}
+
+  const FunctionHandle& handle() const { return handle_; }
+  const std::string& function_name() const { return handle_.name; }
+  const std::vector<ExprPtr>& arguments() const { return arguments_; }
+
+  std::string ToString() const override;
+
+  static ExprPtr Make(FunctionHandle handle, std::vector<ExprPtr> arguments) {
+    return std::make_shared<CallExpression>(std::move(handle), std::move(arguments));
+  }
+
+ private:
+  FunctionHandle handle_;
+  std::vector<ExprPtr> arguments_;
+};
+
+/// Special built-in function calls: IN, IF, IS_NULL, AND, DEREFERENCE, etc.
+class SpecialFormExpression final : public RowExpression {
+ public:
+  SpecialFormExpression(SpecialFormKind form, TypePtr type,
+                        std::vector<ExprPtr> arguments, size_t field_index = 0)
+      : RowExpression(ExpressionKind::kSpecialForm, std::move(type)),
+        form_(form),
+        arguments_(std::move(arguments)),
+        field_index_(field_index) {}
+
+  SpecialFormKind form() const { return form_; }
+  const std::vector<ExprPtr>& arguments() const { return arguments_; }
+
+  /// For kDereference: index of the accessed field within the base ROW type.
+  size_t field_index() const { return field_index_; }
+
+  std::string ToString() const override;
+
+  static ExprPtr Make(SpecialFormKind form, TypePtr type,
+                      std::vector<ExprPtr> arguments, size_t field_index = 0) {
+    return std::make_shared<SpecialFormExpression>(form, std::move(type),
+                                                   std::move(arguments), field_index);
+  }
+
+  /// Builds base.field, resolving the field index from the base ROW type.
+  static Result<ExprPtr> MakeDereference(ExprPtr base, const std::string& field);
+
+ private:
+  SpecialFormKind form_;
+  std::vector<ExprPtr> arguments_;
+  size_t field_index_;
+};
+
+/// Definition of anonymous (lambda) functions, e.g.
+/// (x BIGINT, y BIGINT) -> x + y. Used as arguments to higher-order
+/// functions like transform() and filter().
+class LambdaDefinitionExpression final : public RowExpression {
+ public:
+  LambdaDefinitionExpression(std::vector<std::string> argument_names,
+                             std::vector<TypePtr> argument_types, ExprPtr body)
+      : RowExpression(ExpressionKind::kLambdaDefinition, body->type()),
+        argument_names_(std::move(argument_names)),
+        argument_types_(std::move(argument_types)),
+        body_(std::move(body)) {}
+
+  const std::vector<std::string>& argument_names() const { return argument_names_; }
+  const std::vector<TypePtr>& argument_types() const { return argument_types_; }
+  const ExprPtr& body() const { return body_; }
+
+  std::string ToString() const override;
+
+  static ExprPtr Make(std::vector<std::string> argument_names,
+                      std::vector<TypePtr> argument_types, ExprPtr body) {
+    return std::make_shared<LambdaDefinitionExpression>(
+        std::move(argument_names), std::move(argument_types), std::move(body));
+  }
+
+ private:
+  std::vector<std::string> argument_names_;
+  std::vector<TypePtr> argument_types_;
+  ExprPtr body_;
+};
+
+/// Collects the names of all VariableReferenceExpressions in the tree
+/// (excluding lambda-bound names).
+void CollectReferencedVariables(const RowExpression& expr,
+                                std::vector<std::string>* out);
+
+/// True if the expression references the given variable name.
+bool ReferencesVariable(const RowExpression& expr, const std::string& name);
+
+}  // namespace presto
+
+#endif  // PRESTO_EXPR_EXPRESSION_H_

@@ -1,0 +1,195 @@
+#include "presto/expr/function_registry.h"
+
+namespace presto {
+
+namespace {
+
+// Implicit numeric widening lattice: INTEGER -> BIGINT -> DOUBLE.
+bool CanCoerce(const Type& from, const Type& to) {
+  if (from.Equals(to)) return true;
+  if (from.kind() == TypeKind::kInteger &&
+      (to.kind() == TypeKind::kBigint || to.kind() == TypeKind::kDouble)) {
+    return true;
+  }
+  if (from.kind() == TypeKind::kBigint && to.kind() == TypeKind::kDouble) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FunctionRegistry::SignatureMatches(const std::vector<TypePtr>& declared,
+                                        const std::vector<TypePtr>& actual,
+                                        bool exact) {
+  if (declared.size() != actual.size()) return false;
+  for (size_t i = 0; i < declared.size(); ++i) {
+    if (exact) {
+      if (!declared[i]->Equals(*actual[i])) return false;
+    } else {
+      if (!CanCoerce(*actual[i], *declared[i])) return false;
+    }
+  }
+  return true;
+}
+
+Status FunctionRegistry::RegisterScalar(const std::string& name,
+                                        std::vector<TypePtr> arg_types,
+                                        TypePtr return_type,
+                                        ScalarFunctionImpl impl,
+                                        bool default_null_behavior) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ScalarFunction& existing : scalars_[name]) {
+    if (SignatureMatches(existing.handle.argument_types, arg_types, /*exact=*/true)) {
+      return Status::AlreadyExists("scalar function already registered: " + name);
+    }
+  }
+  scalars_[name].push_back(ScalarFunction{
+      FunctionHandle{name, std::move(arg_types), std::move(return_type)},
+      std::move(impl), default_null_behavior});
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterAggregate(
+    const std::string& name, std::vector<TypePtr> arg_types, TypePtr return_type,
+    TypePtr intermediate_type,
+    std::function<std::unique_ptr<Accumulator>()> factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const AggregateFunction& existing : aggregates_[name]) {
+    if (SignatureMatches(existing.handle.argument_types, arg_types, /*exact=*/true)) {
+      return Status::AlreadyExists("aggregate already registered: " + name);
+    }
+  }
+  aggregates_[name].push_back(AggregateFunction{
+      FunctionHandle{name, std::move(arg_types), std::move(return_type)},
+      std::move(intermediate_type), std::move(factory)});
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterGenericScalar(const std::string& name,
+                                               GenericResolver resolver,
+                                               ScalarFunctionImpl impl,
+                                               bool default_null_behavior) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generic_scalars_.count(name) > 0) {
+    return Status::AlreadyExists("generic scalar already registered: " + name);
+  }
+  generic_scalars_[name] = GenericScalar{std::move(resolver), std::move(impl),
+                                         default_null_behavior};
+  return Status::OK();
+}
+
+Result<FunctionHandle> FunctionRegistry::ResolveScalar(
+    const std::string& name, const std::vector<TypePtr>& arg_types) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scalars_.find(name);
+  if (it != scalars_.end()) {
+    for (const ScalarFunction& fn : it->second) {
+      if (SignatureMatches(fn.handle.argument_types, arg_types, /*exact=*/true)) {
+        return fn.handle;
+      }
+    }
+    const ScalarFunction* coercible = nullptr;
+    bool ambiguous = false;
+    for (const ScalarFunction& fn : it->second) {
+      if (SignatureMatches(fn.handle.argument_types, arg_types, /*exact=*/false)) {
+        if (coercible != nullptr) ambiguous = true;
+        coercible = &fn;
+      }
+    }
+    if (ambiguous) {
+      return Status::UserError("ambiguous call to function " + name);
+    }
+    if (coercible != nullptr) return coercible->handle;
+  }
+  auto generic = generic_scalars_.find(name);
+  if (generic != generic_scalars_.end()) {
+    ASSIGN_OR_RETURN(TypePtr return_type, generic->second.resolver(arg_types));
+    return FunctionHandle{name, arg_types, std::move(return_type)};
+  }
+  std::string types;
+  for (const TypePtr& t : arg_types) {
+    if (!types.empty()) types += ", ";
+    types += t->ToString();
+  }
+  return Status::UserError("no matching signature for " + name + "(" + types + ")");
+}
+
+Result<FunctionHandle> FunctionRegistry::ResolveAggregate(
+    const std::string& name, const std::vector<TypePtr>& arg_types) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = aggregates_.find(name);
+  if (it == aggregates_.end()) {
+    return Status::UserError("unknown aggregate function: " + name);
+  }
+  for (const AggregateFunction& fn : it->second) {
+    if (SignatureMatches(fn.handle.argument_types, arg_types, /*exact=*/true)) {
+      return fn.handle;
+    }
+  }
+  const AggregateFunction* coercible = nullptr;
+  for (const AggregateFunction& fn : it->second) {
+    if (SignatureMatches(fn.handle.argument_types, arg_types, /*exact=*/false)) {
+      if (coercible != nullptr) {
+        return Status::UserError("ambiguous call to aggregate " + name);
+      }
+      coercible = &fn;
+    }
+  }
+  if (coercible == nullptr) {
+    return Status::UserError("no matching signature for aggregate " + name);
+  }
+  return coercible->handle;
+}
+
+Result<ScalarFunction> FunctionRegistry::FindScalar(
+    const FunctionHandle& handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scalars_.find(handle.name);
+  if (it != scalars_.end()) {
+    for (const ScalarFunction& fn : it->second) {
+      if (SignatureMatches(fn.handle.argument_types, handle.argument_types,
+                           /*exact=*/true)) {
+        return fn;
+      }
+    }
+  }
+  auto generic = generic_scalars_.find(handle.name);
+  if (generic != generic_scalars_.end()) {
+    return ScalarFunction{handle, generic->second.impl,
+                          generic->second.default_null_behavior};
+  }
+  return Status::NotFound("no scalar function matching handle " + handle.ToString());
+}
+
+Result<const AggregateFunction*> FunctionRegistry::FindAggregate(
+    const FunctionHandle& handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = aggregates_.find(handle.name);
+  if (it == aggregates_.end()) {
+    return Status::NotFound("no aggregate named " + handle.name);
+  }
+  for (const AggregateFunction& fn : it->second) {
+    if (SignatureMatches(fn.handle.argument_types, handle.argument_types,
+                         /*exact=*/true)) {
+      return &fn;
+    }
+  }
+  return Status::NotFound("no aggregate matching handle " + handle.ToString());
+}
+
+bool FunctionRegistry::IsAggregateName(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregates_.count(name) > 0;
+}
+
+FunctionRegistry& FunctionRegistry::Default() {
+  static FunctionRegistry& registry = *[] {
+    auto* r = new FunctionRegistry();
+    RegisterBuiltinFunctions(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace presto

@@ -1,0 +1,126 @@
+#ifndef PRESTO_EXPR_FUNCTION_REGISTRY_H_
+#define PRESTO_EXPR_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "presto/expr/expression.h"
+#include "presto/vector/vector.h"
+
+namespace presto {
+
+/// A vectorized scalar function implementation: consumes flattened argument
+/// vectors (all of length `num_rows`) and produces a result vector of the
+/// same length. Implementations handle NULLs themselves unless registered
+/// with default null behaviour (any-null-in → null-out), which the evaluator
+/// then enforces.
+using ScalarFunctionImpl = std::function<Result<VectorPtr>(
+    const std::vector<VectorPtr>& args, size_t num_rows)>;
+
+struct ScalarFunction {
+  FunctionHandle handle;
+  ScalarFunctionImpl impl;
+  /// If true the evaluator nulls out result rows where any argument is null
+  /// and the implementation may ignore null flags.
+  bool default_null_behavior = true;
+};
+
+/// Per-group state of an aggregate function. The distributed engine runs
+/// aggregations in two steps (partial on the scanning stage, final after the
+/// exchange), so accumulators expose a serializable intermediate Value.
+class Accumulator {
+ public:
+  virtual ~Accumulator() = default;
+
+  /// Folds in one input row (args are the evaluated argument vectors).
+  virtual void Add(const std::vector<VectorPtr>& args, size_t row) = 0;
+
+  /// Folds in an intermediate value produced by Intermediate().
+  virtual void MergeIntermediate(const Value& intermediate) = 0;
+
+  /// Serializable partial-aggregation state.
+  virtual Value Intermediate() const = 0;
+
+  /// Final result value.
+  virtual Value Final() const = 0;
+};
+
+struct AggregateFunction {
+  FunctionHandle handle;       // name, input types, final return type
+  TypePtr intermediate_type;   // type of Intermediate()
+  std::function<std::unique_ptr<Accumulator>()> factory;
+};
+
+/// Registry of scalar and aggregate functions. Function resolution performed
+/// at analysis time produces FunctionHandles stored inside RowExpressions,
+/// so execution (and connectors receiving pushed-down expressions) never
+/// re-resolve by name.
+class FunctionRegistry {
+ public:
+  Status RegisterScalar(const std::string& name, std::vector<TypePtr> arg_types,
+                        TypePtr return_type, ScalarFunctionImpl impl,
+                        bool default_null_behavior = true);
+
+  Status RegisterAggregate(
+      const std::string& name, std::vector<TypePtr> arg_types,
+      TypePtr return_type, TypePtr intermediate_type,
+      std::function<std::unique_ptr<Accumulator>()> factory);
+
+  /// Registers a type-parametric scalar (e.g. cardinality over any ARRAY).
+  /// The resolver computes the return type from the actual argument types or
+  /// returns an error when they do not apply.
+  using GenericResolver =
+      std::function<Result<TypePtr>(const std::vector<TypePtr>& arg_types)>;
+  Status RegisterGenericScalar(const std::string& name, GenericResolver resolver,
+                               ScalarFunctionImpl impl,
+                               bool default_null_behavior = true);
+
+  /// Resolves a scalar call by name and argument types. Exact signature
+  /// match wins; otherwise a unique candidate reachable by implicit numeric
+  /// widening (INTEGER→BIGINT→DOUBLE) is chosen; otherwise a generic
+  /// resolver is applied. The returned handle lists the *declared* parameter
+  /// types; the analyzer inserts CASTs where the actual argument types
+  /// differ.
+  Result<FunctionHandle> ResolveScalar(const std::string& name,
+                                       const std::vector<TypePtr>& arg_types) const;
+
+  Result<FunctionHandle> ResolveAggregate(
+      const std::string& name, const std::vector<TypePtr>& arg_types) const;
+
+  /// Looks up the implementation for a resolved handle (copies are cheap:
+  /// shared std::function state).
+  Result<ScalarFunction> FindScalar(const FunctionHandle& handle) const;
+  Result<const AggregateFunction*> FindAggregate(const FunctionHandle& handle) const;
+
+  bool IsAggregateName(const std::string& name) const;
+
+  /// Process-wide registry pre-populated with the SQL builtins. Plugins
+  /// (e.g. the geospatial plugin) register additional functions here.
+  static FunctionRegistry& Default();
+
+ private:
+  static bool SignatureMatches(const std::vector<TypePtr>& declared,
+                               const std::vector<TypePtr>& actual, bool exact);
+
+  struct GenericScalar {
+    GenericResolver resolver;
+    ScalarFunctionImpl impl;
+    bool default_null_behavior;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<ScalarFunction>> scalars_;
+  std::map<std::string, GenericScalar> generic_scalars_;
+  std::map<std::string, std::vector<AggregateFunction>> aggregates_;
+};
+
+/// Registers arithmetic, comparison, string, array/map, and misc builtins.
+void RegisterBuiltinFunctions(FunctionRegistry* registry);
+
+}  // namespace presto
+
+#endif  // PRESTO_EXPR_FUNCTION_REGISTRY_H_

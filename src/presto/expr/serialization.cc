@@ -1,0 +1,238 @@
+#include "presto/expr/serialization.h"
+
+namespace presto {
+
+namespace {
+
+// Value payload tags.
+constexpr uint8_t kValNull = 0;
+constexpr uint8_t kValBool = 1;
+constexpr uint8_t kValInt = 2;
+constexpr uint8_t kValDouble = 3;
+constexpr uint8_t kValString = 4;
+constexpr uint8_t kValRow = 5;
+constexpr uint8_t kValArray = 6;
+constexpr uint8_t kValMap = 7;
+
+void SerializeType(const TypePtr& type, ByteBuffer* out) {
+  out->PutString(type->ToString());
+}
+
+Result<TypePtr> DeserializeType(ByteReader* reader) {
+  ASSIGN_OR_RETURN(std::string text, reader->ReadString());
+  return Type::Parse(text);
+}
+
+void SerializeHandle(const FunctionHandle& handle, ByteBuffer* out) {
+  out->PutString(handle.name);
+  out->PutVarint(handle.argument_types.size());
+  for (const TypePtr& t : handle.argument_types) SerializeType(t, out);
+  SerializeType(handle.return_type, out);
+}
+
+Result<FunctionHandle> DeserializeHandle(ByteReader* reader) {
+  FunctionHandle handle;
+  ASSIGN_OR_RETURN(handle.name, reader->ReadString());
+  ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(TypePtr t, DeserializeType(reader));
+    handle.argument_types.push_back(std::move(t));
+  }
+  ASSIGN_OR_RETURN(handle.return_type, DeserializeType(reader));
+  return handle;
+}
+
+}  // namespace
+
+void SerializeValue(const Value& value, ByteBuffer* out) {
+  if (value.is_null()) {
+    out->PutU8(kValNull);
+  } else if (value.is_bool()) {
+    out->PutU8(kValBool);
+    out->PutU8(value.bool_value() ? 1 : 0);
+  } else if (value.is_int()) {
+    out->PutU8(kValInt);
+    out->PutSignedVarint(value.int_value());
+  } else if (value.is_double()) {
+    out->PutU8(kValDouble);
+    out->PutDouble(value.double_value());
+  } else if (value.is_string()) {
+    out->PutU8(kValString);
+    out->PutString(value.string_value());
+  } else if (value.is_row() || value.is_array()) {
+    out->PutU8(value.is_row() ? kValRow : kValArray);
+    out->PutVarint(value.children().size());
+    for (const Value& child : value.children()) SerializeValue(child, out);
+  } else {
+    out->PutU8(kValMap);
+    out->PutVarint(value.map_entries().size());
+    for (const auto& [k, v] : value.map_entries()) {
+      SerializeValue(k, out);
+      SerializeValue(v, out);
+    }
+  }
+}
+
+Result<Value> DeserializeValue(ByteReader* reader) {
+  ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case kValNull:
+      return Value::Null();
+    case kValBool: {
+      ASSIGN_OR_RETURN(uint8_t b, reader->ReadU8());
+      return Value::Bool(b != 0);
+    }
+    case kValInt: {
+      ASSIGN_OR_RETURN(int64_t v, reader->ReadSignedVarint());
+      return Value::Int(v);
+    }
+    case kValDouble: {
+      ASSIGN_OR_RETURN(double v, reader->ReadDouble());
+      return Value::Double(v);
+    }
+    case kValString: {
+      ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+      return Value::String(std::move(v));
+    }
+    case kValRow:
+    case kValArray: {
+      ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      Value::RowData children;
+      children.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(Value child, DeserializeValue(reader));
+        children.push_back(std::move(child));
+      }
+      return tag == kValRow ? Value::Row(std::move(children))
+                            : Value::Array(std::move(children));
+    }
+    case kValMap: {
+      ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      Value::MapData entries;
+      entries.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(Value k, DeserializeValue(reader));
+        ASSIGN_OR_RETURN(Value v, DeserializeValue(reader));
+        entries.emplace_back(std::move(k), std::move(v));
+      }
+      return Value::Map(std::move(entries));
+    }
+    default:
+      return Status::Corruption("unknown value tag");
+  }
+}
+
+void SerializeExpression(const RowExpression& expr, ByteBuffer* out) {
+  out->PutU8(static_cast<uint8_t>(expr.expression_kind()));
+  switch (expr.expression_kind()) {
+    case ExpressionKind::kConstant: {
+      const auto& c = static_cast<const ConstantExpression&>(expr);
+      SerializeType(c.type(), out);
+      SerializeValue(c.value(), out);
+      return;
+    }
+    case ExpressionKind::kVariableReference: {
+      const auto& var = static_cast<const VariableReferenceExpression&>(expr);
+      out->PutString(var.name());
+      SerializeType(var.type(), out);
+      return;
+    }
+    case ExpressionKind::kCall: {
+      const auto& call = static_cast<const CallExpression&>(expr);
+      SerializeHandle(call.handle(), out);
+      out->PutVarint(call.arguments().size());
+      for (const ExprPtr& arg : call.arguments()) {
+        SerializeExpression(*arg, out);
+      }
+      return;
+    }
+    case ExpressionKind::kSpecialForm: {
+      const auto& form = static_cast<const SpecialFormExpression&>(expr);
+      out->PutU8(static_cast<uint8_t>(form.form()));
+      SerializeType(form.type(), out);
+      out->PutVarint(form.field_index());
+      out->PutVarint(form.arguments().size());
+      for (const ExprPtr& arg : form.arguments()) {
+        SerializeExpression(*arg, out);
+      }
+      return;
+    }
+    case ExpressionKind::kLambdaDefinition: {
+      const auto& lambda = static_cast<const LambdaDefinitionExpression&>(expr);
+      out->PutVarint(lambda.argument_names().size());
+      for (size_t i = 0; i < lambda.argument_names().size(); ++i) {
+        out->PutString(lambda.argument_names()[i]);
+        SerializeType(lambda.argument_types()[i], out);
+      }
+      SerializeExpression(*lambda.body(), out);
+      return;
+    }
+  }
+}
+
+Result<ExprPtr> DeserializeExpression(ByteReader* reader) {
+  ASSIGN_OR_RETURN(uint8_t kind_tag, reader->ReadU8());
+  switch (static_cast<ExpressionKind>(kind_tag)) {
+    case ExpressionKind::kConstant: {
+      ASSIGN_OR_RETURN(TypePtr type, DeserializeType(reader));
+      ASSIGN_OR_RETURN(Value value, DeserializeValue(reader));
+      return ConstantExpression::Make(std::move(value), std::move(type));
+    }
+    case ExpressionKind::kVariableReference: {
+      ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+      ASSIGN_OR_RETURN(TypePtr type, DeserializeType(reader));
+      return ExprPtr(VariableReferenceExpression::Make(std::move(name),
+                                                       std::move(type)));
+    }
+    case ExpressionKind::kCall: {
+      ASSIGN_OR_RETURN(FunctionHandle handle, DeserializeHandle(reader));
+      ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<ExprPtr> args;
+      args.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(ExprPtr arg, DeserializeExpression(reader));
+        args.push_back(std::move(arg));
+      }
+      return CallExpression::Make(std::move(handle), std::move(args));
+    }
+    case ExpressionKind::kSpecialForm: {
+      ASSIGN_OR_RETURN(uint8_t form_tag, reader->ReadU8());
+      ASSIGN_OR_RETURN(TypePtr type, DeserializeType(reader));
+      ASSIGN_OR_RETURN(uint64_t field_index, reader->ReadVarint());
+      ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<ExprPtr> args;
+      args.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(ExprPtr arg, DeserializeExpression(reader));
+        args.push_back(std::move(arg));
+      }
+      return SpecialFormExpression::Make(static_cast<SpecialFormKind>(form_tag),
+                                         std::move(type), std::move(args),
+                                         field_index);
+    }
+    case ExpressionKind::kLambdaDefinition: {
+      ASSIGN_OR_RETURN(uint64_t n, reader->ReadVarint());
+      std::vector<std::string> names;
+      std::vector<TypePtr> types;
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+        ASSIGN_OR_RETURN(TypePtr type, DeserializeType(reader));
+        names.push_back(std::move(name));
+        types.push_back(std::move(type));
+      }
+      ASSIGN_OR_RETURN(ExprPtr body, DeserializeExpression(reader));
+      return LambdaDefinitionExpression::Make(std::move(names), std::move(types),
+                                              std::move(body));
+    }
+  }
+  return Status::Corruption("unknown expression kind tag");
+}
+
+Result<ExprPtr> CopyExpressionViaSerialization(const RowExpression& expr) {
+  ByteBuffer buffer;
+  SerializeExpression(expr, &buffer);
+  ByteReader reader(buffer.bytes());
+  return DeserializeExpression(&reader);
+}
+
+}  // namespace presto

@@ -1,0 +1,27 @@
+#ifndef PRESTO_EXPR_SERIALIZATION_H_
+#define PRESTO_EXPR_SERIALIZATION_H_
+
+#include "presto/common/bytes.h"
+#include "presto/expr/expression.h"
+
+namespace presto {
+
+/// Binary serialization of RowExpressions. This is the property the paper
+/// calls out: unlike the old AST representation, a RowExpression is fully
+/// self-contained (types and FunctionHandles travel inside it), so the
+/// coordinator can ship pushed-down sub-expressions to connectors — and, in
+/// a real deployment, across process boundaries — without any re-resolution.
+void SerializeExpression(const RowExpression& expr, ByteBuffer* out);
+Result<ExprPtr> DeserializeExpression(ByteReader* reader);
+
+/// Value serialization used by constants and by exchange/spill paths.
+void SerializeValue(const Value& value, ByteBuffer* out);
+Result<Value> DeserializeValue(ByteReader* reader);
+
+/// Round-trip convenience: serialize then deserialize (used in tests and by
+/// connectors that want a defensive private copy of a pushed-down filter).
+Result<ExprPtr> CopyExpressionViaSerialization(const RowExpression& expr);
+
+}  // namespace presto
+
+#endif  // PRESTO_EXPR_SERIALIZATION_H_

@@ -1,0 +1,24 @@
+#include "presto/fs/file_system.h"
+
+namespace presto {
+
+Result<std::vector<uint8_t>> RandomAccessFile::ReadAll() {
+  ASSIGN_OR_RETURN(uint64_t size, Size());
+  std::vector<uint8_t> out(size);
+  size_t done = 0;
+  while (done < size) {
+    ASSIGN_OR_RETURN(size_t n, Read(done, size - done, out.data() + done));
+    if (n == 0) return Status::IoError("unexpected EOF");
+    done += n;
+  }
+  return out;
+}
+
+Status FileSystem::WriteFile(const std::string& path,
+                             const std::vector<uint8_t>& bytes) {
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file, OpenForWrite(path));
+  RETURN_IF_ERROR(file->Append(bytes.data(), bytes.size()));
+  return file->Close();
+}
+
+}  // namespace presto

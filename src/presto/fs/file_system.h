@@ -1,0 +1,81 @@
+#ifndef PRESTO_FS_FILE_SYSTEM_H_
+#define PRESTO_FS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "presto/common/metrics.h"
+#include "presto/common/status.h"
+
+namespace presto {
+
+/// File metadata returned by ListFiles/GetFileInfo. getFileInfo calls against
+/// remote storage are exactly what the worker-side file-handle cache
+/// (Section VII.B) eliminates.
+struct FileInfo {
+  std::string path;
+  uint64_t size = 0;
+  bool is_directory = false;
+};
+
+/// Positional-read file handle.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset`; returns bytes read (short only at
+  /// EOF).
+  virtual Result<size_t> Read(uint64_t offset, size_t n, uint8_t* out) = 0;
+
+  virtual Result<uint64_t> Size() const = 0;
+
+  /// Reads the whole file (convenience for footers/tests).
+  Result<std::vector<uint8_t>> ReadAll();
+};
+
+/// Append-only writable file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const uint8_t* data, size_t n) = 0;
+  virtual Status Close() = 0;
+
+  Status Append(const std::vector<uint8_t>& bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+};
+
+/// Abstract filesystem. Implementations: in-memory, local POSIX, simulated
+/// HDFS (NameNode latency + call counters), and PrestoS3FileSystem on top of
+/// the simulated S3 object store.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual Result<std::shared_ptr<RandomAccessFile>> OpenForRead(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path) = 0;
+
+  /// Lists files directly under `directory` (non-recursive).
+  virtual Result<std::vector<FileInfo>> ListFiles(const std::string& directory) = 0;
+
+  virtual Result<FileInfo> GetFileInfo(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// Per-filesystem operation counters (listFiles, getFileInfo, bytes, ...).
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Writes an entire buffer as a file (convenience).
+  Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
+
+ protected:
+  MetricsRegistry metrics_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_FS_FILE_SYSTEM_H_

@@ -1,0 +1,128 @@
+#include "presto/fs/local_file_system.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace presto {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+class LocalReadFile final : public RandomAccessFile {
+ public:
+  LocalReadFile(std::FILE* file, uint64_t size) : file_(file), size_(size) {}
+  ~LocalReadFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Result<size_t> Read(uint64_t offset, size_t n, uint8_t* out) override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("fseek failed");
+    }
+    return std::fread(out, 1, n, file_);
+  }
+
+  Result<uint64_t> Size() const override { return size_; }
+
+ private:
+  std::FILE* file_;
+  uint64_t size_;
+};
+
+class LocalWriteFile final : public WritableFile {
+ public:
+  explicit LocalWriteFile(std::FILE* file) : file_(file) {}
+  ~LocalWriteFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const uint8_t* data, size_t n) override {
+    if (file_ == nullptr) return Status::IoError("file closed");
+    if (std::fwrite(data, 1, n, file_) != n) {
+      return Status::IoError("short write");
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    return rc == 0 ? Status::OK() : Status::IoError("fclose failed");
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<RandomAccessFile>> LocalFileSystem::OpenForRead(
+    const std::string& path) {
+  metrics_.Increment("open_read");
+  std::error_code ec;
+  uint64_t size = stdfs::file_size(path, ec);
+  if (ec) return Status::NotFound("no such file: " + path);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  return std::shared_ptr<RandomAccessFile>(new LocalReadFile(file, size));
+}
+
+Result<std::unique_ptr<WritableFile>> LocalFileSystem::OpenForWrite(
+    const std::string& path) {
+  metrics_.Increment("open_write");
+  std::error_code ec;
+  stdfs::path parent = stdfs::path(path).parent_path();
+  if (!parent.empty()) stdfs::create_directories(parent, ec);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot create " + path);
+  return std::unique_ptr<WritableFile>(new LocalWriteFile(file));
+}
+
+Result<std::vector<FileInfo>> LocalFileSystem::ListFiles(
+    const std::string& directory) {
+  metrics_.Increment("listFiles");
+  std::error_code ec;
+  std::vector<FileInfo> out;
+  for (const auto& entry : stdfs::directory_iterator(directory, ec)) {
+    FileInfo info;
+    info.path = entry.path().string();
+    info.is_directory = entry.is_directory();
+    if (!info.is_directory) {
+      info.size = entry.file_size(ec);
+    }
+    out.push_back(std::move(info));
+  }
+  if (ec) return Status::IoError("cannot list " + directory + ": " + ec.message());
+  return out;
+}
+
+Result<FileInfo> LocalFileSystem::GetFileInfo(const std::string& path) {
+  metrics_.Increment("getFileInfo");
+  std::error_code ec;
+  auto status = stdfs::status(path, ec);
+  if (ec || status.type() == stdfs::file_type::not_found) {
+    return Status::NotFound("no such file: " + path);
+  }
+  FileInfo info;
+  info.path = path;
+  info.is_directory = stdfs::is_directory(status);
+  if (!info.is_directory) info.size = stdfs::file_size(path, ec);
+  return info;
+}
+
+Status LocalFileSystem::DeleteFile(const std::string& path) {
+  std::error_code ec;
+  if (!stdfs::remove(path, ec) || ec) {
+    return Status::NotFound("cannot delete " + path);
+  }
+  return Status::OK();
+}
+
+bool LocalFileSystem::Exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+}  // namespace presto

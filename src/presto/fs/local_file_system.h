@@ -1,0 +1,24 @@
+#ifndef PRESTO_FS_LOCAL_FILE_SYSTEM_H_
+#define PRESTO_FS_LOCAL_FILE_SYSTEM_H_
+
+#include "presto/fs/file_system.h"
+
+namespace presto {
+
+/// POSIX filesystem adapter. All paths are used verbatim; parent directories
+/// are created on write. Used by examples that persist lakefiles to disk.
+class LocalFileSystem : public FileSystem {
+ public:
+  Result<std::shared_ptr<RandomAccessFile>> OpenForRead(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path) override;
+  Result<std::vector<FileInfo>> ListFiles(const std::string& directory) override;
+  Result<FileInfo> GetFileInfo(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_FS_LOCAL_FILE_SYSTEM_H_

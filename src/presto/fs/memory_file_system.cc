@@ -1,0 +1,147 @@
+#include "presto/fs/memory_file_system.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace presto {
+
+namespace {
+
+class MemoryReadFile final : public RandomAccessFile {
+ public:
+  explicit MemoryReadFile(std::shared_ptr<const std::vector<uint8_t>> data)
+      : data_(std::move(data)) {}
+
+  Result<size_t> Read(uint64_t offset, size_t n, uint8_t* out) override {
+    if (offset >= data_->size()) return size_t{0};
+    size_t take = std::min<size_t>(n, data_->size() - offset);
+    std::memcpy(out, data_->data() + offset, take);
+    return take;
+  }
+
+  Result<uint64_t> Size() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<const std::vector<uint8_t>> data_;
+};
+
+}  // namespace
+
+class MemoryWritableFile final : public WritableFile {
+ public:
+  MemoryWritableFile(MemoryFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  ~MemoryWritableFile() override {
+    if (!closed_) (void)Close();
+  }
+
+  Status Append(const uint8_t* data, size_t n) override {
+    if (closed_) return Status::IoError("file already closed: " + path_);
+    buffer_.insert(buffer_.end(), data, data + n);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    fs_->Store(path_, std::move(buffer_));
+    return Status::OK();
+  }
+
+ private:
+  MemoryFileSystem* fs_;
+  std::string path_;
+  std::vector<uint8_t> buffer_;
+  bool closed_ = false;
+};
+
+Result<std::shared_ptr<RandomAccessFile>> MemoryFileSystem::OpenForRead(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  metrics_.Increment("open_read");
+  return std::shared_ptr<RandomAccessFile>(new MemoryReadFile(it->second));
+}
+
+Result<std::unique_ptr<WritableFile>> MemoryFileSystem::OpenForWrite(
+    const std::string& path) {
+  metrics_.Increment("open_write");
+  return std::unique_ptr<WritableFile>(new MemoryWritableFile(this, path));
+}
+
+Result<std::vector<FileInfo>> MemoryFileSystem::ListFiles(
+    const std::string& directory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.Increment("listFiles");
+  std::string prefix = directory;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<FileInfo> out;
+  std::vector<std::string> seen_dirs;
+  for (const auto& [path, data] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    std::string rest = path.substr(prefix.size());
+    size_t slash = rest.find('/');
+    if (slash == std::string::npos) {
+      out.push_back(FileInfo{path, data->size(), false});
+    } else {
+      std::string dir = prefix + rest.substr(0, slash);
+      if (std::find(seen_dirs.begin(), seen_dirs.end(), dir) == seen_dirs.end()) {
+        seen_dirs.push_back(dir);
+        out.push_back(FileInfo{dir, 0, true});
+      }
+    }
+  }
+  return out;
+}
+
+Result<FileInfo> MemoryFileSystem::GetFileInfo(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.Increment("getFileInfo");
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    return FileInfo{path, it->second->size(), false};
+  }
+  // Directory?
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [p, data] : files_) {
+    if (p.rfind(prefix, 0) == 0) return FileInfo{path, 0, true};
+  }
+  return Status::NotFound("no such file or directory: " + path);
+}
+
+Status MemoryFileSystem::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+bool MemoryFileSystem::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(path) > 0) return true;
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [p, data] : files_) {
+    if (p.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+uint64_t MemoryFileSystem::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [p, data] : files_) total += data->size();
+  return total;
+}
+
+void MemoryFileSystem::Store(const std::string& path, std::vector<uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] =
+      std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+}  // namespace presto

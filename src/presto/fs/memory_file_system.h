@@ -1,0 +1,39 @@
+#ifndef PRESTO_FS_MEMORY_FILE_SYSTEM_H_
+#define PRESTO_FS_MEMORY_FILE_SYSTEM_H_
+
+#include <map>
+#include <mutex>
+
+#include "presto/fs/file_system.h"
+
+namespace presto {
+
+/// Thread-safe in-memory filesystem. Paths are '/'-separated; directories
+/// are implicit (a file "a/b/c" makes "a" and "a/b" listable). Used directly
+/// by tests and as the storage behind SimulatedHdfs.
+class MemoryFileSystem : public FileSystem {
+ public:
+  Result<std::shared_ptr<RandomAccessFile>> OpenForRead(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path) override;
+  Result<std::vector<FileInfo>> ListFiles(const std::string& directory) override;
+  Result<FileInfo> GetFileInfo(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  /// Total bytes across all files (memory accounting in tests).
+  uint64_t TotalBytes() const;
+
+ private:
+  friend class MemoryWritableFile;
+
+  void Store(const std::string& path, std::vector<uint8_t> bytes);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const std::vector<uint8_t>>> files_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_FS_MEMORY_FILE_SYSTEM_H_

@@ -1,0 +1,278 @@
+#include "presto/fs/presto_s3_file_system.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace presto {
+
+namespace {
+
+Status BackoffRetry(Clock* clock, const PrestoS3Options& options,
+                    MetricsRegistry* metrics,
+                    const std::function<Status()>& op) {
+  int64_t delay = options.base_backoff_nanos;
+  Status last;
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    if (attempt > 0) {
+      metrics->Increment("s3fs.retries");
+      metrics->Increment("s3fs.backoff_nanos", delay);
+      clock->AdvanceNanos(delay);
+      delay *= 2;
+    }
+    last = op();
+    if (last.ok() || last.code() != StatusCode::kUnavailable) return last;
+  }
+  return Status::Unavailable("S3 still unavailable after " +
+                             std::to_string(options.max_retries) +
+                             " retries: " + last.message());
+}
+
+}  // namespace
+
+// -- S3InputStream -------------------------------------------------------------
+
+S3InputStream::S3InputStream(S3ObjectStore* store, Clock* clock, std::string key,
+                             uint64_t size, const PrestoS3Options& options,
+                             MetricsRegistry* metrics)
+    : store_(store),
+      clock_(clock),
+      key_(std::move(key)),
+      size_(size),
+      options_(options),
+      metrics_(metrics) {}
+
+Status S3InputStream::Seek(uint64_t position) {
+  if (position > size_) {
+    return Status::OutOfRange("seek past end of object " + key_);
+  }
+  logical_pos_ = position;
+  if (options_.lazy_seek) {
+    // Lazy seek: remember the target; the stream reopen (a fresh range GET)
+    // only happens if and when a read occurs outside the current buffer.
+    return Status::OK();
+  }
+  // Eager seek: any reposition outside the buffered window reopens the HTTP
+  // stream immediately — the cost lazy seek avoids.
+  bool inside_buffer = position >= buffer_start_ &&
+                       position < buffer_start_ + buffer_.size();
+  if (!inside_buffer) {
+    return ReopenAt(position, 1);
+  }
+  return Status::OK();
+}
+
+Result<size_t> S3InputStream::Read(uint8_t* out, size_t n) {
+  if (n == 0 || logical_pos_ >= size_) return size_t{0};
+  n = std::min<size_t>(n, size_ - logical_pos_);
+  size_t produced = 0;
+  while (produced < n) {
+    bool inside_buffer = stream_open_ && logical_pos_ >= buffer_start_ &&
+                         logical_pos_ < buffer_start_ + buffer_.size();
+    if (!inside_buffer) {
+      RETURN_IF_ERROR(ReopenAt(logical_pos_, n - produced));
+    }
+    size_t buffer_offset = logical_pos_ - buffer_start_;
+    size_t take = std::min(n - produced, buffer_.size() - buffer_offset);
+    std::memcpy(out + produced, buffer_.data() + buffer_offset, take);
+    produced += take;
+    logical_pos_ += take;
+  }
+  return produced;
+}
+
+Status S3InputStream::ReopenAt(uint64_t pos, size_t min_bytes) {
+  metrics_->Increment("s3fs.stream_reopens");
+  size_t fetch = std::max(min_bytes, options_.read_ahead_bytes);
+  return BackoffRetry(clock_, options_, metrics_, [&]() -> Status {
+    auto bytes = store_->GetRange(key_, pos, fetch);
+    if (!bytes.ok()) return bytes.status();
+    buffer_ = std::move(*bytes);
+    buffer_start_ = pos;
+    stream_open_ = true;
+    return Status::OK();
+  });
+}
+
+// -- Read adapter ---------------------------------------------------------------
+
+namespace {
+
+class S3RandomAccessFile final : public RandomAccessFile {
+ public:
+  S3RandomAccessFile(std::unique_ptr<S3InputStream> stream)
+      : stream_(std::move(stream)) {}
+
+  Result<size_t> Read(uint64_t offset, size_t n, uint8_t* out) override {
+    RETURN_IF_ERROR(stream_->Seek(std::min<uint64_t>(offset, stream_->size())));
+    return stream_->Read(out, n);
+  }
+
+  Result<uint64_t> Size() const override { return stream_->size(); }
+
+ private:
+  std::unique_ptr<S3InputStream> stream_;
+};
+
+}  // namespace
+
+// -- Writable file ----------------------------------------------------------------
+
+class S3WritableFile final : public WritableFile {
+ public:
+  S3WritableFile(PrestoS3FileSystem* fs, std::string key)
+      : fs_(fs), key_(std::move(key)) {}
+
+  ~S3WritableFile() override {
+    if (!closed_) (void)Close();
+  }
+
+  Status Append(const uint8_t* data, size_t n) override {
+    if (closed_) return Status::IoError("file already closed: " + key_);
+    buffer_.insert(buffer_.end(), data, data + n);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    const PrestoS3Options& opts = fs_->options_;
+    if (buffer_.size() < opts.multipart_threshold) {
+      return fs_->RetryWithBackoff([&]() -> Status {
+        // PutObject consumes the buffer only on success path; copy to allow retry.
+        return fs_->store_->PutObject(key_, buffer_);
+      });
+    }
+    // Multipart upload: split into parts. Parts upload "in parallel" — in
+    // virtual time we refund the overlapped fraction of the transfer after
+    // issuing the parts sequentially.
+    std::string upload_id;
+    RETURN_IF_ERROR(fs_->RetryWithBackoff([&]() -> Status {
+      auto id = fs_->store_->CreateMultipartUpload(key_);
+      if (!id.ok()) return id.status();
+      upload_id = *id;
+      return Status::OK();
+    }));
+    int64_t start = fs_->clock_->NowNanos();
+    int part_number = 0;
+    for (size_t offset = 0; offset < buffer_.size(); offset += opts.part_size) {
+      size_t len = std::min(opts.part_size, buffer_.size() - offset);
+      std::vector<uint8_t> part(buffer_.begin() + offset,
+                                buffer_.begin() + offset + len);
+      ++part_number;
+      Status st = fs_->RetryWithBackoff([&]() -> Status {
+        return fs_->store_->UploadPart(upload_id, part_number, part);
+      });
+      if (!st.ok()) {
+        (void)fs_->store_->AbortMultipartUpload(upload_id);
+        return st;
+      }
+    }
+    int parallelism = std::min<int>(opts.upload_parallelism, part_number);
+    if (parallelism > 1) {
+      int64_t elapsed = fs_->clock_->NowNanos() - start;
+      int64_t refund = elapsed - elapsed / parallelism;
+      if (refund > 0) fs_->clock_->AdvanceNanos(-refund);
+      fs_->metrics().Increment("s3fs.multipart_parallel_refund_nanos", refund);
+    }
+    fs_->metrics().Increment("s3fs.multipart_uploads");
+    return fs_->RetryWithBackoff([&]() -> Status {
+      return fs_->store_->CompleteMultipartUpload(upload_id);
+    });
+  }
+
+ private:
+  PrestoS3FileSystem* fs_;
+  std::string key_;
+  std::vector<uint8_t> buffer_;
+  bool closed_ = false;
+};
+
+// -- PrestoS3FileSystem ------------------------------------------------------------
+
+Status PrestoS3FileSystem::RetryWithBackoff(const std::function<Status()>& op) {
+  return BackoffRetry(clock_, options_, &metrics_, op);
+}
+
+Result<std::unique_ptr<S3InputStream>> PrestoS3FileSystem::OpenStream(
+    const std::string& path) {
+  FileInfo info;
+  RETURN_IF_ERROR(RetryWithBackoff([&]() -> Status {
+    auto head = store_->HeadObject(path);
+    if (!head.ok()) return head.status();
+    info = *head;
+    return Status::OK();
+  }));
+  return std::make_unique<S3InputStream>(store_, clock_, path, info.size,
+                                         options_, &metrics_);
+}
+
+Result<std::shared_ptr<RandomAccessFile>> PrestoS3FileSystem::OpenForRead(
+    const std::string& path) {
+  ASSIGN_OR_RETURN(std::unique_ptr<S3InputStream> stream, OpenStream(path));
+  return std::shared_ptr<RandomAccessFile>(
+      new S3RandomAccessFile(std::move(stream)));
+}
+
+Result<std::unique_ptr<WritableFile>> PrestoS3FileSystem::OpenForWrite(
+    const std::string& path) {
+  return std::unique_ptr<WritableFile>(new S3WritableFile(this, path));
+}
+
+Result<std::vector<FileInfo>> PrestoS3FileSystem::ListFiles(
+    const std::string& directory) {
+  metrics_.Increment("listFiles");
+  std::string prefix = directory;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<FileInfo> raw;
+  RETURN_IF_ERROR(RetryWithBackoff([&]() -> Status {
+    auto listed = store_->ListObjects(prefix);
+    if (!listed.ok()) return listed.status();
+    raw = *listed;
+    return Status::OK();
+  }));
+  // S3 listings are flat; synthesize non-recursive directory entries.
+  std::vector<FileInfo> out;
+  std::vector<std::string> seen_dirs;
+  for (const FileInfo& info : raw) {
+    std::string rest = info.path.substr(prefix.size());
+    size_t slash = rest.find('/');
+    if (slash == std::string::npos) {
+      out.push_back(info);
+    } else {
+      std::string dir = prefix + rest.substr(0, slash);
+      if (std::find(seen_dirs.begin(), seen_dirs.end(), dir) == seen_dirs.end()) {
+        seen_dirs.push_back(dir);
+        out.push_back(FileInfo{dir, 0, true});
+      }
+    }
+  }
+  return out;
+}
+
+Result<FileInfo> PrestoS3FileSystem::GetFileInfo(const std::string& path) {
+  metrics_.Increment("getFileInfo");
+  FileInfo info;
+  Status st = RetryWithBackoff([&]() -> Status {
+    auto head = store_->HeadObject(path);
+    if (!head.ok()) return head.status();
+    info = *head;
+    return Status::OK();
+  });
+  if (st.ok()) return info;
+  if (st.code() != StatusCode::kNotFound) return st;
+  // Directory probe.
+  auto listed = store_->ListObjects(path + "/");
+  if (listed.ok() && !listed->empty()) return FileInfo{path, 0, true};
+  return Status::NotFound("no such object: " + path);
+}
+
+Status PrestoS3FileSystem::DeleteFile(const std::string& path) {
+  return RetryWithBackoff([&]() -> Status { return store_->DeleteObject(path); });
+}
+
+bool PrestoS3FileSystem::Exists(const std::string& path) {
+  return GetFileInfo(path).ok();
+}
+
+}  // namespace presto

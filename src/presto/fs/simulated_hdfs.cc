@@ -1,0 +1,40 @@
+#include "presto/fs/simulated_hdfs.h"
+
+namespace presto {
+
+Result<std::shared_ptr<RandomAccessFile>> SimulatedHdfs::OpenForRead(
+    const std::string& path) {
+  metrics_.Increment("open_read");
+  return storage_.OpenForRead(path);
+}
+
+Result<std::unique_ptr<WritableFile>> SimulatedHdfs::OpenForWrite(
+    const std::string& path) {
+  metrics_.Increment("open_write");
+  return storage_.OpenForWrite(path);
+}
+
+Result<std::vector<FileInfo>> SimulatedHdfs::ListFiles(
+    const std::string& directory) {
+  metrics_.Increment("listFiles");
+  clock_->AdvanceNanos(MetadataCharge(latency_.list_files_nanos));
+  return storage_.ListFiles(directory);
+}
+
+Result<FileInfo> SimulatedHdfs::GetFileInfo(const std::string& path) {
+  metrics_.Increment("getFileInfo");
+  clock_->AdvanceNanos(MetadataCharge(latency_.get_file_info_nanos));
+  return storage_.GetFileInfo(path);
+}
+
+Status SimulatedHdfs::DeleteFile(const std::string& path) {
+  return storage_.DeleteFile(path);
+}
+
+bool SimulatedHdfs::Exists(const std::string& path) {
+  metrics_.Increment("getFileInfo");
+  clock_->AdvanceNanos(MetadataCharge(latency_.get_file_info_nanos));
+  return storage_.Exists(path);
+}
+
+}  // namespace presto

@@ -1,0 +1,142 @@
+#include "presto/geo/geo_functions.h"
+
+#include "presto/geo/geo_index.h"
+
+namespace presto {
+namespace geo {
+
+namespace {
+
+// Accumulator for build_geo_index: collects (id, wkt) pairs, serializes the
+// resulting GeoIndex as its final value.
+class BuildGeoIndexAccumulator final : public Accumulator {
+ public:
+  void Add(const std::vector<VectorPtr>& args, size_t row) override {
+    if (args[0]->IsNull(row) || args[1]->IsNull(row)) return;
+    shapes_.emplace_back(args[0]->GetValue(row).int_value(),
+                         args[1]->GetValue(row).string_value());
+  }
+
+  void MergeIntermediate(const Value& intermediate) override {
+    if (intermediate.is_null()) return;
+    // The intermediate is a serialized (id, wkt) list; unpack lazily at
+    // finalization time.
+    merged_serialized_.push_back(intermediate.string_value());
+  }
+
+  // Intermediate state crosses exchanges, so it stays fully serialized; the
+  // final value is a registry token — the QuadTree is handed to geo_contains
+  // by reference within the process, never re-parsed per row.
+  Value Intermediate() const override {
+    auto all = CollectShapes();
+    auto index = GeoIndex::Build(all);
+    if (!index.ok()) return Value::Null();
+    return Value::String(index->Serialize());
+  }
+
+  Value Final() const override {
+    auto all = CollectShapes();
+    auto index = GeoIndex::Build(all);
+    if (!index.ok()) return Value::Null();
+    return Value::String(
+        RegisterGeoIndex(std::make_shared<const GeoIndex>(std::move(*index))));
+  }
+
+ private:
+  std::vector<std::pair<int64_t, std::string>> CollectShapes() const {
+    std::vector<std::pair<int64_t, std::string>> all = shapes_;
+    for (const std::string& bytes : merged_serialized_) {
+      ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()),
+                        bytes.size());
+      auto count = reader.ReadVarint();
+      if (!count.ok()) continue;
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto id = reader.ReadSignedVarint();
+        auto wkt = reader.ReadString();
+        if (!id.ok() || !wkt.ok()) break;
+        all.emplace_back(*id, std::move(*wkt));
+      }
+    }
+    return all;
+  }
+
+  std::vector<std::pair<int64_t, std::string>> shapes_;
+  std::vector<std::string> merged_serialized_;
+};
+
+Result<VectorPtr> StPointImpl(const std::vector<VectorPtr>& args, size_t n) {
+  const auto* lon = static_cast<const DoubleVector*>(args[0].get());
+  const auto* lat = static_cast<const DoubleVector*>(args[1].get());
+  std::vector<std::string> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = PointWkt(lon->ValueAt(i), lat->ValueAt(i));
+  }
+  return MakeVarcharVector(std::move(out));
+}
+
+Result<VectorPtr> StContainsImpl(const std::vector<VectorPtr>& args, size_t n) {
+  const auto* shape = static_cast<const StringVector*>(args[0].get());
+  const auto* point = static_cast<const StringVector*>(args[1].get());
+  std::vector<uint8_t> out(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // Brute force: parse and test per row — the cost the QuadTree rewrite
+    // removes.
+    auto geometry = ParseWkt(shape->ValueAt(i));
+    if (!geometry.ok()) return geometry.status();
+    auto p = ParseWkt(point->ValueAt(i));
+    if (!p.ok()) return p.status();
+    if (p->kind != Geometry::Kind::kPoint) {
+      return Status::UserError("st_contains second argument must be a POINT");
+    }
+    out[i] = GeometryContains(*geometry, p->point) ? 1 : 0;
+  }
+  return MakeBooleanVector(std::move(out));
+}
+
+Result<VectorPtr> GeoContainsImpl(const std::vector<VectorPtr>& args, size_t n) {
+  const auto* index_bytes = static_cast<const StringVector*>(args[0].get());
+  const auto* point = static_cast<const StringVector*>(args[1].get());
+  std::vector<int64_t> out(n, 0);
+  std::vector<uint8_t> nulls(n, 0);
+  bool any_null = false;
+  for (size_t i = 0; i < n; ++i) {
+    std::shared_ptr<const GeoIndex> index =
+        GetOrParseGeoIndex(index_bytes->ValueAt(i));
+    if (index == nullptr) {
+      return Status::InvalidArgument("geo_contains: invalid index bytes");
+    }
+    auto p = ParseWkt(point->ValueAt(i));
+    if (!p.ok()) return p.status();
+    auto id = index->FindFirstContaining(p->point);
+    if (id.has_value()) {
+      out[i] = *id;
+    } else {
+      nulls[i] = 1;
+      any_null = true;
+    }
+  }
+  if (!any_null) nulls.clear();
+  return VectorPtr(std::make_shared<Int64Vector>(Type::Bigint(), std::move(out),
+                                                 std::move(nulls)));
+}
+
+}  // namespace
+
+Status RegisterGeoFunctions(FunctionRegistry* registry) {
+  const TypePtr& d = Type::Double();
+  const TypePtr& v = Type::Varchar();
+  const TypePtr& b = Type::Bigint();
+  RETURN_IF_ERROR(registry->RegisterScalar("st_point", {d, d}, v, StPointImpl));
+  RETURN_IF_ERROR(
+      registry->RegisterScalar("st_contains", {v, v}, Type::Boolean(),
+                               StContainsImpl));
+  RETURN_IF_ERROR(registry->RegisterScalar("geo_contains", {v, v}, b,
+                                           GeoContainsImpl));
+  RETURN_IF_ERROR(registry->RegisterAggregate(
+      "build_geo_index", {b, v}, v, v,
+      [] { return std::unique_ptr<Accumulator>(new BuildGeoIndexAccumulator()); }));
+  return Status::OK();
+}
+
+}  // namespace geo
+}  // namespace presto

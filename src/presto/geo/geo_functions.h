@@ -1,0 +1,28 @@
+#ifndef PRESTO_GEO_GEO_FUNCTIONS_H_
+#define PRESTO_GEO_GEO_FUNCTIONS_H_
+
+#include "presto/expr/function_registry.h"
+
+namespace presto {
+namespace geo {
+
+/// Registers the Presto Geospatial plugin functions (Section VI.E):
+///
+///   st_point(lon DOUBLE, lat DOUBLE) -> VARCHAR            (WKT point)
+///   st_contains(shape VARCHAR, point VARCHAR) -> BOOLEAN   (exact, per row)
+///   geo_contains(index VARCHAR, point VARCHAR) -> BIGINT   (QuadTree-
+///       filtered lookup; returns the first containing geofence id or NULL)
+///
+/// and the aggregation
+///
+///   build_geo_index(id BIGINT, shape VARCHAR) -> VARCHAR
+///
+/// which "serializes/deserializes geospatial polygons into a QuadTree". The
+/// optimizer rewrites st_contains joins into build_geo_index + geo_contains
+/// (Figure 13).
+Status RegisterGeoFunctions(FunctionRegistry* registry);
+
+}  // namespace geo
+}  // namespace presto
+
+#endif  // PRESTO_GEO_GEO_FUNCTIONS_H_

@@ -1,0 +1,156 @@
+#include "presto/geo/geo_index.h"
+
+#include <map>
+#include <mutex>
+
+#include "presto/common/hash.h"
+
+namespace presto {
+namespace geo {
+
+Result<GeoIndex> GeoIndex::Build(
+    const std::vector<std::pair<int64_t, std::string>>& shapes) {
+  GeoIndex index;
+  index.shapes_.reserve(shapes.size());
+  BoundingBox world;
+  bool first = true;
+  std::vector<BoundingBox> boxes;
+  boxes.reserve(shapes.size());
+  for (const auto& [id, wkt] : shapes) {
+    Shape shape;
+    shape.id = id;
+    shape.wkt = wkt;
+    ASSIGN_OR_RETURN(shape.geometry, ParseWkt(wkt));
+    if (shape.geometry.kind == Geometry::Kind::kPoint) {
+      return Status::InvalidArgument("geofence must be POLYGON or MULTIPOLYGON");
+    }
+    BoundingBox box = ComputeBounds(shape.geometry);
+    if (first) {
+      world = box;
+      first = false;
+    } else {
+      world.min_x = std::min(world.min_x, box.min_x);
+      world.min_y = std::min(world.min_y, box.min_y);
+      world.max_x = std::max(world.max_x, box.max_x);
+      world.max_y = std::max(world.max_y, box.max_y);
+    }
+    boxes.push_back(box);
+    index.shapes_.push_back(std::move(shape));
+  }
+  index.tree_ = QuadTree(world);
+  for (size_t i = 0; i < index.shapes_.size(); ++i) {
+    index.tree_.Insert(static_cast<int32_t>(i), boxes[i]);
+  }
+  return index;
+}
+
+std::vector<int64_t> GeoIndex::FindContaining(GeoPoint p) const {
+  std::vector<int32_t> candidates;
+  tree_.Query(p, &candidates);
+  std::vector<int64_t> out;
+  for (int32_t c : candidates) {
+    ++contains_checks_;
+    if (GeometryContains(shapes_[c].geometry, p)) {
+      out.push_back(shapes_[c].id);
+    }
+  }
+  return out;
+}
+
+std::optional<int64_t> GeoIndex::FindFirstContaining(GeoPoint p) const {
+  std::vector<int32_t> candidates;
+  tree_.Query(p, &candidates);
+  for (int32_t c : candidates) {
+    ++contains_checks_;
+    if (GeometryContains(shapes_[c].geometry, p)) {
+      return shapes_[c].id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<int64_t> GeoIndex::FindContainingBruteForce(GeoPoint p) const {
+  std::vector<int64_t> out;
+  for (const Shape& shape : shapes_) {
+    ++contains_checks_;
+    if (GeometryContains(shape.geometry, p)) {
+      out.push_back(shape.id);
+    }
+  }
+  return out;
+}
+
+std::string GeoIndex::Serialize() const {
+  ByteBuffer out;
+  out.PutVarint(shapes_.size());
+  for (const Shape& shape : shapes_) {
+    out.PutSignedVarint(shape.id);
+    out.PutString(shape.wkt);
+  }
+  return std::string(out.bytes().begin(), out.bytes().end());
+}
+
+Result<GeoIndex> GeoIndex::Deserialize(const std::string& bytes) {
+  ByteReader reader(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  std::vector<std::pair<int64_t, std::string>> shapes;
+  shapes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(int64_t id, reader.ReadSignedVarint());
+    ASSIGN_OR_RETURN(std::string wkt, reader.ReadString());
+    shapes.emplace_back(id, std::move(wkt));
+  }
+  return Build(shapes);
+}
+
+namespace {
+
+struct IndexCacheState {
+  std::mutex mu;
+  std::map<uint64_t, std::shared_ptr<const GeoIndex>> by_hash;
+  std::map<std::string, std::shared_ptr<const GeoIndex>> by_token;
+  int64_t next_token = 1;
+};
+
+IndexCacheState& IndexCache() {
+  static IndexCacheState& cache = *new IndexCacheState();
+  return cache;
+}
+
+constexpr char kTokenPrefix[] = "geoidx:";
+
+}  // namespace
+
+std::string RegisterGeoIndex(std::shared_ptr<const GeoIndex> index) {
+  IndexCacheState& cache = IndexCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  std::string token = kTokenPrefix + std::to_string(cache.next_token++);
+  if (cache.by_token.size() > 256) cache.by_token.clear();  // bound memory
+  cache.by_token[token] = std::move(index);
+  return token;
+}
+
+std::shared_ptr<const GeoIndex> GetOrParseGeoIndex(const std::string& bytes) {
+  IndexCacheState& cache = IndexCache();
+  if (bytes.rfind(kTokenPrefix, 0) == 0) {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.by_token.find(bytes);
+    return it == cache.by_token.end() ? nullptr : it->second;
+  }
+  uint64_t key = HashString(bytes);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.by_hash.find(key);
+    if (it != cache.by_hash.end()) return it->second;
+  }
+  auto parsed = GeoIndex::Deserialize(bytes);
+  if (!parsed.ok()) return nullptr;
+  auto shared = std::make_shared<const GeoIndex>(std::move(*parsed));
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.by_hash.size() > 64) cache.by_hash.clear();  // bound memory
+  cache.by_hash[key] = shared;
+  return shared;
+}
+
+}  // namespace geo
+}  // namespace presto

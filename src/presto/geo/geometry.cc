@@ -1,0 +1,264 @@
+#include "presto/geo/geometry.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace presto {
+namespace geo {
+
+namespace {
+
+class WktParser {
+ public:
+  explicit WktParser(const std::string& text) : text_(text) {}
+
+  Result<Geometry> Parse() {
+    std::string keyword = ReadKeyword();
+    Geometry g;
+    if (keyword == "POINT") {
+      g.kind = Geometry::Kind::kPoint;
+      if (!Consume('(')) return Err("expected ( after POINT");
+      ASSIGN_OR_RETURN(g.point, ReadPoint());
+      if (!Consume(')')) return Err("expected ) in POINT");
+    } else if (keyword == "POLYGON") {
+      g.kind = Geometry::Kind::kPolygon;
+      ASSIGN_OR_RETURN(Polygon poly, ReadPolygon());
+      g.polygons.push_back(std::move(poly));
+    } else if (keyword == "MULTIPOLYGON") {
+      g.kind = Geometry::Kind::kMultiPolygon;
+      if (!Consume('(')) return Err("expected ( after MULTIPOLYGON");
+      do {
+        ASSIGN_OR_RETURN(Polygon poly, ReadPolygon());
+        g.polygons.push_back(std::move(poly));
+      } while (Consume(','));
+      if (!Consume(')')) return Err("expected ) in MULTIPOLYGON");
+    } else {
+      return Err("unknown WKT geometry: '" + keyword + "'");
+    }
+    SkipSpaces();
+    if (pos_ != text_.size()) return Err("trailing characters in WKT");
+    return g;
+  }
+
+ private:
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument("WKT parse error: " + message);
+  }
+
+  void SkipSpaces() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpaces();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ReadKeyword() {
+    SkipSpaces();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<double> ReadNumber() {
+    SkipSpaces();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return Err("expected number");
+    pos_ += end - begin;
+    return v;
+  }
+
+  Result<GeoPoint> ReadPoint() {
+    GeoPoint p;
+    ASSIGN_OR_RETURN(p.x, ReadNumber());
+    ASSIGN_OR_RETURN(p.y, ReadNumber());
+    return p;
+  }
+
+  Result<Ring> ReadRing() {
+    if (!Consume('(')) return Err("expected ( for ring");
+    Ring ring;
+    do {
+      ASSIGN_OR_RETURN(GeoPoint p, ReadPoint());
+      ring.push_back(p);
+    } while (Consume(','));
+    if (!Consume(')')) return Err("expected ) for ring");
+    if (ring.size() < 4) return Err("ring must have at least 4 points");
+    // WKT rings repeat the start point at the end; drop the duplicate.
+    if (ring.front().x == ring.back().x && ring.front().y == ring.back().y) {
+      ring.pop_back();
+    } else {
+      return Err("ring start and end points must match");
+    }
+    return ring;
+  }
+
+  Result<Polygon> ReadPolygon() {
+    if (!Consume('(')) return Err("expected ( for polygon");
+    Polygon poly;
+    do {
+      ASSIGN_OR_RETURN(Ring ring, ReadRing());
+      poly.rings.push_back(std::move(ring));
+    } while (Consume(','));
+    if (!Consume(')')) return Err("expected ) for polygon");
+    return poly;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void AppendNumber(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+void AppendRing(const Ring& ring, std::string* out) {
+  *out += "(";
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendNumber(ring[i].x, out);
+    *out += " ";
+    AppendNumber(ring[i].y, out);
+  }
+  // Close the ring.
+  *out += ", ";
+  AppendNumber(ring.front().x, out);
+  *out += " ";
+  AppendNumber(ring.front().y, out);
+  *out += ")";
+}
+
+void AppendPolygon(const Polygon& polygon, std::string* out) {
+  *out += "(";
+  for (size_t i = 0; i < polygon.rings.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendRing(polygon.rings[i], out);
+  }
+  *out += ")";
+}
+
+bool RingContains(const Ring& ring, GeoPoint p) {
+  // Ray casting: count crossings of a horizontal ray to the right of p.
+  bool inside = false;
+  size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const GeoPoint& a = ring[i];
+    const GeoPoint& b = ring[j];
+    // Boundary check: point on segment counts as inside.
+    double cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if (cross == 0 && p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+        p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y)) {
+      return true;
+    }
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_at_y = a.x + (b.x - a.x) * (p.y - a.y) / (b.y - a.y);
+      if (x_at_y > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+}  // namespace
+
+Result<Geometry> ParseWkt(const std::string& text) {
+  return WktParser(text).Parse();
+}
+
+std::string ToWkt(const Geometry& geometry) {
+  std::string out;
+  switch (geometry.kind) {
+    case Geometry::Kind::kPoint:
+      out = "POINT (";
+      AppendNumber(geometry.point.x, &out);
+      out += " ";
+      AppendNumber(geometry.point.y, &out);
+      out += ")";
+      return out;
+    case Geometry::Kind::kPolygon:
+      out = "POLYGON ";
+      AppendPolygon(geometry.polygons[0], &out);
+      return out;
+    case Geometry::Kind::kMultiPolygon:
+      out = "MULTIPOLYGON (";
+      for (size_t i = 0; i < geometry.polygons.size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendPolygon(geometry.polygons[i], &out);
+      }
+      out += ")";
+      return out;
+  }
+  return out;
+}
+
+std::string PointWkt(double longitude, double latitude) {
+  std::string out = "POINT (";
+  AppendNumber(longitude, &out);
+  out += " ";
+  AppendNumber(latitude, &out);
+  out += ")";
+  return out;
+}
+
+bool PolygonContains(const Polygon& polygon, GeoPoint p) {
+  if (polygon.rings.empty()) return false;
+  if (!RingContains(polygon.rings[0], p)) return false;
+  for (size_t i = 1; i < polygon.rings.size(); ++i) {
+    if (RingContains(polygon.rings[i], p)) return false;  // in a hole
+  }
+  return true;
+}
+
+bool GeometryContains(const Geometry& geometry, GeoPoint p) {
+  if (geometry.kind == Geometry::Kind::kPoint) {
+    return geometry.point.x == p.x && geometry.point.y == p.y;
+  }
+  for (const Polygon& polygon : geometry.polygons) {
+    if (PolygonContains(polygon, p)) return true;
+  }
+  return false;
+}
+
+BoundingBox ComputeBounds(const Geometry& geometry) {
+  BoundingBox box;
+  bool first = true;
+  auto extend = [&](GeoPoint p) {
+    if (first) {
+      box = BoundingBox{p.x, p.y, p.x, p.y};
+      first = false;
+    } else {
+      box.min_x = std::min(box.min_x, p.x);
+      box.min_y = std::min(box.min_y, p.y);
+      box.max_x = std::max(box.max_x, p.x);
+      box.max_y = std::max(box.max_y, p.y);
+    }
+  };
+  if (geometry.kind == Geometry::Kind::kPoint) {
+    extend(geometry.point);
+    return box;
+  }
+  for (const Polygon& polygon : geometry.polygons) {
+    for (const Ring& ring : polygon.rings) {
+      for (GeoPoint p : ring) extend(p);
+    }
+  }
+  return box;
+}
+
+}  // namespace geo
+}  // namespace presto

@@ -1,0 +1,75 @@
+#ifndef PRESTO_GEO_GEOMETRY_H_
+#define PRESTO_GEO_GEOMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "presto/common/status.h"
+
+namespace presto {
+namespace geo {
+
+/// A location in two-dimensional space, stored as (longitude, latitude) —
+/// "internally, we store each point as a pair of (longitude, latitude)".
+struct GeoPoint {
+  double x = 0;  // longitude
+  double y = 0;  // latitude
+};
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  bool Contains(GeoPoint p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Intersects(const BoundingBox& other) const {
+    return min_x <= other.max_x && max_x >= other.min_x &&
+           min_y <= other.max_y && max_y >= other.min_y;
+  }
+};
+
+/// A closed ring of points (first == last in WKT; we store without the
+/// closing duplicate).
+using Ring = std::vector<GeoPoint>;
+
+/// A polygon is "a collection of points, such that the start point and the
+/// end point match"; rings[0] is the shell, the rest are holes.
+struct Polygon {
+  std::vector<Ring> rings;
+};
+
+/// Geometry value: POINT, POLYGON, or MULTIPOLYGON (Uber geofences are
+/// "either a polygon or a multi-polygon").
+struct Geometry {
+  enum class Kind { kPoint, kPolygon, kMultiPolygon };
+  Kind kind = Kind::kPoint;
+  GeoPoint point;
+  std::vector<Polygon> polygons;
+};
+
+/// Parses the Well-Known Text (WKT) representation: POINT (x y),
+/// POLYGON ((x y, ...)), MULTIPOLYGON (((x y, ...)), ...).
+Result<Geometry> ParseWkt(const std::string& text);
+
+/// Renders a geometry back to WKT.
+std::string ToWkt(const Geometry& geometry);
+
+/// Convenience: WKT for a point.
+std::string PointWkt(double longitude, double latitude);
+
+/// Ray-casting point-in-polygon; boundary points count as inside. Cost is
+/// proportional to the number of polygon vertices — the reason brute-force
+/// geospatial joins are slow.
+bool PolygonContains(const Polygon& polygon, GeoPoint p);
+
+/// st_contains semantics for POLYGON/MULTIPOLYGON vs point.
+bool GeometryContains(const Geometry& geometry, GeoPoint p);
+
+/// Bounding box of any geometry.
+BoundingBox ComputeBounds(const Geometry& geometry);
+
+}  // namespace geo
+}  // namespace presto
+
+#endif  // PRESTO_GEO_GEOMETRY_H_

@@ -1,0 +1,172 @@
+#include "presto/geo/quadtree.h"
+
+namespace presto {
+namespace geo {
+
+QuadTree::QuadTree(BoundingBox bounds, int max_items_per_node, int max_depth)
+    : max_items_per_node_(max_items_per_node), max_depth_(max_depth) {
+  Node root;
+  root.bounds = bounds;
+  nodes_.push_back(std::move(root));
+}
+
+BoundingBox QuadTree::QuadrantBounds(const Node& node, int quadrant) const {
+  double mid_x = (node.bounds.min_x + node.bounds.max_x) / 2;
+  double mid_y = (node.bounds.min_y + node.bounds.max_y) / 2;
+  switch (quadrant) {
+    case 0:
+      return BoundingBox{node.bounds.min_x, node.bounds.min_y, mid_x, mid_y};
+    case 1:
+      return BoundingBox{mid_x, node.bounds.min_y, node.bounds.max_x, mid_y};
+    case 2:
+      return BoundingBox{node.bounds.min_x, mid_y, mid_x, node.bounds.max_y};
+    default:
+      return BoundingBox{mid_x, mid_y, node.bounds.max_x, node.bounds.max_y};
+  }
+}
+
+int QuadTree::QuadrantFor(const Node& node, const BoundingBox& box) const {
+  for (int q = 0; q < 4; ++q) {
+    BoundingBox qb = QuadrantBounds(node, q);
+    if (box.min_x >= qb.min_x && box.max_x <= qb.max_x &&
+        box.min_y >= qb.min_y && box.max_y <= qb.max_y) {
+      return q;
+    }
+  }
+  return -1;
+}
+
+void QuadTree::Insert(int32_t id, const BoundingBox& box) {
+  InsertAt(0, 0, Item{id, box});
+  ++num_items_;
+}
+
+void QuadTree::InsertAt(int32_t node_index, int depth, const Item& item) {
+  while (true) {
+    Node& node = nodes_[node_index];
+    if (node.is_leaf()) {
+      node.items.push_back(item);
+      if (static_cast<int>(node.items.size()) > max_items_per_node_ &&
+          depth < max_depth_) {
+        Split(node_index, depth);
+      }
+      return;
+    }
+    int quadrant = QuadrantFor(node, item.box);
+    if (quadrant < 0) {
+      node.items.push_back(item);  // straddles: stays at this internal node
+      return;
+    }
+    node_index = node.children[quadrant];
+    ++depth;
+  }
+}
+
+void QuadTree::Split(int32_t node_index, int depth) {
+  // Create children, then redistribute items that fit entirely in one
+  // quadrant.
+  int32_t first_child = static_cast<int32_t>(nodes_.size());
+  for (int q = 0; q < 4; ++q) {
+    Node child;
+    child.bounds = QuadrantBounds(nodes_[node_index], q);
+    nodes_.push_back(std::move(child));
+  }
+  // nodes_ may have reallocated: re-acquire the reference.
+  Node& node = nodes_[node_index];
+  for (int q = 0; q < 4; ++q) node.children[q] = first_child + q;
+  std::vector<Item> keep;
+  std::vector<Item> moved = std::move(node.items);
+  node.items.clear();
+  for (const Item& item : moved) {
+    int quadrant = QuadrantFor(nodes_[node_index], item.box);
+    if (quadrant < 0) {
+      keep.push_back(item);
+    } else {
+      InsertAt(nodes_[node_index].children[quadrant], depth + 1, item);
+    }
+  }
+  nodes_[node_index].items = std::move(keep);
+}
+
+void QuadTree::Query(GeoPoint p, std::vector<int32_t>* out) const {
+  int32_t node_index = 0;
+  while (node_index >= 0) {
+    const Node& node = nodes_[node_index];
+    for (const Item& item : node.items) {
+      if (item.box.Contains(p)) out->push_back(item.id);
+    }
+    if (node.is_leaf()) return;
+    double mid_x = (node.bounds.min_x + node.bounds.max_x) / 2;
+    double mid_y = (node.bounds.min_y + node.bounds.max_y) / 2;
+    int quadrant = (p.x >= mid_x ? 1 : 0) + (p.y >= mid_y ? 2 : 0);
+    node_index = node.children[quadrant];
+  }
+}
+
+void QuadTree::Serialize(ByteBuffer* out) const {
+  out->PutVarint(static_cast<uint64_t>(max_items_per_node_));
+  out->PutVarint(static_cast<uint64_t>(max_depth_));
+  out->PutVarint(num_items_);
+  out->PutVarint(nodes_.size());
+  for (const Node& node : nodes_) {
+    out->PutDouble(node.bounds.min_x);
+    out->PutDouble(node.bounds.min_y);
+    out->PutDouble(node.bounds.max_x);
+    out->PutDouble(node.bounds.max_y);
+    for (int q = 0; q < 4; ++q) {
+      out->PutSignedVarint(node.children[q]);
+    }
+    out->PutVarint(node.items.size());
+    for (const Item& item : node.items) {
+      out->PutSignedVarint(item.id);
+      out->PutDouble(item.box.min_x);
+      out->PutDouble(item.box.min_y);
+      out->PutDouble(item.box.max_x);
+      out->PutDouble(item.box.max_y);
+    }
+  }
+}
+
+Result<QuadTree> QuadTree::Deserialize(ByteReader* reader) {
+  ASSIGN_OR_RETURN(uint64_t max_items, reader->ReadVarint());
+  ASSIGN_OR_RETURN(uint64_t max_depth, reader->ReadVarint());
+  ASSIGN_OR_RETURN(uint64_t num_items, reader->ReadVarint());
+  ASSIGN_OR_RETURN(uint64_t num_nodes, reader->ReadVarint());
+  if (num_nodes == 0) return Status::Corruption("quadtree must have a root");
+  QuadTree tree(BoundingBox{}, static_cast<int>(max_items),
+                static_cast<int>(max_depth));
+  tree.num_items_ = num_items;
+  tree.nodes_.clear();
+  tree.nodes_.reserve(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    Node node;
+    ASSIGN_OR_RETURN(node.bounds.min_x, reader->ReadDouble());
+    ASSIGN_OR_RETURN(node.bounds.min_y, reader->ReadDouble());
+    ASSIGN_OR_RETURN(node.bounds.max_x, reader->ReadDouble());
+    ASSIGN_OR_RETURN(node.bounds.max_y, reader->ReadDouble());
+    for (int q = 0; q < 4; ++q) {
+      ASSIGN_OR_RETURN(int64_t child, reader->ReadSignedVarint());
+      if (child >= static_cast<int64_t>(num_nodes)) {
+        return Status::Corruption("quadtree child index out of range");
+      }
+      node.children[q] = static_cast<int32_t>(child);
+    }
+    ASSIGN_OR_RETURN(uint64_t item_count, reader->ReadVarint());
+    node.items.reserve(item_count);
+    for (uint64_t j = 0; j < item_count; ++j) {
+      Item item;
+      ASSIGN_OR_RETURN(int64_t id, reader->ReadSignedVarint());
+      item.id = static_cast<int32_t>(id);
+      ASSIGN_OR_RETURN(item.box.min_x, reader->ReadDouble());
+      ASSIGN_OR_RETURN(item.box.min_y, reader->ReadDouble());
+      ASSIGN_OR_RETURN(item.box.max_x, reader->ReadDouble());
+      ASSIGN_OR_RETURN(item.box.max_y, reader->ReadDouble());
+      node.items.push_back(item);
+    }
+    tree.nodes_.push_back(std::move(node));
+  }
+  return tree;
+}
+
+}  // namespace geo
+}  // namespace presto

@@ -1,0 +1,64 @@
+#ifndef PRESTO_GEO_QUADTREE_H_
+#define PRESTO_GEO_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "presto/common/bytes.h"
+#include "presto/geo/geometry.h"
+
+namespace presto {
+namespace geo {
+
+/// Region quadtree over bounding boxes (Finkel & Bentley 1974, paper
+/// Section VI.D): space is recursively decomposed into four quadrants until
+/// node occupancy drops below a threshold. Items whose box straddles a
+/// subdivision boundary stay at the internal node.
+///
+/// Point queries return the ids of all items whose bounding box contains the
+/// point — "the majority of bounded rectangles that do not contain the
+/// target point are filtered out; we run geospatial functions (st_contains)
+/// only for rectangles that contain the target point".
+class QuadTree {
+ public:
+  QuadTree(BoundingBox bounds, int max_items_per_node = 8, int max_depth = 16);
+
+  void Insert(int32_t id, const BoundingBox& box);
+
+  /// Appends ids of items whose box contains `p` to `out`.
+  void Query(GeoPoint p, std::vector<int32_t>* out) const;
+
+  size_t num_items() const { return num_items_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  void Serialize(ByteBuffer* out) const;
+  static Result<QuadTree> Deserialize(ByteReader* reader);
+
+ private:
+  struct Item {
+    int32_t id;
+    BoundingBox box;
+  };
+  struct Node {
+    BoundingBox bounds;
+    int32_t children[4] = {-1, -1, -1, -1};  // indices into nodes_
+    std::vector<Item> items;
+    bool is_leaf() const { return children[0] < 0; }
+  };
+
+  void InsertAt(int32_t node_index, int depth, const Item& item);
+  void Split(int32_t node_index, int depth);
+  /// Quadrant of `node` fully containing `box`, or -1 if it straddles.
+  int QuadrantFor(const Node& node, const BoundingBox& box) const;
+  BoundingBox QuadrantBounds(const Node& node, int quadrant) const;
+
+  int max_items_per_node_;
+  int max_depth_;
+  size_t num_items_ = 0;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace geo
+}  // namespace presto
+
+#endif  // PRESTO_GEO_QUADTREE_H_

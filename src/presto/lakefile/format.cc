@@ -1,0 +1,134 @@
+#include "presto/lakefile/format.h"
+
+#include <cstring>
+
+#include "presto/expr/serialization.h"
+
+namespace presto {
+namespace lakefile {
+
+namespace {
+
+void SerializeColumnChunk(const ColumnChunkMeta& chunk, ByteBuffer* out) {
+  out->PutString(chunk.leaf_path);
+  out->PutVarint(chunk.offset);
+  out->PutVarint(chunk.total_bytes);
+  out->PutVarint(chunk.num_entries);
+  out->PutVarint(chunk.num_values);
+  out->PutVarint(static_cast<uint64_t>(chunk.null_count));
+  out->PutU8(static_cast<uint8_t>(chunk.encoding));
+  out->PutVarint(chunk.dictionary_offset);
+  out->PutVarint(chunk.dictionary_bytes);
+  out->PutVarint(chunk.dictionary_cardinality);
+  out->PutU8(chunk.has_stats ? 1 : 0);
+  if (chunk.has_stats) {
+    SerializeValue(chunk.min, out);
+    SerializeValue(chunk.max, out);
+  }
+}
+
+Result<ColumnChunkMeta> DeserializeColumnChunk(ByteReader* reader) {
+  ColumnChunkMeta chunk;
+  ASSIGN_OR_RETURN(chunk.leaf_path, reader->ReadString());
+  ASSIGN_OR_RETURN(chunk.offset, reader->ReadVarint());
+  ASSIGN_OR_RETURN(chunk.total_bytes, reader->ReadVarint());
+  ASSIGN_OR_RETURN(chunk.num_entries, reader->ReadVarint());
+  ASSIGN_OR_RETURN(chunk.num_values, reader->ReadVarint());
+  ASSIGN_OR_RETURN(uint64_t null_count, reader->ReadVarint());
+  chunk.null_count = static_cast<int64_t>(null_count);
+  ASSIGN_OR_RETURN(uint8_t encoding, reader->ReadU8());
+  chunk.encoding = static_cast<PageEncoding>(encoding);
+  ASSIGN_OR_RETURN(chunk.dictionary_offset, reader->ReadVarint());
+  ASSIGN_OR_RETURN(chunk.dictionary_bytes, reader->ReadVarint());
+  ASSIGN_OR_RETURN(uint64_t cardinality, reader->ReadVarint());
+  chunk.dictionary_cardinality = static_cast<uint32_t>(cardinality);
+  ASSIGN_OR_RETURN(uint8_t has_stats, reader->ReadU8());
+  chunk.has_stats = has_stats != 0;
+  if (chunk.has_stats) {
+    ASSIGN_OR_RETURN(chunk.min, DeserializeValue(reader));
+    ASSIGN_OR_RETURN(chunk.max, DeserializeValue(reader));
+  }
+  return chunk;
+}
+
+}  // namespace
+
+void SerializeFooter(const FileFooter& footer, ByteBuffer* out) {
+  out->PutU32(footer.version);
+  out->PutString(footer.schema->ToString());
+  out->PutU8(static_cast<uint8_t>(footer.compression));
+  out->PutVarint(footer.num_rows);
+  out->PutVarint(footer.row_groups.size());
+  for (const RowGroupMeta& group : footer.row_groups) {
+    out->PutVarint(group.num_rows);
+    out->PutVarint(group.columns.size());
+    for (const ColumnChunkMeta& chunk : group.columns) {
+      SerializeColumnChunk(chunk, out);
+    }
+  }
+}
+
+Result<FileFooter> DeserializeFooter(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  FileFooter footer;
+  ASSIGN_OR_RETURN(footer.version, reader.ReadU32());
+  if (footer.version != kFormatVersion) {
+    return Status::Corruption("unsupported lakefile version " +
+                              std::to_string(footer.version));
+  }
+  ASSIGN_OR_RETURN(std::string schema_text, reader.ReadString());
+  ASSIGN_OR_RETURN(footer.schema, Type::Parse(schema_text));
+  ASSIGN_OR_RETURN(uint8_t compression, reader.ReadU8());
+  footer.compression = static_cast<CompressionKind>(compression);
+  ASSIGN_OR_RETURN(footer.num_rows, reader.ReadVarint());
+  ASSIGN_OR_RETURN(uint64_t num_groups, reader.ReadVarint());
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    RowGroupMeta group;
+    ASSIGN_OR_RETURN(group.num_rows, reader.ReadVarint());
+    ASSIGN_OR_RETURN(uint64_t num_cols, reader.ReadVarint());
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      ASSIGN_OR_RETURN(ColumnChunkMeta chunk, DeserializeColumnChunk(&reader));
+      group.columns.push_back(std::move(chunk));
+    }
+    footer.row_groups.push_back(std::move(group));
+  }
+  return footer;
+}
+
+Result<FileFooter> ReadFooterFromFile(const uint8_t* data, size_t size) {
+  size_t trailer = kMagicLen + sizeof(uint32_t);
+  if (size < 2 * kMagicLen + trailer) {
+    return Status::Corruption("file too small to be a lakefile");
+  }
+  if (std::memcmp(data, kMagic, kMagicLen) != 0 ||
+      std::memcmp(data + size - kMagicLen, kMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad lakefile magic");
+  }
+  uint32_t footer_len;
+  std::memcpy(&footer_len, data + size - trailer, sizeof(uint32_t));
+  if (footer_len + trailer + kMagicLen > size) {
+    return Status::Corruption("bad lakefile footer length");
+  }
+  return DeserializeFooter(data + size - trailer - footer_len, footer_len);
+}
+
+void SerializePageHeader(const PageHeader& header, ByteBuffer* out) {
+  out->PutU32(header.num_entries);
+  out->PutU32(header.rep_bytes);
+  out->PutU32(header.def_bytes);
+  out->PutU32(header.value_bytes);
+  out->PutU32(header.compressed_bytes);
+}
+
+Result<PageHeader> DeserializePageHeader(ByteReader* reader) {
+  PageHeader header;
+  ASSIGN_OR_RETURN(header.num_entries, reader->ReadU32());
+  ASSIGN_OR_RETURN(header.rep_bytes, reader->ReadU32());
+  ASSIGN_OR_RETURN(header.def_bytes, reader->ReadU32());
+  ASSIGN_OR_RETURN(header.value_bytes, reader->ReadU32());
+  ASSIGN_OR_RETURN(header.compressed_bytes, reader->ReadU32());
+  return header;
+}
+
+}  // namespace lakefile
+}  // namespace presto

@@ -1,0 +1,91 @@
+#ifndef PRESTO_LAKEFILE_FORMAT_H_
+#define PRESTO_LAKEFILE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "presto/common/bytes.h"
+#include "presto/common/compression.h"
+#include "presto/types/type.h"
+#include "presto/types/value.h"
+
+namespace presto {
+namespace lakefile {
+
+/// Lakefile is this repo's Parquet-class columnar format (see DESIGN.md
+/// substitutions). Layout:
+///
+///   [magic "LAKE1"]
+///   row group 0: [dict page?][data page] per leaf column, column by column
+///   row group 1: ...
+///   [footer bytes]
+///   [footer length u32]["LAKE1"]
+///
+/// Data is "first horizontally partitioned into groups of rows, then within
+/// each group vertically partitioned into columns" (paper Fig. 3); the
+/// footer stores codecs, encodings, and column-level min/max statistics.
+inline constexpr char kMagic[] = "LAKE1";
+inline constexpr size_t kMagicLen = 5;
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Physical encodings of value data within a page.
+enum class PageEncoding : uint8_t {
+  kPlain = 0,
+  kDictionary = 1,
+};
+
+/// Per-column-chunk metadata stored in the footer.
+struct ColumnChunkMeta {
+  std::string leaf_path;      // dotted path, e.g. "base.city_id"
+  uint64_t offset = 0;        // file offset of the chunk's first page
+  uint64_t total_bytes = 0;   // bytes of all pages of this chunk
+  uint64_t num_entries = 0;   // rep/def entries (>= num rows when repeated)
+  uint64_t num_values = 0;    // non-null leaf values
+  int64_t null_count = 0;
+  PageEncoding encoding = PageEncoding::kPlain;
+  uint64_t dictionary_offset = 0;  // 0 when not dictionary-encoded
+  uint64_t dictionary_bytes = 0;
+  uint32_t dictionary_cardinality = 0;
+  bool has_stats = false;
+  Value min;                  // valid when has_stats
+  Value max;
+};
+
+/// Per-row-group metadata.
+struct RowGroupMeta {
+  uint64_t num_rows = 0;
+  std::vector<ColumnChunkMeta> columns;  // same order as footer leaf list
+};
+
+/// File footer.
+struct FileFooter {
+  uint32_t version = kFormatVersion;
+  TypePtr schema;  // ROW type of the file
+  CompressionKind compression = CompressionKind::kNone;
+  uint64_t num_rows = 0;
+  std::vector<RowGroupMeta> row_groups;
+};
+
+/// Serializes the footer body (without trailing length/magic).
+void SerializeFooter(const FileFooter& footer, ByteBuffer* out);
+Result<FileFooter> DeserializeFooter(const uint8_t* data, size_t size);
+
+/// Extracts the footer from complete file bytes (validates both magics).
+Result<FileFooter> ReadFooterFromFile(const uint8_t* data, size_t size);
+
+/// Page header preceding every page's (compressed) body.
+struct PageHeader {
+  uint32_t num_entries = 0;      // rep/def entry count (data pages)
+  uint32_t rep_bytes = 0;        // sizes within the UNCOMPRESSED body
+  uint32_t def_bytes = 0;
+  uint32_t value_bytes = 0;
+  uint32_t compressed_bytes = 0;  // size of compressed body that follows
+};
+
+void SerializePageHeader(const PageHeader& header, ByteBuffer* out);
+Result<PageHeader> DeserializePageHeader(ByteReader* reader);
+
+}  // namespace lakefile
+}  // namespace presto
+
+#endif  // PRESTO_LAKEFILE_FORMAT_H_

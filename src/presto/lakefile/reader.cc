@@ -1,0 +1,1022 @@
+#include "presto/lakefile/reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace lakefile {
+
+namespace {
+
+// ===========================================================================
+// Low-level decoding
+// ===========================================================================
+
+// Vectorized level decode: whole RLE runs at a time (memset-style fills).
+Status DecodeLevelsVectorized(ByteReader* reader, size_t count,
+                              std::vector<uint8_t>* out) {
+  out->resize(count);
+  size_t filled = 0;
+  while (filled < count) {
+    ASSIGN_OR_RETURN(uint64_t run, reader->ReadVarint());
+    ASSIGN_OR_RETURN(uint8_t value, reader->ReadU8());
+    if (filled + run > count) return Status::Corruption("level run overflow");
+    std::memset(out->data() + filled, value, run);
+    filled += run;
+  }
+  return Status::OK();
+}
+
+// Per-entry level decode: re-enters the RLE state machine for every single
+// entry (the per-triplet overhead the vectorized reader removes).
+Status DecodeLevelsScalar(ByteReader* reader, size_t count,
+                          std::vector<uint8_t>* out) {
+  out->resize(count);
+  uint64_t run_remaining = 0;
+  uint8_t run_value = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (run_remaining == 0) {
+      ASSIGN_OR_RETURN(run_remaining, reader->ReadVarint());
+      ASSIGN_OR_RETURN(run_value, reader->ReadU8());
+      if (run_remaining == 0) return Status::Corruption("empty level run");
+    }
+    (*out)[i] = run_value;
+    --run_remaining;
+  }
+  if (run_remaining != 0) return Status::Corruption("level run underflow");
+  return Status::OK();
+}
+
+Status DecodeLevels(ByteReader* reader, size_t count, bool vectorized,
+                    std::vector<uint8_t>* out) {
+  return vectorized ? DecodeLevelsVectorized(reader, count, out)
+                    : DecodeLevelsScalar(reader, count, out);
+}
+
+// Raw (already decompressed) pages of one column chunk.
+struct ChunkPages {
+  PageHeader header;
+  std::vector<uint8_t> body;  // rep | def | values
+  bool has_dictionary = false;
+  std::vector<int64_t> dict_ints;
+  std::vector<std::string> dict_strings;
+};
+
+Result<std::vector<uint8_t>> ReadRegion(RandomAccessFile* file, uint64_t offset,
+                                        size_t n, ReaderStats* stats) {
+  std::vector<uint8_t> bytes(n);
+  size_t done = 0;
+  while (done < n) {
+    ASSIGN_OR_RETURN(size_t got,
+                     file->Read(offset + done, n - done, bytes.data() + done));
+    if (got == 0) return Status::Corruption("unexpected EOF in lakefile");
+    done += got;
+  }
+  stats->bytes_read += static_cast<int64_t>(n);
+  return bytes;
+}
+
+Result<std::pair<PageHeader, std::vector<uint8_t>>> ParsePage(
+    ByteReader* reader, CompressionKind compression) {
+  ASSIGN_OR_RETURN(PageHeader header, DeserializePageHeader(reader));
+  if (header.compressed_bytes > reader->remaining()) {
+    return Status::Corruption("page body exceeds chunk bounds");
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                   Decompress(compression, reader->current(),
+                              header.compressed_bytes));
+  RETURN_IF_ERROR(reader->Skip(header.compressed_bytes));
+  if (body.size() !=
+      static_cast<size_t>(header.rep_bytes) + header.def_bytes + header.value_bytes) {
+    return Status::Corruption("page body size mismatch");
+  }
+  return std::make_pair(header, std::move(body));
+}
+
+Status DecodeDictionaryPage(const Leaf& leaf, const PageHeader& header,
+                            const std::vector<uint8_t>& body, ChunkPages* pages) {
+  pages->has_dictionary = true;
+  ByteReader values(body.data(), body.size());
+  if (leaf.type->kind() == TypeKind::kVarchar) {
+    pages->dict_strings.reserve(header.num_entries);
+    for (uint32_t i = 0; i < header.num_entries; ++i) {
+      ASSIGN_OR_RETURN(std::string s, values.ReadString());
+      pages->dict_strings.push_back(std::move(s));
+    }
+  } else {
+    pages->dict_ints.resize(header.num_entries);
+    RETURN_IF_ERROR(values.ReadRaw(pages->dict_ints.data(),
+                                   header.num_entries * sizeof(int64_t)));
+  }
+  return Status::OK();
+}
+
+// Reads and decompresses all pages of a chunk with a single range read.
+Result<ChunkPages> ReadChunk(RandomAccessFile* file, const Leaf& leaf,
+                             const ColumnChunkMeta& meta,
+                             CompressionKind compression, ReaderStats* stats) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                   ReadRegion(file, meta.offset, meta.total_bytes, stats));
+  ByteReader reader(raw.data(), raw.size());
+  ChunkPages pages;
+  if (meta.encoding == PageEncoding::kDictionary) {
+    ASSIGN_OR_RETURN(auto dict, ParsePage(&reader, compression));
+    RETURN_IF_ERROR(DecodeDictionaryPage(leaf, dict.first, dict.second, &pages));
+  }
+  ASSIGN_OR_RETURN(auto data, ParsePage(&reader, compression));
+  pages.header = data.first;
+  pages.body = std::move(data.second);
+  return pages;
+}
+
+// Reads only the dictionary page of a chunk (dictionary pushdown probe).
+Result<ChunkPages> ReadDictionaryOnly(RandomAccessFile* file, const Leaf& leaf,
+                                      const ColumnChunkMeta& meta,
+                                      CompressionKind compression,
+                                      ReaderStats* stats) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                   ReadRegion(file, meta.dictionary_offset,
+                              meta.dictionary_bytes, stats));
+  ByteReader reader(raw.data(), raw.size());
+  ChunkPages pages;
+  ASSIGN_OR_RETURN(auto dict, ParsePage(&reader, compression));
+  RETURN_IF_ERROR(DecodeDictionaryPage(leaf, dict.first, dict.second, &pages));
+  return pages;
+}
+
+// Decodes one leaf chunk into a DecodedLeaf. When `selected_entries` is
+// non-null (sorted entry indices), only those entries' values are
+// materialized (lazy reads); skipped string values are never copied.
+Result<DecodedLeaf> DecodeLeafChunk(const Leaf& leaf, const ChunkPages& pages,
+                                    bool vectorized,
+                                    const std::vector<int32_t>* selected_entries,
+                                    ReaderStats* stats) {
+  DecodedLeaf out;
+  out.leaf = leaf;
+  const PageHeader& header = pages.header;
+  size_t count = header.num_entries;
+
+  ByteReader rep_reader(pages.body.data(), header.rep_bytes);
+  ByteReader def_reader(pages.body.data() + header.rep_bytes, header.def_bytes);
+  ByteReader value_reader(pages.body.data() + header.rep_bytes + header.def_bytes,
+                          header.value_bytes);
+
+  std::vector<uint8_t> all_rep, all_def;
+  if (leaf.max_rep > 0) {
+    RETURN_IF_ERROR(DecodeLevels(&rep_reader, count, vectorized, &all_rep));
+  }
+  RETURN_IF_ERROR(DecodeLevels(&def_reader, count, vectorized, &all_def));
+
+  // Value presence per entry.
+  auto has_value = [&](size_t e) { return all_def[e] == leaf.max_def; };
+
+  // Entry subset view.
+  const bool subset = selected_entries != nullptr;
+  size_t out_entries = subset ? selected_entries->size() : count;
+  out.def.reserve(out_entries);
+  if (leaf.max_rep > 0) out.rep.reserve(out_entries);
+
+  auto for_each_entry = [&](auto&& on_entry) -> Status {
+    size_t sel_cursor = 0;
+    for (size_t e = 0; e < count; ++e) {
+      bool selected = true;
+      if (subset) {
+        selected = sel_cursor < selected_entries->size() &&
+                   (*selected_entries)[sel_cursor] == static_cast<int32_t>(e);
+        if (selected) ++sel_cursor;
+      }
+      RETURN_IF_ERROR(on_entry(e, selected));
+    }
+    return Status::OK();
+  };
+
+  auto append_levels = [&](size_t e) {
+    out.def.push_back(all_def[e]);
+    if (leaf.max_rep > 0) out.rep.push_back(all_rep[e]);
+  };
+
+  // -- Dictionary-encoded values ------------------------------------------
+  if (pages.has_dictionary) {
+    RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
+      uint64_t index = 0;
+      if (has_value(e)) {
+        ASSIGN_OR_RETURN(index, value_reader.ReadVarint());
+        ++stats->values_decoded;
+      }
+      if (!selected) return Status::OK();
+      append_levels(e);
+      if (has_value(e)) {
+        if (leaf.type->kind() == TypeKind::kVarchar) {
+          if (index >= pages.dict_strings.size()) {
+            return Status::Corruption("dictionary index out of range");
+          }
+          out.strings.push_back(pages.dict_strings[index]);
+        } else {
+          if (index >= pages.dict_ints.size()) {
+            return Status::Corruption("dictionary index out of range");
+          }
+          out.ints.push_back(pages.dict_ints[index]);
+        }
+      }
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- PLAIN values ----------------------------------------------------------
+  switch (leaf.type->kind()) {
+    case TypeKind::kVarchar: {
+      RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
+        if (!has_value(e)) {
+          if (selected) append_levels(e);
+          return Status::OK();
+        }
+        ASSIGN_OR_RETURN(uint64_t len, value_reader.ReadVarint());
+        if (selected) {
+          append_levels(e);
+          std::string s(len, '\0');
+          RETURN_IF_ERROR(value_reader.ReadRaw(s.data(), len));
+          out.strings.push_back(std::move(s));
+          ++stats->values_decoded;
+        } else {
+          RETURN_IF_ERROR(value_reader.Skip(len));  // lazy: never copied
+        }
+        return Status::OK();
+      }));
+      return out;
+    }
+    case TypeKind::kBoolean: {
+      RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
+        if (!has_value(e)) {
+          if (selected) append_levels(e);
+          return Status::OK();
+        }
+        ASSIGN_OR_RETURN(uint8_t b, value_reader.ReadU8());
+        if (selected) {
+          append_levels(e);
+          out.bools.push_back(b);
+          ++stats->values_decoded;
+        }
+        return Status::OK();
+      }));
+      return out;
+    }
+    case TypeKind::kDouble:
+    default: {
+      const bool is_double = leaf.type->kind() == TypeKind::kDouble;
+      size_t width = 8;
+      size_t total_values = header.value_bytes / width;
+      if (!subset && vectorized && count == total_values) {
+        // Fast path: dense column, bulk copy straight out of the page.
+        out.def = std::move(all_def);
+        out.rep = std::move(all_rep);
+        if (is_double) {
+          out.doubles.resize(total_values);
+          RETURN_IF_ERROR(value_reader.ReadRaw(out.doubles.data(),
+                                               total_values * width));
+        } else {
+          out.ints.resize(total_values);
+          RETURN_IF_ERROR(value_reader.ReadRaw(out.ints.data(),
+                                               total_values * width));
+        }
+        stats->values_decoded += static_cast<int64_t>(total_values);
+        return out;
+      }
+      // General path: fixed-width values allow O(1) skips.
+      size_t value_index = 0;
+      RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
+        if (!has_value(e)) {
+          if (selected) append_levels(e);
+          return Status::OK();
+        }
+        size_t my_index = value_index++;
+        if (!selected) return Status::OK();
+        append_levels(e);
+        RETURN_IF_ERROR(value_reader.Seek(my_index * width));
+        if (is_double) {
+          ASSIGN_OR_RETURN(double v, value_reader.ReadDouble());
+          out.doubles.push_back(v);
+        } else {
+          ASSIGN_OR_RETURN(int64_t v, value_reader.ReadI64());
+          out.ints.push_back(v);
+        }
+        ++stats->values_decoded;
+        return Status::OK();
+      }));
+      return out;
+    }
+  }
+}
+
+// ===========================================================================
+// Predicates
+// ===========================================================================
+
+bool CompareMatches(LeafPredicate::Op op, int cmp) {
+  switch (op) {
+    case LeafPredicate::Op::kEq:
+      return cmp == 0;
+    case LeafPredicate::Op::kNe:
+      return cmp != 0;
+    case LeafPredicate::Op::kLt:
+      return cmp < 0;
+    case LeafPredicate::Op::kLe:
+      return cmp <= 0;
+    case LeafPredicate::Op::kGt:
+      return cmp > 0;
+    case LeafPredicate::Op::kGe:
+      return cmp >= 0;
+    case LeafPredicate::Op::kIn:
+      return cmp == 0;
+  }
+  return false;
+}
+
+/// Can any value in [min, max] satisfy the predicate? (row-group skipping)
+bool StatsMayMatch(const ColumnChunkMeta& meta, const LeafPredicate& pred) {
+  if (!meta.has_stats) return true;
+  switch (pred.op) {
+    case LeafPredicate::Op::kEq:
+      return pred.operands[0].Compare(meta.min) >= 0 &&
+             pred.operands[0].Compare(meta.max) <= 0;
+    case LeafPredicate::Op::kIn: {
+      for (const Value& v : pred.operands) {
+        if (v.Compare(meta.min) >= 0 && v.Compare(meta.max) <= 0) return true;
+      }
+      return false;
+    }
+    case LeafPredicate::Op::kNe:
+      // Only skippable when every value equals the operand.
+      return !(meta.min.Compare(meta.max) == 0 &&
+               meta.min.Compare(pred.operands[0]) == 0);
+    case LeafPredicate::Op::kLt:
+      return meta.min.Compare(pred.operands[0]) < 0;
+    case LeafPredicate::Op::kLe:
+      return meta.min.Compare(pred.operands[0]) <= 0;
+    case LeafPredicate::Op::kGt:
+      return meta.max.Compare(pred.operands[0]) > 0;
+    case LeafPredicate::Op::kGe:
+      return meta.max.Compare(pred.operands[0]) >= 0;
+  }
+  return true;
+}
+
+/// Does any dictionary value satisfy an equality/IN predicate?
+bool DictionaryMayMatch(const ChunkPages& dict, const Leaf& leaf,
+                        const LeafPredicate& pred) {
+  if (pred.op != LeafPredicate::Op::kEq && pred.op != LeafPredicate::Op::kIn) {
+    return true;
+  }
+  if (leaf.type->kind() == TypeKind::kVarchar) {
+    for (const std::string& v : dict.dict_strings) {
+      for (const Value& operand : pred.operands) {
+        if (operand.is_string() && operand.string_value() == v) return true;
+      }
+    }
+    return false;
+  }
+  for (int64_t v : dict.dict_ints) {
+    for (const Value& operand : pred.operands) {
+      if (operand.is_int() && operand.int_value() == v) return true;
+    }
+  }
+  return false;
+}
+
+/// Evaluates one conjunct over a decoded (maxrep==0) leaf; clears non-matching
+/// bits in `mask`.
+void ApplyPredicate(const DecodedLeaf& leaf, const LeafPredicate& pred,
+                    std::vector<uint8_t>* mask) {
+  const int max_def = leaf.leaf.max_def;
+  size_t value_cursor = 0;
+  for (size_t e = 0; e < leaf.def.size(); ++e) {
+    bool has_value = leaf.def[e] == max_def;
+    if (!has_value) {
+      (*mask)[e] = 0;  // NULL never matches
+      continue;
+    }
+    size_t v = value_cursor++;
+    if ((*mask)[e] == 0) continue;
+    bool matches = false;
+    switch (leaf.leaf.type->kind()) {
+      case TypeKind::kVarchar: {
+        const std::string& value = leaf.strings[v];
+        for (const Value& operand : pred.operands) {
+          int cmp = value.compare(operand.string_value());
+          if (CompareMatches(pred.op, cmp)) {
+            matches = true;
+            break;
+          }
+        }
+        break;
+      }
+      case TypeKind::kDouble: {
+        double value = leaf.doubles[v];
+        for (const Value& operand : pred.operands) {
+          double o = operand.AsDouble();
+          int cmp = value < o ? -1 : (value > o ? 1 : 0);
+          if (CompareMatches(pred.op, cmp)) {
+            matches = true;
+            break;
+          }
+        }
+        break;
+      }
+      case TypeKind::kBoolean: {
+        bool value = leaf.bools[v] != 0;
+        for (const Value& operand : pred.operands) {
+          int cmp = static_cast<int>(value) - static_cast<int>(operand.bool_value());
+          if (CompareMatches(pred.op, cmp)) {
+            matches = true;
+            break;
+          }
+        }
+        break;
+      }
+      default: {
+        int64_t value = leaf.ints[v];
+        for (const Value& operand : pred.operands) {
+          int64_t o = operand.is_int() ? operand.int_value()
+                                       : static_cast<int64_t>(operand.AsDouble());
+          int cmp = value < o ? -1 : (value > o ? 1 : 0);
+          if (CompareMatches(pred.op, cmp)) {
+            matches = true;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (!matches) (*mask)[e] = 0;
+  }
+  // A fully-consumed cursor is not required: trailing entries without values
+  // were already masked out above.
+}
+
+// ===========================================================================
+// Pruned type construction
+// ===========================================================================
+
+bool AnyLeafUnder(const std::set<std::string>& required, const std::string& prefix) {
+  auto it = required.lower_bound(prefix);
+  if (it == required.end()) return false;
+  return *it == prefix || it->rfind(prefix + ".", 0) == 0;
+}
+
+Result<TypePtr> PruneType(const std::string& prefix, const TypePtr& type,
+                          const std::set<std::string>& required) {
+  switch (type->kind()) {
+    case TypeKind::kRow: {
+      std::vector<std::string> names;
+      std::vector<TypePtr> children;
+      for (size_t i = 0; i < type->NumChildren(); ++i) {
+        std::string child_prefix = prefix + "." + type->field_name(i);
+        if (!AnyLeafUnder(required, child_prefix)) continue;
+        ASSIGN_OR_RETURN(TypePtr child,
+                         PruneType(child_prefix, type->child(i), required));
+        names.push_back(type->field_name(i));
+        children.push_back(std::move(child));
+      }
+      if (children.empty()) {
+        return Status::InvalidArgument("no required leaves under " + prefix);
+      }
+      return Type::Row(std::move(names), std::move(children));
+    }
+    // Containers are kept whole once any leaf under them is required.
+    case TypeKind::kArray:
+    case TypeKind::kMap:
+    default:
+      return type;
+  }
+}
+
+}  // namespace
+
+Result<TypePtr> PruneColumnType(const std::string& column, const TypePtr& type,
+                                const std::vector<std::string>& required_leaves) {
+  if (required_leaves.empty() || type->kind() != TypeKind::kRow) return type;
+  std::set<std::string> required(required_leaves.begin(), required_leaves.end());
+  if (!AnyLeafUnder(required, column)) return type;
+  return PruneType(column, type, required);
+}
+
+// ===========================================================================
+// Footer reading
+// ===========================================================================
+
+Result<FileFooter> ReadFooter(RandomAccessFile* file) {
+  ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  size_t trailer = sizeof(uint32_t) + kMagicLen;
+  if (size < trailer + kMagicLen) {
+    return Status::Corruption("file too small to be a lakefile");
+  }
+  uint8_t tail[sizeof(uint32_t) + kMagicLen];
+  ASSIGN_OR_RETURN(size_t got, file->Read(size - trailer, trailer, tail));
+  if (got != trailer) return Status::Corruption("short read of lakefile trailer");
+  if (std::memcmp(tail + sizeof(uint32_t), kMagic, kMagicLen) != 0) {
+    return Status::Corruption("bad lakefile magic");
+  }
+  uint32_t footer_len;
+  std::memcpy(&footer_len, tail, sizeof(uint32_t));
+  if (footer_len + trailer + kMagicLen > size) {
+    return Status::Corruption("bad lakefile footer length");
+  }
+  std::vector<uint8_t> footer_bytes(footer_len);
+  ASSIGN_OR_RETURN(size_t footer_got, file->Read(size - trailer - footer_len,
+                                                 footer_len, footer_bytes.data()));
+  if (footer_got != footer_len) return Status::Corruption("short footer read");
+  return DeserializeFooter(footer_bytes.data(), footer_bytes.size());
+}
+
+// ===========================================================================
+// NativeLakeFileReader
+// ===========================================================================
+
+Result<std::unique_ptr<NativeLakeFileReader>> NativeLakeFileReader::Open(
+    std::shared_ptr<RandomAccessFile> file, ReaderOptions options,
+    std::shared_ptr<const FileFooter> footer) {
+  if (footer == nullptr) {
+    ASSIGN_OR_RETURN(FileFooter parsed, ReadFooter(file.get()));
+    footer = std::make_shared<const FileFooter>(std::move(parsed));
+  }
+  auto reader = std::unique_ptr<NativeLakeFileReader>(
+      new NativeLakeFileReader(std::move(file), std::move(footer), options));
+  reader->stats_.row_groups_total =
+      static_cast<int64_t>(reader->footer_->row_groups.size());
+  return reader;
+}
+
+Result<TypePtr> NativeLakeFileReader::OutputColumnType(
+    const ScanSpec& spec, const std::string& column) const {
+  auto field = footer_->schema->FindField(column);
+  if (!field.has_value()) {
+    return Status::NotFound("no column '" + column + "' in file schema");
+  }
+  const TypePtr& full = footer_->schema->child(*field);
+  if (!options_.nested_column_pruning || spec.required_leaves.empty()) {
+    return full;
+  }
+  std::set<std::string> required(spec.required_leaves.begin(),
+                                 spec.required_leaves.end());
+  if (!AnyLeafUnder(required, column)) return full;
+  if (full->kind() != TypeKind::kRow) return full;
+  return PruneType(column, full, required);
+}
+
+Result<std::optional<Page>> NativeLakeFileReader::NextBatch(const ScanSpec& spec) {
+  while (next_group_ < footer_->row_groups.size()) {
+    const RowGroupMeta& group = footer_->row_groups[next_group_];
+    ++next_group_;
+
+    // ---- Resolve which leaves to read. -------------------------------------
+    // chunk lookup by leaf path
+    std::map<std::string, const ColumnChunkMeta*> chunk_by_path;
+    for (const ColumnChunkMeta& chunk : group.columns) {
+      chunk_by_path[chunk.leaf_path] = &chunk;
+    }
+    ASSIGN_OR_RETURN(std::vector<Leaf> all_leaves,
+                     EnumerateLeaves(*footer_->schema));
+    std::map<std::string, const Leaf*> leaf_by_path;
+    for (const Leaf& leaf : all_leaves) leaf_by_path[leaf.path] = &leaf;
+
+    // Projected leaves per output column (file order within each column).
+    std::set<std::string> required(spec.required_leaves.begin(),
+                                   spec.required_leaves.end());
+    bool prune = options_.nested_column_pruning && !required.empty();
+    std::vector<TypePtr> column_types;
+    std::vector<std::vector<std::string>> column_leaf_paths;
+    for (const std::string& column : spec.columns) {
+      auto field = footer_->schema->FindField(column);
+      if (!field.has_value()) {
+        return Status::NotFound("no column '" + column + "' in file schema");
+      }
+      TypePtr out_type = footer_->schema->child(*field);
+      if (prune && out_type->kind() == TypeKind::kRow &&
+          AnyLeafUnder(required, column)) {
+        ASSIGN_OR_RETURN(out_type, PruneType(column, out_type, required));
+      }
+      ASSIGN_OR_RETURN(std::vector<Leaf> leaves,
+                       EnumerateFieldLeaves(column, out_type));
+      std::vector<std::string> paths;
+      for (const Leaf& leaf : leaves) paths.push_back(leaf.path);
+      column_types.push_back(std::move(out_type));
+      column_leaf_paths.push_back(std::move(paths));
+    }
+
+    // ---- Predicate pushdown: min/max stats. --------------------------------
+    bool skipped = false;
+    if (options_.predicate_pushdown) {
+      for (const LeafPredicate& pred : spec.predicates) {
+        auto chunk = chunk_by_path.find(pred.leaf_path);
+        if (chunk == chunk_by_path.end()) {
+          return Status::InvalidArgument("predicate on unknown leaf " +
+                                         pred.leaf_path);
+        }
+        if (!StatsMayMatch(*chunk->second, pred)) {
+          ++stats_.row_groups_skipped_stats;
+          skipped = true;
+          break;
+        }
+      }
+    }
+    if (skipped) continue;
+
+    // ---- Dictionary pushdown. -----------------------------------------------
+    if (options_.dictionary_pushdown) {
+      for (const LeafPredicate& pred : spec.predicates) {
+        const ColumnChunkMeta& chunk = *chunk_by_path.at(pred.leaf_path);
+        if (chunk.encoding != PageEncoding::kDictionary) continue;
+        auto leaf_it = leaf_by_path.find(pred.leaf_path);
+        if (leaf_it == leaf_by_path.end()) {
+          return Status::InvalidArgument("predicate on unknown leaf " +
+                                         pred.leaf_path);
+        }
+        ASSIGN_OR_RETURN(ChunkPages dict,
+                         ReadDictionaryOnly(file_.get(), *leaf_it->second, chunk,
+                                            footer_->compression, &stats_));
+        if (!DictionaryMayMatch(dict, *leaf_it->second, pred)) {
+          ++stats_.row_groups_skipped_dictionary;
+          skipped = true;
+          break;
+        }
+      }
+    }
+    if (skipped) continue;
+
+    ++stats_.row_groups_scanned;
+
+    // ---- Decode predicate leaves and filter rows. ---------------------------
+    std::map<std::string, DecodedLeaf> decoded;
+    std::vector<uint8_t> mask(group.num_rows, 1);
+    for (const LeafPredicate& pred : spec.predicates) {
+      auto leaf_it = leaf_by_path.find(pred.leaf_path);
+      if (leaf_it == leaf_by_path.end() || leaf_it->second->max_rep != 0) {
+        return Status::InvalidArgument("predicate leaf must be non-repeated: " +
+                                       pred.leaf_path);
+      }
+      if (decoded.count(pred.leaf_path) == 0) {
+        const ColumnChunkMeta& chunk = *chunk_by_path.at(pred.leaf_path);
+        ASSIGN_OR_RETURN(ChunkPages pages,
+                         ReadChunk(file_.get(), *leaf_it->second, chunk,
+                                   footer_->compression, &stats_));
+        ASSIGN_OR_RETURN(DecodedLeaf leaf,
+                         DecodeLeafChunk(*leaf_it->second, pages,
+                                         options_.vectorized, nullptr, &stats_));
+        decoded.emplace(pred.leaf_path, std::move(leaf));
+      }
+      ApplyPredicate(decoded.at(pred.leaf_path), pred, &mask);
+    }
+    std::vector<int32_t> selected;
+    bool all_selected = spec.predicates.empty();
+    if (all_selected) {
+      selected.resize(group.num_rows);
+      for (size_t i = 0; i < group.num_rows; ++i) {
+        selected[i] = static_cast<int32_t>(i);
+      }
+    } else {
+      for (size_t i = 0; i < group.num_rows; ++i) {
+        if (mask[i] != 0) selected.push_back(static_cast<int32_t>(i));
+      }
+    }
+    if (selected.empty()) continue;
+
+    bool lazy = options_.lazy_reads && !all_selected;
+
+    // ---- Decode projected leaves. -------------------------------------------
+    // With lazy reads: decode only the selected rows of each remaining leaf.
+    // Note: selected row indices equal entry indices only for maxrep==0
+    // leaves; repeated leaves expand to entry ranges via their rep levels.
+    auto decode_projected = [&](const std::string& path) -> Status {
+      if (decoded.count(path) > 0) return Status::OK();
+      auto leaf_it = leaf_by_path.find(path);
+      auto chunk_it = chunk_by_path.find(path);
+      if (leaf_it == leaf_by_path.end() || chunk_it == chunk_by_path.end()) {
+        return Status::NotFound("leaf not present in file: " + path);
+      }
+      const Leaf& leaf = *leaf_it->second;
+      ASSIGN_OR_RETURN(ChunkPages pages,
+                       ReadChunk(file_.get(), leaf, *chunk_it->second,
+                                 footer_->compression, &stats_));
+      const std::vector<int32_t>* selection = nullptr;
+      std::vector<int32_t> entry_selection;
+      if (lazy) {
+        if (leaf.max_rep == 0) {
+          selection = &selected;
+        } else {
+          // Map selected rows to entry ranges via rep levels.
+          ByteReader rep_reader(pages.body.data(), pages.header.rep_bytes);
+          std::vector<uint8_t> rep;
+          RETURN_IF_ERROR(DecodeLevels(&rep_reader, pages.header.num_entries,
+                                       options_.vectorized, &rep));
+          std::vector<int32_t> starts;
+          for (size_t e = 0; e < rep.size(); ++e) {
+            if (rep[e] == 0) starts.push_back(static_cast<int32_t>(e));
+          }
+          for (int32_t row : selected) {
+            int32_t begin = starts[row];
+            int32_t end = row + 1 < static_cast<int32_t>(starts.size())
+                              ? starts[row + 1]
+                              : static_cast<int32_t>(rep.size());
+            for (int32_t e = begin; e < end; ++e) entry_selection.push_back(e);
+          }
+          selection = &entry_selection;
+        }
+      }
+      ASSIGN_OR_RETURN(DecodedLeaf decoded_leaf,
+                       DecodeLeafChunk(leaf, pages, options_.vectorized,
+                                       selection, &stats_));
+      decoded.emplace(path, std::move(decoded_leaf));
+      return Status::OK();
+    };
+
+    for (const auto& paths : column_leaf_paths) {
+      for (const std::string& path : paths) {
+        RETURN_IF_ERROR(decode_projected(path));
+      }
+    }
+
+    // Predicate leaves were decoded in full; subset them if assembling lazily.
+    if (lazy) {
+      for (auto& [path, leaf] : decoded) {
+        if (leaf.def.size() == group.num_rows && leaf.leaf.max_rep == 0 &&
+            leaf.def.size() != selected.size()) {
+          // Rebuild the subset in place.
+          DecodedLeaf subset;
+          subset.leaf = leaf.leaf;
+          size_t value_cursor = 0;
+          size_t sel_cursor = 0;
+          for (size_t e = 0; e < leaf.def.size(); ++e) {
+            bool has_value = leaf.def[e] == leaf.leaf.max_def;
+            bool is_selected =
+                sel_cursor < selected.size() &&
+                selected[sel_cursor] == static_cast<int32_t>(e);
+            if (is_selected) {
+              ++sel_cursor;
+              subset.def.push_back(leaf.def[e]);
+              if (has_value) {
+                switch (leaf.leaf.type->kind()) {
+                  case TypeKind::kVarchar:
+                    subset.strings.push_back(leaf.strings[value_cursor]);
+                    break;
+                  case TypeKind::kDouble:
+                    subset.doubles.push_back(leaf.doubles[value_cursor]);
+                    break;
+                  case TypeKind::kBoolean:
+                    subset.bools.push_back(leaf.bools[value_cursor]);
+                    break;
+                  default:
+                    subset.ints.push_back(leaf.ints[value_cursor]);
+                    break;
+                }
+              }
+            }
+            if (has_value) ++value_cursor;
+          }
+          leaf = std::move(subset);
+        }
+      }
+    }
+
+    // ---- Assemble output columns. -------------------------------------------
+    size_t out_rows = lazy ? selected.size() : group.num_rows;
+    std::vector<VectorPtr> columns;
+    for (size_t c = 0; c < spec.columns.size(); ++c) {
+      std::vector<const DecodedLeaf*> leaves;
+      for (const std::string& path : column_leaf_paths[c]) {
+        leaves.push_back(&decoded.at(path));
+      }
+      ASSIGN_OR_RETURN(VectorPtr column,
+                       AssembleColumn(column_types[c], leaves, out_rows));
+      columns.push_back(std::move(column));
+    }
+    Page page(std::move(columns), out_rows);
+    if (!lazy && !all_selected) {
+      page = page.SliceRows(selected);
+    }
+    stats_.rows_output += static_cast<int64_t>(page.num_rows());
+    return std::optional<Page>(std::move(page));
+  }
+  return std::optional<Page>();
+}
+
+// ===========================================================================
+// LegacyLakeFileReader
+// ===========================================================================
+
+namespace {
+
+// Row-at-a-time record assembler: per-leaf entry/value cursors advanced one
+// record at a time — "reads all Parquet data row by row using the open
+// source Parquet library".
+class RecordAssembler {
+ public:
+  explicit RecordAssembler(std::vector<DecodedLeaf> decoded)
+      : decoded_(std::move(decoded)),
+        entry_cursor_(decoded_.size(), 0),
+        value_cursor_(decoded_.size(), 0) {}
+
+  Result<Value> NextRecordColumn(const TypePtr& type, size_t* leaf_cursor) {
+    return AssembleValue(type, 0, leaf_cursor, /*first_entry=*/true);
+  }
+
+ private:
+  // Peeks current def of a leaf.
+  uint8_t CurrentDef(size_t leaf) const {
+    return decoded_[leaf].def[entry_cursor_[leaf]];
+  }
+
+  // Consumes one entry from every leaf in [first, last).
+  Result<Value> TakeScalar(size_t leaf, int base_def) {
+    const DecodedLeaf& d = decoded_[leaf];
+    uint8_t def = d.def[entry_cursor_[leaf]];
+    ++entry_cursor_[leaf];
+    if (def < d.leaf.max_def) return Value::Null();
+    size_t v = value_cursor_[leaf]++;
+    (void)base_def;
+    switch (d.leaf.type->kind()) {
+      case TypeKind::kVarchar:
+        return Value::String(d.strings[v]);
+      case TypeKind::kDouble:
+        return Value::Double(d.doubles[v]);
+      case TypeKind::kBoolean:
+        return Value::Bool(d.bools[v] != 0);
+      default:
+        return Value::Int(d.ints[v]);
+    }
+  }
+
+  // Consumes one entry per leaf of the subtree rooted at `type`, building a
+  // Value (or NULL). `first_entry` true means rep has already been aligned.
+  Result<Value> AssembleValue(const TypePtr& type, int base_def,
+                              size_t* leaf_cursor, bool first_entry) {
+    switch (type->kind()) {
+      case TypeKind::kRow: {
+        size_t probe = *leaf_cursor;
+        bool is_null = CurrentDef(probe) <= base_def;
+        Value::RowData fields;
+        for (size_t f = 0; f < type->NumChildren(); ++f) {
+          ASSIGN_OR_RETURN(Value v, AssembleValue(type->child(f), base_def + 1,
+                                                  leaf_cursor, first_entry));
+          fields.push_back(std::move(v));
+        }
+        if (is_null) return Value::Null();
+        return Value::Row(std::move(fields));
+      }
+      case TypeKind::kArray: {
+        size_t probe = *leaf_cursor;
+        uint8_t d0 = CurrentDef(probe);
+        if (d0 <= base_def) {
+          ASSIGN_OR_RETURN(Value ignored,
+                           AssembleValue(type->element(), base_def + 2,
+                                         leaf_cursor, first_entry));
+          (void)ignored;
+          return Value::Null();
+        }
+        if (d0 == base_def + 1) {
+          ASSIGN_OR_RETURN(Value ignored,
+                           AssembleValue(type->element(), base_def + 2,
+                                         leaf_cursor, first_entry));
+          (void)ignored;
+          return Value::Array({});
+        }
+        Value::RowData elements;
+        size_t saved = *leaf_cursor;
+        while (true) {
+          *leaf_cursor = saved;
+          ASSIGN_OR_RETURN(Value elem, AssembleValue(type->element(),
+                                                     base_def + 2, leaf_cursor,
+                                                     false));
+          elements.push_back(std::move(elem));
+          // Continue while the next entry of the probe leaf repeats (rep==1).
+          const DecodedLeaf& pd = decoded_[probe];
+          if (entry_cursor_[probe] >= pd.def.size() ||
+              pd.rep[entry_cursor_[probe]] == 0) {
+            break;
+          }
+        }
+        return Value::Array(std::move(elements));
+      }
+      case TypeKind::kMap: {
+        size_t probe = *leaf_cursor;
+        uint8_t d0 = CurrentDef(probe);
+        if (d0 <= base_def + 1) {
+          ASSIGN_OR_RETURN(Value k, AssembleValue(type->map_key(), base_def + 2,
+                                                  leaf_cursor, first_entry));
+          ASSIGN_OR_RETURN(Value v, AssembleValue(type->map_value(),
+                                                  base_def + 2, leaf_cursor,
+                                                  first_entry));
+          (void)k;
+          (void)v;
+          return d0 <= base_def ? Value::Null() : Value::Map({});
+        }
+        Value::MapData entries;
+        size_t saved = *leaf_cursor;
+        while (true) {
+          *leaf_cursor = saved;
+          ASSIGN_OR_RETURN(Value k, AssembleValue(type->map_key(), base_def + 2,
+                                                  leaf_cursor, false));
+          ASSIGN_OR_RETURN(Value v, AssembleValue(type->map_value(),
+                                                  base_def + 2, leaf_cursor,
+                                                  false));
+          entries.emplace_back(std::move(k), std::move(v));
+          const DecodedLeaf& pd = decoded_[probe];
+          if (entry_cursor_[probe] >= pd.def.size() ||
+              pd.rep[entry_cursor_[probe]] == 0) {
+            break;
+          }
+        }
+        return Value::Map(std::move(entries));
+      }
+      default: {
+        size_t leaf = (*leaf_cursor)++;
+        return TakeScalar(leaf, base_def);
+      }
+    }
+  }
+
+  std::vector<DecodedLeaf> decoded_;
+  std::vector<size_t> entry_cursor_;
+  std::vector<size_t> value_cursor_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<LegacyLakeFileReader>> LegacyLakeFileReader::Open(
+    std::shared_ptr<RandomAccessFile> file,
+    std::shared_ptr<const FileFooter> footer) {
+  if (footer == nullptr) {
+    ASSIGN_OR_RETURN(FileFooter parsed, ReadFooter(file.get()));
+    footer = std::make_shared<const FileFooter>(std::move(parsed));
+  }
+  auto reader = std::unique_ptr<LegacyLakeFileReader>(
+      new LegacyLakeFileReader(std::move(file), std::move(footer)));
+  reader->stats_.row_groups_total =
+      static_cast<int64_t>(reader->footer_->row_groups.size());
+  return reader;
+}
+
+Result<std::optional<Page>> LegacyLakeFileReader::NextBatch(
+    const std::vector<std::string>& columns) {
+  if (next_group_ >= footer_->row_groups.size()) return std::optional<Page>();
+  const RowGroupMeta& group = footer_->row_groups[next_group_];
+  ++next_group_;
+  ++stats_.row_groups_scanned;
+
+  std::map<std::string, const ColumnChunkMeta*> chunk_by_path;
+  for (const ColumnChunkMeta& chunk : group.columns) {
+    chunk_by_path[chunk.leaf_path] = &chunk;
+  }
+
+  // Step 1: read ALL leaves of every requested column from disk (no nested
+  // pruning, no skipping), decoding value-at-a-time (non-vectorized).
+  std::vector<TypePtr> column_types;
+  std::vector<DecodedLeaf> flat_decoded;
+  for (const std::string& column : columns) {
+    auto field = footer_->schema->FindField(column);
+    if (!field.has_value()) {
+      return Status::NotFound("no column '" + column + "' in file schema");
+    }
+    TypePtr type = footer_->schema->child(*field);
+    ASSIGN_OR_RETURN(std::vector<Leaf> leaves, EnumerateFieldLeaves(column, type));
+    for (const Leaf& leaf : leaves) {
+      auto chunk_it = chunk_by_path.find(leaf.path);
+      if (chunk_it == chunk_by_path.end()) {
+        return Status::Corruption("missing chunk for leaf " + leaf.path);
+      }
+      ASSIGN_OR_RETURN(ChunkPages pages,
+                       ReadChunk(file_.get(), leaf, *chunk_it->second,
+                                 footer_->compression, &stats_));
+      ASSIGN_OR_RETURN(DecodedLeaf decoded,
+                       DecodeLeafChunk(leaf, pages, /*vectorized=*/false,
+                                       nullptr, &stats_));
+      flat_decoded.push_back(std::move(decoded));
+    }
+    column_types.push_back(std::move(type));
+  }
+
+  // Step 2: transform row-based records into columnar blocks.
+  RecordAssembler assembler(std::move(flat_decoded));
+  std::vector<VectorBuilder> builders;
+  builders.reserve(column_types.size());
+  for (const TypePtr& type : column_types) builders.emplace_back(type);
+  for (uint64_t r = 0; r < group.num_rows; ++r) {
+    size_t leaf_cursor = 0;
+    for (size_t c = 0; c < column_types.size(); ++c) {
+      ASSIGN_OR_RETURN(Value v,
+                       assembler.NextRecordColumn(column_types[c], &leaf_cursor));
+      RETURN_IF_ERROR(builders[c].Append(v));
+    }
+  }
+  std::vector<VectorPtr> vectors;
+  vectors.reserve(builders.size());
+  for (VectorBuilder& b : builders) vectors.push_back(b.Build());
+  stats_.rows_output += static_cast<int64_t>(group.num_rows);
+  return std::optional<Page>(Page(std::move(vectors), group.num_rows));
+}
+
+}  // namespace lakefile
+}  // namespace presto

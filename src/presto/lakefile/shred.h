@@ -1,0 +1,92 @@
+#ifndef PRESTO_LAKEFILE_SHRED_H_
+#define PRESTO_LAKEFILE_SHRED_H_
+
+#include <string>
+#include <vector>
+
+#include "presto/types/type.h"
+#include "presto/types/value.h"
+#include "presto/vector/vector.h"
+
+namespace presto {
+namespace lakefile {
+
+/// A leaf column of the shredded (Dremel-style) schema. Definition-level
+/// budget per path node: scalar leaf and struct contribute 1 level each;
+/// ARRAY/MAP contribute 2 (null vs present, empty vs has-entries). At most
+/// one repeated (ARRAY/MAP) node per path is supported — nested repetition
+/// is rejected at write time.
+///
+/// Examples (top-level paths):
+///   BIGINT  x                 -> leaf "x",            max_def 1, max_rep 0
+///   ROW b(city_id BIGINT)     -> leaf "b.city_id",    max_def 2, max_rep 0
+///   ARRAY(VARCHAR) tags       -> leaf "tags.element", max_def 3, max_rep 1
+///   MAP(VARCHAR,DOUBLE) m     -> leaves "m.key" and "m.value", each
+///                                max_def 3, max_rep 1 (sharing rep/def shape)
+struct Leaf {
+  std::string path;
+  TypePtr type;  // scalar leaf type
+  int max_def = 0;
+  int max_rep = 0;
+};
+
+/// Enumerates the leaves of a ROW schema in depth-first order.
+Result<std::vector<Leaf>> EnumerateLeaves(const Type& schema);
+
+/// Enumerates the leaves belonging to one top-level field.
+Result<std::vector<Leaf>> EnumerateFieldLeaves(const std::string& field_name,
+                                               const TypePtr& field_type);
+
+/// Accumulates one leaf column's shredded entries before page encoding.
+/// Values are stored in the slot matching the leaf's scalar kind; rep/def
+/// hold one byte per entry.
+struct LeafBuffer {
+  std::vector<uint8_t> rep;
+  std::vector<uint8_t> def;
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<uint8_t> bools;
+  std::vector<std::string> strings;
+
+  size_t num_entries() const { return def.size(); }
+  size_t num_values(const Leaf& leaf) const;
+  void Clear();
+};
+
+/// Columnar shredder used by the NATIVE writer: walks vectors directly,
+/// emitting values, repetition values, and definition values without ever
+/// materializing a row.
+Status ShredVector(const Leaf* leaves, size_t num_leaves, const TypePtr& type,
+                   const VectorPtr& vector, LeafBuffer* buffers);
+
+/// Row-at-a-time shredder used by the LEGACY writer baseline: consumes one
+/// boxed record (Value) and walks its tree, appending one value at a time —
+/// the extra row reconstruction the native writer removes.
+Status ShredRecord(const Leaf* leaves, size_t num_leaves, const TypePtr& type,
+                   const Value& record, LeafBuffer* buffers);
+
+/// Decoded leaf column (output of page decoding, input of assembly).
+struct DecodedLeaf {
+  Leaf leaf;
+  std::vector<uint8_t> rep;
+  std::vector<uint8_t> def;
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<uint8_t> bools;
+  std::vector<std::string> strings;
+};
+
+/// Reassembles one top-level column vector from its decoded leaves.
+/// `type` may be a pruned subset of the file's field type (nested column
+/// pruning): leaves must be provided in EnumerateFieldLeaves(type) order.
+Result<VectorPtr> AssembleColumn(const TypePtr& type,
+                                 const std::vector<const DecodedLeaf*>& leaves,
+                                 size_t num_rows);
+
+/// Counts top-level rows in a decoded leaf (entries with rep==0).
+size_t CountRows(const DecodedLeaf& leaf);
+
+}  // namespace lakefile
+}  // namespace presto
+
+#endif  // PRESTO_LAKEFILE_SHRED_H_

@@ -1,0 +1,338 @@
+#include "presto/lakefile/writer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace presto {
+namespace lakefile {
+
+namespace {
+
+// Levels are RLE-encoded as (varint run_length, u8 value) pairs.
+void EncodeLevels(const std::vector<uint8_t>& levels, ByteBuffer* out) {
+  size_t i = 0;
+  while (i < levels.size()) {
+    size_t j = i + 1;
+    while (j < levels.size() && levels[j] == levels[i]) ++j;
+    out->PutVarint(j - i);
+    out->PutU8(levels[i]);
+    i = j;
+  }
+}
+
+void EncodePlainInts(const std::vector<int64_t>& values, ByteBuffer* out) {
+  out->PutRaw(values.data(), values.size() * sizeof(int64_t));
+}
+
+void EncodePlainDoubles(const std::vector<double>& values, ByteBuffer* out) {
+  out->PutRaw(values.data(), values.size() * sizeof(double));
+}
+
+void EncodePlainBools(const std::vector<uint8_t>& values, ByteBuffer* out) {
+  out->PutRaw(values.data(), values.size());
+}
+
+void EncodePlainStrings(const std::vector<std::string>& values, ByteBuffer* out) {
+  for (const std::string& s : values) out->PutString(s);
+}
+
+struct DictionaryPlan {
+  bool use_dictionary = false;
+  std::vector<uint32_t> indices;
+  std::vector<int64_t> int_dict;
+  std::vector<std::string> string_dict;
+};
+
+DictionaryPlan PlanIntDictionary(const std::vector<int64_t>& values,
+                                 uint32_t max_cardinality) {
+  DictionaryPlan plan;
+  std::unordered_map<int64_t, uint32_t> index;
+  plan.indices.reserve(values.size());
+  for (int64_t v : values) {
+    auto [it, inserted] = index.emplace(v, static_cast<uint32_t>(plan.int_dict.size()));
+    if (inserted) {
+      if (plan.int_dict.size() >= max_cardinality) return DictionaryPlan{};
+      plan.int_dict.push_back(v);
+    }
+    plan.indices.push_back(it->second);
+  }
+  plan.use_dictionary = !values.empty() && plan.int_dict.size() * 2 < values.size();
+  return plan;
+}
+
+DictionaryPlan PlanStringDictionary(const std::vector<std::string>& values,
+                                    uint32_t max_cardinality) {
+  DictionaryPlan plan;
+  std::unordered_map<std::string, uint32_t> index;
+  plan.indices.reserve(values.size());
+  for (const std::string& v : values) {
+    auto [it, inserted] =
+        index.emplace(v, static_cast<uint32_t>(plan.string_dict.size()));
+    if (inserted) {
+      if (plan.string_dict.size() >= max_cardinality) return DictionaryPlan{};
+      plan.string_dict.push_back(v);
+    }
+    plan.indices.push_back(it->second);
+  }
+  plan.use_dictionary =
+      !values.empty() && plan.string_dict.size() * 2 < values.size();
+  return plan;
+}
+
+void EncodeIndices(const std::vector<uint32_t>& indices, ByteBuffer* out) {
+  for (uint32_t idx : indices) out->PutVarint(idx);
+}
+
+// Writes one page: header (uncompressed) + compressed body.
+void EmitPage(uint32_t num_entries, const ByteBuffer& rep, const ByteBuffer& def,
+              const ByteBuffer& values, CompressionKind compression,
+              ByteBuffer* file) {
+  ByteBuffer body;
+  body.Reserve(rep.size() + def.size() + values.size());
+  body.PutRaw(rep.data(), rep.size());
+  body.PutRaw(def.data(), def.size());
+  body.PutRaw(values.data(), values.size());
+  std::vector<uint8_t> compressed =
+      Compress(compression, body.data(), body.size());
+  PageHeader header;
+  header.num_entries = num_entries;
+  header.rep_bytes = static_cast<uint32_t>(rep.size());
+  header.def_bytes = static_cast<uint32_t>(def.size());
+  header.value_bytes = static_cast<uint32_t>(values.size());
+  header.compressed_bytes = static_cast<uint32_t>(compressed.size());
+  SerializePageHeader(header, file);
+  file->PutRaw(compressed.data(), compressed.size());
+}
+
+// Computes min/max/null statistics for a leaf buffer.
+void FillStats(const Leaf& leaf, const LeafBuffer& buffer, ColumnChunkMeta* meta) {
+  meta->null_count =
+      static_cast<int64_t>(buffer.num_entries() - buffer.num_values(leaf));
+  if (leaf.max_rep != 0 || buffer.num_values(leaf) == 0) return;
+  switch (leaf.type->kind()) {
+    case TypeKind::kDouble: {
+      auto [lo, hi] = std::minmax_element(buffer.doubles.begin(), buffer.doubles.end());
+      meta->min = Value::Double(*lo);
+      meta->max = Value::Double(*hi);
+      meta->has_stats = true;
+      return;
+    }
+    case TypeKind::kVarchar: {
+      auto [lo, hi] = std::minmax_element(buffer.strings.begin(), buffer.strings.end());
+      meta->min = Value::String(*lo);
+      meta->max = Value::String(*hi);
+      meta->has_stats = true;
+      return;
+    }
+    case TypeKind::kBoolean:
+      return;  // no useful min/max
+    default: {
+      auto [lo, hi] = std::minmax_element(buffer.ints.begin(), buffer.ints.end());
+      meta->min = Value::Int(*lo);
+      meta->max = Value::Int(*hi);
+      meta->has_stats = true;
+      return;
+    }
+  }
+}
+
+// Encodes one column chunk (optional dictionary page + one data page) into
+// `file`, returning its metadata.
+ColumnChunkMeta EncodeChunk(const Leaf& leaf, const LeafBuffer& buffer,
+                            const WriterOptions& options, ByteBuffer* file) {
+  ColumnChunkMeta meta;
+  meta.leaf_path = leaf.path;
+  meta.offset = file->size();
+  meta.num_entries = buffer.num_entries();
+  meta.num_values = buffer.num_values(leaf);
+  FillStats(leaf, buffer, &meta);
+
+  ByteBuffer rep, def;
+  if (leaf.max_rep > 0) EncodeLevels(buffer.rep, &rep);
+  EncodeLevels(buffer.def, &def);
+
+  // Try dictionary encoding for integer and string leaves.
+  DictionaryPlan plan;
+  if (options.enable_dictionary) {
+    switch (leaf.type->kind()) {
+      case TypeKind::kVarchar:
+        plan = PlanStringDictionary(buffer.strings,
+                                    options.dictionary_max_cardinality);
+        break;
+      case TypeKind::kDouble:
+      case TypeKind::kBoolean:
+        break;
+      default:
+        plan = PlanIntDictionary(buffer.ints, options.dictionary_max_cardinality);
+        break;
+    }
+  }
+
+  if (plan.use_dictionary) {
+    meta.encoding = PageEncoding::kDictionary;
+    meta.dictionary_offset = file->size();
+    // Dictionary page: PLAIN-encoded distinct values.
+    ByteBuffer dict_values;
+    uint32_t cardinality;
+    if (leaf.type->kind() == TypeKind::kVarchar) {
+      EncodePlainStrings(plan.string_dict, &dict_values);
+      cardinality = static_cast<uint32_t>(plan.string_dict.size());
+    } else {
+      EncodePlainInts(plan.int_dict, &dict_values);
+      cardinality = static_cast<uint32_t>(plan.int_dict.size());
+    }
+    meta.dictionary_cardinality = cardinality;
+    ByteBuffer empty;
+    EmitPage(cardinality, empty, empty, dict_values, options.compression, file);
+    meta.dictionary_bytes = file->size() - meta.dictionary_offset;
+    // Data page: varint indices.
+    ByteBuffer indices;
+    EncodeIndices(plan.indices, &indices);
+    EmitPage(static_cast<uint32_t>(buffer.num_entries()), rep, def, indices,
+             options.compression, file);
+  } else {
+    meta.encoding = PageEncoding::kPlain;
+    ByteBuffer values;
+    switch (leaf.type->kind()) {
+      case TypeKind::kBoolean:
+        EncodePlainBools(buffer.bools, &values);
+        break;
+      case TypeKind::kDouble:
+        EncodePlainDoubles(buffer.doubles, &values);
+        break;
+      case TypeKind::kVarchar:
+        EncodePlainStrings(buffer.strings, &values);
+        break;
+      default:
+        EncodePlainInts(buffer.ints, &values);
+        break;
+    }
+    EmitPage(static_cast<uint32_t>(buffer.num_entries()), rep, def, values,
+             options.compression, file);
+  }
+  meta.total_bytes = file->size() - meta.offset;
+  return meta;
+}
+
+}  // namespace
+
+LakeFileWriter::LakeFileWriter(TypePtr schema, std::vector<Leaf> leaves,
+                               WriterOptions options, WriterMode mode)
+    : schema_(std::move(schema)),
+      leaves_(std::move(leaves)),
+      options_(options),
+      mode_(mode),
+      buffers_(leaves_.size()) {
+  file_.PutRaw(kMagic, kMagicLen);
+}
+
+Result<std::unique_ptr<LakeFileWriter>> LakeFileWriter::Create(
+    TypePtr schema, WriterOptions options, WriterMode mode) {
+  if (schema == nullptr || schema->kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("lakefile schema must be a ROW type");
+  }
+  ASSIGN_OR_RETURN(std::vector<Leaf> leaves, EnumerateLeaves(*schema));
+  if (options.row_group_rows == 0) {
+    return Status::InvalidArgument("row_group_rows must be positive");
+  }
+  return std::unique_ptr<LakeFileWriter>(new LakeFileWriter(
+      std::move(schema), std::move(leaves), options, mode));
+}
+
+Status LakeFileWriter::Append(const Page& page) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (page.num_columns() != schema_->NumChildren()) {
+    return Status::InvalidArgument("page column count does not match schema");
+  }
+  // Keep row groups bounded: split oversized pages at group boundaries.
+  if (rows_in_group_ + page.num_rows() > options_.row_group_rows) {
+    size_t pos = 0;
+    while (pos < page.num_rows()) {
+      size_t capacity = options_.row_group_rows - rows_in_group_;
+      size_t take = std::min(capacity, page.num_rows() - pos);
+      std::vector<int32_t> rows(take);
+      for (size_t i = 0; i < take; ++i) {
+        rows[i] = static_cast<int32_t>(pos + i);
+      }
+      RETURN_IF_ERROR(Append(page.SliceRows(rows)));
+      pos += take;
+    }
+    return Status::OK();
+  }
+  if (mode_ == WriterMode::kNative) {
+    // Native path: shred each top-level vector column-wise, straight from
+    // the in-memory columnar representation.
+    size_t leaf_base = 0;
+    for (size_t c = 0; c < page.num_columns(); ++c) {
+      ASSIGN_OR_RETURN(std::vector<Leaf> field_leaves,
+                       EnumerateFieldLeaves(schema_->field_name(c),
+                                            schema_->child(c)));
+      RETURN_IF_ERROR(ShredVector(leaves_.data() + leaf_base,
+                                  field_leaves.size(), schema_->child(c),
+                                  page.column(c), buffers_.data() + leaf_base));
+      leaf_base += field_leaves.size();
+    }
+  } else {
+    // Legacy path: reconstruct every record from the columnar page, then
+    // consume it value-by-value (the overhead the native writer removes).
+    TypePtr record_type = schema_;
+    for (size_t r = 0; r < page.num_rows(); ++r) {
+      Value record = Value::Row(page.GetRow(r));
+      RETURN_IF_ERROR(ShredRecord(leaves_.data(), leaves_.size(), record_type,
+                                  record, buffers_.data()));
+    }
+  }
+  rows_in_group_ += page.num_rows();
+  total_rows_ += page.num_rows();
+  if (rows_in_group_ >= options_.row_group_rows) {
+    RETURN_IF_ERROR(FlushRowGroup());
+  }
+  return Status::OK();
+}
+
+Status LakeFileWriter::FlushRowGroup() {
+  if (rows_in_group_ == 0) return Status::OK();
+  RowGroupMeta group;
+  group.num_rows = rows_in_group_;
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    group.columns.push_back(
+        EncodeChunk(leaves_[i], buffers_[i], options_, &file_));
+    buffers_[i].Clear();
+  }
+  row_groups_.push_back(std::move(group));
+  rows_in_group_ = 0;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> LakeFileWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  RETURN_IF_ERROR(FlushRowGroup());
+  finished_ = true;
+  FileFooter footer;
+  footer.schema = schema_;
+  footer.compression = options_.compression;
+  footer.num_rows = total_rows_;
+  footer.row_groups = std::move(row_groups_);
+  ByteBuffer footer_bytes;
+  SerializeFooter(footer, &footer_bytes);
+  uint32_t footer_len = static_cast<uint32_t>(footer_bytes.size());
+  file_.PutRaw(footer_bytes.data(), footer_bytes.size());
+  file_.PutU32(footer_len);
+  file_.PutRaw(kMagic, kMagicLen);
+  return std::move(file_.bytes());
+}
+
+Result<std::vector<uint8_t>> WriteLakeFile(const TypePtr& schema,
+                                           const std::vector<Page>& pages,
+                                           WriterOptions options,
+                                           WriterMode mode) {
+  ASSIGN_OR_RETURN(std::unique_ptr<LakeFileWriter> writer,
+                   LakeFileWriter::Create(schema, options, mode));
+  for (const Page& page : pages) {
+    RETURN_IF_ERROR(writer->Append(page));
+  }
+  return writer->Finish();
+}
+
+}  // namespace lakefile
+}  // namespace presto

@@ -1,0 +1,81 @@
+#ifndef PRESTO_LAKEFILE_WRITER_H_
+#define PRESTO_LAKEFILE_WRITER_H_
+
+#include <memory>
+#include <vector>
+
+#include "presto/lakefile/format.h"
+#include "presto/lakefile/shred.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+namespace lakefile {
+
+struct WriterOptions {
+  CompressionKind compression = CompressionKind::kNone;
+  size_t row_group_rows = 10000;
+  uint32_t dictionary_max_cardinality = 4096;
+  bool enable_dictionary = true;
+};
+
+/// Which write path to use.
+///
+/// kNative — the paper's brand-new native Parquet writer: "writes directly
+/// from Presto's in-memory data structure to Parquet's columnar file format,
+/// including data values, repetition values, and definition values"
+/// (Section V.J). Vectors are shredded column-wise.
+///
+/// kLegacy — the old writer baseline: "iterates each columnar block in a
+/// page and reconstructs every single record, then consumes each individual
+/// record" — pages are first boxed into row Values, then shredded
+/// value-by-value. Same file bytes, measurably more CPU.
+enum class WriterMode {
+  kNative,
+  kLegacy,
+};
+
+/// Streaming lakefile writer. Append pages, then Finish to obtain the file
+/// bytes (row groups are flushed every `row_group_rows` rows).
+class LakeFileWriter {
+ public:
+  static Result<std::unique_ptr<LakeFileWriter>> Create(
+      TypePtr schema, WriterOptions options = WriterOptions(),
+      WriterMode mode = WriterMode::kNative);
+
+  /// Appends a page whose columns match the schema's top-level fields.
+  Status Append(const Page& page);
+
+  /// Flushes the last row group and returns the complete file bytes.
+  Result<std::vector<uint8_t>> Finish();
+
+  uint64_t rows_written() const { return total_rows_; }
+
+ private:
+  LakeFileWriter(TypePtr schema, std::vector<Leaf> leaves, WriterOptions options,
+                 WriterMode mode);
+
+  Status FlushRowGroup();
+
+  TypePtr schema_;
+  std::vector<Leaf> leaves_;
+  WriterOptions options_;
+  WriterMode mode_;
+
+  std::vector<LeafBuffer> buffers_;
+  size_t rows_in_group_ = 0;
+  uint64_t total_rows_ = 0;
+
+  ByteBuffer file_;
+  std::vector<RowGroupMeta> row_groups_;
+  bool finished_ = false;
+};
+
+/// One-shot convenience: writes a set of pages into file bytes.
+Result<std::vector<uint8_t>> WriteLakeFile(
+    const TypePtr& schema, const std::vector<Page>& pages,
+    WriterOptions options = WriterOptions(), WriterMode mode = WriterMode::kNative);
+
+}  // namespace lakefile
+}  // namespace presto
+
+#endif  // PRESTO_LAKEFILE_WRITER_H_

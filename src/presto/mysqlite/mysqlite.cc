@@ -1,0 +1,217 @@
+#include "presto/mysqlite/mysqlite.h"
+
+#include <algorithm>
+
+namespace presto {
+namespace mysqlite {
+
+bool ColumnPredicate::Matches(const Value& v) const {
+  if (v.is_null()) return false;  // SQL: NULL never matches a comparison
+  switch (op) {
+    case CompareOp::kEq:
+      return v.Compare(values[0]) == 0;
+    case CompareOp::kNe:
+      return v.Compare(values[0]) != 0;
+    case CompareOp::kLt:
+      return v.Compare(values[0]) < 0;
+    case CompareOp::kLe:
+      return v.Compare(values[0]) <= 0;
+    case CompareOp::kGt:
+      return v.Compare(values[0]) > 0;
+    case CompareOp::kGe:
+      return v.Compare(values[0]) >= 0;
+    case CompareOp::kIn:
+      for (const Value& candidate : values) {
+        if (v.Compare(candidate) == 0) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+Result<const MySqlLite::Table*> MySqlLite::FindTableLocked(
+    const std::string& schema, const std::string& table) const {
+  auto s = schemas_.find(schema);
+  if (s == schemas_.end()) return Status::NotFound("no such schema: " + schema);
+  auto t = s->second.find(table);
+  if (t == s->second.end()) {
+    return Status::NotFound("no such table: " + schema + "." + table);
+  }
+  return &t->second;
+}
+
+Result<MySqlLite::Table*> MySqlLite::FindTableLocked(const std::string& schema,
+                                                     const std::string& table) {
+  auto s = schemas_.find(schema);
+  if (s == schemas_.end()) return Status::NotFound("no such schema: " + schema);
+  auto t = s->second.find(table);
+  if (t == s->second.end()) {
+    return Status::NotFound("no such table: " + schema + "." + table);
+  }
+  return &t->second;
+}
+
+Status MySqlLite::CreateTable(const std::string& schema, const std::string& table,
+                              TypePtr row_type) {
+  if (row_type == nullptr || row_type->kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("table type must be a ROW type");
+  }
+  for (const TypePtr& child : row_type->children()) {
+    if (!child->IsScalar()) {
+      return Status::InvalidArgument("mysqlite supports scalar columns only");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schemas_[schema].count(table) > 0) {
+    return Status::AlreadyExists("table exists: " + schema + "." + table);
+  }
+  schemas_[schema][table] = Table{std::move(row_type), {}};
+  return Status::OK();
+}
+
+Status MySqlLite::DropTable(const std::string& schema, const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto s = schemas_.find(schema);
+  if (s == schemas_.end() || s->second.erase(table) == 0) {
+    return Status::NotFound("no such table: " + schema + "." + table);
+  }
+  return Status::OK();
+}
+
+Status MySqlLite::Insert(const std::string& schema, const std::string& table,
+                         std::vector<std::vector<Value>> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Table * t, FindTableLocked(schema, table));
+  for (auto& row : rows) {
+    if (row.size() != t->row_type->NumChildren()) {
+      return Status::InvalidArgument("row width does not match table");
+    }
+    t->rows.push_back(std::move(row));
+  }
+  metrics_.Increment("mysql.rows_inserted", static_cast<int64_t>(rows.size()));
+  return Status::OK();
+}
+
+namespace {
+
+Result<size_t> ColumnIndex(const TypePtr& row_type, const std::string& name) {
+  auto idx = row_type->FindField(name);
+  if (!idx.has_value()) return Status::NotFound("no such column: " + name);
+  return *idx;
+}
+
+Result<bool> RowMatches(const TypePtr& row_type, const std::vector<Value>& row,
+                        const std::vector<ColumnPredicate>& predicates) {
+  for (const ColumnPredicate& pred : predicates) {
+    ASSIGN_OR_RETURN(size_t c, ColumnIndex(row_type, pred.column));
+    if (!pred.Matches(row[c])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<int64_t> MySqlLite::Update(const std::string& schema,
+                                  const std::string& table,
+                                  const std::vector<ColumnPredicate>& predicates,
+                                  const std::map<std::string, Value>& assignments) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Table * t, FindTableLocked(schema, table));
+  int64_t changed = 0;
+  for (auto& row : t->rows) {
+    ASSIGN_OR_RETURN(bool matches, RowMatches(t->row_type, row, predicates));
+    if (!matches) continue;
+    for (const auto& [column, value] : assignments) {
+      ASSIGN_OR_RETURN(size_t c, ColumnIndex(t->row_type, column));
+      row[c] = value;
+    }
+    ++changed;
+  }
+  metrics_.Increment("mysql.rows_updated", changed);
+  return changed;
+}
+
+Result<int64_t> MySqlLite::Delete(const std::string& schema,
+                                  const std::string& table,
+                                  const std::vector<ColumnPredicate>& predicates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Table * t, FindTableLocked(schema, table));
+  int64_t before = static_cast<int64_t>(t->rows.size());
+  std::vector<std::vector<Value>> kept;
+  for (auto& row : t->rows) {
+    ASSIGN_OR_RETURN(bool matches, RowMatches(t->row_type, row, predicates));
+    if (!matches) kept.push_back(std::move(row));
+  }
+  t->rows = std::move(kept);
+  int64_t deleted = before - static_cast<int64_t>(t->rows.size());
+  metrics_.Increment("mysql.rows_deleted", deleted);
+  return deleted;
+}
+
+Result<ScanResult> MySqlLite::Scan(const std::string& schema,
+                                   const std::string& table,
+                                   const ScanRequest& request) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(const Table* t, FindTableLocked(schema, table));
+  metrics_.Increment("mysql.scans");
+
+  ScanResult result;
+  std::vector<size_t> projection;
+  if (request.columns.empty()) {
+    for (size_t c = 0; c < t->row_type->NumChildren(); ++c) {
+      projection.push_back(c);
+    }
+  } else {
+    for (const std::string& name : request.columns) {
+      ASSIGN_OR_RETURN(size_t c, ColumnIndex(t->row_type, name));
+      projection.push_back(c);
+    }
+  }
+  for (size_t c : projection) {
+    result.column_names.push_back(t->row_type->field_name(c));
+    result.column_types.push_back(t->row_type->child(c));
+  }
+
+  for (const auto& row : t->rows) {
+    ++result.rows_scanned;
+    ASSIGN_OR_RETURN(bool matches, RowMatches(t->row_type, row, request.predicates));
+    if (!matches) continue;
+    std::vector<Value> projected;
+    projected.reserve(projection.size());
+    for (size_t c : projection) projected.push_back(row[c]);
+    result.rows.push_back(std::move(projected));
+    if (request.limit >= 0 &&
+        static_cast<int64_t>(result.rows.size()) >= request.limit) {
+      break;
+    }
+  }
+  metrics_.Increment("mysql.rows_returned",
+                     static_cast<int64_t>(result.rows.size()));
+  return result;
+}
+
+Result<TypePtr> MySqlLite::TableType(const std::string& schema,
+                                     const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(const Table* t, FindTableLocked(schema, table));
+  return t->row_type;
+}
+
+std::vector<std::string> MySqlLite::ListTables(const std::string& schema) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  auto s = schemas_.find(schema);
+  if (s == schemas_.end()) return out;
+  for (const auto& [name, table] : s->second) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MySqlLite::ListSchemas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, tables] : schemas_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mysqlite
+}  // namespace presto

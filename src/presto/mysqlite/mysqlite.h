@@ -1,0 +1,96 @@
+#ifndef PRESTO_MYSQLITE_MYSQLITE_H_
+#define PRESTO_MYSQLITE_MYSQLITE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "presto/common/metrics.h"
+#include "presto/common/status.h"
+#include "presto/types/type.h"
+#include "presto/types/value.h"
+
+namespace presto {
+namespace mysqlite {
+
+/// Comparison operators supported by server-side scans.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
+
+/// A conjunct of a pushed-down WHERE clause: `column op value(s)`.
+struct ColumnPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  std::vector<Value> values;  // 1 value, or N for kIn
+
+  bool Matches(const Value& v) const;
+};
+
+/// Server-side scan request: projection, filter, and limit — the three
+/// pushdowns every Presto connector implements (Section IV.A).
+struct ScanRequest {
+  std::vector<std::string> columns;          // empty = all columns
+  std::vector<ColumnPredicate> predicates;   // ANDed
+  int64_t limit = -1;                        // -1 = unlimited
+};
+
+struct ScanResult {
+  std::vector<std::string> column_names;
+  std::vector<TypePtr> column_types;
+  std::vector<std::vector<Value>> rows;
+  int64_t rows_scanned = 0;  // rows examined server-side
+};
+
+/// Tiny transactional row store standing in for MySQL: typed tables under
+/// schemas, row-at-a-time insert/update/delete, and a scan API with
+/// server-side filter/projection/limit. Used both as a connector target and
+/// as the backing store of the Presto gateway's user/group->cluster routing
+/// table (Section VIII).
+class MySqlLite {
+ public:
+  Status CreateTable(const std::string& schema, const std::string& table,
+                     TypePtr row_type);
+  Status DropTable(const std::string& schema, const std::string& table);
+
+  Status Insert(const std::string& schema, const std::string& table,
+                std::vector<std::vector<Value>> rows);
+
+  /// UPDATE ... SET column=value WHERE predicates. Returns rows changed.
+  Result<int64_t> Update(const std::string& schema, const std::string& table,
+                         const std::vector<ColumnPredicate>& predicates,
+                         const std::map<std::string, Value>& assignments);
+
+  /// DELETE FROM ... WHERE predicates. Returns rows deleted.
+  Result<int64_t> Delete(const std::string& schema, const std::string& table,
+                         const std::vector<ColumnPredicate>& predicates);
+
+  Result<ScanResult> Scan(const std::string& schema, const std::string& table,
+                          const ScanRequest& request) const;
+
+  Result<TypePtr> TableType(const std::string& schema,
+                            const std::string& table) const;
+  std::vector<std::string> ListTables(const std::string& schema) const;
+  std::vector<std::string> ListSchemas() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Table {
+    TypePtr row_type;
+    std::vector<std::vector<Value>> rows;
+  };
+
+  Result<const Table*> FindTableLocked(const std::string& schema,
+                                       const std::string& table) const;
+  Result<Table*> FindTableLocked(const std::string& schema,
+                                 const std::string& table);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, Table>> schemas_;
+  mutable MetricsRegistry metrics_;
+};
+
+}  // namespace mysqlite
+}  // namespace presto
+
+#endif  // PRESTO_MYSQLITE_MYSQLITE_H_

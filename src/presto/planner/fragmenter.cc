@@ -1,0 +1,124 @@
+#include "presto/planner/fragmenter.h"
+
+namespace presto {
+
+namespace {
+
+// A subtree is "scannable" when it is a pure per-split pipeline: one
+// TableScan under any mix of Filters and Projects.
+bool IsScannableSubtree(const PlanNodePtr& node) {
+  switch (node->kind()) {
+    case PlanNodeKind::kTableScan:
+      return true;
+    case PlanNodeKind::kFilter:
+    case PlanNodeKind::kProject:
+      return IsScannableSubtree(node->sources()[0]);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string FragmentedPlan::ToString() const {
+  std::string out;
+  for (const PlanFragment& fragment : fragments) {
+    out += "Fragment " + std::to_string(fragment.id) +
+           (fragment.leaf ? " (leaf)" : " (root)") + "\n";
+    out += fragment.root->ToString(1);
+  }
+  return out;
+}
+
+PlanNodePtr Fragmenter::MakeLeafFragment(PlanNodePtr subtree, FragmentedPlan* out) {
+  PlanFragment fragment;
+  fragment.id = static_cast<int>(out->fragments.size());
+  fragment.root = subtree;
+  fragment.leaf = true;
+  out->fragments.push_back(fragment);
+  return std::make_shared<RemoteSourceNode>(ids_->NextId(), fragment.id,
+                                            subtree->OutputVariables());
+}
+
+Result<PlanNodePtr> Fragmenter::Rewrite(PlanNodePtr node, FragmentedPlan* out) {
+  // Split a single-step aggregation over a scan pipeline into
+  // partial (leaf) + final (root).
+  if (node->kind() == PlanNodeKind::kAggregate) {
+    auto* agg = static_cast<AggregateNode*>(node.get());
+    if (agg->step() == AggregationStep::kSingle &&
+        IsScannableSubtree(agg->sources()[0])) {
+      std::vector<AggregateNode::Aggregation> partial_aggs;
+      std::vector<AggregateNode::Aggregation> final_aggs;
+      for (const auto& aggregation : agg->aggregations()) {
+        ASSIGN_OR_RETURN(const AggregateFunction* impl,
+                         functions_->FindAggregate(aggregation.handle));
+        VariablePtr partial_var = VariableReferenceExpression::Make(
+            ids_->NextVariable("partial"), impl->intermediate_type);
+        partial_aggs.push_back(
+            {partial_var, aggregation.handle, aggregation.arguments});
+        final_aggs.push_back({aggregation.output, aggregation.handle, {partial_var}});
+      }
+      PlanNodePtr partial = std::make_shared<AggregateNode>(
+          ids_->NextId(), agg->sources()[0], agg->group_keys(),
+          std::move(partial_aggs), AggregationStep::kPartial);
+      PlanNodePtr remote = MakeLeafFragment(std::move(partial), out);
+      return PlanNodePtr(std::make_shared<AggregateNode>(
+          ids_->NextId(), std::move(remote), agg->group_keys(),
+          std::move(final_aggs), AggregationStep::kFinal));
+    }
+  }
+  // Final aggregation produced by connector aggregation pushdown: the scan
+  // itself becomes the leaf fragment.
+  if (node->kind() == PlanNodeKind::kAggregate) {
+    auto* agg = static_cast<AggregateNode*>(node.get());
+    if (agg->step() == AggregationStep::kFinal &&
+        IsScannableSubtree(agg->sources()[0])) {
+      PlanNodePtr remote = MakeLeafFragment(agg->sources()[0], out);
+      node->mutable_sources()[0] = std::move(remote);
+      return node;
+    }
+  }
+  // TopN over a scan pipeline: partial TopN runs leaf-side.
+  if (node->kind() == PlanNodeKind::kTopN) {
+    auto* topn = static_cast<TopNNode*>(node.get());
+    if (!topn->partial() && IsScannableSubtree(topn->sources()[0])) {
+      PlanNodePtr partial = std::make_shared<TopNNode>(
+          ids_->NextId(), topn->sources()[0], topn->ordering(), topn->count(),
+          /*partial=*/true);
+      PlanNodePtr remote = MakeLeafFragment(std::move(partial), out);
+      return PlanNodePtr(std::make_shared<TopNNode>(
+          ids_->NextId(), std::move(remote), topn->ordering(), topn->count(),
+          /*partial=*/false));
+    }
+  }
+  // Limit over a scan pipeline: partial limit caps each task's output.
+  if (node->kind() == PlanNodeKind::kLimit) {
+    auto* limit = static_cast<LimitNode*>(node.get());
+    if (!limit->partial() && IsScannableSubtree(limit->sources()[0])) {
+      PlanNodePtr partial = std::make_shared<LimitNode>(
+          ids_->NextId(), limit->sources()[0], limit->count(), /*partial=*/true);
+      PlanNodePtr remote = MakeLeafFragment(std::move(partial), out);
+      return PlanNodePtr(std::make_shared<LimitNode>(
+          ids_->NextId(), std::move(remote), limit->count(), /*partial=*/false));
+    }
+  }
+  // A bare scan pipeline feeding anything else becomes a leaf fragment.
+  if (IsScannableSubtree(node)) {
+    return MakeLeafFragment(node, out);
+  }
+  for (PlanNodePtr& source : node->mutable_sources()) {
+    ASSIGN_OR_RETURN(source, Rewrite(source, out));
+  }
+  return node;
+}
+
+Result<FragmentedPlan> Fragmenter::Fragment(PlanNodePtr root) {
+  FragmentedPlan out;
+  // Reserve slot 0 for the root fragment.
+  out.fragments.push_back(PlanFragment{0, nullptr, false});
+  ASSIGN_OR_RETURN(PlanNodePtr rewritten, Rewrite(std::move(root), &out));
+  out.fragments[0].root = std::move(rewritten);
+  return out;
+}
+
+}  // namespace presto

@@ -1,0 +1,51 @@
+#ifndef PRESTO_PLANNER_FRAGMENTER_H_
+#define PRESTO_PLANNER_FRAGMENTER_H_
+
+#include "presto/expr/function_registry.h"
+#include "presto/planner/plan.h"
+
+namespace presto {
+
+/// One plan fragment: "the fragmenter divides the plan into fragments; each
+/// running plan fragment is called a stage, which could be executed in
+/// parallel. Stages consist of tasks, which are processing one or many
+/// splits of input data."
+struct PlanFragment {
+  int id = 0;
+  PlanNodePtr root;
+  /// Leaf fragments contain exactly one TableScan and run as one task per
+  /// split batch on workers; the root fragment (id 0) gathers exchanges.
+  bool leaf = false;
+};
+
+struct FragmentedPlan {
+  /// fragments[0] is the root; the rest are leaves referenced by
+  /// RemoteSourceNodes.
+  std::vector<PlanFragment> fragments;
+
+  std::string ToString() const;
+};
+
+/// Cuts an optimized plan into a root fragment plus leaf (source) fragments.
+/// Aggregations over scan pipelines are split into PARTIAL (in the leaf,
+/// next to the scan) and FINAL (after the exchange); TopN and Limit get
+/// partial leaf-side copies.
+class Fragmenter {
+ public:
+  Fragmenter(PlanIdAllocator* ids,
+             FunctionRegistry* functions = &FunctionRegistry::Default())
+      : ids_(ids), functions_(functions) {}
+
+  Result<FragmentedPlan> Fragment(PlanNodePtr root);
+
+ private:
+  Result<PlanNodePtr> Rewrite(PlanNodePtr node, FragmentedPlan* out);
+  PlanNodePtr MakeLeafFragment(PlanNodePtr subtree, FragmentedPlan* out);
+
+  PlanIdAllocator* ids_;
+  FunctionRegistry* functions_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_PLANNER_FRAGMENTER_H_

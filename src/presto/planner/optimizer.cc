@@ -1,0 +1,722 @@
+#include "presto/planner/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace presto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Variable usage analysis
+// ---------------------------------------------------------------------------
+
+void CountExprVars(const RowExpression& expr, std::map<std::string, int>* uses) {
+  std::vector<std::string> vars;
+  CollectReferencedVariables(expr, &vars);
+  for (const std::string& name : vars) (*uses)[name] += 1;
+}
+
+void CountPlanVars(const PlanNode& node, std::map<std::string, int>* uses) {
+  switch (node.kind()) {
+    case PlanNodeKind::kFilter:
+      CountExprVars(*static_cast<const FilterNode&>(node).predicate(), uses);
+      break;
+    case PlanNodeKind::kProject:
+      for (const auto& a : static_cast<const ProjectNode&>(node).assignments()) {
+        CountExprVars(*a.expression, uses);
+      }
+      break;
+    case PlanNodeKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      for (const VariablePtr& key : agg.group_keys()) (*uses)[key->name()] += 1;
+      for (const auto& a : agg.aggregations()) {
+        for (const VariablePtr& arg : a.arguments) (*uses)[arg->name()] += 1;
+      }
+      break;
+    }
+    case PlanNodeKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      for (const auto& clause : join.criteria()) {
+        (*uses)[clause.left->name()] += 1;
+        (*uses)[clause.right->name()] += 1;
+      }
+      if (join.filter() != nullptr) CountExprVars(*join.filter(), uses);
+      break;
+    }
+    case PlanNodeKind::kSort:
+      for (const auto& term : static_cast<const SortNode&>(node).ordering()) {
+        (*uses)[term.variable->name()] += 1;
+      }
+      break;
+    case PlanNodeKind::kTopN:
+      for (const auto& term : static_cast<const TopNNode&>(node).ordering()) {
+        (*uses)[term.variable->name()] += 1;
+      }
+      break;
+    case PlanNodeKind::kOutput:
+      for (const VariablePtr& v : node.OutputVariables()) {
+        (*uses)[v->name()] += 1;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const PlanNodePtr& source : node.sources()) {
+    CountPlanVars(*source, uses);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Column/leaf usage for projection pushdown + nested column pruning
+// ---------------------------------------------------------------------------
+
+struct ColumnUsage {
+  bool whole = false;
+  std::set<std::string> leaf_paths;  // suffix paths within the column
+};
+
+// Records how variables are used: direct references mark the whole column;
+// pure DEREFERENCE chains over ROW-typed variables mark specific leaves.
+void WalkUsage(const RowExpression& expr,
+               std::map<std::string, ColumnUsage>* usage) {
+  if (expr.expression_kind() == ExpressionKind::kVariableReference) {
+    (*usage)[static_cast<const VariableReferenceExpression&>(expr).name()].whole =
+        true;
+    return;
+  }
+  if (expr.expression_kind() == ExpressionKind::kSpecialForm) {
+    const auto& form = static_cast<const SpecialFormExpression&>(expr);
+    if (form.form() == SpecialFormKind::kDereference) {
+      // Unwind the chain; bail to whole-use if the base is not a variable.
+      std::vector<std::string> parts;
+      const RowExpression* node = &expr;
+      while (node->expression_kind() == ExpressionKind::kSpecialForm &&
+             static_cast<const SpecialFormExpression*>(node)->form() ==
+                 SpecialFormKind::kDereference) {
+        const auto* deref = static_cast<const SpecialFormExpression*>(node);
+        const RowExpression* base = deref->arguments()[0].get();
+        parts.insert(parts.begin(),
+                     base->type()->field_name(deref->field_index()));
+        node = base;
+      }
+      if (node->expression_kind() == ExpressionKind::kVariableReference) {
+        std::string path;
+        for (const std::string& part : parts) {
+          path += path.empty() ? part : "." + part;
+        }
+        (*usage)[static_cast<const VariableReferenceExpression*>(node)->name()]
+            .leaf_paths.insert(path);
+        return;
+      }
+      // Fall through: complex base.
+    }
+    for (const ExprPtr& arg : form.arguments()) WalkUsage(*arg, usage);
+    return;
+  }
+  if (expr.expression_kind() == ExpressionKind::kCall) {
+    for (const ExprPtr& arg : static_cast<const CallExpression&>(expr).arguments()) {
+      WalkUsage(*arg, usage);
+    }
+    return;
+  }
+  if (expr.expression_kind() == ExpressionKind::kLambdaDefinition) {
+    WalkUsage(*static_cast<const LambdaDefinitionExpression&>(expr).body(), usage);
+  }
+}
+
+void WalkPlanUsage(const PlanNode& node, std::map<std::string, ColumnUsage>* usage) {
+  switch (node.kind()) {
+    case PlanNodeKind::kFilter:
+      WalkUsage(*static_cast<const FilterNode&>(node).predicate(), usage);
+      break;
+    case PlanNodeKind::kProject:
+      for (const auto& a : static_cast<const ProjectNode&>(node).assignments()) {
+        WalkUsage(*a.expression, usage);
+      }
+      break;
+    case PlanNodeKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      for (const VariablePtr& key : agg.group_keys()) (*usage)[key->name()].whole = true;
+      for (const auto& a : agg.aggregations()) {
+        for (const VariablePtr& arg : a.arguments) (*usage)[arg->name()].whole = true;
+      }
+      break;
+    }
+    case PlanNodeKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      for (const auto& clause : join.criteria()) {
+        (*usage)[clause.left->name()].whole = true;
+        (*usage)[clause.right->name()].whole = true;
+      }
+      if (join.filter() != nullptr) WalkUsage(*join.filter(), usage);
+      break;
+    }
+    case PlanNodeKind::kSort:
+      for (const auto& term : static_cast<const SortNode&>(node).ordering()) {
+        (*usage)[term.variable->name()].whole = true;
+      }
+      break;
+    case PlanNodeKind::kTopN:
+      for (const auto& term : static_cast<const TopNNode&>(node).ordering()) {
+        (*usage)[term.variable->name()].whole = true;
+      }
+      break;
+    case PlanNodeKind::kOutput:
+      for (const VariablePtr& v : node.OutputVariables()) {
+        (*usage)[v->name()].whole = true;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const PlanNodePtr& source : node.sources()) {
+    WalkPlanUsage(*source, usage);
+  }
+}
+
+void ForEachScan(const PlanNodePtr& node,
+                 const std::function<void(TableScanNode*)>& fn) {
+  if (node->kind() == PlanNodeKind::kTableScan) {
+    fn(static_cast<TableScanNode*>(node.get()));
+  }
+  for (const PlanNodePtr& source : node->sources()) {
+    ForEachScan(source, fn);
+  }
+}
+
+// Variable -> table column translation for one scan.
+std::map<std::string, std::string> ScanVarToColumn(const TableScanNode& scan) {
+  std::map<std::string, std::string> out;
+  auto outputs = scan.OutputVariables();
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    out[outputs[i]->name()] = scan.column_names()[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+Result<PlanNodePtr> Optimizer::Optimize(PlanNodePtr plan) {
+  if (session_->Property("geo_index_rewrite", "true") == "true") {
+    std::map<std::string, int> var_uses;
+    CountPlanVars(*plan, &var_uses);
+    ASSIGN_OR_RETURN(plan, RewriteGeoJoins(plan, var_uses));
+  }
+  ASSIGN_OR_RETURN(plan, PushFiltersThroughJoins(plan));
+  RETURN_IF_ERROR(DeriveScanColumns(plan));
+  ASSIGN_OR_RETURN(plan, PushPredicatesIntoScans(plan));
+  ASSIGN_OR_RETURN(plan, PushAggregationsIntoScans(plan));
+  ASSIGN_OR_RETURN(plan, PushLimitsIntoScans(plan));
+  ASSIGN_OR_RETURN(plan, FuseTopN(plan));
+  SelectJoinDistribution(plan);
+  RETURN_IF_ERROR(FinalizeScans(plan));
+  return plan;
+}
+
+// ---- Rule 1: geospatial join rewrite (Figure 13) ---------------------------
+
+Result<PlanNodePtr> Optimizer::RewriteGeoJoins(
+    PlanNodePtr node, const std::map<std::string, int>& var_uses) {
+  for (PlanNodePtr& source : node->mutable_sources()) {
+    ASSIGN_OR_RETURN(source, RewriteGeoJoins(source, var_uses));
+  }
+  if (node->kind() != PlanNodeKind::kJoin) return node;
+  auto* join = static_cast<JoinNode*>(node.get());
+  if (join->join_kind() != JoinKind::kInner || !join->criteria().empty() ||
+      join->filter() == nullptr) {
+    return node;
+  }
+
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(join->filter(), &conjuncts);
+
+  auto side_vars = [](const PlanNodePtr& side) {
+    std::set<std::string> names;
+    for (const VariablePtr& v : side->OutputVariables()) names.insert(v->name());
+    return names;
+  };
+  std::set<std::string> left_vars = side_vars(join->sources()[0]);
+  std::set<std::string> right_vars = side_vars(join->sources()[1]);
+
+  auto refs_only = [](const RowExpression& expr, const std::set<std::string>& side) {
+    std::vector<std::string> vars;
+    CollectReferencedVariables(expr, &vars);
+    for (const std::string& v : vars) {
+      if (side.count(v) == 0) return false;
+    }
+    return !vars.empty();
+  };
+
+  // Find the st_contains(shape_var, point_expr) conjunct.
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    const ExprPtr& conjunct = conjuncts[ci];
+    if (conjunct->expression_kind() != ExpressionKind::kCall) continue;
+    const auto& call = static_cast<const CallExpression&>(*conjunct);
+    if (call.function_name() != "st_contains" || call.arguments().size() != 2) {
+      continue;
+    }
+    if (call.arguments()[0]->expression_kind() !=
+        ExpressionKind::kVariableReference) {
+      continue;
+    }
+    auto shape_var = std::static_pointer_cast<const VariableReferenceExpression>(
+        call.arguments()[0]);
+    const ExprPtr& point_expr = call.arguments()[1];
+
+    bool shape_on_right = right_vars.count(shape_var->name()) > 0;
+    bool shape_on_left = left_vars.count(shape_var->name()) > 0;
+    if (!shape_on_right && !shape_on_left) continue;
+    PlanNodePtr probe = shape_on_right ? join->sources()[0] : join->sources()[1];
+    PlanNodePtr build = shape_on_right ? join->sources()[1] : join->sources()[0];
+    const std::set<std::string>& probe_vars = shape_on_right ? left_vars : right_vars;
+    if (!refs_only(*point_expr, probe_vars)) continue;
+
+    // All other conjuncts must be probe-side only.
+    bool others_ok = true;
+    std::map<std::string, int> filter_uses;
+    CountExprVars(*join->filter(), &filter_uses);
+    for (size_t cj = 0; cj < conjuncts.size(); ++cj) {
+      if (cj == ci) continue;
+      if (!refs_only(*conjuncts[cj], probe_vars)) others_ok = false;
+    }
+    if (!others_ok) continue;
+
+    // Build-side columns used elsewhere: exactly one integer id column.
+    VariablePtr id_var;
+    bool eligible = true;
+    for (const VariablePtr& v : build->OutputVariables()) {
+      int total = 0;
+      if (auto it = var_uses.find(v->name()); it != var_uses.end()) {
+        total = it->second;
+      }
+      int in_filter = 0;
+      if (auto it = filter_uses.find(v->name()); it != filter_uses.end()) {
+        in_filter = it->second;
+      }
+      int elsewhere = total - in_filter;
+      if (elsewhere <= 0) continue;
+      if (!IsIntegerLike(v->type()->kind()) || id_var != nullptr) {
+        eligible = false;
+        break;
+      }
+      id_var = v;
+    }
+    if (!eligible || id_var == nullptr) continue;
+
+    auto index_handle = functions_->ResolveAggregate(
+        "build_geo_index", {Type::Bigint(), Type::Varchar()});
+    auto contains_handle =
+        functions_->ResolveScalar("geo_contains", {Type::Varchar(), Type::Varchar()});
+    if (!index_handle.ok() || !contains_handle.ok()) {
+      return node;  // geo plugin not installed
+    }
+
+    // index := build_geo_index(id, shape) over the build side (global agg).
+    VariablePtr index_var = VariableReferenceExpression::Make(
+        ids_->NextVariable("geo_index"), Type::Varchar());
+    std::vector<AggregateNode::Aggregation> index_agg;
+    index_agg.push_back({index_var, *index_handle, {id_var, shape_var}});
+    PlanNodePtr index_node = std::make_shared<AggregateNode>(
+        ids_->NextId(), build, std::vector<VariablePtr>{}, std::move(index_agg),
+        AggregationStep::kSingle);
+
+    // probe CROSS JOIN index (single row broadcast).
+    PlanNodePtr cross = std::make_shared<JoinNode>(
+        ids_->NextId(), JoinKind::kCross, probe, index_node,
+        std::vector<JoinNode::EquiClause>{}, nullptr);
+
+    // id := geo_contains(index, point); probe columns pass through.
+    std::vector<ProjectNode::Assignment> assignments;
+    for (const VariablePtr& v : probe->OutputVariables()) {
+      assignments.push_back({v, ExprPtr(v)});
+    }
+    ExprPtr matched = CallExpression::Make(
+        *contains_handle, {ExprPtr(index_var), point_expr});
+    assignments.push_back({id_var, std::move(matched)});
+    PlanNodePtr projected = std::make_shared<ProjectNode>(
+        ids_->NextId(), cross, std::move(assignments));
+
+    // Keep only matched rows (the join was INNER): id IS NOT NULL, plus the
+    // remaining probe-side conjuncts.
+    std::vector<ExprPtr> filter_conjuncts;
+    filter_conjuncts.push_back(SpecialFormExpression::Make(
+        SpecialFormKind::kNot, Type::Boolean(),
+        {SpecialFormExpression::Make(SpecialFormKind::kIsNull, Type::Boolean(),
+                                     {ExprPtr(id_var)})}));
+    for (size_t cj = 0; cj < conjuncts.size(); ++cj) {
+      if (cj != ci) filter_conjuncts.push_back(conjuncts[cj]);
+    }
+    return PlanNodePtr(std::make_shared<FilterNode>(
+        ids_->NextId(), projected, CombineConjuncts(std::move(filter_conjuncts))));
+  }
+  return node;
+}
+
+// ---- Rule 2: push single-side filter conjuncts below inner joins -------------
+
+Result<PlanNodePtr> Optimizer::PushFiltersThroughJoins(PlanNodePtr node) {
+  for (PlanNodePtr& source : node->mutable_sources()) {
+    ASSIGN_OR_RETURN(source, PushFiltersThroughJoins(source));
+  }
+  if (node->kind() != PlanNodeKind::kFilter) return node;
+  auto* filter = static_cast<FilterNode*>(node.get());
+  if (filter->sources()[0]->kind() != PlanNodeKind::kJoin) return node;
+  auto join = std::static_pointer_cast<JoinNode>(filter->sources()[0]);
+  if (join->join_kind() != JoinKind::kInner &&
+      join->join_kind() != JoinKind::kCross) {
+    return node;
+  }
+
+  std::set<std::string> left_vars, right_vars;
+  for (const VariablePtr& v : join->sources()[0]->OutputVariables()) {
+    left_vars.insert(v->name());
+  }
+  for (const VariablePtr& v : join->sources()[1]->OutputVariables()) {
+    right_vars.insert(v->name());
+  }
+
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(filter->predicate(), &conjuncts);
+  std::vector<ExprPtr> left_only, right_only, remaining;
+  for (const ExprPtr& conjunct : conjuncts) {
+    std::vector<std::string> vars;
+    CollectReferencedVariables(*conjunct, &vars);
+    bool all_left = true, all_right = true;
+    for (const std::string& v : vars) {
+      if (left_vars.count(v) == 0) all_left = false;
+      if (right_vars.count(v) == 0) all_right = false;
+    }
+    if (!vars.empty() && all_left) {
+      left_only.push_back(conjunct);
+    } else if (!vars.empty() && all_right) {
+      right_only.push_back(conjunct);
+    } else {
+      remaining.push_back(conjunct);
+    }
+  }
+  if (left_only.empty() && right_only.empty()) return node;
+
+  auto& join_sources = join->mutable_sources();
+  if (!left_only.empty()) {
+    ASSIGN_OR_RETURN(
+        join_sources[0],
+        PushFiltersThroughJoins(std::make_shared<FilterNode>(
+            ids_->NextId(), join_sources[0], CombineConjuncts(std::move(left_only)))));
+  }
+  if (!right_only.empty()) {
+    ASSIGN_OR_RETURN(
+        join_sources[1],
+        PushFiltersThroughJoins(std::make_shared<FilterNode>(
+            ids_->NextId(), join_sources[1],
+            CombineConjuncts(std::move(right_only)))));
+  }
+  if (remaining.empty()) return PlanNodePtr(join);
+  return PlanNodePtr(std::make_shared<FilterNode>(
+      ids_->NextId(), join, CombineConjuncts(std::move(remaining))));
+}
+
+// ---- Rule 3: projection pushdown + nested column pruning ----------------------
+
+Status Optimizer::DeriveScanColumns(const PlanNodePtr& root) {
+  std::map<std::string, ColumnUsage> usage;
+  WalkPlanUsage(*root, &usage);
+  Status status;
+  ForEachScan(root, [&](TableScanNode* scan) {
+    auto outputs = scan->OutputVariables();
+    std::vector<VariablePtr> kept_outputs;
+    std::vector<std::string> kept_columns;
+    std::vector<std::string> required_leaves;
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      auto it = usage.find(outputs[i]->name());
+      if (it == usage.end() ||
+          (!it->second.whole && it->second.leaf_paths.empty())) {
+        continue;  // unused column: pruned from the scan
+      }
+      const std::string& column = scan->column_names()[i];
+      kept_outputs.push_back(outputs[i]);
+      kept_columns.push_back(column);
+      if (!it->second.whole) {
+        for (const std::string& path : it->second.leaf_paths) {
+          required_leaves.push_back(column + "." + path);
+        }
+      }
+    }
+    if (kept_outputs.empty() && !outputs.empty()) {
+      // count(*)-style queries still need row counts: keep one column.
+      kept_outputs.push_back(outputs[0]);
+      kept_columns.push_back(scan->column_names()[0]);
+    }
+    scan->mutable_request().columns = kept_columns;
+    scan->mutable_request().required_leaves = std::move(required_leaves);
+    scan->SetOutputs(std::move(kept_outputs), std::move(kept_columns));
+  });
+  return status;
+}
+
+// ---- Rule 4: predicate pushdown into connectors --------------------------------
+
+Result<PlanNodePtr> Optimizer::PushPredicatesIntoScans(PlanNodePtr node) {
+  for (PlanNodePtr& source : node->mutable_sources()) {
+    ASSIGN_OR_RETURN(source, PushPredicatesIntoScans(source));
+  }
+  if (node->kind() != PlanNodeKind::kFilter) return node;
+  auto* filter = static_cast<FilterNode*>(node.get());
+  if (filter->sources()[0]->kind() != PlanNodeKind::kTableScan) return node;
+  auto scan = std::static_pointer_cast<TableScanNode>(filter->sources()[0]);
+
+  std::map<std::string, std::string> var_to_column = ScanVarToColumn(*scan);
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(filter->predicate(), &conjuncts);
+
+  // Normalize pushable conjuncts; remember which conjunct each desired
+  // predicate came from.
+  std::vector<SimplePredicate> desired;
+  std::vector<size_t> conjunct_of_predicate;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    auto normalized = NormalizeConjunct(*conjuncts[i]);
+    if (!normalized.has_value()) continue;
+    // Translate the variable segment into the table column name.
+    std::string path = normalized->column;
+    size_t dot = path.find('.');
+    std::string var = dot == std::string::npos ? path : path.substr(0, dot);
+    auto column_it = var_to_column.find(var);
+    if (column_it == var_to_column.end()) continue;
+    normalized->column = dot == std::string::npos
+                             ? column_it->second
+                             : column_it->second + path.substr(dot);
+    desired.push_back(std::move(*normalized));
+    conjunct_of_predicate.push_back(i);
+  }
+  if (desired.empty()) return node;
+
+  scan->mutable_request().predicates = desired;
+  ASSIGN_OR_RETURN(Connector * connector, catalogs_->GetConnector(scan->catalog()));
+  ASSIGN_OR_RETURN(AcceptedPushdown accepted,
+                   connector->NegotiatePushdown(scan->table_schema_name(),
+                                                scan->table_name(),
+                                                scan->request()));
+  // Keep only accepted predicates in the scan's desired request so later
+  // negotiations stay consistent.
+  std::set<size_t> accepted_conjuncts;
+  std::vector<SimplePredicate> accepted_predicates;
+  for (size_t index : accepted.predicate_indices) {
+    accepted_conjuncts.insert(conjunct_of_predicate[index]);
+    accepted_predicates.push_back(desired[index]);
+  }
+  scan->mutable_request().predicates = std::move(accepted_predicates);
+  scan->set_accepted(std::move(accepted));
+
+  std::vector<ExprPtr> residual;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (accepted_conjuncts.count(i) == 0) residual.push_back(conjuncts[i]);
+  }
+  if (residual.empty()) return filter->sources()[0];
+  if (residual.size() == conjuncts.size()) return node;
+  return PlanNodePtr(std::make_shared<FilterNode>(
+      ids_->NextId(), scan, CombineConjuncts(std::move(residual))));
+}
+
+// ---- Rule 5: aggregation pushdown (Section IV.B) ---------------------------------
+
+Result<PlanNodePtr> Optimizer::PushAggregationsIntoScans(PlanNodePtr node) {
+  for (PlanNodePtr& source : node->mutable_sources()) {
+    ASSIGN_OR_RETURN(source, PushAggregationsIntoScans(source));
+  }
+  if (node->kind() != PlanNodeKind::kAggregate) return node;
+  auto* agg = static_cast<AggregateNode*>(node.get());
+  if (agg->step() != AggregationStep::kSingle) return node;
+
+  // Pattern: Aggregate over Project(pure column mapping) over TableScan.
+  PlanNodePtr below = agg->sources()[0];
+  const ProjectNode* project = nullptr;
+  PlanNodePtr scan_node;
+  if (below->kind() == PlanNodeKind::kProject &&
+      below->sources()[0]->kind() == PlanNodeKind::kTableScan) {
+    project = static_cast<const ProjectNode*>(below.get());
+    scan_node = below->sources()[0];
+  } else if (below->kind() == PlanNodeKind::kTableScan) {
+    scan_node = below;
+  } else {
+    return node;
+  }
+  auto scan = std::static_pointer_cast<TableScanNode>(scan_node);
+  // Residual predicates above the scan would make connector-side
+  // aggregation incorrect (checked implicitly: a Filter breaks the pattern).
+
+  // Resolve a variable through the optional projection to a scan column.
+  std::map<std::string, std::string> var_to_column = ScanVarToColumn(*scan);
+  auto resolve_column = [&](const VariablePtr& var) -> std::optional<std::string> {
+    std::string name = var->name();
+    if (project != nullptr) {
+      bool found = false;
+      for (const auto& a : project->assignments()) {
+        if (a.output->name() == name) {
+          if (a.expression->expression_kind() !=
+              ExpressionKind::kVariableReference) {
+            return std::nullopt;
+          }
+          name = static_cast<const VariableReferenceExpression&>(*a.expression)
+                     .name();
+          found = true;
+          break;
+        }
+      }
+      if (!found) return std::nullopt;
+    }
+    auto it = var_to_column.find(name);
+    if (it == var_to_column.end()) return std::nullopt;
+    return it->second;
+  };
+
+  PushdownRequest desired = scan->request();
+  desired.group_by.clear();
+  desired.aggregations.clear();
+  for (const VariablePtr& key : agg->group_keys()) {
+    auto column = resolve_column(key);
+    if (!column.has_value()) return node;
+    desired.group_by.push_back(*column);
+  }
+  std::vector<TypePtr> intermediate_types;
+  for (const auto& aggregation : agg->aggregations()) {
+    const std::string& fn = aggregation.handle.name;
+    if (fn != "count" && fn != "sum" && fn != "min" && fn != "max") return node;
+    if (aggregation.arguments.size() > 1) return node;
+    std::string argument;
+    if (!aggregation.arguments.empty()) {
+      auto column = resolve_column(aggregation.arguments[0]);
+      if (!column.has_value()) return node;
+      argument = *column;
+    }
+    ASSIGN_OR_RETURN(const AggregateFunction* impl,
+                     functions_->FindAggregate(aggregation.handle));
+    intermediate_types.push_back(impl->intermediate_type);
+    desired.aggregations.push_back(
+        PushedAggregation{aggregation.output->name(), fn, argument});
+  }
+
+  ASSIGN_OR_RETURN(Connector * connector, catalogs_->GetConnector(scan->catalog()));
+  ASSIGN_OR_RETURN(AcceptedPushdown accepted,
+                   connector->NegotiatePushdown(scan->table_schema_name(),
+                                                scan->table_name(), desired));
+  if (!accepted.aggregations_pushed) return node;
+  // The connector's partial-aggregate column types must match the engine's
+  // intermediate types so the final step can merge them.
+  size_t num_keys = agg->group_keys().size();
+  for (size_t i = 0; i < intermediate_types.size(); ++i) {
+    if (!accepted.output_schema->child(num_keys + i)->Equals(*intermediate_types[i])) {
+      return node;
+    }
+  }
+
+  // Rewire: the scan emits group keys (as the original key variables) plus
+  // partial aggregate columns; a FINAL aggregation merges them.
+  std::vector<VariablePtr> scan_outputs = agg->group_keys();
+  std::vector<std::string> scan_columns = accepted.request.group_by;
+  std::vector<AggregateNode::Aggregation> final_aggs;
+  for (size_t i = 0; i < agg->aggregations().size(); ++i) {
+    VariablePtr partial = VariableReferenceExpression::Make(
+        ids_->NextVariable("partial"), intermediate_types[i]);
+    scan_outputs.push_back(partial);
+    scan_columns.push_back(accepted.request.aggregations[i].output_name);
+    final_aggs.push_back({agg->aggregations()[i].output,
+                          agg->aggregations()[i].handle,
+                          {partial}});
+  }
+  scan->mutable_request() = accepted.request;
+  scan->set_accepted(std::move(accepted));
+  scan->SetOutputs(std::move(scan_outputs), std::move(scan_columns));
+  return PlanNodePtr(std::make_shared<AggregateNode>(
+      ids_->NextId(), scan, agg->group_keys(), std::move(final_aggs),
+      AggregationStep::kFinal));
+}
+
+// ---- Rule 6: limit pushdown ----------------------------------------------------------
+
+Result<PlanNodePtr> Optimizer::PushLimitsIntoScans(PlanNodePtr node) {
+  for (PlanNodePtr& source : node->mutable_sources()) {
+    ASSIGN_OR_RETURN(source, PushLimitsIntoScans(source));
+  }
+  if (node->kind() != PlanNodeKind::kLimit) return node;
+  auto* limit = static_cast<LimitNode*>(node.get());
+  // Walk through row-preserving projections.
+  PlanNodePtr current = limit->sources()[0];
+  while (current->kind() == PlanNodeKind::kProject) {
+    current = current->sources()[0];
+  }
+  if (current->kind() != PlanNodeKind::kTableScan) return node;
+  auto scan = std::static_pointer_cast<TableScanNode>(current);
+  if (scan->accepted().has_value() && scan->accepted()->aggregations_pushed) {
+    return node;  // limit above a pushed aggregation must stay in the engine
+  }
+  scan->mutable_request().limit = limit->count();
+  ASSIGN_OR_RETURN(Connector * connector, catalogs_->GetConnector(scan->catalog()));
+  ASSIGN_OR_RETURN(AcceptedPushdown accepted,
+                   connector->NegotiatePushdown(scan->table_schema_name(),
+                                                scan->table_name(),
+                                                scan->request()));
+  scan->set_accepted(std::move(accepted));
+  return node;  // the engine-side limit stays (exact cut across splits)
+}
+
+// ---- Rule 7: Sort + Limit -> TopN ------------------------------------------------------
+
+Result<PlanNodePtr> Optimizer::FuseTopN(PlanNodePtr node) {
+  for (PlanNodePtr& source : node->mutable_sources()) {
+    ASSIGN_OR_RETURN(source, FuseTopN(source));
+  }
+  if (node->kind() != PlanNodeKind::kLimit) return node;
+  auto* limit = static_cast<LimitNode*>(node.get());
+  if (limit->sources()[0]->kind() != PlanNodeKind::kSort) return node;
+  auto sort = std::static_pointer_cast<SortNode>(limit->sources()[0]);
+  return PlanNodePtr(std::make_shared<TopNNode>(
+      ids_->NextId(), sort->sources()[0], sort->ordering(), limit->count(),
+      /*partial=*/false));
+}
+
+// ---- Rule 8: join distribution from session --------------------------------------------
+
+void Optimizer::SelectJoinDistribution(const PlanNodePtr& node) {
+  if (node->kind() == PlanNodeKind::kJoin) {
+    auto* join = static_cast<JoinNode*>(node.get());
+    std::string type = session_->Property("join_distribution_type", "partitioned");
+    join->set_distribution(type == "broadcast" ? JoinDistribution::kBroadcast
+                                               : JoinDistribution::kPartitioned);
+    // Non-equi joins require the build side on every probe task.
+    if (join->criteria().empty()) {
+      join->set_distribution(JoinDistribution::kBroadcast);
+    }
+  }
+  for (const PlanNodePtr& source : node->sources()) {
+    SelectJoinDistribution(source);
+  }
+}
+
+// ---- Finalize: every scan has a negotiated pushdown -------------------------------------
+
+Status Optimizer::FinalizeScans(const PlanNodePtr& node) {
+  Status status;
+  ForEachScan(node, [&](TableScanNode* scan) {
+    if (!status.ok() || scan->accepted().has_value()) return;
+    auto connector = catalogs_->GetConnector(scan->catalog());
+    if (!connector.ok()) {
+      status = connector.status();
+      return;
+    }
+    auto accepted = (*connector)->NegotiatePushdown(
+        scan->table_schema_name(), scan->table_name(), scan->request());
+    if (!accepted.ok()) {
+      status = accepted.status();
+      return;
+    }
+    scan->set_accepted(std::move(*accepted));
+  });
+  return status;
+}
+
+}  // namespace presto

@@ -1,0 +1,56 @@
+#ifndef PRESTO_PLANNER_OPTIMIZER_H_
+#define PRESTO_PLANNER_OPTIMIZER_H_
+
+#include "presto/connector/connector.h"
+#include "presto/expr/function_registry.h"
+#include "presto/planner/plan.h"
+#include "presto/planner/session.h"
+
+namespace presto {
+
+/// Rule-based optimizer ("optimizers run several rounds of optimizations,
+/// and finally generate a physical plan"). Rules, in order:
+///
+///   1. Geospatial join rewrite (Figure 13): an st_contains join becomes
+///      build_geo_index (QuadTree built on the fly) + geo_contains.
+///   2. Filter-through-join pushdown: single-side conjuncts move below the
+///      join.
+///   3. Projection pushdown + nested column pruning: scans read only
+///      referenced columns / struct leaves.
+///   4. Predicate pushdown into connectors (negotiated per connector).
+///   5. Aggregation pushdown into connectors (Druid-style, Section IV.B);
+///      connector results are partial aggregates finalized by the engine.
+///   6. Limit pushdown into connectors.
+///   7. Sort+Limit fusion into TopN.
+///   8. Join distribution selection from the session property
+///      join_distribution_type (Section XII.A).
+class Optimizer {
+ public:
+  Optimizer(const CatalogRegistry* catalogs, const Session* session,
+            PlanIdAllocator* ids,
+            FunctionRegistry* functions = &FunctionRegistry::Default())
+      : catalogs_(catalogs), session_(session), ids_(ids), functions_(functions) {}
+
+  Result<PlanNodePtr> Optimize(PlanNodePtr plan);
+
+ private:
+  Result<PlanNodePtr> RewriteGeoJoins(PlanNodePtr node,
+                                      const std::map<std::string, int>& var_uses);
+  Result<PlanNodePtr> PushFiltersThroughJoins(PlanNodePtr node);
+  Status DeriveScanColumns(const PlanNodePtr& root);
+  Result<PlanNodePtr> PushPredicatesIntoScans(PlanNodePtr node);
+  Result<PlanNodePtr> PushAggregationsIntoScans(PlanNodePtr node);
+  Result<PlanNodePtr> PushLimitsIntoScans(PlanNodePtr node);
+  Result<PlanNodePtr> FuseTopN(PlanNodePtr node);
+  void SelectJoinDistribution(const PlanNodePtr& node);
+  Status FinalizeScans(const PlanNodePtr& node);
+
+  const CatalogRegistry* catalogs_;
+  const Session* session_;
+  PlanIdAllocator* ids_;
+  FunctionRegistry* functions_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_PLANNER_OPTIMIZER_H_

@@ -1,0 +1,206 @@
+#include "presto/planner/plan.h"
+
+namespace presto {
+
+std::string PlanNode::ToString(int indent) const {
+  std::string out(indent * 2, ' ');
+  out += "- " + Label() + "\n";
+  for (const PlanNodePtr& source : sources_) {
+    out += source->ToString(indent + 1);
+  }
+  return out;
+}
+
+const char* AggregationStepToString(AggregationStep step) {
+  switch (step) {
+    case AggregationStep::kSingle:
+      return "SINGLE";
+    case AggregationStep::kPartial:
+      return "PARTIAL";
+    case AggregationStep::kFinal:
+      return "FINAL";
+  }
+  return "?";
+}
+
+const char* JoinKindToString(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return "INNER";
+    case JoinKind::kLeft:
+      return "LEFT";
+    case JoinKind::kCross:
+      return "CROSS";
+  }
+  return "?";
+}
+
+std::string TableScanNode::Label() const {
+  std::string out = "TableScan[" + catalog_ + "." + schema_ + "." + table_ + "]";
+  if (accepted_.has_value()) {
+    out += " columns=[";
+    for (size_t i = 0; i < accepted_->request.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += accepted_->request.columns[i];
+    }
+    out += "]";
+    if (!accepted_->request.required_leaves.empty()) {
+      out += " prunedLeaves=[";
+      for (size_t i = 0; i < accepted_->request.required_leaves.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += accepted_->request.required_leaves[i];
+      }
+      out += "]";
+    }
+    if (!accepted_->request.predicates.empty()) {
+      out += " pushedPredicates=[";
+      for (size_t i = 0; i < accepted_->request.predicates.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += accepted_->request.predicates[i].ToString();
+      }
+      out += "]";
+    }
+    if (accepted_->limit_pushed) {
+      out += " pushedLimit=" + std::to_string(accepted_->request.limit);
+    }
+    if (accepted_->aggregations_pushed) {
+      out += " pushedAggregation=[";
+      for (size_t i = 0; i < accepted_->request.aggregations.size(); ++i) {
+        if (i > 0) out += ", ";
+        const PushedAggregation& agg = accepted_->request.aggregations[i];
+        out += agg.function + "(" + agg.argument + ")";
+      }
+      out += " groupBy=(";
+      for (size_t i = 0; i < accepted_->request.group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += accepted_->request.group_by[i];
+      }
+      out += ")]";
+    }
+  }
+  return out;
+}
+
+std::string ValuesNode::Label() const {
+  return "Values[" + std::to_string(rows_.size()) + " rows]";
+}
+
+std::string FilterNode::Label() const {
+  return "Filter[" + predicate_->ToString() + "]";
+}
+
+std::vector<VariablePtr> ProjectNode::OutputVariables() const {
+  std::vector<VariablePtr> out;
+  out.reserve(assignments_.size());
+  for (const Assignment& a : assignments_) out.push_back(a.output);
+  return out;
+}
+
+std::string ProjectNode::Label() const {
+  std::string out = "Project[";
+  for (size_t i = 0; i < assignments_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments_[i].output->name() + " := " +
+           assignments_[i].expression->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<VariablePtr> AggregateNode::OutputVariables() const {
+  std::vector<VariablePtr> out = group_keys_;
+  for (const Aggregation& agg : aggregations_) out.push_back(agg.output);
+  return out;
+}
+
+std::string AggregateNode::Label() const {
+  std::string out = "Aggregate(";
+  out += AggregationStepToString(step_);
+  out += ")[";
+  for (size_t i = 0; i < group_keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_keys_[i]->name();
+  }
+  out += "][";
+  for (size_t i = 0; i < aggregations_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggregations_[i].output->name() + " := " +
+           aggregations_[i].handle.name + "(";
+    for (size_t a = 0; a < aggregations_[i].arguments.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += aggregations_[i].arguments[a]->name();
+    }
+    out += ")";
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<VariablePtr> JoinNode::OutputVariables() const {
+  std::vector<VariablePtr> out = sources()[0]->OutputVariables();
+  std::vector<VariablePtr> right = sources()[1]->OutputVariables();
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::string JoinNode::Label() const {
+  std::string out = "Join[";
+  out += JoinKindToString(join_kind_);
+  out += distribution_ == JoinDistribution::kBroadcast ? ", broadcast" : ", partitioned";
+  if (!criteria_.empty()) {
+    out += ", on ";
+    for (size_t i = 0; i < criteria_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += criteria_[i].left->name() + " = " + criteria_[i].right->name();
+    }
+  }
+  if (filter_ != nullptr) {
+    out += ", filter " + filter_->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+std::string SortNode::Label() const {
+  std::string out = "Sort[";
+  for (size_t i = 0; i < ordering_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ordering_[i].variable->name();
+    out += ordering_[i].ascending ? " ASC" : " DESC";
+  }
+  out += "]";
+  return out;
+}
+
+std::string TopNNode::Label() const {
+  std::string out = partial_ ? "TopN(PARTIAL)[" : "TopN[";
+  out += std::to_string(count_) + " by ";
+  for (size_t i = 0; i < ordering_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ordering_[i].variable->name();
+    out += ordering_[i].ascending ? " ASC" : " DESC";
+  }
+  out += "]";
+  return out;
+}
+
+std::string LimitNode::Label() const {
+  return std::string(partial_ ? "Limit(PARTIAL)[" : "Limit[") +
+         std::to_string(count_) + "]";
+}
+
+std::string OutputNode::Label() const {
+  std::string out = "Output[";
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += column_names_[i];
+  }
+  out += "]";
+  return out;
+}
+
+std::string RemoteSourceNode::Label() const {
+  return "RemoteSource[fragment " + std::to_string(fragment_id_) + "]";
+}
+
+}  // namespace presto

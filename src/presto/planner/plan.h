@@ -1,0 +1,354 @@
+#ifndef PRESTO_PLANNER_PLAN_H_
+#define PRESTO_PLANNER_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "presto/connector/pushdown.h"
+#include "presto/expr/expression.h"
+#include "presto/types/value.h"
+
+namespace presto {
+
+/// Logical/physical plan node kinds. The analyzer emits a tree of these;
+/// the optimizer rewrites it; the fragmenter cuts it into fragments.
+enum class PlanNodeKind {
+  kTableScan,
+  kValues,
+  kFilter,
+  kProject,
+  kAggregate,
+  kJoin,
+  kSort,
+  kTopN,
+  kLimit,
+  kOutput,
+  kRemoteSource,  // fragment boundary (exchange input)
+};
+
+class PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// Base plan node. Nodes are mutable during planning (single-threaded) and
+/// immutable once execution starts.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  PlanNodeKind kind() const { return kind_; }
+  int id() const { return id_; }
+
+  const std::vector<PlanNodePtr>& sources() const { return sources_; }
+  std::vector<PlanNodePtr>& mutable_sources() { return sources_; }
+
+  /// Output columns of this node, in order.
+  virtual std::vector<VariablePtr> OutputVariables() const = 0;
+
+  /// One-line description for EXPLAIN.
+  virtual std::string Label() const = 0;
+
+  /// Multi-line EXPLAIN rendering of the subtree.
+  std::string ToString(int indent = 0) const;
+
+ protected:
+  PlanNode(PlanNodeKind kind, int id, std::vector<PlanNodePtr> sources)
+      : kind_(kind), id_(id), sources_(std::move(sources)) {}
+
+ private:
+  PlanNodeKind kind_;
+  int id_;
+  std::vector<PlanNodePtr> sources_;
+};
+
+/// Allocates unique plan-node ids and variable names within one query.
+class PlanIdAllocator {
+ public:
+  int NextId() { return next_id_++; }
+  std::string NextVariable(const std::string& hint) {
+    return hint + "_" + std::to_string(next_var_++);
+  }
+
+ private:
+  int next_id_ = 0;
+  int next_var_ = 0;
+};
+
+/// Scan of catalog.schema.table through a connector. The optimizer fills
+/// `request` (desired pushdown) and `accepted` (what the connector agreed
+/// to); execution uses `accepted`.
+class TableScanNode final : public PlanNode {
+ public:
+  TableScanNode(int id, std::string catalog, std::string schema,
+                std::string table, TypePtr table_schema,
+                std::vector<VariablePtr> outputs,
+                std::vector<std::string> column_names)
+      : PlanNode(PlanNodeKind::kTableScan, id, {}),
+        catalog_(std::move(catalog)),
+        schema_(std::move(schema)),
+        table_(std::move(table)),
+        table_schema_(std::move(table_schema)),
+        outputs_(std::move(outputs)),
+        column_names_(std::move(column_names)) {}
+
+  const std::string& catalog() const { return catalog_; }
+  const std::string& table_schema_name() const { return schema_; }
+  const std::string& table_name() const { return table_; }
+  const TypePtr& table_schema() const { return table_schema_; }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+
+  PushdownRequest& mutable_request() { return request_; }
+  const PushdownRequest& request() const { return request_; }
+  const std::optional<AcceptedPushdown>& accepted() const { return accepted_; }
+  void set_accepted(AcceptedPushdown accepted) { accepted_ = std::move(accepted); }
+
+  /// Replaces outputs (used when aggregation pushdown reshapes the scan).
+  void SetOutputs(std::vector<VariablePtr> outputs,
+                  std::vector<std::string> column_names) {
+    outputs_ = std::move(outputs);
+    column_names_ = std::move(column_names);
+  }
+
+  std::vector<VariablePtr> OutputVariables() const override { return outputs_; }
+  std::string Label() const override;
+
+ private:
+  std::string catalog_;
+  std::string schema_;
+  std::string table_;
+  TypePtr table_schema_;
+  std::vector<VariablePtr> outputs_;
+  std::vector<std::string> column_names_;  // table column per output
+  PushdownRequest request_;
+  std::optional<AcceptedPushdown> accepted_;
+};
+
+/// Literal rows (VALUES / test inputs).
+class ValuesNode final : public PlanNode {
+ public:
+  ValuesNode(int id, std::vector<VariablePtr> outputs,
+             std::vector<std::vector<Value>> rows)
+      : PlanNode(PlanNodeKind::kValues, id, {}),
+        outputs_(std::move(outputs)),
+        rows_(std::move(rows)) {}
+
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+  std::vector<VariablePtr> OutputVariables() const override { return outputs_; }
+  std::string Label() const override;
+
+ private:
+  std::vector<VariablePtr> outputs_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+class FilterNode final : public PlanNode {
+ public:
+  FilterNode(int id, PlanNodePtr source, ExprPtr predicate)
+      : PlanNode(PlanNodeKind::kFilter, id, {std::move(source)}),
+        predicate_(std::move(predicate)) {}
+
+  const ExprPtr& predicate() const { return predicate_; }
+  std::vector<VariablePtr> OutputVariables() const override {
+    return sources()[0]->OutputVariables();
+  }
+  std::string Label() const override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+class ProjectNode final : public PlanNode {
+ public:
+  struct Assignment {
+    VariablePtr output;
+    ExprPtr expression;
+  };
+
+  ProjectNode(int id, PlanNodePtr source, std::vector<Assignment> assignments)
+      : PlanNode(PlanNodeKind::kProject, id, {std::move(source)}),
+        assignments_(std::move(assignments)) {}
+
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+  std::vector<VariablePtr> OutputVariables() const override;
+  std::string Label() const override;
+
+ private:
+  std::vector<Assignment> assignments_;
+};
+
+/// Aggregation step in the distributed plan: partial runs next to the scan,
+/// final after the exchange; single means not yet split.
+enum class AggregationStep { kSingle, kPartial, kFinal };
+
+const char* AggregationStepToString(AggregationStep step);
+
+class AggregateNode final : public PlanNode {
+ public:
+  struct Aggregation {
+    VariablePtr output;
+    FunctionHandle handle;               // resolved aggregate function
+    std::vector<VariablePtr> arguments;  // input columns (empty = count(*))
+  };
+
+  AggregateNode(int id, PlanNodePtr source, std::vector<VariablePtr> group_keys,
+                std::vector<Aggregation> aggregations, AggregationStep step)
+      : PlanNode(PlanNodeKind::kAggregate, id, {std::move(source)}),
+        group_keys_(std::move(group_keys)),
+        aggregations_(std::move(aggregations)),
+        step_(step) {}
+
+  const std::vector<VariablePtr>& group_keys() const { return group_keys_; }
+  const std::vector<Aggregation>& aggregations() const { return aggregations_; }
+  AggregationStep step() const { return step_; }
+
+  std::vector<VariablePtr> OutputVariables() const override;
+  std::string Label() const override;
+
+ private:
+  std::vector<VariablePtr> group_keys_;
+  std::vector<Aggregation> aggregations_;
+  AggregationStep step_;
+};
+
+enum class JoinKind { kInner, kLeft, kCross };
+
+const char* JoinKindToString(JoinKind kind);
+
+/// Distribution strategy chosen per session properties (Section XII.A): the
+/// build side is either broadcast to every probe task or both sides are
+/// hash-partitioned.
+enum class JoinDistribution { kBroadcast, kPartitioned };
+
+class JoinNode final : public PlanNode {
+ public:
+  struct EquiClause {
+    VariablePtr left;
+    VariablePtr right;
+  };
+
+  JoinNode(int id, JoinKind kind, PlanNodePtr left, PlanNodePtr right,
+           std::vector<EquiClause> criteria, ExprPtr filter)
+      : PlanNode(PlanNodeKind::kJoin, id, {std::move(left), std::move(right)}),
+        join_kind_(kind),
+        criteria_(std::move(criteria)),
+        filter_(std::move(filter)) {}
+
+  JoinKind join_kind() const { return join_kind_; }
+  const std::vector<EquiClause>& criteria() const { return criteria_; }
+  const ExprPtr& filter() const { return filter_; }
+  JoinDistribution distribution() const { return distribution_; }
+  void set_distribution(JoinDistribution d) { distribution_ = d; }
+
+  std::vector<VariablePtr> OutputVariables() const override;
+  std::string Label() const override;
+
+ private:
+  JoinKind join_kind_;
+  std::vector<EquiClause> criteria_;
+  ExprPtr filter_;  // residual non-equi condition; may be null
+  JoinDistribution distribution_ = JoinDistribution::kBroadcast;
+};
+
+struct OrderingTerm {
+  VariablePtr variable;
+  bool ascending = true;
+};
+
+class SortNode final : public PlanNode {
+ public:
+  SortNode(int id, PlanNodePtr source, std::vector<OrderingTerm> ordering)
+      : PlanNode(PlanNodeKind::kSort, id, {std::move(source)}),
+        ordering_(std::move(ordering)) {}
+
+  const std::vector<OrderingTerm>& ordering() const { return ordering_; }
+  std::vector<VariablePtr> OutputVariables() const override {
+    return sources()[0]->OutputVariables();
+  }
+  std::string Label() const override;
+
+ private:
+  std::vector<OrderingTerm> ordering_;
+};
+
+class TopNNode final : public PlanNode {
+ public:
+  TopNNode(int id, PlanNodePtr source, std::vector<OrderingTerm> ordering,
+           int64_t count, bool partial)
+      : PlanNode(PlanNodeKind::kTopN, id, {std::move(source)}),
+        ordering_(std::move(ordering)),
+        count_(count),
+        partial_(partial) {}
+
+  const std::vector<OrderingTerm>& ordering() const { return ordering_; }
+  int64_t count() const { return count_; }
+  bool partial() const { return partial_; }
+  std::vector<VariablePtr> OutputVariables() const override {
+    return sources()[0]->OutputVariables();
+  }
+  std::string Label() const override;
+
+ private:
+  std::vector<OrderingTerm> ordering_;
+  int64_t count_;
+  bool partial_;
+};
+
+class LimitNode final : public PlanNode {
+ public:
+  LimitNode(int id, PlanNodePtr source, int64_t count, bool partial)
+      : PlanNode(PlanNodeKind::kLimit, id, {std::move(source)}),
+        count_(count),
+        partial_(partial) {}
+
+  int64_t count() const { return count_; }
+  bool partial() const { return partial_; }
+  std::vector<VariablePtr> OutputVariables() const override {
+    return sources()[0]->OutputVariables();
+  }
+  std::string Label() const override;
+
+ private:
+  int64_t count_;
+  bool partial_;
+};
+
+/// Root of every query plan: names the result columns.
+class OutputNode final : public PlanNode {
+ public:
+  OutputNode(int id, PlanNodePtr source, std::vector<std::string> column_names,
+             std::vector<VariablePtr> outputs)
+      : PlanNode(PlanNodeKind::kOutput, id, {std::move(source)}),
+        column_names_(std::move(column_names)),
+        outputs_(std::move(outputs)) {}
+
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  std::vector<VariablePtr> OutputVariables() const override { return outputs_; }
+  std::string Label() const override;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<VariablePtr> outputs_;
+};
+
+/// Reads the output of another fragment through an exchange — the cut point
+/// introduced by the fragmenter.
+class RemoteSourceNode final : public PlanNode {
+ public:
+  RemoteSourceNode(int id, int fragment_id, std::vector<VariablePtr> outputs)
+      : PlanNode(PlanNodeKind::kRemoteSource, id, {}),
+        fragment_id_(fragment_id),
+        outputs_(std::move(outputs)) {}
+
+  int fragment_id() const { return fragment_id_; }
+  std::vector<VariablePtr> OutputVariables() const override { return outputs_; }
+  std::string Label() const override;
+
+ private:
+  int fragment_id_;
+  std::vector<VariablePtr> outputs_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_PLANNER_PLAN_H_

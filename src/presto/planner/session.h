@@ -1,0 +1,31 @@
+#ifndef PRESTO_PLANNER_SESSION_H_
+#define PRESTO_PLANNER_SESSION_H_
+
+#include <map>
+#include <string>
+
+namespace presto {
+
+/// Query session: user/group identity (used by the gateway for routing) and
+/// session properties. "Presto has session properties to turn on broadcast
+/// join for all queries in this session" (Section XII.A).
+struct Session {
+  std::string user = "anonymous";
+  std::string group = "default";
+  std::string default_catalog = "memory";
+  std::string default_schema = "default";
+  std::map<std::string, std::string> properties;
+
+  /// Known properties:
+  ///   join_distribution_type = "broadcast" | "partitioned" (default)
+  ///   geo_index_rewrite      = "true" (default) | "false"
+  std::string Property(const std::string& name,
+                       const std::string& default_value) const {
+    auto it = properties.find(name);
+    return it == properties.end() ? default_value : it->second;
+  }
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_PLANNER_SESSION_H_

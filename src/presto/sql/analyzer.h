@@ -1,0 +1,43 @@
+#ifndef PRESTO_SQL_ANALYZER_H_
+#define PRESTO_SQL_ANALYZER_H_
+
+#include "presto/connector/connector.h"
+#include "presto/expr/function_registry.h"
+#include "presto/planner/plan.h"
+#include "presto/planner/session.h"
+#include "presto/sql/ast.h"
+
+namespace presto {
+namespace sql {
+
+/// Semantic analysis: resolves names against connector metadata
+/// (catalog.schema.table), types expressions, resolves functions into
+/// FunctionHandles, rewrites aggregations, and produces the initial logical
+/// plan rooted at an OutputNode. ("Analyzer generates logical plan from
+/// Abstract Syntax Tree", Section III.)
+class Analyzer {
+ public:
+  Analyzer(const CatalogRegistry* catalogs, const Session* session,
+           FunctionRegistry* functions = &FunctionRegistry::Default())
+      : catalogs_(catalogs), session_(session), functions_(functions) {}
+
+  Result<PlanNodePtr> Analyze(const Query& query);
+
+  PlanIdAllocator& ids() { return ids_; }
+
+ private:
+  const CatalogRegistry* catalogs_;
+  const Session* session_;
+  FunctionRegistry* functions_;
+  PlanIdAllocator ids_;
+};
+
+/// Convenience: parse + analyze.
+Result<PlanNodePtr> AnalyzeSql(const std::string& sql,
+                               const CatalogRegistry* catalogs,
+                               const Session* session);
+
+}  // namespace sql
+}  // namespace presto
+
+#endif  // PRESTO_SQL_ANALYZER_H_

@@ -1,0 +1,63 @@
+#include "presto/sql/ast.h"
+
+namespace presto {
+namespace sql {
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kIdentifier: {
+      std::string out;
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += ".";
+        out += parts[i];
+      }
+      return out;
+    }
+    case Kind::kCall: {
+      std::string out = call_name + "(";
+      if (distinct_arg) out += "DISTINCT ";
+      if (star_arg) out += "*";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kBinary:
+      return "(" + args[0]->ToString() + " " + op + " " + args[1]->ToString() + ")";
+    case Kind::kUnary:
+      return op + "(" + args[0]->ToString() + ")";
+    case Kind::kIsNull:
+      return "(" + args[0]->ToString() + (negated ? " IS NOT NULL)" : " IS NULL)");
+    case Kind::kIn: {
+      std::string out = "(" + args[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += "))";
+      return out;
+    }
+    case Kind::kBetween:
+      return "(" + args[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             args[1]->ToString() + " AND " + args[2]->ToString() + ")";
+    case Kind::kCast:
+      return "CAST(" + args[0]->ToString() + " AS " + cast_type->ToString() + ")";
+    case Kind::kLambda: {
+      std::string out = "(";
+      for (size_t i = 0; i < lambda_params.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += lambda_params[i];
+      }
+      out += ") -> " + args[0]->ToString();
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace sql
+}  // namespace presto

@@ -1,0 +1,94 @@
+#ifndef PRESTO_SQL_AST_H_
+#define PRESTO_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "presto/types/type.h"
+#include "presto/types/value.h"
+
+namespace presto {
+namespace sql {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+/// Untyped abstract-syntax-tree expression produced by the parser; the
+/// analyzer resolves it into a typed RowExpression.
+struct AstExpr {
+  enum class Kind {
+    kLiteral,     // literal / literal_type
+    kIdentifier,  // parts: a.b.c
+    kCall,        // call_name(args...), star_arg for count(*)
+    kBinary,      // op in {OR, AND, =, <>, <, <=, >, >=, +, -, *, /, %, LIKE}
+    kUnary,       // op in {NOT, -}
+    kIsNull,      // args[0] IS [NOT] NULL (negated)
+    kIn,          // args[0] [NOT] IN (args[1..])
+    kBetween,     // args[0] BETWEEN args[1] AND args[2] (negated)
+    kCast,        // CAST(args[0] AS cast_type)
+    kLambda,      // (params) -> args[0]
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  Value literal;
+  TypePtr literal_type;
+
+  std::vector<std::string> parts;
+
+  std::string call_name;
+  bool star_arg = false;      // count(*)
+  bool distinct_arg = false;  // count(DISTINCT x)
+
+  std::string op;
+  std::vector<AstExprPtr> args;
+
+  TypePtr cast_type;
+  std::vector<std::string> lambda_params;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+struct TableRef {
+  std::vector<std::string> name_parts;  // [table] | [schema, table] | [cat, schema, table]
+  std::string alias;                    // defaults to last name part
+};
+
+struct JoinClause {
+  enum class Kind { kInner, kLeft, kCross };
+  Kind kind = Kind::kInner;
+  TableRef table;
+  AstExprPtr condition;  // null for CROSS
+};
+
+struct SelectItem {
+  AstExprPtr expr;             // null when star
+  std::string alias;           // explicit AS alias
+  bool star = false;           // SELECT * / SELECT t.*
+  std::string star_qualifier;  // alias before .*, empty = all tables
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+/// One SELECT query.
+struct Query {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;  // integer literals act as ordinals
+  AstExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+};
+
+}  // namespace sql
+}  // namespace presto
+
+#endif  // PRESTO_SQL_AST_H_

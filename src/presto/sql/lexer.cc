@@ -1,0 +1,117 @@
+#include "presto/sql/lexer.h"
+
+#include <cctype>
+
+namespace presto {
+namespace sql {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto peek = [&](size_t offset = 0) -> char {
+    return i + offset < sql.size() ? sql[i + offset] : '\0';
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments -------------------------------------------------------------
+    if (c == '-' && peek(1) == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    // -- identifiers / keywords ------------------------------------------------
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                                sql[i] == '_')) {
+        ++i;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = sql.substr(start, i - start);
+      token.upper = token.text;
+      for (char& ch : token.upper) ch = static_cast<char>(std::toupper(ch));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // -- numbers ----------------------------------------------------------------
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < sql.size() && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < sql.size() && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < sql.size() && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      token.kind = is_double ? TokenKind::kDouble : TokenKind::kInteger;
+      token.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // -- string literals -----------------------------------------------------------
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (peek(1) == '\'') {  // '' escapes a quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::SyntaxError("unterminated string literal at offset " +
+                                   std::to_string(token.position));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // -- operators ----------------------------------------------------------------
+    auto two = std::string() + c + peek(1);
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=" || two == "->") {
+      token.kind = TokenKind::kOperator;
+      token.text = two == "!=" ? "<>" : two;
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::string("=<>+-*/%(),.;").find(c) != std::string::npos) {
+      token.kind = TokenKind::kOperator;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    return Status::SyntaxError(std::string("unexpected character '") + c +
+                               "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = sql.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace presto

@@ -1,0 +1,35 @@
+#ifndef PRESTO_SQL_LEXER_H_
+#define PRESTO_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "presto/common/status.h"
+
+namespace presto {
+namespace sql {
+
+enum class TokenKind {
+  kIdentifier,   // foo (keywords are identifiers with matching upper text)
+  kInteger,      // 123
+  kDouble,       // 1.5, .5, 2e3
+  kString,       // 'abc' ('' escapes a quote)
+  kOperator,     // = <> != <= >= < > + - * / % ( ) , . ->
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // raw text; identifiers also carry `upper`
+  std::string upper;     // uppercase identifier text (keyword matching)
+  size_t position = 0;   // byte offset for error messages
+};
+
+/// Tokenizes SQL text. Keywords are not distinguished from identifiers at
+/// this level; the parser matches on the uppercase form.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sql
+}  // namespace presto
+
+#endif  // PRESTO_SQL_LEXER_H_

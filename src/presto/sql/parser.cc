@@ -1,0 +1,521 @@
+#include "presto/sql/parser.h"
+
+#include <cstdlib>
+
+#include "presto/sql/lexer.h"
+
+namespace presto {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    ASSIGN_OR_RETURN(Query query, ParseSelect());
+    ConsumeOperator(";");
+    if (!AtEnd()) return Err("unexpected trailing input");
+    return query;
+  }
+
+  Result<AstExprPtr> ParseStandaloneExpression() {
+    ASSIGN_OR_RETURN(AstExprPtr expr, ParseExpr());
+    if (!AtEnd()) return Err("unexpected trailing input");
+    return expr;
+  }
+
+ private:
+  // -- token helpers -----------------------------------------------------------
+  const Token& Peek(size_t offset = 0) const {
+    size_t index = std::min(pos_ + offset, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const std::string& keyword, size_t offset = 0) const {
+    const Token& t = Peek(offset);
+    return t.kind == TokenKind::kIdentifier && t.upper == keyword;
+  }
+  bool ConsumeKeyword(const std::string& keyword) {
+    if (PeekKeyword(keyword)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!ConsumeKeyword(keyword)) return Err("expected " + keyword);
+    return Status::OK();
+  }
+  bool PeekOperator(const std::string& op, size_t offset = 0) const {
+    const Token& t = Peek(offset);
+    return t.kind == TokenKind::kOperator && t.text == op;
+  }
+  bool ConsumeOperator(const std::string& op) {
+    if (PeekOperator(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOperator(const std::string& op) {
+    if (!ConsumeOperator(op)) return Err("expected '" + op + "'");
+    return Status::OK();
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::SyntaxError(message + " at offset " +
+                               std::to_string(Peek().position) +
+                               (Peek().kind == TokenKind::kEnd
+                                    ? " (end of input)"
+                                    : " near '" + Peek().text + "'"));
+  }
+
+  static bool IsReserved(const std::string& upper) {
+    static const char* kReserved[] = {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+        "LIMIT",  "JOIN",  "INNER", "LEFT",   "CROSS", "ON",     "AS",
+        "AND",    "OR",    "NOT",   "IN",     "IS",    "NULL",   "LIKE",
+        "BETWEEN", "CAST", "ASC",   "DESC",   "TRUE",  "FALSE"};
+    for (const char* k : kReserved) {
+      if (upper == k) return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier || IsReserved(Peek().upper)) {
+      return Err("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  // -- query ----------------------------------------------------------------------
+  Result<Query> ParseSelect() {
+    RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    Query query;
+    query.distinct = ConsumeKeyword("DISTINCT");
+    do {
+      ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      query.items.push_back(std::move(item));
+    } while (ConsumeOperator(","));
+
+    RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    ASSIGN_OR_RETURN(query.from, ParseTableRef());
+
+    while (true) {
+      JoinClause join;
+      if (ConsumeKeyword("JOIN") ||
+          (PeekKeyword("INNER") && PeekKeyword("JOIN", 1) &&
+           (ConsumeKeyword("INNER"), ConsumeKeyword("JOIN")))) {
+        join.kind = JoinClause::Kind::kInner;
+      } else if (PeekKeyword("LEFT")) {
+        ConsumeKeyword("LEFT");
+        ConsumeKeyword("OUTER");
+        RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        join.kind = JoinClause::Kind::kLeft;
+      } else if (PeekKeyword("CROSS")) {
+        ConsumeKeyword("CROSS");
+        RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        join.kind = JoinClause::Kind::kCross;
+      } else {
+        break;
+      }
+      ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      if (join.kind != JoinClause::Kind::kCross) {
+        RETURN_IF_ERROR(ExpectKeyword("ON"));
+        ASSIGN_OR_RETURN(join.condition, ParseExpr());
+      }
+      query.joins.push_back(std::move(join));
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      ASSIGN_OR_RETURN(query.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        ASSIGN_OR_RETURN(AstExprPtr key, ParseExpr());
+        query.group_by.push_back(std::move(key));
+      } while (ConsumeOperator(","));
+    }
+    if (ConsumeKeyword("HAVING")) {
+      ASSIGN_OR_RETURN(query.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        query.order_by.push_back(std::move(item));
+      } while (ConsumeOperator(","));
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) return Err("expected LIMIT count");
+      query.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return query;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (ConsumeOperator("*")) {
+      item.star = true;
+      return item;
+    }
+    // alias.* form
+    if (Peek().kind == TokenKind::kIdentifier && !IsReserved(Peek().upper) &&
+        PeekOperator(".", 1) && PeekOperator("*", 2)) {
+      item.star = true;
+      item.star_qualifier = Advance().text;
+      ConsumeOperator(".");
+      ConsumeOperator("*");
+      return item;
+    }
+    ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (ConsumeKeyword("AS")) {
+      ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+    } else if (Peek().kind == TokenKind::kIdentifier && !IsReserved(Peek().upper)) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    ASSIGN_OR_RETURN(std::string first, ParseIdentifier());
+    ref.name_parts.push_back(std::move(first));
+    while (PeekOperator(".")) {
+      // Lookahead: only treat as part of the name while parts < 3.
+      if (ref.name_parts.size() >= 3) break;
+      ConsumeOperator(".");
+      ASSIGN_OR_RETURN(std::string part, ParseIdentifier());
+      ref.name_parts.push_back(std::move(part));
+    }
+    if (ConsumeKeyword("AS")) {
+      ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+    } else if (Peek().kind == TokenKind::kIdentifier && !IsReserved(Peek().upper)) {
+      ref.alias = Advance().text;
+    } else {
+      ref.alias = ref.name_parts.back();
+    }
+    return ref;
+  }
+
+  // -- expressions (precedence climbing) ------------------------------------------
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      ASSIGN_OR_RETURN(AstExprPtr inner, ParseNot());
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kUnary;
+      expr->op = "NOT";
+      expr->args.push_back(std::move(inner));
+      return AstExprPtr(expr);
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+    // IS [NOT] NULL
+    if (PeekKeyword("IS")) {
+      ConsumeKeyword("IS");
+      bool negated = ConsumeKeyword("NOT");
+      RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kIsNull;
+      expr->negated = negated;
+      expr->args.push_back(std::move(left));
+      return AstExprPtr(expr);
+    }
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (PeekKeyword("IN", 1) || PeekKeyword("LIKE", 1) || PeekKeyword("BETWEEN", 1))) {
+      ConsumeKeyword("NOT");
+      negated = true;
+    }
+    if (ConsumeKeyword("IN")) {
+      RETURN_IF_ERROR(ExpectOperator("("));
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kIn;
+      expr->negated = negated;
+      expr->args.push_back(std::move(left));
+      do {
+        ASSIGN_OR_RETURN(AstExprPtr item, ParseExpr());
+        expr->args.push_back(std::move(item));
+      } while (ConsumeOperator(","));
+      RETURN_IF_ERROR(ExpectOperator(")"));
+      return AstExprPtr(expr);
+    }
+    if (ConsumeKeyword("LIKE")) {
+      ASSIGN_OR_RETURN(AstExprPtr pattern, ParseAdditive());
+      AstExprPtr like = MakeBinary("LIKE", std::move(left), std::move(pattern));
+      if (!negated) return like;
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kUnary;
+      expr->op = "NOT";
+      expr->args.push_back(std::move(like));
+      return AstExprPtr(expr);
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      ASSIGN_OR_RETURN(AstExprPtr lo, ParseAdditive());
+      RETURN_IF_ERROR(ExpectKeyword("AND"));
+      ASSIGN_OR_RETURN(AstExprPtr hi, ParseAdditive());
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kBetween;
+      expr->negated = negated;
+      expr->args = {std::move(left), std::move(lo), std::move(hi)};
+      return AstExprPtr(expr);
+    }
+    for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (ConsumeOperator(op)) {
+        ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (ConsumeOperator("+")) {
+        ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+        left = MakeBinary("+", std::move(left), std::move(right));
+      } else if (ConsumeOperator("-")) {
+        ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+        left = MakeBinary("-", std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(AstExprPtr left, ParseUnary());
+    while (true) {
+      if (ConsumeOperator("*")) {
+        ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+        left = MakeBinary("*", std::move(left), std::move(right));
+      } else if (ConsumeOperator("/")) {
+        ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+        left = MakeBinary("/", std::move(left), std::move(right));
+      } else if (ConsumeOperator("%")) {
+        ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+        left = MakeBinary("%", std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (ConsumeOperator("-")) {
+      ASSIGN_OR_RETURN(AstExprPtr inner, ParseUnary());
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kUnary;
+      expr->op = "-";
+      expr->args.push_back(std::move(inner));
+      return AstExprPtr(expr);
+    }
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    // literals
+    if (t.kind == TokenKind::kInteger) {
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kLiteral;
+      expr->literal = Value::Int(std::strtoll(Advance().text.c_str(), nullptr, 10));
+      expr->literal_type = Type::Bigint();
+      return AstExprPtr(expr);
+    }
+    if (t.kind == TokenKind::kDouble) {
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kLiteral;
+      expr->literal = Value::Double(std::strtod(Advance().text.c_str(), nullptr));
+      expr->literal_type = Type::Double();
+      return AstExprPtr(expr);
+    }
+    if (t.kind == TokenKind::kString) {
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kLiteral;
+      expr->literal = Value::String(Advance().text);
+      expr->literal_type = Type::Varchar();
+      return AstExprPtr(expr);
+    }
+    if (PeekKeyword("TRUE") || PeekKeyword("FALSE")) {
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kLiteral;
+      expr->literal = Value::Bool(Advance().upper == "TRUE");
+      expr->literal_type = Type::Boolean();
+      return AstExprPtr(expr);
+    }
+    if (ConsumeKeyword("NULL")) {
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kLiteral;
+      expr->literal = Value::Null();
+      expr->literal_type = Type::Bigint();  // untyped NULL defaults
+      return AstExprPtr(expr);
+    }
+    // CAST(expr AS TYPE)
+    if (PeekKeyword("CAST")) {
+      ConsumeKeyword("CAST");
+      RETURN_IF_ERROR(ExpectOperator("("));
+      ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      RETURN_IF_ERROR(ExpectKeyword("AS"));
+      ASSIGN_OR_RETURN(TypePtr type, ParseTypeName());
+      RETURN_IF_ERROR(ExpectOperator(")"));
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kCast;
+      expr->cast_type = std::move(type);
+      expr->args.push_back(std::move(inner));
+      return AstExprPtr(expr);
+    }
+    // parenthesized expression OR lambda (x) -> ... OR (x, y) -> ...
+    if (PeekOperator("(")) {
+      // Try lambda: (ident[, ident...]) ->
+      size_t save = pos_;
+      ConsumeOperator("(");
+      std::vector<std::string> params;
+      bool lambda = true;
+      while (true) {
+        if (Peek().kind != TokenKind::kIdentifier || IsReserved(Peek().upper)) {
+          lambda = false;
+          break;
+        }
+        params.push_back(Advance().text);
+        if (ConsumeOperator(",")) continue;
+        if (ConsumeOperator(")")) break;
+        lambda = false;
+        break;
+      }
+      if (lambda && PeekOperator("->")) {
+        ConsumeOperator("->");
+        ASSIGN_OR_RETURN(AstExprPtr body, ParseExpr());
+        auto expr = std::make_shared<AstExpr>();
+        expr->kind = AstExpr::Kind::kLambda;
+        expr->lambda_params = std::move(params);
+        expr->args.push_back(std::move(body));
+        return AstExprPtr(expr);
+      }
+      pos_ = save;
+      ConsumeOperator("(");
+      ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      RETURN_IF_ERROR(ExpectOperator(")"));
+      return inner;
+    }
+    // identifier chain / function call / bare-identifier lambda `x -> ...`
+    if (t.kind == TokenKind::kIdentifier && !IsReserved(t.upper)) {
+      // x -> body
+      if (PeekOperator("->", 1)) {
+        std::string param = Advance().text;
+        ConsumeOperator("->");
+        ASSIGN_OR_RETURN(AstExprPtr body, ParseExpr());
+        auto expr = std::make_shared<AstExpr>();
+        expr->kind = AstExpr::Kind::kLambda;
+        expr->lambda_params = {std::move(param)};
+        expr->args.push_back(std::move(body));
+        return AstExprPtr(expr);
+      }
+      // function call
+      if (PeekOperator("(", 1)) {
+        std::string name = Advance().text;
+        for (char& c : name) c = static_cast<char>(std::tolower(c));
+        ConsumeOperator("(");
+        auto expr = std::make_shared<AstExpr>();
+        expr->kind = AstExpr::Kind::kCall;
+        expr->call_name = std::move(name);
+        expr->distinct_arg = ConsumeKeyword("DISTINCT");
+        if (ConsumeOperator("*")) {
+          expr->star_arg = true;
+          RETURN_IF_ERROR(ExpectOperator(")"));
+          return AstExprPtr(expr);
+        }
+        if (!ConsumeOperator(")")) {
+          do {
+            ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+            expr->args.push_back(std::move(arg));
+          } while (ConsumeOperator(","));
+          RETURN_IF_ERROR(ExpectOperator(")"));
+        }
+        return AstExprPtr(expr);
+      }
+      // identifier chain a.b.c
+      auto expr = std::make_shared<AstExpr>();
+      expr->kind = AstExpr::Kind::kIdentifier;
+      expr->parts.push_back(Advance().text);
+      while (PeekOperator(".") && Peek(1).kind == TokenKind::kIdentifier &&
+             !IsReserved(Peek(1).upper)) {
+        ConsumeOperator(".");
+        expr->parts.push_back(Advance().text);
+      }
+      return AstExprPtr(expr);
+    }
+    return Err("expected expression");
+  }
+
+  Result<TypePtr> ParseTypeName() {
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected type name");
+    std::string name = Advance().upper;
+    auto parsed = Type::Parse(name);
+    if (!parsed.ok()) return Err("unknown type " + name);
+    return *parsed;
+  }
+
+  static AstExprPtr MakeBinary(const std::string& op, AstExprPtr left,
+                               AstExprPtr right) {
+    auto expr = std::make_shared<AstExpr>();
+    expr->kind = AstExpr::Kind::kBinary;
+    expr->op = op;
+    expr->args = {std::move(left), std::move(right)};
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseQuery();
+}
+
+Result<AstExprPtr> ParseExpression(const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).ParseStandaloneExpression();
+}
+
+}  // namespace sql
+}  // namespace presto

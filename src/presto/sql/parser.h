@@ -1,0 +1,20 @@
+#ifndef PRESTO_SQL_PARSER_H_
+#define PRESTO_SQL_PARSER_H_
+
+#include "presto/sql/ast.h"
+
+namespace presto {
+namespace sql {
+
+/// Parses one SELECT statement (an optional trailing ';' is allowed) into
+/// its AST — the coordinator's first step: "Presto coordinator parses
+/// incoming SQL and tokenizes it into an Abstract Syntax Tree".
+Result<Query> ParseQuery(const std::string& sql);
+
+/// Parses a standalone scalar expression (used by tests and utilities).
+Result<AstExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace sql
+}  // namespace presto
+
+#endif  // PRESTO_SQL_PARSER_H_

@@ -1,0 +1,245 @@
+#include "presto/tpch/workloads.h"
+
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace workloads {
+
+namespace {
+
+const char* kReturnFlags[] = {"R", "A", "N"};
+const char* kLineStatus[] = {"O", "F"};
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                            "FOB"};
+const char* kStatuses[] = {"completed", "canceled", "driver_canceled",
+                           "rider_canceled", "open"};
+const char* kTags[] = {"pool", "xl", "black", "eats", "airport", "scheduled"};
+const char* kMetricKeys[] = {"surge", "wait_minutes", "distance_km",
+                             "duration_minutes", "rating"};
+
+std::string DateString(Random* rng) {
+  int year = 1992 + static_cast<int>(rng->NextBelow(7));
+  int month = 1 + static_cast<int>(rng->NextBelow(12));
+  int day = 1 + static_cast<int>(rng->NextBelow(28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+}  // namespace
+
+TypePtr LineitemType() {
+  return Type::Row(
+      {"orderkey", "partkey", "suppkey", "linenumber", "quantity",
+       "extendedprice", "discount", "tax", "returnflag", "linestatus",
+       "shipdate", "commitdate", "receiptdate", "shipinstruct", "shipmode",
+       "comment"},
+      {Type::Bigint(), Type::Bigint(), Type::Bigint(), Type::Bigint(),
+       Type::Double(), Type::Double(), Type::Double(), Type::Double(),
+       Type::Varchar(), Type::Varchar(), Type::Varchar(), Type::Varchar(),
+       Type::Varchar(), Type::Varchar(), Type::Varchar(), Type::Varchar()});
+}
+
+Page GenerateLineitem(size_t num_rows, uint64_t seed) {
+  Random rng(seed);
+  TypePtr type = LineitemType();
+  std::vector<VectorBuilder> builders;
+  for (size_t c = 0; c < type->NumChildren(); ++c) {
+    builders.emplace_back(type->child(c));
+  }
+  for (size_t r = 0; r < num_rows; ++r) {
+    builders[0].AppendBigint(static_cast<int64_t>(r / 4 + 1));        // orderkey
+    builders[1].AppendBigint(rng.NextInRange(1, 200000));             // partkey
+    builders[2].AppendBigint(rng.NextInRange(1, 10000));              // suppkey
+    builders[3].AppendBigint(static_cast<int64_t>(r % 4 + 1));        // linenumber
+    builders[4].AppendDouble(static_cast<double>(rng.NextInRange(1, 50)));
+    builders[5].AppendDouble(900.0 + rng.NextDouble() * 104000.0);    // extprice
+    builders[6].AppendDouble(rng.NextBelow(11) / 100.0);              // discount
+    builders[7].AppendDouble(rng.NextBelow(9) / 100.0);               // tax
+    builders[8].AppendString(kReturnFlags[rng.NextBelow(3)]);
+    builders[9].AppendString(kLineStatus[rng.NextBelow(2)]);
+    builders[10].AppendString(DateString(&rng));
+    builders[11].AppendString(DateString(&rng));
+    builders[12].AppendString(DateString(&rng));
+    builders[13].AppendString(kShipInstruct[rng.NextBelow(4)]);
+    builders[14].AppendString(kShipModes[rng.NextBelow(7)]);
+    builders[15].AppendString(rng.NextString(10 + rng.NextBelow(34)));  // comment
+  }
+  std::vector<VectorPtr> columns;
+  for (auto& b : builders) columns.push_back(b.Build());
+  return Page(std::move(columns), num_rows);
+}
+
+TypePtr TripsType() {
+  TypePtr loc = Type::Row({"lng", "lat"}, {Type::Double(), Type::Double()});
+  TypePtr base = Type::Row(
+      {"driver_uuid", "client_uuid", "city_id", "vehicle_id", "status", "fare",
+       "loc"},
+      {Type::Varchar(), Type::Varchar(), Type::Bigint(), Type::Varchar(),
+       Type::Varchar(), Type::Double(), loc});
+  return Type::Row({"datestr", "id", "base", "tags", "metrics"},
+                   {Type::Varchar(), Type::Bigint(), base,
+                    Type::Array(Type::Varchar()),
+                    Type::Map(Type::Varchar(), Type::Double())});
+}
+
+Page GenerateTrips(const TripsOptions& options) {
+  Random rng(options.seed);
+  TypePtr type = TripsType();
+  VectorBuilder datestr(type->child(0));
+  VectorBuilder id(type->child(1));
+  VectorBuilder base(type->child(2));
+  VectorBuilder tags(type->child(3));
+  VectorBuilder metrics(type->child(4));
+
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    datestr.AppendString(options.datestr);
+    id.AppendBigint(options.first_id + static_cast<int64_t>(r));
+    if (rng.NextBool(options.null_fraction)) {
+      base.AppendNull();
+    } else {
+      int64_t driver = rng.NextBelow(options.num_drivers);
+      double lng = -122.5 + rng.NextDouble();
+      double lat = 37.2 + rng.NextDouble();
+      Value loc = Value::Row({Value::Double(lng), Value::Double(lat)});
+      Value fare = rng.NextBool(options.null_fraction)
+                       ? Value::Null()
+                       : Value::Double(2.5 + rng.NextDouble() * 80.0);
+      int64_t city = options.city_cluster_run > 0
+                         ? static_cast<int64_t>(r / options.city_cluster_run) %
+                               options.num_cities
+                         : static_cast<int64_t>(rng.NextBelow(options.num_cities));
+      (void)base.Append(Value::Row(
+          {Value::String("driver-" + std::to_string(driver)),
+           Value::String("client-" + std::to_string(rng.NextBelow(100000))),
+           Value::Int(city),
+           Value::String("vehicle-" + std::to_string(rng.NextBelow(20000))),
+           Value::String(kStatuses[rng.NextBelow(5)]), fare, loc}));
+    }
+    if (rng.NextBool(options.null_fraction)) {
+      tags.AppendNull();
+    } else {
+      Value::RowData elements;
+      size_t n = rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        elements.push_back(Value::String(kTags[rng.NextBelow(6)]));
+      }
+      (void)tags.Append(Value::Array(std::move(elements)));
+    }
+    if (rng.NextBool(options.null_fraction)) {
+      metrics.AppendNull();
+    } else {
+      Value::MapData entries;
+      size_t n = 1 + rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        entries.emplace_back(Value::String(kMetricKeys[rng.NextBelow(5)]),
+                             Value::Double(rng.NextDouble() * 30.0));
+      }
+      (void)metrics.Append(Value::Map(std::move(entries)));
+    }
+  }
+  return Page({datestr.Build(), id.Build(), base.Build(), tags.Build(),
+               metrics.Build()});
+}
+
+std::vector<WriterDataset> WriterBenchDatasets(size_t rows, uint64_t seed) {
+  Random rng(seed);
+  std::vector<WriterDataset> out;
+
+  auto add = [&](const std::string& name, const TypePtr& column_type,
+                 auto&& fill) {
+    TypePtr schema = Type::Row({"c0"}, {column_type});
+    VectorBuilder builder(column_type);
+    fill(builder);
+    out.push_back(WriterDataset{name, schema, Page({builder.Build()})});
+  };
+
+  // 1. All LineItem columns (multi-column, handled specially).
+  out.push_back(
+      WriterDataset{"All LineItem columns", LineitemType(), GenerateLineitem(rows, seed)});
+
+  // 2/3. Bigint sequential / random.
+  add("Bigint Sequential", Type::Bigint(), [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) b.AppendBigint(static_cast<int64_t>(i));
+  });
+  add("Bigint Random", Type::Bigint(), [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) {
+      b.AppendBigint(static_cast<int64_t>(rng.Next()));
+    }
+  });
+
+  // 4/5/6. Varchars: small, large, dictionary-friendly.
+  add("Small Varchar", Type::Varchar(), [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) b.AppendString(rng.NextString(8));
+  });
+  add("Large Varchar", Type::Varchar(), [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) b.AppendString(rng.NextString(120));
+  });
+  add("Varchar Dictionary", Type::Varchar(), [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) {
+      b.AppendString("status-" + std::to_string(rng.NextBelow(16)));
+    }
+  });
+
+  // 7-10. Maps.
+  TypePtr map_vd = Type::Map(Type::Varchar(), Type::Double());
+  add("Map Varchar To Double", map_vd, [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) {
+      Value::MapData entries;
+      for (size_t e = 0; e < 3; ++e) {
+        entries.emplace_back(Value::String(rng.NextString(6)),
+                             Value::Double(rng.NextDouble()));
+      }
+      (void)b.Append(Value::Map(std::move(entries)));
+    }
+  });
+  add("Large Map Varchar To Double", map_vd, [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) {
+      Value::MapData entries;
+      for (size_t e = 0; e < 20; ++e) {
+        entries.emplace_back(Value::String(rng.NextString(12)),
+                             Value::Double(rng.NextDouble()));
+      }
+      (void)b.Append(Value::Map(std::move(entries)));
+    }
+  });
+  TypePtr map_id = Type::Map(Type::Bigint(), Type::Double());
+  add("Map Int To Double", map_id, [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) {
+      Value::MapData entries;
+      for (size_t e = 0; e < 3; ++e) {
+        entries.emplace_back(Value::Int(rng.NextInRange(0, 1000)),
+                             Value::Double(rng.NextDouble()));
+      }
+      (void)b.Append(Value::Map(std::move(entries)));
+    }
+  });
+  add("Large Map Int To Double", map_id, [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) {
+      Value::MapData entries;
+      for (size_t e = 0; e < 20; ++e) {
+        entries.emplace_back(Value::Int(rng.NextInRange(0, 100000)),
+                             Value::Double(rng.NextDouble()));
+      }
+      (void)b.Append(Value::Map(std::move(entries)));
+    }
+  });
+
+  // 11. Array Varchar.
+  add("Array Varchar", Type::Array(Type::Varchar()), [&](VectorBuilder& b) {
+    for (size_t i = 0; i < rows; ++i) {
+      Value::RowData elements;
+      for (size_t e = 0; e < 4; ++e) {
+        elements.push_back(Value::String(rng.NextString(10)));
+      }
+      (void)b.Append(Value::Array(std::move(elements)));
+    }
+  });
+
+  return out;
+}
+
+}  // namespace workloads
+}  // namespace presto

@@ -1,0 +1,63 @@
+#ifndef PRESTO_TPCH_WORKLOADS_H_
+#define PRESTO_TPCH_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "presto/common/random.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+namespace workloads {
+
+/// TPC-H-style LINEITEM generator (all 16 columns), used by the writer
+/// throughput benchmark's "All LineItem columns" dataset and by examples.
+TypePtr LineitemType();
+Page GenerateLineitem(size_t num_rows, uint64_t seed = 1);
+
+/// Uber-style nested trip records (paper Section V): a wide `base` struct
+/// with a further-nested location struct, plus tags and metrics — the
+/// shape the new Parquet reader was built for.
+///
+///   trips(
+///     datestr VARCHAR,               -- partition-style date
+///     id BIGINT,
+///     base ROW(driver_uuid VARCHAR, client_uuid VARCHAR, city_id BIGINT,
+///              vehicle_id VARCHAR, status VARCHAR, fare DOUBLE,
+///              loc ROW(lng DOUBLE, lat DOUBLE)),
+///     tags ARRAY(VARCHAR),
+///     metrics MAP(VARCHAR, DOUBLE))
+struct TripsOptions {
+  size_t num_rows = 10000;
+  int64_t num_cities = 200;
+  int64_t num_drivers = 5000;
+  double null_fraction = 0.02;
+  std::string datestr = "2017-03-02";
+  uint64_t seed = 7;
+  /// Rows per city run. Production ingest clusters trips by city; clustered
+  /// city ids give row groups tight min/max city ranges, which is what makes
+  /// predicate pushdown skip row groups on needle-in-a-haystack queries.
+  /// 0 = fully random city ids.
+  size_t city_cluster_run = 0;
+  /// Starting value for the id column (ids are sequential).
+  int64_t first_id = 0;
+};
+
+TypePtr TripsType();
+Page GenerateTrips(const TripsOptions& options);
+
+/// The twelve datasets of the writer-throughput figures (18/19/20). Each is
+/// a single-column table whose name matches the paper's x-axis label.
+struct WriterDataset {
+  std::string name;   // e.g. "Bigint Random", "Map Varchar To Double"
+  TypePtr schema;     // single-column ROW
+  Page page;
+};
+
+std::vector<WriterDataset> WriterBenchDatasets(size_t rows_per_dataset,
+                                               uint64_t seed = 3);
+
+}  // namespace workloads
+}  // namespace presto
+
+#endif  // PRESTO_TPCH_WORKLOADS_H_

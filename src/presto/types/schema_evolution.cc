@@ -1,0 +1,120 @@
+#include "presto/types/schema_evolution.h"
+
+namespace presto {
+
+namespace {
+
+Status CheckFieldCompatible(const std::string& path, const Type& old_type,
+                            const Type& new_type) {
+  if (old_type.kind() != new_type.kind()) {
+    return Status::SchemaViolation("type change not allowed for field '" +
+                                   path + "': " + old_type.ToString() +
+                                   " -> " + new_type.ToString());
+  }
+  switch (old_type.kind()) {
+    case TypeKind::kRow: {
+      // Common fields must stay compatible; added/removed fields are fine.
+      for (size_t i = 0; i < new_type.NumChildren(); ++i) {
+        const std::string& name = new_type.field_name(i);
+        if (auto idx = old_type.FindField(name)) {
+          RETURN_IF_ERROR(CheckFieldCompatible(path.empty() ? name : path + "." + name,
+                                               *old_type.child(*idx),
+                                               *new_type.child(i)));
+        }
+      }
+      return Status::OK();
+    }
+    case TypeKind::kArray:
+      return CheckFieldCompatible(path + ".element", *old_type.element(),
+                                  *new_type.element());
+    case TypeKind::kMap:
+      RETURN_IF_ERROR(CheckFieldCompatible(path + ".key", *old_type.map_key(),
+                                           *new_type.map_key()));
+      return CheckFieldCompatible(path + ".value", *old_type.map_value(),
+                                  *new_type.map_value());
+    default:
+      return Status::OK();  // identical scalar kinds
+  }
+}
+
+}  // namespace
+
+Status ValidateEvolution(const Type& old_schema, const Type& new_schema) {
+  if (old_schema.kind() != TypeKind::kRow ||
+      new_schema.kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("table schemas must be ROW types");
+  }
+  return CheckFieldCompatible("", old_schema, new_schema);
+}
+
+Status CheckReadCompatible(const Type& table_schema, const Type& file_schema) {
+  if (table_schema.kind() != TypeKind::kRow ||
+      file_schema.kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("schemas must be ROW types");
+  }
+  return CheckFieldCompatible("", file_schema, table_schema);
+}
+
+Status SchemaRegistry::RegisterTable(const std::string& table, TypePtr schema) {
+  if (schema == nullptr || schema->kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("table schema must be a ROW type");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (versions_.count(table) > 0) {
+    return Status::AlreadyExists("table already registered: " + table);
+  }
+  versions_[table].push_back(std::move(schema));
+  return Status::OK();
+}
+
+Status SchemaRegistry::EvolveTable(const std::string& table, TypePtr schema,
+                                   const std::vector<std::string>& renamed_fields) {
+  if (!renamed_fields.empty()) {
+    return Status::SchemaViolation("field rename not allowed: '" +
+                                   renamed_fields.front() + "'");
+  }
+  if (schema == nullptr || schema->kind() != TypeKind::kRow) {
+    return Status::InvalidArgument("table schema must be a ROW type");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(table);
+  if (it == versions_.end()) {
+    return Status::NotFound("table not registered: " + table);
+  }
+  RETURN_IF_ERROR(ValidateEvolution(*it->second.back(), *schema));
+  it->second.push_back(std::move(schema));
+  return Status::OK();
+}
+
+Result<TypePtr> SchemaRegistry::CurrentSchema(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(table);
+  if (it == versions_.end()) {
+    return Status::NotFound("table not registered: " + table);
+  }
+  return it->second.back();
+}
+
+Result<TypePtr> SchemaRegistry::SchemaAtVersion(const std::string& table,
+                                                size_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(table);
+  if (it == versions_.end()) {
+    return Status::NotFound("table not registered: " + table);
+  }
+  if (version == 0 || version > it->second.size()) {
+    return Status::OutOfRange("no such schema version");
+  }
+  return it->second[version - 1];
+}
+
+Result<size_t> SchemaRegistry::CurrentVersion(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(table);
+  if (it == versions_.end()) {
+    return Status::NotFound("table not registered: " + table);
+  }
+  return it->second.size();
+}
+
+}  // namespace presto

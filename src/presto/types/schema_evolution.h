@@ -1,0 +1,58 @@
+#ifndef PRESTO_TYPES_SCHEMA_EVOLUTION_H_
+#define PRESTO_TYPES_SCHEMA_EVOLUTION_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "presto/types/type.h"
+
+namespace presto {
+
+/// Company-wide schema-evolution rules from Section V.A of the paper:
+///   * adding new fields to a struct is allowed (old files return NULL),
+///   * removing fields is allowed (data still ingested into the removed
+///     field is ignored at read time),
+///   * renaming a field and changing a field's type are NOT allowed —
+///     Presto is type-strict and Parquet identifies columns by name.
+///
+/// Validates that `new_schema` is a legal evolution of `old_schema`
+/// (both must be ROW types). A field present in both with a different type
+/// is a type change and is rejected, recursively through nested structs.
+/// (A rename is indistinguishable from remove+add at the type level; the
+/// schema service enforces renames out-of-band, which we model by rejecting
+/// any evolution explicitly marked as a rename in EvolveTable.)
+Status ValidateEvolution(const Type& old_schema, const Type& new_schema);
+
+/// Checks that a file's schema is readable under a table schema: every field
+/// path present in both must have an identical type. Fields only in the
+/// table schema will be null-filled by readers; fields only in the file are
+/// ignored.
+Status CheckReadCompatible(const Type& table_schema, const Type& file_schema);
+
+/// The "schemas are managed as a service outside of Presto" component:
+/// tracks schema versions per table and enforces the evolution rules.
+class SchemaRegistry {
+ public:
+  /// Registers version 1 of a table schema (must be a ROW type).
+  Status RegisterTable(const std::string& table, TypePtr schema);
+
+  /// Appends a new schema version after validating the evolution rules.
+  /// `renamed_fields` lists fields the caller knows were renamed (top-level
+  /// dotted paths); any non-empty list is rejected per the rules.
+  Status EvolveTable(const std::string& table, TypePtr schema,
+                     const std::vector<std::string>& renamed_fields = {});
+
+  Result<TypePtr> CurrentSchema(const std::string& table) const;
+  Result<TypePtr> SchemaAtVersion(const std::string& table, size_t version) const;
+  Result<size_t> CurrentVersion(const std::string& table) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<TypePtr>> versions_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_TYPES_SCHEMA_EVOLUTION_H_

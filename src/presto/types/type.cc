@@ -1,0 +1,215 @@
+#include "presto/types/type.h"
+
+#include <cctype>
+
+namespace presto {
+
+TypePtr Type::MakeScalar(TypeKind kind) {
+  return TypePtr(new Type(kind, {}, {}));
+}
+
+const char* TypeKindToString(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBoolean:
+      return "BOOLEAN";
+    case TypeKind::kInteger:
+      return "INTEGER";
+    case TypeKind::kBigint:
+      return "BIGINT";
+    case TypeKind::kDouble:
+      return "DOUBLE";
+    case TypeKind::kVarchar:
+      return "VARCHAR";
+    case TypeKind::kTimestamp:
+      return "TIMESTAMP";
+    case TypeKind::kRow:
+      return "ROW";
+    case TypeKind::kArray:
+      return "ARRAY";
+    case TypeKind::kMap:
+      return "MAP";
+  }
+  return "UNKNOWN";
+}
+
+// Each scalar singleton is a function-local static reference to a leaked
+// TypePtr: dynamic init of function-local statics is well-defined, and
+// leaking avoids shutdown-order hazards for non-trivially-destructible
+// statics.
+const TypePtr& Type::Boolean() {
+  static const TypePtr& t = *new TypePtr(MakeScalar(TypeKind::kBoolean));
+  return t;
+}
+const TypePtr& Type::Integer() {
+  static const TypePtr& t = *new TypePtr(MakeScalar(TypeKind::kInteger));
+  return t;
+}
+const TypePtr& Type::Bigint() {
+  static const TypePtr& t = *new TypePtr(MakeScalar(TypeKind::kBigint));
+  return t;
+}
+const TypePtr& Type::Double() {
+  static const TypePtr& t = *new TypePtr(MakeScalar(TypeKind::kDouble));
+  return t;
+}
+const TypePtr& Type::Varchar() {
+  static const TypePtr& t = *new TypePtr(MakeScalar(TypeKind::kVarchar));
+  return t;
+}
+const TypePtr& Type::Timestamp() {
+  static const TypePtr& t = *new TypePtr(MakeScalar(TypeKind::kTimestamp));
+  return t;
+}
+
+TypePtr Type::Row(std::vector<std::string> names,
+                  std::vector<TypePtr> children) {
+  return TypePtr(new Type(TypeKind::kRow, std::move(names), std::move(children)));
+}
+
+TypePtr Type::Array(TypePtr element) {
+  return TypePtr(new Type(TypeKind::kArray, {}, {std::move(element)}));
+}
+
+TypePtr Type::Map(TypePtr key, TypePtr value) {
+  return TypePtr(
+      new Type(TypeKind::kMap, {}, {std::move(key), std::move(value)}));
+}
+
+std::optional<size_t> Type::FindField(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Type::Equals(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  if (children_.size() != other.children_.size()) return false;
+  if (names_ != other.names_) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kRow: {
+      std::string out = "ROW(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += names_[i];
+        out += " ";
+        out += children_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case TypeKind::kArray:
+      return "ARRAY(" + children_[0]->ToString() + ")";
+    case TypeKind::kMap:
+      return "MAP(" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ")";
+    default:
+      return TypeKindToString(kind_);
+  }
+}
+
+namespace {
+
+// Recursive-descent parser for the ToString grammar.
+class TypeParser {
+ public:
+  explicit TypeParser(const std::string& text) : text_(text) {}
+
+  Result<TypePtr> Parse() {
+    ASSIGN_OR_RETURN(TypePtr t, ParseType());
+    SkipSpaces();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters in type: " + text_);
+    }
+    return t;
+  }
+
+ private:
+  void SkipSpaces() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpaces();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ReadWord() {
+    SkipSpaces();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<TypePtr> ParseType() {
+    std::string word = ReadWord();
+    if (word == "BOOLEAN") return Type::Boolean();
+    if (word == "INTEGER") return Type::Integer();
+    if (word == "BIGINT") return Type::Bigint();
+    if (word == "DOUBLE") return Type::Double();
+    if (word == "VARCHAR") return Type::Varchar();
+    if (word == "TIMESTAMP") return Type::Timestamp();
+    if (word == "ARRAY") {
+      if (!Consume('(')) return Status::InvalidArgument("expected ( after ARRAY");
+      ASSIGN_OR_RETURN(TypePtr elem, ParseType());
+      if (!Consume(')')) return Status::InvalidArgument("expected ) in ARRAY");
+      return Type::Array(std::move(elem));
+    }
+    if (word == "MAP") {
+      if (!Consume('(')) return Status::InvalidArgument("expected ( after MAP");
+      ASSIGN_OR_RETURN(TypePtr key, ParseType());
+      if (!Consume(',')) return Status::InvalidArgument("expected , in MAP");
+      ASSIGN_OR_RETURN(TypePtr value, ParseType());
+      if (!Consume(')')) return Status::InvalidArgument("expected ) in MAP");
+      return Type::Map(std::move(key), std::move(value));
+    }
+    if (word == "ROW") {
+      if (!Consume('(')) return Status::InvalidArgument("expected ( after ROW");
+      std::vector<std::string> names;
+      std::vector<TypePtr> children;
+      while (true) {
+        std::string name = ReadWord();
+        if (name.empty()) {
+          return Status::InvalidArgument("expected field name in ROW");
+        }
+        ASSIGN_OR_RETURN(TypePtr child, ParseType());
+        names.push_back(std::move(name));
+        children.push_back(std::move(child));
+        if (Consume(')')) break;
+        if (!Consume(',')) {
+          return Status::InvalidArgument("expected , or ) in ROW");
+        }
+      }
+      return Type::Row(std::move(names), std::move(children));
+    }
+    return Status::InvalidArgument("unknown type: '" + word + "'");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TypePtr> Type::Parse(const std::string& text) {
+  return TypeParser(text).Parse();
+}
+
+}  // namespace presto

@@ -1,0 +1,102 @@
+#ifndef PRESTO_TYPES_TYPE_H_
+#define PRESTO_TYPES_TYPE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "presto/common/status.h"
+
+namespace presto {
+
+/// Kinds of SQL types supported by the engine. ROW models Presto's nested
+/// struct columns (the paper's Section V workloads use structs nested 5+
+/// levels deep); ARRAY and MAP cover the writer-benchmark datasets.
+enum class TypeKind {
+  kBoolean,
+  kInteger,    // 32-bit
+  kBigint,     // 64-bit
+  kDouble,
+  kVarchar,
+  kTimestamp,  // millis since epoch, stored as int64
+  kRow,
+  kArray,
+  kMap,
+};
+
+const char* TypeKindToString(TypeKind kind);
+
+/// Whether values of this kind are stored in 64-bit integer slots.
+inline bool IsIntegerLike(TypeKind kind) {
+  return kind == TypeKind::kInteger || kind == TypeKind::kBigint ||
+         kind == TypeKind::kTimestamp;
+}
+
+inline bool IsScalarKind(TypeKind kind) {
+  return kind != TypeKind::kRow && kind != TypeKind::kArray &&
+         kind != TypeKind::kMap;
+}
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// Immutable SQL type tree. Scalar types are shared singletons; complex
+/// types hold child types (and field names for ROW).
+class Type : public std::enable_shared_from_this<Type> {
+ public:
+  // -- Factories ------------------------------------------------------------
+  static const TypePtr& Boolean();
+  static const TypePtr& Integer();
+  static const TypePtr& Bigint();
+  static const TypePtr& Double();
+  static const TypePtr& Varchar();
+  static const TypePtr& Timestamp();
+  static TypePtr Row(std::vector<std::string> names, std::vector<TypePtr> children);
+  static TypePtr Array(TypePtr element);
+  static TypePtr Map(TypePtr key, TypePtr value);
+
+  /// Parses the textual form produced by ToString, e.g.
+  /// "ROW(city_id BIGINT, tags ARRAY(VARCHAR))". Used by file footers.
+  static Result<TypePtr> Parse(const std::string& text);
+
+  TypeKind kind() const { return kind_; }
+  bool IsScalar() const { return IsScalarKind(kind_); }
+
+  size_t NumChildren() const { return children_.size(); }
+  const TypePtr& child(size_t i) const { return children_[i]; }
+  const std::vector<TypePtr>& children() const { return children_; }
+
+  /// Field name of the i-th ROW child. Empty for non-ROW types.
+  const std::string& field_name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& field_names() const { return names_; }
+
+  /// Index of the ROW field with the given name, if present.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  /// ARRAY element type. Requires kind()==kArray.
+  const TypePtr& element() const { return children_[0]; }
+  /// MAP key/value types. Requires kind()==kMap.
+  const TypePtr& map_key() const { return children_[0]; }
+  const TypePtr& map_value() const { return children_[1]; }
+
+  bool Equals(const Type& other) const;
+  std::string ToString() const;
+
+ private:
+  static TypePtr MakeScalar(TypeKind kind);
+
+  Type(TypeKind kind, std::vector<std::string> names,
+       std::vector<TypePtr> children)
+      : kind_(kind), names_(std::move(names)), children_(std::move(children)) {}
+
+  TypeKind kind_;
+  std::vector<std::string> names_;   // ROW field names (parallel to children_)
+  std::vector<TypePtr> children_;
+};
+
+inline bool operator==(const Type& a, const Type& b) { return a.Equals(b); }
+
+}  // namespace presto
+
+#endif  // PRESTO_TYPES_TYPE_H_

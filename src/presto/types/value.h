@@ -1,0 +1,106 @@
+#ifndef PRESTO_TYPES_VALUE_H_
+#define PRESTO_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "presto/types/type.h"
+
+namespace presto {
+
+/// A single (possibly null, possibly nested) SQL value. Used for literals in
+/// RowExpressions, rows in the mini-MySQL store, the legacy row-materializing
+/// Parquet reader/writer paths, and min/max statistics in file footers.
+///
+/// The vectorized engine does NOT use Value per row — that is exactly the
+/// inefficiency the paper's new reader removes — but the "old reader" and
+/// "old writer" baselines do, faithfully reproducing the row-by-row cost.
+class Value {
+ public:
+  using RowData = std::vector<Value>;
+  using MapData = std::vector<std::pair<Value, Value>>;
+
+  /// Constructs a NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Row(RowData fields) {
+    return Value(Payload(Nested{std::move(fields), {}, NestedKind::kRow}));
+  }
+  static Value Array(RowData elements) {
+    return Value(Payload(Nested{std::move(elements), {}, NestedKind::kArray}));
+  }
+  static Value Map(MapData entries) {
+    return Value(Payload(Nested{{}, std::move(entries), NestedKind::kMap}));
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_row() const { return nested_kind() == NestedKind::kRow; }
+  bool is_array() const { return nested_kind() == NestedKind::kArray; }
+  bool is_map() const { return nested_kind() == NestedKind::kMap; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Steals the string payload (value becomes unspecified-but-valid).
+  std::string TakeString() && { return std::move(std::get<std::string>(data_)); }
+
+  /// ROW fields or ARRAY elements.
+  const RowData& children() const { return std::get<Nested>(data_).children; }
+  RowData& children() { return std::get<Nested>(data_).children; }
+  const MapData& map_entries() const { return std::get<Nested>(data_).entries; }
+  MapData& map_entries() { return std::get<Nested>(data_).entries; }
+
+  /// Numeric view: int-like values widened to double.
+  double AsDouble() const {
+    return is_double() ? double_value() : static_cast<double>(int_value());
+  }
+
+  /// Total order over same-kind scalar values; NULLs sort first. Comparing a
+  /// bigint with a double compares numerically.
+  int Compare(const Value& other) const;
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  uint64_t Hash() const;
+
+  /// SQL-ish rendering: NULL, 42, 3.5, 'abc', ROW(…), ARRAY[…], MAP{…}.
+  std::string ToString() const;
+
+ private:
+  enum class NestedKind { kNone, kRow, kArray, kMap };
+  struct Nested {
+    RowData children;
+    MapData entries;
+    NestedKind kind = NestedKind::kNone;
+  };
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string, Nested>;
+
+  explicit Value(Payload payload) : data_(std::move(payload)) {}
+
+  NestedKind nested_kind() const {
+    const Nested* n = std::get_if<Nested>(&data_);
+    return n == nullptr ? NestedKind::kNone : n->kind;
+  }
+
+  Payload data_;
+};
+
+inline bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+
+}  // namespace presto
+
+#endif  // PRESTO_TYPES_VALUE_H_

@@ -1,0 +1,71 @@
+#ifndef PRESTO_VECTOR_PAGE_H_
+#define PRESTO_VECTOR_PAGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "presto/vector/vector.h"
+
+namespace presto {
+
+/// The unit of data flow between operators and across (simulated) exchanges:
+/// a bundle of equally sized vectors. "Hadoop data and MySQL data are
+/// streamed in Presto pages into the Presto engine" (Section IV.A).
+class Page {
+ public:
+  Page() = default;
+
+  explicit Page(std::vector<VectorPtr> columns)
+      : columns_(std::move(columns)),
+        num_rows_(columns_.empty() ? 0 : columns_[0]->size()) {}
+
+  Page(std::vector<VectorPtr> columns, size_t num_rows)
+      : columns_(std::move(columns)), num_rows_(num_rows) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  const VectorPtr& column(size_t i) const { return columns_[i]; }
+  const std::vector<VectorPtr>& columns() const { return columns_; }
+  std::vector<VectorPtr>& mutable_columns() { return columns_; }
+
+  /// Gathers the given rows from every column.
+  Page SliceRows(const std::vector<int32_t>& rows) const {
+    std::vector<VectorPtr> out;
+    out.reserve(columns_.size());
+    for (const VectorPtr& col : columns_) out.push_back(col->Slice(rows));
+    return Page(std::move(out), rows.size());
+  }
+
+  /// Boxes one row (slow path; output/testing only).
+  std::vector<Value> GetRow(size_t row) const {
+    std::vector<Value> out;
+    out.reserve(columns_.size());
+    for (const VectorPtr& col : columns_) out.push_back(col->GetValue(row));
+    return out;
+  }
+
+  std::string ToString(size_t max_rows = 16) const {
+    std::string out;
+    size_t n = std::min(num_rows_, max_rows);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        out += c == 0 ? "" : " | ";
+        out += columns_[c]->GetValue(r).ToString();
+      }
+      out += "\n";
+    }
+    if (n < num_rows_) out += "…\n";
+    return out;
+  }
+
+ private:
+  std::vector<VectorPtr> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_VECTOR_PAGE_H_

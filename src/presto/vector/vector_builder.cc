@@ -1,0 +1,195 @@
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+
+VectorBuilder::VectorBuilder(TypePtr type) : type_(std::move(type)) {
+  switch (type_->kind()) {
+    case TypeKind::kRow:
+      for (size_t i = 0; i < type_->NumChildren(); ++i) {
+        children_.push_back(std::make_unique<VectorBuilder>(type_->child(i)));
+      }
+      break;
+    case TypeKind::kArray:
+      children_.push_back(std::make_unique<VectorBuilder>(type_->element()));
+      break;
+    case TypeKind::kMap:
+      children_.push_back(std::make_unique<VectorBuilder>(type_->map_key()));
+      children_.push_back(std::make_unique<VectorBuilder>(type_->map_value()));
+      break;
+    default:
+      break;
+  }
+}
+
+void VectorBuilder::AppendNull() {
+  nulls_.resize(size_, 0);
+  nulls_.push_back(1);
+  has_nulls_ = true;
+  ++size_;
+  switch (type_->kind()) {
+    case TypeKind::kBoolean:
+      bools_.push_back(0);
+      break;
+    case TypeKind::kInteger:
+    case TypeKind::kBigint:
+    case TypeKind::kTimestamp:
+      ints_.push_back(0);
+      break;
+    case TypeKind::kDouble:
+      doubles_.push_back(0);
+      break;
+    case TypeKind::kVarchar:
+      strings_.emplace_back();
+      break;
+    case TypeKind::kRow:
+      // Children stay size-aligned with the parent.
+      for (auto& child : children_) child->AppendNull();
+      break;
+    case TypeKind::kArray:
+    case TypeKind::kMap:
+      offsets_.push_back(static_cast<int32_t>(children_[0]->size()));
+      lengths_.push_back(0);
+      break;
+  }
+}
+
+Status VectorBuilder::Append(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_->kind()) {
+    case TypeKind::kBoolean:
+      if (!value.is_bool()) return Status::InvalidArgument("expected BOOLEAN value");
+      AppendBool(value.bool_value());
+      return Status::OK();
+    case TypeKind::kInteger:
+    case TypeKind::kBigint:
+    case TypeKind::kTimestamp:
+      if (!value.is_int()) return Status::InvalidArgument("expected integer value");
+      AppendBigint(value.int_value());
+      return Status::OK();
+    case TypeKind::kDouble:
+      if (!value.is_int() && !value.is_double()) {
+        return Status::InvalidArgument("expected numeric value");
+      }
+      AppendDouble(value.AsDouble());
+      return Status::OK();
+    case TypeKind::kVarchar:
+      if (!value.is_string()) return Status::InvalidArgument("expected VARCHAR value");
+      AppendString(value.string_value());
+      return Status::OK();
+    case TypeKind::kRow: {
+      if (!value.is_row()) return Status::InvalidArgument("expected ROW value");
+      if (value.children().size() != children_.size()) {
+        return Status::InvalidArgument("ROW field count mismatch");
+      }
+      for (size_t i = 0; i < children_.size(); ++i) {
+        RETURN_IF_ERROR(children_[i]->Append(value.children()[i]));
+      }
+      if (has_nulls_) nulls_.push_back(0);
+      ++size_;
+      return Status::OK();
+    }
+    case TypeKind::kArray: {
+      if (!value.is_array()) return Status::InvalidArgument("expected ARRAY value");
+      offsets_.push_back(static_cast<int32_t>(children_[0]->size()));
+      lengths_.push_back(static_cast<int32_t>(value.children().size()));
+      for (const Value& elem : value.children()) {
+        RETURN_IF_ERROR(children_[0]->Append(elem));
+      }
+      if (has_nulls_) nulls_.push_back(0);
+      ++size_;
+      return Status::OK();
+    }
+    case TypeKind::kMap: {
+      if (!value.is_map()) return Status::InvalidArgument("expected MAP value");
+      offsets_.push_back(static_cast<int32_t>(children_[0]->size()));
+      lengths_.push_back(static_cast<int32_t>(value.map_entries().size()));
+      for (const auto& [k, v] : value.map_entries()) {
+        RETURN_IF_ERROR(children_[0]->Append(k));
+        RETURN_IF_ERROR(children_[1]->Append(v));
+      }
+      if (has_nulls_) nulls_.push_back(0);
+      ++size_;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+void VectorBuilder::AppendBigint(int64_t v) {
+  ints_.push_back(v);
+  if (has_nulls_) nulls_.push_back(0);
+  ++size_;
+}
+
+void VectorBuilder::AppendDouble(double v) {
+  doubles_.push_back(v);
+  if (has_nulls_) nulls_.push_back(0);
+  ++size_;
+}
+
+void VectorBuilder::AppendBool(bool v) {
+  bools_.push_back(v ? 1 : 0);
+  if (has_nulls_) nulls_.push_back(0);
+  ++size_;
+}
+
+void VectorBuilder::AppendString(std::string v) {
+  strings_.push_back(std::move(v));
+  if (has_nulls_) nulls_.push_back(0);
+  ++size_;
+}
+
+VectorPtr VectorBuilder::Build() {
+  std::vector<uint8_t> nulls = has_nulls_ ? std::move(nulls_) : std::vector<uint8_t>{};
+  VectorPtr out;
+  switch (type_->kind()) {
+    case TypeKind::kBoolean:
+      out = std::make_shared<BoolVector>(type_, std::move(bools_), std::move(nulls));
+      break;
+    case TypeKind::kInteger:
+    case TypeKind::kBigint:
+    case TypeKind::kTimestamp:
+      out = std::make_shared<Int64Vector>(type_, std::move(ints_), std::move(nulls));
+      break;
+    case TypeKind::kDouble:
+      out = std::make_shared<DoubleVector>(type_, std::move(doubles_), std::move(nulls));
+      break;
+    case TypeKind::kVarchar:
+      out = std::make_shared<StringVector>(type_, std::move(strings_), std::move(nulls));
+      break;
+    case TypeKind::kRow: {
+      std::vector<VectorPtr> children;
+      children.reserve(children_.size());
+      for (auto& child : children_) children.push_back(child->Build());
+      out = std::make_shared<RowVector>(type_, size_, std::move(children),
+                                        std::move(nulls));
+      break;
+    }
+    case TypeKind::kArray:
+      out = std::make_shared<ArrayVector>(type_, std::move(offsets_),
+                                          std::move(lengths_),
+                                          children_[0]->Build(), std::move(nulls));
+      break;
+    case TypeKind::kMap:
+      out = std::make_shared<MapVector>(type_, std::move(offsets_),
+                                        std::move(lengths_), children_[0]->Build(),
+                                        children_[1]->Build(), std::move(nulls));
+      break;
+  }
+  // Reset for reuse.
+  size_ = 0;
+  has_nulls_ = false;
+  nulls_.clear();
+  bools_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  offsets_.clear();
+  lengths_.clear();
+  return out;
+}
+
+}  // namespace presto

@@ -1,0 +1,67 @@
+#ifndef PRESTO_VECTOR_VECTOR_BUILDER_H_
+#define PRESTO_VECTOR_VECTOR_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "presto/vector/vector.h"
+
+namespace presto {
+
+/// Appends values (including nested ROW/ARRAY/MAP values) of a fixed type and
+/// produces a flat Vector. Used by the row-based legacy reader baseline, the
+/// mini row stores, aggregation output, and tests.
+class VectorBuilder {
+ public:
+  explicit VectorBuilder(TypePtr type);
+
+  const TypePtr& type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void AppendNull();
+
+  /// Appends a boxed value; the value's shape must match the builder's type
+  /// (NULL is always accepted).
+  Status Append(const Value& value);
+
+  /// Move-aware append: string payloads are stolen instead of copied.
+  Status Append(Value&& value) {
+    if (value.is_string() && type_->kind() == TypeKind::kVarchar) {
+      AppendString(std::move(value).TakeString());
+      return Status::OK();
+    }
+    return Append(static_cast<const Value&>(value));
+  }
+
+  // Typed fast paths (scalar builders only; no type checks).
+  void AppendBigint(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string v);
+
+  /// Finishes and returns the vector; the builder is reset and reusable.
+  VectorPtr Build();
+
+ private:
+  TypePtr type_;
+  size_t size_ = 0;
+  bool has_nulls_ = false;
+  std::vector<uint8_t> nulls_;
+
+  // Scalar storage (only the one matching type_ is used).
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+
+  // Nested storage: ROW uses one child builder per field; ARRAY uses
+  // children_[0] for elements; MAP uses children_[0]=keys, children_[1]=values.
+  std::vector<std::unique_ptr<VectorBuilder>> children_;
+  std::vector<int32_t> offsets_;
+  std::vector<int32_t> lengths_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_VECTOR_VECTOR_BUILDER_H_

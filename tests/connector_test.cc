@@ -1,0 +1,299 @@
+// Connector-SPI-level tests: pushdown negotiation contracts, split
+// generation, partition pruning, sealed/open cache interaction, residual
+// predicate correctness when a connector only absorbs part of a filter,
+// and expression-to-SimplePredicate normalization.
+
+#include <gtest/gtest.h>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connector/pushdown.h"
+#include "presto/connectors/druid/druid_connector.h"
+#include "presto/connectors/hive/hive_connector.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/fs/simulated_hdfs.h"
+#include "presto/tpch/workloads.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimplePredicate normalization
+// ---------------------------------------------------------------------------
+
+ExprPtr Var(const std::string& name, const TypePtr& type) {
+  return VariableReferenceExpression::Make(name, type);
+}
+
+ExprPtr Cmp(const std::string& fn, ExprPtr a, ExprPtr b) {
+  auto handle =
+      FunctionRegistry::Default().ResolveScalar(fn, {a->type(), b->type()});
+  EXPECT_TRUE(handle.ok());
+  return CallExpression::Make(*handle, {std::move(a), std::move(b)});
+}
+
+TEST(NormalizeConjunctTest, ComparisonForms) {
+  auto p1 = NormalizeConjunct(
+      *Cmp("eq", Var("x", Type::Bigint()), ConstantExpression::MakeBigint(5)));
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->ToString(), "x = 5");
+
+  // Literal on the left flips the operator.
+  auto p2 = NormalizeConjunct(
+      *Cmp("lt", ConstantExpression::MakeBigint(5), Var("x", Type::Bigint())));
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->ToString(), "x > 5");
+
+  // Dereference chains become dotted paths.
+  TypePtr base_type = Type::Row({"city_id"}, {Type::Bigint()});
+  auto deref =
+      SpecialFormExpression::MakeDereference(Var("base", base_type), "city_id");
+  ASSERT_TRUE(deref.ok());
+  auto p3 = NormalizeConjunct(
+      *Cmp("gte", *deref, ConstantExpression::MakeBigint(10)));
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->ToString(), "base.city_id >= 10");
+}
+
+TEST(NormalizeConjunctTest, InListForm) {
+  ExprPtr in_expr = SpecialFormExpression::Make(
+      SpecialFormKind::kIn, Type::Boolean(),
+      {Var("s", Type::Varchar()), ConstantExpression::MakeVarchar("a"),
+       ConstantExpression::MakeVarchar("b")});
+  auto pred = NormalizeConjunct(*in_expr);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->op, SimplePredicate::Op::kIn);
+  EXPECT_EQ(pred->values.size(), 2u);
+}
+
+TEST(NormalizeConjunctTest, NonNormalizableForms) {
+  // col-to-col comparisons, arithmetic sides, and NULL literals stay residual.
+  EXPECT_FALSE(NormalizeConjunct(*Cmp("eq", Var("x", Type::Bigint()),
+                                      Var("y", Type::Bigint())))
+                   .has_value());
+  ExprPtr sum = Cmp("eq",
+                    CallExpression::Make(
+                        *FunctionRegistry::Default().ResolveScalar(
+                            "plus", {Type::Bigint(), Type::Bigint()}),
+                        {Var("x", Type::Bigint()),
+                         ConstantExpression::MakeBigint(1)}),
+                    ConstantExpression::MakeBigint(5));
+  EXPECT_FALSE(NormalizeConjunct(*sum).has_value());
+  EXPECT_FALSE(NormalizeConjunct(*Cmp("eq", Var("x", Type::Bigint()),
+                                      ConstantExpression::MakeNull(Type::Bigint())))
+                   .has_value());
+}
+
+TEST(ConjunctUtilsTest, FlattenAndCombine) {
+  ExprPtr a = Cmp("eq", Var("x", Type::Bigint()), ConstantExpression::MakeBigint(1));
+  ExprPtr b = Cmp("eq", Var("y", Type::Bigint()), ConstantExpression::MakeBigint(2));
+  ExprPtr c = Cmp("eq", Var("z", Type::Bigint()), ConstantExpression::MakeBigint(3));
+  ExprPtr and_ab = SpecialFormExpression::Make(SpecialFormKind::kAnd,
+                                               Type::Boolean(), {a, b});
+  ExprPtr nested = SpecialFormExpression::Make(SpecialFormKind::kAnd,
+                                               Type::Boolean(), {and_ab, c});
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(nested, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+  EXPECT_EQ(CombineConjuncts({a}), a);
+  EXPECT_NE(CombineConjuncts({a, b}), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Residual predicates with partial connector acceptance
+// ---------------------------------------------------------------------------
+
+TEST(DruidResidualTest, MetricPredicateStaysInEngine) {
+  druid::DruidStore store;
+  druid::DatasourceSchema schema;
+  schema.dimensions = {"city"};
+  schema.metrics = {"revenue"};
+  schema.granularity_millis = 1000;
+  ASSERT_TRUE(store.CreateDatasource("events", schema).ok());
+  std::vector<druid::DruidRow> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back({i * 1000, {i % 2 == 0 ? "sf" : "nyc"},
+                      {static_cast<double>(i)}});
+  }
+  ASSERT_TRUE(store.Ingest("events", events).ok());
+
+  PrestoCluster cluster("residual", 1, 1);
+  auto connector = std::make_shared<DruidConnector>(&store);
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("druid", connector).ok());
+
+  // city = 'sf' is pushable; revenue > 50 is on a metric -> residual.
+  Session session;
+  auto explain = cluster.Explain(
+      "SELECT revenue FROM druid.default.events "
+      "WHERE city = 'sf' AND revenue > 50.0", session);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("pushedPredicates=[city = 'sf']"), std::string::npos)
+      << *explain;
+  EXPECT_NE(explain->find("Filter[gt("), std::string::npos)
+      << "metric predicate must remain as engine filter:\n" << *explain;
+
+  auto result = cluster.Execute(
+      "SELECT count(*) FROM druid.default.events "
+      "WHERE city = 'sf' AND revenue > 50.0", session);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Even i in (52..98): 24 rows.
+  EXPECT_EQ(result->Row(0)[0], Value::Int(24));
+}
+
+TEST(DruidResidualTest, AggregationNotPushedWhenFilterResidual) {
+  druid::DruidStore store;
+  druid::DatasourceSchema schema;
+  schema.dimensions = {"city"};
+  schema.metrics = {"revenue"};
+  ASSERT_TRUE(store.CreateDatasource("events", schema).ok());
+  ASSERT_TRUE(store.Ingest("events", {{0, {"sf"}, {1.0}},
+                                      {0, {"sf"}, {100.0}},
+                                      {0, {"nyc"}, {100.0}}})
+                  .ok());
+  PrestoCluster cluster("noaggpush", 1, 1);
+  ASSERT_TRUE(cluster.catalogs()
+                  .RegisterCatalog("druid", std::make_shared<DruidConnector>(&store))
+                  .ok());
+  Session session;
+  // The residual metric filter blocks aggregation pushdown (otherwise the
+  // connector would aggregate unfiltered rows).
+  auto explain = cluster.Explain(
+      "SELECT city, count(*) FROM druid.default.events "
+      "WHERE revenue > 50.0 GROUP BY city", session);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_EQ(explain->find("pushedAggregation"), std::string::npos) << *explain;
+
+  auto result = cluster.Execute(
+      "SELECT city, count(*) FROM druid.default.events "
+      "WHERE revenue > 50.0 GROUP BY city ORDER BY city", session);
+  ASSERT_TRUE(result.ok());
+  // Rollup at hourly granularity: sf collapses to one row (revenue 101).
+  EXPECT_EQ(result->total_rows, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Hive connector specifics
+// ---------------------------------------------------------------------------
+
+class HiveConnectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_unique<SimulatedClock>();
+    hdfs_ = std::make_unique<SimulatedHdfs>(clock_.get());
+    hive_ = std::make_shared<HiveConnector>(hdfs_.get(), "wh");
+    TypePtr t = Type::Row({"ds", "x"}, {Type::Varchar(), Type::Bigint()});
+    ASSERT_TRUE(hive_->CreateTable("s", "t", t, "ds").ok());
+    for (const char* ds : {"a", "b", "c"}) {
+      VectorBuilder date(Type::Varchar()), x(Type::Bigint());
+      for (int64_t i = 0; i < 10; ++i) {
+        date.AppendString(ds);
+        x.AppendBigint(i);
+      }
+      ASSERT_TRUE(
+          hive_->WriteDataFile("s", "t", ds, {Page({date.Build(), x.Build()})}).ok());
+    }
+  }
+
+  std::unique_ptr<SimulatedClock> clock_;
+  std::unique_ptr<SimulatedHdfs> hdfs_;
+  std::shared_ptr<HiveConnector> hive_;
+};
+
+TEST_F(HiveConnectorTest, PartitionPruningReducesSplits) {
+  PushdownRequest request;
+  request.columns = {"x"};
+  request.predicates = {{"ds", SimplePredicate::Op::kEq, {Value::String("b")}}};
+  auto accepted = hive_->NegotiatePushdown("s", "t", request);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->predicate_indices.size(), 1u);
+
+  auto pruned = hive_->CreateSplits("s", "t", *accepted, 8);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->size(), 1u) << "only partition ds=b survives";
+
+  AcceptedPushdown no_pred = *accepted;
+  no_pred.request.predicates.clear();
+  auto all = hive_->CreateSplits("s", "t", no_pred, 8);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST_F(HiveConnectorTest, LegacyModeRefusesAllPushdown) {
+  HiveConnectorOptions options;
+  options.use_legacy_reader = true;
+  hive_->set_options(options);
+  PushdownRequest request;
+  request.columns = {"x"};
+  request.required_leaves = {"x"};
+  request.predicates = {{"x", SimplePredicate::Op::kEq, {Value::Int(3)}}};
+  request.limit = 5;
+  auto accepted = hive_->NegotiatePushdown("s", "t", request);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_TRUE(accepted->predicate_indices.empty());
+  EXPECT_FALSE(accepted->limit_pushed);
+  EXPECT_TRUE(accepted->request.required_leaves.empty());
+}
+
+TEST_F(HiveConnectorTest, UnpushablePredicateLeftBehind) {
+  // LIKE is not a SimplePredicate; array paths are not scalar leaves.
+  PushdownRequest request;
+  request.columns = {"x"};
+  request.predicates = {{"no_such_col", SimplePredicate::Op::kEq, {Value::Int(1)}}};
+  auto accepted = hive_->NegotiatePushdown("s", "t", request);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_TRUE(accepted->predicate_indices.empty());
+}
+
+TEST_F(HiveConnectorTest, MissingTableErrors) {
+  PushdownRequest request;
+  EXPECT_EQ(hive_->NegotiatePushdown("s", "missing", request).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hive_->GetTableSchema("s", "missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(hive_->WriteDataFile("s", "t", "", {}).ok())
+      << "partitioned table requires a partition value";
+}
+
+TEST(MemoryConnectorTest, SplitBatching) {
+  MemoryConnector memory;
+  TypePtr t = Type::Row({"x"}, {Type::Bigint()});
+  ASSERT_TRUE(memory.CreateTable("d", "t", t).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(memory.AppendPage("d", "t", Page({MakeBigintVector({i})})).ok());
+  }
+  PushdownRequest request;
+  request.columns = {"x"};
+  auto accepted = memory.NegotiatePushdown("d", "t", request);
+  ASSERT_TRUE(accepted.ok());
+  auto splits = memory.CreateSplits("d", "t", *accepted, 4);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->size(), 4u);  // 10 pages / ceil(10/4)=3 per split
+
+  // An empty table still produces one split so schemas propagate.
+  ASSERT_TRUE(memory.CreateTable("d", "empty", t).ok());
+  auto empty_splits = memory.CreateSplits("d", "empty", *accepted, 4);
+  ASSERT_TRUE(empty_splits.ok());
+  EXPECT_EQ(empty_splits->size(), 1u);
+}
+
+TEST(PruneColumnTypeTest, KeepsOnlyRequiredFields) {
+  TypePtr base = Type::Row(
+      {"a", "b", "c"},
+      {Type::Bigint(), Type::Row({"x", "y"}, {Type::Bigint(), Type::Varchar()}),
+       Type::Array(Type::Bigint())});
+  auto pruned = lakefile::PruneColumnType("col", base, {"col.b.x"});
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ((*pruned)->ToString(), "ROW(b ROW(x BIGINT))");
+
+  // Containers are kept whole; empty required list returns the full type.
+  auto with_array = lakefile::PruneColumnType("col", base, {"col.c.element"});
+  ASSERT_TRUE(with_array.ok());
+  EXPECT_EQ((*with_array)->ToString(), "ROW(c ARRAY(BIGINT))");
+  auto full = lakefile::PruneColumnType("col", base, {});
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE((*full)->Equals(*base));
+}
+
+}  // namespace
+}  // namespace presto

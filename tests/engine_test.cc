@@ -1,0 +1,370 @@
+// End-to-end engine tests: SQL in, results out, through the full
+// parse -> analyze -> optimize -> fragment -> schedule -> execute path.
+
+#include <gtest/gtest.h>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+// Shared fixture: a cluster with a memory catalog holding small tables.
+class EngineTest : public ::testing::Test {
+ protected:
+  static PrestoCluster& Cluster() {
+    static PrestoCluster& cluster = *new PrestoCluster("test", 2, 2);
+    static bool initialized = [] {
+      auto memory = std::make_shared<MemoryConnector>();
+
+      // orders(id BIGINT, customer VARCHAR, price DOUBLE, region VARCHAR)
+      TypePtr orders_type = Type::Row(
+          {"id", "customer", "price", "region"},
+          {Type::Bigint(), Type::Varchar(), Type::Double(), Type::Varchar()});
+      EXPECT_TRUE(memory->CreateTable("default", "orders", orders_type).ok());
+      VectorBuilder id(Type::Bigint()), cust(Type::Varchar()),
+          price(Type::Double()), region(Type::Varchar());
+      struct Row {
+        int64_t id;
+        const char* customer;
+        double price;
+        const char* region;
+      };
+      std::vector<Row> rows = {{1, "ann", 10.0, "us"}, {2, "bob", 20.0, "eu"},
+                               {3, "ann", 5.0, "us"},  {4, "cat", 7.5, "ap"},
+                               {5, "bob", 2.5, "eu"},  {6, "dan", 40.0, "us"}};
+      for (const Row& r : rows) {
+        id.AppendBigint(r.id);
+        cust.AppendString(r.customer);
+        price.AppendDouble(r.price);
+        region.AppendString(r.region);
+      }
+      EXPECT_TRUE(memory
+                      ->AppendPage("default", "orders",
+                                   Page({id.Build(), cust.Build(), price.Build(),
+                                         region.Build()}))
+                      .ok());
+
+      // customers(name VARCHAR, tier BIGINT)
+      TypePtr customers_type =
+          Type::Row({"name", "tier"}, {Type::Varchar(), Type::Bigint()});
+      EXPECT_TRUE(memory->CreateTable("default", "customers", customers_type).ok());
+      VectorBuilder name(Type::Varchar()), tier(Type::Bigint());
+      for (auto& [n, t] : std::vector<std::pair<const char*, int64_t>>{
+               {"ann", 1}, {"bob", 2}, {"cat", 1}}) {
+        name.AppendString(n);
+        tier.AppendBigint(t);
+      }
+      EXPECT_TRUE(memory
+                      ->AppendPage("default", "customers",
+                                   Page({name.Build(), tier.Build()}))
+                      .ok());
+
+      // trips(id BIGINT, base ROW(driver_uuid VARCHAR, city_id BIGINT))
+      TypePtr base_type = Type::Row({"driver_uuid", "city_id"},
+                                    {Type::Varchar(), Type::Bigint()});
+      TypePtr trips_type = Type::Row({"id", "base"}, {Type::Bigint(), base_type});
+      EXPECT_TRUE(memory->CreateTable("default", "trips", trips_type).ok());
+      VectorBuilder trip_id(Type::Bigint()), base(base_type);
+      for (int64_t i = 0; i < 10; ++i) {
+        trip_id.AppendBigint(i);
+        EXPECT_TRUE(base.Append(Value::Row({Value::String("d" + std::to_string(i)),
+                                            Value::Int(i % 3)}))
+                        .ok());
+      }
+      EXPECT_TRUE(memory
+                      ->AppendPage("default", "trips",
+                                   Page({trip_id.Build(), base.Build()}))
+                      .ok());
+
+      EXPECT_TRUE(cluster.catalogs().RegisterCatalog("memory", memory).ok());
+      return true;
+    }();
+    (void)initialized;
+    return cluster;
+  }
+
+  static QueryResult Run(const std::string& sql) {
+    Session session;
+    auto result = Cluster().Execute(sql, session);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+    if (!result.ok()) return QueryResult();
+    return std::move(*result);
+  }
+
+  static Status RunError(const std::string& sql) {
+    Session session;
+    auto result = Cluster().Execute(sql, session);
+    EXPECT_FALSE(result.ok()) << sql << " unexpectedly succeeded";
+    return result.status();
+  }
+
+  // Flattens results into boxed rows for easy assertions.
+  static std::vector<std::vector<Value>> Rows(const QueryResult& result) {
+    std::vector<std::vector<Value>> out;
+    for (const Page& page : result.pages) {
+      for (size_t r = 0; r < page.num_rows(); ++r) out.push_back(page.GetRow(r));
+    }
+    return out;
+  }
+};
+
+TEST_F(EngineTest, SelectStar) {
+  QueryResult result = Run("SELECT * FROM orders");
+  EXPECT_EQ(result.total_rows, 6);
+  EXPECT_EQ(result.column_names,
+            (std::vector<std::string>{"id", "customer", "price", "region"}));
+}
+
+TEST_F(EngineTest, ProjectionAndArithmetic) {
+  QueryResult result = Run("SELECT id + 100, price * 2.0 AS doubled FROM orders WHERE id = 1");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(101));
+  EXPECT_EQ(rows[0][1], Value::Double(20.0));
+  EXPECT_EQ(result.column_names[1], "doubled");
+}
+
+TEST_F(EngineTest, WhereFilters) {
+  QueryResult result = Run(
+      "SELECT id FROM orders WHERE region = 'us' AND price > 6.0 ORDER BY id");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_EQ(rows[1][0], Value::Int(6));
+}
+
+TEST_F(EngineTest, InBetweenLikeNot) {
+  EXPECT_EQ(Run("SELECT id FROM orders WHERE id IN (2, 4)").total_rows, 2);
+  EXPECT_EQ(Run("SELECT id FROM orders WHERE id BETWEEN 2 AND 4").total_rows, 3);
+  EXPECT_EQ(Run("SELECT id FROM orders WHERE customer LIKE 'a%'").total_rows, 2);
+  EXPECT_EQ(Run("SELECT id FROM orders WHERE customer NOT LIKE 'a%'").total_rows, 4);
+  EXPECT_EQ(Run("SELECT id FROM orders WHERE NOT (region = 'us')").total_rows, 3);
+}
+
+TEST_F(EngineTest, GlobalAggregation) {
+  QueryResult result = Run(
+      "SELECT count(*), sum(price), min(price), max(price), avg(price) FROM orders");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(6));
+  EXPECT_EQ(rows[0][1], Value::Double(85.0));
+  EXPECT_EQ(rows[0][2], Value::Double(2.5));
+  EXPECT_EQ(rows[0][3], Value::Double(40.0));
+  EXPECT_TRUE(rows[0][4].Equals(Value::Double(85.0 / 6)));
+}
+
+TEST_F(EngineTest, GlobalAggregationOnEmptyInput) {
+  QueryResult result = Run("SELECT count(*), sum(price) FROM orders WHERE id > 999");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(0));
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(EngineTest, GroupByWithHaving) {
+  QueryResult result = Run(
+      "SELECT region, count(*) AS n, sum(price) AS total FROM orders "
+      "GROUP BY region HAVING count(*) >= 2 ORDER BY region");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::String("eu"));
+  EXPECT_EQ(rows[0][1], Value::Int(2));
+  EXPECT_EQ(rows[0][2], Value::Double(22.5));
+  EXPECT_EQ(rows[1][0], Value::String("us"));
+  EXPECT_EQ(rows[1][1], Value::Int(3));
+  EXPECT_EQ(rows[1][2], Value::Double(55.0));
+}
+
+TEST_F(EngineTest, GroupByOrdinal) {
+  QueryResult result =
+      Run("SELECT customer, count(*) FROM orders GROUP BY 1 ORDER BY 1");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0], Value::String("ann"));
+  EXPECT_EQ(rows[0][1], Value::Int(2));
+}
+
+TEST_F(EngineTest, InnerJoin) {
+  QueryResult result = Run(
+      "SELECT o.id, c.tier FROM orders o JOIN customers c ON o.customer = c.name "
+      "ORDER BY o.id");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 5u);  // dan has no customer row
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_EQ(rows[0][1], Value::Int(1));
+  EXPECT_EQ(rows[4][0], Value::Int(5));
+}
+
+TEST_F(EngineTest, LeftJoinNullExtends) {
+  QueryResult result = Run(
+      "SELECT o.id, c.tier FROM orders o LEFT JOIN customers c "
+      "ON o.customer = c.name WHERE o.id = 6");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(6));
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(EngineTest, JoinWithResidualFilter) {
+  QueryResult result = Run(
+      "SELECT o.id FROM orders o JOIN customers c "
+      "ON o.customer = c.name AND o.price > c.tier * 8.0 ORDER BY o.id");
+  auto rows = Rows(result);
+  // ann: price>8 -> id 1; bob: price>16 -> id 2; cat: price>8 -> none.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_EQ(rows[1][0], Value::Int(2));
+}
+
+TEST_F(EngineTest, CrossJoin) {
+  QueryResult result = Run("SELECT o.id, c.name FROM orders o CROSS JOIN customers c");
+  EXPECT_EQ(result.total_rows, 18);
+}
+
+TEST_F(EngineTest, AggregateOverJoin) {
+  QueryResult result = Run(
+      "SELECT c.tier, sum(o.price) AS total FROM orders o "
+      "JOIN customers c ON o.customer = c.name GROUP BY c.tier ORDER BY c.tier");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_EQ(rows[0][1], Value::Double(22.5));
+  EXPECT_EQ(rows[1][0], Value::Int(2));
+  EXPECT_EQ(rows[1][1], Value::Double(22.5));
+}
+
+TEST_F(EngineTest, OrderByDescAndLimit) {
+  QueryResult result = Run("SELECT id, price FROM orders ORDER BY price DESC LIMIT 2");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(6));
+  EXPECT_EQ(rows[1][0], Value::Int(2));
+}
+
+TEST_F(EngineTest, LimitWithoutOrder) {
+  EXPECT_EQ(Run("SELECT id FROM orders LIMIT 3").total_rows, 3);
+  EXPECT_EQ(Run("SELECT id FROM orders LIMIT 0").total_rows, 0);
+}
+
+TEST_F(EngineTest, NestedStructDereference) {
+  QueryResult result = Run(
+      "SELECT base.driver_uuid FROM trips WHERE base.city_id = 1 ORDER BY 1");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 3u);  // ids 1, 4, 7
+  EXPECT_EQ(rows[0][0], Value::String("d1"));
+  EXPECT_EQ(rows[1][0], Value::String("d4"));
+  EXPECT_EQ(rows[2][0], Value::String("d7"));
+}
+
+TEST_F(EngineTest, GroupByNestedField) {
+  QueryResult result = Run(
+      "SELECT base.city_id, count(*) FROM trips GROUP BY base.city_id "
+      "ORDER BY base.city_id");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value::Int(0));
+  EXPECT_EQ(rows[0][1], Value::Int(4));  // 0,3,6,9
+}
+
+TEST_F(EngineTest, CastAndCoercion) {
+  QueryResult result =
+      Run("SELECT CAST(id AS VARCHAR), id + 0.5 FROM orders WHERE id = 3");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::String("3"));
+  EXPECT_EQ(rows[0][1], Value::Double(3.5));
+}
+
+TEST_F(EngineTest, ApproxDistinct) {
+  QueryResult result = Run("SELECT approx_distinct(customer) FROM orders");
+  auto rows = Rows(result);
+  EXPECT_EQ(rows[0][0], Value::Int(4));
+}
+
+TEST_F(EngineTest, ExplainShowsPushdown) {
+  Session session;
+  auto explain = Cluster().Explain(
+      "SELECT base.driver_uuid FROM trips WHERE base.city_id = 1", session);
+  ASSERT_TRUE(explain.ok());
+  // The memory connector cannot absorb predicates, so the filter stays in
+  // the engine; projection pushdown still applies.
+  EXPECT_NE(explain->find("TableScan[memory.default.trips]"), std::string::npos);
+  EXPECT_NE(explain->find("Filter"), std::string::npos);
+  EXPECT_NE(explain->find("Fragment 1 (leaf)"), std::string::npos);
+}
+
+TEST_F(EngineTest, ErrorsSurfaceCleanly) {
+  EXPECT_EQ(RunError("SELECT missing_col FROM orders").code(), StatusCode::kUserError);
+  EXPECT_EQ(RunError("SELECT id FROM no_such_table").code(), StatusCode::kNotFound);
+  EXPECT_EQ(RunError("SELECT FROM orders").code(), StatusCode::kSyntaxError);
+  EXPECT_EQ(RunError("SELECT no_such_fn(id) FROM orders").code(),
+            StatusCode::kUserError);
+  EXPECT_EQ(RunError("SELECT sum(price) FROM orders GROUP BY").code(),
+            StatusCode::kSyntaxError);
+}
+
+TEST_F(EngineTest, AmbiguousColumnRejected) {
+  Status status = RunError(
+      "SELECT id FROM orders o JOIN trips t ON o.id = t.id WHERE id = 1");
+  EXPECT_EQ(status.code(), StatusCode::kUserError);
+  EXPECT_NE(status.message().find("ambiguous"), std::string::npos);
+}
+
+
+TEST_F(EngineTest, SelectDistinct) {
+  QueryResult result = Run("SELECT DISTINCT region FROM orders ORDER BY region");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value::String("ap"));
+  EXPECT_EQ(rows[1][0], Value::String("eu"));
+  EXPECT_EQ(rows[2][0], Value::String("us"));
+
+  QueryResult pairs =
+      Run("SELECT DISTINCT customer, region FROM orders ORDER BY 1, 2");
+  EXPECT_EQ(Rows(pairs).size(), 4u);  // ann/us, bob/eu, cat/ap, dan/us
+}
+
+TEST_F(EngineTest, InsufficientResourceForBigJoinBuild) {
+  Session session;
+  session.properties["max_join_build_rows"] = "3";
+  auto result = Cluster().Execute(
+      "SELECT o.id FROM orders o JOIN orders o2 ON o.id = o2.id", session);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("Insufficient Resource"),
+            std::string::npos)
+      << result.status().ToString();
+  // Raising the session limit lets the same query run.
+  session.properties["max_join_build_rows"] = "1000";
+  EXPECT_TRUE(Cluster()
+                  .Execute("SELECT o.id FROM orders o JOIN orders o2 "
+                           "ON o.id = o2.id",
+                           session)
+                  .ok());
+}
+
+
+TEST_F(EngineTest, CountDistinct) {
+  QueryResult result = Run(
+      "SELECT count(DISTINCT customer), count(DISTINCT region) FROM orders");
+  auto rows = Rows(result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(4));
+  EXPECT_EQ(rows[0][1], Value::Int(3));
+
+  QueryResult grouped = Run(
+      "SELECT region, count(DISTINCT customer) FROM orders "
+      "GROUP BY region ORDER BY region");
+  auto grows = Rows(grouped);
+  ASSERT_EQ(grows.size(), 3u);
+  EXPECT_EQ(grows[2][0], Value::String("us"));
+  EXPECT_EQ(grows[2][1], Value::Int(2));  // ann, dan
+
+  EXPECT_EQ(RunError("SELECT sum(DISTINCT price) FROM orders").code(),
+            StatusCode::kUserError);
+}
+
+}  // namespace
+}  // namespace presto

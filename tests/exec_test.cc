@@ -1,0 +1,280 @@
+// Execution-layer tests: join edge cases (left joins with filters,
+// null-extension, empty sides), aggregation partial/final equivalence,
+// exchange error propagation, worker lifecycle, and operator stats.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/exec/exchange.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  static PrestoCluster& Cluster() {
+    static PrestoCluster& cluster = *new PrestoCluster("exec", 2, 2);
+    static bool initialized = [] {
+      auto memory = std::make_shared<MemoryConnector>();
+      // left(k BIGINT, v BIGINT): k = 1..5, with a duplicate k=3.
+      TypePtr lt = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+      EXPECT_TRUE(memory->CreateTable("default", "lhs", lt).ok());
+      EXPECT_TRUE(memory->AppendPage("default", "lhs",
+                                     Page({MakeBigintVector({1, 2, 3, 3, 4, 5}),
+                                           MakeBigintVector({10, 20, 30, 31, 40, 50})}))
+                      .ok());
+      // right(k BIGINT, w BIGINT): k = 2..3 duplicated, 6 unmatched.
+      TypePtr rt = Type::Row({"k", "w"}, {Type::Bigint(), Type::Bigint()});
+      EXPECT_TRUE(memory->CreateTable("default", "rhs", rt).ok());
+      EXPECT_TRUE(memory->AppendPage("default", "rhs",
+                                     Page({MakeBigintVector({2, 3, 3, 6}),
+                                           MakeBigintVector({200, 300, 301, 600})}))
+                      .ok());
+      // empty table
+      TypePtr et = Type::Row({"k"}, {Type::Bigint()});
+      EXPECT_TRUE(memory->CreateTable("default", "empty", et).ok());
+      // nullable keys
+      TypePtr nt = Type::Row({"k", "x"}, {Type::Bigint(), Type::Bigint()});
+      EXPECT_TRUE(memory->CreateTable("default", "withnulls", nt).ok());
+      VectorBuilder k(Type::Bigint()), x(Type::Bigint());
+      k.AppendBigint(1);
+      x.AppendBigint(100);
+      k.AppendNull();
+      x.AppendBigint(101);
+      k.AppendBigint(3);
+      x.AppendNull();
+      EXPECT_TRUE(memory->AppendPage("default", "withnulls",
+                                     Page({k.Build(), x.Build()}))
+                      .ok());
+      EXPECT_TRUE(cluster.catalogs().RegisterCatalog("memory", memory).ok());
+      return true;
+    }();
+    (void)initialized;
+    return cluster;
+  }
+
+  static std::vector<std::vector<Value>> Run(const std::string& sql) {
+    Session session;
+    auto result = Cluster().Execute(sql, session);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+    std::vector<std::vector<Value>> rows;
+    if (!result.ok()) return rows;
+    for (const Page& page : result->pages) {
+      for (size_t r = 0; r < page.num_rows(); ++r) rows.push_back(page.GetRow(r));
+    }
+    return rows;
+  }
+};
+
+TEST_F(ExecTest, InnerJoinDuplicatesMultiply) {
+  auto rows = Run(
+      "SELECT l.v, r.w FROM lhs l JOIN rhs r ON l.k = r.k ORDER BY l.v, r.w");
+  // k=2: 1x1; k=3: 2 lhs x 2 rhs = 4 pairs.
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0], Value::Int(20));
+  EXPECT_EQ(rows[0][1], Value::Int(200));
+  EXPECT_EQ(rows[1][0], Value::Int(30));
+  EXPECT_EQ(rows[1][1], Value::Int(300));
+  EXPECT_EQ(rows[2][0], Value::Int(30));
+  EXPECT_EQ(rows[2][1], Value::Int(301));
+}
+
+TEST_F(ExecTest, LeftJoinNullExtension) {
+  auto rows = Run(
+      "SELECT l.k, r.w FROM lhs l LEFT JOIN rhs r ON l.k = r.k ORDER BY l.k, r.w");
+  // 1,4,5 unmatched -> null; 2 one match; 3 duplicated 2x2.
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_EQ(rows[7][0], Value::Int(5));
+  EXPECT_TRUE(rows[7][1].is_null());
+}
+
+TEST_F(ExecTest, LeftJoinFilterFailuresStillNullExtend) {
+  // Matched pairs exist for k=3 but the residual filter rejects them all:
+  // LEFT JOIN semantics require the probe rows to survive null-extended.
+  auto rows = Run(
+      "SELECT l.k, l.v, r.w FROM lhs l LEFT JOIN rhs r "
+      "ON l.k = r.k AND r.w > 1000 WHERE l.k = 3 ORDER BY l.v");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], Value::Int(30));
+  EXPECT_TRUE(rows[0][2].is_null());
+  EXPECT_EQ(rows[1][1], Value::Int(31));
+  EXPECT_TRUE(rows[1][2].is_null());
+}
+
+TEST_F(ExecTest, JoinWithNullKeysNeverMatches) {
+  auto rows = Run(
+      "SELECT a.x, b.x FROM withnulls a JOIN withnulls b ON a.k = b.k "
+      "ORDER BY a.x");
+  // NULL keys must not join with each other: only k=1 and k=3 self-match.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(100));
+  EXPECT_TRUE(rows[1][0].is_null())
+      << "k=3 row has null x; ASC sorts NULLS LAST (Presto default)";
+}
+
+TEST_F(ExecTest, JoinAgainstEmptyBuildSide) {
+  EXPECT_EQ(Run("SELECT l.k FROM lhs l JOIN empty e ON l.k = e.k").size(), 0u);
+  auto left_rows =
+      Run("SELECT l.k, e.k FROM lhs l LEFT JOIN empty e ON l.k = e.k");
+  EXPECT_EQ(left_rows.size(), 6u);
+  for (const auto& row : left_rows) EXPECT_TRUE(row[1].is_null());
+}
+
+TEST_F(ExecTest, EmptyProbeSide) {
+  EXPECT_EQ(Run("SELECT e.k FROM empty e JOIN lhs l ON e.k = l.k").size(), 0u);
+  EXPECT_EQ(Run("SELECT e.k FROM empty e CROSS JOIN lhs l").size(), 0u);
+}
+
+TEST_F(ExecTest, CrossJoinCardinal) {
+  EXPECT_EQ(Run("SELECT l.k, r.k FROM lhs l CROSS JOIN rhs r").size(), 24u);
+}
+
+TEST_F(ExecTest, GroupByNullKeyFormsItsOwnGroup) {
+  auto rows = Run(
+      "SELECT k, count(*) FROM withnulls GROUP BY k ORDER BY k");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[2][0].is_null());  // ASC: NULLS LAST (Presto default)
+  EXPECT_EQ(rows[2][1], Value::Int(1));
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+}
+
+TEST_F(ExecTest, CountVariantsOverNulls) {
+  auto rows = Run("SELECT count(*), count(x), count(k) FROM withnulls");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(3));
+  EXPECT_EQ(rows[0][1], Value::Int(2));
+  EXPECT_EQ(rows[0][2], Value::Int(2));
+}
+
+TEST_F(ExecTest, OrderByIsStableAcrossEqualKeys) {
+  auto rows = Run("SELECT k, v FROM lhs ORDER BY k");
+  ASSERT_EQ(rows.size(), 6u);
+  // The two k=3 rows keep input order (stable sort): v=30 before v=31.
+  EXPECT_EQ(rows[2][1], Value::Int(30));
+  EXPECT_EQ(rows[3][1], Value::Int(31));
+}
+
+TEST_F(ExecTest, LimitLargerThanInput) {
+  EXPECT_EQ(Run("SELECT k FROM lhs LIMIT 100").size(), 6u);
+}
+
+TEST_F(ExecTest, DivisionByZeroYieldsNull) {
+  auto rows = Run("SELECT v / (k - k) FROM lhs WHERE k = 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].is_null());
+}
+
+TEST(ExchangeBufferTest, MultipleProducersDrainToConsumer) {
+  ExchangeBuffer buffer;
+  buffer.SetProducerCount(3);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&buffer, p] {
+      for (int i = 0; i < 10; ++i) {
+        buffer.Push(Page({MakeBigintVector({p * 100 + i})}));
+      }
+      buffer.ProducerDone();
+    });
+  }
+  int pages = 0;
+  while (true) {
+    auto page = buffer.Next();
+    ASSERT_TRUE(page.ok());
+    if (!page->has_value()) break;
+    ++pages;
+  }
+  EXPECT_EQ(pages, 30);
+  for (auto& t : producers) t.join();
+}
+
+TEST(ExchangeBufferTest, FailurePropagatesToConsumer) {
+  ExchangeBuffer buffer;
+  buffer.SetProducerCount(1);
+  std::thread producer([&buffer] {
+    buffer.Push(Page({MakeBigintVector({1})}));
+    buffer.Fail(Status::IoError("split read failed"));
+    buffer.ProducerDone();
+  });
+  producer.join();
+  // The error wins over buffered pages.
+  auto page = buffer.Next();
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIoError);
+}
+
+TEST(WorkerTest, LifecycleAndGracefulShutdown) {
+  Worker worker("w1", 2);
+  EXPECT_EQ(worker.state(), WorkerState::kActive);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(worker.SubmitTask([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    }));
+  }
+  worker.RequestGracefulShutdown(/*grace_period_nanos=*/1'000'000);
+  EXPECT_EQ(worker.state(), WorkerState::kShuttingDown);
+  // New work is rejected while draining.
+  EXPECT_FALSE(worker.SubmitTask([] {}));
+  worker.AwaitShutdown();
+  EXPECT_EQ(worker.state(), WorkerState::kShutDown);
+  EXPECT_EQ(done.load(), 8) << "all active tasks complete before shutdown";
+  EXPECT_EQ(worker.tasks_completed(), 8);
+}
+
+TEST(WorkerTest, DoubleShutdownIsIdempotent) {
+  Worker worker("w2", 1);
+  worker.RequestGracefulShutdown(1000);
+  worker.RequestGracefulShutdown(1000);
+  worker.AwaitShutdown();
+  EXPECT_EQ(worker.state(), WorkerState::kShutDown);
+}
+
+
+TEST(FragmentResultCacheTest, SecondRunServedFromCache) {
+  PrestoCluster cluster("fragcache", 1, 1);
+  auto memory = std::make_shared<MemoryConnector>();
+  TypePtr t = Type::Row({"k"}, {Type::Bigint()});
+  ASSERT_TRUE(memory->CreateTable("default", "nums", t).ok());
+  ASSERT_TRUE(memory->AppendPage("default", "nums",
+                                 Page({MakeBigintVector({1, 2, 3, 4})}))
+                  .ok());
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("memory", memory).ok());
+
+  Session cached;
+  cached.properties["fragment_result_cache"] = "true";
+  const std::string sql = "SELECT sum(k) FROM memory.default.nums";
+
+  auto first = cluster.Execute(sql, cached);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->Row(0)[0], Value::Int(10));
+  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("miss"), 1);
+
+  auto second = cluster.Execute(sql, cached);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->Row(0)[0], Value::Int(10));
+  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("hit"), 1);
+
+  // Without the session property the cache is bypassed entirely.
+  Session plain;
+  ASSERT_TRUE(cluster.Execute(sql, plain).ok());
+  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("hit"), 1);
+
+  // New data + explicit invalidation: fresh results.
+  ASSERT_TRUE(memory->AppendPage("default", "nums",
+                                 Page({MakeBigintVector({100})}))
+                  .ok());
+  cluster.coordinator().InvalidateFragmentCache();
+  auto third = cluster.Execute(sql, cached);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->Row(0)[0], Value::Int(110));
+}
+
+}  // namespace
+}  // namespace presto

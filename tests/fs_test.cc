@@ -1,0 +1,260 @@
+// Tests for filesystems: in-memory, simulated HDFS (NameNode latency and
+// call counters), simulated S3 (latency/faults, multipart, S3 Select), and
+// PrestoS3FileSystem (lazy seek, exponential backoff).
+
+#include <gtest/gtest.h>
+
+#include "presto/fs/local_file_system.h"
+#include "presto/fs/memory_file_system.h"
+#include "presto/fs/presto_s3_file_system.h"
+#include "presto/fs/simulated_hdfs.h"
+
+namespace presto {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string Str(const std::vector<uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+TEST(MemoryFileSystemTest, WriteReadRoundTrip) {
+  MemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("warehouse/t/part-0", Bytes("hello")).ok());
+  auto file = fs.OpenForRead("warehouse/t/part-0");
+  ASSERT_TRUE(file.ok());
+  auto all = (*file)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(Str(*all), "hello");
+  EXPECT_EQ((*file)->Size().value(), 5u);
+}
+
+TEST(MemoryFileSystemTest, PositionalReads) {
+  MemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("f", Bytes("0123456789")).ok());
+  auto file = fs.OpenForRead("f");
+  ASSERT_TRUE(file.ok());
+  uint8_t buf[4];
+  EXPECT_EQ((*file)->Read(3, 4, buf).value(), 4u);
+  EXPECT_EQ(std::string(buf, buf + 4), "3456");
+  EXPECT_EQ((*file)->Read(8, 4, buf).value(), 2u);  // short read at EOF
+  EXPECT_EQ((*file)->Read(100, 4, buf).value(), 0u);
+}
+
+TEST(MemoryFileSystemTest, ListFilesNonRecursive) {
+  MemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("w/t/datestr=2017-03-02/f1", Bytes("a")).ok());
+  ASSERT_TRUE(fs.WriteFile("w/t/datestr=2017-03-02/f2", Bytes("bb")).ok());
+  ASSERT_TRUE(fs.WriteFile("w/t/datestr=2017-03-03/f1", Bytes("c")).ok());
+  auto listing = fs.ListFiles("w/t");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 2u);
+  EXPECT_TRUE((*listing)[0].is_directory);
+  auto partition = fs.ListFiles("w/t/datestr=2017-03-02");
+  ASSERT_TRUE(partition.ok());
+  EXPECT_EQ(partition->size(), 2u);
+  EXPECT_FALSE((*partition)[0].is_directory);
+}
+
+TEST(MemoryFileSystemTest, MissingFilesReported) {
+  MemoryFileSystem fs;
+  EXPECT_EQ(fs.OpenForRead("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs.GetFileInfo("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(fs.Exists("nope"));
+  EXPECT_EQ(fs.DeleteFile("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(LocalFileSystemTest, RoundTripOnDisk) {
+  LocalFileSystem fs;
+  std::string dir = ::testing::TempDir() + "/presto_fs_test";
+  std::string path = dir + "/sub/file.bin";
+  ASSERT_TRUE(fs.WriteFile(path, Bytes("local-data")).ok());
+  EXPECT_TRUE(fs.Exists(path));
+  auto file = fs.OpenForRead(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(Str((*file)->ReadAll().value()), "local-data");
+  auto listing = fs.ListFiles(dir);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 1u);
+  EXPECT_TRUE(fs.DeleteFile(path).ok());
+  EXPECT_FALSE(fs.Exists(path));
+}
+
+TEST(SimulatedHdfsTest, NameNodeLatencyCharged) {
+  SimulatedClock clock;
+  NameNodeLatency latency;
+  latency.list_files_nanos = 1000;
+  latency.get_file_info_nanos = 500;
+  SimulatedHdfs hdfs(&clock, latency);
+  ASSERT_TRUE(hdfs.WriteFile("d/f", Bytes("x")).ok());
+  int64_t before = clock.NowNanos();
+  ASSERT_TRUE(hdfs.ListFiles("d").ok());
+  EXPECT_EQ(clock.NowNanos() - before, 1000);
+  ASSERT_TRUE(hdfs.GetFileInfo("d/f").ok());
+  EXPECT_EQ(clock.NowNanos() - before, 1500);
+  EXPECT_EQ(hdfs.metrics().Get("listFiles"), 1);
+  EXPECT_EQ(hdfs.metrics().Get("getFileInfo"), 1);
+}
+
+TEST(SimulatedHdfsTest, DegradedNameNodeMultipliesLatency) {
+  SimulatedClock clock;
+  NameNodeLatency latency;
+  latency.list_files_nanos = 1000;
+  latency.degraded_multiplier = 50;
+  SimulatedHdfs hdfs(&clock, latency);
+  ASSERT_TRUE(hdfs.WriteFile("d/f", Bytes("x")).ok());
+  hdfs.SetDegraded(true);
+  int64_t before = clock.NowNanos();
+  ASSERT_TRUE(hdfs.ListFiles("d").ok());
+  EXPECT_EQ(clock.NowNanos() - before, 50000);
+}
+
+TEST(S3ObjectStoreTest, PutGetRangeHead) {
+  SimulatedClock clock;
+  S3ObjectStore s3(&clock);
+  ASSERT_TRUE(s3.PutObject("bucket/key", Bytes("0123456789")).ok());
+  auto obj = s3.GetObject("bucket/key");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(Str(**obj), "0123456789");
+  auto range = s3.GetRange("bucket/key", 2, 3);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(Str(*range), "234");
+  EXPECT_EQ(s3.HeadObject("bucket/key")->size, 10u);
+  EXPECT_EQ(s3.GetObject("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_GT(clock.NowNanos(), 0);
+  EXPECT_EQ(s3.metrics().Get("s3.get"), 2);  // full GET + range GET
+}
+
+TEST(S3ObjectStoreTest, TransientFailuresInjected) {
+  SimulatedClock clock;
+  S3Config config;
+  config.transient_failure_rate = 1.0;  // always fail
+  S3ObjectStore s3(&clock, config);
+  EXPECT_EQ(s3.PutObject("k", Bytes("v")).code(), StatusCode::kUnavailable);
+  EXPECT_GT(s3.metrics().Get("s3.503"), 0);
+}
+
+TEST(S3ObjectStoreTest, MultipartAssemblesParts) {
+  SimulatedClock clock;
+  S3ObjectStore s3(&clock);
+  auto id = s3.CreateMultipartUpload("big");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(s3.UploadPart(*id, 2, Bytes("world")).ok());
+  ASSERT_TRUE(s3.UploadPart(*id, 1, Bytes("hello ")).ok());
+  ASSERT_TRUE(s3.CompleteMultipartUpload(*id).ok());
+  EXPECT_EQ(Str(**s3.GetObject("big")), "hello world");
+  EXPECT_FALSE(s3.UploadPart("upload-999", 1, Bytes("x")).ok());
+}
+
+TEST(S3ObjectStoreTest, SelectCsvProjectsAndFilters) {
+  SimulatedClock clock;
+  S3ObjectStore s3(&clock);
+  ASSERT_TRUE(
+      s3.PutObject("t.csv", Bytes("1,SF,100\n2,NYC,200\n3,SF,300\n")).ok());
+  auto selected = s3.SelectCsv("t.csv", {0, 2}, std::make_pair(1, std::string("SF")));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(Str(*selected), "1,100\n3,300\n");
+  // Bytes over the wire < object size; scanned bytes recorded separately.
+  EXPECT_EQ(s3.metrics().Get("s3.bytes_read"), 12);  // projected bytes only
+  EXPECT_EQ(s3.metrics().Get("s3.select_bytes_scanned"), 28);
+}
+
+TEST(PrestoS3FileSystemTest, ReadWriteThroughFacade) {
+  SimulatedClock clock;
+  S3ObjectStore s3(&clock);
+  PrestoS3FileSystem fs(&s3, &clock);
+  ASSERT_TRUE(fs.WriteFile("data/file1", Bytes("s3 payload")).ok());
+  auto file = fs.OpenForRead("data/file1");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(Str((*file)->ReadAll().value()), "s3 payload");
+  auto listing = fs.ListFiles("data");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 1u);
+}
+
+TEST(PrestoS3FileSystemTest, LazySeekAvoidsStreamReopens) {
+  SimulatedClock clock;
+  S3ObjectStore s3(&clock);
+  std::vector<uint8_t> big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(s3.PutObject("obj", big).ok());
+
+  PrestoS3Options lazy_options;
+  lazy_options.lazy_seek = true;
+  lazy_options.read_ahead_bytes = 64 * 1024;
+  PrestoS3FileSystem lazy_fs(&s3, &clock, lazy_options);
+  auto stream = lazy_fs.OpenStream("obj");
+  ASSERT_TRUE(stream.ok());
+  uint8_t buf[16];
+  // Seek storm without reads: lazy defers every reopen.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*stream)->Seek(i * 1000).ok());
+  }
+  ASSERT_TRUE((*stream)->Read(buf, 16).ok());
+  EXPECT_EQ(lazy_fs.metrics().Get("s3fs.stream_reopens"), 1);
+  // Seeks within the read-ahead buffer cost nothing even with reads.
+  ASSERT_TRUE((*stream)->Seek(49 * 1000 + 100).ok());
+  ASSERT_TRUE((*stream)->Read(buf, 16).ok());
+  EXPECT_EQ(lazy_fs.metrics().Get("s3fs.stream_reopens"), 1);
+
+  PrestoS3Options eager_options = lazy_options;
+  eager_options.lazy_seek = false;
+  PrestoS3FileSystem eager_fs(&s3, &clock, eager_options);
+  auto eager_stream = eager_fs.OpenStream("obj");
+  ASSERT_TRUE(eager_stream.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*eager_stream)->Seek(i * 20000).ok());
+  }
+  EXPECT_GT(eager_fs.metrics().Get("s3fs.stream_reopens"), 10)
+      << "eager seek reopens the stream on every long jump";
+}
+
+TEST(PrestoS3FileSystemTest, ExponentialBackoffRetriesTransientFailures) {
+  SimulatedClock clock;
+  S3Config config;
+  config.transient_failure_rate = 0.5;
+  S3ObjectStore s3(&clock, config);
+  PrestoS3Options options;
+  options.max_retries = 16;
+  PrestoS3FileSystem fs(&s3, &clock, options);
+  // With retries, all operations eventually succeed.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs.WriteFile("k" + std::to_string(i), Bytes("v")).ok());
+  }
+  EXPECT_GT(fs.metrics().Get("s3fs.retries"), 0);
+  EXPECT_GT(fs.metrics().Get("s3fs.backoff_nanos"), 0);
+}
+
+TEST(PrestoS3FileSystemTest, BackoffGivesUpEventually) {
+  SimulatedClock clock;
+  S3Config config;
+  config.transient_failure_rate = 1.0;
+  S3ObjectStore s3(&clock, config);
+  PrestoS3Options options;
+  options.max_retries = 3;
+  PrestoS3FileSystem fs(&s3, &clock, options);
+  Status st = fs.WriteFile("k", Bytes("v"));
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+TEST(PrestoS3FileSystemTest, MultipartUploadForLargeObjects) {
+  SimulatedClock clock;
+  S3ObjectStore s3(&clock);
+  PrestoS3Options options;
+  options.multipart_threshold = 1024;
+  options.part_size = 512;
+  PrestoS3FileSystem fs(&s3, &clock, options);
+  std::vector<uint8_t> big(3000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i % 251);
+  ASSERT_TRUE(fs.WriteFile("big-object", big).ok());
+  EXPECT_EQ(fs.metrics().Get("s3fs.multipart_uploads"), 1);
+  EXPECT_EQ(s3.metrics().Get("s3.upload_part"), 6);  // ceil(3000/512)
+  auto back = fs.OpenForRead("big-object");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->ReadAll().value(), big);
+}
+
+}  // namespace
+}  // namespace presto

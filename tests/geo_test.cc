@@ -1,0 +1,301 @@
+// Tests for the geospatial plugin: WKT, point-in-polygon, QuadTree,
+// GeoIndex, and the registered st_point/st_contains/geo_contains/
+// build_geo_index functions.
+
+#include <gtest/gtest.h>
+
+#include "presto/common/random.h"
+#include "presto/expr/evaluator.h"
+#include "presto/geo/geo_functions.h"
+#include "presto/geo/geo_index.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace geo {
+namespace {
+
+// Square polygon WKT centered at (cx, cy) with half-width h.
+std::string SquareWkt(double cx, double cy, double h) {
+  auto num = [](double v) { return std::to_string(v); };
+  return "POLYGON ((" + num(cx - h) + " " + num(cy - h) + ", " + num(cx + h) +
+         " " + num(cy - h) + ", " + num(cx + h) + " " + num(cy + h) + ", " +
+         num(cx - h) + " " + num(cy + h) + ", " + num(cx - h) + " " +
+         num(cy - h) + "))";
+}
+
+TEST(WktTest, ParsePointAndRoundTrip) {
+  auto g = ParseWkt("POINT (77.3548351 28.6973627)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->kind, Geometry::Kind::kPoint);
+  EXPECT_DOUBLE_EQ(g->point.x, 77.3548351);
+  EXPECT_DOUBLE_EQ(g->point.y, 28.6973627);
+  auto round = ParseWkt(ToWkt(*g));
+  ASSERT_TRUE(round.ok());
+  EXPECT_DOUBLE_EQ(round->point.x, g->point.x);
+}
+
+TEST(WktTest, ParsePaperPolygon) {
+  // The polygon example from Section VI.A.
+  auto g = ParseWkt(
+      "POLYGON ((36.814155579 -1.3174386070000002, "
+      "36.814863682 -1.317545867, 36.814863682 -1.318221605, "
+      "36.813973188 -1.317910551, 36.814155579 -1.3174386070000002))");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->kind, Geometry::Kind::kPolygon);
+  EXPECT_EQ(g->polygons[0].rings[0].size(), 4u);  // closing point dropped
+}
+
+TEST(WktTest, ParseMultiPolygon) {
+  std::string wkt = "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), "
+                    "((10 10, 12 10, 12 12, 10 12, 10 10)))";
+  auto g = ParseWkt(wkt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->kind, Geometry::Kind::kMultiPolygon);
+  EXPECT_EQ(g->polygons.size(), 2u);
+  EXPECT_TRUE(GeometryContains(*g, GeoPoint{1, 1}));
+  EXPECT_TRUE(GeometryContains(*g, GeoPoint{11, 11}));
+  EXPECT_FALSE(GeometryContains(*g, GeoPoint{5, 5}));
+}
+
+TEST(WktTest, ParseErrors) {
+  EXPECT_FALSE(ParseWkt("CIRCLE (0 0)").ok());
+  EXPECT_FALSE(ParseWkt("POINT 1 2").ok());
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0, 0 0))").ok());   // too few points
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0, 1 1, 2 2))").ok());  // not closed
+}
+
+TEST(GeometryTest, PointInPolygonEdgeCases) {
+  auto square = ParseWkt(SquareWkt(0, 0, 1));
+  ASSERT_TRUE(square.ok());
+  EXPECT_TRUE(GeometryContains(*square, GeoPoint{0, 0}));
+  EXPECT_TRUE(GeometryContains(*square, GeoPoint{0.999, -0.999}));
+  EXPECT_FALSE(GeometryContains(*square, GeoPoint{1.001, 0}));
+  // Boundary counts as inside.
+  EXPECT_TRUE(GeometryContains(*square, GeoPoint{1, 0}));
+  EXPECT_TRUE(GeometryContains(*square, GeoPoint{1, 1}));
+}
+
+TEST(GeometryTest, PolygonWithHole) {
+  Geometry g;
+  g.kind = Geometry::Kind::kPolygon;
+  Polygon poly;
+  poly.rings.push_back({{0, 0}, {10, 0}, {10, 10}, {0, 10}});      // shell
+  poly.rings.push_back({{4, 4}, {6, 4}, {6, 6}, {4, 6}});          // hole
+  g.polygons.push_back(poly);
+  EXPECT_TRUE(GeometryContains(g, GeoPoint{2, 2}));
+  EXPECT_FALSE(GeometryContains(g, GeoPoint{5, 5})) << "inside the hole";
+}
+
+TEST(GeometryTest, ConcavePolygon) {
+  // L-shaped (concave) polygon.
+  Geometry g;
+  g.kind = Geometry::Kind::kPolygon;
+  Polygon poly;
+  poly.rings.push_back({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  g.polygons.push_back(poly);
+  EXPECT_TRUE(GeometryContains(g, GeoPoint{1, 3}));
+  EXPECT_TRUE(GeometryContains(g, GeoPoint{3, 1}));
+  EXPECT_FALSE(GeometryContains(g, GeoPoint{3, 3})) << "in the notch";
+}
+
+TEST(QuadTreeTest, InsertAndPointQuery) {
+  // Paper Figure 11: a 4x4 indexed square space.
+  QuadTree tree(BoundingBox{0, 0, 4, 4}, /*max_items_per_node=*/2);
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      tree.Insert(x * 4 + y, BoundingBox{static_cast<double>(x),
+                                         static_cast<double>(y), x + 1.0, y + 1.0});
+    }
+  }
+  EXPECT_EQ(tree.num_items(), 16u);
+  EXPECT_GT(tree.num_nodes(), 1u);
+  std::vector<int32_t> hits;
+  tree.Query(GeoPoint{2.5, 3.5}, &hits);
+  ASSERT_FALSE(hits.empty());
+  for (int32_t id : hits) {
+    int x = id / 4, y = id % 4;
+    EXPECT_TRUE(2.5 >= x && 2.5 <= x + 1 && 3.5 >= y && 3.5 <= y + 1);
+  }
+}
+
+TEST(QuadTreeTest, QueryFiltersMajorityOfBoxes) {
+  Random rng(5);
+  QuadTree tree(BoundingBox{0, 0, 100, 100});
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble() * 98;
+    double y = rng.NextDouble() * 98;
+    tree.Insert(i, BoundingBox{x, y, x + 1, y + 1});
+  }
+  std::vector<int32_t> hits;
+  tree.Query(GeoPoint{50, 50}, &hits);
+  EXPECT_LT(hits.size(), 100u)
+      << "quadtree must filter out the majority of bounded rectangles";
+}
+
+TEST(QuadTreeTest, SerializationRoundTrip) {
+  QuadTree tree(BoundingBox{0, 0, 10, 10}, 2);
+  for (int i = 0; i < 20; ++i) {
+    double v = i * 0.45;
+    tree.Insert(i, BoundingBox{v, v, v + 0.5, v + 0.5});
+  }
+  ByteBuffer buf;
+  tree.Serialize(&buf);
+  ByteReader reader(buf.bytes());
+  auto back = QuadTree::Deserialize(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_items(), tree.num_items());
+  EXPECT_EQ(back->num_nodes(), tree.num_nodes());
+  std::vector<int32_t> a, b;
+  tree.Query(GeoPoint{4.6, 4.6}, &a);
+  back->Query(GeoPoint{4.6, 4.6}, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeoIndexTest, FindContainingMatchesBruteForce) {
+  Random rng(7);
+  std::vector<std::pair<int64_t, std::string>> shapes;
+  for (int64_t i = 0; i < 200; ++i) {
+    shapes.emplace_back(i, SquareWkt(rng.NextDouble() * 100,
+                                     rng.NextDouble() * 100,
+                                     0.5 + rng.NextDouble()));
+  }
+  auto index = GeoIndex::Build(shapes);
+  ASSERT_TRUE(index.ok());
+  for (int probe = 0; probe < 200; ++probe) {
+    GeoPoint p{rng.NextDouble() * 100, rng.NextDouble() * 100};
+    auto fast = index->FindContaining(p);
+    auto brute = index->FindContainingBruteForce(p);
+    std::sort(fast.begin(), fast.end());
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(fast, brute);
+  }
+}
+
+TEST(GeoIndexTest, QuadTreeDoesFarFewerContainsChecks) {
+  Random rng(8);
+  std::vector<std::pair<int64_t, std::string>> shapes;
+  for (int64_t i = 0; i < 500; ++i) {
+    shapes.emplace_back(i, SquareWkt(rng.NextDouble() * 1000,
+                                     rng.NextDouble() * 1000, 1.0));
+  }
+  auto index = GeoIndex::Build(shapes);
+  ASSERT_TRUE(index.ok());
+  GeoPoint p{500, 500};
+  (void)index->FindContaining(p);
+  int64_t fast_checks = index->contains_checks();
+  (void)index->FindContainingBruteForce(p);
+  int64_t brute_checks = index->contains_checks() - fast_checks;
+  EXPECT_LT(fast_checks * 20, brute_checks)
+      << "QuadTree should prune >95% of st_contains calls on sparse shapes";
+}
+
+TEST(GeoIndexTest, SerializationRoundTrip) {
+  std::vector<std::pair<int64_t, std::string>> shapes = {
+      {12, SquareWkt(10, 10, 2)}, {34, SquareWkt(50, 50, 3)}};
+  auto index = GeoIndex::Build(shapes);
+  ASSERT_TRUE(index.ok());
+  auto back = GeoIndex::Deserialize(index->Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_shapes(), 2u);
+  auto hits = back->FindContaining(GeoPoint{50, 51});
+  EXPECT_EQ(hits, std::vector<int64_t>{34});
+}
+
+class GeoFunctionsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Registering twice across test binaries is fine: AlreadyExists ignored.
+    (void)RegisterGeoFunctions(&FunctionRegistry::Default());
+  }
+};
+
+TEST_F(GeoFunctionsTest, StPointAndStContains) {
+  auto& registry = FunctionRegistry::Default();
+  Page page({MakeDoubleVector({1.0, 20.0}), MakeDoubleVector({1.0, 20.0}),
+             MakeVarcharVector({SquareWkt(0, 0, 2), SquareWkt(0, 0, 2)})});
+  std::map<std::string, int> layout{{"lng", 0}, {"lat", 1}, {"shape", 2}};
+
+  auto st_point = registry.ResolveScalar("st_point", {Type::Double(), Type::Double()});
+  ASSERT_TRUE(st_point.ok());
+  ExprPtr point_expr = CallExpression::Make(
+      *st_point, {VariableReferenceExpression::Make("lng", Type::Double()),
+                  VariableReferenceExpression::Make("lat", Type::Double())});
+  auto st_contains =
+      registry.ResolveScalar("st_contains", {Type::Varchar(), Type::Varchar()});
+  ASSERT_TRUE(st_contains.ok());
+  ExprPtr contains_expr = CallExpression::Make(
+      *st_contains,
+      {VariableReferenceExpression::Make("shape", Type::Varchar()), point_expr});
+  auto result = Evaluator::EvalExpression(*contains_expr, page, layout);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->GetValue(0), Value::Bool(true));
+  EXPECT_EQ((*result)->GetValue(1), Value::Bool(false));
+}
+
+TEST_F(GeoFunctionsTest, BuildGeoIndexAggregateAndGeoContains) {
+  auto& registry = FunctionRegistry::Default();
+  auto agg_handle =
+      registry.ResolveAggregate("build_geo_index", {Type::Bigint(), Type::Varchar()});
+  ASSERT_TRUE(agg_handle.ok());
+  auto agg = registry.FindAggregate(*agg_handle);
+  ASSERT_TRUE(agg.ok());
+
+  auto acc = (*agg)->factory();
+  VectorPtr ids = MakeBigintVector({12, 34});
+  VectorPtr shapes = MakeVarcharVector({SquareWkt(10, 10, 2), SquareWkt(50, 50, 2)});
+  for (size_t r = 0; r < 2; ++r) acc->Add({ids, shapes}, r);
+  Value index_value = acc->Final();
+  ASSERT_TRUE(index_value.is_string());
+
+  Page page({MakeVarcharVector({index_value.string_value(),
+                                index_value.string_value()}),
+             MakeVarcharVector({PointWkt(10.5, 10.5), PointWkt(99, 99)})});
+  std::map<std::string, int> layout{{"idx", 0}, {"pt", 1}};
+  auto handle =
+      registry.ResolveScalar("geo_contains", {Type::Varchar(), Type::Varchar()});
+  ASSERT_TRUE(handle.ok());
+  ExprPtr expr = CallExpression::Make(
+      *handle, {VariableReferenceExpression::Make("idx", Type::Varchar()),
+                VariableReferenceExpression::Make("pt", Type::Varchar())});
+  auto result = Evaluator::EvalExpression(*expr, page, layout);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->GetValue(0), Value::Int(12));
+  EXPECT_TRUE((*result)->IsNull(1));
+}
+
+TEST_F(GeoFunctionsTest, PartialFinalMergePreservesShapes) {
+  auto& registry = FunctionRegistry::Default();
+  auto handle =
+      registry.ResolveAggregate("build_geo_index", {Type::Bigint(), Type::Varchar()});
+  ASSERT_TRUE(handle.ok());
+  auto agg = registry.FindAggregate(*handle);
+  ASSERT_TRUE(agg.ok());
+  auto partial1 = (*agg)->factory();
+  auto partial2 = (*agg)->factory();
+  VectorPtr ids1 = MakeBigintVector({1});
+  VectorPtr shapes1 = MakeVarcharVector({SquareWkt(0, 0, 1)});
+  VectorPtr ids2 = MakeBigintVector({2});
+  VectorPtr shapes2 = MakeVarcharVector({SquareWkt(10, 10, 1)});
+  partial1->Add({ids1, shapes1}, 0);
+  partial2->Add({ids2, shapes2}, 0);
+  auto final_acc = (*agg)->factory();
+  final_acc->MergeIntermediate(partial1->Intermediate());
+  final_acc->MergeIntermediate(partial2->Intermediate());
+  // The final value is a registry token; the intermediate is fully
+  // serialized (it must survive an exchange).
+  Value token = final_acc->Final();
+  ASSERT_TRUE(token.is_string());
+  EXPECT_EQ(token.string_value().rfind("geoidx:", 0), 0u);
+  auto index = GetOrParseGeoIndex(token.string_value());
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_shapes(), 2u);
+  EXPECT_EQ(index->FindContaining(GeoPoint{10, 10}), std::vector<int64_t>{2});
+  auto from_intermediate =
+      GeoIndex::Deserialize(partial1->Intermediate().string_value());
+  ASSERT_TRUE(from_intermediate.ok());
+  EXPECT_EQ(from_intermediate->num_shapes(), 1u);
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace presto

@@ -1,0 +1,566 @@
+// Tests for the lakefile columnar format: shredding/assembly (rep/def
+// levels), native+legacy writers, native+legacy readers, predicate and
+// dictionary pushdown, lazy reads, stats, and compression.
+
+#include <gtest/gtest.h>
+
+#include "presto/common/random.h"
+#include "presto/fs/memory_file_system.h"
+#include "presto/lakefile/reader.h"
+#include "presto/lakefile/writer.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace lakefile {
+namespace {
+
+std::shared_ptr<RandomAccessFile> AsFile(const std::vector<uint8_t>& bytes) {
+  static MemoryFileSystem& fs = *new MemoryFileSystem();
+  static int counter = 0;
+  std::string path = "test/file" + std::to_string(counter++);
+  EXPECT_TRUE(fs.WriteFile(path, bytes).ok());
+  auto file = fs.OpenForRead(path);
+  EXPECT_TRUE(file.ok());
+  return *file;
+}
+
+void ExpectPagesEqual(const Page& a, const Page& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_TRUE(a.column(c)->GetValue(r).Equals(b.column(c)->GetValue(r)))
+          << "row " << r << " col " << c << ": "
+          << a.column(c)->GetValue(r).ToString() << " vs "
+          << b.column(c)->GetValue(r).ToString();
+    }
+  }
+}
+
+// Reads everything through the native reader with given options.
+Page ReadAll(const std::vector<uint8_t>& bytes, const ScanSpec& spec,
+             ReaderOptions options = ReaderOptions()) {
+  auto reader = NativeLakeFileReader::Open(AsFile(bytes), options);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  std::vector<Page> pages;
+  while (true) {
+    auto batch = (*reader)->NextBatch(spec);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    if (!batch->has_value()) break;
+    pages.push_back(std::move(**batch));
+  }
+  // Concatenate via builders (test-only convenience).
+  if (pages.empty()) return Page();
+  std::vector<VectorBuilder> builders;
+  for (size_t c = 0; c < pages[0].num_columns(); ++c) {
+    builders.emplace_back(pages[0].column(c)->type());
+  }
+  size_t rows = 0;
+  for (const Page& p : pages) {
+    rows += p.num_rows();
+    for (size_t c = 0; c < p.num_columns(); ++c) {
+      for (size_t r = 0; r < p.num_rows(); ++r) {
+        EXPECT_TRUE(builders[c].Append(p.column(c)->GetValue(r)).ok());
+      }
+    }
+  }
+  std::vector<VectorPtr> columns;
+  for (auto& b : builders) columns.push_back(b.Build());
+  return Page(std::move(columns), rows);
+}
+
+TEST(ShredTest, LeafEnumeration) {
+  TypePtr schema = Type::Row(
+      {"id", "base", "tags", "metrics"},
+      {Type::Bigint(),
+       Type::Row({"driver_uuid", "city"},
+                 {Type::Varchar(), Type::Row({"city_id"}, {Type::Bigint()})}),
+       Type::Array(Type::Varchar()),
+       Type::Map(Type::Varchar(), Type::Double())});
+  auto leaves = EnumerateLeaves(*schema);
+  ASSERT_TRUE(leaves.ok());
+  ASSERT_EQ(leaves->size(), 6u);
+  EXPECT_EQ((*leaves)[0].path, "id");
+  EXPECT_EQ((*leaves)[0].max_def, 1);
+  EXPECT_EQ((*leaves)[1].path, "base.driver_uuid");
+  EXPECT_EQ((*leaves)[1].max_def, 2);
+  EXPECT_EQ((*leaves)[2].path, "base.city.city_id");
+  EXPECT_EQ((*leaves)[2].max_def, 3);
+  EXPECT_EQ((*leaves)[3].path, "tags.element");
+  EXPECT_EQ((*leaves)[3].max_def, 3);
+  EXPECT_EQ((*leaves)[3].max_rep, 1);
+  EXPECT_EQ((*leaves)[4].path, "metrics.key");
+  EXPECT_EQ((*leaves)[5].path, "metrics.value");
+}
+
+TEST(ShredTest, NestedRepetitionRejected) {
+  TypePtr schema = Type::Row({"a"}, {Type::Array(Type::Array(Type::Bigint()))});
+  EXPECT_EQ(EnumerateLeaves(*schema).status().code(), StatusCode::kUnimplemented);
+}
+
+Page MakeTrickyPage() {
+  TypePtr base_type = Type::Row(
+      {"driver_uuid", "city_id"}, {Type::Varchar(), Type::Bigint()});
+  TypePtr schema_cols[] = {Type::Bigint(), base_type,
+                           Type::Array(Type::Bigint()),
+                           Type::Map(Type::Varchar(), Type::Double())};
+  (void)schema_cols;
+  VectorBuilder id(Type::Bigint());
+  VectorBuilder base(base_type);
+  VectorBuilder tags(Type::Array(Type::Bigint()));
+  VectorBuilder metrics(Type::Map(Type::Varchar(), Type::Double()));
+
+  // Row 0: everything present.
+  id.AppendBigint(1);
+  EXPECT_TRUE(base.Append(Value::Row({Value::String("d1"), Value::Int(12)})).ok());
+  EXPECT_TRUE(tags.Append(Value::Array({Value::Int(7), Value::Int(8)})).ok());
+  EXPECT_TRUE(metrics.Append(Value::Map({{Value::String("k"), Value::Double(1.5)}})).ok());
+  // Row 1: null struct, empty array, null map.
+  id.AppendNull();
+  base.AppendNull();
+  EXPECT_TRUE(tags.Append(Value::Array({})).ok());
+  metrics.AppendNull();
+  // Row 2: struct with null field, null array, empty map.
+  id.AppendBigint(3);
+  EXPECT_TRUE(base.Append(Value::Row({Value::Null(), Value::Int(9)})).ok());
+  tags.AppendNull();
+  EXPECT_TRUE(metrics.Append(Value::Map({})).ok());
+  // Row 3: array with null element, map with null value.
+  id.AppendBigint(4);
+  EXPECT_TRUE(base.Append(Value::Row({Value::String("d4"), Value::Null()})).ok());
+  EXPECT_TRUE(tags.Append(Value::Array({Value::Null(), Value::Int(5)})).ok());
+  EXPECT_TRUE(metrics.Append(Value::Map({{Value::String("a"), Value::Null()},
+                                         {Value::String("b"), Value::Double(2.0)}})).ok());
+  return Page({id.Build(), base.Build(), tags.Build(), metrics.Build()});
+}
+
+TypePtr TrickySchema() {
+  return Type::Row({"id", "base", "tags", "metrics"},
+                   {Type::Bigint(),
+                    Type::Row({"driver_uuid", "city_id"},
+                              {Type::Varchar(), Type::Bigint()}),
+                    Type::Array(Type::Bigint()),
+                    Type::Map(Type::Varchar(), Type::Double())});
+}
+
+TEST(LakeFileTest, NativeRoundTripTrickyShapes) {
+  Page page = MakeTrickyPage();
+  auto bytes = WriteLakeFile(TrickySchema(), {page});
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  ScanSpec spec;
+  spec.columns = {"id", "base", "tags", "metrics"};
+  Page back = ReadAll(*bytes, spec);
+  ExpectPagesEqual(page, back);
+}
+
+TEST(LakeFileTest, LegacyWriterProducesIdenticalBytes) {
+  Page page = MakeTrickyPage();
+  auto native = WriteLakeFile(TrickySchema(), {page}, WriterOptions(),
+                              WriterMode::kNative);
+  auto legacy = WriteLakeFile(TrickySchema(), {page}, WriterOptions(),
+                              WriterMode::kLegacy);
+  ASSERT_TRUE(native.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*native, *legacy)
+      << "both writers must produce byte-identical files";
+}
+
+TEST(LakeFileTest, LegacyReaderMatchesNativeReader) {
+  Page page = MakeTrickyPage();
+  auto bytes = WriteLakeFile(TrickySchema(), {page});
+  ASSERT_TRUE(bytes.ok());
+  auto legacy = LegacyLakeFileReader::Open(AsFile(*bytes));
+  ASSERT_TRUE(legacy.ok());
+  auto batch = (*legacy)->NextBatch({"id", "base", "tags", "metrics"});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(batch->has_value());
+  ExpectPagesEqual(page, **batch);
+}
+
+TEST(LakeFileTest, DeepNestingRoundTrip) {
+  // 5 levels of struct nesting, as in the paper's production schemas.
+  TypePtr l5 = Type::Row({"v"}, {Type::Bigint()});
+  TypePtr l4 = Type::Row({"e", "x"}, {l5, Type::Varchar()});
+  TypePtr l3 = Type::Row({"d"}, {l4});
+  TypePtr l2 = Type::Row({"c"}, {l3});
+  TypePtr schema = Type::Row({"a"}, {Type::Row({"b"}, {l2})});
+
+  VectorBuilder b(schema->child(0));
+  EXPECT_TRUE(b.Append(Value::Row({Value::Row({Value::Row({Value::Row(
+                  {Value::Row({Value::Int(42)}), Value::String("s")})})})}))
+                  .ok());
+  b.AppendNull();
+  EXPECT_TRUE(b.Append(Value::Row({Value::Row({Value::Row({Value::Row(
+                  {Value::Null(), Value::String("t")})})})}))
+                  .ok());
+  Page page({b.Build()});
+  auto bytes = WriteLakeFile(schema, {page});
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  ScanSpec spec;
+  spec.columns = {"a"};
+  Page back = ReadAll(*bytes, spec);
+  ExpectPagesEqual(page, back);
+}
+
+class LakeFileCompression : public ::testing::TestWithParam<CompressionKind> {};
+
+TEST_P(LakeFileCompression, RoundTrip) {
+  Page page = MakeTrickyPage();
+  WriterOptions options;
+  options.compression = GetParam();
+  auto bytes = WriteLakeFile(TrickySchema(), {page}, options);
+  ASSERT_TRUE(bytes.ok());
+  ScanSpec spec;
+  spec.columns = {"id", "base", "tags", "metrics"};
+  Page back = ReadAll(*bytes, spec);
+  ExpectPagesEqual(page, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, LakeFileCompression,
+                         ::testing::Values(CompressionKind::kNone,
+                                           CompressionKind::kSnappy,
+                                           CompressionKind::kGzip),
+                         [](const auto& info) {
+                           return CompressionKindToString(info.param);
+                         });
+
+// Builds an Uber-style trips page: nested base struct with city_id values.
+Page MakeTripsPage(int64_t start, size_t n, int64_t city_mod) {
+  TypePtr base_type = Type::Row({"driver_uuid", "city_id", "status"},
+                                {Type::Varchar(), Type::Bigint(), Type::Varchar()});
+  VectorBuilder id(Type::Bigint());
+  VectorBuilder base(base_type);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t v = start + static_cast<int64_t>(i);
+    id.AppendBigint(v);
+    EXPECT_TRUE(base.Append(Value::Row({Value::String("driver-" + std::to_string(v)),
+                                        Value::Int(v % city_mod),
+                                        Value::String(v % 2 == 0 ? "done" : "open")}))
+                    .ok());
+  }
+  return Page({id.Build(), base.Build()});
+}
+
+TypePtr TripsSchema() {
+  return Type::Row({"id", "base"},
+                   {Type::Bigint(),
+                    Type::Row({"driver_uuid", "city_id", "status"},
+                              {Type::Varchar(), Type::Bigint(), Type::Varchar()})});
+}
+
+TEST(LakeFileTest, NestedColumnPruningShapesOutput) {
+  Page page = MakeTripsPage(0, 100, 10);
+  auto bytes = WriteLakeFile(TripsSchema(), {page});
+  ASSERT_TRUE(bytes.ok());
+  ScanSpec spec;
+  spec.columns = {"base"};
+  spec.required_leaves = {"base.city_id"};
+  auto reader = NativeLakeFileReader::Open(AsFile(*bytes), ReaderOptions());
+  ASSERT_TRUE(reader.ok());
+  auto type = (*reader)->OutputColumnType(spec, "base");
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ((*type)->ToString(), "ROW(city_id BIGINT)");
+
+  auto batch = (*reader)->NextBatch(spec);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(batch->has_value());
+  EXPECT_EQ((*batch)->column(0)->type()->ToString(), "ROW(city_id BIGINT)");
+  EXPECT_EQ((*batch)->column(0)->GetValue(7), Value::Row({Value::Int(7)}));
+  // Pruning reads only the required leaf: 1 chunk instead of 3.
+  auto full_reader = NativeLakeFileReader::Open(AsFile(*bytes), ReaderOptions());
+  ASSERT_TRUE(full_reader.ok());
+  ScanSpec full_spec;
+  full_spec.columns = {"base"};
+  ASSERT_TRUE((*full_reader)->NextBatch(full_spec).ok());
+  EXPECT_LT((*reader)->stats().bytes_read, (*full_reader)->stats().bytes_read);
+}
+
+TEST(LakeFileTest, PredicatePushdownSkipsRowGroups) {
+  // 10 row groups of 100 rows; id is monotonically increasing, so an
+  // equality predicate matches exactly one group.
+  WriterOptions options;
+  options.row_group_rows = 100;
+  auto writer = LakeFileWriter::Create(TripsSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  for (int g = 0; g < 10; ++g) {
+    ASSERT_TRUE((*writer)->Append(MakeTripsPage(g * 100, 100, 1000)).ok());
+  }
+  auto bytes = (*writer)->Finish();
+  ASSERT_TRUE(bytes.ok());
+
+  ScanSpec spec;
+  spec.columns = {"id"};
+  spec.predicates = {{"id", LeafPredicate::Op::kEq, {Value::Int(555)}}};
+  auto reader = NativeLakeFileReader::Open(AsFile(*bytes), ReaderOptions());
+  ASSERT_TRUE(reader.ok());
+  std::vector<int64_t> matched;
+  while (true) {
+    auto batch = (*reader)->NextBatch(spec);
+    ASSERT_TRUE(batch.ok());
+    if (!batch->has_value()) break;
+    for (size_t r = 0; r < (*batch)->num_rows(); ++r) {
+      matched.push_back((*batch)->column(0)->GetValue(r).int_value());
+    }
+  }
+  EXPECT_EQ(matched, std::vector<int64_t>{555});
+  EXPECT_EQ((*reader)->stats().row_groups_skipped_stats, 9);
+  EXPECT_EQ((*reader)->stats().row_groups_scanned, 1);
+
+  // Without pushdown all groups are scanned but results are identical.
+  ReaderOptions no_push;
+  no_push.predicate_pushdown = false;
+  no_push.dictionary_pushdown = false;
+  auto slow = NativeLakeFileReader::Open(AsFile(*bytes), no_push);
+  ASSERT_TRUE(slow.ok());
+  std::vector<int64_t> matched_slow;
+  while (true) {
+    auto batch = (*slow)->NextBatch(spec);
+    ASSERT_TRUE(batch.ok());
+    if (!batch->has_value()) break;
+    for (size_t r = 0; r < (*batch)->num_rows(); ++r) {
+      matched_slow.push_back((*batch)->column(0)->GetValue(r).int_value());
+    }
+  }
+  EXPECT_EQ(matched_slow, matched);
+  EXPECT_EQ((*slow)->stats().row_groups_scanned, 10);
+}
+
+TEST(LakeFileTest, RangePredicates) {
+  WriterOptions options;
+  options.row_group_rows = 50;
+  auto writer = LakeFileWriter::Create(TripsSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(MakeTripsPage(0, 200, 1000)).ok());
+  auto bytes = (*writer)->Finish();
+  ASSERT_TRUE(bytes.ok());
+
+  ScanSpec spec;
+  spec.columns = {"id"};
+  spec.predicates = {{"id", LeafPredicate::Op::kGe, {Value::Int(60)}},
+                     {"id", LeafPredicate::Op::kLt, {Value::Int(70)}}};
+  Page out = ReadAll(*bytes, spec);
+  ASSERT_EQ(out.num_rows(), 10u);
+  EXPECT_EQ(out.column(0)->GetValue(0), Value::Int(60));
+  EXPECT_EQ(out.column(0)->GetValue(9), Value::Int(69));
+}
+
+TEST(LakeFileTest, DictionaryPushdownSkipsViaDictionary) {
+  // Status column has few distinct values -> dictionary encoded. Stats
+  // (min/max strings) cannot exclude "zzz-absent" lexicographically if it
+  // falls in range, but the dictionary can.
+  TypePtr schema = Type::Row({"status"}, {Type::Varchar()});
+  VectorBuilder b(Type::Varchar());
+  for (int i = 0; i < 1000; ++i) {
+    b.AppendString(i % 2 == 0 ? "aaa" : "zzz");
+  }
+  auto bytes = WriteLakeFile(schema, {Page({b.Build()})});
+  ASSERT_TRUE(bytes.ok());
+
+  ScanSpec spec;
+  spec.columns = {"status"};
+  spec.predicates = {{"status", LeafPredicate::Op::kEq, {Value::String("mmm")}}};
+  auto reader = NativeLakeFileReader::Open(AsFile(*bytes), ReaderOptions());
+  ASSERT_TRUE(reader.ok());
+  auto batch = (*reader)->NextBatch(spec);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->has_value());
+  EXPECT_EQ((*reader)->stats().row_groups_skipped_dictionary, 1);
+  EXPECT_EQ((*reader)->stats().row_groups_scanned, 0);
+}
+
+TEST(LakeFileTest, LazyReadsDecodeOnlyMatchingRows) {
+  Page page = MakeTripsPage(0, 1000, 100);  // city_id = id % 100
+  auto bytes = WriteLakeFile(TripsSchema(), {page});
+  ASSERT_TRUE(bytes.ok());
+
+  ScanSpec spec;
+  spec.columns = {"base"};
+  spec.required_leaves = {"base.driver_uuid", "base.city_id"};
+  spec.predicates = {{"base.city_id", LeafPredicate::Op::kEq, {Value::Int(12)}}};
+
+  ReaderOptions lazy_on;
+  auto lazy = NativeLakeFileReader::Open(AsFile(*bytes), lazy_on);
+  ASSERT_TRUE(lazy.ok());
+  auto batch = (*lazy)->NextBatch(spec);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(batch->has_value());
+  EXPECT_EQ((*batch)->num_rows(), 10u);
+  // Verify values: each matching row has city_id 12 and the right driver.
+  for (size_t r = 0; r < 10; ++r) {
+    Value row = (*batch)->column(0)->GetValue(r);
+    EXPECT_EQ(row.children()[1], Value::Int(12));
+    EXPECT_EQ(row.children()[0],
+              Value::String("driver-" + std::to_string(12 + 100 * r)));
+  }
+
+  ReaderOptions lazy_off = lazy_on;
+  lazy_off.lazy_reads = false;
+  auto eager = NativeLakeFileReader::Open(AsFile(*bytes), lazy_off);
+  ASSERT_TRUE(eager.ok());
+  auto batch2 = (*eager)->NextBatch(spec);
+  ASSERT_TRUE(batch2.ok());
+  ExpectPagesEqual(**batch, **batch2);
+  EXPECT_LT((*lazy)->stats().values_decoded, (*eager)->stats().values_decoded)
+      << "lazy reads must decode fewer values";
+}
+
+TEST(LakeFileTest, VectorizedAndScalarDecodeAgree) {
+  Page page = MakeTripsPage(0, 500, 13);
+  auto bytes = WriteLakeFile(TripsSchema(), {page});
+  ASSERT_TRUE(bytes.ok());
+  ScanSpec spec;
+  spec.columns = {"id", "base"};
+  ReaderOptions vec;
+  ReaderOptions scalar;
+  scalar.vectorized = false;
+  Page a = ReadAll(*bytes, spec, vec);
+  Page b = ReadAll(*bytes, spec, scalar);
+  ExpectPagesEqual(a, b);
+}
+
+TEST(LakeFileTest, FooterStats) {
+  Page page = MakeTripsPage(100, 50, 7);
+  auto bytes = WriteLakeFile(TripsSchema(), {page});
+  ASSERT_TRUE(bytes.ok());
+  auto file = AsFile(*bytes);
+  auto footer = ReadFooter(file.get());
+  ASSERT_TRUE(footer.ok());
+  EXPECT_EQ(footer->num_rows, 50u);
+  ASSERT_EQ(footer->row_groups.size(), 1u);
+  const auto& columns = footer->row_groups[0].columns;
+  ASSERT_EQ(columns.size(), 4u);  // id, driver_uuid, city_id, status
+  EXPECT_EQ(columns[0].leaf_path, "id");
+  ASSERT_TRUE(columns[0].has_stats);
+  EXPECT_EQ(columns[0].min, Value::Int(100));
+  EXPECT_EQ(columns[0].max, Value::Int(149));
+  EXPECT_EQ(columns[2].leaf_path, "base.city_id");
+  EXPECT_EQ(columns[2].min, Value::Int(0));
+  EXPECT_EQ(columns[2].max, Value::Int(6));
+}
+
+TEST(LakeFileTest, MultipleRowGroupBoundaries) {
+  WriterOptions options;
+  options.row_group_rows = 30;
+  auto writer = LakeFileWriter::Create(TripsSchema(), options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(MakeTripsPage(0, 100, 10)).ok());
+  auto bytes = (*writer)->Finish();
+  ASSERT_TRUE(bytes.ok());
+  auto file = AsFile(*bytes);
+  auto footer = ReadFooter(file.get());
+  ASSERT_TRUE(footer.ok());
+  EXPECT_EQ(footer->num_rows, 100u);
+  ASSERT_EQ(footer->row_groups.size(), 4u);  // 30 + 30 + 30 + 10
+  EXPECT_EQ(footer->row_groups[0].num_rows, 30u);
+  EXPECT_EQ(footer->row_groups[3].num_rows, 10u);
+  ScanSpec spec;
+  spec.columns = {"id"};
+  Page all = ReadAll(*bytes, spec);
+  EXPECT_EQ(all.num_rows(), 100u);
+  EXPECT_EQ(all.column(0)->GetValue(99), Value::Int(99));
+}
+
+TEST(LakeFileTest, CorruptFileRejected) {
+  Page page = MakeTripsPage(0, 10, 3);
+  auto bytes = WriteLakeFile(TripsSchema(), {page});
+  ASSERT_TRUE(bytes.ok());
+  // Corrupt the tail magic (what the random-access footer read validates).
+  std::vector<uint8_t> bad = *bytes;
+  bad[bad.size() - 1] = 'X';
+  auto file = AsFile(bad);
+  EXPECT_FALSE(ReadFooter(file.get()).ok());
+  // A corrupt head magic is caught by the whole-file parse.
+  std::vector<uint8_t> bad_head = *bytes;
+  bad_head[0] = 'X';
+  EXPECT_FALSE(ReadFooterFromFile(bad_head.data(), bad_head.size()).ok());
+  // Truncated file.
+  std::vector<uint8_t> truncated(bytes->begin(), bytes->begin() + 10);
+  auto file2 = AsFile(truncated);
+  EXPECT_FALSE(ReadFooter(file2.get()).ok());
+}
+
+TEST(LakeFileTest, MissingColumnRejected) {
+  Page page = MakeTripsPage(0, 10, 3);
+  auto bytes = WriteLakeFile(TripsSchema(), {page});
+  ASSERT_TRUE(bytes.ok());
+  ScanSpec spec;
+  spec.columns = {"does_not_exist"};
+  auto reader = NativeLakeFileReader::Open(AsFile(*bytes), ReaderOptions());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->NextBatch(spec).status().code(), StatusCode::kNotFound);
+}
+
+TEST(LakeFileTest, RandomizedRoundTripProperty) {
+  // Property sweep: random pages with nulls/arrays/maps survive the
+  // write->read round trip bit-exactly under both writers and readers.
+  Random rng(99);
+  TypePtr schema = TrickySchema();
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    VectorBuilder id(Type::Bigint());
+    VectorBuilder base(schema->child(1));
+    VectorBuilder tags(schema->child(2));
+    VectorBuilder metrics(schema->child(3));
+    size_t n = 50 + rng.NextBelow(100);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(0.1)) {
+        id.AppendNull();
+      } else {
+        id.AppendBigint(rng.NextInRange(-1000, 1000));
+      }
+      if (rng.NextBool(0.2)) {
+        base.AppendNull();
+      } else {
+        Value driver = rng.NextBool(0.1) ? Value::Null()
+                                         : Value::String(rng.NextString(8));
+        Value city = rng.NextBool(0.1) ? Value::Null()
+                                       : Value::Int(rng.NextInRange(0, 50));
+        EXPECT_TRUE(base.Append(Value::Row({driver, city})).ok());
+      }
+      if (rng.NextBool(0.15)) {
+        tags.AppendNull();
+      } else {
+        Value::RowData elems;
+        size_t len = rng.NextBelow(4);
+        for (size_t e = 0; e < len; ++e) {
+          elems.push_back(rng.NextBool(0.1) ? Value::Null()
+                                            : Value::Int(rng.NextInRange(0, 9)));
+        }
+        EXPECT_TRUE(tags.Append(Value::Array(std::move(elems))).ok());
+      }
+      if (rng.NextBool(0.15)) {
+        metrics.AppendNull();
+      } else {
+        Value::MapData entries;
+        size_t len = rng.NextBelow(3);
+        for (size_t e = 0; e < len; ++e) {
+          entries.emplace_back(Value::String(rng.NextString(3)),
+                               rng.NextBool(0.2)
+                                   ? Value::Null()
+                                   : Value::Double(rng.NextDouble()));
+        }
+        EXPECT_TRUE(metrics.Append(Value::Map(std::move(entries))).ok());
+      }
+    }
+    Page page({id.Build(), base.Build(), tags.Build(), metrics.Build()});
+    auto native = WriteLakeFile(schema, {page}, WriterOptions(), WriterMode::kNative);
+    auto legacy = WriteLakeFile(schema, {page}, WriterOptions(), WriterMode::kLegacy);
+    ASSERT_TRUE(native.ok());
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_EQ(*native, *legacy);
+    ScanSpec spec;
+    spec.columns = {"id", "base", "tags", "metrics"};
+    Page back = ReadAll(*native, spec);
+    ExpectPagesEqual(page, back);
+    auto legacy_reader = LegacyLakeFileReader::Open(AsFile(*native));
+    ASSERT_TRUE(legacy_reader.ok());
+    auto legacy_batch =
+        (*legacy_reader)->NextBatch({"id", "base", "tags", "metrics"});
+    ASSERT_TRUE(legacy_batch.ok()) << legacy_batch.status().ToString();
+    ASSERT_TRUE(legacy_batch->has_value());
+    ExpectPagesEqual(page, **legacy_batch);
+  }
+}
+
+}  // namespace
+}  // namespace lakefile
+}  // namespace presto

@@ -1,0 +1,152 @@
+// Robustness/fuzz tests: randomly corrupted inputs must surface clean
+// Status errors (or valid alternate data), never crash or hang — the
+// exception-free Status discipline is only real if every decode path
+// bounds-checks.
+
+#include <gtest/gtest.h>
+
+#include "presto/common/compression.h"
+#include "presto/common/random.h"
+#include "presto/expr/serialization.h"
+#include "presto/fs/memory_file_system.h"
+#include "presto/lakefile/reader.h"
+#include "presto/lakefile/writer.h"
+#include "presto/sql/parser.h"
+#include "presto/tpch/workloads.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+std::shared_ptr<RandomAccessFile> AsFile(const std::vector<uint8_t>& bytes) {
+  static MemoryFileSystem& fs = *new MemoryFileSystem();
+  static int counter = 0;
+  std::string path = "fuzz/file" + std::to_string(counter++);
+  EXPECT_TRUE(fs.WriteFile(path, bytes).ok());
+  return *fs.OpenForRead(path);
+}
+
+// Reads everything from a possibly-corrupt lakefile; must never crash.
+void TryReadAll(const std::vector<uint8_t>& bytes) {
+  auto reader = lakefile::NativeLakeFileReader::Open(AsFile(bytes),
+                                                     lakefile::ReaderOptions());
+  if (!reader.ok()) return;  // clean rejection
+  lakefile::ScanSpec spec;
+  for (size_t c = 0; c < (*reader)->footer().schema->NumChildren(); ++c) {
+    spec.columns.push_back((*reader)->footer().schema->field_name(c));
+  }
+  for (int batches = 0; batches < 1000; ++batches) {
+    auto batch = (*reader)->NextBatch(spec);
+    if (!batch.ok() || !batch->has_value()) return;
+  }
+}
+
+TEST(LakeFileFuzzTest, SingleByteFlipsNeverCrash) {
+  workloads::TripsOptions options;
+  options.num_rows = 200;
+  Page page = workloads::GenerateTrips(options);
+  auto bytes = lakefile::WriteLakeFile(workloads::TripsType(), {page});
+  ASSERT_TRUE(bytes.ok());
+
+  Random rng(77);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> corrupted = *bytes;
+    size_t position = rng.NextBelow(corrupted.size());
+    corrupted[position] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    TryReadAll(corrupted);
+  }
+}
+
+TEST(LakeFileFuzzTest, TruncationsNeverCrash) {
+  VectorBuilder b(Type::Bigint());
+  for (int i = 0; i < 500; ++i) b.AppendBigint(i);
+  TypePtr schema = Type::Row({"x"}, {Type::Bigint()});
+  auto bytes = lakefile::WriteLakeFile(schema, {Page({b.Build()})});
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut = 0; cut < bytes->size(); cut += 7) {
+    std::vector<uint8_t> truncated(bytes->begin(), bytes->begin() + cut);
+    TryReadAll(truncated);
+  }
+}
+
+TEST(LakeFileFuzzTest, RandomGarbageRejected) {
+  Random rng(78);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<uint8_t> garbage(rng.NextBelow(4096));
+    for (auto& byte : garbage) byte = static_cast<uint8_t>(rng.Next());
+    TryReadAll(garbage);
+  }
+}
+
+TEST(CompressionFuzzTest, CorruptFramesNeverCrash) {
+  Random rng(79);
+  std::string payload;
+  for (int i = 0; i < 500; ++i) payload += "abcdefgh";
+  for (CompressionKind kind :
+       {CompressionKind::kSnappy, CompressionKind::kGzip}) {
+    auto frame = Compress(kind, reinterpret_cast<const uint8_t*>(payload.data()),
+                          payload.size());
+    for (int i = 0; i < 300; ++i) {
+      std::vector<uint8_t> corrupted = frame;
+      corrupted[rng.NextBelow(corrupted.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextBelow(255));
+      auto out = Decompress(kind, corrupted.data(), corrupted.size());
+      if (out.ok()) {
+        // A flip inside literal bytes can still decode — but never to a
+        // larger-than-declared buffer.
+        EXPECT_LE(out->size(), payload.size() + 1);
+      }
+    }
+  }
+}
+
+TEST(ExpressionFuzzTest, CorruptSerializedExpressionsRejected) {
+  ExprPtr expr = SpecialFormExpression::Make(
+      SpecialFormKind::kIn, Type::Boolean(),
+      {VariableReferenceExpression::Make("x", Type::Bigint()),
+       ConstantExpression::MakeBigint(1), ConstantExpression::MakeBigint(2)});
+  ByteBuffer buffer;
+  SerializeExpression(*expr, &buffer);
+  Random rng(80);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> corrupted = buffer.bytes();
+    corrupted[rng.NextBelow(corrupted.size())] ^=
+        static_cast<uint8_t>(1 + rng.NextBelow(255));
+    ByteReader reader(corrupted.data(), corrupted.size());
+    (void)DeserializeExpression(&reader);  // must not crash
+  }
+}
+
+TEST(SqlFuzzTest, MangledQueriesNeverCrashTheParser) {
+  const std::string base =
+      "SELECT a.x, count(*) FROM cat.sch.t a JOIN u ON a.id = u.id "
+      "WHERE a.x IN (1, 2) AND u.y LIKE 'p%' GROUP BY 1 "
+      "ORDER BY 2 DESC LIMIT 10";
+  Random rng(81);
+  for (int i = 0; i < 500; ++i) {
+    std::string mangled = base;
+    int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.NextBelow(mangled.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mangled.erase(pos, 1 + rng.NextBelow(5));
+          break;
+        case 1:
+          mangled.insert(pos, 1, static_cast<char>(32 + rng.NextBelow(95)));
+          break;
+        default:
+          if (!mangled.empty()) {
+            mangled[pos % mangled.size()] =
+                static_cast<char>(32 + rng.NextBelow(95));
+          }
+          break;
+      }
+      if (mangled.empty()) mangled = "x";
+    }
+    (void)sql::ParseQuery(mangled);  // Status or Query, never a crash
+  }
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,237 @@
+// Tests for the SQL frontend: lexer, parser (AST shapes, precedence, error
+// positions), and plan-level checks on the optimizer and fragmenter via
+// EXPLAIN output.
+
+#include <gtest/gtest.h>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/sql/lexer.h"
+#include "presto/sql/parser.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT x1, 'it''s', 1.5e3 <> -42 -- comment\n FROM t");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> texts;
+  for (const Token& t : *tokens) {
+    if (t.kind != TokenKind::kEnd) texts.push_back(t.text);
+  }
+  EXPECT_EQ(texts, (std::vector<std::string>{"SELECT", "x1", ",", "it's", ",",
+                                             "1.5e3", "<>", "-", "42", "FROM",
+                                             "t"}));
+}
+
+TEST(LexerTest, OperatorsAndErrors) {
+  auto tokens = Tokenize("a <= b >= c != d -> e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, ">=");
+  EXPECT_EQ((*tokens)[5].text, "<>");  // != normalizes to <>
+  EXPECT_EQ((*tokens)[7].text, "->");
+  EXPECT_EQ(Tokenize("SELECT 'unterminated").status().code(),
+            StatusCode::kSyntaxError);
+  EXPECT_EQ(Tokenize("SELECT @").status().code(), StatusCode::kSyntaxError);
+}
+
+TEST(ParserTest, FullQueryShape) {
+  auto query = ParseQuery(
+      "SELECT a.x AS col, count(*) FROM cat.sch.tbl a "
+      "LEFT JOIN other b ON a.id = b.id "
+      "WHERE a.x > 1 AND b.y LIKE 'p%' "
+      "GROUP BY 1 HAVING count(*) > 2 "
+      "ORDER BY col DESC, 2 LIMIT 10;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->items.size(), 2u);
+  EXPECT_EQ(query->items[0].alias, "col");
+  EXPECT_EQ(query->from.name_parts,
+            (std::vector<std::string>{"cat", "sch", "tbl"}));
+  EXPECT_EQ(query->from.alias, "a");
+  ASSERT_EQ(query->joins.size(), 1u);
+  EXPECT_EQ(query->joins[0].kind, JoinClause::Kind::kLeft);
+  ASSERT_NE(query->where, nullptr);
+  EXPECT_EQ(query->group_by.size(), 1u);
+  ASSERT_NE(query->having, nullptr);
+  ASSERT_EQ(query->order_by.size(), 2u);
+  EXPECT_FALSE(query->order_by[0].ascending);
+  EXPECT_TRUE(query->order_by[1].ascending);
+  EXPECT_EQ(query->limit, 10);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto expr = ParseExpression("a OR b AND NOT c = 1 + 2 * 3");
+  ASSERT_TRUE(expr.ok());
+  // OR binds loosest; * binds tightest.
+  EXPECT_EQ((*expr)->ToString(),
+            "(a OR (b AND NOT((c = (1 + (2 * 3))))))");
+}
+
+TEST(ParserTest, BetweenInLikeIsNull) {
+  EXPECT_EQ((*ParseExpression("x BETWEEN 1 AND 2"))->ToString(),
+            "(x BETWEEN 1 AND 2)");
+  EXPECT_EQ((*ParseExpression("x NOT IN (1, 2)"))->ToString(),
+            "(x NOT IN (1, 2))");
+  EXPECT_EQ((*ParseExpression("x IS NOT NULL"))->ToString(),
+            "(x IS NOT NULL)");
+  EXPECT_EQ((*ParseExpression("CAST(x AS DOUBLE)"))->ToString(),
+            "CAST(x AS DOUBLE)");
+}
+
+TEST(ParserTest, LambdaForms) {
+  EXPECT_EQ((*ParseExpression("transform(arr, x -> x + 1)"))->ToString(),
+            "transform(arr, (x) -> (x + 1))");
+  EXPECT_EQ((*ParseExpression("f(a, (x, y) -> x)"))->ToString(),
+            "f(a, (x, y) -> x)");
+}
+
+TEST(ParserTest, NestedFieldChains) {
+  auto expr = ParseExpression("t.base.loc.lng");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, AstExpr::Kind::kIdentifier);
+  EXPECT_EQ((*expr)->parts,
+            (std::vector<std::string>{"t", "base", "loc", "lng"}));
+}
+
+TEST(ParserTest, StarVariants) {
+  auto q1 = ParseQuery("SELECT * FROM t");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_TRUE(q1->items[0].star);
+  auto q2 = ParseQuery("SELECT t.* FROM t");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->items[0].star);
+  EXPECT_EQ(q2->items[0].star_qualifier, "t");
+  auto q3 = ParseQuery("SELECT count(*) FROM t");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_TRUE(q3->items[0].expr->star_arg);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryPosition) {
+  Status s = ParseQuery("SELECT FROM t").status();
+  EXPECT_EQ(s.code(), StatusCode::kSyntaxError);
+  EXPECT_NE(s.message().find("offset"), std::string::npos);
+  EXPECT_FALSE(ParseQuery("SELECT x t").ok());  // missing FROM
+  EXPECT_FALSE(ParseQuery("SELECT x FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM t LIMIT banana").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM t JOIN u").ok());  // missing ON
+  EXPECT_FALSE(ParseQuery("SELECT x FROM t extra garbage").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan-shape tests via EXPLAIN
+// ---------------------------------------------------------------------------
+
+class PlanShapeTest : public ::testing::Test {
+ protected:
+  static PrestoCluster& Cluster() {
+    static PrestoCluster& cluster = *new PrestoCluster("planshape", 1, 1);
+    static bool initialized = [] {
+      auto memory = std::make_shared<MemoryConnector>();
+      TypePtr t = Type::Row({"a", "b", "c"},
+                            {Type::Bigint(), Type::Double(), Type::Varchar()});
+      EXPECT_TRUE(memory->CreateTable("default", "t", t).ok());
+      EXPECT_TRUE(memory->AppendPage("default", "t",
+                                     Page({MakeBigintVector({1, 2}),
+                                           MakeDoubleVector({1.5, 2.5}),
+                                           MakeVarcharVector({"x", "y"})}))
+                      .ok());
+      TypePtr u = Type::Row({"a", "d"}, {Type::Bigint(), Type::Bigint()});
+      EXPECT_TRUE(memory->CreateTable("default", "u", u).ok());
+      EXPECT_TRUE(memory->AppendPage("default", "u",
+                                     Page({MakeBigintVector({1}),
+                                           MakeBigintVector({10})}))
+                      .ok());
+      EXPECT_TRUE(cluster.catalogs().RegisterCatalog("memory", memory).ok());
+      return true;
+    }();
+    (void)initialized;
+    return cluster;
+  }
+
+  static std::string Explain(const std::string& sql,
+                             Session session = Session()) {
+    auto plan = Cluster().Explain(sql, session);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : "";
+  }
+};
+
+TEST_F(PlanShapeTest, ProjectionPushdownPrunesColumns) {
+  std::string plan = Explain("SELECT a FROM t");
+  EXPECT_NE(plan.find("columns=[a]"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("columns=[a, b"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, CountStarKeepsOneColumn) {
+  std::string plan = Explain("SELECT count(*) FROM t");
+  EXPECT_NE(plan.find("columns=[a]"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Aggregate(PARTIAL)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Aggregate(FINAL)"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, AggregationSplitsAcrossFragments) {
+  std::string plan = Explain("SELECT a, sum(b) FROM t GROUP BY a");
+  // Partial in the leaf fragment, final above the remote source.
+  size_t final_pos = plan.find("Aggregate(FINAL)");
+  size_t remote_pos = plan.find("RemoteSource");
+  size_t partial_pos = plan.find("Aggregate(PARTIAL)");
+  ASSERT_NE(final_pos, std::string::npos) << plan;
+  ASSERT_NE(remote_pos, std::string::npos);
+  ASSERT_NE(partial_pos, std::string::npos);
+  EXPECT_LT(final_pos, remote_pos);
+  EXPECT_LT(remote_pos, partial_pos);
+}
+
+TEST_F(PlanShapeTest, SortLimitFusesToDistributedTopN) {
+  std::string plan = Explain("SELECT a FROM t ORDER BY a LIMIT 5");
+  EXPECT_NE(plan.find("TopN[5"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("TopN(PARTIAL)[5"), std::string::npos)
+      << "leaf-side partial TopN expected:\n" << plan;
+}
+
+TEST_F(PlanShapeTest, LimitSplitsPartialFinal) {
+  std::string plan = Explain("SELECT a FROM t LIMIT 7");
+  EXPECT_NE(plan.find("Limit[7]"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Limit(PARTIAL)[7]"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, SingleSideFilterPushedBelowJoin) {
+  std::string plan = Explain(
+      "SELECT t.a FROM t JOIN u ON t.a = u.a WHERE t.b > 1.0 AND u.d = 10");
+  // Both single-side conjuncts end up in filters below the join (inside the
+  // leaf fragments), not above it.
+  size_t join_pos = plan.find("Join[INNER");
+  ASSERT_NE(join_pos, std::string::npos) << plan;
+  EXPECT_EQ(plan.find("Filter[(gt"), std::string::npos)
+      << "no combined filter should remain above the join:\n" << plan;
+  EXPECT_NE(plan.find("gt(b_1, 1.000000)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("eq(d_4, 10)"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, JoinDistributionFollowsSessionProperty) {
+  Session broadcast;
+  broadcast.properties["join_distribution_type"] = "broadcast";
+  EXPECT_NE(Explain("SELECT t.a FROM t JOIN u ON t.a = u.a", broadcast)
+                .find("Join[INNER, broadcast"),
+            std::string::npos);
+  Session partitioned;
+  partitioned.properties["join_distribution_type"] = "partitioned";
+  EXPECT_NE(Explain("SELECT t.a FROM t JOIN u ON t.a = u.a", partitioned)
+                .find("Join[INNER, partitioned"),
+            std::string::npos);
+}
+
+TEST_F(PlanShapeTest, EveryLeafFragmentHasOneScan) {
+  std::string plan = Explain(
+      "SELECT t.a, sum(u.d) FROM t JOIN u ON t.a = u.a GROUP BY t.a");
+  // Two scans -> two leaf fragments.
+  EXPECT_NE(plan.find("Fragment 1 (leaf)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Fragment 2 (leaf)"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace presto

@@ -1,0 +1,287 @@
+// Tests for the storage substrates: mini-Druid (rollup, inverted indexes,
+// native queries), mini-MySQL (scan pushdowns, update/delete), and the
+// file-list / footer caches.
+
+#include <gtest/gtest.h>
+
+#include "presto/cache/file_list_cache.h"
+#include "presto/cache/footer_cache.h"
+#include "presto/druid/druid_store.h"
+#include "presto/fs/simulated_hdfs.h"
+#include "presto/lakefile/writer.h"
+#include "presto/mysqlite/mysqlite.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini-Druid
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<druid::DruidStore> MakeEventsStore() {
+  auto store_ptr = std::make_unique<druid::DruidStore>();
+  druid::DruidStore& store = *store_ptr;
+  druid::DatasourceSchema schema;
+  schema.dimensions = {"country", "device"};
+  schema.metrics = {"revenue"};
+  schema.granularity_millis = 3600000;  // hourly
+  EXPECT_TRUE(store.CreateDatasource("events", schema).ok());
+  std::vector<druid::DruidRow> rows;
+  // Two events in the same hour/dims collapse by rollup.
+  rows.push_back({1000, {"US", "ios"}, {10.0}});
+  rows.push_back({2000, {"US", "ios"}, {5.0}});
+  rows.push_back({1000, {"US", "android"}, {7.0}});
+  rows.push_back({3600000 + 1000, {"JP", "ios"}, {3.0}});
+  EXPECT_TRUE(store.Ingest("events", rows).ok());
+  return store_ptr;
+}
+
+TEST(DruidStoreTest, RollupCollapsesSameBucketAndDims) {
+  auto store_ptr = MakeEventsStore();
+  druid::DruidStore& store = *store_ptr;
+  druid::DruidQuery scan;
+  scan.datasource = "events";
+  auto result = store.Execute(scan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 3u);  // 4 events -> 3 rolled-up rows
+  EXPECT_EQ(store.metrics().Get("druid.events_ingested"), 4);
+  EXPECT_EQ(store.metrics().Get("druid.rows_after_rollup"), 3);
+}
+
+TEST(DruidStoreTest, GroupByWithSum) {
+  auto store_ptr = MakeEventsStore();
+  druid::DruidStore& store = *store_ptr;
+  druid::DruidQuery query;
+  query.datasource = "events";
+  query.dimensions = {"country"};
+  query.aggregations = {{"total", druid::AggKind::kSum, "revenue"},
+                        {"n", druid::AggKind::kCount, ""}};
+  auto result = store.Execute(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);  // JP, US (sorted)
+  EXPECT_EQ(result->rows[0][0], Value::String("JP"));
+  EXPECT_EQ(result->rows[0][1], Value::Double(3.0));
+  EXPECT_EQ(result->rows[1][0], Value::String("US"));
+  EXPECT_EQ(result->rows[1][1], Value::Double(22.0));
+  EXPECT_EQ(result->rows[1][2], Value::Int(2));  // rolled-up rows
+}
+
+TEST(DruidStoreTest, DimensionFilterUsesInvertedIndex) {
+  auto store_ptr = MakeEventsStore();
+  druid::DruidStore& store = *store_ptr;
+  druid::DruidQuery query;
+  query.datasource = "events";
+  query.filters = {{"device", {"ios"}}};
+  query.aggregations = {{"total", druid::AggKind::kSum, "revenue"}};
+  auto result = store.Execute(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Double(18.0));
+  EXPECT_EQ(result->rows_scanned, 2) << "only index-matched rows visited";
+}
+
+TEST(DruidStoreTest, TimeIntervalPruning) {
+  auto store_ptr = MakeEventsStore();
+  druid::DruidStore& store = *store_ptr;
+  druid::DruidQuery query;
+  query.datasource = "events";
+  query.interval = {3600000, INT64_MAX};
+  query.aggregations = {{"total", druid::AggKind::kSum, "revenue"}};
+  auto result = store.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0], Value::Double(3.0));
+}
+
+TEST(DruidStoreTest, MinMaxAndLimit) {
+  auto store_ptr = MakeEventsStore();
+  druid::DruidStore& store = *store_ptr;
+  druid::DruidQuery query;
+  query.datasource = "events";
+  query.dimensions = {"country", "device"};
+  query.aggregations = {{"hi", druid::AggKind::kMax, "revenue"},
+                        {"lo", druid::AggKind::kMin, "revenue"}};
+  query.limit = 2;
+  auto result = store.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+
+  druid::DruidQuery scan;
+  scan.datasource = "events";
+  scan.limit = 1;
+  auto scanned = store.Execute(scan);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned->rows.size(), 1u);
+}
+
+TEST(DruidStoreTest, ErrorsSurfaceCleanly) {
+  auto store_ptr = MakeEventsStore();
+  druid::DruidStore& store = *store_ptr;
+  druid::DruidQuery query;
+  query.datasource = "nope";
+  EXPECT_EQ(store.Execute(query).status().code(), StatusCode::kNotFound);
+  query.datasource = "events";
+  query.aggregations = {{"x", druid::AggKind::kSum, "no_metric"}};
+  EXPECT_FALSE(store.Execute(query).ok());
+  EXPECT_FALSE(store.Ingest("events", {{0, {"only-one-dim"}, {1.0}}}).ok());
+}
+
+TEST(DruidStoreTest, TableTypeExposesAllColumns) {
+  auto store_ptr = MakeEventsStore();
+  druid::DruidStore& store = *store_ptr;
+  auto type = store.TableType("events");
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ((*type)->ToString(),
+            "ROW(__time TIMESTAMP, country VARCHAR, device VARCHAR, "
+            "revenue DOUBLE, rollup_count BIGINT)");
+}
+
+// ---------------------------------------------------------------------------
+// Mini-MySQL
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<mysqlite::MySqlLite> MakeUsersDb() {
+  auto db_ptr = std::make_unique<mysqlite::MySqlLite>();
+  mysqlite::MySqlLite& db = *db_ptr;
+  TypePtr type = Type::Row({"id", "name", "region"},
+                           {Type::Bigint(), Type::Varchar(), Type::Varchar()});
+  EXPECT_TRUE(db.CreateTable("app", "users", type).ok());
+  EXPECT_TRUE(db.Insert("app", "users",
+                        {{Value::Int(1), Value::String("ann"), Value::String("us")},
+                         {Value::Int(2), Value::String("bob"), Value::String("eu")},
+                         {Value::Int(3), Value::String("cat"), Value::String("us")}})
+                  .ok());
+  return db_ptr;
+}
+
+TEST(MySqlLiteTest, ScanWithPushdowns) {
+  auto db_ptr = MakeUsersDb();
+  mysqlite::MySqlLite& db = *db_ptr;
+  mysqlite::ScanRequest request;
+  request.columns = {"name"};
+  request.predicates = {{"region", mysqlite::CompareOp::kEq, {Value::String("us")}}};
+  request.limit = 1;
+  auto result = db.Scan("app", "users", request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::String("ann"));
+  EXPECT_EQ(result->column_names, std::vector<std::string>{"name"});
+}
+
+TEST(MySqlLiteTest, InPredicate) {
+  auto db_ptr = MakeUsersDb();
+  mysqlite::MySqlLite& db = *db_ptr;
+  mysqlite::ScanRequest request;
+  request.predicates = {{"id", mysqlite::CompareOp::kIn,
+                         {Value::Int(1), Value::Int(3)}}};
+  auto result = db.Scan("app", "users", request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST(MySqlLiteTest, UpdateAndDelete) {
+  auto db_ptr = MakeUsersDb();
+  mysqlite::MySqlLite& db = *db_ptr;
+  auto updated = db.Update("app", "users",
+                           {{"region", mysqlite::CompareOp::kEq, {Value::String("us")}}},
+                           {{"region", Value::String("na")}});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 2);
+  auto deleted = db.Delete("app", "users",
+                           {{"id", mysqlite::CompareOp::kGt, {Value::Int(1)}}});
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 2);
+  mysqlite::ScanRequest all;
+  EXPECT_EQ(db.Scan("app", "users", all)->rows.size(), 1u);
+}
+
+TEST(MySqlLiteTest, ErrorsSurfaceCleanly) {
+  auto db_ptr = MakeUsersDb();
+  mysqlite::MySqlLite& db = *db_ptr;
+  EXPECT_EQ(db.Scan("app", "missing", {}).status().code(), StatusCode::kNotFound);
+  mysqlite::ScanRequest bad_col;
+  bad_col.columns = {"nope"};
+  EXPECT_FALSE(db.Scan("app", "users", bad_col).ok());
+  EXPECT_FALSE(db.Insert("app", "users", {{Value::Int(1)}}).ok());
+  EXPECT_FALSE(db.CreateTable("app", "users",
+                              Type::Row({"x"}, {Type::Bigint()}))
+                   .ok())
+      << "duplicate table";
+  EXPECT_FALSE(db.CreateTable("app", "nested",
+                              Type::Row({"x"}, {Type::Array(Type::Bigint())}))
+                   .ok())
+      << "mysqlite is scalar-only";
+}
+
+// ---------------------------------------------------------------------------
+// Caches
+// ---------------------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.Put("a", std::make_shared<const int>(1));
+  cache.Put("b", std::make_shared<const int>(2));
+  ASSERT_TRUE(cache.Get("a").has_value());  // a becomes most recent
+  cache.Put("c", std::make_shared<const int>(3));
+  EXPECT_FALSE(cache.Get("b").has_value()) << "b was least recently used";
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.metrics().Get("eviction"), 1);
+}
+
+TEST(FileListCacheTest, CachesSealedSkipsOpenPartitions) {
+  SimulatedClock clock;
+  SimulatedHdfs hdfs(&clock);
+  ASSERT_TRUE(hdfs.WriteFile("t/sealed=1/f1", {1}).ok());
+  ASSERT_TRUE(hdfs.WriteFile("t/open=1/f1", {1}).ok());
+  FileListCache cache;
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache.List(&hdfs, "t/sealed=1", /*sealed=*/true).ok());
+    ASSERT_TRUE(cache.List(&hdfs, "t/open=1", /*sealed=*/false).ok());
+  }
+  EXPECT_EQ(hdfs.metrics().Get("listFiles"), 1 + 10)
+      << "sealed listed once, open listed every time for freshness";
+
+  // Open partitions observe newly ingested files immediately.
+  ASSERT_TRUE(hdfs.WriteFile("t/open=1/f2", {1}).ok());
+  auto listing = cache.List(&hdfs, "t/open=1", false);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ((*listing)->size(), 2u);
+}
+
+TEST(FileListCacheTest, InvalidateForcesRelist) {
+  SimulatedClock clock;
+  SimulatedHdfs hdfs(&clock);
+  ASSERT_TRUE(hdfs.WriteFile("t/p/f1", {1}).ok());
+  FileListCache cache;
+  ASSERT_TRUE(cache.List(&hdfs, "t/p", true).ok());
+  cache.Invalidate("t/p");
+  ASSERT_TRUE(cache.List(&hdfs, "t/p", true).ok());
+  EXPECT_EQ(hdfs.metrics().Get("listFiles"), 2);
+}
+
+TEST(FooterCacheTest, FooterAndHandleHits) {
+  SimulatedClock clock;
+  SimulatedHdfs hdfs(&clock);
+  TypePtr schema = Type::Row({"x"}, {Type::Bigint()});
+  VectorBuilder b(Type::Bigint());
+  for (int i = 0; i < 10; ++i) b.AppendBigint(i);
+  auto bytes = lakefile::WriteLakeFile(schema, {Page({b.Build()})});
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(hdfs.WriteFile("w/t/f1", *bytes).ok());
+
+  FooterCache cache;
+  for (int i = 0; i < 10; ++i) {
+    auto footer = cache.GetFooter(&hdfs, "w/t/f1");
+    ASSERT_TRUE(footer.ok());
+    EXPECT_EQ((*footer)->num_rows, 10u);
+  }
+  // 90%+ of opens are eliminated: one real open for ten requests.
+  EXPECT_EQ(hdfs.metrics().Get("open_read"), 1);
+  EXPECT_EQ(cache.footer_metrics().Get("hit"), 9);
+  EXPECT_EQ(cache.footer_metrics().Get("miss"), 1);
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,198 @@
+// Tests for the type system, Value semantics, and schema-evolution rules
+// (paper Section V.A).
+
+#include <gtest/gtest.h>
+
+#include "presto/types/schema_evolution.h"
+#include "presto/types/type.h"
+#include "presto/types/value.h"
+
+namespace presto {
+namespace {
+
+TEST(TypeTest, ScalarSingletonsShared) {
+  EXPECT_EQ(Type::Bigint().get(), Type::Bigint().get());
+  EXPECT_TRUE(Type::Bigint()->Equals(*Type::Bigint()));
+  EXPECT_FALSE(Type::Bigint()->Equals(*Type::Double()));
+}
+
+TEST(TypeTest, RowTypeFields) {
+  TypePtr row = Type::Row({"city_id", "status"}, {Type::Bigint(), Type::Varchar()});
+  EXPECT_EQ(row->kind(), TypeKind::kRow);
+  EXPECT_EQ(row->NumChildren(), 2u);
+  EXPECT_EQ(row->field_name(0), "city_id");
+  EXPECT_EQ(*row->FindField("status"), 1u);
+  EXPECT_FALSE(row->FindField("missing").has_value());
+}
+
+TEST(TypeTest, ToStringNested) {
+  TypePtr t = Type::Row(
+      {"base", "tags"},
+      {Type::Row({"city_id"}, {Type::Bigint()}), Type::Array(Type::Varchar())});
+  EXPECT_EQ(t->ToString(),
+            "ROW(base ROW(city_id BIGINT), tags ARRAY(VARCHAR))");
+}
+
+TEST(TypeTest, ParseRoundTripDeeplyNested) {
+  // 5 levels of nesting, as in the paper's production schemas.
+  TypePtr t = Type::Row(
+      {"a"},
+      {Type::Row({"b"},
+                 {Type::Row({"c"},
+                            {Type::Row({"d"}, {Type::Row({"e"}, {Type::Bigint()})})})})});
+  auto parsed = Type::Parse(t->ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE((*parsed)->Equals(*t));
+}
+
+TEST(TypeTest, ParseMapAndArray) {
+  auto parsed = Type::Parse("MAP(VARCHAR, ARRAY(DOUBLE))");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->kind(), TypeKind::kMap);
+  EXPECT_EQ((*parsed)->map_value()->kind(), TypeKind::kArray);
+}
+
+TEST(TypeTest, ParseErrors) {
+  EXPECT_FALSE(Type::Parse("NOPE").ok());
+  EXPECT_FALSE(Type::Parse("ROW(x BIGINT").ok());
+  EXPECT_FALSE(Type::Parse("BIGINT extra").ok());
+  EXPECT_FALSE(Type::Parse("MAP(BIGINT)").ok());
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossCompare) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.0).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, StringCompareAndHash) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  EXPECT_NE(Value::String("x").Hash(), Value::String("y").Hash());
+}
+
+TEST(ValueTest, NestedEquality) {
+  Value a = Value::Row({Value::Int(1), Value::Array({Value::String("t")})});
+  Value b = Value::Row({Value::Int(1), Value::Array({Value::String("t")})});
+  Value c = Value::Row({Value::Int(1), Value::Array({Value::String("u")})});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Array({Value::Int(1), Value::Int(2)}).ToString(), "ARRAY[1, 2]");
+  EXPECT_EQ(Value::Map({{Value::String("k"), Value::Int(1)}}).ToString(),
+            "MAP{'k': 1}");
+}
+
+TEST(ValueTest, NegativeZeroHashesLikeZero) {
+  EXPECT_EQ(Value::Double(0.0).Hash(), Value::Double(-0.0).Hash());
+  EXPECT_EQ(Value::Double(0.0).Compare(Value::Double(-0.0)), 0);
+}
+
+// --- Schema evolution (paper Section V.A) ---------------------------------
+
+TypePtr TripsSchemaV1() {
+  return Type::Row(
+      {"datestr", "base"},
+      {Type::Varchar(),
+       Type::Row({"driver_uuid", "city_id"}, {Type::Varchar(), Type::Bigint()})});
+}
+
+TEST(SchemaEvolutionTest, AddingFieldsAllowed) {
+  TypePtr v2 = Type::Row(
+      {"datestr", "base"},
+      {Type::Varchar(),
+       Type::Row({"driver_uuid", "city_id", "vehicle_id"},
+                 {Type::Varchar(), Type::Bigint(), Type::Varchar()})});
+  EXPECT_TRUE(ValidateEvolution(*TripsSchemaV1(), *v2).ok());
+}
+
+TEST(SchemaEvolutionTest, RemovingFieldsAllowed) {
+  TypePtr v2 = Type::Row(
+      {"datestr", "base"},
+      {Type::Varchar(), Type::Row({"city_id"}, {Type::Bigint()})});
+  EXPECT_TRUE(ValidateEvolution(*TripsSchemaV1(), *v2).ok());
+}
+
+TEST(SchemaEvolutionTest, TypeChangeRejected) {
+  TypePtr v2 = Type::Row(
+      {"datestr", "base"},
+      {Type::Varchar(),
+       Type::Row({"driver_uuid", "city_id"},
+                 {Type::Varchar(), Type::Varchar()})});  // BIGINT -> VARCHAR
+  Status s = ValidateEvolution(*TripsSchemaV1(), *v2);
+  EXPECT_EQ(s.code(), StatusCode::kSchemaViolation);
+  EXPECT_NE(s.message().find("base.city_id"), std::string::npos);
+}
+
+TEST(SchemaEvolutionTest, NestedTypeChangeRejectedDeep) {
+  TypePtr old_schema = Type::Row(
+      {"a"}, {Type::Row({"b"}, {Type::Row({"c"}, {Type::Bigint()})})});
+  TypePtr new_schema = Type::Row(
+      {"a"}, {Type::Row({"b"}, {Type::Row({"c"}, {Type::Double()})})});
+  EXPECT_EQ(ValidateEvolution(*old_schema, *new_schema).code(),
+            StatusCode::kSchemaViolation);
+}
+
+TEST(SchemaEvolutionTest, RegistryTracksVersions) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry.RegisterTable("trips", TripsSchemaV1()).ok());
+  EXPECT_EQ(*registry.CurrentVersion("trips"), 1u);
+
+  TypePtr v2 = Type::Row(
+      {"datestr", "base", "tip"},
+      {Type::Varchar(),
+       Type::Row({"driver_uuid", "city_id"}, {Type::Varchar(), Type::Bigint()}),
+       Type::Double()});
+  ASSERT_TRUE(registry.EvolveTable("trips", v2).ok());
+  EXPECT_EQ(*registry.CurrentVersion("trips"), 2u);
+  EXPECT_TRUE((*registry.SchemaAtVersion("trips", 1))->Equals(*TripsSchemaV1()));
+  EXPECT_TRUE((*registry.CurrentSchema("trips"))->Equals(*v2));
+}
+
+TEST(SchemaEvolutionTest, RegistryRejectsRename) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry.RegisterTable("trips", TripsSchemaV1()).ok());
+  Status s = registry.EvolveTable("trips", TripsSchemaV1(), {"base.driver_uuid"});
+  EXPECT_EQ(s.code(), StatusCode::kSchemaViolation);
+}
+
+TEST(SchemaEvolutionTest, RegistryRejectsDuplicateAndUnknown) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry.RegisterTable("t", TripsSchemaV1()).ok());
+  EXPECT_EQ(registry.RegisterTable("t", TripsSchemaV1()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.CurrentSchema("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaEvolutionTest, ReadCompatibility) {
+  // File written with v1, table evolved to add a field: compatible.
+  TypePtr table = Type::Row(
+      {"datestr", "base"},
+      {Type::Varchar(),
+       Type::Row({"driver_uuid", "city_id", "new_field"},
+                 {Type::Varchar(), Type::Bigint(), Type::Double()})});
+  EXPECT_TRUE(CheckReadCompatible(*table, *TripsSchemaV1()).ok());
+
+  // File has a conflicting type for a shared field: incompatible.
+  TypePtr bad_file = Type::Row(
+      {"datestr", "base"},
+      {Type::Bigint(),
+       Type::Row({"driver_uuid", "city_id"}, {Type::Varchar(), Type::Bigint()})});
+  EXPECT_FALSE(CheckReadCompatible(*table, *bad_file).ok());
+}
+
+}  // namespace
+}  // namespace presto
