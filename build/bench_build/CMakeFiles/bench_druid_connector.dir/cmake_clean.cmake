@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_druid_connector"
+  "../bench/bench_druid_connector.pdb"
+  "CMakeFiles/bench_druid_connector.dir/bench_druid_connector.cc.o"
+  "CMakeFiles/bench_druid_connector.dir/bench_druid_connector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_druid_connector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

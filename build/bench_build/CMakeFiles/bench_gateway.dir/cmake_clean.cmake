@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gateway"
+  "../bench/bench_gateway.pdb"
+  "CMakeFiles/bench_gateway.dir/bench_gateway.cc.o"
+  "CMakeFiles/bench_gateway.dir/bench_gateway.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

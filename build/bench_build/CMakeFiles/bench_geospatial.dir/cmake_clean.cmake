@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_geospatial"
+  "../bench/bench_geospatial.pdb"
+  "CMakeFiles/bench_geospatial.dir/bench_geospatial.cc.o"
+  "CMakeFiles/bench_geospatial.dir/bench_geospatial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geospatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_geospatial.
+# This may be replaced when dependencies are built.

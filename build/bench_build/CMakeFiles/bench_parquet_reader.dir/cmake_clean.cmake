@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parquet_reader"
+  "../bench/bench_parquet_reader.pdb"
+  "CMakeFiles/bench_parquet_reader.dir/bench_parquet_reader.cc.o"
+  "CMakeFiles/bench_parquet_reader.dir/bench_parquet_reader.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parquet_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

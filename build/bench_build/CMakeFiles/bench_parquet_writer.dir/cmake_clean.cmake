@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parquet_writer"
+  "../bench/bench_parquet_writer.pdb"
+  "CMakeFiles/bench_parquet_writer.dir/bench_parquet_writer.cc.o"
+  "CMakeFiles/bench_parquet_writer.dir/bench_parquet_writer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parquet_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

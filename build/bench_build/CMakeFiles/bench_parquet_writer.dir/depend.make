@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_parquet_writer.
+# This may be replaced when dependencies are built.

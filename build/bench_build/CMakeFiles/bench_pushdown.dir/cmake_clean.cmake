@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pushdown"
+  "../bench/bench_pushdown.pdb"
+  "CMakeFiles/bench_pushdown.dir/bench_pushdown.cc.o"
+  "CMakeFiles/bench_pushdown.dir/bench_pushdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

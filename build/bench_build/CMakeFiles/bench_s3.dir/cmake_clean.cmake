@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s3"
+  "../bench/bench_s3.pdb"
+  "CMakeFiles/bench_s3.dir/bench_s3.cc.o"
+  "CMakeFiles/bench_s3.dir/bench_s3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cloud_elasticity"
+  "../examples/cloud_elasticity.pdb"
+  "CMakeFiles/cloud_elasticity.dir/cloud_elasticity.cpp.o"
+  "CMakeFiles/cloud_elasticity.dir/cloud_elasticity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

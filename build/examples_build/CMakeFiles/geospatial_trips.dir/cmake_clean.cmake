@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/geospatial_trips"
+  "../examples/geospatial_trips.pdb"
+  "CMakeFiles/geospatial_trips.dir/geospatial_trips.cpp.o"
+  "CMakeFiles/geospatial_trips.dir/geospatial_trips.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geospatial_trips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

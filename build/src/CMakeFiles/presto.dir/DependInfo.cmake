@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/presto/cluster/cluster.cc" "src/CMakeFiles/presto.dir/presto/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/cluster/cluster.cc.o.d"
+  "/root/repo/src/presto/cluster/coordinator.cc" "src/CMakeFiles/presto.dir/presto/cluster/coordinator.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/cluster/coordinator.cc.o.d"
+  "/root/repo/src/presto/cluster/gateway.cc" "src/CMakeFiles/presto.dir/presto/cluster/gateway.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/cluster/gateway.cc.o.d"
+  "/root/repo/src/presto/cluster/worker.cc" "src/CMakeFiles/presto.dir/presto/cluster/worker.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/cluster/worker.cc.o.d"
+  "/root/repo/src/presto/common/compression.cc" "src/CMakeFiles/presto.dir/presto/common/compression.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/common/compression.cc.o.d"
+  "/root/repo/src/presto/common/status.cc" "src/CMakeFiles/presto.dir/presto/common/status.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/common/status.cc.o.d"
+  "/root/repo/src/presto/common/thread_pool.cc" "src/CMakeFiles/presto.dir/presto/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/common/thread_pool.cc.o.d"
+  "/root/repo/src/presto/connector/connector.cc" "src/CMakeFiles/presto.dir/presto/connector/connector.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/connector/connector.cc.o.d"
+  "/root/repo/src/presto/connector/pushdown.cc" "src/CMakeFiles/presto.dir/presto/connector/pushdown.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/connector/pushdown.cc.o.d"
+  "/root/repo/src/presto/connectors/druid/druid_connector.cc" "src/CMakeFiles/presto.dir/presto/connectors/druid/druid_connector.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/connectors/druid/druid_connector.cc.o.d"
+  "/root/repo/src/presto/connectors/hive/hive_connector.cc" "src/CMakeFiles/presto.dir/presto/connectors/hive/hive_connector.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/connectors/hive/hive_connector.cc.o.d"
+  "/root/repo/src/presto/connectors/memory/memory_connector.cc" "src/CMakeFiles/presto.dir/presto/connectors/memory/memory_connector.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/connectors/memory/memory_connector.cc.o.d"
+  "/root/repo/src/presto/connectors/mysql/mysql_connector.cc" "src/CMakeFiles/presto.dir/presto/connectors/mysql/mysql_connector.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/connectors/mysql/mysql_connector.cc.o.d"
+  "/root/repo/src/presto/druid/druid_store.cc" "src/CMakeFiles/presto.dir/presto/druid/druid_store.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/druid/druid_store.cc.o.d"
+  "/root/repo/src/presto/exec/operators.cc" "src/CMakeFiles/presto.dir/presto/exec/operators.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/exec/operators.cc.o.d"
+  "/root/repo/src/presto/expr/builtin_functions.cc" "src/CMakeFiles/presto.dir/presto/expr/builtin_functions.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/expr/builtin_functions.cc.o.d"
+  "/root/repo/src/presto/expr/evaluator.cc" "src/CMakeFiles/presto.dir/presto/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/expr/evaluator.cc.o.d"
+  "/root/repo/src/presto/expr/expression.cc" "src/CMakeFiles/presto.dir/presto/expr/expression.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/expr/expression.cc.o.d"
+  "/root/repo/src/presto/expr/function_registry.cc" "src/CMakeFiles/presto.dir/presto/expr/function_registry.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/expr/function_registry.cc.o.d"
+  "/root/repo/src/presto/expr/serialization.cc" "src/CMakeFiles/presto.dir/presto/expr/serialization.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/expr/serialization.cc.o.d"
+  "/root/repo/src/presto/fs/file_system.cc" "src/CMakeFiles/presto.dir/presto/fs/file_system.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/fs/file_system.cc.o.d"
+  "/root/repo/src/presto/fs/local_file_system.cc" "src/CMakeFiles/presto.dir/presto/fs/local_file_system.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/fs/local_file_system.cc.o.d"
+  "/root/repo/src/presto/fs/memory_file_system.cc" "src/CMakeFiles/presto.dir/presto/fs/memory_file_system.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/fs/memory_file_system.cc.o.d"
+  "/root/repo/src/presto/fs/presto_s3_file_system.cc" "src/CMakeFiles/presto.dir/presto/fs/presto_s3_file_system.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/fs/presto_s3_file_system.cc.o.d"
+  "/root/repo/src/presto/fs/s3_object_store.cc" "src/CMakeFiles/presto.dir/presto/fs/s3_object_store.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/fs/s3_object_store.cc.o.d"
+  "/root/repo/src/presto/fs/simulated_hdfs.cc" "src/CMakeFiles/presto.dir/presto/fs/simulated_hdfs.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/fs/simulated_hdfs.cc.o.d"
+  "/root/repo/src/presto/geo/geo_functions.cc" "src/CMakeFiles/presto.dir/presto/geo/geo_functions.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/geo/geo_functions.cc.o.d"
+  "/root/repo/src/presto/geo/geo_index.cc" "src/CMakeFiles/presto.dir/presto/geo/geo_index.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/geo/geo_index.cc.o.d"
+  "/root/repo/src/presto/geo/geometry.cc" "src/CMakeFiles/presto.dir/presto/geo/geometry.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/geo/geometry.cc.o.d"
+  "/root/repo/src/presto/geo/quadtree.cc" "src/CMakeFiles/presto.dir/presto/geo/quadtree.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/geo/quadtree.cc.o.d"
+  "/root/repo/src/presto/lakefile/format.cc" "src/CMakeFiles/presto.dir/presto/lakefile/format.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/lakefile/format.cc.o.d"
+  "/root/repo/src/presto/lakefile/reader.cc" "src/CMakeFiles/presto.dir/presto/lakefile/reader.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/lakefile/reader.cc.o.d"
+  "/root/repo/src/presto/lakefile/shred.cc" "src/CMakeFiles/presto.dir/presto/lakefile/shred.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/lakefile/shred.cc.o.d"
+  "/root/repo/src/presto/lakefile/writer.cc" "src/CMakeFiles/presto.dir/presto/lakefile/writer.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/lakefile/writer.cc.o.d"
+  "/root/repo/src/presto/mysqlite/mysqlite.cc" "src/CMakeFiles/presto.dir/presto/mysqlite/mysqlite.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/mysqlite/mysqlite.cc.o.d"
+  "/root/repo/src/presto/planner/fragmenter.cc" "src/CMakeFiles/presto.dir/presto/planner/fragmenter.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/planner/fragmenter.cc.o.d"
+  "/root/repo/src/presto/planner/optimizer.cc" "src/CMakeFiles/presto.dir/presto/planner/optimizer.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/planner/optimizer.cc.o.d"
+  "/root/repo/src/presto/planner/plan.cc" "src/CMakeFiles/presto.dir/presto/planner/plan.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/planner/plan.cc.o.d"
+  "/root/repo/src/presto/sql/analyzer.cc" "src/CMakeFiles/presto.dir/presto/sql/analyzer.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/sql/analyzer.cc.o.d"
+  "/root/repo/src/presto/sql/ast.cc" "src/CMakeFiles/presto.dir/presto/sql/ast.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/sql/ast.cc.o.d"
+  "/root/repo/src/presto/sql/lexer.cc" "src/CMakeFiles/presto.dir/presto/sql/lexer.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/sql/lexer.cc.o.d"
+  "/root/repo/src/presto/sql/parser.cc" "src/CMakeFiles/presto.dir/presto/sql/parser.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/sql/parser.cc.o.d"
+  "/root/repo/src/presto/tpch/workloads.cc" "src/CMakeFiles/presto.dir/presto/tpch/workloads.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/tpch/workloads.cc.o.d"
+  "/root/repo/src/presto/types/schema_evolution.cc" "src/CMakeFiles/presto.dir/presto/types/schema_evolution.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/types/schema_evolution.cc.o.d"
+  "/root/repo/src/presto/types/type.cc" "src/CMakeFiles/presto.dir/presto/types/type.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/types/type.cc.o.d"
+  "/root/repo/src/presto/types/value.cc" "src/CMakeFiles/presto.dir/presto/types/value.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/types/value.cc.o.d"
+  "/root/repo/src/presto/vector/vector.cc" "src/CMakeFiles/presto.dir/presto/vector/vector.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/vector/vector.cc.o.d"
+  "/root/repo/src/presto/vector/vector_builder.cc" "src/CMakeFiles/presto.dir/presto/vector/vector_builder.cc.o" "gcc" "src/CMakeFiles/presto.dir/presto/vector/vector_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

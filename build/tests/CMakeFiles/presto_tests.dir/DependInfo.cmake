@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/presto_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/connector_test.cc" "tests/CMakeFiles/presto_tests.dir/connector_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/connector_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/presto_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/presto_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/presto_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/presto_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/expr_test.cc" "tests/CMakeFiles/presto_tests.dir/expr_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/expr_test.cc.o.d"
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/presto_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/fs_test.cc.o.d"
+  "/root/repo/tests/functions_test.cc" "tests/CMakeFiles/presto_tests.dir/functions_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/functions_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/presto_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/presto_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/lakefile_test.cc" "tests/CMakeFiles/presto_tests.dir/lakefile_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/lakefile_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/presto_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/presto_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/substrate_test.cc" "tests/CMakeFiles/presto_tests.dir/substrate_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/substrate_test.cc.o.d"
+  "/root/repo/tests/types_test.cc" "tests/CMakeFiles/presto_tests.dir/types_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/types_test.cc.o.d"
+  "/root/repo/tests/vector_test.cc" "tests/CMakeFiles/presto_tests.dir/vector_test.cc.o" "gcc" "tests/CMakeFiles/presto_tests.dir/vector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/presto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
