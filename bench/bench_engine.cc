@@ -1,0 +1,208 @@
+// Engine hot-path bench: typed columnar kernels vs the Value-boxed fallback
+// on TPC-H-shaped aggregation and join queries, run end-to-end through the
+// coordinator (parse -> plan -> fragment -> partial/final aggregation).
+// The only knob flipped between runs is the session property
+// vectorized_kernels, so the delta isolates the kernel layer: normalized-key
+// group tables and columnar accumulators vs per-row Value boxing.
+//
+// Emits machine-readable results to BENCH_engine.json (path overridable via
+// argv[1]).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "presto/cluster/cluster.h"
+#include "presto/common/random.h"
+#include "presto/connectors/memory/memory_connector.h"
+
+namespace presto {
+namespace {
+
+constexpr size_t kPageRows = 65536;
+
+// Appends `num_rows` of (k BIGINT, v BIGINT, v_d DOUBLE) fact data with
+// `num_keys` distinct keys.
+Status FillFacts(MemoryConnector* memory, const std::string& table,
+                 size_t num_rows, int64_t num_keys, uint64_t seed) {
+  Random rng(seed);
+  for (size_t done = 0; done < num_rows;) {
+    size_t n = std::min(kPageRows, num_rows - done);
+    std::vector<int64_t> k(n), v(n);
+    std::vector<double> vd(n);
+    for (size_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int64_t>(rng.NextBelow(num_keys));
+      v[i] = static_cast<int64_t>(rng.NextBelow(10000));
+      vd[i] = static_cast<double>(rng.NextBelow(100000)) / 100.0;
+    }
+    std::vector<VectorPtr> columns = {
+        std::make_shared<Int64Vector>(Type::Bigint(), std::move(k),
+                                      std::vector<uint8_t>{}),
+        std::make_shared<Int64Vector>(Type::Bigint(), std::move(v),
+                                      std::vector<uint8_t>{}),
+        std::make_shared<DoubleVector>(Type::Double(), std::move(vd),
+                                       std::vector<uint8_t>{})};
+    RETURN_IF_ERROR(memory->AppendPage("raw", table, Page(std::move(columns), n)));
+    done += n;
+  }
+  return Status::OK();
+}
+
+struct BenchResult {
+  std::string query_name;
+  std::string sql;
+  size_t input_rows = 0;
+  double kernel_millis = 0;
+  double boxed_millis = 0;
+  int64_t result_rows = 0;
+  int64_t groups_created = 0;
+  int64_t hash_probes = 0;
+};
+
+}  // namespace
+}  // namespace presto
+
+int main(int argc, char** argv) {
+  using namespace presto;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+
+  const size_t kGroupByRows = 10'000'000;
+  const size_t kJoinFactRows = 4'000'000;
+  const size_t kDimRows = 100'000;
+
+  auto memory = std::make_shared<MemoryConnector>();
+  TypePtr fact_type =
+      Type::Row({"k", "v", "v_d"}, {Type::Bigint(), Type::Bigint(), Type::Double()});
+  if (!memory->CreateTable("raw", "facts", fact_type).ok()) return 1;
+  if (!FillFacts(memory.get(), "facts", kGroupByRows, 100'000, 11).ok()) return 1;
+  if (!memory->CreateTable("raw", "orders", fact_type).ok()) return 1;
+  if (!FillFacts(memory.get(), "orders", kJoinFactRows, kDimRows, 12).ok()) return 1;
+
+  // Dimension table for the join: every key once, plus a bucket column with
+  // 32 distinct values for the post-join GROUP BY.
+  TypePtr dim_type = Type::Row({"k", "bucket"}, {Type::Bigint(), Type::Bigint()});
+  if (!memory->CreateTable("raw", "dim", dim_type).ok()) return 1;
+  {
+    Random rng(13);
+    for (size_t done = 0; done < kDimRows;) {
+      size_t n = std::min(kPageRows, kDimRows - done);
+      std::vector<int64_t> k(n), bucket(n);
+      for (size_t i = 0; i < n; ++i) {
+        k[i] = static_cast<int64_t>(done + i);
+        bucket[i] = static_cast<int64_t>(rng.NextBelow(32));
+      }
+      std::vector<VectorPtr> columns = {
+          std::make_shared<Int64Vector>(Type::Bigint(), std::move(k),
+                                        std::vector<uint8_t>{}),
+          std::make_shared<Int64Vector>(Type::Bigint(), std::move(bucket),
+                                        std::vector<uint8_t>{})};
+      if (!memory->AppendPage("raw", "dim", Page(std::move(columns), n)).ok()) {
+        return 1;
+      }
+      done += n;
+    }
+  }
+
+  PrestoCluster cluster("engine-bench", 2, 4);
+  (void)cluster.catalogs().RegisterCatalog("mem", memory);
+
+  struct QuerySpec {
+    const char* name;
+    std::string sql;
+    size_t input_rows;
+  };
+  // TPC-H shapes: Q1-style wide aggregation, low- and high-cardinality
+  // group-bys, and a Q3/Q12-style join + aggregate.
+  std::vector<QuerySpec> queries = {
+      {"groupby_int64_100k_groups",
+       "SELECT k, count(*), sum(v), min(v), max(v), avg(v_d) "
+       "FROM mem.raw.facts GROUP BY k",
+       kGroupByRows},
+      {"groupby_int64_mod7",
+       "SELECT k % 7, count(*), sum(v_d) FROM mem.raw.facts GROUP BY k % 7",
+       kGroupByRows},
+      {"global_agg",
+       "SELECT count(*), sum(v), avg(v_d), min(v), max(v) FROM mem.raw.facts",
+       kGroupByRows},
+      {"join_int64_then_agg",
+       "SELECT d.bucket, count(*), sum(o.v) FROM mem.raw.orders o "
+       "JOIN mem.raw.dim d ON o.k = d.k GROUP BY d.bucket",
+       kJoinFactRows},
+  };
+
+  auto best_of = [&](const std::string& sql, bool kernels, int reps,
+                     QueryResult* out) {
+    double best = 1e18;
+    for (int rep = 0; rep < reps; ++rep) {
+      Session session;
+      session.properties["vectorized_kernels"] = kernels ? "true" : "false";
+      auto result = cluster.Execute(sql, session);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n%s\n", sql.c_str(),
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (result->wall_millis < best) {
+        best = result->wall_millis;
+        *out = std::move(*result);
+      }
+    }
+    return best;
+  };
+
+  std::printf("=== Engine kernels vs boxed fallback ===\n\n");
+  std::vector<BenchResult> results;
+  for (const QuerySpec& q : queries) {
+    BenchResult r;
+    r.query_name = q.name;
+    r.sql = q.sql;
+    r.input_rows = q.input_rows;
+    QueryResult kernel_result, boxed_result;
+    r.kernel_millis = best_of(q.sql, true, 3, &kernel_result);
+    r.boxed_millis = best_of(q.sql, false, 2, &boxed_result);
+    r.result_rows = kernel_result.total_rows;
+    r.groups_created = kernel_result.exec_metrics["exec.agg.groups_created"];
+    r.hash_probes = kernel_result.exec_metrics["exec.agg.hash_probes"] +
+                    kernel_result.exec_metrics["exec.join.hash_probes"];
+    if (kernel_result.exec_metrics["exec.agg.fallback_pages"] +
+            kernel_result.exec_metrics["exec.join.fallback_pages"] !=
+        0) {
+      std::fprintf(stderr, "kernel run fell back on %s\n", q.name);
+      return 1;
+    }
+    double speedup = r.boxed_millis / r.kernel_millis;
+    double kernel_mrps = static_cast<double>(q.input_rows) / 1e3 / r.kernel_millis;
+    std::printf("%-28s kernel %8.1f ms (%6.1f Mrows/s)  boxed %8.1f ms  speedup %.2fx\n",
+                q.name, r.kernel_millis, kernel_mrps, r.boxed_millis, speedup);
+    results.push_back(std::move(r));
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_kernels\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"query\": \"%s\", \"input_rows\": %zu, \"result_rows\": %lld,\n"
+        "     \"kernel_millis\": %.2f, \"boxed_millis\": %.2f, "
+        "\"speedup\": %.2f,\n"
+        "     \"kernel_mrows_per_sec\": %.1f, \"groups_created\": %lld, "
+        "\"hash_probes\": %lld}%s\n",
+        r.query_name.c_str(), r.input_rows,
+        static_cast<long long>(r.result_rows), r.kernel_millis, r.boxed_millis,
+        r.boxed_millis / r.kernel_millis,
+        static_cast<double>(r.input_rows) / 1e3 / r.kernel_millis,
+        static_cast<long long>(r.groups_created),
+        static_cast<long long>(r.hash_probes),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

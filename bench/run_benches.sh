@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds and runs the engine benches, leaving machine-readable results at the
+# repo root (BENCH_engine.json). Usage: bench/run_benches.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake --build "$build_dir" --target bench -j
+
+echo "== bench_engine =="
+"$build_dir/bench/bench_engine" "$repo_root/BENCH_engine.json"
+
+echo
+echo "== bench_pushdown =="
+"$build_dir/bench/bench_pushdown"

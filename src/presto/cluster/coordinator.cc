@@ -167,8 +167,12 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
       queries_failed_.fetch_add(1);
       return connector.status();
     }
+    // Target parallelism is the same product used for the task count below:
+    // every worker runs tasks_per_fragment tasks, and each task should get at
+    // least one split. (Using max() here starved all but tasks_per_fragment
+    // tasks of splits on multi-worker clusters.)
     size_t parallelism = std::max<size_t>(
-        1, std::max(workers.size(), options_.tasks_per_fragment));
+        1, std::max<size_t>(workers.size(), 1) * options_.tasks_per_fragment);
     auto splits = (*connector)->CreateSplits(scan->table_schema_name(),
                                              scan->table_name(),
                                              *scan->accepted(), parallelism);
@@ -180,9 +184,7 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
 
     auto buffer = std::make_unique<ExchangeBuffer>();
     size_t num_tasks = std::min<size_t>(
-        std::max<size_t>(1, splits->size()),
-        std::max<size_t>(1, std::max(workers.size(), size_t{1}) *
-                                options_.tasks_per_fragment));
+        std::max<size_t>(1, splits->size()), parallelism);
     // Round-robin splits across tasks.
     std::vector<std::vector<SplitPtr>> batches(num_tasks);
     for (size_t i = 0; i < splits->size(); ++i) {
@@ -202,12 +204,18 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
 
   bool use_fragment_cache =
       session.Property("fragment_result_cache", "false") == "true";
+  // One registry per query, shared by every task (thread-safe); snapshotted
+  // into the result after the root fragment drains.
+  auto query_metrics = std::make_shared<MetricsRegistry>();
   ExecutionLimits limits;
+  limits.metrics = query_metrics.get();
   {
     std::string max_build = session.Property("max_join_build_rows", "");
     if (!max_build.empty()) {
       limits.max_join_build_rows = std::strtoll(max_build.c_str(), nullptr, 10);
     }
+    limits.vectorized_kernels =
+        session.Property("vectorized_kernels", "true") != "false";
   }
 
   // Task body: build the fragment's operator tree over its splits and pump
@@ -313,6 +321,7 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
   }
   // All producer tasks must have fully exited before the buffers go away.
   latch->Wait();
+  result.exec_metrics = query_metrics->Snapshot();
 
   // Output metadata.
   if (root.root->kind() == PlanNodeKind::kOutput) {

@@ -1,8 +1,10 @@
 #ifndef PRESTO_CLUSTER_COORDINATOR_H_
 #define PRESTO_CLUSTER_COORDINATOR_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "presto/cache/lru_cache.h"
@@ -24,6 +26,9 @@ struct QueryResult {
   int num_fragments = 0;
   int num_tasks = 0;
   int num_splits = 0;
+  /// Per-query execution counters aggregated across all tasks (groups
+  /// created, hash-table probes, kernel vs fallback page counts, ...).
+  std::map<std::string, int64_t> exec_metrics;
 
   /// Boxes one result row (r indexes across all pages).
   std::vector<Value> Row(size_t r) const;

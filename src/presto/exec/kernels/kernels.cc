@@ -1,0 +1,754 @@
+#include "presto/exec/kernels/kernels.h"
+
+#include <cstring>
+
+namespace presto {
+namespace kernels {
+
+namespace {
+
+// Normalizes a double key slot: -0.0 folds to 0.0 so it groups/joins with
+// 0.0, matching Value::Hash / Value::Compare semantics.
+inline uint64_t NormalizeDouble(double d) {
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(d));
+  return bits;
+}
+
+inline size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Column preparation and decoding
+// ---------------------------------------------------------------------------
+
+Result<VectorPtr> PrepareColumn(const VectorPtr& vector) {
+  switch (vector->encoding()) {
+    case VectorEncoding::kFlat:
+      return vector;
+    case VectorEncoding::kLazy: {
+      const auto* lazy = static_cast<const LazyVector*>(vector.get());
+      ASSIGN_OR_RETURN(VectorPtr loaded, lazy->Load());
+      return PrepareColumn(loaded);
+    }
+    case VectorEncoding::kDictionary: {
+      const auto* dict = static_cast<const DictionaryVector*>(vector.get());
+      if (dict->base()->encoding() == VectorEncoding::kFlat) return vector;
+      // Dictionary over dictionary/lazy: rare, flatten to a simple shape.
+      return Vector::Flatten(vector);
+    }
+  }
+  return Status::Internal("unknown vector encoding");
+}
+
+namespace {
+
+template <typename T>
+constexpr bool KindMatches(TypeKind kind) {
+  if constexpr (std::is_same_v<T, uint8_t>) {
+    return kind == TypeKind::kBoolean;
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    return IsIntegerLike(kind);
+  } else if constexpr (std::is_same_v<T, double>) {
+    return kind == TypeKind::kDouble;
+  } else {
+    return kind == TypeKind::kVarchar;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+bool TryDecode(const Vector& vector, TypedColumn<T>* out) {
+  *out = TypedColumn<T>();
+  if (vector.encoding() == VectorEncoding::kFlat) {
+    if (!KindMatches<T>(vector.type()->kind())) return false;
+    const auto& flat = static_cast<const FlatVector<T>&>(vector);
+    out->values = flat.values().data();
+    out->base_nulls = flat.raw_nulls();
+    return true;
+  }
+  if (vector.encoding() == VectorEncoding::kDictionary) {
+    const auto& dict = static_cast<const DictionaryVector&>(vector);
+    if (dict.base()->encoding() != VectorEncoding::kFlat) return false;
+    if (!KindMatches<T>(dict.base()->type()->kind())) return false;
+    const auto& base = static_cast<const FlatVector<T>&>(*dict.base());
+    out->values = base.values().data();
+    out->base_nulls = base.raw_nulls();
+    out->indices = dict.indices().data();
+    out->top_nulls = dict.raw_nulls();
+    return true;
+  }
+  return false;
+}
+
+template bool TryDecode<uint8_t>(const Vector&, TypedColumn<uint8_t>*);
+template bool TryDecode<int64_t>(const Vector&, TypedColumn<int64_t>*);
+template bool TryDecode<double>(const Vector&, TypedColumn<double>*);
+template bool TryDecode<std::string>(const Vector&, TypedColumn<std::string>*);
+
+void CollectNullFlags(const Vector& vector, std::vector<uint8_t>* out) {
+  size_t n = vector.size();
+  out->assign(n, 0);
+  if (vector.encoding() == VectorEncoding::kFlat &&
+      vector.type()->IsScalar()) {
+    const uint8_t* nulls = nullptr;
+    switch (vector.type()->kind()) {
+      case TypeKind::kBoolean:
+        nulls = static_cast<const BoolVector&>(vector).raw_nulls();
+        break;
+      case TypeKind::kDouble:
+        nulls = static_cast<const DoubleVector&>(vector).raw_nulls();
+        break;
+      case TypeKind::kVarchar:
+        nulls = static_cast<const StringVector&>(vector).raw_nulls();
+        break;
+      default:
+        nulls = static_cast<const Int64Vector&>(vector).raw_nulls();
+        break;
+    }
+    if (nulls != nullptr) std::memcpy(out->data(), nulls, n);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (vector.IsNull(i)) (*out)[i] = 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StringPool
+// ---------------------------------------------------------------------------
+
+uint32_t StringPool::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  strings_.emplace_back(s);
+  uint32_t id = static_cast<uint32_t>(strings_.size() - 1);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+std::optional<uint32_t> StringPool::Find(std::string_view s) const {
+  auto it = ids_.find(s);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// NormalizedKeyTable
+// ---------------------------------------------------------------------------
+
+bool NormalizedKeyTable::SupportsKeyKinds(const std::vector<TypeKind>& kinds) {
+  if (kinds.size() > 64) return false;  // null bitmask width
+  for (TypeKind kind : kinds) {
+    if (!IsScalarKind(kind)) return false;
+  }
+  return true;
+}
+
+NormalizedKeyTable::NormalizedKeyTable(std::vector<TypeKind> key_kinds)
+    : key_kinds_(std::move(key_kinds)), num_keys_(key_kinds_.size()) {}
+
+void NormalizedKeyTable::Rehash(size_t new_capacity) {
+  capacity_ = new_capacity;
+  table_.assign(capacity_, 0);
+  size_t mask = capacity_ - 1;
+  for (size_t g = 0; g < num_groups_; ++g) {
+    size_t idx = group_hashes_[g] & mask;
+    while (table_[idx] != 0) idx = (idx + 1) & mask;
+    table_[idx] = static_cast<int32_t>(g) + 1;
+  }
+}
+
+void NormalizedKeyTable::ReserveFor(size_t additional_groups) {
+  size_t needed = num_groups_ + additional_groups;
+  if (capacity_ == 0 || needed * 2 > capacity_) {
+    Rehash(NextPowerOfTwo(std::max<size_t>(needed * 2, 1024)));
+  }
+}
+
+void NormalizedKeyTable::EnsureGlobalGroup() {
+  if (num_groups_ > 0) return;
+  ReserveFor(1);
+  for (size_t k = 0; k < num_keys_; ++k) key_data_.push_back(0);
+  null_masks_.push_back(0);
+  group_hashes_.push_back(0);
+  size_t mask = capacity_ - 1;
+  size_t idx = 0 & mask;
+  while (table_[idx] != 0) idx = (idx + 1) & mask;
+  table_[idx] = static_cast<int32_t>(num_groups_) + 1;
+  ++num_groups_;
+}
+
+Result<int64_t> NormalizedKeyTable::MapRows(const Page& page,
+                                            const std::vector<int>& channels,
+                                            bool insert_missing,
+                                            bool skip_null_keys,
+                                            std::vector<int32_t>* group_ids) {
+  const size_t n = page.num_rows();
+  scratch_slots_.assign(n * num_keys_, 0);
+  scratch_null_masks_.assign(n, 0);
+  scratch_miss_.assign(n, 0);
+
+  // -- Normalize every key column into fixed-width slots. ---------------------
+  for (size_t k = 0; k < num_keys_; ++k) {
+    const Vector& col = *page.column(channels[k]);
+    uint64_t* slots = scratch_slots_.data() + k;  // strided by num_keys_
+    const uint64_t null_bit = uint64_t{1} << k;
+    auto set_null = [&](size_t i) { scratch_null_masks_[i] |= null_bit; };
+    switch (key_kinds_[k]) {
+      case TypeKind::kBoolean: {
+        TypedColumn<uint8_t> tc;
+        if (!TryDecode(col, &tc)) {
+          return Status::Internal("kernel decode failed for BOOLEAN key");
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (tc.IsNull(i)) {
+            set_null(i);
+          } else {
+            slots[i * num_keys_] = tc.At(i) != 0 ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case TypeKind::kDouble: {
+        TypedColumn<double> tc;
+        if (!TryDecode(col, &tc)) {
+          return Status::Internal("kernel decode failed for DOUBLE key");
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (tc.IsNull(i)) {
+            set_null(i);
+          } else {
+            slots[i * num_keys_] = NormalizeDouble(tc.At(i));
+          }
+        }
+        break;
+      }
+      case TypeKind::kVarchar: {
+        TypedColumn<std::string> tc;
+        if (!TryDecode(col, &tc)) {
+          return Status::Internal("kernel decode failed for VARCHAR key");
+        }
+        if (tc.indices != nullptr) {
+          // Dictionary-encoded strings: intern each distinct base value
+          // once, then the row loop is a pure index gather.
+          const auto& dict = static_cast<const DictionaryVector&>(col);
+          const auto& base_vec =
+              static_cast<const StringVector&>(*dict.base());
+          size_t base_n = base_vec.size();
+          std::vector<uint64_t> base_ids(base_n, 0);
+          std::vector<uint8_t> base_miss(base_n, 0);
+          for (size_t b = 0; b < base_n; ++b) {
+            if (base_vec.IsNull(b)) continue;
+            if (insert_missing) {
+              base_ids[b] = strings_.Intern(base_vec.ValueAt(b));
+            } else if (auto id = strings_.Find(base_vec.ValueAt(b))) {
+              base_ids[b] = *id;
+            } else {
+              base_miss[b] = 1;
+            }
+          }
+          for (size_t i = 0; i < n; ++i) {
+            if (tc.IsNull(i)) {
+              set_null(i);
+            } else if (base_miss[tc.indices[i]] != 0) {
+              scratch_miss_[i] = 1;
+            } else {
+              slots[i * num_keys_] = base_ids[tc.indices[i]];
+            }
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            if (tc.IsNull(i)) {
+              set_null(i);
+            } else if (insert_missing) {
+              slots[i * num_keys_] = strings_.Intern(tc.At(i));
+            } else if (auto id = strings_.Find(tc.At(i))) {
+              slots[i * num_keys_] = *id;
+            } else {
+              scratch_miss_[i] = 1;
+            }
+          }
+        }
+        break;
+      }
+      default: {  // integer-like: INTEGER / BIGINT / TIMESTAMP
+        TypedColumn<int64_t> tc;
+        if (!TryDecode(col, &tc)) {
+          return Status::Internal("kernel decode failed for BIGINT key");
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (tc.IsNull(i)) {
+            set_null(i);
+          } else {
+            slots[i * num_keys_] = static_cast<uint64_t>(tc.At(i));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // -- Hash the normalized rows. ----------------------------------------------
+  scratch_hashes_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = 0;
+    const uint64_t* row_slots = scratch_slots_.data() + i * num_keys_;
+    uint64_t null_mask = scratch_null_masks_[i];
+    for (size_t k = 0; k < num_keys_; ++k) {
+      uint64_t slot_hash = (null_mask >> k) & 1
+                               ? kNullHash
+                               : HashMix64(row_slots[k]);
+      h = HashCombine(h, slot_hash);
+    }
+    scratch_hashes_[i] = h;
+  }
+
+  // -- Probe / insert. ---------------------------------------------------------
+  if (insert_missing) ReserveFor(n);
+  int64_t probes = 0;
+  const size_t mask = capacity_ == 0 ? 0 : capacity_ - 1;
+  group_ids->reserve(group_ids->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scratch_miss_[i] != 0 ||
+        (skip_null_keys && scratch_null_masks_[i] != 0)) {
+      group_ids->push_back(kNoGroup);
+      continue;
+    }
+    if (capacity_ == 0) {  // find-only on an empty table
+      group_ids->push_back(kNoGroup);
+      continue;
+    }
+    const uint64_t h = scratch_hashes_[i];
+    const uint64_t* row_slots = scratch_slots_.data() + i * num_keys_;
+    const uint64_t row_null_mask = scratch_null_masks_[i];
+    size_t idx = h & mask;
+    int32_t gid = kNoGroup;
+    while (true) {
+      ++probes;
+      int32_t slot = table_[idx];
+      if (slot == 0) {
+        if (insert_missing) {
+          gid = static_cast<int32_t>(num_groups_);
+          key_data_.insert(key_data_.end(), row_slots, row_slots + num_keys_);
+          null_masks_.push_back(row_null_mask);
+          group_hashes_.push_back(h);
+          table_[idx] = gid + 1;
+          ++num_groups_;
+        }
+        break;
+      }
+      const int32_t g = slot - 1;
+      if (group_hashes_[g] == h && null_masks_[g] == row_null_mask) {
+        const uint64_t* group_slots = key_data_.data() + g * num_keys_;
+        bool equal = true;
+        for (size_t k = 0; k < num_keys_; ++k) {
+          // Null slots hold 0 on both sides, so a plain compare is exact.
+          if (group_slots[k] != row_slots[k]) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          gid = g;
+          break;
+        }
+      }
+      idx = (idx + 1) & mask;
+    }
+    group_ids->push_back(gid);
+  }
+  return probes;
+}
+
+Result<std::vector<VectorPtr>> NormalizedKeyTable::BuildKeyColumns(
+    const std::vector<TypePtr>& key_types) const {
+  std::vector<VectorPtr> out;
+  out.reserve(num_keys_);
+  for (size_t k = 0; k < num_keys_; ++k) {
+    const uint64_t null_bit = uint64_t{1} << k;
+    std::vector<uint8_t> nulls(num_groups_, 0);
+    bool any_null = false;
+    for (size_t g = 0; g < num_groups_; ++g) {
+      if ((null_masks_[g] & null_bit) != 0) {
+        nulls[g] = 1;
+        any_null = true;
+      }
+    }
+    if (!any_null) nulls.clear();
+    switch (key_kinds_[k]) {
+      case TypeKind::kBoolean: {
+        std::vector<uint8_t> values(num_groups_);
+        for (size_t g = 0; g < num_groups_; ++g) {
+          values[g] = static_cast<uint8_t>(key_data_[g * num_keys_ + k]);
+        }
+        out.push_back(std::make_shared<BoolVector>(
+            key_types[k], std::move(values), std::move(nulls)));
+        break;
+      }
+      case TypeKind::kDouble: {
+        std::vector<double> values(num_groups_);
+        for (size_t g = 0; g < num_groups_; ++g) {
+          uint64_t bits = key_data_[g * num_keys_ + k];
+          double d;
+          std::memcpy(&d, &bits, sizeof(d));
+          values[g] = d;
+        }
+        out.push_back(std::make_shared<DoubleVector>(
+            key_types[k], std::move(values), std::move(nulls)));
+        break;
+      }
+      case TypeKind::kVarchar: {
+        std::vector<std::string> values(num_groups_);
+        for (size_t g = 0; g < num_groups_; ++g) {
+          if (!nulls.empty() && nulls[g] != 0) continue;
+          values[g] =
+              strings_.at(static_cast<uint32_t>(key_data_[g * num_keys_ + k]));
+        }
+        out.push_back(std::make_shared<StringVector>(
+            key_types[k], std::move(values), std::move(nulls)));
+        break;
+      }
+      default: {
+        std::vector<int64_t> values(num_groups_);
+        for (size_t g = 0; g < num_groups_; ++g) {
+          values[g] = static_cast<int64_t>(key_data_[g * num_keys_ + k]);
+        }
+        out.push_back(std::make_shared<Int64Vector>(
+            key_types[k], std::move(values), std::move(nulls)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Grouped accumulators
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class CountGrouped final : public GroupedAccumulator {
+ public:
+  explicit CountGrouped(bool count_non_null)
+      : count_non_null_(count_non_null) {}
+
+  void EnsureGroups(size_t num_groups) override {
+    if (counts_.size() < num_groups) counts_.resize(num_groups, 0);
+  }
+
+  Status AddBatch(const VectorPtr* arg, const int32_t* groups,
+                  size_t n) override {
+    if (!count_non_null_ || arg == nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        if (groups[i] >= 0) ++counts_[groups[i]];
+      }
+      return Status::OK();
+    }
+    CollectNullFlags(**arg, &null_scratch_);
+    for (size_t i = 0; i < n; ++i) {
+      if (groups[i] >= 0 && null_scratch_[i] == 0) ++counts_[groups[i]];
+    }
+    return Status::OK();
+  }
+
+  Status MergeBatch(const VectorPtr& arg, const int32_t* groups,
+                    size_t n) override {
+    TypedColumn<int64_t> tc;
+    if (!TryDecode(*arg, &tc)) {
+      return Status::Internal("count merge: intermediate is not BIGINT");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (groups[i] >= 0 && !tc.IsNull(i)) counts_[groups[i]] += tc.At(i);
+    }
+    return Status::OK();
+  }
+
+  Result<VectorPtr> Build(bool) const override {
+    std::vector<int64_t> values(counts_.begin(), counts_.end());
+    return VectorPtr(std::make_shared<Int64Vector>(
+        Type::Bigint(), std::move(values), std::vector<uint8_t>{}));
+  }
+
+ private:
+  bool count_non_null_;
+  std::vector<int64_t> counts_;
+  std::vector<uint8_t> null_scratch_;
+};
+
+template <typename T>
+class SumGrouped final : public GroupedAccumulator {
+ public:
+  explicit SumGrouped(TypePtr type) : type_(std::move(type)) {}
+
+  void EnsureGroups(size_t num_groups) override {
+    if (sums_.size() < num_groups) {
+      sums_.resize(num_groups, T{});
+      has_.resize(num_groups, 0);
+    }
+  }
+
+  Status AddBatch(const VectorPtr* arg, const int32_t* groups,
+                  size_t n) override {
+    TypedColumn<T> tc;
+    if (arg == nullptr || !TryDecode(**arg, &tc)) {
+      return Status::Internal("sum kernel: argument decode failed");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      int32_t g = groups[i];
+      if (g < 0 || tc.IsNull(i)) continue;
+      sums_[g] += tc.At(i);
+      has_[g] = 1;
+    }
+    return Status::OK();
+  }
+
+  Status MergeBatch(const VectorPtr& arg, const int32_t* groups,
+                    size_t n) override {
+    return AddBatch(&arg, groups, n);  // sum-of-sums
+  }
+
+  Result<VectorPtr> Build(bool) const override {
+    std::vector<T> values(sums_.begin(), sums_.end());
+    std::vector<uint8_t> nulls;
+    bool any_null = false;
+    nulls.resize(has_.size(), 0);
+    for (size_t g = 0; g < has_.size(); ++g) {
+      if (has_[g] == 0) {
+        nulls[g] = 1;
+        any_null = true;
+      }
+    }
+    if (!any_null) nulls.clear();
+    return VectorPtr(std::make_shared<FlatVector<T>>(type_, std::move(values),
+                                                     std::move(nulls)));
+  }
+
+ private:
+  TypePtr type_;
+  std::vector<T> sums_;
+  std::vector<uint8_t> has_;
+};
+
+template <typename T, bool kIsMin>
+class MinMaxGrouped final : public GroupedAccumulator {
+ public:
+  explicit MinMaxGrouped(TypePtr type) : type_(std::move(type)) {}
+
+  void EnsureGroups(size_t num_groups) override {
+    if (best_.size() < num_groups) {
+      best_.resize(num_groups, T{});
+      has_.resize(num_groups, 0);
+    }
+  }
+
+  Status AddBatch(const VectorPtr* arg, const int32_t* groups,
+                  size_t n) override {
+    TypedColumn<T> tc;
+    if (arg == nullptr || !TryDecode(**arg, &tc)) {
+      return Status::Internal("min/max kernel: argument decode failed");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      int32_t g = groups[i];
+      if (g < 0 || tc.IsNull(i)) continue;
+      const T& v = tc.At(i);
+      if (has_[g] == 0 || (kIsMin ? v < best_[g] : best_[g] < v)) {
+        best_[g] = v;
+        has_[g] = 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status MergeBatch(const VectorPtr& arg, const int32_t* groups,
+                    size_t n) override {
+    return AddBatch(&arg, groups, n);
+  }
+
+  Result<VectorPtr> Build(bool) const override {
+    std::vector<T> values(best_.begin(), best_.end());
+    std::vector<uint8_t> nulls;
+    bool any_null = false;
+    nulls.resize(has_.size(), 0);
+    for (size_t g = 0; g < has_.size(); ++g) {
+      if (has_[g] == 0) {
+        nulls[g] = 1;
+        any_null = true;
+      }
+    }
+    if (!any_null) nulls.clear();
+    return VectorPtr(std::make_shared<FlatVector<T>>(type_, std::move(values),
+                                                     std::move(nulls)));
+  }
+
+ private:
+  TypePtr type_;
+  std::vector<T> best_;
+  std::vector<uint8_t> has_;
+};
+
+class AvgGrouped final : public GroupedAccumulator {
+ public:
+  explicit AvgGrouped(TypePtr intermediate_type)
+      : intermediate_type_(std::move(intermediate_type)) {}
+
+  void EnsureGroups(size_t num_groups) override {
+    if (sums_.size() < num_groups) {
+      sums_.resize(num_groups, 0.0);
+      counts_.resize(num_groups, 0);
+    }
+  }
+
+  Status AddBatch(const VectorPtr* arg, const int32_t* groups,
+                  size_t n) override {
+    if (arg == nullptr) return Status::Internal("avg kernel: missing argument");
+    TypedColumn<double> td;
+    if (TryDecode(**arg, &td)) {
+      for (size_t i = 0; i < n; ++i) {
+        int32_t g = groups[i];
+        if (g < 0 || td.IsNull(i)) continue;
+        sums_[g] += td.At(i);
+        ++counts_[g];
+      }
+      return Status::OK();
+    }
+    TypedColumn<int64_t> ti;
+    if (TryDecode(**arg, &ti)) {
+      for (size_t i = 0; i < n; ++i) {
+        int32_t g = groups[i];
+        if (g < 0 || ti.IsNull(i)) continue;
+        sums_[g] += static_cast<double>(ti.At(i));
+        ++counts_[g];
+      }
+      return Status::OK();
+    }
+    return Status::Internal("avg kernel: argument decode failed");
+  }
+
+  Status MergeBatch(const VectorPtr& arg, const int32_t* groups,
+                    size_t n) override {
+    // Intermediate is ROW(sum DOUBLE, count BIGINT); the operator flattens
+    // the column before merging, so a RowVector with flat children arrives.
+    ASSIGN_OR_RETURN(VectorPtr flat, Vector::Flatten(arg));
+    if (flat->type()->kind() != TypeKind::kRow) {
+      return Status::Internal("avg merge: intermediate is not ROW");
+    }
+    const auto& row = static_cast<const RowVector&>(*flat);
+    TypedColumn<double> sums;
+    TypedColumn<int64_t> counts;
+    if (row.NumChildren() != 2 || !TryDecode(*row.child(0), &sums) ||
+        !TryDecode(*row.child(1), &counts)) {
+      return Status::Internal("avg merge: intermediate decode failed");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      int32_t g = groups[i];
+      if (g < 0 || row.IsNull(i)) continue;
+      sums_[g] += sums.At(i);
+      counts_[g] += counts.At(i);
+    }
+    return Status::OK();
+  }
+
+  Result<VectorPtr> Build(bool intermediate) const override {
+    size_t n = sums_.size();
+    if (intermediate) {
+      std::vector<double> sums(sums_.begin(), sums_.end());
+      std::vector<int64_t> counts(counts_.begin(), counts_.end());
+      std::vector<VectorPtr> children = {
+          std::make_shared<DoubleVector>(Type::Double(), std::move(sums),
+                                         std::vector<uint8_t>{}),
+          std::make_shared<Int64Vector>(Type::Bigint(), std::move(counts),
+                                        std::vector<uint8_t>{})};
+      return VectorPtr(std::make_shared<RowVector>(intermediate_type_, n,
+                                                   std::move(children)));
+    }
+    std::vector<double> values(n, 0.0);
+    std::vector<uint8_t> nulls(n, 0);
+    bool any_null = false;
+    for (size_t g = 0; g < n; ++g) {
+      if (counts_[g] == 0) {
+        nulls[g] = 1;
+        any_null = true;
+      } else {
+        values[g] = sums_[g] / static_cast<double>(counts_[g]);
+      }
+    }
+    if (!any_null) nulls.clear();
+    return VectorPtr(std::make_shared<DoubleVector>(
+        Type::Double(), std::move(values), std::move(nulls)));
+  }
+
+ private:
+  TypePtr intermediate_type_;
+  std::vector<double> sums_;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace
+
+std::unique_ptr<GroupedAccumulator> MakeGroupedAccumulator(
+    const AggregateFunction& function, const TypePtr& output_type) {
+  const std::string& name = function.handle.name;
+  const std::vector<TypePtr>& args = function.handle.argument_types;
+  if (name == "count" && args.size() <= 1) {
+    return std::make_unique<CountGrouped>(!args.empty());
+  }
+  if (args.size() != 1) return nullptr;
+  TypeKind arg_kind = args[0]->kind();
+  if (name == "sum") {
+    if (IsIntegerLike(arg_kind)) {
+      return std::make_unique<SumGrouped<int64_t>>(output_type);
+    }
+    if (arg_kind == TypeKind::kDouble) {
+      return std::make_unique<SumGrouped<double>>(output_type);
+    }
+    return nullptr;
+  }
+  if (name == "avg" &&
+      (IsIntegerLike(arg_kind) || arg_kind == TypeKind::kDouble)) {
+    return std::make_unique<AvgGrouped>(function.intermediate_type);
+  }
+  if (name == "min" || name == "max") {
+    const bool is_min = name == "min";
+    if (IsIntegerLike(arg_kind)) {
+      if (is_min) return std::make_unique<MinMaxGrouped<int64_t, true>>(output_type);
+      return std::make_unique<MinMaxGrouped<int64_t, false>>(output_type);
+    }
+    if (arg_kind == TypeKind::kDouble) {
+      if (is_min) return std::make_unique<MinMaxGrouped<double, true>>(output_type);
+      return std::make_unique<MinMaxGrouped<double, false>>(output_type);
+    }
+    if (arg_kind == TypeKind::kVarchar) {
+      if (is_min) {
+        return std::make_unique<MinMaxGrouped<std::string, true>>(output_type);
+      }
+      return std::make_unique<MinMaxGrouped<std::string, false>>(output_type);
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Batch row hashing
+// ---------------------------------------------------------------------------
+
+void HashPage(const Page& page, const std::vector<int>& channels,
+              std::vector<uint64_t>* hashes) {
+  hashes->assign(page.num_rows(), 0);
+  if (hashes->empty()) return;
+  for (int c : channels) {
+    page.column(c)->HashBatch(hashes->data(), /*combine=*/true);
+  }
+}
+
+}  // namespace kernels
+}  // namespace presto

@@ -1,0 +1,199 @@
+#ifndef PRESTO_EXEC_KERNELS_KERNELS_H_
+#define PRESTO_EXEC_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "presto/common/hash.h"
+#include "presto/expr/function_registry.h"
+#include "presto/planner/plan.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+namespace kernels {
+
+/// Hash of a NULL slot; matches FlatVector::HashAt and Value::Hash for NULL
+/// so batch and row-at-a-time hashing agree.
+inline constexpr uint64_t kNullHash = 0x5c5c5c5c5c5c5c5cULL;
+
+// ---------------------------------------------------------------------------
+// TypedColumn: zero-virtual-dispatch view over a flat or dict-of-flat column
+// ---------------------------------------------------------------------------
+
+/// Decoded view of a scalar column. Inner loops index raw arrays instead of
+/// calling GetValue()/IsNull() virtually per row; dictionary indirection is
+/// one gather, never a materialized copy.
+template <typename T>
+struct TypedColumn {
+  const T* values = nullptr;            // base values
+  const uint8_t* base_nulls = nullptr;  // base null flags (may be null)
+  const int32_t* indices = nullptr;     // dictionary indices (null == flat)
+  const uint8_t* top_nulls = nullptr;   // dictionary-level null flags
+
+  bool IsNull(size_t row) const {
+    if (indices == nullptr) return base_nulls != nullptr && base_nulls[row] != 0;
+    if (top_nulls != nullptr && top_nulls[row] != 0) return true;
+    return base_nulls != nullptr && base_nulls[indices[row]] != 0;
+  }
+  const T& At(size_t row) const {
+    return values[indices == nullptr ? row : indices[row]];
+  }
+};
+
+/// Loads lazy vectors and flattens exotic nestings (dictionary over
+/// dictionary/lazy) so the result is flat, or a dictionary over a flat base —
+/// the two shapes TypedColumn understands. Plain dictionaries are preserved
+/// so kernels can work through the indirection.
+Result<VectorPtr> PrepareColumn(const VectorPtr& vector);
+
+/// Decodes a prepared scalar column into a typed view. Returns false when
+/// the vector's physical storage does not use T slots.
+template <typename T>
+bool TryDecode(const Vector& vector, TypedColumn<T>* out);
+
+/// Per-row null flags without boxing: fast array paths for flat and
+/// dictionary encodings, a virtual IsNull loop for nested vectors.
+void CollectNullFlags(const Vector& vector, std::vector<uint8_t>* out);
+
+// ---------------------------------------------------------------------------
+// StringPool: interning for VARCHAR keys
+// ---------------------------------------------------------------------------
+
+/// Maps distinct strings to dense uint32 ids so VARCHAR group-by / join keys
+/// become fixed-width normalized slots (id equality == string equality).
+class StringPool {
+ public:
+  uint32_t Intern(std::string_view s);
+  /// Lookup without inserting (join probe side); nullopt == no such key in
+  /// the table, i.e. a guaranteed miss.
+  std::optional<uint32_t> Find(std::string_view s) const;
+  const std::string& at(uint32_t id) const { return strings_[id]; }
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;  // deque: stable addresses for the views
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+// ---------------------------------------------------------------------------
+// NormalizedKeyTable: flat open-addressing group table on fixed-width keys
+// ---------------------------------------------------------------------------
+
+/// Hash table used by both hash aggregation (group-by keys -> group id) and
+/// hash join (build keys -> key id, with the caller chaining duplicate build
+/// rows). Keys are normalized to fixed-width 64-bit slots (ints as-is,
+/// doubles bit-cast with -0.0 folded to 0.0, booleans 0/1, strings interned
+/// to pool ids) plus a per-row null bitmask, stored inline in one contiguous
+/// arena — no std::vector<Value> per group, no per-row virtual dispatch.
+class NormalizedKeyTable {
+ public:
+  static constexpr int32_t kNoGroup = -1;
+
+  /// True when every key kind can be normalized (all scalar kinds).
+  static bool SupportsKeyKinds(const std::vector<TypeKind>& kinds);
+
+  explicit NormalizedKeyTable(std::vector<TypeKind> key_kinds);
+
+  /// Maps every row of `page` (key columns given by `channels`, already run
+  /// through PrepareColumn) to a group id, appended to `group_ids`.
+  /// insert_missing: unseen keys create new groups (group-by, join build);
+  /// otherwise they map to kNoGroup (join probe). skip_null_keys: rows with
+  /// any NULL key map to kNoGroup without probing (SQL join equality);
+  /// otherwise NULL is an ordinary key value (SQL GROUP BY).
+  /// Returns the number of hash-table probes performed.
+  Result<int64_t> MapRows(const Page& page, const std::vector<int>& channels,
+                          bool insert_missing, bool skip_null_keys,
+                          std::vector<int32_t>* group_ids);
+
+  /// Inserts the zero-key group if the table is empty (global aggregation
+  /// over empty input still emits one row).
+  void EnsureGlobalGroup();
+
+  size_t num_groups() const { return num_groups_; }
+
+  /// Rebuilds the key columns, one row per group in creation order.
+  Result<std::vector<VectorPtr>> BuildKeyColumns(
+      const std::vector<TypePtr>& key_types) const;
+
+ private:
+  void ReserveFor(size_t additional_groups);
+  void Rehash(size_t new_capacity);
+
+  std::vector<TypeKind> key_kinds_;
+  size_t num_keys_;
+  StringPool strings_;
+
+  // Group storage: group g's keys live at key_data_[g*num_keys_ ..].
+  std::vector<uint64_t> key_data_;
+  std::vector<uint64_t> null_masks_;
+  std::vector<uint64_t> group_hashes_;
+
+  // Open-addressing slots holding group id + 1 (0 == empty).
+  std::vector<int32_t> table_;
+  size_t capacity_ = 0;
+
+  size_t num_groups_ = 0;
+
+  // Per-batch scratch (reused across pages).
+  std::vector<uint64_t> scratch_slots_;
+  std::vector<uint64_t> scratch_null_masks_;
+  std::vector<uint64_t> scratch_hashes_;
+  std::vector<uint8_t> scratch_miss_;
+};
+
+// ---------------------------------------------------------------------------
+// Grouped accumulators: whole-column aggregation, one state array per table
+// ---------------------------------------------------------------------------
+
+/// Columnar counterpart of Accumulator: state for ALL groups lives in flat
+/// arrays and a whole input column is folded in per call, driven by the
+/// group-id vector the NormalizedKeyTable produced.
+class GroupedAccumulator {
+ public:
+  virtual ~GroupedAccumulator() = default;
+
+  /// Grows state to cover groups [0, num_groups).
+  virtual void EnsureGroups(size_t num_groups) = 0;
+
+  /// Folds in raw input rows: row i goes to group groups[i] (kNoGroup rows
+  /// are skipped). `arg` is the prepared argument column, or nullptr for
+  /// zero-argument aggregates (count(*)).
+  virtual Status AddBatch(const VectorPtr* arg, const int32_t* groups,
+                          size_t n) = 0;
+
+  /// Folds in a column of Intermediate() values (final aggregation step).
+  virtual Status MergeBatch(const VectorPtr& arg, const int32_t* groups,
+                            size_t n) = 0;
+
+  /// Builds the output column, one row per group in group-id order.
+  /// intermediate=true produces the partial-step representation.
+  virtual Result<VectorPtr> Build(bool intermediate) const = 0;
+};
+
+/// Returns the columnar implementation for a resolved aggregate, or nullptr
+/// when the function/argument types are not covered (the operator then runs
+/// the Value-boxed fallback path). `output_type` is the final output type
+/// from the plan; the intermediate type comes from the registration.
+std::unique_ptr<GroupedAccumulator> MakeGroupedAccumulator(
+    const AggregateFunction& function, const TypePtr& output_type);
+
+// ---------------------------------------------------------------------------
+// Batch row hashing (used by the boxed fallback paths too)
+// ---------------------------------------------------------------------------
+
+/// Combined hash of the given channels for every row of the page, via the
+/// vectors' HashBatch overrides (one virtual call per column per page
+/// instead of one per row). `hashes` is resized and overwritten.
+void HashPage(const Page& page, const std::vector<int>& channels,
+              std::vector<uint64_t>* hashes);
+
+}  // namespace kernels
+}  // namespace presto
+
+#endif  // PRESTO_EXEC_KERNELS_KERNELS_H_

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "presto/exec/kernels/kernels.h"
 #include "presto/vector/vector_builder.h"
 
 namespace presto {
 
 namespace {
+
+void Bump(MetricsRegistry* metrics, const char* name, int64_t delta) {
+  if (metrics != nullptr && delta != 0) metrics->Increment(name, delta);
+}
 
 // ---------------------------------------------------------------------------
 // Helpers
@@ -247,8 +252,10 @@ class FilterOperator final : public Operator {
       ASSIGN_OR_RETURN(std::vector<int32_t> rows,
                        EvalPredicate(*predicate_, *page, layout_, functions_));
       if (rows.empty()) continue;
+      // Surviving rows travel as a selection vector (dictionary wrap) rather
+      // than a materialized copy; lazy columns load only the selected rows.
       Page out = rows.size() == page->num_rows() ? std::move(*page)
-                                                 : page->SliceRows(rows);
+                                                 : page->WrapRows(rows);
       rows_produced_ += static_cast<int64_t>(out.num_rows());
       return std::optional<Page>(std::move(out));
     }
@@ -304,7 +311,7 @@ class LimitOperator final : public Operator {
     if (static_cast<int64_t>(page->num_rows()) > remaining_) {
       std::vector<int32_t> rows(remaining_);
       for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int32_t>(i);
-      *page = page->SliceRows(rows);
+      *page = page->WrapRows(rows);
     }
     remaining_ -= static_cast<int64_t>(page->num_rows());
     rows_produced_ += static_cast<int64_t>(page->num_rows());
@@ -330,16 +337,24 @@ class HashAggregationOperator final : public Operator {
 
   HashAggregationOperator(OperatorPtr child, std::vector<int> key_channels,
                           std::vector<TypePtr> key_types,
-                          std::vector<AggSpec> aggs, AggregationStep step)
+                          std::vector<AggSpec> aggs, AggregationStep step,
+                          const ExecutionLimits& limits)
       : child_(std::move(child)),
         key_channels_(std::move(key_channels)),
         key_types_(std::move(key_types)),
         aggs_(std::move(aggs)),
-        step_(step) {}
+        step_(step),
+        metrics_(limits.metrics) {
+    InitKernel(limits);
+  }
 
   Result<std::optional<Page>> Next() override {
     if (done_) return std::optional<Page>();
     done_ = true;
+    if (use_kernel_) {
+      RETURN_IF_ERROR(ConsumeInputKernel());
+      return ProduceOutputKernel();
+    }
     RETURN_IF_ERROR(ConsumeInput().status());
     return ProduceOutput();
   }
@@ -349,6 +364,96 @@ class HashAggregationOperator final : public Operator {
     std::vector<Value> keys;
     std::vector<std::unique_ptr<Accumulator>> accumulators;
   };
+
+  // The kernel path is chosen statically per operator: every key kind must
+  // normalize to a fixed-width slot and every aggregate must have a grouped
+  // (columnar) implementation. Otherwise the Value-boxed path runs.
+  void InitKernel(const ExecutionLimits& limits) {
+    if (!limits.vectorized_kernels) return;
+    std::vector<TypeKind> kinds;
+    kinds.reserve(key_types_.size());
+    for (const TypePtr& t : key_types_) kinds.push_back(t->kind());
+    if (!kernels::NormalizedKeyTable::SupportsKeyKinds(kinds)) return;
+    std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped;
+    for (const AggSpec& agg : aggs_) {
+      if (agg.arg_channels.size() > 1) return;
+      if (step_ == AggregationStep::kFinal && agg.arg_channels.size() != 1) {
+        return;
+      }
+      auto g = kernels::MakeGroupedAccumulator(*agg.function, agg.output_type);
+      if (g == nullptr) return;
+      grouped.push_back(std::move(g));
+    }
+    key_table_ = std::make_unique<kernels::NormalizedKeyTable>(std::move(kinds));
+    grouped_ = std::move(grouped);
+    use_kernel_ = true;
+  }
+
+  Status ConsumeInputKernel() {
+    while (true) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
+      if (!page.has_value()) break;
+      size_t n = page->num_rows();
+      // Load lazy columns / simplify encodings once per page; dictionaries
+      // stay dictionaries (kernels gather through the indices).
+      std::vector<VectorPtr> columns = page->columns();
+      for (int c : key_channels_) {
+        ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
+      }
+      for (const AggSpec& agg : aggs_) {
+        for (int c : agg.arg_channels) {
+          ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
+        }
+      }
+      Page prepared(std::move(columns), n);
+
+      size_t groups_before = key_table_->num_groups();
+      group_ids_.clear();
+      ASSIGN_OR_RETURN(int64_t probes,
+                       key_table_->MapRows(prepared, key_channels_,
+                                           /*insert_missing=*/true,
+                                           /*skip_null_keys=*/false,
+                                           &group_ids_));
+      Bump(metrics_, "exec.agg.kernel_pages", 1);
+      Bump(metrics_, "exec.agg.hash_probes", probes);
+      Bump(metrics_, "exec.agg.groups_created",
+           static_cast<int64_t>(key_table_->num_groups() - groups_before));
+      for (auto& g : grouped_) g->EnsureGroups(key_table_->num_groups());
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (step_ == AggregationStep::kFinal) {
+          RETURN_IF_ERROR(grouped_[a]->MergeBatch(
+              prepared.column(aggs_[a].arg_channels[0]), group_ids_.data(), n));
+        } else if (aggs_[a].arg_channels.empty()) {
+          RETURN_IF_ERROR(grouped_[a]->AddBatch(nullptr, group_ids_.data(), n));
+        } else {
+          RETURN_IF_ERROR(grouped_[a]->AddBatch(
+              &prepared.column(aggs_[a].arg_channels[0]), group_ids_.data(),
+              n));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Page>> ProduceOutputKernel() {
+    if (key_channels_.empty()) {
+      // Global aggregations emit exactly one row even over empty input.
+      key_table_->EnsureGlobalGroup();
+      for (auto& g : grouped_) g->EnsureGroups(key_table_->num_groups());
+    }
+    size_t rows = key_table_->num_groups();
+    if (rows == 0) return std::optional<Page>();
+    ASSIGN_OR_RETURN(std::vector<VectorPtr> columns,
+                     key_table_->BuildKeyColumns(key_types_));
+    for (auto& g : grouped_) {
+      ASSIGN_OR_RETURN(
+          VectorPtr column,
+          g->Build(/*intermediate=*/step_ == AggregationStep::kPartial));
+      columns.push_back(std::move(column));
+    }
+    rows_produced_ += static_cast<int64_t>(rows);
+    return std::optional<Page>(Page(std::move(columns), rows));
+  }
 
   Result<bool> ConsumeInput() {
     while (true) {
@@ -375,10 +480,16 @@ class HashAggregationOperator final : public Operator {
       }
       Page flat_page(flat, page->num_rows());
 
+      // Batch-hash the key columns (one virtual call per column per page)
+      // even on the boxed path; only group lookup boxes Values.
+      if (!key_channels_.empty()) {
+        kernels::HashPage(flat_page, key_channels_, &hash_scratch_);
+      }
+      Bump(metrics_, "exec.agg.fallback_pages", 1);
+      size_t groups_before = num_groups_;
+
       for (size_t row = 0; row < page->num_rows(); ++row) {
-        uint64_t h = key_channels_.empty()
-                         ? 0
-                         : HashRow(flat_page, key_channels_, row);
+        uint64_t h = key_channels_.empty() ? 0 : hash_scratch_[row];
         Group* group = FindOrCreateGroup(flat_page, row, h);
         for (size_t a = 0; a < aggs_.size(); ++a) {
           if (step_ == AggregationStep::kFinal) {
@@ -389,6 +500,8 @@ class HashAggregationOperator final : public Operator {
           }
         }
       }
+      Bump(metrics_, "exec.agg.groups_created",
+           static_cast<int64_t>(num_groups_ - groups_before));
     }
     return true;
   }
@@ -461,9 +574,19 @@ class HashAggregationOperator final : public Operator {
   std::vector<TypePtr> key_types_;
   std::vector<AggSpec> aggs_;
   AggregationStep step_;
+  MetricsRegistry* metrics_;
   bool done_ = false;
+
+  // Kernel path.
+  bool use_kernel_ = false;
+  std::unique_ptr<kernels::NormalizedKeyTable> key_table_;
+  std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped_;
+  std::vector<int32_t> group_ids_;  // per-page scratch
+
+  // Boxed fallback.
   std::unordered_map<uint64_t, std::vector<Group>> groups_;
   size_t num_groups_ = 0;
+  std::vector<uint64_t> hash_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -476,9 +599,11 @@ class HashJoinOperator final : public Operator {
  public:
   HashJoinOperator(OperatorPtr probe, OperatorPtr build, JoinKind kind,
                    std::vector<int> probe_keys, std::vector<int> build_keys,
+                   std::vector<TypePtr> probe_key_types,
+                   std::vector<TypePtr> build_key_types,
                    std::vector<VariablePtr> build_vars, ExprPtr filter,
                    std::map<std::string, int> combined_layout,
-                   FunctionRegistry* functions, int64_t max_build_rows)
+                   FunctionRegistry* functions, const ExecutionLimits& limits)
       : probe_(std::move(probe)),
         build_(std::move(build)),
         kind_(kind),
@@ -488,7 +613,10 @@ class HashJoinOperator final : public Operator {
         filter_(std::move(filter)),
         combined_layout_(std::move(combined_layout)),
         functions_(functions),
-        max_build_rows_(max_build_rows) {}
+        max_build_rows_(limits.max_join_build_rows),
+        metrics_(limits.metrics) {
+    InitKernel(limits, probe_key_types, build_key_types);
+  }
 
   Result<std::optional<Page>> Next() override {
     if (!built_) {
@@ -506,6 +634,26 @@ class HashJoinOperator final : public Operator {
   }
 
  private:
+  // Kernel eligibility is static: every build/probe key pair must share a
+  // normalized representation (identical kind, or both integer-like — they
+  // normalize to the same int64 bit pattern).
+  void InitKernel(const ExecutionLimits& limits,
+                  const std::vector<TypePtr>& probe_key_types,
+                  const std::vector<TypePtr>& build_key_types) {
+    if (!limits.vectorized_kernels) return;
+    std::vector<TypeKind> kinds;
+    kinds.reserve(build_key_types.size());
+    for (size_t i = 0; i < build_key_types.size(); ++i) {
+      TypeKind b = build_key_types[i]->kind();
+      TypeKind p = probe_key_types[i]->kind();
+      if (b != p && !(IsIntegerLike(b) && IsIntegerLike(p))) return;
+      kinds.push_back(b);
+    }
+    if (!kernels::NormalizedKeyTable::SupportsKeyKinds(kinds)) return;
+    build_key_kinds_ = std::move(kinds);
+    use_kernel_ = true;
+  }
+
   Status BuildTable() {
     std::vector<Page> pages;
     int64_t build_rows = 0;
@@ -536,6 +684,34 @@ class HashJoinOperator final : public Operator {
     }
     null_row_index_ = static_cast<int32_t>(build_page_.num_rows());
     build_page_ = Page(std::move(with_null), build_page_.num_rows() + 1);
+    Bump(metrics_, "exec.join.build_rows", null_row_index_);
+
+    if (use_kernel_) {
+      // Normalized-key table maps each distinct key to a key id; duplicate
+      // build rows chain through head_/next_. NULL keys never enter (SQL
+      // equality). Chains are threaded in reverse so traversal yields
+      // ascending build-row order.
+      key_table_ =
+          std::make_unique<kernels::NormalizedKeyTable>(build_key_kinds_);
+      std::vector<int32_t> key_ids;
+      ASSIGN_OR_RETURN(int64_t probes,
+                       key_table_->MapRows(build_page_, build_keys_,
+                                           /*insert_missing=*/true,
+                                           /*skip_null_keys=*/true, &key_ids));
+      Bump(metrics_, "exec.join.hash_probes", probes);
+      head_.assign(key_table_->num_groups(), -1);
+      next_.assign(key_ids.size(), -1);
+      for (int32_t r = null_row_index_ - 1; r >= 0; --r) {
+        int32_t k = key_ids[r];
+        if (k == kernels::NormalizedKeyTable::kNoGroup) continue;
+        next_[r] = head_[k];
+        head_[k] = r;
+      }
+      return Status::OK();
+    }
+
+    // Boxed fallback: batch-hash the key columns, then bucket row ids.
+    kernels::HashPage(build_page_, build_keys_, &hash_scratch_);
     for (int32_t r = 0; r < null_row_index_; ++r) {
       // SQL equality: NULL keys never match anything, so they never enter
       // the table.
@@ -547,13 +723,48 @@ class HashJoinOperator final : public Operator {
         }
       }
       if (has_null_key) continue;
-      table_[HashRow(build_page_, build_keys_, r)].push_back(r);
+      table_[hash_scratch_[r]].push_back(r);
     }
     return Status::OK();
   }
 
-  Result<std::optional<Page>> ProbePage(const Page& probe_page) {
-    std::vector<int32_t> probe_rows, build_rows;
+  // Fills the matching (probe_row, build_row) pairs via the normalized-key
+  // table: one MapRows pass over the page, then chain traversal — no
+  // per-pair RowsEqual.
+  Status ProbeKernel(const Page& probe_page, std::vector<int32_t>* probe_rows,
+                     std::vector<int32_t>* build_rows) {
+    std::vector<VectorPtr> columns = probe_page.columns();
+    for (int c : probe_keys_) {
+      ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
+    }
+    Page prepared(std::move(columns), probe_page.num_rows());
+    std::vector<int32_t> key_ids;
+    ASSIGN_OR_RETURN(int64_t probes,
+                     key_table_->MapRows(prepared, probe_keys_,
+                                         /*insert_missing=*/false,
+                                         /*skip_null_keys=*/true, &key_ids));
+    Bump(metrics_, "exec.join.kernel_pages", 1);
+    Bump(metrics_, "exec.join.hash_probes", probes);
+    for (size_t r = 0; r < key_ids.size(); ++r) {
+      size_t before = build_rows->size();
+      if (key_ids[r] != kernels::NormalizedKeyTable::kNoGroup) {
+        for (int32_t b = head_[key_ids[r]]; b >= 0; b = next_[b]) {
+          probe_rows->push_back(static_cast<int32_t>(r));
+          build_rows->push_back(b);
+        }
+      }
+      if (kind_ == JoinKind::kLeft && build_rows->size() == before) {
+        probe_rows->push_back(static_cast<int32_t>(r));
+        build_rows->push_back(null_row_index_);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ProbeBoxed(const Page& probe_page, std::vector<int32_t>* probe_rows,
+                    std::vector<int32_t>* build_rows) {
+    kernels::HashPage(probe_page, probe_keys_, &hash_scratch_);
+    Bump(metrics_, "exec.join.fallback_pages", 1);
     for (size_t r = 0; r < probe_page.num_rows(); ++r) {
       bool has_null_key = false;
       for (int c : probe_keys_) {
@@ -562,25 +773,36 @@ class HashJoinOperator final : public Operator {
           break;
         }
       }
-      uint64_t h = has_null_key ? 0 : HashRow(probe_page, probe_keys_, r);
-      auto it = has_null_key ? table_.end() : table_.find(h);
-      size_t before = build_rows.size();
+      auto it = has_null_key ? table_.end() : table_.find(hash_scratch_[r]);
+      size_t before = build_rows->size();
       if (it != table_.end()) {
         for (int32_t b : it->second) {
           if (RowsEqual(probe_page, probe_keys_, r, build_page_, build_keys_, b)) {
-            probe_rows.push_back(static_cast<int32_t>(r));
-            build_rows.push_back(b);
+            probe_rows->push_back(static_cast<int32_t>(r));
+            build_rows->push_back(b);
           }
         }
       }
-      if (kind_ == JoinKind::kLeft && build_rows.size() == before) {
-        probe_rows.push_back(static_cast<int32_t>(r));
-        build_rows.push_back(null_row_index_);
+      if (kind_ == JoinKind::kLeft && build_rows->size() == before) {
+        probe_rows->push_back(static_cast<int32_t>(r));
+        build_rows->push_back(null_row_index_);
       }
     }
+    return Status::OK();
+  }
+
+  Result<std::optional<Page>> ProbePage(const Page& probe_page) {
+    std::vector<int32_t> probe_rows, build_rows;
+    if (use_kernel_) {
+      RETURN_IF_ERROR(ProbeKernel(probe_page, &probe_rows, &build_rows));
+    } else {
+      RETURN_IF_ERROR(ProbeBoxed(probe_page, &probe_rows, &build_rows));
+    }
     if (probe_rows.empty()) return std::optional<Page>();
-    Page probe_slice = probe_page.SliceRows(probe_rows);
-    Page build_slice = build_page_.SliceRows(build_rows);
+    // Matched pairs travel as selection vectors over the shared probe page /
+    // build table rather than materialized copies.
+    Page probe_slice = probe_page.WrapRows(probe_rows);
+    Page build_slice = build_page_.WrapRows(build_rows);
     std::vector<VectorPtr> columns = probe_slice.columns();
     for (const VectorPtr& col : build_slice.columns()) columns.push_back(col);
     Page combined(std::move(columns), probe_rows.size());
@@ -591,7 +813,7 @@ class HashJoinOperator final : public Operator {
                      EvalPredicate(*filter_, combined, combined_layout_, functions_));
     if (kind_ != JoinKind::kLeft) {
       if (pass.empty()) return std::optional<Page>();
-      return std::optional<Page>(combined.SliceRows(pass));
+      return std::optional<Page>(combined.WrapRows(pass));
     }
     // LEFT join: matched pairs failing the filter fall back to null rows,
     // but only when the probe row has no surviving pair.
@@ -629,14 +851,14 @@ class HashJoinOperator final : public Operator {
     if (out_rows.empty() && extra_null_probe_rows.empty()) {
       return std::optional<Page>();
     }
-    Page filtered = combined.SliceRows(out_rows);
+    Page filtered = combined.WrapRows(out_rows);
     if (extra_null_probe_rows.empty()) {
       return std::optional<Page>(std::move(filtered));
     }
     // Assemble the extra null-extended rows and append.
-    Page extra_probe = probe_page.SliceRows(extra_null_probe_rows);
+    Page extra_probe = probe_page.WrapRows(extra_null_probe_rows);
     std::vector<int32_t> nulls(extra_null_probe_rows.size(), null_row_index_);
-    Page extra_build = build_page_.SliceRows(nulls);
+    Page extra_build = build_page_.WrapRows(nulls);
     std::vector<VectorPtr> extra_columns = extra_probe.columns();
     for (const VectorPtr& col : extra_build.columns()) {
       extra_columns.push_back(col);
@@ -662,11 +884,22 @@ class HashJoinOperator final : public Operator {
   std::map<std::string, int> combined_layout_;
   FunctionRegistry* functions_;
   int64_t max_build_rows_;
+  MetricsRegistry* metrics_;
 
   bool built_ = false;
   Page build_page_;
   int32_t null_row_index_ = 0;
+
+  // Kernel path: key id -> chain of build rows (head_/next_), ascending.
+  bool use_kernel_ = false;
+  std::vector<TypeKind> build_key_kinds_;
+  std::unique_ptr<kernels::NormalizedKeyTable> key_table_;
+  std::vector<int32_t> head_;
+  std::vector<int32_t> next_;
+
+  // Boxed fallback.
   std::unordered_map<uint64_t, std::vector<int32_t>> table_;
+  std::vector<uint64_t> hash_scratch_;
 };
 
 // Nested-loop join for joins without equi criteria (cross joins, st_contains
@@ -755,7 +988,7 @@ class NestedLoopJoinOperator final : public Operator {
       }
       if (pass.empty()) continue;
       for (int32_t p : pass) probe_matched_[p] = 1;
-      Page out = pass.size() == n ? std::move(combined) : combined.SliceRows(pass);
+      Page out = pass.size() == n ? std::move(combined) : combined.WrapRows(pass);
       rows_produced_ += static_cast<int64_t>(out.num_rows());
       return std::optional<Page>(std::move(out));
     }
@@ -933,7 +1166,7 @@ Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
       }
       return OperatorPtr(new HashAggregationOperator(
           std::move(child), std::move(key_channels), std::move(key_types),
-          std::move(specs), agg->step()));
+          std::move(specs), agg->step(), limits_));
     }
     case PlanNodeKind::kJoin: {
       const auto* join = static_cast<const JoinNode*>(node.get());
@@ -950,6 +1183,7 @@ Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
             functions_, limits_.max_join_build_rows));
       }
       std::vector<int> probe_keys, build_keys;
+      std::vector<TypePtr> probe_key_types, build_key_types;
       for (const auto& clause : join->criteria()) {
         auto l = probe_layout.find(clause.left->name());
         auto r = build_layout.find(clause.right->name());
@@ -958,12 +1192,15 @@ Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
         }
         probe_keys.push_back(l->second);
         build_keys.push_back(r->second);
+        probe_key_types.push_back(clause.left->type());
+        build_key_types.push_back(clause.right->type());
       }
       return OperatorPtr(new HashJoinOperator(
           std::move(probe), std::move(build), join->join_kind(),
-          std::move(probe_keys), std::move(build_keys), std::move(build_vars),
-          join->filter(), std::move(combined_layout), functions_,
-          limits_.max_join_build_rows));
+          std::move(probe_keys), std::move(build_keys),
+          std::move(probe_key_types), std::move(build_key_types),
+          std::move(build_vars), join->filter(), std::move(combined_layout),
+          functions_, limits_));
     }
     case PlanNodeKind::kSort:
     case PlanNodeKind::kTopN: {

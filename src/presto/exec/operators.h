@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "presto/common/metrics.h"
 #include "presto/connector/connector.h"
 #include "presto/exec/exchange.h"
 #include "presto/expr/evaluator.h"
@@ -34,11 +35,18 @@ using OperatorPtr = std::unique_ptr<Operator>;
 /// Maps variable names to channel indices for a node's input.
 std::map<std::string, int> MakeLayout(const std::vector<VariablePtr>& variables);
 
-/// Engine-side resource limits. The paper's Section XII.C: big joins fail
-/// with "Insufficient Resource" when the build side exceeds what a worker
-/// can hold in memory.
+/// Engine-side resource limits and execution options. The paper's Section
+/// XII.C: big joins fail with "Insufficient Resource" when the build side
+/// exceeds what a worker can hold in memory.
 struct ExecutionLimits {
   int64_t max_join_build_rows = 10'000'000;
+  /// Run aggregation/join through the typed columnar kernel layer when the
+  /// key/aggregate types are covered; off forces the Value-boxed fallback
+  /// (session property vectorized_kernels).
+  bool vectorized_kernels = true;
+  /// Optional per-query counters (groups created, hash probes, kernel vs
+  /// fallback page counts). Not owned; may be null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Builds operator trees from plan fragments. `exchanges` resolves

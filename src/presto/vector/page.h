@@ -31,11 +31,29 @@ class Page {
   const std::vector<VectorPtr>& columns() const { return columns_; }
   std::vector<VectorPtr>& mutable_columns() { return columns_; }
 
-  /// Gathers the given rows from every column.
+  /// Gathers the given rows from every column (materializing copy).
   Page SliceRows(const std::vector<int32_t>& rows) const {
     std::vector<VectorPtr> out;
     out.reserve(columns_.size());
     for (const VectorPtr& col : columns_) out.push_back(col->Slice(rows));
+    return Page(std::move(out), rows.size());
+  }
+
+  /// Selection-vector variant of SliceRows: wraps each column in a
+  /// DictionaryVector over the shared base instead of copying values, so a
+  /// filter/join can pass surviving rows downstream zero-copy. Dictionary
+  /// columns compose their indices (Slice on a dictionary is already an
+  /// index gather) and lazy columns load only the selected rows.
+  Page WrapRows(const std::vector<int32_t>& rows) const {
+    std::vector<VectorPtr> out;
+    out.reserve(columns_.size());
+    for (const VectorPtr& col : columns_) {
+      if (col->encoding() == VectorEncoding::kFlat) {
+        out.push_back(std::make_shared<DictionaryVector>(col, rows));
+      } else {
+        out.push_back(col->Slice(rows));
+      }
+    }
     return Page(std::move(out), rows.size());
   }
 

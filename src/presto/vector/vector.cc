@@ -31,6 +31,13 @@ std::vector<uint8_t> GatherNulls(const std::vector<int32_t>& rows,
 
 }  // namespace
 
+void Vector::HashBatch(uint64_t* out, bool combine) const {
+  for (size_t i = 0; i < size_; ++i) {
+    uint64_t h = HashAt(i);
+    out[i] = combine ? HashCombine(out[i], h) : h;
+  }
+}
+
 // -- FlatVector ---------------------------------------------------------------
 
 template <>
@@ -71,6 +78,16 @@ uint64_t FlatVector<T>::HashAt(size_t row) const {
     return HashMix64(values_[row] != 0 ? 1 : 2);
   } else {
     return HashMix64(static_cast<uint64_t>(values_[row]));
+  }
+}
+
+template <typename T>
+void FlatVector<T>::HashBatch(uint64_t* out, bool combine) const {
+  // Single virtual call per column; the row loop below compiles to a tight
+  // type-specialized kernel with no dispatch.
+  for (size_t i = 0; i < size_; ++i) {
+    uint64_t h = HashAt(i);  // non-virtual: resolved statically in this TU
+    out[i] = combine ? HashCombine(out[i], h) : h;
   }
 }
 
@@ -196,6 +213,18 @@ VectorPtr MapVector::Slice(const std::vector<int32_t>& rows) const {
 }
 
 // -- DictionaryVector ---------------------------------------------------------
+
+void DictionaryVector::HashBatch(uint64_t* out, bool combine) const {
+  // Hash each distinct base value once, then gather through the indices —
+  // the dictionary-encoding payoff the engine's kernels rely on.
+  std::vector<uint64_t> base_hashes(base_->size());
+  if (!base_hashes.empty()) base_->HashBatch(base_hashes.data(), false);
+  const uint64_t null_hash = Value::Null().Hash();
+  for (size_t i = 0; i < size_; ++i) {
+    uint64_t h = IsNull(i) ? null_hash : base_hashes[indices_[i]];
+    out[i] = combine ? HashCombine(out[i], h) : h;
+  }
+}
 
 int DictionaryVector::CompareAt(size_t row, const Vector& other,
                                 size_t other_row) const {

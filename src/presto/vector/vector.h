@@ -49,6 +49,13 @@ class Vector {
   /// Hash of row `row`, consistent with CompareAt equality.
   virtual uint64_t HashAt(size_t row) const { return GetValue(row).Hash(); }
 
+  /// Batch hashing: hashes every row into `out` (size() entries). When
+  /// `combine` is set, out[i] = HashCombine(out[i], hash(i)) — used to fold
+  /// multi-column keys without a per-row virtual call per column. Flat and
+  /// dictionary vectors override this with tight loops; the base
+  /// implementation falls back to HashAt.
+  virtual void HashBatch(uint64_t* out, bool combine) const;
+
   /// Three-way comparison between this[row] and other[other_row].
   virtual int CompareAt(size_t row, const Vector& other,
                         size_t other_row) const {
@@ -91,9 +98,14 @@ class FlatVector final : public Vector {
   const std::vector<T>& values() const { return values_; }
   std::vector<T>& mutable_values() { return values_; }
   bool has_nulls() const { return !nulls_.empty(); }
+  /// Raw null flags for kernel loops; nullptr when there are no nulls.
+  const uint8_t* raw_nulls() const {
+    return nulls_.empty() ? nullptr : nulls_.data();
+  }
 
   Value GetValue(size_t row) const override;
   uint64_t HashAt(size_t row) const override;
+  void HashBatch(uint64_t* out, bool combine) const override;
   int CompareAt(size_t row, const Vector& other, size_t other_row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
 
@@ -225,6 +237,11 @@ class DictionaryVector final : public Vector {
   const VectorPtr& base() const { return base_; }
   int32_t IndexAt(size_t row) const { return indices_[row]; }
   const std::vector<int32_t>& indices() const { return indices_; }
+  /// Dictionary-level null flags (base nulls are separate); nullptr when the
+  /// dictionary itself adds no nulls.
+  const uint8_t* raw_nulls() const {
+    return nulls_.empty() ? nullptr : nulls_.data();
+  }
 
   Value GetValue(size_t row) const override {
     if (IsNull(row)) return Value::Null();
@@ -236,6 +253,7 @@ class DictionaryVector final : public Vector {
     return base_->HashAt(indices_[row]);
   }
 
+  void HashBatch(uint64_t* out, bool combine) const override;
   int CompareAt(size_t row, const Vector& other, size_t other_row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
 

@@ -196,5 +196,225 @@ TEST_F(DifferentialTest, TopNAndLimit) {
       "SELECT id FROM $T WHERE base.city_id = 5 ORDER BY id LIMIT 20");
 }
 
+// ---------------------------------------------------------------------------
+// Typed kernel path vs Value-boxed fallback
+// ---------------------------------------------------------------------------
+
+// The same aggregation / join must produce identical results whether it runs
+// through the normalized-key kernels or the boxed fallback (session property
+// vectorized_kernels=false). Inputs are randomized pages mixing flat and
+// dictionary encodings with NULLs in both keys and values — the cases where
+// key normalization, null masks, and dictionary gathers can silently diverge.
+class KernelDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new PrestoCluster("kernel-diff", 2, 2);
+    auto memory = std::make_shared<MemoryConnector>();
+
+    TypePtr facts_type = Type::Row(
+        {"k_int", "k_str", "v_int", "v_double"},
+        {Type::Bigint(), Type::Varchar(), Type::Bigint(), Type::Double()});
+    TypePtr dim_type = Type::Row({"key", "name"},
+                                 {Type::Bigint(), Type::Varchar()});
+    ASSERT_TRUE(memory->CreateTable("raw", "facts", facts_type).ok());
+    ASSERT_TRUE(memory->CreateTable("raw", "dim", dim_type).ok());
+
+    // Deterministic LCG so failures reproduce.
+    uint64_t state = 42;
+    auto next = [&state]() {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return state >> 33;
+    };
+    const std::vector<std::string> words = {"ash", "birch", "cedar", "dogwood",
+                                            "elm", "fir", "ginkgo", ""};
+
+    for (int p = 0; p < 6; ++p) {
+      size_t n = 200 + next() % 300;
+      std::vector<int64_t> k_int(n);
+      std::vector<uint8_t> k_int_nulls(n);
+      std::vector<std::string> k_str(n);
+      std::vector<uint8_t> k_str_nulls(n);
+      std::vector<int64_t> v_int(n);
+      std::vector<uint8_t> v_int_nulls(n);
+      std::vector<double> v_double(n);
+      std::vector<uint8_t> v_double_nulls(n);
+      for (size_t i = 0; i < n; ++i) {
+        k_int[i] = static_cast<int64_t>(next() % 23) - 4;  // negatives too
+        k_int_nulls[i] = next() % 10 == 0;
+        k_str[i] = words[next() % words.size()];
+        k_str_nulls[i] = next() % 11 == 0;
+        v_int[i] = static_cast<int64_t>(next() % 1000) - 500;
+        v_int_nulls[i] = next() % 7 == 0;
+        v_double[i] = (static_cast<int64_t>(next() % 2000) - 1000) / 8.0;
+        v_double_nulls[i] = next() % 9 == 0;
+        if (v_double[i] == 0.0 && next() % 2 == 0) v_double[i] = -0.0;
+      }
+      std::vector<VectorPtr> columns = {
+          std::make_shared<Int64Vector>(Type::Bigint(), k_int, k_int_nulls),
+          std::make_shared<StringVector>(Type::Varchar(), k_str, k_str_nulls),
+          std::make_shared<Int64Vector>(Type::Bigint(), v_int, v_int_nulls),
+          std::make_shared<DoubleVector>(Type::Double(), v_double,
+                                         v_double_nulls)};
+      if (p % 2 == 1) {
+        // Dictionary-encode the key columns: a shuffled gather over the flat
+        // base plus dictionary-level nulls on top of the base nulls.
+        for (size_t c = 0; c < 2; ++c) {
+          std::vector<int32_t> indices(n);
+          std::vector<uint8_t> top_nulls(n);
+          for (size_t i = 0; i < n; ++i) {
+            indices[i] = static_cast<int32_t>(next() % n);
+            top_nulls[i] = next() % 13 == 0;
+          }
+          columns[c] = std::make_shared<DictionaryVector>(
+              columns[c], std::move(indices), std::move(top_nulls));
+        }
+      }
+      ASSERT_TRUE(
+          memory->AppendPage("raw", "facts", Page(std::move(columns), n)).ok());
+    }
+
+    // Dimension table: duplicate and NULL keys, one dictionary page.
+    for (int p = 0; p < 2; ++p) {
+      size_t n = 40;
+      std::vector<int64_t> key(n);
+      std::vector<uint8_t> key_nulls(n);
+      std::vector<std::string> name(n);
+      for (size_t i = 0; i < n; ++i) {
+        key[i] = static_cast<int64_t>(next() % 15) - 2;
+        key_nulls[i] = next() % 8 == 0;
+        name[i] = words[next() % words.size()] + std::to_string(next() % 4);
+      }
+      std::vector<VectorPtr> columns = {
+          std::make_shared<Int64Vector>(Type::Bigint(), key, key_nulls),
+          std::make_shared<StringVector>(Type::Varchar(), name,
+                                         std::vector<uint8_t>{})};
+      if (p == 1) {
+        std::vector<int32_t> indices(n);
+        for (size_t i = 0; i < n; ++i) {
+          indices[i] = static_cast<int32_t>(next() % n);
+        }
+        columns[0] = std::make_shared<DictionaryVector>(columns[0],
+                                                        std::move(indices));
+      }
+      ASSERT_TRUE(
+          memory->AppendPage("raw", "dim", Page(std::move(columns), n)).ok());
+    }
+
+    ASSERT_TRUE(cluster_->catalogs().RegisterCatalog("mem", memory).ok());
+  }
+
+  // Runs the query with kernels on and off; both must agree, and the kernel
+  // run must actually have taken the kernel path (and vice versa).
+  static void ExpectKernelMatchesFallback(const std::string& sql,
+                                          const std::string& expect_kernel_of) {
+    Session kernel_session;
+    kernel_session.properties["vectorized_kernels"] = "true";
+    auto kernel = cluster_->Execute(sql, kernel_session);
+    ASSERT_TRUE(kernel.ok()) << sql << "\n" << kernel.status().ToString();
+
+    Session boxed_session;
+    boxed_session.properties["vectorized_kernels"] = "false";
+    auto boxed = cluster_->Execute(sql, boxed_session);
+    ASSERT_TRUE(boxed.ok()) << sql << "\n" << boxed.status().ToString();
+
+    EXPECT_EQ(SortedRows(*kernel), SortedRows(*boxed))
+        << "kernel and fallback diverged on\n" << sql;
+
+    if (!expect_kernel_of.empty()) {
+      EXPECT_GT(kernel->exec_metrics["exec." + expect_kernel_of +
+                                     ".kernel_pages"],
+                0)
+          << "kernel path not taken for\n" << sql;
+      EXPECT_EQ(kernel->exec_metrics["exec." + expect_kernel_of +
+                                     ".fallback_pages"],
+                0);
+      EXPECT_EQ(boxed->exec_metrics["exec." + expect_kernel_of +
+                                    ".kernel_pages"],
+                0)
+          << "fallback not honoured for\n" << sql;
+    }
+  }
+
+  static PrestoCluster* cluster_;
+};
+
+PrestoCluster* KernelDifferentialTest::cluster_ = nullptr;
+
+TEST_F(KernelDifferentialTest, GroupByIntKey) {
+  ExpectKernelMatchesFallback(
+      "SELECT k_int, count(*), count(v_int), sum(v_int), min(v_int), "
+      "max(v_int) FROM mem.raw.facts GROUP BY k_int",
+      "agg");
+}
+
+TEST_F(KernelDifferentialTest, GroupByDoubleAggregates) {
+  ExpectKernelMatchesFallback(
+      "SELECT k_int, sum(v_double), avg(v_double), min(v_double), "
+      "max(v_double) FROM mem.raw.facts GROUP BY k_int",
+      "agg");
+}
+
+TEST_F(KernelDifferentialTest, GroupByVarcharAndMultiKey) {
+  ExpectKernelMatchesFallback(
+      "SELECT k_str, min(k_str), max(k_str), count(*) FROM mem.raw.facts "
+      "GROUP BY k_str",
+      "agg");
+  ExpectKernelMatchesFallback(
+      "SELECT k_str, k_int, avg(v_int), sum(v_double) FROM mem.raw.facts "
+      "GROUP BY k_str, k_int",
+      "agg");
+}
+
+TEST_F(KernelDifferentialTest, GlobalAggregationAndEmptyInput) {
+  ExpectKernelMatchesFallback(
+      "SELECT count(*), sum(v_int), avg(v_double) FROM mem.raw.facts",
+      "agg");
+  // Empty input: a global aggregation still emits exactly one row.
+  ExpectKernelMatchesFallback(
+      "SELECT count(*), sum(v_int), min(k_str) FROM mem.raw.facts "
+      "WHERE k_int > 1000000",
+      "agg");
+}
+
+TEST_F(KernelDifferentialTest, InnerJoin) {
+  ExpectKernelMatchesFallback(
+      "SELECT f.k_int, f.v_int, d.name FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k_int = d.key",
+      "join");
+}
+
+TEST_F(KernelDifferentialTest, LeftJoinNullKeys) {
+  // NULL probe keys never match and must be null-extended exactly once.
+  ExpectKernelMatchesFallback(
+      "SELECT f.k_int, d.name FROM mem.raw.facts f "
+      "LEFT JOIN mem.raw.dim d ON f.k_int = d.key",
+      "join");
+}
+
+TEST_F(KernelDifferentialTest, JoinThenAggregate) {
+  ExpectKernelMatchesFallback(
+      "SELECT d.name, count(*), sum(f.v_double) FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k_int = d.key GROUP BY d.name",
+      "agg");
+}
+
+TEST_F(KernelDifferentialTest, UnsupportedAggregateFallsBack) {
+  // approx_distinct has no grouped kernel: the operator must fall back (and
+  // still agree with the fallback-forced run).
+  Session session;
+  session.properties["vectorized_kernels"] = "true";
+  auto result = cluster_->Execute(
+      "SELECT k_int, approx_distinct(v_int) FROM mem.raw.facts "
+      "GROUP BY k_int",
+      session);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->exec_metrics["exec.agg.kernel_pages"], 0);
+  EXPECT_GT(result->exec_metrics["exec.agg.fallback_pages"], 0);
+  ExpectKernelMatchesFallback(
+      "SELECT k_int, approx_distinct(v_int) FROM mem.raw.facts "
+      "GROUP BY k_int",
+      "");
+}
+
 }  // namespace
 }  // namespace presto
