@@ -95,11 +95,11 @@ int main() {
   hive_off->set_options(off);
   if (!setup_tables(hive_off.get())) return 1;
   (void)baseline_cluster.catalogs().RegisterCatalog("hive", hive_off);
-  int64_t setup_lists = hdfs.metrics().Get("listFiles");
-  int64_t setup_opens = hdfs.metrics().Get("open_read");
+  int64_t setup_lists = hdfs.metrics().Get("fs.dir.list");
+  int64_t setup_opens = hdfs.metrics().Get("fs.file.open_read");
   double off_virtual_ms = run_traffic(&baseline_cluster, hive_off.get());
-  int64_t off_lists = hdfs.metrics().Get("listFiles") - setup_lists;
-  int64_t off_opens = hdfs.metrics().Get("open_read") - setup_opens;
+  int64_t off_lists = hdfs.metrics().Get("fs.dir.list") - setup_lists;
+  int64_t off_opens = hdfs.metrics().Get("fs.file.open_read") - setup_opens;
 
   // ---- Caches enabled -----------------------------------------------------------
   hdfs.metrics().Reset();
@@ -107,11 +107,11 @@ int main() {
   auto hive_on = std::make_shared<HiveConnector>(&hdfs, "wh-on");
   if (!setup_tables(hive_on.get())) return 1;
   (void)cached_cluster.catalogs().RegisterCatalog("hive", hive_on);
-  setup_lists = hdfs.metrics().Get("listFiles");
-  setup_opens = hdfs.metrics().Get("open_read");
+  setup_lists = hdfs.metrics().Get("fs.dir.list");
+  setup_opens = hdfs.metrics().Get("fs.file.open_read");
   double on_virtual_ms = run_traffic(&cached_cluster, hive_on.get());
-  int64_t on_lists = hdfs.metrics().Get("listFiles") - setup_lists;
-  int64_t on_opens = hdfs.metrics().Get("open_read") - setup_opens;
+  int64_t on_lists = hdfs.metrics().Get("fs.dir.list") - setup_lists;
+  int64_t on_opens = hdfs.metrics().Get("fs.file.open_read") - setup_opens;
 
   std::printf("Traffic: %d tables (%d popular), %d partitions each "
               "(1 open partition per table), %d+%d queries/table\n\n",
@@ -130,9 +130,9 @@ int main() {
               static_cast<long long>(off_opens), static_cast<long long>(on_opens),
               100.0 * (off_opens - on_opens) / off_opens);
   std::printf("  footer cache hit rate: %lld hits / %lld misses\n",
-              static_cast<long long>(hive_on->footer_cache().footer_metrics().Get("hit")),
+              static_cast<long long>(hive_on->footer_cache().footer_metrics().Get("cache.footer.hits")),
               static_cast<long long>(
-                  hive_on->footer_cache().footer_metrics().Get("miss")));
+                  hive_on->footer_cache().footer_metrics().Get("cache.footer.misses")));
 
   std::printf("\nVirtual NameNode time charged to queries "
               "(listFiles 2ms, getFileInfo 1ms per RPC):\n");

@@ -220,7 +220,7 @@ int main() {
     if (!store.Ingest("events_recent", recent).ok()) return 1;
   }
   std::printf("%d events ingested, %lld rows after rollup\n\n", kNumEvents,
-              static_cast<long long>(store.metrics().Get("druid.rows_after_rollup")));
+              static_cast<long long>(store.metrics().Get("druid.ingest.rows_after_rollup")));
 
   PrestoCluster cluster("druidbench", 1, 1);
   (void)cluster.catalogs().RegisterCatalog(

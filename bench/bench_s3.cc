@@ -57,7 +57,7 @@ int main() {
         (void)(*stream)->Read(buf, sizeof(buf));
       }
       return {(clock.NowNanos() - start) / 1e6,
-              fs.metrics().Get("s3fs.stream_reopens")};
+              fs.metrics().Get("s3fs.stream.reopens")};
     };
     auto [eager_ms, eager_reopens] = footer_style_reads(false);
     auto [lazy_ms, lazy_reopens] = footer_style_reads(true);
@@ -84,9 +84,9 @@ int main() {
     std::printf("2. Exponential backoff under 30%% transient 503s:\n");
     std::printf("   500 writes -> %d failures surfaced; %lld retries, "
                 "%lld 503s absorbed, %.1f ms total backoff\n\n",
-                failures, static_cast<long long>(fs.metrics().Get("s3fs.retries")),
-                static_cast<long long>(s3.metrics().Get("s3.503")),
-                fs.metrics().Get("s3fs.backoff_nanos") / 1e6);
+                failures, static_cast<long long>(fs.metrics().Get("s3fs.request.retries")),
+                static_cast<long long>(s3.metrics().Get("s3.request.throttled")),
+                fs.metrics().Get("s3fs.backoff.nanos") / 1e6);
   }
 
   // ---- 3. S3 Select projection pushdown -------------------------------------------
@@ -172,7 +172,7 @@ int main() {
     (void)cluster.catalogs().RegisterCatalog("hive", hive);
     Session session;
     int64_t t0 = clock.NowNanos();
-    int64_t requests0 = s3.metrics().Get("s3.requests");
+    int64_t requests0 = s3.metrics().Get("s3.request.calls");
     auto result = cluster.Execute(
         "SELECT base.city_id, count(*) FROM hive.cloud.trips "
         "WHERE base.city_id < 10 GROUP BY base.city_id", session);
@@ -184,8 +184,8 @@ int main() {
                 "(%lld rows matched, %lld groups):\n",
                 static_cast<long long>(30000), static_cast<long long>(result->total_rows));
     std::printf("   %lld S3 requests, %.1f MiB read, %.1f ms virtual S3 time\n",
-                static_cast<long long>(s3.metrics().Get("s3.requests") - requests0),
-                s3.metrics().Get("s3.bytes_read") / 1048576.0,
+                static_cast<long long>(s3.metrics().Get("s3.request.calls") - requests0),
+                s3.metrics().Get("s3.object.bytes_read") / 1048576.0,
                 (clock.NowNanos() - t0) / 1e6);
   }
   return 0;

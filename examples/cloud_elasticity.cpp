@@ -84,10 +84,10 @@ int main() {
 
   std::printf("\nS3 traffic: %lld requests, %.1f MiB read, %lld retries after "
               "503s, %lld multipart uploads\n",
-              static_cast<long long>(s3.metrics().Get("s3.requests")),
-              s3.metrics().Get("s3.bytes_read") / 1048576.0,
-              static_cast<long long>(fs.metrics().Get("s3fs.retries")),
-              static_cast<long long>(fs.metrics().Get("s3fs.multipart_uploads")));
+              static_cast<long long>(s3.metrics().Get("s3.request.calls")),
+              s3.metrics().Get("s3.object.bytes_read") / 1048576.0,
+              static_cast<long long>(fs.metrics().Get("s3fs.request.retries")),
+              static_cast<long long>(fs.metrics().Get("s3fs.multipart.uploads")));
   std::printf("Total failed queries across expand + shrink: %d "
               "(paper: no downtime for end users)\n", failures);
   return failures > 0 ? 1 : 0;

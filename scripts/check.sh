@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: regular build + tests, then a ThreadSanitizer pass over
+# the test suite (exchange buffers, worker pools, metrics shards, and the
+# query journal are the concurrency-heavy layers TSan watches).
+#
+# Usage: scripts/check.sh [--tsan-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+if [[ "${1:-}" != "--tsan-only" ]]; then
+  echo "== regular build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  echo "== regular tests =="
+  (cd build && ctest --output-on-failure)
+fi
+
+echo "== tsan build =="
+cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS"
+echo "== tsan tests =="
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
+echo "OK: regular + tsan suites passed"

@@ -18,7 +18,8 @@ namespace presto {
 /// ingestion, so their listings always go to the NameNode.
 class FileListCache {
  public:
-  explicit FileListCache(size_t capacity = 10000) : cache_(capacity) {}
+  explicit FileListCache(size_t capacity = 10000)
+      : cache_(capacity, "cache.file_list") {}
 
   /// Lists `directory` through the cache. `sealed` comes from the table's
   /// partition metadata: only sealed directories are cached.

@@ -18,7 +18,8 @@ namespace presto {
 class FooterCache {
  public:
   explicit FooterCache(size_t capacity = 20000)
-      : handles_(capacity), footers_(capacity) {}
+      : handles_(capacity, "cache.file_handle"),
+        footers_(capacity, "cache.footer") {}
 
   /// Opens a file through the handle cache: a hit skips the getFileInfo /
   /// open round trip to remote storage.

@@ -14,21 +14,30 @@ namespace presto {
 
 /// Thread-safe LRU cache with entry-count capacity. Values are shared_ptrs
 /// so hits stay valid while entries are evicted concurrently.
+///
+/// Counter names follow the subsystem.object.verb scheme: the prefix names
+/// the cache instance (e.g. "cache.footer") and the cache appends
+/// .hits/.misses/.evictions. Counters are pre-registered so the hot path is
+/// a single relaxed atomic add.
 template <typename V>
 class LruCache {
  public:
-  explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit LruCache(size_t capacity, std::string metric_prefix = "cache")
+      : capacity_(capacity == 0 ? 1 : capacity),
+        hits_(metrics_.FindOrRegister(metric_prefix + ".hits")),
+        misses_(metrics_.FindOrRegister(metric_prefix + ".misses")),
+        evictions_(metrics_.FindOrRegister(metric_prefix + ".evictions")) {}
 
   std::optional<std::shared_ptr<const V>> Get(const std::string& key) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
-      metrics_.Increment("miss");
+      misses_->Add(1);
       return std::nullopt;
     }
     // Move to front.
     order_.splice(order_.begin(), order_, it->second.order_it);
-    metrics_.Increment("hit");
+    hits_->Add(1);
     return it->second.value;
   }
 
@@ -45,7 +54,7 @@ class LruCache {
     if (index_.size() > capacity_) {
       index_.erase(order_.back());
       order_.pop_back();
-      metrics_.Increment("eviction");
+      evictions_->Add(1);
     }
   }
 
@@ -77,10 +86,13 @@ class LruCache {
   };
 
   const size_t capacity_;
+  MetricsRegistry metrics_;
+  MetricsRegistry::Counter* const hits_;
+  MetricsRegistry::Counter* const misses_;
+  MetricsRegistry::Counter* const evictions_;
   mutable std::mutex mu_;
   std::list<std::string> order_;  // front = most recent
   std::map<std::string, Entry> index_;
-  MetricsRegistry metrics_;
 };
 
 }  // namespace presto

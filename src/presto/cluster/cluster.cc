@@ -20,6 +20,26 @@ std::string PrestoCluster::ExpandWorker(size_t slots) {
   return id;
 }
 
+std::string PrestoCluster::RenderMetricsText() {
+  MetricsExposition exposition;
+  exposition.AddRegistry("", &coordinator_.metrics());
+  exposition.AddRegistry("", &coordinator_.fragment_cache_metrics());
+  // Same-named worker counters sum across the fleet.
+  for (const auto& worker : workers_) {
+    exposition.AddRegistry("", &worker->metrics());
+  }
+  for (const auto& [prefix, registry] : extra_metrics_) {
+    exposition.AddRegistry(prefix, registry);
+  }
+  exposition.AddGauge("cluster.workers.active", [this] {
+    return static_cast<int64_t>(coordinator_.ActiveWorkers().size());
+  });
+  exposition.AddGauge("coordinator.journal.events", [this] {
+    return coordinator_.journal().events_recorded();
+  });
+  return exposition.RenderText();
+}
+
 Status PrestoCluster::ShrinkWorkerAndWait(const std::string& worker_id,
                                           int64_t grace_period_nanos) {
   RETURN_IF_ERROR(coordinator_.ShrinkWorker(worker_id, grace_period_nanos));

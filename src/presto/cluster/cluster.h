@@ -39,11 +39,26 @@ class PrestoCluster {
     return coordinator_.ExplainSql(sql, session);
   }
 
+  /// Attaches an external counter registry (a filesystem, a connector, a
+  /// cache) to this cluster's metrics exposition. Not owned; must outlive
+  /// RenderMetricsText().
+  void AddMetricsSource(const std::string& prefix,
+                        const MetricsRegistry* registry) {
+    extra_metrics_.emplace_back(prefix, registry);
+  }
+
+  /// Renders a cluster-wide Prometheus text exposition: coordinator query
+  /// counters, fragment-cache counters, per-worker task counters (summed
+  /// across the fleet), any attached subsystem registries, and liveness
+  /// gauges (active workers, journal events).
+  std::string RenderMetricsText();
+
  private:
   std::string name_;
   CatalogRegistry catalogs_;
   Coordinator coordinator_;
   std::vector<std::shared_ptr<Worker>> workers_;
+  std::vector<std::pair<std::string, const MetricsRegistry*>> extra_metrics_;
   int next_worker_id_ = 0;
 };
 

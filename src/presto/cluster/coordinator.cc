@@ -10,6 +10,11 @@
 
 namespace presto {
 
+const Clock* DefaultSystemClock() {
+  static SystemClock clock;
+  return &clock;
+}
+
 std::vector<Value> QueryResult::Row(size_t r) const {
   for (const Page& page : pages) {
     if (r < page.num_rows()) return page.GetRow(r);
@@ -103,6 +108,19 @@ struct TaskLatch {
   }
 };
 
+// Per-fragment outstanding-task counts; when a fragment's count reaches
+// zero its stage is finished and a journal event fires.
+struct StageTracker {
+  std::mutex mu;
+  std::map<int, int> remaining;
+
+  // Returns true when this completion was the fragment's last task.
+  bool TaskDone(int fragment_id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return --remaining[fragment_id] == 0;
+  }
+};
+
 TableScanNode* FindScan(const PlanNodePtr& node) {
   if (node->kind() == PlanNodeKind::kTableScan) {
     return static_cast<TableScanNode*>(node.get());
@@ -113,11 +131,20 @@ TableScanNode* FindScan(const PlanNodePtr& node) {
   return nullptr;
 }
 
+// Wraps text (the plan rendering for EXPLAIN [ANALYZE]) as a one-column,
+// one-row varchar result, mirroring Presto's "Query Plan" output column.
+void SetTextResult(QueryResult* result, std::string text) {
+  result->column_names = {"Query Plan"};
+  result->column_types = {Type::Varchar()};
+  result->pages.clear();
+  result->pages.push_back(Page({MakeVarcharVector({std::move(text)})}));
+  result->total_rows = 1;
+}
+
 }  // namespace
 
-Result<FragmentedPlan> Coordinator::PlanSql(const std::string& sql,
-                                            const Session& session) {
-  ASSIGN_OR_RETURN(sql::Query query, sql::ParseQuery(sql));
+Result<FragmentedPlan> Coordinator::PlanQuery(const sql::Query& query,
+                                              const Session& session) {
   sql::Analyzer analyzer(catalogs_, &session);
   ASSIGN_OR_RETURN(PlanNodePtr plan, analyzer.Analyze(query));
   Optimizer optimizer(catalogs_, &session, &analyzer.ids());
@@ -126,23 +153,88 @@ Result<FragmentedPlan> Coordinator::PlanSql(const std::string& sql,
   return fragmenter.Fragment(std::move(plan));
 }
 
+Result<FragmentedPlan> Coordinator::PlanSql(const std::string& sql,
+                                            const Session& session) {
+  ASSIGN_OR_RETURN(sql::Query query, sql::ParseQuery(sql));
+  return PlanQuery(query, session);
+}
+
 Result<std::string> Coordinator::ExplainSql(const std::string& sql,
                                             const Session& session) {
   ASSIGN_OR_RETURN(FragmentedPlan plan, PlanSql(sql, session));
   return plan.ToString();
 }
 
+Status Coordinator::RecordFailure(int64_t query_id, const Status& status,
+                                  const MetricsRegistry* query_metrics) {
+  queries_failed_.fetch_add(1);
+  metrics_.Increment("coordinator.query.failed");
+  // Failed queries return no QueryResult, so whatever counters the tasks
+  // accumulated before the error ride along on the journal event instead —
+  // this keeps failure diagnostics consistent with the success path.
+  std::map<std::string, int64_t> counters;
+  if (query_metrics != nullptr) counters = query_metrics->Snapshot();
+  journal_.Record(query_id, QueryEventKind::kFailed, status.ToString(),
+                  std::move(counters));
+  return status;
+}
+
 Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
                                             const Session& session) {
   Stopwatch watch;
-  auto fragmented = PlanSql(sql, session);
-  if (!fragmented.ok()) {
-    queries_failed_.fetch_add(1);
-    return fragmented.status();
+  int64_t query_id = next_query_id_.fetch_add(1);
+  journal_.Record(query_id, QueryEventKind::kCreated, sql);
+
+  auto statement = sql::ParseStatement(sql);
+  if (!statement.ok()) {
+    return RecordFailure(query_id, statement.status(), nullptr);
   }
 
+  if (statement->kind == sql::Statement::Kind::kQuery) {
+    auto plan = PlanQuery(statement->query, session);
+    if (!plan.ok()) return RecordFailure(query_id, plan.status(), nullptr);
+    journal_.Record(query_id, QueryEventKind::kPlanned,
+                    std::to_string(plan->fragments.size()) + " fragments");
+    return ExecutePlan(query_id, *plan, session, watch, /*force_stats=*/false);
+  }
+
+  // EXPLAIN / EXPLAIN ANALYZE.
+  auto plan = PlanQuery(statement->query, session);
+  if (!plan.ok()) return RecordFailure(query_id, plan.status(), nullptr);
+  journal_.Record(query_id, QueryEventKind::kPlanned,
+                  std::to_string(plan->fragments.size()) + " fragments");
+
+  if (statement->kind == sql::Statement::Kind::kExplain) {
+    QueryResult result;
+    result.query_id = query_id;
+    result.num_fragments = static_cast<int>(plan->fragments.size());
+    SetTextResult(&result, plan->ToString());
+    result.wall_millis = watch.ElapsedMillis();
+    queries_completed_.fetch_add(1);
+    metrics_.Increment("coordinator.query.completed");
+    journal_.Record(query_id, QueryEventKind::kCompleted, "explain");
+    return result;
+  }
+
+  // EXPLAIN ANALYZE: run the query (stats collection forced on even if the
+  // session disabled query_stats), then re-render the fragmented plan with
+  // each node annotated by its actual merged operator stats.
+  auto executed = ExecutePlan(query_id, *plan, session, watch,
+                              /*force_stats=*/true);
+  if (!executed.ok()) return executed.status();
+  QueryResult result = std::move(*executed);
+  SetTextResult(&result, RenderPlanWithStats(*plan, result.stats));
+  return result;
+}
+
+Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
+                                             const FragmentedPlan& fragmented,
+                                             const Session& session,
+                                             Stopwatch watch,
+                                             bool force_stats) {
   QueryResult result;
-  result.num_fragments = static_cast<int>(fragmented->fragments.size());
+  result.query_id = query_id;
+  result.num_fragments = static_cast<int>(fragmented.fragments.size());
 
   // -- Schedule leaf fragments. -------------------------------------------------
   std::vector<std::shared_ptr<Worker>> workers = ActiveWorkers();
@@ -154,18 +246,19 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
     ExchangeBuffer* buffer;
   };
   std::vector<TaskSpec> tasks;
+  auto stage_tracker = std::make_shared<StageTracker>();
 
-  for (const PlanFragment& fragment : fragmented->fragments) {
+  for (const PlanFragment& fragment : fragmented.fragments) {
     if (!fragment.leaf) continue;
     TableScanNode* scan = FindScan(fragment.root);
     if (scan == nullptr) {
-      queries_failed_.fetch_add(1);
-      return Status::Internal("leaf fragment without a table scan");
+      return RecordFailure(
+          query_id, Status::Internal("leaf fragment without a table scan"),
+          nullptr);
     }
     auto connector = catalogs_->GetConnector(scan->catalog());
     if (!connector.ok()) {
-      queries_failed_.fetch_add(1);
-      return connector.status();
+      return RecordFailure(query_id, connector.status(), nullptr);
     }
     // Target parallelism is the same product used for the task count below:
     // every worker runs tasks_per_fragment tasks, and each task should get at
@@ -177,8 +270,7 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
                                              scan->table_name(),
                                              *scan->accepted(), parallelism);
     if (!splits.ok()) {
-      queries_failed_.fetch_add(1);
-      return splits.status();
+      return RecordFailure(query_id, splits.status(), nullptr);
     }
     result.num_splits += static_cast<int>(splits->size());
 
@@ -191,6 +283,7 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
       batches[i % num_tasks].push_back((*splits)[i]);
     }
     buffer->SetProducerCount(static_cast<int>(num_tasks));
+    stage_tracker->remaining[fragment.id] = static_cast<int>(num_tasks);
     for (size_t t = 0; t < num_tasks; ++t) {
       tasks.push_back(TaskSpec{&fragment, std::move(batches[t]), buffer.get()});
     }
@@ -207,8 +300,13 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
   // One registry per query, shared by every task (thread-safe); snapshotted
   // into the result after the root fragment drains.
   auto query_metrics = std::make_shared<MetricsRegistry>();
+  // Per-operator stats tree, merged across tasks keyed by plan node id.
+  bool collect_stats =
+      force_stats || session.Property("query_stats", "true") != "false";
+  auto collector = std::make_shared<QueryStatsCollector>();
   ExecutionLimits limits;
   limits.metrics = query_metrics.get();
+  limits.collect_stats = collect_stats;
   {
     std::string max_build = session.Property("max_join_build_rows", "");
     if (!max_build.empty()) {
@@ -220,9 +318,17 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
 
   // Task body: build the fragment's operator tree over its splits and pump
   // pages into the exchange, consulting the fragment result cache first.
-  auto run_task = [this, &exchange_refs, use_fragment_cache, limits](
+  auto run_task = [this, &exchange_refs, use_fragment_cache, limits,
+                   collect_stats, collector, stage_tracker, query_id](
                       const PlanFragment* fragment, std::vector<SplitPtr> splits,
                       ExchangeBuffer* buffer) {
+    Stopwatch task_watch;
+    auto finish_stage = [&] {
+      if (stage_tracker->TaskDone(fragment->id)) {
+        journal_.Record(query_id, QueryEventKind::kStageFinished,
+                        "fragment " + std::to_string(fragment->id));
+      }
+    };
     std::string cache_key;
     if (use_fragment_cache) {
       cache_key = fragment->root->ToString();
@@ -235,6 +341,13 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
           buffer->Push(page);  // pages share immutable vectors
         }
         buffer->ProducerDone();
+        if (collect_stats) {
+          // No operators ran; record the task so stage task counts stay
+          // truthful even when its pages came from the fragment cache.
+          collector->AddTask(fragment->id, /*root_plan_node_id=*/-1, {},
+                             task_watch.ElapsedNanos());
+        }
+        finish_stage();
         return;
       }
     }
@@ -244,6 +357,7 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
     if (!op.ok()) {
       buffer->Fail(op.status());
       buffer->ProducerDone();
+      finish_stage();
       return;
     }
     std::vector<Page> produced;
@@ -265,7 +379,18 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
                               std::move(produced)));
     }
     buffer->ProducerDone();
+    if (collect_stats) {
+      std::vector<OperatorStats> ops;
+      (*op)->CollectStats(&ops);
+      collector->AddTask(fragment->id, (*op)->stats().plan_node_id, ops,
+                         task_watch.ElapsedNanos());
+    }
+    finish_stage();
   };
+
+  journal_.Record(query_id, QueryEventKind::kScheduled,
+                  std::to_string(tasks.size()) + " tasks, " +
+                      std::to_string(result.num_splits) + " splits");
 
   // Dispatch: round-robin across active workers; with no workers, tasks run
   // inline on the coordinator (embedded mode).
@@ -299,21 +424,20 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
   }
 
   // -- Run the root fragment on the coordinator. -----------------------------------
-  const PlanFragment& root = fragmented->fragments[0];
+  const PlanFragment& root = fragmented.fragments[0];
+  Stopwatch root_watch;
   OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(), &exchange_refs,
                           nullptr, limits);
   auto root_op = builder.Build(root.root);
   if (!root_op.ok()) {
     latch->Wait();
-    queries_failed_.fetch_add(1);
-    return root_op.status();
+    return RecordFailure(query_id, root_op.status(), query_metrics.get());
   }
   while (true) {
     auto page = (*root_op)->Next();
     if (!page.ok()) {
       latch->Wait();
-      queries_failed_.fetch_add(1);
-      return page.status();
+      return RecordFailure(query_id, page.status(), query_metrics.get());
     }
     if (!page->has_value()) break;
     result.total_rows += static_cast<int64_t>((*page)->num_rows());
@@ -322,6 +446,15 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
   // All producer tasks must have fully exited before the buffers go away.
   latch->Wait();
   result.exec_metrics = query_metrics->Snapshot();
+  if (collect_stats) {
+    std::vector<OperatorStats> ops;
+    (*root_op)->CollectStats(&ops);
+    collector->AddTask(root.id, (*root_op)->stats().plan_node_id, ops,
+                       root_watch.ElapsedNanos());
+    journal_.Record(query_id, QueryEventKind::kStageFinished,
+                    "fragment " + std::to_string(root.id));
+    result.stats = collector->Finish();
+  }
 
   // Output metadata.
   if (root.root->kind() == PlanNodeKind::kOutput) {
@@ -333,6 +466,26 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
   }
   result.wall_millis = watch.ElapsedMillis();
   queries_completed_.fetch_add(1);
+  metrics_.Increment("coordinator.query.completed");
+  journal_.Record(query_id, QueryEventKind::kCompleted,
+                  std::to_string(result.total_rows) + " rows",
+                  {{"output_rows", result.total_rows},
+                   {"tasks", result.num_tasks},
+                   {"splits", result.num_splits},
+                   {"wall_micros", watch.ElapsedNanos() / 1000}});
+
+  // Slow-query log: queries whose wall time crosses the session threshold
+  // journal a slow_query event carrying the full per-query counter snapshot.
+  std::string slow_millis = session.Property("slow_query_millis", "");
+  if (!slow_millis.empty()) {
+    int64_t threshold = std::strtoll(slow_millis.c_str(), nullptr, 10);
+    if (threshold >= 0 && result.wall_millis >= static_cast<double>(threshold)) {
+      metrics_.Increment("coordinator.query.slow");
+      journal_.Record(query_id, QueryEventKind::kSlowQuery,
+                      "wall_millis above threshold " + slow_millis,
+                      result.exec_metrics);
+    }
+  }
   return result;
 }
 

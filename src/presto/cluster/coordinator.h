@@ -9,15 +9,27 @@
 
 #include "presto/cache/lru_cache.h"
 #include "presto/connector/connector.h"
+#include "presto/cluster/query_journal.h"
 #include "presto/cluster/worker.h"
+#include "presto/exec/query_stats.h"
 #include "presto/planner/fragmenter.h"
 #include "presto/planner/session.h"
 #include "presto/vector/page.h"
 
 namespace presto {
 
+namespace sql {
+struct Query;
+}  // namespace sql
+
+/// Process-wide real-time clock used when CoordinatorOptions does not inject
+/// one (tests inject a SimulatedClock to get deterministic journal order).
+const Clock* DefaultSystemClock();
+
 /// Result of one query: pages plus metadata and basic stats.
 struct QueryResult {
+  /// Coordinator-assigned id; joins the result to its journal events.
+  int64_t query_id = 0;
   std::vector<std::string> column_names;
   std::vector<TypePtr> column_types;
   std::vector<Page> pages;
@@ -29,6 +41,9 @@ struct QueryResult {
   /// Per-query execution counters aggregated across all tasks (groups
   /// created, hash-table probes, kernel vs fallback page counts, ...).
   std::map<std::string, int64_t> exec_metrics;
+  /// Per-operator/per-stage stats tree merged across tasks. Populated unless
+  /// the session property query_stats=false disables collection.
+  QueryStats stats;
 
   /// Boxes one result row (r indexes across all pages).
   std::vector<Value> Row(size_t r) const;
@@ -38,6 +53,10 @@ struct QueryResult {
 struct CoordinatorOptions {
   /// Target split batches (tasks) per leaf fragment; capped by split count.
   size_t tasks_per_fragment = 4;
+  /// Time source for query-event timestamps; nullptr = real wall clock.
+  const Clock* clock = nullptr;
+  /// Ring capacity of the query event journal.
+  size_t journal_capacity = 1024;
 };
 
 /// Single-coordinator query engine (Section III): parses incoming SQL into
@@ -48,7 +67,10 @@ class Coordinator {
  public:
   Coordinator(CatalogRegistry* catalogs,
               CoordinatorOptions options = CoordinatorOptions())
-      : catalogs_(catalogs), options_(options) {}
+      : catalogs_(catalogs),
+        options_(options),
+        journal_(options.clock != nullptr ? options.clock : DefaultSystemClock(),
+                 options.journal_capacity) {}
 
   // -- worker membership: elastic expansion / graceful shrink ----------------
   void AddWorker(std::shared_ptr<Worker> worker);
@@ -59,6 +81,10 @@ class Coordinator {
   size_t num_workers() const;
 
   // -- queries -------------------------------------------------------------------
+  /// Executes one statement. Plain queries return their result pages;
+  /// EXPLAIN returns the fragmented plan as a one-row varchar result;
+  /// EXPLAIN ANALYZE executes the query and returns the plan re-rendered
+  /// with actual per-operator stats (rows, bytes, wall/CPU time).
   Result<QueryResult> ExecuteSql(const std::string& sql, const Session& session);
   /// EXPLAIN: the fragmented physical plan as text.
   Result<std::string> ExplainSql(const std::string& sql, const Session& session);
@@ -66,6 +92,13 @@ class Coordinator {
   CatalogRegistry* catalogs() { return catalogs_; }
   int64_t queries_completed() const { return queries_completed_; }
   int64_t queries_failed() const { return queries_failed_; }
+
+  /// Structured lifecycle journal: created/planned/scheduled/stage-finished/
+  /// completed/failed events with simulated-clock timestamps, ring-buffered.
+  const QueryJournal& journal() const { return journal_; }
+
+  /// Coordinator-level counters (coordinator.query.completed/.failed/.slow).
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Fragment result cache (Section VII mentions it among the RaptorX cache
   /// family): leaf-fragment outputs keyed by (fragment plan, splits). Opt-in
@@ -77,10 +110,26 @@ class Coordinator {
 
  private:
   Result<FragmentedPlan> PlanSql(const std::string& sql, const Session& session);
+  Result<FragmentedPlan> PlanQuery(const sql::Query& query,
+                                   const Session& session);
+  /// Schedules and runs an already-fragmented plan; records scheduled /
+  /// stage-finished / completed / failed / slow-query journal events.
+  Result<QueryResult> ExecutePlan(int64_t query_id, const FragmentedPlan& plan,
+                                  const Session& session, Stopwatch watch,
+                                  bool force_stats);
+  /// Bumps failure counters and journals a kFailed event carrying a snapshot
+  /// of whatever per-query counters accumulated before the error, then
+  /// passes the status through.
+  Status RecordFailure(int64_t query_id, const Status& status,
+                       const MetricsRegistry* query_metrics);
 
   CatalogRegistry* catalogs_;
   CoordinatorOptions options_;
-  LruCache<std::vector<Page>> fragment_cache_{256};
+  LruCache<std::vector<Page>> fragment_cache_{256, "cache.fragment_result"};
+
+  QueryJournal journal_;
+  MetricsRegistry metrics_;
+  std::atomic<int64_t> next_query_id_{1};
 
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<Worker>> workers_;

@@ -76,7 +76,7 @@ Result<std::string> PrestoGateway::LookupRoute(const std::string& kind,
 }
 
 Result<PrestoCluster*> PrestoGateway::Route(const Session& session) {
-  metrics_.Increment("gateway.requests");
+  metrics_.Increment("gateway.query.requests");
   std::string target;
   auto by_user = LookupRoute("user", session.user);
   if (by_user.ok()) {
@@ -94,7 +94,7 @@ Result<PrestoCluster*> PrestoGateway::Route(const Session& session) {
   if (it == clusters_.end()) {
     return Status::NotFound("route points at unregistered cluster: " + target);
   }
-  metrics_.Increment("gateway.redirects." + target);
+  metrics_.Increment("gateway.query.redirects." + target);
   return it->second;
 }
 
@@ -106,7 +106,7 @@ Result<QueryResult> PrestoGateway::Submit(const std::string& sql,
 
 Status PrestoGateway::DrainClusterRoutes(const std::string& from,
                                          const std::string& to) {
-  metrics_.Increment("gateway.drains");
+  metrics_.Increment("gateway.routes.drained");
   return db_->Update(kRoutingSchema, kRoutingTable,
                      {{"cluster", mysqlite::CompareOp::kEq, {Value::String(from)}}},
                      {{"cluster", Value::String(to)}})

@@ -1,0 +1,87 @@
+#include "presto/cluster/query_journal.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace presto {
+
+const char* QueryEventKindToString(QueryEventKind kind) {
+  switch (kind) {
+    case QueryEventKind::kCreated:
+      return "created";
+    case QueryEventKind::kPlanned:
+      return "planned";
+    case QueryEventKind::kScheduled:
+      return "scheduled";
+    case QueryEventKind::kStageFinished:
+      return "stage_finished";
+    case QueryEventKind::kCompleted:
+      return "completed";
+    case QueryEventKind::kFailed:
+      return "failed";
+    case QueryEventKind::kSlowQuery:
+      return "slow_query";
+  }
+  return "unknown";
+}
+
+std::string QueryEvent::ToString() const {
+  std::ostringstream out;
+  out << "[" << timestamp_nanos << "] query " << query_id << " "
+      << QueryEventKindToString(kind);
+  if (!detail.empty()) {
+    out << ": " << detail;
+  }
+  if (!counters.empty()) {
+    out << " {";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+      if (!first) out << ", ";
+      first = false;
+      out << name << "=" << value;
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+void QueryJournal::Record(int64_t query_id, QueryEventKind kind,
+                          std::string detail,
+                          std::map<std::string, int64_t> counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryEvent event;
+  event.query_id = query_id;
+  event.kind = kind;
+  // Strictly increasing even when the (simulated) clock stands still, so
+  // created < planned < scheduled < completed always holds by timestamp.
+  event.timestamp_nanos = std::max(clock_->NowNanos(), last_timestamp_ + 1);
+  last_timestamp_ = event.timestamp_nanos;
+  event.sequence = next_sequence_++;
+  event.detail = std::move(detail);
+  event.counters = std::move(counters);
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+std::vector<QueryEvent> QueryJournal::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryEvent>(events_.begin(), events_.end());
+}
+
+std::vector<QueryEvent> QueryJournal::EventsForQuery(int64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryEvent> out;
+  for (const auto& event : events_) {
+    if (event.query_id == query_id) out.push_back(event);
+  }
+  return out;
+}
+
+int64_t QueryJournal::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+}  // namespace presto

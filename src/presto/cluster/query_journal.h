@@ -1,0 +1,78 @@
+#ifndef PRESTO_CLUSTER_QUERY_JOURNAL_H_
+#define PRESTO_CLUSTER_QUERY_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "presto/common/clock.h"
+
+namespace presto {
+
+/// Lifecycle events of a query, Presto event-listener style.
+enum class QueryEventKind {
+  kCreated,        // SQL received, query id assigned
+  kPlanned,        // parse/analyze/optimize/fragment finished
+  kScheduled,      // tasks dispatched to workers
+  kStageFinished,  // every task of one fragment drained
+  kCompleted,      // result returned to the client
+  kFailed,         // query errored (carries partial counters)
+  kSlowQuery,      // wall time crossed the slow_query_millis threshold
+};
+
+const char* QueryEventKindToString(QueryEventKind kind);
+
+/// One structured journal entry. `counters` carries a metrics snapshot on
+/// terminal events (completed/failed/slow-query) so failure diagnostics and
+/// the slow-query log see partial execution stats even when no QueryResult
+/// was returned.
+struct QueryEvent {
+  int64_t query_id = 0;
+  QueryEventKind kind = QueryEventKind::kCreated;
+  int64_t timestamp_nanos = 0;  // from the coordinator's Clock
+  int64_t sequence = 0;         // global, strictly increasing
+  std::string detail;
+  std::map<std::string, int64_t> counters;
+
+  std::string ToString() const;
+};
+
+/// Ring-buffered history of query events on the coordinator. Timestamps come
+/// from the injected Clock (simulated in tests/benches) but are forced
+/// strictly increasing: under a SimulatedClock that nobody advances, two
+/// consecutive events still order as created < planned < ... < completed.
+class QueryJournal {
+ public:
+  explicit QueryJournal(const Clock* clock, size_t capacity = 1024)
+      : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(int64_t query_id, QueryEventKind kind, std::string detail = "",
+              std::map<std::string, int64_t> counters = {});
+
+  /// Copy of the retained events, oldest first.
+  std::vector<QueryEvent> Events() const;
+
+  /// Retained events of one query, oldest first.
+  std::vector<QueryEvent> EventsForQuery(int64_t query_id) const;
+
+  /// Total events ever recorded (not capped by the ring capacity).
+  int64_t events_recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const Clock* clock_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::deque<QueryEvent> events_;
+  int64_t next_sequence_ = 0;
+  int64_t last_timestamp_ = -1;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_CLUSTER_QUERY_JOURNAL_H_

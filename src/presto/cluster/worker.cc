@@ -25,7 +25,10 @@ Worker::Worker(std::string id, size_t execution_slots, Clock* clock)
 }
 
 Worker::~Worker() {
-  if (shutdown_thread_.joinable()) shutdown_thread_.join();
+  {
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (shutdown_thread_.joinable()) shutdown_thread_.join();
+  }
   pool_.Shutdown();
 }
 
@@ -33,7 +36,10 @@ bool Worker::SubmitTask(std::function<void()> task) {
   if (state_.load() != WorkerState::kActive) return false;
   active_tasks_.fetch_add(1);
   bool submitted = pool_.Submit([this, task = std::move(task)] {
+    Stopwatch task_watch;
     task();
+    busy_nanos_counter_->Add(task_watch.ElapsedNanos());
+    tasks_completed_counter_->Add(1);
     tasks_completed_.fetch_add(1);
     if (active_tasks_.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -44,6 +50,7 @@ bool Worker::SubmitTask(std::function<void()> task) {
     active_tasks_.fetch_sub(1);
     return false;
   }
+  tasks_submitted_counter_->Add(1);
   return true;
 }
 
@@ -77,8 +84,19 @@ void Worker::GracefulShutdownSequence(int64_t grace_period_nanos) {
 }
 
 void Worker::AwaitShutdown() {
-  std::unique_lock<std::mutex> lock(mu_);
-  shutdown_cv_.wait(lock, [this] { return state_.load() == WorkerState::kShutDown; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_cv_.wait(lock,
+                      [this] { return state_.load() == WorkerState::kShutDown; });
+  }
+  // Reap the shutdown thread here rather than leaving it for the destructor:
+  // long-lived clusters would otherwise hold one finished-but-unjoined thread
+  // per drained worker.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (shutdown_thread_.joinable() &&
+      shutdown_thread_.get_id() != std::this_thread::get_id()) {
+    shutdown_thread_.join();
+  }
 }
 
 }  // namespace presto

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "presto/common/clock.h"
+#include "presto/common/metrics.h"
 #include "presto/common/thread_pool.h"
 
 namespace presto {
@@ -46,6 +47,10 @@ class Worker {
   /// Blocks until the worker reaches SHUT_DOWN.
   void AwaitShutdown();
 
+  /// Per-worker counters: worker.task.submitted/.completed and
+  /// worker.task.busy_nanos (wall time spent inside task bodies).
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   void GracefulShutdownSequence(int64_t grace_period_nanos);
 
@@ -57,9 +62,18 @@ class Worker {
   std::atomic<int> active_tasks_{0};
   std::atomic<int64_t> tasks_completed_{0};
 
+  MetricsRegistry metrics_;
+  MetricsRegistry::Counter* const tasks_submitted_counter_ =
+      metrics_.FindOrRegister("worker.task.submitted");
+  MetricsRegistry::Counter* const tasks_completed_counter_ =
+      metrics_.FindOrRegister("worker.task.completed");
+  MetricsRegistry::Counter* const busy_nanos_counter_ =
+      metrics_.FindOrRegister("worker.task.busy_nanos");
+
   std::mutex mu_;
   std::condition_variable drained_cv_;
   std::condition_variable shutdown_cv_;
+  std::mutex join_mu_;  // serializes joining shutdown_thread_
   std::thread shutdown_thread_;
 };
 

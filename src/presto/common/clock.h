@@ -6,6 +6,10 @@
 #include <cstdint>
 #include <thread>
 
+#ifdef __linux__
+#include <ctime>
+#endif
+
 namespace presto {
 
 /// Wall-clock stopwatch for benchmarks.
@@ -26,6 +30,34 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch for operator stats: measures time the
+/// calling thread actually spent on-core, so a task that blocks on an
+/// exchange buffer accrues wall time but not CPU time. Falls back to the
+/// wall clock on platforms without CLOCK_THREAD_CPUTIME_ID.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(NowNanos()) {}
+
+  void Reset() { start_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+
+  static int64_t NowNanos() {
+#ifdef __linux__
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+    }
+#endif
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  int64_t start_;
 };
 
 /// Abstract time source. Latency models (simulated HDFS NameNode RPCs,

@@ -1,0 +1,98 @@
+#include "presto/common/metrics.h"
+
+namespace presto {
+
+MetricsRegistry::Counter* MetricsRegistry::FindOrRegister(
+    const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(name);
+  if (it != shard.index.end()) return it->second;
+  shard.storage.emplace_back();
+  Counter* counter = &shard.storage.back();
+  shard.index.emplace(name, counter);
+  return counter;
+}
+
+int64_t MetricsRegistry::Get(const std::string& name) const {
+  const Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(name);
+  return it == shard.index.end() ? 0 : it->second->Get();
+}
+
+void MetricsRegistry::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Counter& counter : shard.storage) counter.Reset();
+  }
+}
+
+std::map<std::string, int64_t> MetricsRegistry::Snapshot() const {
+  std::map<std::string, int64_t> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.index) {
+      out[name] = counter->Get();
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string MetricsRegistry::RenderText(const std::string& prefix) const {
+  std::string out;
+  // Snapshot gives deterministic (sorted) order.
+  for (const auto& [name, value] : Snapshot()) {
+    std::string metric = SanitizeName(prefix + name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+void MetricsExposition::AddRegistry(const std::string& prefix,
+                                    const MetricsRegistry* registry) {
+  registries_.emplace_back(prefix, registry);
+}
+
+void MetricsExposition::AddGauge(const std::string& name,
+                                 std::function<int64_t()> fn) {
+  gauges_.emplace_back(name, std::move(fn));
+}
+
+std::string MetricsExposition::RenderText() const {
+  // Merge all sources by sanitized name so identically named counters from
+  // different registries (e.g. one per worker) roll up into one sample.
+  std::map<std::string, int64_t> counters;
+  for (const auto& [prefix, registry] : registries_) {
+    for (const auto& [name, value] : registry->Snapshot()) {
+      counters[MetricsRegistry::SanitizeName(prefix + name)] += value;
+    }
+  }
+  std::string out;
+  for (const auto& [metric, value] : counters) {
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, fn] : gauges_) {
+    std::string metric = MetricsRegistry::SanitizeName(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(fn()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace presto

@@ -77,8 +77,8 @@ Status DruidStore::Ingest(const std::string& name,
     }
     ++acc.count;
   }
-  metrics_.Increment("druid.events_ingested", static_cast<int64_t>(rows.size()));
-  metrics_.Increment("druid.rows_after_rollup", static_cast<int64_t>(rollup.size()));
+  metrics_.Increment("druid.ingest.events", static_cast<int64_t>(rows.size()));
+  metrics_.Increment("druid.ingest.rows_after_rollup", static_cast<int64_t>(rollup.size()));
 
   // Deterministic segment order: sort rolled-up rows by (time, dims).
   std::vector<std::pair<RollupKey, Accum>> sorted(
@@ -177,7 +177,7 @@ Result<DruidResult> DruidStore::Execute(const DruidQuery& query) {
     }
     schema = it->second.schema;
     segments = it->second.segments;
-    metrics_.Increment("druid.queries");
+    metrics_.Increment("druid.query.calls");
   }
 
   auto dim_index = [&](const std::string& name) -> Result<size_t> {

@@ -134,6 +134,14 @@ uint32_t StringPool::Intern(std::string_view s) {
   return id;
 }
 
+int64_t StringPool::EstimateBytes() const {
+  int64_t bytes = 0;
+  for (const std::string& s : strings_) {
+    bytes += static_cast<int64_t>(s.size()) + sizeof(std::string);
+  }
+  return bytes;
+}
+
 std::optional<uint32_t> StringPool::Find(std::string_view s) const {
   auto it = ids_.find(s);
   if (it == ids_.end()) return std::nullopt;
@@ -171,6 +179,14 @@ void NormalizedKeyTable::ReserveFor(size_t additional_groups) {
   if (capacity_ == 0 || needed * 2 > capacity_) {
     Rehash(NextPowerOfTwo(std::max<size_t>(needed * 2, 1024)));
   }
+}
+
+int64_t NormalizedKeyTable::EstimateBytes() const {
+  return static_cast<int64_t>(key_data_.size() * sizeof(uint64_t) +
+                              null_masks_.size() * sizeof(uint64_t) +
+                              group_hashes_.size() * sizeof(uint64_t) +
+                              table_.size() * sizeof(int32_t)) +
+         strings_.EstimateBytes();
 }
 
 void NormalizedKeyTable::EnsureGlobalGroup() {

@@ -76,6 +76,9 @@ class StringPool {
   const std::string& at(uint32_t id) const { return strings_[id]; }
   size_t size() const { return strings_.size(); }
 
+  /// Approximate bytes held by the interned strings (operator memory stats).
+  int64_t EstimateBytes() const;
+
  private:
   std::deque<std::string> strings_;  // deque: stable addresses for the views
   std::unordered_map<std::string_view, uint32_t> ids_;
@@ -116,6 +119,11 @@ class NormalizedKeyTable {
   void EnsureGlobalGroup();
 
   size_t num_groups() const { return num_groups_; }
+
+  /// Approximate bytes held by the table: group key arena, open-addressing
+  /// slots, and interned strings. Feeds operator memory stats
+  /// (exec.agg.table_bytes / exec.join.table_bytes).
+  int64_t EstimateBytes() const;
 
   /// Rebuilds the key columns, one row per group in creation order.
   Result<std::vector<VectorPtr>> BuildKeyColumns(

@@ -3,15 +3,66 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "presto/common/clock.h"
 #include "presto/exec/kernels/kernels.h"
 #include "presto/vector/vector_builder.h"
 
 namespace presto {
 
+Result<std::optional<Page>> Operator::Next() {
+  if (!collect_stats_) {
+    // Row/page counts stay on (the engine and tests rely on rows_produced);
+    // only the clock reads and byte estimation are skipped.
+    ASSIGN_OR_RETURN(std::optional<Page> page, NextInternal());
+    if (page.has_value()) {
+      stats_.output_rows += static_cast<int64_t>(page->num_rows());
+      stats_.output_pages += 1;
+    }
+    return page;
+  }
+  Stopwatch wall;
+  int64_t cpu_start = CpuStopwatch::NowNanos();
+  Result<std::optional<Page>> result = NextInternal();
+  stats_.wall_nanos += wall.ElapsedNanos();
+  stats_.cpu_nanos += CpuStopwatch::NowNanos() - cpu_start;
+  if (!result.ok()) return result;
+  const std::optional<Page>& page = result.value();
+  if (page.has_value()) {
+    stats_.output_rows += static_cast<int64_t>(page->num_rows());
+    stats_.output_pages += 1;
+    stats_.output_bytes += page->EstimateBytes();
+  }
+  return result;
+}
+
+void Operator::CollectStats(std::vector<OperatorStats>* out) const {
+  OperatorStats s = stats_;
+  if (children_.empty()) {
+    // Leaves (scan, values, remote source) pass pages through: what they
+    // read is what they emit.
+    s.input_rows = s.output_rows;
+    s.input_bytes = s.output_bytes;
+    s.input_pages = s.output_pages;
+  } else {
+    for (const Operator* child : children_) {
+      const OperatorStats& c = child->stats();
+      s.input_rows += c.output_rows;
+      s.input_bytes += c.output_bytes;
+      s.input_pages += c.output_pages;
+    }
+  }
+  s.num_instances = 1;
+  out->push_back(std::move(s));
+  for (const Operator* child : children_) child->CollectStats(out);
+}
+
 namespace {
 
-void Bump(MetricsRegistry* metrics, const char* name, int64_t delta) {
-  if (metrics != nullptr && delta != 0) metrics->Increment(name, delta);
+// Pre-registered hot-path counter bump: a single relaxed atomic add, no
+// lock or name lookup per page (counters are resolved once at operator
+// construction via MetricsRegistry::FindOrRegister).
+void Bump(MetricsRegistry::Counter* counter, int64_t delta) {
+  if (counter != nullptr && delta != 0) counter->Add(delta);
 }
 
 // ---------------------------------------------------------------------------
@@ -162,7 +213,8 @@ class TableScanOperator final : public Operator {
         pushdown_(std::move(pushdown)),
         splits_(std::move(splits)) {}
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     while (true) {
       if (source_ == nullptr) {
         if (next_split_ >= splits_.size()) return std::optional<Page>();
@@ -175,7 +227,6 @@ class TableScanOperator final : public Operator {
         continue;
       }
       if (page->num_rows() == 0) continue;
-      rows_produced_ += static_cast<int64_t>(page->num_rows());
       return page;
     }
   }
@@ -194,7 +245,8 @@ class ValuesOperator final : public Operator {
                  const std::vector<std::vector<Value>>* rows)
       : outputs_(std::move(outputs)), rows_(rows) {}
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     if (done_) return std::optional<Page>();
     done_ = true;
     std::vector<VectorBuilder> builders;
@@ -206,7 +258,6 @@ class ValuesOperator final : public Operator {
     }
     std::vector<VectorPtr> columns;
     for (auto& b : builders) columns.push_back(b.Build());
-    rows_produced_ += static_cast<int64_t>(rows_->size());
     return std::optional<Page>(Page(std::move(columns), rows_->size()));
   }
 
@@ -220,12 +271,9 @@ class RemoteSourceOperator final : public Operator {
  public:
   explicit RemoteSourceOperator(ExchangeBuffer* buffer) : buffer_(buffer) {}
 
-  Result<std::optional<Page>> Next() override {
-    ASSIGN_OR_RETURN(std::optional<Page> page, buffer_->Next());
-    if (page.has_value()) {
-      rows_produced_ += static_cast<int64_t>(page->num_rows());
-    }
-    return page;
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
+    return buffer_->Next();
   }
 
  private:
@@ -243,9 +291,12 @@ class FilterOperator final : public Operator {
       : child_(std::move(child)),
         predicate_(std::move(predicate)),
         layout_(std::move(layout)),
-        functions_(functions) {}
+        functions_(functions) {
+    AddChild(child_.get());
+  }
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     while (true) {
       ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
       if (!page.has_value()) return std::optional<Page>();
@@ -256,7 +307,6 @@ class FilterOperator final : public Operator {
       // than a materialized copy; lazy columns load only the selected rows.
       Page out = rows.size() == page->num_rows() ? std::move(*page)
                                                  : page->WrapRows(rows);
-      rows_produced_ += static_cast<int64_t>(out.num_rows());
       return std::optional<Page>(std::move(out));
     }
   }
@@ -275,9 +325,12 @@ class ProjectOperator final : public Operator {
       : child_(std::move(child)),
         assignments_(std::move(assignments)),
         layout_(std::move(layout)),
-        functions_(functions) {}
+        functions_(functions) {
+    AddChild(child_.get());
+  }
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
     if (!page.has_value()) return std::optional<Page>();
     std::vector<VectorPtr> columns;
@@ -288,7 +341,6 @@ class ProjectOperator final : public Operator {
                                                  functions_));
       columns.push_back(std::move(column));
     }
-    rows_produced_ += static_cast<int64_t>(page->num_rows());
     return std::optional<Page>(Page(std::move(columns), page->num_rows()));
   }
 
@@ -302,9 +354,12 @@ class ProjectOperator final : public Operator {
 class LimitOperator final : public Operator {
  public:
   LimitOperator(OperatorPtr child, int64_t count)
-      : child_(std::move(child)), remaining_(count) {}
+      : child_(std::move(child)), remaining_(count) {
+    AddChild(child_.get());
+  }
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     if (remaining_ <= 0) return std::optional<Page>();
     ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
     if (!page.has_value()) return std::optional<Page>();
@@ -314,7 +369,6 @@ class LimitOperator final : public Operator {
       *page = page->WrapRows(rows);
     }
     remaining_ -= static_cast<int64_t>(page->num_rows());
-    rows_produced_ += static_cast<int64_t>(page->num_rows());
     return page;
   }
 
@@ -343,19 +397,35 @@ class HashAggregationOperator final : public Operator {
         key_channels_(std::move(key_channels)),
         key_types_(std::move(key_types)),
         aggs_(std::move(aggs)),
-        step_(step),
-        metrics_(limits.metrics) {
+        step_(step) {
+    AddChild(child_.get());
+    if (limits.metrics != nullptr) {
+      kernel_pages_counter_ =
+          limits.metrics->FindOrRegister("exec.agg.kernel_pages");
+      fallback_pages_counter_ =
+          limits.metrics->FindOrRegister("exec.agg.fallback_pages");
+      hash_probes_counter_ =
+          limits.metrics->FindOrRegister("exec.agg.hash_probes");
+      groups_created_counter_ =
+          limits.metrics->FindOrRegister("exec.agg.groups_created");
+      table_bytes_counter_ =
+          limits.metrics->FindOrRegister("exec.agg.table_bytes");
+    }
     InitKernel(limits);
   }
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     if (done_) return std::optional<Page>();
     done_ = true;
     if (use_kernel_) {
       RETURN_IF_ERROR(ConsumeInputKernel());
+      RecordPeakBuffered(static_cast<int64_t>(key_table_->num_groups()));
+      Bump(table_bytes_counter_, key_table_->EstimateBytes());
       return ProduceOutputKernel();
     }
     RETURN_IF_ERROR(ConsumeInput().status());
+    RecordPeakBuffered(static_cast<int64_t>(num_groups_));
     return ProduceOutput();
   }
 
@@ -414,9 +484,10 @@ class HashAggregationOperator final : public Operator {
                                            /*insert_missing=*/true,
                                            /*skip_null_keys=*/false,
                                            &group_ids_));
-      Bump(metrics_, "exec.agg.kernel_pages", 1);
-      Bump(metrics_, "exec.agg.hash_probes", probes);
-      Bump(metrics_, "exec.agg.groups_created",
+      stats_.kernel_pages += 1;
+      Bump(kernel_pages_counter_, 1);
+      Bump(hash_probes_counter_, probes);
+      Bump(groups_created_counter_,
            static_cast<int64_t>(key_table_->num_groups() - groups_before));
       for (auto& g : grouped_) g->EnsureGroups(key_table_->num_groups());
       for (size_t a = 0; a < aggs_.size(); ++a) {
@@ -451,7 +522,6 @@ class HashAggregationOperator final : public Operator {
           g->Build(/*intermediate=*/step_ == AggregationStep::kPartial));
       columns.push_back(std::move(column));
     }
-    rows_produced_ += static_cast<int64_t>(rows);
     return std::optional<Page>(Page(std::move(columns), rows));
   }
 
@@ -485,7 +555,8 @@ class HashAggregationOperator final : public Operator {
       if (!key_channels_.empty()) {
         kernels::HashPage(flat_page, key_channels_, &hash_scratch_);
       }
-      Bump(metrics_, "exec.agg.fallback_pages", 1);
+      stats_.fallback_pages += 1;
+      Bump(fallback_pages_counter_, 1);
       size_t groups_before = num_groups_;
 
       for (size_t row = 0; row < page->num_rows(); ++row) {
@@ -500,7 +571,7 @@ class HashAggregationOperator final : public Operator {
           }
         }
       }
-      Bump(metrics_, "exec.agg.groups_created",
+      Bump(groups_created_counter_,
            static_cast<int64_t>(num_groups_ - groups_before));
     }
     return true;
@@ -565,7 +636,6 @@ class HashAggregationOperator final : public Operator {
     if (rows == 0) return std::optional<Page>();
     std::vector<VectorPtr> columns;
     for (auto& b : builders) columns.push_back(b.Build());
-    rows_produced_ += static_cast<int64_t>(rows);
     return std::optional<Page>(Page(std::move(columns), rows));
   }
 
@@ -574,7 +644,11 @@ class HashAggregationOperator final : public Operator {
   std::vector<TypePtr> key_types_;
   std::vector<AggSpec> aggs_;
   AggregationStep step_;
-  MetricsRegistry* metrics_;
+  MetricsRegistry::Counter* kernel_pages_counter_ = nullptr;
+  MetricsRegistry::Counter* fallback_pages_counter_ = nullptr;
+  MetricsRegistry::Counter* hash_probes_counter_ = nullptr;
+  MetricsRegistry::Counter* groups_created_counter_ = nullptr;
+  MetricsRegistry::Counter* table_bytes_counter_ = nullptr;
   bool done_ = false;
 
   // Kernel path.
@@ -613,22 +687,38 @@ class HashJoinOperator final : public Operator {
         filter_(std::move(filter)),
         combined_layout_(std::move(combined_layout)),
         functions_(functions),
-        max_build_rows_(limits.max_join_build_rows),
-        metrics_(limits.metrics) {
+        max_build_rows_(limits.max_join_build_rows) {
+    AddChild(probe_.get());
+    AddChild(build_.get());
+    if (limits.metrics != nullptr) {
+      build_rows_counter_ = limits.metrics->FindOrRegister("exec.join.build_rows");
+      hash_probes_counter_ =
+          limits.metrics->FindOrRegister("exec.join.hash_probes");
+      kernel_pages_counter_ =
+          limits.metrics->FindOrRegister("exec.join.kernel_pages");
+      fallback_pages_counter_ =
+          limits.metrics->FindOrRegister("exec.join.fallback_pages");
+      table_bytes_counter_ =
+          limits.metrics->FindOrRegister("exec.join.table_bytes");
+    }
     InitKernel(limits, probe_key_types, build_key_types);
   }
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     if (!built_) {
       RETURN_IF_ERROR(BuildTable());
       built_ = true;
+      RecordPeakBuffered(null_row_index_);
+      if (key_table_ != nullptr) {
+        Bump(table_bytes_counter_, key_table_->EstimateBytes());
+      }
     }
     while (true) {
       ASSIGN_OR_RETURN(std::optional<Page> page, probe_->Next());
       if (!page.has_value()) return std::optional<Page>();
       ASSIGN_OR_RETURN(std::optional<Page> out, ProbePage(*page));
       if (!out.has_value()) continue;
-      rows_produced_ += static_cast<int64_t>(out->num_rows());
       return out;
     }
   }
@@ -684,7 +774,7 @@ class HashJoinOperator final : public Operator {
     }
     null_row_index_ = static_cast<int32_t>(build_page_.num_rows());
     build_page_ = Page(std::move(with_null), build_page_.num_rows() + 1);
-    Bump(metrics_, "exec.join.build_rows", null_row_index_);
+    Bump(build_rows_counter_, null_row_index_);
 
     if (use_kernel_) {
       // Normalized-key table maps each distinct key to a key id; duplicate
@@ -698,7 +788,7 @@ class HashJoinOperator final : public Operator {
                        key_table_->MapRows(build_page_, build_keys_,
                                            /*insert_missing=*/true,
                                            /*skip_null_keys=*/true, &key_ids));
-      Bump(metrics_, "exec.join.hash_probes", probes);
+      Bump(hash_probes_counter_, probes);
       head_.assign(key_table_->num_groups(), -1);
       next_.assign(key_ids.size(), -1);
       for (int32_t r = null_row_index_ - 1; r >= 0; --r) {
@@ -743,8 +833,9 @@ class HashJoinOperator final : public Operator {
                      key_table_->MapRows(prepared, probe_keys_,
                                          /*insert_missing=*/false,
                                          /*skip_null_keys=*/true, &key_ids));
-    Bump(metrics_, "exec.join.kernel_pages", 1);
-    Bump(metrics_, "exec.join.hash_probes", probes);
+    stats_.kernel_pages += 1;
+    Bump(kernel_pages_counter_, 1);
+    Bump(hash_probes_counter_, probes);
     for (size_t r = 0; r < key_ids.size(); ++r) {
       size_t before = build_rows->size();
       if (key_ids[r] != kernels::NormalizedKeyTable::kNoGroup) {
@@ -764,7 +855,8 @@ class HashJoinOperator final : public Operator {
   Status ProbeBoxed(const Page& probe_page, std::vector<int32_t>* probe_rows,
                     std::vector<int32_t>* build_rows) {
     kernels::HashPage(probe_page, probe_keys_, &hash_scratch_);
-    Bump(metrics_, "exec.join.fallback_pages", 1);
+    stats_.fallback_pages += 1;
+    Bump(fallback_pages_counter_, 1);
     for (size_t r = 0; r < probe_page.num_rows(); ++r) {
       bool has_null_key = false;
       for (int c : probe_keys_) {
@@ -884,7 +976,11 @@ class HashJoinOperator final : public Operator {
   std::map<std::string, int> combined_layout_;
   FunctionRegistry* functions_;
   int64_t max_build_rows_;
-  MetricsRegistry* metrics_;
+  MetricsRegistry::Counter* build_rows_counter_ = nullptr;
+  MetricsRegistry::Counter* hash_probes_counter_ = nullptr;
+  MetricsRegistry::Counter* kernel_pages_counter_ = nullptr;
+  MetricsRegistry::Counter* fallback_pages_counter_ = nullptr;
+  MetricsRegistry::Counter* table_bytes_counter_ = nullptr;
 
   bool built_ = false;
   Page build_page_;
@@ -917,9 +1013,13 @@ class NestedLoopJoinOperator final : public Operator {
         filter_(std::move(filter)),
         combined_layout_(std::move(combined_layout)),
         functions_(functions),
-        max_build_rows_(max_build_rows) {}
+        max_build_rows_(max_build_rows) {
+    AddChild(probe_.get());
+    AddChild(build_.get());
+  }
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     if (!built_) {
       std::vector<Page> pages;
       int64_t build_rows = 0;
@@ -936,6 +1036,7 @@ class NestedLoopJoinOperator final : public Operator {
       }
       ASSIGN_OR_RETURN(build_page_, ConcatPages(build_vars_, pages));
       built_ = true;
+      RecordPeakBuffered(static_cast<int64_t>(build_page_.num_rows()));
     }
     while (true) {
       if (!current_probe_.has_value()) {
@@ -961,7 +1062,6 @@ class NestedLoopJoinOperator final : public Operator {
             }
             current_probe_.reset();
             Page out(std::move(columns), unmatched.size());
-            rows_produced_ += static_cast<int64_t>(out.num_rows());
             return std::optional<Page>(std::move(out));
           }
         }
@@ -989,7 +1089,6 @@ class NestedLoopJoinOperator final : public Operator {
       if (pass.empty()) continue;
       for (int32_t p : pass) probe_matched_[p] = 1;
       Page out = pass.size() == n ? std::move(combined) : combined.WrapRows(pass);
-      rows_produced_ += static_cast<int64_t>(out.num_rows());
       return std::optional<Page>(std::move(out));
     }
   }
@@ -1024,9 +1123,12 @@ class SortOperator final : public Operator {
         output_vars_(std::move(output_vars)),
         channels_(std::move(channels)),
         ascending_(std::move(ascending)),
-        limit_(limit) {}
+        limit_(limit) {
+    AddChild(child_.get());
+  }
 
-  Result<std::optional<Page>> Next() override {
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
     if (done_) return std::optional<Page>();
     done_ = true;
     std::vector<Page> pages;
@@ -1036,6 +1138,7 @@ class SortOperator final : public Operator {
       pages.push_back(std::move(*page));
     }
     ASSIGN_OR_RETURN(Page all, ConcatPages(output_vars_, pages));
+    RecordPeakBuffered(static_cast<int64_t>(all.num_rows()));
     if (all.num_rows() == 0) return std::optional<Page>();
     std::vector<int32_t> order(all.num_rows());
     for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
@@ -1058,7 +1161,6 @@ class SortOperator final : public Operator {
       order.resize(limit_);
     }
     Page out = all.SliceRows(order);
-    rows_produced_ += static_cast<int64_t>(out.num_rows());
     return std::optional<Page>(std::move(out));
   }
 
@@ -1085,7 +1187,51 @@ std::map<std::string, int> MakeLayout(const std::vector<VariablePtr>& variables)
   return layout;
 }
 
+namespace {
+
+const char* OperatorTypeName(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kTableScan:
+      return "TableScan";
+    case PlanNodeKind::kValues:
+      return "Values";
+    case PlanNodeKind::kFilter:
+      return "Filter";
+    case PlanNodeKind::kProject:
+      return "Project";
+    case PlanNodeKind::kAggregate:
+      return "HashAggregation";
+    case PlanNodeKind::kJoin:
+      return "Join";
+    case PlanNodeKind::kSort:
+      return "Sort";
+    case PlanNodeKind::kTopN:
+      return "TopN";
+    case PlanNodeKind::kLimit:
+      return "Limit";
+    case PlanNodeKind::kOutput:
+      return "Output";
+    case PlanNodeKind::kRemoteSource:
+      return "RemoteSource";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
+  // Output is a pure passthrough with no operator of its own; the stats
+  // tree borrows its source's record at render time.
+  if (node->kind() == PlanNodeKind::kOutput) {
+    return Build(node->sources()[0]);
+  }
+  ASSIGN_OR_RETURN(OperatorPtr op, BuildNode(node));
+  op->SetIdentity(node->id(), OperatorTypeName(node->kind()));
+  op->set_collect_stats(limits_.collect_stats);
+  return op;
+}
+
+Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
   switch (node->kind()) {
     case PlanNodeKind::kTableScan: {
       const auto* scan = static_cast<const TableScanNode*>(node.get());

@@ -10,6 +10,7 @@
 #include "presto/common/metrics.h"
 #include "presto/connector/connector.h"
 #include "presto/exec/exchange.h"
+#include "presto/exec/query_stats.h"
 #include "presto/expr/evaluator.h"
 #include "presto/planner/plan.h"
 
@@ -18,16 +19,60 @@ namespace presto {
 /// Pull-based vectorized operator: Next() produces the next page or nullopt
 /// when exhausted. Single-threaded within a task; parallelism comes from
 /// running tasks (one per split batch) concurrently.
+///
+/// Next() is a non-virtual wrapper that records OperatorStats (output
+/// rows/bytes/pages, wall and thread-CPU time) around the subclass's
+/// NextInternal(). Recorded time is cumulative: it includes time spent
+/// pulling from children, so the root operator's wall time approximates the
+/// task's. Input-side stats are derived at CollectStats() time from the
+/// children's outputs.
 class Operator {
  public:
   virtual ~Operator() = default;
-  virtual Result<std::optional<Page>> Next() = 0;
+
+  /// Pulls the next page (or nullopt when exhausted), recording stats.
+  Result<std::optional<Page>> Next();
 
   /// Rows this operator has emitted (basic operator stats).
-  int64_t rows_produced() const { return rows_produced_; }
+  int64_t rows_produced() const { return stats_.output_rows; }
+
+  const OperatorStats& stats() const { return stats_; }
+
+  /// Ties this operator instance to its plan node for the query stats tree
+  /// (set by OperatorBuilder right after construction).
+  void SetIdentity(int plan_node_id, std::string operator_type) {
+    stats_.plan_node_id = plan_node_id;
+    stats_.operator_type = std::move(operator_type);
+  }
+
+  /// Registers `child` for input-stat derivation and recursive collection.
+  /// Called by OperatorBuilder; `child` must outlive this operator (it is
+  /// owned by a subclass member).
+  void AddChild(const Operator* child) { children_.push_back(child); }
+
+  /// Turns off the timing portion of stats recording (session property
+  /// query_stats=false); row/page counts are always kept — the engine needs
+  /// them anyway.
+  void set_collect_stats(bool on) { collect_stats_ = on; }
+
+  /// Appends this operator's stats (input side derived from children, or
+  /// mirrored from output for leaves) and recursively every child's.
+  void CollectStats(std::vector<OperatorStats>* out) const;
 
  protected:
-  int64_t rows_produced_ = 0;
+  virtual Result<std::optional<Page>> NextInternal() = 0;
+
+  /// Raises the buffered-rows high-water mark (hash table groups, join
+  /// build rows, sort buffer).
+  void RecordPeakBuffered(int64_t rows) {
+    if (rows > stats_.peak_buffered_rows) stats_.peak_buffered_rows = rows;
+  }
+
+  OperatorStats stats_;
+  bool collect_stats_ = true;
+
+ private:
+  std::vector<const Operator*> children_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -47,6 +92,9 @@ struct ExecutionLimits {
   /// Optional per-query counters (groups created, hash probes, kernel vs
   /// fallback page counts). Not owned; may be null.
   MetricsRegistry* metrics = nullptr;
+  /// Record per-operator wall/CPU time and byte counts (session property
+  /// query_stats). Row/page counts are recorded regardless.
+  bool collect_stats = true;
 };
 
 /// Builds operator trees from plan fragments. `exchanges` resolves
@@ -64,9 +112,13 @@ class OperatorBuilder {
         splits_(splits),
         limits_(limits) {}
 
+  /// Builds the operator tree for `node`, stamping each operator with its
+  /// plan node id and type name for the query stats tree.
   Result<OperatorPtr> Build(const PlanNodePtr& node);
 
  private:
+  Result<OperatorPtr> BuildNode(const PlanNodePtr& node);
+
   const CatalogRegistry* catalogs_;
   FunctionRegistry* functions_;
   const std::map<int, ExchangeBuffer*>* exchanges_;

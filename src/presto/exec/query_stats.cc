@@ -1,0 +1,137 @@
+#include "presto/exec/query_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "presto/planner/fragmenter.h"
+
+namespace presto {
+
+void OperatorStats::Merge(const OperatorStats& other) {
+  if (plan_node_id < 0) plan_node_id = other.plan_node_id;
+  if (operator_type.empty()) operator_type = other.operator_type;
+  input_rows += other.input_rows;
+  input_bytes += other.input_bytes;
+  input_pages += other.input_pages;
+  output_rows += other.output_rows;
+  output_bytes += other.output_bytes;
+  output_pages += other.output_pages;
+  wall_nanos += other.wall_nanos;
+  cpu_nanos += other.cpu_nanos;
+  peak_buffered_rows = std::max(peak_buffered_rows, other.peak_buffered_rows);
+  kernel_pages += other.kernel_pages;
+  fallback_pages += other.fallback_pages;
+  num_instances += other.num_instances > 0 ? other.num_instances : 1;
+}
+
+std::string OperatorStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "rows: %lld (%.1f KB), wall: %.2f ms, cpu: %.2f ms",
+                static_cast<long long>(output_rows), output_bytes / 1024.0,
+                wall_nanos / 1e6, cpu_nanos / 1e6);
+  std::string out = buf;
+  out += ", input: " + std::to_string(input_rows) + " rows";
+  if (peak_buffered_rows > 0) {
+    out += ", peak buffered: " + std::to_string(peak_buffered_rows) + " rows";
+  }
+  if (kernel_pages > 0 || fallback_pages > 0) {
+    out += ", pages: " + std::to_string(kernel_pages) + " kernel / " +
+           std::to_string(fallback_pages) + " fallback";
+  }
+  if (num_instances > 1) {
+    out += ", instances: " + std::to_string(num_instances);
+  }
+  return out;
+}
+
+void QueryStatsCollector::AddTask(int fragment_id, int root_plan_node_id,
+                                  const std::vector<OperatorStats>& operators,
+                                  int64_t task_wall_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageStats& stage = stages_[fragment_id];
+  stage.fragment_id = fragment_id;
+  stage.num_tasks += 1;
+  stage.wall_nanos += task_wall_nanos;
+  for (const OperatorStats& op : operators) {
+    stats_.operators[op.plan_node_id].Merge(op);
+    stage.cpu_nanos += op.cpu_nanos;
+    if (op.plan_node_id == root_plan_node_id) {
+      stage.output_rows += op.output_rows;
+      stage.output_bytes += op.output_bytes;
+    }
+  }
+  stats_.total_tasks += 1;
+  stats_.total_wall_nanos += task_wall_nanos;
+}
+
+QueryStats QueryStatsCollector::Finish() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryStats out = stats_;
+  out.stages.clear();
+  out.total_cpu_nanos = 0;
+  for (const auto& [id, stage] : stages_) {
+    out.stages.push_back(stage);
+    out.total_cpu_nanos += stage.cpu_nanos;
+    if (id == 0) {  // root fragment: its output is the query output
+      out.output_rows = stage.output_rows;
+      out.output_bytes = stage.output_bytes;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Finds the stats record annotating `node`. Output nodes are pure
+// passthroughs with no operator instance, so they borrow their source's
+// stats for display.
+const OperatorStats* StatsFor(const QueryStats& stats, const PlanNode& node) {
+  auto it = stats.operators.find(node.id());
+  if (it != stats.operators.end()) return &it->second;
+  if (node.kind() == PlanNodeKind::kOutput && !node.sources().empty()) {
+    return StatsFor(stats, *node.sources()[0]);
+  }
+  return nullptr;
+}
+
+void RenderNode(const PlanNode& node, const QueryStats& stats, int indent,
+                std::string* out) {
+  std::string pad(indent * 2, ' ');
+  *out += pad + "- " + node.Label() + "\n";
+  if (const OperatorStats* op = StatsFor(stats, node)) {
+    *out += pad + "    " + op->ToString() + "\n";
+  }
+  for (const PlanNodePtr& source : node.sources()) {
+    RenderNode(*source, stats, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderPlanWithStats(const FragmentedPlan& plan,
+                                const QueryStats& stats) {
+  std::string out;
+  for (const PlanFragment& fragment : plan.fragments) {
+    out += "Fragment " + std::to_string(fragment.id) +
+           (fragment.leaf ? " (leaf)" : " (root)");
+    for (const StageStats& stage : stats.stages) {
+      if (stage.fragment_id == fragment.id) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      " [tasks: %d, output: %lld rows, wall: %.2f ms, "
+                      "cpu: %.2f ms]",
+                      stage.num_tasks,
+                      static_cast<long long>(stage.output_rows),
+                      stage.wall_nanos / 1e6, stage.cpu_nanos / 1e6);
+        out += buf;
+        break;
+      }
+    }
+    out += "\n";
+    RenderNode(*fragment.root, stats, 1, &out);
+  }
+  return out;
+}
+
+}  // namespace presto

@@ -1,0 +1,113 @@
+#ifndef PRESTO_EXEC_QUERY_STATS_H_
+#define PRESTO_EXEC_QUERY_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+struct FragmentedPlan;
+
+/// Runtime statistics of one operator instance (or the merge of every
+/// instance of the same plan node across tasks). This is the per-node payload
+/// of the query stats tree the coordinator attaches to QueryResult, and what
+/// EXPLAIN ANALYZE renders next to each plan node.
+struct OperatorStats {
+  int plan_node_id = -1;
+  std::string operator_type;  // "TableScan", "HashAggregation", ...
+
+  /// Rows/bytes/pages pulled from child operators. For leaves (scan, values,
+  /// remote source) this counts what the source handed the operator.
+  int64_t input_rows = 0;
+  int64_t input_bytes = 0;
+  int64_t input_pages = 0;
+
+  /// Rows/bytes/pages this operator emitted from Next().
+  int64_t output_rows = 0;
+  int64_t output_bytes = 0;
+  int64_t output_pages = 0;
+
+  /// Time spent inside Next() (self + children, like Presto's operator wall
+  /// time) and the on-core share of it (CLOCK_THREAD_CPUTIME_ID).
+  int64_t wall_nanos = 0;
+  int64_t cpu_nanos = 0;
+
+  /// High-water mark of rows this operator held buffered (hash table groups,
+  /// join build rows, sort buffer).
+  int64_t peak_buffered_rows = 0;
+
+  /// Pages processed through the typed columnar kernels vs the Value-boxed
+  /// fallback (aggregation/join only; zero elsewhere).
+  int64_t kernel_pages = 0;
+  int64_t fallback_pages = 0;
+
+  /// Number of operator instances merged into this record (tasks running the
+  /// same plan node).
+  int num_instances = 0;
+
+  /// Accumulates `other` into this record: sums counts/time, maxes the peak.
+  void Merge(const OperatorStats& other);
+
+  /// One-line "rows=… bytes=… wall=…ms" rendering for EXPLAIN ANALYZE.
+  std::string ToString() const;
+};
+
+/// Per-stage rollup: one entry per plan fragment that ran.
+struct StageStats {
+  int fragment_id = 0;
+  int num_tasks = 0;
+  int64_t output_rows = 0;   // rows the fragment root emitted
+  int64_t output_bytes = 0;  // bytes the fragment root emitted
+  int64_t wall_nanos = 0;    // summed task wall time
+  int64_t cpu_nanos = 0;     // summed task CPU time
+};
+
+/// The task→stage→query aggregation result. `operators` is keyed by plan
+/// node id and merges every task's instance of that node.
+struct QueryStats {
+  std::map<int, OperatorStats> operators;
+  std::vector<StageStats> stages;  // sorted by fragment id
+  int64_t total_tasks = 0;
+  int64_t total_wall_nanos = 0;  // summed task wall time (not elapsed time)
+  int64_t total_cpu_nanos = 0;
+
+  /// Total rows/bytes the root fragment's root operator produced — must
+  /// reconcile with QueryResult::total_rows.
+  int64_t output_rows = 0;
+  int64_t output_bytes = 0;
+};
+
+/// Thread-safe sink the coordinator hands to every task of a query; each
+/// task reports its operator stats once on completion and the collector
+/// merges them into the query tree.
+class QueryStatsCollector {
+ public:
+  /// Merges one finished task: per-operator records plus the task's wall
+  /// time. `root_plan_node_id` identifies which operator's output counts as
+  /// the fragment's output.
+  void AddTask(int fragment_id, int root_plan_node_id,
+               const std::vector<OperatorStats>& operators,
+               int64_t task_wall_nanos);
+
+  /// Snapshot of the merged tree (stages sorted by fragment id). The root
+  /// fragment is id 0; its stage output becomes the query output.
+  QueryStats Finish() const;
+
+ private:
+  mutable std::mutex mu_;
+  QueryStats stats_;
+  std::map<int, StageStats> stages_;  // fragment id -> rollup
+};
+
+/// Renders the fragmented plan with each node annotated by its actual
+/// runtime stats — the EXPLAIN ANALYZE output. Nodes that never executed
+/// (e.g. pruned by the fragment result cache) render without an annotation.
+std::string RenderPlanWithStats(const FragmentedPlan& plan,
+                                const QueryStats& stats);
+
+}  // namespace presto
+
+#endif  // PRESTO_EXEC_QUERY_STATS_H_

@@ -60,7 +60,7 @@ class LocalWriteFile final : public WritableFile {
 
 Result<std::shared_ptr<RandomAccessFile>> LocalFileSystem::OpenForRead(
     const std::string& path) {
-  metrics_.Increment("open_read");
+  metrics_.Increment("fs.file.open_read");
   std::error_code ec;
   uint64_t size = stdfs::file_size(path, ec);
   if (ec) return Status::NotFound("no such file: " + path);
@@ -71,7 +71,7 @@ Result<std::shared_ptr<RandomAccessFile>> LocalFileSystem::OpenForRead(
 
 Result<std::unique_ptr<WritableFile>> LocalFileSystem::OpenForWrite(
     const std::string& path) {
-  metrics_.Increment("open_write");
+  metrics_.Increment("fs.file.open_write");
   std::error_code ec;
   stdfs::path parent = stdfs::path(path).parent_path();
   if (!parent.empty()) stdfs::create_directories(parent, ec);
@@ -82,7 +82,7 @@ Result<std::unique_ptr<WritableFile>> LocalFileSystem::OpenForWrite(
 
 Result<std::vector<FileInfo>> LocalFileSystem::ListFiles(
     const std::string& directory) {
-  metrics_.Increment("listFiles");
+  metrics_.Increment("fs.dir.list");
   std::error_code ec;
   std::vector<FileInfo> out;
   for (const auto& entry : stdfs::directory_iterator(directory, ec)) {
@@ -99,7 +99,7 @@ Result<std::vector<FileInfo>> LocalFileSystem::ListFiles(
 }
 
 Result<FileInfo> LocalFileSystem::GetFileInfo(const std::string& path) {
-  metrics_.Increment("getFileInfo");
+  metrics_.Increment("fs.file.stat");
   std::error_code ec;
   auto status = stdfs::status(path, ec);
   if (ec || status.type() == stdfs::file_type::not_found) {

@@ -61,20 +61,20 @@ Result<std::shared_ptr<RandomAccessFile>> MemoryFileSystem::OpenForRead(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
-  metrics_.Increment("open_read");
+  metrics_.Increment("fs.file.open_read");
   return std::shared_ptr<RandomAccessFile>(new MemoryReadFile(it->second));
 }
 
 Result<std::unique_ptr<WritableFile>> MemoryFileSystem::OpenForWrite(
     const std::string& path) {
-  metrics_.Increment("open_write");
+  metrics_.Increment("fs.file.open_write");
   return std::unique_ptr<WritableFile>(new MemoryWritableFile(this, path));
 }
 
 Result<std::vector<FileInfo>> MemoryFileSystem::ListFiles(
     const std::string& directory) {
   std::lock_guard<std::mutex> lock(mu_);
-  metrics_.Increment("listFiles");
+  metrics_.Increment("fs.dir.list");
   std::string prefix = directory;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::vector<FileInfo> out;
@@ -98,7 +98,7 @@ Result<std::vector<FileInfo>> MemoryFileSystem::ListFiles(
 
 Result<FileInfo> MemoryFileSystem::GetFileInfo(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
-  metrics_.Increment("getFileInfo");
+  metrics_.Increment("fs.file.stat");
   auto it = files_.find(path);
   if (it != files_.end()) {
     return FileInfo{path, it->second->size(), false};

@@ -15,8 +15,8 @@ Status BackoffRetry(Clock* clock, const PrestoS3Options& options,
   Status last;
   for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
     if (attempt > 0) {
-      metrics->Increment("s3fs.retries");
-      metrics->Increment("s3fs.backoff_nanos", delay);
+      metrics->Increment("s3fs.request.retries");
+      metrics->Increment("s3fs.backoff.nanos", delay);
       clock->AdvanceNanos(delay);
       delay *= 2;
     }
@@ -82,7 +82,7 @@ Result<size_t> S3InputStream::Read(uint8_t* out, size_t n) {
 }
 
 Status S3InputStream::ReopenAt(uint64_t pos, size_t min_bytes) {
-  metrics_->Increment("s3fs.stream_reopens");
+  metrics_->Increment("s3fs.stream.reopens");
   size_t fetch = std::max(min_bytes, options_.read_ahead_bytes);
   return BackoffRetry(clock_, options_, metrics_, [&]() -> Status {
     auto bytes = store_->GetRange(key_, pos, fetch);
@@ -173,9 +173,9 @@ class S3WritableFile final : public WritableFile {
       int64_t elapsed = fs_->clock_->NowNanos() - start;
       int64_t refund = elapsed - elapsed / parallelism;
       if (refund > 0) fs_->clock_->AdvanceNanos(-refund);
-      fs_->metrics().Increment("s3fs.multipart_parallel_refund_nanos", refund);
+      fs_->metrics().Increment("s3fs.multipart.parallel_refund_nanos", refund);
     }
-    fs_->metrics().Increment("s3fs.multipart_uploads");
+    fs_->metrics().Increment("s3fs.multipart.uploads");
     return fs_->RetryWithBackoff([&]() -> Status {
       return fs_->store_->CompleteMultipartUpload(upload_id);
     });
@@ -221,7 +221,7 @@ Result<std::unique_ptr<WritableFile>> PrestoS3FileSystem::OpenForWrite(
 
 Result<std::vector<FileInfo>> PrestoS3FileSystem::ListFiles(
     const std::string& directory) {
-  metrics_.Increment("listFiles");
+  metrics_.Increment("fs.dir.list");
   std::string prefix = directory;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::vector<FileInfo> raw;
@@ -251,7 +251,7 @@ Result<std::vector<FileInfo>> PrestoS3FileSystem::ListFiles(
 }
 
 Result<FileInfo> PrestoS3FileSystem::GetFileInfo(const std::string& path) {
-  metrics_.Increment("getFileInfo");
+  metrics_.Increment("fs.file.stat");
   FileInfo info;
   Status st = RetryWithBackoff([&]() -> Status {
     auto head = store_->HeadObject(path);

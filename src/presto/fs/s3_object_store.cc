@@ -6,11 +6,11 @@
 namespace presto {
 
 Status S3ObjectStore::BeginRequestLocked(const char* op, size_t bytes) {
-  metrics_.Increment(std::string("s3.requests"));
-  metrics_.Increment(std::string("s3.") + op);
+  metrics_.Increment(std::string("s3.request.calls"));
+  metrics_.Increment(std::string("s3.request.") + op);
   if (config_.transient_failure_rate > 0 &&
       failure_rng_.NextBool(config_.transient_failure_rate)) {
-    metrics_.Increment("s3.503");
+    metrics_.Increment("s3.request.throttled");
     // A failed request still costs the round trip.
     clock_->AdvanceNanos(config_.first_byte_latency_nanos);
     return Status::Unavailable("503 SlowDown: please reduce request rate");
@@ -24,7 +24,7 @@ Status S3ObjectStore::PutObject(const std::string& key,
                                 std::vector<uint8_t> bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   RETURN_IF_ERROR(BeginRequestLocked("put", bytes.size()));
-  metrics_.Increment("s3.bytes_written", static_cast<int64_t>(bytes.size()));
+  metrics_.Increment("s3.object.bytes_written", static_cast<int64_t>(bytes.size()));
   objects_[key] =
       std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
   return Status::OK();
@@ -36,7 +36,7 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> S3ObjectStore::GetObject(
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("NoSuchKey: " + key);
   RETURN_IF_ERROR(BeginRequestLocked("get", it->second->size()));
-  metrics_.Increment("s3.bytes_read", static_cast<int64_t>(it->second->size()));
+  metrics_.Increment("s3.object.bytes_read", static_cast<int64_t>(it->second->size()));
   return it->second;
 }
 
@@ -50,7 +50,7 @@ Result<std::vector<uint8_t>> S3ObjectStore::GetRange(const std::string& key,
                     ? 0
                     : std::min<size_t>(n, data.size() - offset);
   RETURN_IF_ERROR(BeginRequestLocked("get", take));
-  metrics_.Increment("s3.bytes_read", static_cast<int64_t>(take));
+  metrics_.Increment("s3.object.bytes_read", static_cast<int64_t>(take));
   std::vector<uint8_t> out(take);
   std::memcpy(out.data(), data.data() + offset, take);
   return out;
@@ -98,7 +98,7 @@ Status S3ObjectStore::UploadPart(const std::string& upload_id, int part_number,
   auto it = uploads_.find(upload_id);
   if (it == uploads_.end()) return Status::NotFound("NoSuchUpload: " + upload_id);
   RETURN_IF_ERROR(BeginRequestLocked("upload_part", bytes.size()));
-  metrics_.Increment("s3.bytes_written", static_cast<int64_t>(bytes.size()));
+  metrics_.Increment("s3.object.bytes_written", static_cast<int64_t>(bytes.size()));
   it->second.parts[part_number] = std::move(bytes);
   return Status::OK();
 }
@@ -179,8 +179,8 @@ Result<std::vector<uint8_t>> S3ObjectStore::SelectCsv(
   // The server scans the full object, but only the projected bytes cross the
   // wire: charge transfer for `out`, not for `data`.
   RETURN_IF_ERROR(BeginRequestLocked("select", out.size()));
-  metrics_.Increment("s3.bytes_read", static_cast<int64_t>(out.size()));
-  metrics_.Increment("s3.select_bytes_scanned", static_cast<int64_t>(data.size()));
+  metrics_.Increment("s3.object.bytes_read", static_cast<int64_t>(out.size()));
+  metrics_.Increment("s3.select.bytes_scanned", static_cast<int64_t>(data.size()));
   return std::vector<uint8_t>(out.begin(), out.end());
 }
 

@@ -4,25 +4,25 @@ namespace presto {
 
 Result<std::shared_ptr<RandomAccessFile>> SimulatedHdfs::OpenForRead(
     const std::string& path) {
-  metrics_.Increment("open_read");
+  metrics_.Increment("fs.file.open_read");
   return storage_.OpenForRead(path);
 }
 
 Result<std::unique_ptr<WritableFile>> SimulatedHdfs::OpenForWrite(
     const std::string& path) {
-  metrics_.Increment("open_write");
+  metrics_.Increment("fs.file.open_write");
   return storage_.OpenForWrite(path);
 }
 
 Result<std::vector<FileInfo>> SimulatedHdfs::ListFiles(
     const std::string& directory) {
-  metrics_.Increment("listFiles");
+  metrics_.Increment("fs.dir.list");
   clock_->AdvanceNanos(MetadataCharge(latency_.list_files_nanos));
   return storage_.ListFiles(directory);
 }
 
 Result<FileInfo> SimulatedHdfs::GetFileInfo(const std::string& path) {
-  metrics_.Increment("getFileInfo");
+  metrics_.Increment("fs.file.stat");
   clock_->AdvanceNanos(MetadataCharge(latency_.get_file_info_nanos));
   return storage_.GetFileInfo(path);
 }
@@ -32,7 +32,7 @@ Status SimulatedHdfs::DeleteFile(const std::string& path) {
 }
 
 bool SimulatedHdfs::Exists(const std::string& path) {
-  metrics_.Increment("getFileInfo");
+  metrics_.Increment("fs.file.stat");
   clock_->AdvanceNanos(MetadataCharge(latency_.get_file_info_nanos));
   return storage_.Exists(path);
 }

@@ -88,7 +88,7 @@ Status MySqlLite::Insert(const std::string& schema, const std::string& table,
     }
     t->rows.push_back(std::move(row));
   }
-  metrics_.Increment("mysql.rows_inserted", static_cast<int64_t>(rows.size()));
+  metrics_.Increment("mysql.rows.inserted", static_cast<int64_t>(rows.size()));
   return Status::OK();
 }
 
@@ -127,7 +127,7 @@ Result<int64_t> MySqlLite::Update(const std::string& schema,
     }
     ++changed;
   }
-  metrics_.Increment("mysql.rows_updated", changed);
+  metrics_.Increment("mysql.rows.updated", changed);
   return changed;
 }
 
@@ -144,7 +144,7 @@ Result<int64_t> MySqlLite::Delete(const std::string& schema,
   }
   t->rows = std::move(kept);
   int64_t deleted = before - static_cast<int64_t>(t->rows.size());
-  metrics_.Increment("mysql.rows_deleted", deleted);
+  metrics_.Increment("mysql.rows.deleted", deleted);
   return deleted;
 }
 
@@ -153,7 +153,7 @@ Result<ScanResult> MySqlLite::Scan(const std::string& schema,
                                    const ScanRequest& request) const {
   std::lock_guard<std::mutex> lock(mu_);
   ASSIGN_OR_RETURN(const Table* t, FindTableLocked(schema, table));
-  metrics_.Increment("mysql.scans");
+  metrics_.Increment("mysql.table.scans");
 
   ScanResult result;
   std::vector<size_t> projection;
@@ -185,7 +185,7 @@ Result<ScanResult> MySqlLite::Scan(const std::string& schema,
       break;
     }
   }
-  metrics_.Increment("mysql.rows_returned",
+  metrics_.Increment("mysql.rows.returned",
                      static_cast<int64_t>(result.rows.size()));
   return result;
 }

@@ -20,6 +20,19 @@ class Parser {
     return query;
   }
 
+  Result<Statement> ParseStatement() {
+    Statement statement;
+    if (ConsumeKeyword("EXPLAIN")) {
+      statement.kind = ConsumeKeyword("ANALYZE")
+                           ? Statement::Kind::kExplainAnalyze
+                           : Statement::Kind::kExplain;
+    }
+    ASSIGN_OR_RETURN(statement.query, ParseSelect());
+    ConsumeOperator(";");
+    if (!AtEnd()) return Err("unexpected trailing input");
+    return statement;
+  }
+
   Result<AstExprPtr> ParseStandaloneExpression() {
     ASSIGN_OR_RETURN(AstExprPtr expr, ParseExpr());
     if (!AtEnd()) return Err("unexpected trailing input");
@@ -510,6 +523,11 @@ class Parser {
 Result<Query> ParseQuery(const std::string& sql) {
   ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   return Parser(std::move(tokens)).ParseQuery();
+}
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseStatement();
 }
 
 Result<AstExprPtr> ParseExpression(const std::string& text) {

@@ -11,6 +11,18 @@ namespace sql {
 /// incoming SQL and tokenizes it into an Abstract Syntax Tree".
 Result<Query> ParseQuery(const std::string& sql);
 
+/// A top-level statement: a query, optionally prefixed with EXPLAIN (render
+/// the fragmented plan) or EXPLAIN ANALYZE (execute, then render the plan
+/// annotated with actual per-operator runtime stats). EXPLAIN and ANALYZE
+/// are contextual keywords — they stay usable as identifiers elsewhere.
+struct Statement {
+  enum class Kind { kQuery, kExplain, kExplainAnalyze };
+  Kind kind = Kind::kQuery;
+  Query query;
+};
+
+Result<Statement> ParseStatement(const std::string& sql);
+
 /// Parses a standalone scalar expression (used by tests and utilities).
 Result<AstExprPtr> ParseExpression(const std::string& text);
 

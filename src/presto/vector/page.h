@@ -57,6 +57,13 @@ class Page {
     return Page(std::move(out), rows.size());
   }
 
+  /// Approximate payload bytes across all columns (operator byte stats).
+  int64_t EstimateBytes() const {
+    int64_t bytes = 0;
+    for (const VectorPtr& col : columns_) bytes += col->EstimateBytes();
+    return bytes;
+  }
+
   /// Boxes one row (slow path; output/testing only).
   std::vector<Value> GetRow(size_t row) const {
     std::vector<Value> out;

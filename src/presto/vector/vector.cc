@@ -38,6 +38,11 @@ void Vector::HashBatch(uint64_t* out, bool combine) const {
   }
 }
 
+int64_t Vector::EstimateBytes() const {
+  // Conservative default for encodings without a tighter override.
+  return static_cast<int64_t>(size_) * 8;
+}
+
 // -- FlatVector ---------------------------------------------------------------
 
 template <>
@@ -123,6 +128,19 @@ VectorPtr FlatVector<T>::Slice(const std::vector<int32_t>& rows) const {
                                          GatherNulls(rows, *this));
 }
 
+template <typename T>
+int64_t FlatVector<T>::EstimateBytes() const {
+  int64_t bytes = static_cast<int64_t>(nulls_.size());
+  if constexpr (std::is_same_v<T, std::string>) {
+    for (const std::string& s : values_) {
+      bytes += static_cast<int64_t>(s.size()) + sizeof(std::string);
+    }
+  } else {
+    bytes += static_cast<int64_t>(values_.size()) * sizeof(T);
+  }
+  return bytes;
+}
+
 template class FlatVector<uint8_t>;
 template class FlatVector<int64_t>;
 template class FlatVector<double>;
@@ -148,6 +166,12 @@ VectorPtr RowVector::Slice(const std::vector<int32_t>& rows) const {
   }
   return std::make_shared<RowVector>(type_, rows.size(), std::move(children),
                                      GatherNulls(rows, *this));
+}
+
+int64_t RowVector::EstimateBytes() const {
+  int64_t bytes = static_cast<int64_t>(nulls_.size());
+  for (const VectorPtr& child : children_) bytes += child->EstimateBytes();
+  return bytes;
 }
 
 // -- ArrayVector --------------------------------------------------------------
@@ -181,6 +205,13 @@ VectorPtr ArrayVector::Slice(const std::vector<int32_t>& rows) const {
                                        GatherNulls(rows, *this));
 }
 
+int64_t ArrayVector::EstimateBytes() const {
+  return static_cast<int64_t>(nulls_.size()) +
+         static_cast<int64_t>(offsets_.size() + lengths_.size()) *
+             sizeof(int32_t) +
+         elements_->EstimateBytes();
+}
+
 // -- MapVector ----------------------------------------------------------------
 
 Value MapVector::GetValue(size_t row) const {
@@ -210,6 +241,13 @@ VectorPtr MapVector::Slice(const std::vector<int32_t>& rows) const {
   return std::make_shared<MapVector>(
       type_, std::move(offsets), std::move(lengths), keys_->Slice(entry_rows),
       values_->Slice(entry_rows), GatherNulls(rows, *this));
+}
+
+int64_t MapVector::EstimateBytes() const {
+  return static_cast<int64_t>(nulls_.size()) +
+         static_cast<int64_t>(offsets_.size() + lengths_.size()) *
+             sizeof(int32_t) +
+         keys_->EstimateBytes() + values_->EstimateBytes();
 }
 
 // -- DictionaryVector ---------------------------------------------------------
@@ -245,6 +283,12 @@ VectorPtr DictionaryVector::Slice(const std::vector<int32_t>& rows) const {
                                             GatherNulls(rows, *this));
 }
 
+int64_t DictionaryVector::EstimateBytes() const {
+  return static_cast<int64_t>(nulls_.size()) +
+         static_cast<int64_t>(indices_.size()) * sizeof(int32_t) +
+         base_->EstimateBytes();
+}
+
 // -- LazyVector ---------------------------------------------------------------
 
 Result<VectorPtr> LazyVector::Load() const {
@@ -276,6 +320,12 @@ VectorPtr LazyVector::Slice(const std::vector<int32_t>& rows) const {
   auto sliced = LoadForRows(rows);
   if (!sliced.ok()) FatalVectorError("lazy vector load failed in Slice");
   return sliced.value();
+}
+
+int64_t LazyVector::EstimateBytes() const {
+  // Unloaded lazy columns have no materialized payload yet; counting them
+  // would charge bytes the lazy-read optimization specifically avoids.
+  return loaded_ == nullptr ? 0 : loaded_->EstimateBytes();
 }
 
 // -- Flatten ------------------------------------------------------------------

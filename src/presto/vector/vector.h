@@ -65,6 +65,11 @@ class Vector {
   /// Gathers the given rows into a new vector (indices must be < size()).
   virtual VectorPtr Slice(const std::vector<int32_t>& rows) const = 0;
 
+  /// Approximate in-memory payload size, used for operator byte counters
+  /// (OperatorStats::output_bytes). Unloaded lazy vectors report 0 — bytes
+  /// count only once something materializes.
+  virtual int64_t EstimateBytes() const;
+
   /// Returns an equivalent kFlat vector, resolving dictionary indirection
   /// and loading lazy vectors. Flat vectors return themselves.
   static Result<VectorPtr> Flatten(const VectorPtr& vector);
@@ -108,6 +113,7 @@ class FlatVector final : public Vector {
   void HashBatch(uint64_t* out, bool combine) const override;
   int CompareAt(size_t row, const Vector& other, size_t other_row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
+  int64_t EstimateBytes() const override;
 
  private:
   std::vector<T> values_;
@@ -141,6 +147,7 @@ class RowVector final : public Vector {
 
   Value GetValue(size_t row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
+  int64_t EstimateBytes() const override;
 
  private:
   std::vector<VectorPtr> children_;
@@ -172,6 +179,7 @@ class ArrayVector final : public Vector {
 
   Value GetValue(size_t row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
+  int64_t EstimateBytes() const override;
 
  private:
   std::vector<int32_t> offsets_;
@@ -206,6 +214,7 @@ class MapVector final : public Vector {
 
   Value GetValue(size_t row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
+  int64_t EstimateBytes() const override;
 
  private:
   std::vector<int32_t> offsets_;
@@ -256,6 +265,7 @@ class DictionaryVector final : public Vector {
   void HashBatch(uint64_t* out, bool combine) const override;
   int CompareAt(size_t row, const Vector& other, size_t other_row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
+  int64_t EstimateBytes() const override;
 
  private:
   VectorPtr base_;
@@ -292,6 +302,7 @@ class LazyVector final : public Vector {
   bool IsNull(size_t row) const override;
   Value GetValue(size_t row) const override;
   VectorPtr Slice(const std::vector<int32_t>& rows) const override;
+  int64_t EstimateBytes() const override;
 
  private:
   Loader loader_;

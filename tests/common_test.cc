@@ -246,12 +246,12 @@ TEST(ThreadPoolTest, RejectsAfterShutdown) {
 
 TEST(MetricsTest, CountersAccumulate) {
   MetricsRegistry metrics;
-  metrics.Increment("listFiles");
-  metrics.Increment("listFiles", 4);
-  EXPECT_EQ(metrics.Get("listFiles"), 5);
+  metrics.Increment("fs.dir.list");
+  metrics.Increment("fs.dir.list", 4);
+  EXPECT_EQ(metrics.Get("fs.dir.list"), 5);
   EXPECT_EQ(metrics.Get("unknown"), 0);
   metrics.Reset();
-  EXPECT_EQ(metrics.Get("listFiles"), 0);
+  EXPECT_EQ(metrics.Get("fs.dir.list"), 0);
 }
 
 }  // namespace

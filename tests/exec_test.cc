@@ -254,17 +254,17 @@ TEST(FragmentResultCacheTest, SecondRunServedFromCache) {
   auto first = cluster.Execute(sql, cached);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first->Row(0)[0], Value::Int(10));
-  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("miss"), 1);
+  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("cache.fragment_result.misses"), 1);
 
   auto second = cluster.Execute(sql, cached);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->Row(0)[0], Value::Int(10));
-  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("hit"), 1);
+  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("cache.fragment_result.hits"), 1);
 
   // Without the session property the cache is bypassed entirely.
   Session plain;
   ASSERT_TRUE(cluster.Execute(sql, plain).ok());
-  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("hit"), 1);
+  EXPECT_EQ(cluster.coordinator().fragment_cache_metrics().Get("cache.fragment_result.hits"), 1);
 
   // New data + explicit invalidation: fresh results.
   ASSERT_TRUE(memory->AppendPage("default", "nums",

@@ -94,8 +94,8 @@ TEST(SimulatedHdfsTest, NameNodeLatencyCharged) {
   EXPECT_EQ(clock.NowNanos() - before, 1000);
   ASSERT_TRUE(hdfs.GetFileInfo("d/f").ok());
   EXPECT_EQ(clock.NowNanos() - before, 1500);
-  EXPECT_EQ(hdfs.metrics().Get("listFiles"), 1);
-  EXPECT_EQ(hdfs.metrics().Get("getFileInfo"), 1);
+  EXPECT_EQ(hdfs.metrics().Get("fs.dir.list"), 1);
+  EXPECT_EQ(hdfs.metrics().Get("fs.file.stat"), 1);
 }
 
 TEST(SimulatedHdfsTest, DegradedNameNodeMultipliesLatency) {
@@ -124,7 +124,7 @@ TEST(S3ObjectStoreTest, PutGetRangeHead) {
   EXPECT_EQ(s3.HeadObject("bucket/key")->size, 10u);
   EXPECT_EQ(s3.GetObject("missing").status().code(), StatusCode::kNotFound);
   EXPECT_GT(clock.NowNanos(), 0);
-  EXPECT_EQ(s3.metrics().Get("s3.get"), 2);  // full GET + range GET
+  EXPECT_EQ(s3.metrics().Get("s3.request.get"), 2);  // full GET + range GET
 }
 
 TEST(S3ObjectStoreTest, TransientFailuresInjected) {
@@ -133,7 +133,7 @@ TEST(S3ObjectStoreTest, TransientFailuresInjected) {
   config.transient_failure_rate = 1.0;  // always fail
   S3ObjectStore s3(&clock, config);
   EXPECT_EQ(s3.PutObject("k", Bytes("v")).code(), StatusCode::kUnavailable);
-  EXPECT_GT(s3.metrics().Get("s3.503"), 0);
+  EXPECT_GT(s3.metrics().Get("s3.request.throttled"), 0);
 }
 
 TEST(S3ObjectStoreTest, MultipartAssemblesParts) {
@@ -157,8 +157,8 @@ TEST(S3ObjectStoreTest, SelectCsvProjectsAndFilters) {
   ASSERT_TRUE(selected.ok());
   EXPECT_EQ(Str(*selected), "1,100\n3,300\n");
   // Bytes over the wire < object size; scanned bytes recorded separately.
-  EXPECT_EQ(s3.metrics().Get("s3.bytes_read"), 12);  // projected bytes only
-  EXPECT_EQ(s3.metrics().Get("s3.select_bytes_scanned"), 28);
+  EXPECT_EQ(s3.metrics().Get("s3.object.bytes_read"), 12);  // projected bytes only
+  EXPECT_EQ(s3.metrics().Get("s3.select.bytes_scanned"), 28);
 }
 
 TEST(PrestoS3FileSystemTest, ReadWriteThroughFacade) {
@@ -193,11 +193,11 @@ TEST(PrestoS3FileSystemTest, LazySeekAvoidsStreamReopens) {
     ASSERT_TRUE((*stream)->Seek(i * 1000).ok());
   }
   ASSERT_TRUE((*stream)->Read(buf, 16).ok());
-  EXPECT_EQ(lazy_fs.metrics().Get("s3fs.stream_reopens"), 1);
+  EXPECT_EQ(lazy_fs.metrics().Get("s3fs.stream.reopens"), 1);
   // Seeks within the read-ahead buffer cost nothing even with reads.
   ASSERT_TRUE((*stream)->Seek(49 * 1000 + 100).ok());
   ASSERT_TRUE((*stream)->Read(buf, 16).ok());
-  EXPECT_EQ(lazy_fs.metrics().Get("s3fs.stream_reopens"), 1);
+  EXPECT_EQ(lazy_fs.metrics().Get("s3fs.stream.reopens"), 1);
 
   PrestoS3Options eager_options = lazy_options;
   eager_options.lazy_seek = false;
@@ -207,7 +207,7 @@ TEST(PrestoS3FileSystemTest, LazySeekAvoidsStreamReopens) {
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE((*eager_stream)->Seek(i * 20000).ok());
   }
-  EXPECT_GT(eager_fs.metrics().Get("s3fs.stream_reopens"), 10)
+  EXPECT_GT(eager_fs.metrics().Get("s3fs.stream.reopens"), 10)
       << "eager seek reopens the stream on every long jump";
 }
 
@@ -223,8 +223,8 @@ TEST(PrestoS3FileSystemTest, ExponentialBackoffRetriesTransientFailures) {
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(fs.WriteFile("k" + std::to_string(i), Bytes("v")).ok());
   }
-  EXPECT_GT(fs.metrics().Get("s3fs.retries"), 0);
-  EXPECT_GT(fs.metrics().Get("s3fs.backoff_nanos"), 0);
+  EXPECT_GT(fs.metrics().Get("s3fs.request.retries"), 0);
+  EXPECT_GT(fs.metrics().Get("s3fs.backoff.nanos"), 0);
 }
 
 TEST(PrestoS3FileSystemTest, BackoffGivesUpEventually) {
@@ -249,8 +249,8 @@ TEST(PrestoS3FileSystemTest, MultipartUploadForLargeObjects) {
   std::vector<uint8_t> big(3000);
   for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i % 251);
   ASSERT_TRUE(fs.WriteFile("big-object", big).ok());
-  EXPECT_EQ(fs.metrics().Get("s3fs.multipart_uploads"), 1);
-  EXPECT_EQ(s3.metrics().Get("s3.upload_part"), 6);  // ceil(3000/512)
+  EXPECT_EQ(fs.metrics().Get("s3fs.multipart.uploads"), 1);
+  EXPECT_EQ(s3.metrics().Get("s3.request.upload_part"), 6);  // ceil(3000/512)
   auto back = fs.OpenForRead("big-object");
   ASSERT_TRUE(back.ok());
   EXPECT_EQ((*back)->ReadAll().value(), big);

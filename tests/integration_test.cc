@@ -174,24 +174,24 @@ TEST_F(FederationTest, DruidAggregationPushdown) {
 }
 
 TEST_F(FederationTest, DruidPredicatePushdownUsesIndexes) {
-  int64_t queries_before = druid_store_->metrics().Get("druid.queries");
+  int64_t queries_before = druid_store_->metrics().Get("druid.query.calls");
   QueryResult result = Run(
       "SELECT count(*) FROM druid.default.rides WHERE city = 'sf' AND status = 'done'");
   auto rows = Rows(result);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_GT(rows[0][0].int_value(), 0);
-  EXPECT_EQ(druid_store_->metrics().Get("druid.queries"), queries_before + 1);
+  EXPECT_EQ(druid_store_->metrics().Get("druid.query.calls"), queries_before + 1);
 }
 
 TEST_F(FederationTest, MySqlPredicateAndProjectionPushdown) {
-  int64_t scanned_before = mysql_db_->metrics().Get("mysql.rows_returned");
+  int64_t scanned_before = mysql_db_->metrics().Get("mysql.rows.returned");
   QueryResult result =
       Run("SELECT population FROM mysql.dim.cities WHERE city = 'sf'");
   auto rows = Rows(result);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0][0], Value::Int(800000));
   // Server returned exactly one row: the predicate ran in "MySQL".
-  EXPECT_EQ(mysql_db_->metrics().Get("mysql.rows_returned"), scanned_before + 1);
+  EXPECT_EQ(mysql_db_->metrics().Get("mysql.rows.returned"), scanned_before + 1);
 }
 
 TEST_F(FederationTest, HivePartitionPruningAndNestedPredicate) {

@@ -1,0 +1,306 @@
+// End-to-end observability tests: operator stats reconciliation with query
+// results (with kernels on and off), EXPLAIN / EXPLAIN ANALYZE rendering,
+// query event journal ordering under a simulated clock, slow-query logging,
+// failed-query partial counters, and Prometheus metrics exposition.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "presto/cluster/cluster.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+// Every cluster in this file shares one simulated clock so journal
+// timestamps are deterministic.
+SimulatedClock* TestClock() {
+  static SimulatedClock clock;
+  return &clock;
+}
+
+std::shared_ptr<MemoryConnector> MakeOrdersConnector() {
+  auto memory = std::make_shared<MemoryConnector>();
+  TypePtr t = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  EXPECT_TRUE(memory->CreateTable("default", "orders", t).ok());
+  std::vector<int64_t> keys, values;
+  for (int64_t i = 0; i < 1000; ++i) {
+    keys.push_back(i % 10);
+    values.push_back(i);
+  }
+  EXPECT_TRUE(memory->AppendPage("default", "orders",
+                                 Page({MakeBigintVector(std::move(keys)),
+                                       MakeBigintVector(std::move(values))}))
+                  .ok());
+  return memory;
+}
+
+CoordinatorOptions TestOptions() {
+  CoordinatorOptions options;
+  options.clock = TestClock();
+  return options;
+}
+
+// PrestoCluster is not movable (the coordinator owns mutexes), so tests
+// construct it in place and this helper only registers the test catalog.
+struct ObsCluster {
+  explicit ObsCluster(const std::string& name)
+      : cluster(name, /*num_workers=*/2, /*slots_per_worker=*/2, TestOptions()) {
+    EXPECT_TRUE(
+        cluster.catalogs().RegisterCatalog("memory", MakeOrdersConnector()).ok());
+  }
+  PrestoCluster* operator->() { return &cluster; }
+  PrestoCluster cluster;
+};
+
+constexpr const char* kGroupBy =
+    "SELECT k, count(*), sum(v) FROM orders GROUP BY k";
+
+TEST(ObservabilityTest, OperatorStatsReconcileWithResult) {
+  ObsCluster cluster("obs-stats");
+  Session session;
+  auto result = cluster->Execute(kGroupBy, session);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_rows, 10);
+
+  // The stats tree's query output must reconcile exactly with the result.
+  EXPECT_EQ(result->stats.output_rows, result->total_rows);
+  EXPECT_EQ(result->stats.total_tasks, result->num_tasks + 1);  // + root task
+
+  // Every fragment appears as a stage; fragment 0 is the root stage.
+  ASSERT_EQ(result->stats.stages.size(),
+            static_cast<size_t>(result->num_fragments));
+  EXPECT_EQ(result->stats.stages[0].fragment_id, 0);
+  EXPECT_EQ(result->stats.stages[0].output_rows, result->total_rows);
+
+  // The scan read the full table; its stats merged across all leaf tasks.
+  int64_t scan_output = 0;
+  bool saw_agg = false;
+  for (const auto& [id, op] : result->stats.operators) {
+    if (op.operator_type == "TableScan") scan_output += op.output_rows;
+    if (op.operator_type == "HashAggregation") {
+      saw_agg = true;
+      EXPECT_GT(op.peak_buffered_rows, 0) << "group hash table high-water";
+    }
+    EXPECT_GE(op.wall_nanos, 0);
+    EXPECT_GE(op.cpu_nanos, 0);
+  }
+  EXPECT_EQ(scan_output, 1000);
+  EXPECT_TRUE(saw_agg);
+}
+
+TEST(ObservabilityTest, StatsSurviveBoxedFallback) {
+  ObsCluster cluster("obs-fallback");
+  Session kernels, boxed;
+  boxed.properties["vectorized_kernels"] = "false";
+
+  auto fast = cluster->Execute(kGroupBy, kernels);
+  auto slow = cluster->Execute(kGroupBy, boxed);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+
+  // Same rows either way, and identical per-operator row counts: the stats
+  // layer is execution-strategy agnostic.
+  EXPECT_EQ(fast->stats.output_rows, slow->stats.output_rows);
+  ASSERT_EQ(fast->stats.operators.size(), slow->stats.operators.size());
+  int64_t fast_kernel = 0, fast_fallback = 0, slow_kernel = 0, slow_fallback = 0;
+  for (const auto& [id, op] : fast->stats.operators) {
+    EXPECT_EQ(op.output_rows, slow->stats.operators.at(id).output_rows)
+        << "node " << id;
+    fast_kernel += op.kernel_pages;
+    fast_fallback += op.fallback_pages;
+  }
+  for (const auto& [id, op] : slow->stats.operators) {
+    slow_kernel += op.kernel_pages;
+    slow_fallback += op.fallback_pages;
+  }
+  // The kernel-vs-fallback split tells which path actually ran.
+  EXPECT_GT(fast_kernel, 0);
+  EXPECT_EQ(fast_fallback, 0);
+  EXPECT_EQ(slow_kernel, 0);
+  EXPECT_GT(slow_fallback, 0);
+}
+
+TEST(ObservabilityTest, ExplainReturnsPlanText) {
+  ObsCluster cluster("obs-explain");
+  Session session;
+  auto result = cluster->Execute(std::string("EXPLAIN ") + kGroupBy, session);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->total_rows, 1);
+  ASSERT_EQ(result->column_names.size(), 1u);
+  EXPECT_EQ(result->column_names[0], "Query Plan");
+  std::string text = result->Row(0)[0].ToString();
+  EXPECT_NE(text.find("Fragment 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("TableScan"), std::string::npos) << text;
+  // EXPLAIN plans but does not execute.
+  EXPECT_EQ(text.find("rows:"), std::string::npos) << text;
+}
+
+TEST(ObservabilityTest, ExplainAnalyzeAnnotatesEveryNodeAndReconciles) {
+  ObsCluster cluster("obs-analyze");
+  Session session;
+  auto plain = cluster->Execute(kGroupBy, session);
+  ASSERT_TRUE(plain.ok());
+
+  auto analyzed =
+      cluster->Execute(std::string("EXPLAIN ANALYZE ") + kGroupBy, session);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  ASSERT_EQ(analyzed->total_rows, 1);
+  std::string text = analyzed->Row(0)[0].ToString();
+
+  // The analyzed run's stats must reconcile exactly with the plain run.
+  EXPECT_EQ(analyzed->stats.output_rows, plain->total_rows);
+
+  // Every plan node line ("- Foo") is followed by an annotation line with
+  // actual rows, and the query-output row count appears verbatim.
+  size_t nodes = 0, annotations = 0;
+  size_t pos = 0;
+  while ((pos = text.find("- ", pos)) != std::string::npos) {
+    ++nodes;
+    pos += 2;
+  }
+  pos = 0;
+  while ((pos = text.find("rows:", pos)) != std::string::npos) {
+    ++annotations;
+    pos += 5;
+  }
+  EXPECT_GT(nodes, 0u);
+  EXPECT_GE(annotations, nodes) << text;
+  EXPECT_NE(text.find("rows: " + std::to_string(plain->total_rows)),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[tasks:"), std::string::npos) << text;
+}
+
+TEST(ObservabilityTest, JournalOrdersLifecycleUnderSimulatedClock) {
+  ObsCluster cluster("obs-journal");
+  Session session;
+  auto result = cluster->Execute(kGroupBy, session);
+  ASSERT_TRUE(result.ok());
+
+  auto events = cluster->coordinator().journal().EventsForQuery(result->query_id);
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events.front().kind, QueryEventKind::kCreated);
+  EXPECT_EQ(events.front().detail, kGroupBy);
+  EXPECT_EQ(events[1].kind, QueryEventKind::kPlanned);
+  EXPECT_EQ(events[2].kind, QueryEventKind::kScheduled);
+  EXPECT_EQ(events.back().kind, QueryEventKind::kCompleted);
+  EXPECT_EQ(events.back().counters.at("output_rows"), result->total_rows);
+
+  // Every fragment's stage-finished event is present, between scheduled and
+  // completed.
+  int stage_finished = 0;
+  for (const QueryEvent& event : events) {
+    if (event.kind == QueryEventKind::kStageFinished) ++stage_finished;
+  }
+  EXPECT_EQ(stage_finished, result->num_fragments);
+
+  // Nobody advanced the simulated clock mid-query, yet timestamps (and
+  // sequence numbers) are strictly increasing.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].timestamp_nanos, events[i - 1].timestamp_nanos);
+    EXPECT_GT(events[i].sequence, events[i - 1].sequence);
+  }
+}
+
+TEST(ObservabilityTest, SlowQueryLogAndFailedQueryCounters) {
+  ObsCluster cluster("obs-slow");
+  Session session;
+  session.properties["slow_query_millis"] = "0";  // everything is slow
+  auto result = cluster->Execute(kGroupBy, session);
+  ASSERT_TRUE(result.ok());
+  auto events = cluster->coordinator().journal().EventsForQuery(result->query_id);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, QueryEventKind::kSlowQuery);
+  // The slow-query record carries the per-query exec counter snapshot.
+  EXPECT_EQ(events.back().counters, result->exec_metrics);
+
+  // A failing query journals kFailed; no result escapes, so the journal is
+  // where its diagnostics live.
+  auto failed = cluster->Execute("SELECT nope FROM orders", session);
+  ASSERT_FALSE(failed.ok());
+  auto all = cluster->coordinator().journal().Events();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.back().kind, QueryEventKind::kFailed);
+  EXPECT_EQ(cluster->coordinator().metrics().Get("coordinator.query.failed"), 1);
+}
+
+TEST(ObservabilityTest, JournalRingDropsOldestBeyondCapacity) {
+  CoordinatorOptions options;
+  options.clock = TestClock();
+  options.journal_capacity = 8;
+  CatalogRegistry catalogs;
+  Coordinator coordinator(&catalogs, options);
+  // No catalogs registered: every statement fails after created+failed
+  // events; 6 statements = 12 events through a ring of 8.
+  Session session;
+  for (int i = 0; i < 6; ++i) {
+    (void)coordinator.ExecuteSql("SELECT x FROM t" + std::to_string(i), session);
+  }
+  auto events = coordinator.journal().Events();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(coordinator.journal().events_recorded(), 12);
+  // Oldest events fell off the front; the survivors stay ordered.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].sequence, events[i - 1].sequence);
+  }
+}
+
+TEST(ObservabilityTest, QueryStatsPropertyDisablesCollection) {
+  ObsCluster cluster("obs-disable");
+  Session session;
+  session.properties["query_stats"] = "false";
+  auto result = cluster->Execute(kGroupBy, session);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_rows, 10);  // rows still flow & count correctly
+  EXPECT_TRUE(result->stats.operators.empty());
+
+  // EXPLAIN ANALYZE overrides the property: it cannot work without stats.
+  auto analyzed =
+      cluster->Execute(std::string("EXPLAIN ANALYZE ") + kGroupBy, session);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_FALSE(analyzed->stats.operators.empty());
+}
+
+TEST(ObservabilityTest, ClusterMetricsRenderAsPrometheusText) {
+  ObsCluster cluster("obs-prom");
+  Session session;
+  ASSERT_TRUE(cluster->Execute(kGroupBy, session).ok());
+
+  std::string text = cluster->RenderMetricsText();
+  // Counters and gauges with sanitized names and TYPE headers.
+  EXPECT_NE(text.find("# TYPE coordinator_query_completed counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("coordinator_query_completed 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE worker_task_completed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cluster_workers_active gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("cluster_workers_active 2"), std::string::npos);
+  EXPECT_NE(text.find("coordinator_journal_events"), std::string::npos);
+
+  // Valid Prometheus text: every non-comment line is "<name> <int>", names
+  // restricted to [a-zA-Z0-9_:].
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    for (char c : line.substr(0, space)) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << line;
+    }
+    EXPECT_NO_THROW(std::stoll(line.substr(space + 1))) << line;
+  }
+}
+
+}  // namespace
+}  // namespace presto

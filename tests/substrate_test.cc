@@ -45,8 +45,8 @@ TEST(DruidStoreTest, RollupCollapsesSameBucketAndDims) {
   auto result = store.Execute(scan);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->rows.size(), 3u);  // 4 events -> 3 rolled-up rows
-  EXPECT_EQ(store.metrics().Get("druid.events_ingested"), 4);
-  EXPECT_EQ(store.metrics().Get("druid.rows_after_rollup"), 3);
+  EXPECT_EQ(store.metrics().Get("druid.ingest.events"), 4);
+  EXPECT_EQ(store.metrics().Get("druid.ingest.rows_after_rollup"), 3);
 }
 
 TEST(DruidStoreTest, GroupByWithSum) {
@@ -226,7 +226,7 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_FALSE(cache.Get("b").has_value()) << "b was least recently used";
   EXPECT_TRUE(cache.Get("a").has_value());
   EXPECT_TRUE(cache.Get("c").has_value());
-  EXPECT_EQ(cache.metrics().Get("eviction"), 1);
+  EXPECT_EQ(cache.metrics().Get("cache.evictions"), 1);
 }
 
 TEST(FileListCacheTest, CachesSealedSkipsOpenPartitions) {
@@ -240,7 +240,7 @@ TEST(FileListCacheTest, CachesSealedSkipsOpenPartitions) {
     ASSERT_TRUE(cache.List(&hdfs, "t/sealed=1", /*sealed=*/true).ok());
     ASSERT_TRUE(cache.List(&hdfs, "t/open=1", /*sealed=*/false).ok());
   }
-  EXPECT_EQ(hdfs.metrics().Get("listFiles"), 1 + 10)
+  EXPECT_EQ(hdfs.metrics().Get("fs.dir.list"), 1 + 10)
       << "sealed listed once, open listed every time for freshness";
 
   // Open partitions observe newly ingested files immediately.
@@ -258,7 +258,7 @@ TEST(FileListCacheTest, InvalidateForcesRelist) {
   ASSERT_TRUE(cache.List(&hdfs, "t/p", true).ok());
   cache.Invalidate("t/p");
   ASSERT_TRUE(cache.List(&hdfs, "t/p", true).ok());
-  EXPECT_EQ(hdfs.metrics().Get("listFiles"), 2);
+  EXPECT_EQ(hdfs.metrics().Get("fs.dir.list"), 2);
 }
 
 TEST(FooterCacheTest, FooterAndHandleHits) {
@@ -278,9 +278,9 @@ TEST(FooterCacheTest, FooterAndHandleHits) {
     EXPECT_EQ((*footer)->num_rows, 10u);
   }
   // 90%+ of opens are eliminated: one real open for ten requests.
-  EXPECT_EQ(hdfs.metrics().Get("open_read"), 1);
-  EXPECT_EQ(cache.footer_metrics().Get("hit"), 9);
-  EXPECT_EQ(cache.footer_metrics().Get("miss"), 1);
+  EXPECT_EQ(hdfs.metrics().Get("fs.file.open_read"), 1);
+  EXPECT_EQ(cache.footer_metrics().Get("cache.footer.hits"), 9);
+  EXPECT_EQ(cache.footer_metrics().Get("cache.footer.misses"), 1);
 }
 
 }  // namespace
