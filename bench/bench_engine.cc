@@ -204,6 +204,52 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- Distributed shuffle: hash-partitioned stages vs coordinator-inline ----
+  // The same join + group-by runs with multi_stage_execution on (leaf scans
+  // hash-partition into a worker-side join stage, then a final-aggregation
+  // stage) and off (the legacy plan executes joins and final aggregation
+  // inline on the coordinator thread). The delta is the win from spreading
+  // the join/aggregation work across worker tasks, minus the exchange cost.
+  std::printf("\n=== Multi-stage shuffle vs coordinator-inline ===\n\n");
+  struct ShuffleResult {
+    const char* name;
+    std::string sql;
+    double staged_millis = 0;
+    double inline_millis = 0;
+    int64_t exchanged_bytes = 0;
+    int64_t exchange_pages = 0;
+    int num_fragments = 0;
+  };
+  std::vector<ShuffleResult> shuffles = {
+      {"shuffle_join_then_agg",
+       "SELECT d.bucket, count(*), sum(o.v) FROM mem.raw.orders o "
+       "JOIN mem.raw.dim d ON o.k = d.k GROUP BY d.bucket"},
+      {"shuffle_groupby_100k_groups",
+       "SELECT k, count(*), sum(v), avg(v_d) FROM mem.raw.facts GROUP BY k"},
+  };
+  for (ShuffleResult& s : shuffles) {
+    QueryResult staged, inlined;
+    s.staged_millis =
+        best_of(s.sql, {{"multi_stage_execution", "true"}}, 3, &staged);
+    s.inline_millis =
+        best_of(s.sql, {{"multi_stage_execution", "false"}}, 3, &inlined);
+    s.exchanged_bytes = staged.exec_metrics["exchange.byte.pushed"];
+    s.exchange_pages = staged.exec_metrics["exchange.page.pushed"];
+    s.num_fragments = staged.num_fragments;
+    if (staged.total_rows != inlined.total_rows) {
+      std::fprintf(stderr, "shuffle row mismatch on %s: %lld vs %lld\n",
+                   s.name, static_cast<long long>(staged.total_rows),
+                   static_cast<long long>(inlined.total_rows));
+      return 1;
+    }
+    std::printf(
+        "%-28s staged %8.1f ms (%d fragments, %.1f MB shuffled)  "
+        "inline %8.1f ms  speedup %.2fx\n",
+        s.name, s.staged_millis, s.num_fragments,
+        s.exchanged_bytes / 1048576.0, s.inline_millis,
+        s.inline_millis / s.staged_millis);
+  }
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -230,9 +276,25 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  ],\n  \"stats_overhead\": {\"query\": \"%s\", "
                "\"stats_on_millis\": %.2f, \"stats_off_millis\": %.2f, "
-               "\"overhead_pct\": %.2f}\n}\n",
+               "\"overhead_pct\": %.2f},\n",
                queries[0].name, stats_on_millis, stats_off_millis,
                overhead_pct);
+  std::fprintf(f, "  \"shuffle\": [\n");
+  for (size_t i = 0; i < shuffles.size(); ++i) {
+    const ShuffleResult& s = shuffles[i];
+    std::fprintf(
+        f,
+        "    {\"query\": \"%s\", \"staged_millis\": %.2f, "
+        "\"inline_millis\": %.2f, \"speedup\": %.2f,\n"
+        "     \"num_fragments\": %d, \"exchanged_bytes\": %lld, "
+        "\"exchange_pages\": %lld}%s\n",
+        s.name, s.staged_millis, s.inline_millis,
+        s.inline_millis / s.staged_millis, s.num_fragments,
+        static_cast<long long>(s.exchanged_bytes),
+        static_cast<long long>(s.exchange_pages),
+        i + 1 < shuffles.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

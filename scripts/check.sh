@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Full verification: regular build + tests, then a ThreadSanitizer pass over
-# the test suite (exchange buffers, worker pools, metrics shards, and the
-# query journal are the concurrency-heavy layers TSan watches).
+# Full verification: regular build + tests, then sanitizer passes over the
+# test suite — ThreadSanitizer for the concurrency-heavy layers (partitioned
+# exchanges, worker pools, metrics shards, query journal) and
+# AddressSanitizer for the page/exchange ownership handoffs.
 #
-# Usage: scripts/check.sh [--tsan-only]
+# Usage: scripts/check.sh [--tsan-only|--asan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
+MODE="${1:-}"
 
-if [[ "${1:-}" != "--tsan-only" ]]; then
+if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   echo "== regular build =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS"
@@ -17,9 +19,20 @@ if [[ "${1:-}" != "--tsan-only" ]]; then
   (cd build && ctest --output-on-failure)
 fi
 
-echo "== tsan build =="
-cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS"
-echo "== tsan tests =="
-(cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
-echo "OK: regular + tsan suites passed"
+if [[ "$MODE" != "--asan-only" ]]; then
+  echo "== tsan build =="
+  cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  echo "== tsan tests =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
+fi
+
+if [[ "$MODE" != "--tsan-only" ]]; then
+  echo "== asan build =="
+  cmake -B build-asan -S . -DPRESTO_ASAN=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  echo "== asan tests =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
+fi
+
+echo "OK: requested suites passed"

@@ -131,6 +131,81 @@ TableScanNode* FindScan(const PlanNodePtr& node) {
   return nullptr;
 }
 
+// One remote input a fragment consumes: the upstream fragment id plus
+// whether that upstream's output is hash-partitioned (each consuming task
+// then reads its own partition) or gathered (partition 0).
+struct RemoteInput {
+  int fragment_id = 0;
+  bool hash_partitioned = false;
+};
+
+void CollectRemoteInputs(const PlanNodePtr& node, std::vector<RemoteInput>* out) {
+  if (node->kind() == PlanNodeKind::kRemoteSource) {
+    const auto* remote = static_cast<const RemoteSourceNode*>(node.get());
+    out->push_back({remote->fragment_id(),
+                    remote->source_partitioning() ==
+                        PartitioningScheme::Kind::kHash});
+    return;
+  }
+  for (const PlanNodePtr& source : node->sources()) {
+    CollectRemoteInputs(source, out);
+  }
+}
+
+// Channel indices of the fragment's hash-partitioning keys within its output
+// layout; empty for gather fragments.
+Result<std::vector<int>> ResolveRouteChannels(const PlanFragment& fragment) {
+  std::vector<int> channels;
+  if (fragment.output_partitioning.kind != PartitioningScheme::Kind::kHash) {
+    return channels;
+  }
+  std::vector<VariablePtr> outputs = fragment.root->OutputVariables();
+  for (const VariablePtr& key : fragment.output_partitioning.hash_keys) {
+    int channel = -1;
+    for (size_t c = 0; c < outputs.size(); ++c) {
+      if (outputs[c]->name() == key->name()) {
+        channel = static_cast<int>(c);
+        break;
+      }
+    }
+    if (channel < 0) {
+      return Status::Internal("partitioning key " + key->name() +
+                              " missing from fragment " +
+                              std::to_string(fragment.id) + " output");
+    }
+    channels.push_back(channel);
+  }
+  return channels;
+}
+
+// Leaf fragments ordered by when their exchanges are drained: joins consume
+// their build side (sources[1]) to exhaustion before pulling the probe side.
+// Leaf tasks run in bounded FIFO worker pools, so a probe-side producer
+// blocked on a full bounded exchange must never be queued ahead of the
+// build-side producers its consumer is still waiting for — dispatching leaf
+// tasks in consumption order keeps the pools deadlock-free.
+void LeafConsumptionOrder(const FragmentedPlan& plan, const PlanNodePtr& node,
+                          std::vector<int>* order) {
+  if (node->kind() == PlanNodeKind::kRemoteSource) {
+    const auto* remote = static_cast<const RemoteSourceNode*>(node.get());
+    const PlanFragment& upstream = plan.fragments[remote->fragment_id()];
+    if (upstream.leaf) {
+      order->push_back(upstream.id);
+    } else {
+      LeafConsumptionOrder(plan, upstream.root, order);
+    }
+    return;
+  }
+  if (node->kind() == PlanNodeKind::kJoin) {
+    LeafConsumptionOrder(plan, node->sources()[1], order);
+    LeafConsumptionOrder(plan, node->sources()[0], order);
+    return;
+  }
+  for (const PlanNodePtr& source : node->sources()) {
+    LeafConsumptionOrder(plan, source, order);
+  }
+}
+
 // Wraps text (the plan rendering for EXPLAIN [ANALYZE]) as a one-column,
 // one-row varchar result, mirroring Presto's "Query Plan" output column.
 void SetTextResult(QueryResult* result, std::string text) {
@@ -149,7 +224,11 @@ Result<FragmentedPlan> Coordinator::PlanQuery(const sql::Query& query,
   ASSIGN_OR_RETURN(PlanNodePtr plan, analyzer.Analyze(query));
   Optimizer optimizer(catalogs_, &session, &analyzer.ids());
   ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
-  Fragmenter fragmenter(&analyzer.ids());
+  FragmenterOptions fragmenter_options;
+  fragmenter_options.multi_stage =
+      session.Property("multi_stage_execution", "true") != "false";
+  Fragmenter fragmenter(&analyzer.ids(), &FunctionRegistry::Default(),
+                        fragmenter_options);
   return fragmenter.Fragment(std::move(plan));
 }
 
@@ -236,67 +315,33 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   result.query_id = query_id;
   result.num_fragments = static_cast<int>(fragmented.fragments.size());
 
-  // -- Schedule leaf fragments. -------------------------------------------------
+  // -- Stage setup: per-fragment exchanges, inputs, task counts. ----------------
   std::vector<std::shared_ptr<Worker>> workers = ActiveWorkers();
-  std::map<int, std::unique_ptr<ExchangeBuffer>> buffers;
-  std::map<int, ExchangeBuffer*> exchange_refs;
-  struct TaskSpec {
-    const PlanFragment* fragment;
-    std::vector<SplitPtr> splits;
-    ExchangeBuffer* buffer;
-  };
-  std::vector<TaskSpec> tasks;
-  auto stage_tracker = std::make_shared<StageTracker>();
 
-  for (const PlanFragment& fragment : fragmented.fragments) {
-    if (!fragment.leaf) continue;
-    TableScanNode* scan = FindScan(fragment.root);
-    if (scan == nullptr) {
-      return RecordFailure(
-          query_id, Status::Internal("leaf fragment without a table scan"),
-          nullptr);
+  // Target parallelism: every worker runs tasks_per_fragment tasks, and each
+  // leaf task should get at least one split.
+  size_t parallelism = std::max<size_t>(
+      1, std::max<size_t>(workers.size(), 1) * options_.tasks_per_fragment);
+  // Partition count of hash-partitioned stages (session hash_partition_count).
+  int hash_partitions = static_cast<int>(parallelism);
+  {
+    std::string prop = session.Property("hash_partition_count", "");
+    if (!prop.empty()) {
+      hash_partitions = std::max<int>(
+          1, static_cast<int>(std::strtoll(prop.c_str(), nullptr, 10)));
     }
-    auto connector = catalogs_->GetConnector(scan->catalog());
-    if (!connector.ok()) {
-      return RecordFailure(query_id, connector.status(), nullptr);
-    }
-    // Target parallelism is the same product used for the task count below:
-    // every worker runs tasks_per_fragment tasks, and each task should get at
-    // least one split. (Using max() here starved all but tasks_per_fragment
-    // tasks of splits on multi-worker clusters.)
-    size_t parallelism = std::max<size_t>(
-        1, std::max<size_t>(workers.size(), 1) * options_.tasks_per_fragment);
-    auto splits = (*connector)->CreateSplits(scan->table_schema_name(),
-                                             scan->table_name(),
-                                             *scan->accepted(), parallelism);
-    if (!splits.ok()) {
-      return RecordFailure(query_id, splits.status(), nullptr);
-    }
-    result.num_splits += static_cast<int>(splits->size());
-
-    auto buffer = std::make_unique<ExchangeBuffer>();
-    size_t num_tasks = std::min<size_t>(
-        std::max<size_t>(1, splits->size()), parallelism);
-    // Round-robin splits across tasks.
-    std::vector<std::vector<SplitPtr>> batches(num_tasks);
-    for (size_t i = 0; i < splits->size(); ++i) {
-      batches[i % num_tasks].push_back((*splits)[i]);
-    }
-    buffer->SetProducerCount(static_cast<int>(num_tasks));
-    stage_tracker->remaining[fragment.id] = static_cast<int>(num_tasks);
-    for (size_t t = 0; t < num_tasks; ++t) {
-      tasks.push_back(TaskSpec{&fragment, std::move(batches[t]), buffer.get()});
-    }
-    exchange_refs[fragment.id] = buffer.get();
-    buffers[fragment.id] = std::move(buffer);
   }
-  result.num_tasks = static_cast<int>(tasks.size());
+  // Per-exchange byte budget (session exchange_buffer_bytes): producers block
+  // once an exchange buffers this much, so peak stays <= budget + one page.
+  int64_t exchange_capacity = 32LL << 20;
+  {
+    std::string prop = session.Property("exchange_buffer_bytes", "");
+    if (!prop.empty()) {
+      int64_t parsed = std::strtoll(prop.c_str(), nullptr, 10);
+      if (parsed > 0) exchange_capacity = parsed;
+    }
+  }
 
-  auto latch = std::make_shared<TaskLatch>();
-  latch->remaining = static_cast<int>(tasks.size());
-
-  bool use_fragment_cache =
-      session.Property("fragment_result_cache", "false") == "true";
   // One registry per query, shared by every task (thread-safe); snapshotted
   // into the result after the root fragment drains.
   auto query_metrics = std::make_shared<MetricsRegistry>();
@@ -316,13 +361,151 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
         session.Property("vectorized_kernels", "true") != "false";
   }
 
-  // Task body: build the fragment's operator tree over its splits and pump
-  // pages into the exchange, consulting the fragment result cache first.
+  struct FragmentState {
+    const PlanFragment* fragment = nullptr;
+    std::vector<RemoteInput> inputs;
+    // Output-layout channels of the hash-partitioning keys; empty = gather.
+    std::vector<int> route_channels;
+    int num_tasks = 1;
+    std::unique_ptr<PartitionedExchange> exchange;  // null for the root
+  };
+  std::map<int, FragmentState> states;
+  std::map<int, PartitionedExchange*> exchange_refs;
+  std::map<int, std::vector<std::vector<SplitPtr>>> leaf_batches;
+  auto stage_tracker = std::make_shared<StageTracker>();
+
+  for (const PlanFragment& fragment : fragmented.fragments) {
+    FragmentState& state = states[fragment.id];
+    state.fragment = &fragment;
+    CollectRemoteInputs(fragment.root, &state.inputs);
+    if (fragment.id == 0) continue;  // root: one coordinator-side task
+
+    if (fragment.leaf) {
+      TableScanNode* scan = FindScan(fragment.root);
+      if (scan == nullptr) {
+        return RecordFailure(
+            query_id, Status::Internal("leaf fragment without a table scan"),
+            nullptr);
+      }
+      auto connector = catalogs_->GetConnector(scan->catalog());
+      if (!connector.ok()) {
+        return RecordFailure(query_id, connector.status(), nullptr);
+      }
+      auto splits = (*connector)->CreateSplits(scan->table_schema_name(),
+                                               scan->table_name(),
+                                               *scan->accepted(), parallelism);
+      if (!splits.ok()) {
+        return RecordFailure(query_id, splits.status(), nullptr);
+      }
+      result.num_splits += static_cast<int>(splits->size());
+      size_t num_tasks = std::min<size_t>(
+          std::max<size_t>(1, splits->size()), parallelism);
+      // Round-robin splits across tasks.
+      std::vector<std::vector<SplitPtr>> batches(num_tasks);
+      for (size_t i = 0; i < splits->size(); ++i) {
+        batches[i % num_tasks].push_back((*splits)[i]);
+      }
+      state.num_tasks = static_cast<int>(num_tasks);
+      leaf_batches[fragment.id] = std::move(batches);
+    } else {
+      // Intermediate stage: one task per partition when any input is
+      // hash-partitioned, else a single gather task.
+      bool hash_input = false;
+      for (const RemoteInput& input : state.inputs) {
+        if (input.hash_partitioned) hash_input = true;
+      }
+      state.num_tasks = hash_input ? hash_partitions : 1;
+    }
+
+    auto route_channels = ResolveRouteChannels(fragment);
+    if (!route_channels.ok()) {
+      return RecordFailure(query_id, route_channels.status(), nullptr);
+    }
+    state.route_channels = std::move(*route_channels);
+    int exchange_partitions =
+        fragment.output_partitioning.kind == PartitioningScheme::Kind::kHash
+            ? hash_partitions
+            : 1;
+    state.exchange = std::make_unique<PartitionedExchange>(
+        exchange_partitions, exchange_capacity, query_metrics.get());
+    state.exchange->SetProducerCount(state.num_tasks);
+    exchange_refs[fragment.id] = state.exchange.get();
+    stage_tracker->remaining[fragment.id] = state.num_tasks;
+  }
+
+  // -- Task lists. --------------------------------------------------------------
+  struct TaskSpec {
+    FragmentState* state;
+    std::vector<SplitPtr> splits;
+    int partition;
+  };
+  // Intermediate stages run on dedicated worker threads: they are the
+  // consumers that keep bounded exchanges draining, so they must never be
+  // queued behind producer tasks in a bounded pool slot.
+  std::vector<TaskSpec> stage_tasks;
+  for (const PlanFragment& fragment : fragmented.fragments) {
+    if (fragment.id == 0 || fragment.leaf) continue;
+    FragmentState& state = states[fragment.id];
+    for (int t = 0; t < state.num_tasks; ++t) {
+      stage_tasks.push_back(TaskSpec{&state, {}, t});
+    }
+  }
+  // Leaf tasks run in worker pool slots, dispatched in consumption order
+  // (join build sides first — see LeafConsumptionOrder).
+  std::vector<int> leaf_order;
+  LeafConsumptionOrder(fragmented, fragmented.fragments[0].root, &leaf_order);
+  for (const PlanFragment& fragment : fragmented.fragments) {
+    if (!fragment.leaf) continue;
+    bool seen = false;
+    for (int id : leaf_order) seen = seen || id == fragment.id;
+    if (!seen) leaf_order.push_back(fragment.id);
+  }
+  std::vector<TaskSpec> leaf_tasks;
+  for (int fragment_id : leaf_order) {
+    FragmentState& state = states[fragment_id];
+    std::vector<std::vector<SplitPtr>>& batches = leaf_batches[fragment_id];
+    for (size_t t = 0; t < batches.size(); ++t) {
+      leaf_tasks.push_back(
+          TaskSpec{&state, std::move(batches[t]), static_cast<int>(t)});
+    }
+  }
+  result.num_tasks = static_cast<int>(leaf_tasks.size() + stage_tasks.size());
+
+  auto latch = std::make_shared<TaskLatch>();
+  latch->remaining = result.num_tasks;
+
+  bool use_fragment_cache =
+      session.Property("fragment_result_cache", "false") == "true";
+
+  // Task body: build the fragment's operator tree and pump pages into its
+  // exchange (hash-routed or gathered per the fragment's partitioning
+  // scheme), consulting the fragment result cache first for leaf stages.
   auto run_task = [this, &exchange_refs, use_fragment_cache, limits,
                    collect_stats, collector, stage_tracker, query_id](
-                      const PlanFragment* fragment, std::vector<SplitPtr> splits,
-                      ExchangeBuffer* buffer) {
+                      FragmentState* state, std::vector<SplitPtr> splits,
+                      int partition) {
     Stopwatch task_watch;
+    const PlanFragment* fragment = state->fragment;
+    PartitionedExchange* out = state->exchange.get();
+    auto push_output = [&](Page page) {
+      if (state->route_channels.empty()) {
+        out->Push(0, std::move(page));
+      } else {
+        out->PushPartitioned(page, state->route_channels);
+      }
+    };
+    // Closing consumed partitions at exit (every path) releases upstream
+    // producers blocked on bounded exchanges and cascades early-exit
+    // cancellation down the plan.
+    auto close_inputs = [&] {
+      for (const RemoteInput& input : state->inputs) {
+        auto it = exchange_refs.find(input.fragment_id);
+        if (it == exchange_refs.end()) continue;
+        it->second->ConsumerDone(
+            input.hash_partitioned ? partition % it->second->num_partitions()
+                                   : 0);
+      }
+    };
     auto finish_stage = [&] {
       if (stage_tracker->TaskDone(fragment->id)) {
         journal_.Record(query_id, QueryEventKind::kStageFinished,
@@ -330,7 +513,8 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
       }
     };
     std::string cache_key;
-    if (use_fragment_cache) {
+    bool cacheable = use_fragment_cache && fragment->leaf;
+    if (cacheable) {
       cache_key = fragment->root->ToString();
       for (const SplitPtr& split : splits) {
         cache_key += "\n";
@@ -338,9 +522,10 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
       }
       if (auto hit = fragment_cache_.Get(cache_key)) {
         for (const Page& page : **hit) {
-          buffer->Push(page);  // pages share immutable vectors
+          push_output(page);  // pages share immutable vectors
         }
-        buffer->ProducerDone();
+        out->ProducerDone();
+        close_inputs();
         if (collect_stats) {
           // No operators ran; record the task so stage task counts stay
           // truthful even when its pages came from the fragment cache.
@@ -352,33 +537,41 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
       }
     }
     OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(),
-                            &exchange_refs, &splits, limits);
+                            &exchange_refs, &splits, limits, partition);
     auto op = builder.Build(fragment->root);
     if (!op.ok()) {
-      buffer->Fail(op.status());
-      buffer->ProducerDone();
+      out->Fail(op.status());
+      out->ProducerDone();
+      close_inputs();
       finish_stage();
       return;
     }
     std::vector<Page> produced;
     bool failed = false;
+    bool truncated = false;
     while (true) {
+      if (out->AllConsumersDone()) {
+        // Downstream cancelled (e.g. a satisfied LIMIT): stop producing.
+        truncated = true;
+        break;
+      }
       auto page = (*op)->Next();
       if (!page.ok()) {
-        buffer->Fail(page.status());
+        out->Fail(page.status());
         failed = true;
         break;
       }
       if (!page->has_value()) break;
-      if (use_fragment_cache) produced.push_back(**page);
-      buffer->Push(std::move(**page));
+      if (cacheable) produced.push_back(**page);
+      push_output(std::move(**page));
     }
-    if (use_fragment_cache && !failed) {
+    if (cacheable && !failed && !truncated) {
       fragment_cache_.Put(cache_key,
                           std::make_shared<const std::vector<Page>>(
                               std::move(produced)));
     }
-    buffer->ProducerDone();
+    out->ProducerDone();
+    close_inputs();
     if (collect_stats) {
       std::vector<OperatorStats> ops;
       (*op)->CollectStats(&ops);
@@ -389,70 +582,107 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   };
 
   journal_.Record(query_id, QueryEventKind::kScheduled,
-                  std::to_string(tasks.size()) + " tasks, " +
+                  std::to_string(result.num_tasks) + " tasks, " +
                       std::to_string(result.num_splits) + " splits");
 
-  // Dispatch: round-robin across active workers; with no workers, tasks run
-  // inline on the coordinator (embedded mode).
-  if (workers.empty()) {
-    for (TaskSpec& task : tasks) {
-      run_task(task.fragment, std::move(task.splits), task.buffer);
+  // -- Dispatch: round-robin across active workers. -----------------------------
+  // Tasks refused by every worker (embedded mode, or every worker draining)
+  // run on query-owned threads: inline execution would deadlock, because a
+  // producer can block on a bounded exchange before its consumer ever runs.
+  std::vector<std::thread> local_threads;
+  size_t next_worker = 0;
+  auto dispatch = [&](TaskSpec& task, bool dedicated) {
+    auto body = [run_task, latch, state = task.state,
+                 splits = std::move(task.splits),
+                 partition = task.partition]() mutable {
+      run_task(state, std::move(splits), partition);
       latch->Done();
+    };
+    for (size_t attempt = 0; attempt < workers.size(); ++attempt) {
+      auto& worker = workers[next_worker];
+      next_worker = (next_worker + 1) % workers.size();
+      bool submitted = dedicated ? worker->SubmitDedicatedTask(body)
+                                 : worker->SubmitTask(body);
+      if (submitted) return;
     }
-  } else {
-    size_t next_worker = 0;
-    for (TaskSpec& task : tasks) {
-      bool submitted = false;
-      for (size_t attempt = 0; attempt < workers.size(); ++attempt) {
-        auto& worker = workers[next_worker];
-        next_worker = (next_worker + 1) % workers.size();
-        if (worker->SubmitTask([run_task, latch, fragment = task.fragment,
-                                splits = task.splits, buffer = task.buffer] {
-              run_task(fragment, splits, buffer);
-              latch->Done();
-            })) {
-          submitted = true;
-          break;
-        }
-      }
-      if (!submitted) {
-        // Every worker is draining: run inline to guarantee no downtime.
-        run_task(task.fragment, std::move(task.splits), task.buffer);
-        latch->Done();
-      }
-    }
-  }
+    local_threads.emplace_back(std::move(body));
+  };
+  // Intermediate stages first (always-running consumers), then leaves.
+  for (TaskSpec& task : stage_tasks) dispatch(task, /*dedicated=*/true);
+  for (TaskSpec& task : leaf_tasks) dispatch(task, /*dedicated=*/false);
 
-  // -- Run the root fragment on the coordinator. -----------------------------------
+  // Teardown helpers: close every exchange partition (turning any further
+  // production into drops and waking blocked producers), then wait for all
+  // tasks to fully exit before the exchanges go out of scope.
+  auto shutdown_exchanges = [&] {
+    for (auto& [id, state] : states) {
+      if (state.exchange != nullptr) state.exchange->CloseAllPartitions();
+    }
+  };
+  auto finish_tasks = [&] {
+    latch->Wait();
+    for (std::thread& thread : local_threads) thread.join();
+    local_threads.clear();
+  };
+
+  // -- Run the root fragment on the coordinator. --------------------------------
   const PlanFragment& root = fragmented.fragments[0];
   Stopwatch root_watch;
   OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(), &exchange_refs,
                           nullptr, limits);
   auto root_op = builder.Build(root.root);
   if (!root_op.ok()) {
-    latch->Wait();
+    shutdown_exchanges();
+    finish_tasks();
     return RecordFailure(query_id, root_op.status(), query_metrics.get());
   }
   while (true) {
     auto page = (*root_op)->Next();
     if (!page.ok()) {
-      latch->Wait();
+      shutdown_exchanges();
+      finish_tasks();
       return RecordFailure(query_id, page.status(), query_metrics.get());
     }
     if (!page->has_value()) break;
     result.total_rows += static_cast<int64_t>((*page)->num_rows());
     result.pages.push_back(std::move(**page));
   }
-  // All producer tasks must have fully exited before the buffers go away.
-  latch->Wait();
+  // Cancel whatever upstream production the root no longer needs (LIMIT-style
+  // early exit), then wait for every producer task to fully exit before the
+  // exchanges go away.
+  shutdown_exchanges();
+  finish_tasks();
+
+  // The exchange.* counters accumulate per-page; the high-water mark is
+  // per-exchange state, surfaced as the max across the query's exchanges.
+  int64_t peak_exchange_bytes = 0;
+  for (auto& [id, state] : states) {
+    if (state.exchange != nullptr) {
+      peak_exchange_bytes = std::max(peak_exchange_bytes,
+                                     state.exchange->peak_buffered_bytes());
+    }
+  }
+  query_metrics->FindOrRegister("exchange.peak_buffered_bytes")
+      ->Add(peak_exchange_bytes);
+
   result.exec_metrics = query_metrics->Snapshot();
   if (collect_stats) {
     std::vector<OperatorStats> ops;
     (*root_op)->CollectStats(&ops);
     collector->AddTask(root.id, (*root_op)->stats().plan_node_id, ops,
                        root_watch.ElapsedNanos());
-    journal_.Record(query_id, QueryEventKind::kStageFinished,
-                    "fragment " + std::to_string(root.id));
+    for (auto& [id, state] : states) {
+      if (state.exchange != nullptr) {
+        collector->SetStageExchange(id, state.exchange->num_partitions(),
+                                    state.exchange->bytes_pushed());
+      }
+    }
+  }
+  // The root stage is finished once its fragment has drained — journaled
+  // unconditionally so the lifecycle is complete even with query_stats=false.
+  journal_.Record(query_id, QueryEventKind::kStageFinished,
+                  "fragment " + std::to_string(root.id));
+  if (collect_stats) {
     result.stats = collector->Finish();
   }
 

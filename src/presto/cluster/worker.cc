@@ -29,6 +29,12 @@ Worker::~Worker() {
     std::lock_guard<std::mutex> join_lock(join_mu_);
     if (shutdown_thread_.joinable()) shutdown_thread_.join();
   }
+  // Detached dedicated-task threads hold `this`; wait for every active task
+  // (pool tasks keep draining on the still-running pool) before teardown.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return active_tasks_.load() == 0; });
+  }
   pool_.Shutdown();
 }
 
@@ -50,6 +56,28 @@ bool Worker::SubmitTask(std::function<void()> task) {
     active_tasks_.fetch_sub(1);
     return false;
   }
+  tasks_submitted_counter_->Add(1);
+  return true;
+}
+
+bool Worker::SubmitDedicatedTask(std::function<void()> task) {
+  if (state_.load() != WorkerState::kActive) return false;
+  active_tasks_.fetch_add(1);
+  // Detached rather than pooled: joining would require reaping machinery
+  // somewhere, and the active-task drain already provides the lifecycle
+  // barrier (the decrement + notify below is the thread's last access to
+  // this worker, and both the destructor and graceful shutdown wait for it).
+  std::thread([this, task = std::move(task)] {
+    Stopwatch task_watch;
+    task();
+    busy_nanos_counter_->Add(task_watch.ElapsedNanos());
+    tasks_completed_counter_->Add(1);
+    tasks_completed_.fetch_add(1);
+    if (active_tasks_.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained_cv_.notify_all();
+    }
+  }).detach();
   tasks_submitted_counter_->Add(1);
   return true;
 }

@@ -41,6 +41,15 @@ class Worker {
   /// (SHUTTING_DOWN or later).
   bool SubmitTask(std::function<void()> task);
 
+  /// Submits an intermediate-stage task on a dedicated (detached) thread
+  /// outside the execution-slot pool. Intermediate stages drain bounded
+  /// exchanges fed by pool tasks; running them in pool slots could queue a
+  /// consumer behind the very producers blocked waiting for it to drain — a
+  /// deadlock. The task counts as active for the graceful-drain protocol,
+  /// which is also what the destructor waits on. Returns false when the
+  /// worker no longer accepts work.
+  bool SubmitDedicatedTask(std::function<void()> task);
+
   /// Starts the graceful shutdown sequence asynchronously.
   void RequestGracefulShutdown(int64_t grace_period_nanos = 120'000'000'000 /* 2 min */);
 

@@ -1,0 +1,172 @@
+#include "presto/exec/exchange.h"
+
+#include <algorithm>
+
+#include "presto/exec/kernels/kernels.h"
+
+namespace presto {
+
+PartitionedExchange::PartitionedExchange(int num_partitions,
+                                         int64_t capacity_bytes,
+                                         MetricsRegistry* metrics)
+    : partitions_(std::max(1, num_partitions)),
+      capacity_bytes_(std::max<int64_t>(1, capacity_bytes)) {
+  open_partitions_ = static_cast<int>(partitions_.size());
+  if (metrics != nullptr) {
+    pages_pushed_counter_ = metrics->FindOrRegister("exchange.page.pushed");
+    bytes_pushed_counter_ = metrics->FindOrRegister("exchange.byte.pushed");
+    pages_dropped_counter_ = metrics->FindOrRegister("exchange.page.dropped");
+    producer_blocked_counter_ =
+        metrics->FindOrRegister("exchange.producer.blocked");
+  }
+}
+
+void PartitionedExchange::SetProducerCount(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  producers_ = n;
+}
+
+void PartitionedExchange::Push(int partition, Page page) {
+  const int64_t bytes = page.EstimateBytes();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (buffered_bytes_ >= capacity_bytes_ && !DropLocked(partition)) {
+      if (producer_blocked_counter_ != nullptr) {
+        producer_blocked_counter_->Add(1);
+      }
+      producer_cv_.wait(lock, [this, partition] {
+        return buffered_bytes_ < capacity_bytes_ || DropLocked(partition);
+      });
+    }
+    if (DropLocked(partition)) {
+      if (pages_dropped_counter_ != nullptr) pages_dropped_counter_->Add(1);
+      return;
+    }
+    partitions_[partition].pages.push_back(Entry{std::move(page), bytes});
+    buffered_bytes_ += bytes;
+    peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
+    bytes_pushed_ += bytes;
+    pages_pushed_ += 1;
+  }
+  if (pages_pushed_counter_ != nullptr) pages_pushed_counter_->Add(1);
+  if (bytes_pushed_counter_ != nullptr) bytes_pushed_counter_->Add(bytes);
+  consumer_cv_.notify_all();
+}
+
+void PartitionedExchange::PushPartitioned(const Page& page,
+                                          const std::vector<int>& channels) {
+  if (page.num_rows() == 0) return;
+  if (num_partitions() == 1 || channels.empty()) {
+    Push(0, page);
+    return;
+  }
+  std::vector<uint64_t> hashes;
+  kernels::HashPage(page, channels, &hashes);
+  std::vector<std::vector<int32_t>> rows(partitions_.size());
+  const auto n = static_cast<uint64_t>(partitions_.size());
+  for (size_t r = 0; r < hashes.size(); ++r) {
+    rows[hashes[r] % n].push_back(static_cast<int32_t>(r));
+  }
+  for (size_t p = 0; p < rows.size(); ++p) {
+    if (rows[p].empty()) continue;
+    // Zero-copy for flat columns: each partition slice is a dictionary wrap
+    // over the original page's vectors.
+    Push(static_cast<int>(p), page.WrapRows(rows[p]));
+  }
+}
+
+void PartitionedExchange::ProducerDone() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --producers_;
+  }
+  consumer_cv_.notify_all();
+}
+
+void PartitionedExchange::Fail(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status_.ok()) status_ = std::move(status);
+    // The error wins over buffered pages; release their bytes so any blocked
+    // producer wakes into the drop path.
+    for (Partition& partition : partitions_) partition.pages.clear();
+    buffered_bytes_ = 0;
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+}
+
+Result<std::optional<Page>> PartitionedExchange::Next(int partition) {
+  Entry entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Partition& part = partitions_[partition];
+    consumer_cv_.wait(lock, [this, &part] {
+      return !part.pages.empty() || part.closed || producers_ <= 0 ||
+             !status_.ok();
+    });
+    if (!status_.ok()) return status_;
+    if (part.pages.empty()) return std::optional<Page>();  // end-of-stream
+    entry = std::move(part.pages.front());
+    part.pages.pop_front();
+    buffered_bytes_ -= entry.bytes;
+  }
+  producer_cv_.notify_all();
+  return std::optional<Page>(std::move(entry.page));
+}
+
+void PartitionedExchange::ConsumerDone(int partition) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Partition& part = partitions_[partition];
+    if (part.closed) return;
+    part.closed = true;
+    --open_partitions_;
+    for (const Entry& entry : part.pages) buffered_bytes_ -= entry.bytes;
+    part.pages.clear();
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+}
+
+void PartitionedExchange::CloseAllPartitions() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Partition& part : partitions_) {
+      if (part.closed) continue;
+      part.closed = true;
+      --open_partitions_;
+      for (const Entry& entry : part.pages) buffered_bytes_ -= entry.bytes;
+      part.pages.clear();
+    }
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+}
+
+bool PartitionedExchange::AllConsumersDone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_partitions_ == 0;
+}
+
+int64_t PartitionedExchange::buffered_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffered_bytes_;
+}
+
+int64_t PartitionedExchange::peak_buffered_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_buffered_bytes_;
+}
+
+int64_t PartitionedExchange::bytes_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_pushed_;
+}
+
+int64_t PartitionedExchange::pages_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_pushed_;
+}
+
+}  // namespace presto

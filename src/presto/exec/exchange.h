@@ -5,68 +5,114 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
+#include "presto/common/metrics.h"
 #include "presto/common/status.h"
 #include "presto/vector/page.h"
 
 namespace presto {
 
-/// In-memory exchange between plan fragments: leaf tasks push pages, the
-/// downstream fragment pulls them. Stands in for Presto's HTTP-based
-/// exchange; multiple producers (one per task), single consumer.
-class ExchangeBuffer {
+/// In-memory exchange between plan fragments, standing in for Presto's
+/// HTTP-based shuffle. One exchange per producing fragment; pages are routed
+/// into per-partition queues (row-hash routing for hash-partitioned stages,
+/// partition 0 for gather) and each consuming task drains exactly one
+/// partition.
+///
+/// The buffer is bounded: the whole exchange shares a byte budget
+/// (session property exchange_buffer_bytes) and Push() blocks the producer
+/// while the budget is exhausted, so peak buffered bytes never exceed
+/// capacity plus one page. Backpressure is released by consumers popping
+/// pages, by partition close (ConsumerDone — e.g. a satisfied LIMIT), or by
+/// failure.
+///
+/// Counters (per-query registry, may be null): exchange.page.pushed,
+/// exchange.byte.pushed, exchange.page.dropped, exchange.producer.blocked.
+class PartitionedExchange {
  public:
+  PartitionedExchange(int num_partitions, int64_t capacity_bytes,
+                      MetricsRegistry* metrics = nullptr);
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
   /// Must be called before producers start.
-  void SetProducerCount(int n) {
-    std::lock_guard<std::mutex> lock(mu_);
-    producers_ = n;
-  }
+  void SetProducerCount(int n);
 
-  void Push(Page page) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      pages_.push_back(std::move(page));
-    }
-    cv_.notify_one();
-  }
+  /// Enqueues a whole page into one partition; blocks while the exchange is
+  /// over budget. Pages pushed after Fail() or into a closed partition are
+  /// dropped (counted in exchange.page.dropped).
+  void Push(int partition, Page page);
 
-  /// Marks one producer finished; the buffer closes when all are done.
-  void ProducerDone() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --producers_;
-    }
-    cv_.notify_all();
-  }
+  /// Routes each row of `page` to partition hash(channels) % num_partitions
+  /// using the typed kernels' batch hashing, then pushes the per-partition
+  /// slices (zero-copy dictionary wraps). With one partition this is
+  /// equivalent to Push(0, page).
+  void PushPartitioned(const Page& page, const std::vector<int>& channels);
 
-  /// Propagates a task failure to the consumer.
-  void Fail(Status status) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (status_.ok()) status_ = std::move(status);
-    }
-    cv_.notify_all();
-  }
+  /// Marks one producer finished; a partition reaches end-of-stream when all
+  /// producers are done and its queue is drained.
+  void ProducerDone();
 
-  /// Blocks for the next page; nullopt when all producers finished.
-  Result<std::optional<Page>> Next() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] {
-      return !pages_.empty() || producers_ <= 0 || !status_.ok();
-    });
-    if (!status_.ok()) return status_;
-    if (pages_.empty()) return std::optional<Page>();
-    Page page = std::move(pages_.front());
-    pages_.pop_front();
-    return std::optional<Page>(std::move(page));
-  }
+  /// Propagates a task failure to every consumer and unblocks any producer
+  /// waiting for buffer space (their pages are dropped from here on).
+  void Fail(Status status);
+
+  /// Blocks for the next page of `partition`; nullopt at end-of-stream
+  /// (all producers done and queue drained, or the partition was closed).
+  Result<std::optional<Page>> Next(int partition);
+
+  /// Consumer-side cancellation: drops everything queued for `partition`,
+  /// releases its bytes, and drops future pushes to it. Producers observe
+  /// AllConsumersDone() to stop early (LIMIT-style early exit cascades
+  /// upstream through this).
+  void ConsumerDone(int partition);
+
+  /// Closes every partition (query teardown / failure paths): unblocks all
+  /// producers and turns their remaining output into drops.
+  void CloseAllPartitions();
+
+  /// True once every partition has been closed by its consumer.
+  bool AllConsumersDone() const;
+
+  int64_t buffered_bytes() const;
+  /// High-water mark of buffered bytes; stays <= capacity + one page.
+  int64_t peak_buffered_bytes() const;
+  /// Total bytes accepted into the exchange (drops excluded).
+  int64_t bytes_pushed() const;
+  int64_t pages_pushed() const;
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Page> pages_;
+  struct Entry {
+    Page page;
+    int64_t bytes = 0;
+  };
+  struct Partition {
+    std::deque<Entry> pages;
+    bool closed = false;
+  };
+
+  // True when a push to `partition` should be discarded instead of queued.
+  bool DropLocked(int partition) const {
+    return !status_.ok() || partitions_[partition].closed;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable producer_cv_;  // space freed / close / failure
+  std::condition_variable consumer_cv_;  // page arrived / producers done / failure
+  std::vector<Partition> partitions_;
+  const int64_t capacity_bytes_;
+  int64_t buffered_bytes_ = 0;
+  int64_t peak_buffered_bytes_ = 0;
+  int64_t bytes_pushed_ = 0;
+  int64_t pages_pushed_ = 0;
+  int open_partitions_ = 0;
   int producers_ = 0;
   Status status_;
+
+  MetricsRegistry::Counter* pages_pushed_counter_ = nullptr;
+  MetricsRegistry::Counter* bytes_pushed_counter_ = nullptr;
+  MetricsRegistry::Counter* pages_dropped_counter_ = nullptr;
+  MetricsRegistry::Counter* producer_blocked_counter_ = nullptr;
 };
 
 }  // namespace presto

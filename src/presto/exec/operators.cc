@@ -269,15 +269,17 @@ class ValuesOperator final : public Operator {
 
 class RemoteSourceOperator final : public Operator {
  public:
-  explicit RemoteSourceOperator(ExchangeBuffer* buffer) : buffer_(buffer) {}
+  RemoteSourceOperator(PartitionedExchange* exchange, int partition)
+      : exchange_(exchange), partition_(partition) {}
 
  protected:
   Result<std::optional<Page>> NextInternal() override {
-    return buffer_->Next();
+    return exchange_->Next(partition_);
   }
 
  private:
-  ExchangeBuffer* buffer_;
+  PartitionedExchange* exchange_;
+  int partition_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1258,7 +1260,13 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
         return Status::Internal("no exchange for fragment " +
                                 std::to_string(remote->fragment_id()));
       }
-      return OperatorPtr(new RemoteSourceOperator(it->second));
+      // Hash-partitioned upstream: this task consumes its own partition of
+      // the exchange; gather upstreams are single-partition.
+      int partition =
+          remote->source_partitioning() == PartitioningScheme::Kind::kHash
+              ? task_partition_ % it->second->num_partitions()
+              : 0;
+      return OperatorPtr(new RemoteSourceOperator(it->second, partition));
     }
     case PlanNodeKind::kFilter: {
       const auto* filter = static_cast<const FilterNode*>(node.get());

@@ -98,19 +98,24 @@ struct ExecutionLimits {
 };
 
 /// Builds operator trees from plan fragments. `exchanges` resolves
-/// RemoteSourceNode fragment ids to their buffers; `splits` feeds the
-/// (single) TableScanNode of a leaf fragment.
+/// RemoteSourceNode fragment ids to their partitioned exchanges; `splits`
+/// feeds the (single) TableScanNode of a leaf fragment. `task_partition` is
+/// the index of this task within its stage: a RemoteSource over a
+/// hash-partitioned upstream consumes exactly that partition of the
+/// exchange (gather upstreams always consume partition 0).
 class OperatorBuilder {
  public:
   OperatorBuilder(const CatalogRegistry* catalogs, FunctionRegistry* functions,
-                  const std::map<int, ExchangeBuffer*>* exchanges,
+                  const std::map<int, PartitionedExchange*>* exchanges,
                   const std::vector<SplitPtr>* splits,
-                  ExecutionLimits limits = ExecutionLimits())
+                  ExecutionLimits limits = ExecutionLimits(),
+                  int task_partition = 0)
       : catalogs_(catalogs),
         functions_(functions),
         exchanges_(exchanges),
         splits_(splits),
-        limits_(limits) {}
+        limits_(limits),
+        task_partition_(task_partition) {}
 
   /// Builds the operator tree for `node`, stamping each operator with its
   /// plan node id and type name for the query stats tree.
@@ -121,9 +126,10 @@ class OperatorBuilder {
 
   const CatalogRegistry* catalogs_;
   FunctionRegistry* functions_;
-  const std::map<int, ExchangeBuffer*>* exchanges_;
+  const std::map<int, PartitionedExchange*>* exchanges_;
   const std::vector<SplitPtr>* splits_;
   ExecutionLimits limits_;
+  int task_partition_ = 0;
 };
 
 }  // namespace presto

@@ -65,6 +65,15 @@ void QueryStatsCollector::AddTask(int fragment_id, int root_plan_node_id,
   stats_.total_wall_nanos += task_wall_nanos;
 }
 
+void QueryStatsCollector::SetStageExchange(int fragment_id, int num_partitions,
+                                           int64_t exchanged_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageStats& stage = stages_[fragment_id];
+  stage.fragment_id = fragment_id;
+  stage.num_partitions = num_partitions;
+  stage.exchanged_bytes = exchanged_bytes;
+}
+
 QueryStats QueryStatsCollector::Finish() const {
   std::lock_guard<std::mutex> lock(mu_);
   QueryStats out = stats_;
@@ -114,10 +123,11 @@ std::string RenderPlanWithStats(const FragmentedPlan& plan,
   std::string out;
   for (const PlanFragment& fragment : plan.fragments) {
     out += "Fragment " + std::to_string(fragment.id) +
-           (fragment.leaf ? " (leaf)" : " (root)");
+           (fragment.leaf ? " (leaf)"
+                          : (fragment.id == 0 ? " (root)" : " (intermediate)"));
     for (const StageStats& stage : stats.stages) {
       if (stage.fragment_id == fragment.id) {
-        char buf[160];
+        char buf[224];
         std::snprintf(buf, sizeof(buf),
                       " [tasks: %d, output: %lld rows, wall: %.2f ms, "
                       "cpu: %.2f ms]",
@@ -125,6 +135,13 @@ std::string RenderPlanWithStats(const FragmentedPlan& plan,
                       static_cast<long long>(stage.output_rows),
                       stage.wall_nanos / 1e6, stage.cpu_nanos / 1e6);
         out += buf;
+        if (stage.num_partitions > 0) {
+          std::snprintf(buf, sizeof(buf),
+                        " [%s -> %d partitions, exchanged: %.1f KB]",
+                        fragment.output_partitioning.ToString().c_str(),
+                        stage.num_partitions, stage.exchanged_bytes / 1024.0);
+          out += buf;
+        }
         break;
       }
     }

@@ -63,6 +63,11 @@ struct StageStats {
   int64_t output_bytes = 0;  // bytes the fragment root emitted
   int64_t wall_nanos = 0;    // summed task wall time
   int64_t cpu_nanos = 0;     // summed task CPU time
+  /// Output-exchange shape: partition count of this fragment's exchange and
+  /// bytes actually shuffled through it (0 for the root fragment, which
+  /// returns pages directly to the client).
+  int num_partitions = 0;
+  int64_t exchanged_bytes = 0;
 };
 
 /// The task→stage→query aggregation result. `operators` is keyed by plan
@@ -91,6 +96,11 @@ class QueryStatsCollector {
   void AddTask(int fragment_id, int root_plan_node_id,
                const std::vector<OperatorStats>& operators,
                int64_t task_wall_nanos);
+
+  /// Records the fragment's output-exchange shape (partition count, bytes
+  /// pushed through it); called once per fragment at query teardown.
+  void SetStageExchange(int fragment_id, int num_partitions,
+                        int64_t exchanged_bytes);
 
   /// Snapshot of the merged tree (stages sorted by fragment id). The root
   /// fragment is id 0; its stage output becomes the query output.

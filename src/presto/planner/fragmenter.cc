@@ -18,64 +18,179 @@ bool IsScannableSubtree(const PlanNodePtr& node) {
   }
 }
 
+// Hash-partitionable equi-join: both sides can be shuffled on their join
+// keys and each partition joined independently. Broadcast and non-equi
+// joins keep the build side inline with the probe.
+bool IsPartitionableJoin(const PlanNodePtr& node) {
+  if (node->kind() != PlanNodeKind::kJoin) return false;
+  const auto* join = static_cast<const JoinNode*>(node.get());
+  return join->distribution() == JoinDistribution::kPartitioned &&
+         !join->criteria().empty();
+}
+
+PartitioningScheme SchemeForKeys(const std::vector<VariablePtr>& keys) {
+  return keys.empty() ? PartitioningScheme::Gather()
+                      : PartitioningScheme::Hash(keys);
+}
+
 }  // namespace
 
 std::string FragmentedPlan::ToString() const {
   std::string out;
   for (const PlanFragment& fragment : fragments) {
     out += "Fragment " + std::to_string(fragment.id) +
-           (fragment.leaf ? " (leaf)" : " (root)") + "\n";
+           (fragment.leaf ? " (leaf)"
+                          : (fragment.id == 0 ? " (root)" : " (intermediate)"));
+    if (fragment.id != 0) {
+      out += " [output: " + fragment.output_partitioning.ToString() + "]";
+    }
+    out += "\n";
     out += fragment.root->ToString(1);
   }
   return out;
 }
 
-PlanNodePtr Fragmenter::MakeLeafFragment(PlanNodePtr subtree, FragmentedPlan* out) {
+PlanNodePtr Fragmenter::MakeFragment(PlanNodePtr subtree, bool leaf,
+                                     PartitioningScheme scheme,
+                                     FragmentedPlan* out) {
   PlanFragment fragment;
   fragment.id = static_cast<int>(out->fragments.size());
   fragment.root = subtree;
-  fragment.leaf = true;
+  fragment.leaf = leaf;
+  fragment.output_partitioning = scheme;
   out->fragments.push_back(fragment);
   return std::make_shared<RemoteSourceNode>(ids_->NextId(), fragment.id,
-                                            subtree->OutputVariables());
+                                            subtree->OutputVariables(),
+                                            scheme.kind);
+}
+
+Result<Fragmenter::SplitAggregation> Fragmenter::SplitAggregations(
+    const AggregateNode& agg) {
+  SplitAggregation split;
+  for (const auto& aggregation : agg.aggregations()) {
+    ASSIGN_OR_RETURN(const AggregateFunction* impl,
+                     functions_->FindAggregate(aggregation.handle));
+    VariablePtr partial_var = VariableReferenceExpression::Make(
+        ids_->NextVariable("partial"), impl->intermediate_type);
+    split.partial.push_back(
+        {partial_var, aggregation.handle, aggregation.arguments});
+    split.final.push_back({aggregation.output, aggregation.handle, {partial_var}});
+  }
+  return split;
+}
+
+Result<PlanNodePtr> Fragmenter::CutChildFragment(PlanNodePtr child,
+                                                 std::vector<VariablePtr> keys,
+                                                 FragmentedPlan* out) {
+  // Nested partitioned join: give it its own stage whose output is
+  // re-partitioned on the outer keys (its tasks run partitioned on its own
+  // join keys; correctness between differently-keyed joins requires the
+  // re-shuffle).
+  if (IsPartitionableJoin(child)) {
+    ASSIGN_OR_RETURN(PlanNodePtr join_subtree,
+                     CutJoinChildren(std::move(child), out));
+    return MakeFragment(std::move(join_subtree), /*leaf=*/false,
+                        PartitioningScheme::Hash(std::move(keys)), out);
+  }
+  // Pure scan pipeline: the leaf fragment itself shuffles on the keys.
+  if (IsScannableSubtree(child)) {
+    return MakeFragment(std::move(child), /*leaf=*/true,
+                        PartitioningScheme::Hash(std::move(keys)), out);
+  }
+  ASSIGN_OR_RETURN(PlanNodePtr rewritten, Rewrite(std::move(child), out));
+  if (rewritten->kind() == PlanNodeKind::kRemoteSource) {
+    // The child collapsed into a stage of its own (e.g. a FINAL aggregation
+    // stage). Re-point that fragment's output partitioning at our keys
+    // instead of adding a forwarding stage.
+    auto* remote = static_cast<RemoteSourceNode*>(rewritten.get());
+    PlanFragment& fragment = out->fragments[remote->fragment_id()];
+    fragment.output_partitioning = PartitioningScheme::Hash(std::move(keys));
+    remote->set_source_partitioning(PartitioningScheme::Kind::kHash);
+    return rewritten;
+  }
+  return MakeFragment(std::move(rewritten), /*leaf=*/false,
+                      PartitioningScheme::Hash(std::move(keys)), out);
+}
+
+Result<PlanNodePtr> Fragmenter::CutJoinChildren(PlanNodePtr join_node,
+                                                FragmentedPlan* out) {
+  auto* join = static_cast<JoinNode*>(join_node.get());
+  std::vector<VariablePtr> left_keys;
+  std::vector<VariablePtr> right_keys;
+  for (const JoinNode::EquiClause& clause : join->criteria()) {
+    left_keys.push_back(clause.left);
+    right_keys.push_back(clause.right);
+  }
+  ASSIGN_OR_RETURN(
+      PlanNodePtr left,
+      CutChildFragment(join->sources()[0], std::move(left_keys), out));
+  ASSIGN_OR_RETURN(
+      PlanNodePtr right,
+      CutChildFragment(join->sources()[1], std::move(right_keys), out));
+  join->mutable_sources()[0] = std::move(left);
+  join->mutable_sources()[1] = std::move(right);
+  return join_node;
 }
 
 Result<PlanNodePtr> Fragmenter::Rewrite(PlanNodePtr node, FragmentedPlan* out) {
   // Split a single-step aggregation over a scan pipeline into
-  // partial (leaf) + final (root).
+  // partial (leaf-side) + final. With multi-stage execution the final
+  // aggregation becomes its own worker-side stage fed by a shuffle on the
+  // group keys; otherwise it runs in the enclosing (root) fragment.
   if (node->kind() == PlanNodeKind::kAggregate) {
     auto* agg = static_cast<AggregateNode*>(node.get());
     if (agg->step() == AggregationStep::kSingle &&
         IsScannableSubtree(agg->sources()[0])) {
-      std::vector<AggregateNode::Aggregation> partial_aggs;
-      std::vector<AggregateNode::Aggregation> final_aggs;
-      for (const auto& aggregation : agg->aggregations()) {
-        ASSIGN_OR_RETURN(const AggregateFunction* impl,
-                         functions_->FindAggregate(aggregation.handle));
-        VariablePtr partial_var = VariableReferenceExpression::Make(
-            ids_->NextVariable("partial"), impl->intermediate_type);
-        partial_aggs.push_back(
-            {partial_var, aggregation.handle, aggregation.arguments});
-        final_aggs.push_back({aggregation.output, aggregation.handle, {partial_var}});
-      }
+      ASSIGN_OR_RETURN(SplitAggregation split, SplitAggregations(*agg));
       PlanNodePtr partial = std::make_shared<AggregateNode>(
           ids_->NextId(), agg->sources()[0], agg->group_keys(),
-          std::move(partial_aggs), AggregationStep::kPartial);
-      PlanNodePtr remote = MakeLeafFragment(std::move(partial), out);
-      return PlanNodePtr(std::make_shared<AggregateNode>(
+          std::move(split.partial), AggregationStep::kPartial);
+      PlanNodePtr remote =
+          MakeFragment(std::move(partial), /*leaf=*/true,
+                       options_.multi_stage ? SchemeForKeys(agg->group_keys())
+                                            : PartitioningScheme::Gather(),
+                       out);
+      PlanNodePtr final_agg = std::make_shared<AggregateNode>(
           ids_->NextId(), std::move(remote), agg->group_keys(),
-          std::move(final_aggs), AggregationStep::kFinal));
+          std::move(split.final), AggregationStep::kFinal);
+      if (!options_.multi_stage) return final_agg;
+      return MakeFragment(std::move(final_agg), /*leaf=*/false,
+                          PartitioningScheme::Gather(), out);
     }
-  }
-  // Final aggregation produced by connector aggregation pushdown: the scan
-  // itself becomes the leaf fragment.
-  if (node->kind() == PlanNodeKind::kAggregate) {
-    auto* agg = static_cast<AggregateNode*>(node.get());
+    // Single aggregation directly over a partitioned join: the partial
+    // aggregation rides in the join stage, the final gets its own stage
+    // partitioned on the group keys.
+    if (agg->step() == AggregationStep::kSingle && options_.multi_stage &&
+        IsPartitionableJoin(agg->sources()[0])) {
+      ASSIGN_OR_RETURN(SplitAggregation split, SplitAggregations(*agg));
+      ASSIGN_OR_RETURN(PlanNodePtr join_subtree,
+                       CutJoinChildren(agg->sources()[0], out));
+      PlanNodePtr partial = std::make_shared<AggregateNode>(
+          ids_->NextId(), std::move(join_subtree), agg->group_keys(),
+          std::move(split.partial), AggregationStep::kPartial);
+      PlanNodePtr remote =
+          MakeFragment(std::move(partial), /*leaf=*/false,
+                       SchemeForKeys(agg->group_keys()), out);
+      PlanNodePtr final_agg = std::make_shared<AggregateNode>(
+          ids_->NextId(), std::move(remote), agg->group_keys(),
+          std::move(split.final), AggregationStep::kFinal);
+      return MakeFragment(std::move(final_agg), /*leaf=*/false,
+                          PartitioningScheme::Gather(), out);
+    }
+    // Final aggregation produced by connector aggregation pushdown: the scan
+    // itself becomes the leaf fragment (shuffled on the group keys so the
+    // final can still run as its own partitioned stage).
     if (agg->step() == AggregationStep::kFinal &&
         IsScannableSubtree(agg->sources()[0])) {
-      PlanNodePtr remote = MakeLeafFragment(agg->sources()[0], out);
+      PlanNodePtr remote =
+          MakeFragment(agg->sources()[0], /*leaf=*/true,
+                       options_.multi_stage ? SchemeForKeys(agg->group_keys())
+                                            : PartitioningScheme::Gather(),
+                       out);
       node->mutable_sources()[0] = std::move(remote);
-      return node;
+      if (!options_.multi_stage) return node;
+      return MakeFragment(std::move(node), /*leaf=*/false,
+                          PartitioningScheme::Gather(), out);
     }
   }
   // TopN over a scan pipeline: partial TopN runs leaf-side.
@@ -85,7 +200,8 @@ Result<PlanNodePtr> Fragmenter::Rewrite(PlanNodePtr node, FragmentedPlan* out) {
       PlanNodePtr partial = std::make_shared<TopNNode>(
           ids_->NextId(), topn->sources()[0], topn->ordering(), topn->count(),
           /*partial=*/true);
-      PlanNodePtr remote = MakeLeafFragment(std::move(partial), out);
+      PlanNodePtr remote = MakeFragment(std::move(partial), /*leaf=*/true,
+                                        PartitioningScheme::Gather(), out);
       return PlanNodePtr(std::make_shared<TopNNode>(
           ids_->NextId(), std::move(remote), topn->ordering(), topn->count(),
           /*partial=*/false));
@@ -97,14 +213,24 @@ Result<PlanNodePtr> Fragmenter::Rewrite(PlanNodePtr node, FragmentedPlan* out) {
     if (!limit->partial() && IsScannableSubtree(limit->sources()[0])) {
       PlanNodePtr partial = std::make_shared<LimitNode>(
           ids_->NextId(), limit->sources()[0], limit->count(), /*partial=*/true);
-      PlanNodePtr remote = MakeLeafFragment(std::move(partial), out);
+      PlanNodePtr remote = MakeFragment(std::move(partial), /*leaf=*/true,
+                                        PartitioningScheme::Gather(), out);
       return PlanNodePtr(std::make_shared<LimitNode>(
           ids_->NextId(), std::move(remote), limit->count(), /*partial=*/false));
     }
   }
+  // A partitioned equi-join becomes its own worker-side stage: both children
+  // are cut into fragments hash-partitioned on their join keys and each
+  // stage task joins one partition.
+  if (options_.multi_stage && IsPartitionableJoin(node)) {
+    ASSIGN_OR_RETURN(PlanNodePtr join_subtree,
+                     CutJoinChildren(std::move(node), out));
+    return MakeFragment(std::move(join_subtree), /*leaf=*/false,
+                        PartitioningScheme::Gather(), out);
+  }
   // A bare scan pipeline feeding anything else becomes a leaf fragment.
   if (IsScannableSubtree(node)) {
-    return MakeLeafFragment(node, out);
+    return MakeFragment(node, /*leaf=*/true, PartitioningScheme::Gather(), out);
   }
   for (PlanNodePtr& source : node->mutable_sources()) {
     ASSIGN_OR_RETURN(source, Rewrite(source, out));
@@ -115,7 +241,7 @@ Result<PlanNodePtr> Fragmenter::Rewrite(PlanNodePtr node, FragmentedPlan* out) {
 Result<FragmentedPlan> Fragmenter::Fragment(PlanNodePtr root) {
   FragmentedPlan out;
   // Reserve slot 0 for the root fragment.
-  out.fragments.push_back(PlanFragment{0, nullptr, false});
+  out.fragments.push_back(PlanFragment{0, nullptr, false, {}});
   ASSIGN_OR_RETURN(PlanNodePtr rewritten, Rewrite(std::move(root), &out));
   out.fragments[0].root = std::move(rewritten);
   return out;

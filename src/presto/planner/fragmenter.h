@@ -14,36 +14,72 @@ struct PlanFragment {
   int id = 0;
   PlanNodePtr root;
   /// Leaf fragments contain exactly one TableScan and run as one task per
-  /// split batch on workers; the root fragment (id 0) gathers exchanges.
+  /// split batch on workers. The root fragment (id 0) runs on the
+  /// coordinator; everything else is an intermediate (worker-side) stage.
   bool leaf = false;
+  /// How this fragment's output pages are routed into its exchange: gather
+  /// (single consuming task) or hash-partitioned on join/group-by keys (one
+  /// consuming task per partition). Unused for the root fragment.
+  PartitioningScheme output_partitioning;
 };
 
 struct FragmentedPlan {
-  /// fragments[0] is the root; the rest are leaves referenced by
-  /// RemoteSourceNodes.
+  /// fragments[0] is the root; the rest are leaves and intermediate stages
+  /// referenced by RemoteSourceNodes.
   std::vector<PlanFragment> fragments;
 
   std::string ToString() const;
 };
 
-/// Cuts an optimized plan into a root fragment plus leaf (source) fragments.
-/// Aggregations over scan pipelines are split into PARTIAL (in the leaf,
-/// next to the scan) and FINAL (after the exchange); TopN and Limit get
+struct FragmenterOptions {
+  /// Cut plans at partitioned-join and FINAL-aggregation boundaries into
+  /// hash-partitioned worker-side stages (session property
+  /// multi_stage_execution). Off reverts to the two-level gather plan where
+  /// joins and final aggregations run inline in the root fragment.
+  bool multi_stage = true;
+};
+
+/// Cuts an optimized plan into a root fragment plus leaf (source) fragments
+/// and — with multi-stage execution on — intermediate stages. Aggregations
+/// over scan pipelines split into PARTIAL (next to the scan) and FINAL
+/// (its own hash-partitioned stage); partitioned joins become stages whose
+/// children are hash-partitioned on the join keys; TopN and Limit get
 /// partial leaf-side copies.
 class Fragmenter {
  public:
-  Fragmenter(PlanIdAllocator* ids,
-             FunctionRegistry* functions = &FunctionRegistry::Default())
-      : ids_(ids), functions_(functions) {}
+  explicit Fragmenter(PlanIdAllocator* ids,
+                      FunctionRegistry* functions = &FunctionRegistry::Default(),
+                      FragmenterOptions options = FragmenterOptions())
+      : ids_(ids), functions_(functions), options_(options) {}
 
   Result<FragmentedPlan> Fragment(PlanNodePtr root);
 
  private:
+  struct SplitAggregation {
+    std::vector<AggregateNode::Aggregation> partial;
+    std::vector<AggregateNode::Aggregation> final;
+  };
+
   Result<PlanNodePtr> Rewrite(PlanNodePtr node, FragmentedPlan* out);
-  PlanNodePtr MakeLeafFragment(PlanNodePtr subtree, FragmentedPlan* out);
+  /// Appends a new fragment and returns the RemoteSourceNode that replaces
+  /// its subtree in the consuming fragment.
+  PlanNodePtr MakeFragment(PlanNodePtr subtree, bool leaf,
+                           PartitioningScheme scheme, FragmentedPlan* out);
+  /// Rewrites partial aggregate handles into partial/final pairs.
+  Result<SplitAggregation> SplitAggregations(const AggregateNode& agg);
+  /// Cuts both children of a partitioned equi-join into fragments
+  /// hash-partitioned on their side's join keys; returns the join node with
+  /// RemoteSource children, to be embedded in its own stage fragment.
+  Result<PlanNodePtr> CutJoinChildren(PlanNodePtr join_node, FragmentedPlan* out);
+  /// Cuts `child` into a fragment whose output is hash-partitioned on
+  /// `keys`, recursing into nested partitioned joins.
+  Result<PlanNodePtr> CutChildFragment(PlanNodePtr child,
+                                       std::vector<VariablePtr> keys,
+                                       FragmentedPlan* out);
 
   PlanIdAllocator* ids_;
   FunctionRegistry* functions_;
+  FragmenterOptions options_;
 };
 
 }  // namespace presto

@@ -199,8 +199,23 @@ std::string OutputNode::Label() const {
   return out;
 }
 
+std::string PartitioningScheme::ToString() const {
+  if (kind == Kind::kGather) return "gather";
+  std::string out = "hash(";
+  for (size_t i = 0; i < hash_keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += hash_keys[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
 std::string RemoteSourceNode::Label() const {
-  return "RemoteSource[fragment " + std::to_string(fragment_id_) + "]";
+  std::string out = "RemoteSource[fragment " + std::to_string(fragment_id_);
+  if (source_partitioning_ == PartitioningScheme::Kind::kHash) {
+    out += ", partitioned";
+  }
+  return out + "]";
 }
 
 }  // namespace presto

@@ -331,22 +331,56 @@ class OutputNode final : public PlanNode {
   std::vector<VariablePtr> outputs_;
 };
 
+/// How a fragment's output pages are routed into its exchange: gathered into
+/// a single partition (one consuming task) or hash-partitioned on a set of
+/// key columns (one consuming task per partition — partitioned joins and
+/// final aggregations).
+struct PartitioningScheme {
+  enum class Kind { kGather, kHash };
+
+  Kind kind = Kind::kGather;
+  /// Partitioning columns (join keys / group-by keys); empty for gather.
+  std::vector<VariablePtr> hash_keys;
+
+  static PartitioningScheme Gather() { return PartitioningScheme(); }
+  static PartitioningScheme Hash(std::vector<VariablePtr> keys) {
+    PartitioningScheme scheme;
+    scheme.kind = Kind::kHash;
+    scheme.hash_keys = std::move(keys);
+    return scheme;
+  }
+
+  std::string ToString() const;
+};
+
 /// Reads the output of another fragment through an exchange — the cut point
-/// introduced by the fragmenter.
+/// introduced by the fragmenter. `source_partitioning` records how the
+/// upstream fragment partitioned its output: kHash means each consuming task
+/// reads its own partition of the exchange; kGather means partition 0.
 class RemoteSourceNode final : public PlanNode {
  public:
-  RemoteSourceNode(int id, int fragment_id, std::vector<VariablePtr> outputs)
+  RemoteSourceNode(int id, int fragment_id, std::vector<VariablePtr> outputs,
+                   PartitioningScheme::Kind source_partitioning =
+                       PartitioningScheme::Kind::kGather)
       : PlanNode(PlanNodeKind::kRemoteSource, id, {}),
         fragment_id_(fragment_id),
-        outputs_(std::move(outputs)) {}
+        outputs_(std::move(outputs)),
+        source_partitioning_(source_partitioning) {}
 
   int fragment_id() const { return fragment_id_; }
+  PartitioningScheme::Kind source_partitioning() const {
+    return source_partitioning_;
+  }
+  void set_source_partitioning(PartitioningScheme::Kind kind) {
+    source_partitioning_ = kind;
+  }
   std::vector<VariablePtr> OutputVariables() const override { return outputs_; }
   std::string Label() const override;
 
  private:
   int fragment_id_;
   std::vector<VariablePtr> outputs_;
+  PartitioningScheme::Kind source_partitioning_;
 };
 
 }  // namespace presto

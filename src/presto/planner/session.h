@@ -19,6 +19,9 @@ struct Session {
   /// Known properties:
   ///   join_distribution_type = "broadcast" | "partitioned" (default)
   ///   geo_index_rewrite      = "true" (default) | "false"
+  ///   multi_stage_execution  = "true" (default) | "false"
+  ///   exchange_buffer_bytes  = per-exchange byte budget (default 32 MiB)
+  ///   hash_partition_count   = partitions per hash-partitioned stage
   std::string Property(const std::string& name,
                        const std::string& default_value) const {
     auto it = properties.find(name);

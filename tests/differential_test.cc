@@ -398,6 +398,114 @@ TEST_F(KernelDifferentialTest, JoinThenAggregate) {
       "agg");
 }
 
+// ---------------------------------------------------------------------------
+// Multi-stage distributed execution vs coordinator-inline single stage
+// ---------------------------------------------------------------------------
+
+// The same query must produce identical (sorted) results whether it runs
+// through hash-partitioned intermediate stages (multi_stage_execution=true,
+// the default) or the legacy two-level leaf/root plan. Inputs are the
+// randomized mixed-encoding pages from the kernel fixture — dictionary
+// wraps, NULL keys, negative keys — exactly where row-hash routing could
+// silently drop or duplicate rows.
+class MultiStageDifferentialTest : public KernelDifferentialTest {
+ protected:
+  static void ExpectMultiStageMatchesSingleStage(const std::string& sql) {
+    Session multi;
+    multi.properties["multi_stage_execution"] = "true";
+    auto staged = cluster_->Execute(sql, multi);
+    ASSERT_TRUE(staged.ok()) << sql << "\n" << staged.status().ToString();
+
+    Session single;
+    single.properties["multi_stage_execution"] = "false";
+    auto inline_result = cluster_->Execute(sql, single);
+    ASSERT_TRUE(inline_result.ok())
+        << sql << "\n" << inline_result.status().ToString();
+
+    EXPECT_EQ(SortedRows(*staged), SortedRows(*inline_result))
+        << "multi-stage and single-stage results diverged on\n" << sql;
+  }
+};
+
+TEST_F(MultiStageDifferentialTest, GroupByMatchesSingleStage) {
+  ExpectMultiStageMatchesSingleStage(
+      "SELECT k_int, count(*), sum(v_int), min(v_double), max(v_double) "
+      "FROM mem.raw.facts GROUP BY k_int");
+  ExpectMultiStageMatchesSingleStage(
+      "SELECT k_str, k_int, count(*), avg(v_double) FROM mem.raw.facts "
+      "GROUP BY k_str, k_int");
+}
+
+TEST_F(MultiStageDifferentialTest, PartitionedJoinMatchesSingleStage) {
+  ExpectMultiStageMatchesSingleStage(
+      "SELECT f.k_int, f.v_int, d.name FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k_int = d.key");
+  ExpectMultiStageMatchesSingleStage(
+      "SELECT f.k_int, d.name FROM mem.raw.facts f "
+      "LEFT JOIN mem.raw.dim d ON f.k_int = d.key");
+}
+
+TEST_F(MultiStageDifferentialTest, JoinThenAggregateMatchesSingleStage) {
+  ExpectMultiStageMatchesSingleStage(
+      "SELECT d.name, count(*), sum(f.v_double) FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k_int = d.key GROUP BY d.name");
+}
+
+TEST_F(MultiStageDifferentialTest, BroadcastJoinMatchesPartitioned) {
+  const std::string sql =
+      "SELECT f.k_int, d.name FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k_int = d.key";
+  Session partitioned;
+  partitioned.properties["join_distribution_type"] = "partitioned";
+  auto part = cluster_->Execute(sql, partitioned);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  Session broadcast;
+  broadcast.properties["join_distribution_type"] = "broadcast";
+  auto bcast = cluster_->Execute(sql, broadcast);
+  ASSERT_TRUE(bcast.ok()) << bcast.status().ToString();
+  EXPECT_EQ(SortedRows(*part), SortedRows(*bcast));
+}
+
+TEST_F(MultiStageDifferentialTest, TinyExchangeBudgetMatchesDefault) {
+  // A 4 KB exchange budget forces constant producer backpressure; the
+  // results must still be complete and identical.
+  const std::string sql =
+      "SELECT d.name, count(*), sum(f.v_int) FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k_int = d.key GROUP BY d.name";
+  Session tiny;
+  tiny.properties["exchange_buffer_bytes"] = "4096";
+  auto throttled = cluster_->Execute(sql, tiny);
+  ASSERT_TRUE(throttled.ok()) << throttled.status().ToString();
+  auto normal = cluster_->Execute(sql, Session());
+  ASSERT_TRUE(normal.ok()) << normal.status().ToString();
+  EXPECT_EQ(SortedRows(*throttled), SortedRows(*normal));
+  EXPECT_GT(throttled->exec_metrics["exchange.producer.blocked"], 0)
+      << "a 4 KB budget should have blocked at least one producer";
+}
+
+TEST_F(MultiStageDifferentialTest, JoinAggregationPlanHasThreeStages) {
+  const std::string sql =
+      "SELECT d.name, count(*) FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k_int = d.key GROUP BY d.name";
+  auto plan = cluster_->Explain(sql, Session());
+  ASSERT_TRUE(plan.ok());
+  // Two scan leaves hash-partitioned on the join keys, a partitioned join
+  // stage, and the root gather: at least four fragments in total.
+  EXPECT_NE(plan->find("Fragment 1 (leaf)"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Fragment 2 (leaf)"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Fragment 3 (intermediate)"), std::string::npos)
+      << *plan;
+  EXPECT_NE(plan->find("Join[INNER, partitioned"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("[output: hash("), std::string::npos) << *plan;
+  EXPECT_NE(plan->find(", partitioned]"), std::string::npos) << *plan;
+  // Single-stage mode collapses back to leaf+root only.
+  Session single;
+  single.properties["multi_stage_execution"] = "false";
+  auto flat = cluster_->Explain(sql, single);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->find("(intermediate)"), std::string::npos) << *flat;
+}
+
 TEST_F(KernelDifferentialTest, UnsupportedAggregateFallsBack) {
   // approx_distinct has no grouped kernel: the operator must fall back (and
   // still agree with the fallback-forced run).

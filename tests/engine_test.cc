@@ -329,6 +329,9 @@ TEST_F(EngineTest, SelectDistinct) {
 TEST_F(EngineTest, InsufficientResourceForBigJoinBuild) {
   Session session;
   session.properties["max_join_build_rows"] = "3";
+  // Broadcast replicates the full build side into every join task, so the
+  // per-task limit trips.
+  session.properties["join_distribution_type"] = "broadcast";
   auto result = Cluster().Execute(
       "SELECT o.id FROM orders o JOIN orders o2 ON o.id = o2.id", session);
   ASSERT_FALSE(result.ok());
@@ -338,6 +341,15 @@ TEST_F(EngineTest, InsufficientResourceForBigJoinBuild) {
       << result.status().ToString();
   // Raising the session limit lets the same query run.
   session.properties["max_join_build_rows"] = "1000";
+  EXPECT_TRUE(Cluster()
+                  .Execute("SELECT o.id FROM orders o JOIN orders o2 "
+                           "ON o.id = o2.id",
+                           session)
+                  .ok());
+  // A hash-partitioned join divides the build side across partitions, so the
+  // same small per-task limit is never hit.
+  session.properties["max_join_build_rows"] = "3";
+  session.properties["join_distribution_type"] = "partitioned";
   EXPECT_TRUE(Cluster()
                   .Execute("SELECT o.id FROM orders o JOIN orders o2 "
                            "ON o.id = o2.id",

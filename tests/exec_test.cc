@@ -170,21 +170,22 @@ TEST_F(ExecTest, DivisionByZeroYieldsNull) {
   EXPECT_TRUE(rows[0][0].is_null());
 }
 
-TEST(ExchangeBufferTest, MultipleProducersDrainToConsumer) {
-  ExchangeBuffer buffer;
-  buffer.SetProducerCount(3);
+TEST(PartitionedExchangeTest, MultipleProducersDrainToConsumer) {
+  PartitionedExchange exchange(/*num_partitions=*/1,
+                               /*capacity_bytes=*/64 << 20);
+  exchange.SetProducerCount(3);
   std::vector<std::thread> producers;
   for (int p = 0; p < 3; ++p) {
-    producers.emplace_back([&buffer, p] {
+    producers.emplace_back([&exchange, p] {
       for (int i = 0; i < 10; ++i) {
-        buffer.Push(Page({MakeBigintVector({p * 100 + i})}));
+        exchange.Push(0, Page({MakeBigintVector({p * 100 + i})}));
       }
-      buffer.ProducerDone();
+      exchange.ProducerDone();
     });
   }
   int pages = 0;
   while (true) {
-    auto page = buffer.Next();
+    auto page = exchange.Next(0);
     ASSERT_TRUE(page.ok());
     if (!page->has_value()) break;
     ++pages;
@@ -193,19 +194,138 @@ TEST(ExchangeBufferTest, MultipleProducersDrainToConsumer) {
   for (auto& t : producers) t.join();
 }
 
-TEST(ExchangeBufferTest, FailurePropagatesToConsumer) {
-  ExchangeBuffer buffer;
-  buffer.SetProducerCount(1);
-  std::thread producer([&buffer] {
-    buffer.Push(Page({MakeBigintVector({1})}));
-    buffer.Fail(Status::IoError("split read failed"));
-    buffer.ProducerDone();
+TEST(PartitionedExchangeTest, FailurePropagatesToConsumer) {
+  PartitionedExchange exchange(1, 64 << 20);
+  exchange.SetProducerCount(1);
+  std::thread producer([&exchange] {
+    exchange.Push(0, Page({MakeBigintVector({1})}));
+    exchange.Fail(Status::IoError("split read failed"));
+    exchange.ProducerDone();
   });
   producer.join();
   // The error wins over buffered pages.
-  auto page = buffer.Next();
+  auto page = exchange.Next(0);
   EXPECT_FALSE(page.ok());
   EXPECT_EQ(page.status().code(), StatusCode::kIoError);
+}
+
+TEST(PartitionedExchangeTest, HashRoutingIsDisjointAndComplete) {
+  PartitionedExchange exchange(/*num_partitions=*/4, 64 << 20);
+  exchange.SetProducerCount(1);
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 1000; ++i) keys.push_back(i % 37);
+  exchange.PushPartitioned(Page({MakeBigintVector(keys)}), {0});
+  exchange.ProducerDone();
+  // Every row lands in exactly one partition and equal keys co-locate.
+  std::map<int64_t, int> key_partition;
+  int64_t total_rows = 0;
+  for (int p = 0; p < 4; ++p) {
+    while (true) {
+      auto page = exchange.Next(p);
+      ASSERT_TRUE(page.ok());
+      if (!page->has_value()) break;
+      total_rows += static_cast<int64_t>((*page)->num_rows());
+      for (size_t r = 0; r < (*page)->num_rows(); ++r) {
+        int64_t key = (*page)->column(0)->GetValue(r).int_value();
+        auto it = key_partition.find(key);
+        if (it == key_partition.end()) {
+          key_partition[key] = p;
+        } else {
+          EXPECT_EQ(it->second, p) << "key " << key << " split across partitions";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total_rows, 1000);
+  EXPECT_EQ(key_partition.size(), 37u);
+}
+
+// Satellite: a slow consumer over a tiny byte budget must block producers
+// without deadlock or page loss, and the buffered high-water mark must stay
+// within capacity plus one page.
+TEST(PartitionedExchangeTest, BackpressureBoundsBufferWithoutPageLoss) {
+  MetricsRegistry metrics;
+  Page sample({MakeBigintVector(std::vector<int64_t>(256, 7))});
+  const int64_t page_bytes = sample.EstimateBytes();
+  // Budget fits ~2 pages; producers push 64.
+  PartitionedExchange exchange(1, page_bytes * 2, &metrics);
+  exchange.SetProducerCount(2);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&exchange, &sample] {
+      for (int i = 0; i < 32; ++i) exchange.Push(0, sample);
+      exchange.ProducerDone();
+    });
+  }
+  int64_t consumed = 0;
+  while (true) {
+    auto page = exchange.Next(0);
+    ASSERT_TRUE(page.ok());
+    if (!page->has_value()) break;
+    consumed += static_cast<int64_t>((*page)->num_rows());
+    std::this_thread::yield();  // slow consumer: producers must block
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(consumed, 64 * 256);  // no page lost
+  EXPECT_LE(exchange.peak_buffered_bytes(), page_bytes * 2 + page_bytes);
+  EXPECT_EQ(metrics.FindOrRegister("exchange.page.pushed")->Get(), 64);
+  EXPECT_EQ(metrics.FindOrRegister("exchange.page.dropped")->Get(), 0);
+  // With a 2-page budget and 64 pages through it, producers must have hit
+  // the backpressure wait at least once.
+  EXPECT_GT(metrics.FindOrRegister("exchange.producer.blocked")->Get(), 0);
+}
+
+// Satellite: Fail() while a producer is blocked on a full buffer must wake
+// the producer (its page is dropped) and surface the error to the consumer.
+TEST(PartitionedExchangeTest, FailWhileProducerBlocked) {
+  Page sample({MakeBigintVector(std::vector<int64_t>(64, 1))});
+  PartitionedExchange exchange(1, /*capacity_bytes=*/1);  // one page fills it
+  exchange.SetProducerCount(1);
+  std::atomic<bool> producer_exited{false};
+  std::thread producer([&] {
+    exchange.Push(0, sample);  // accepted: buffer was empty
+    exchange.Push(0, sample);  // blocks: over budget
+    exchange.Push(0, sample);  // dropped: failure already latched
+    exchange.ProducerDone();
+    producer_exited.store(true);
+  });
+  // Give the producer time to reach the blocking push, then fail.
+  while (exchange.pages_pushed() < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(producer_exited.load());
+  exchange.Fail(Status::Internal("task died"));
+  producer.join();  // no deadlock: Fail released the blocked producer
+  auto page = exchange.Next(0);
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kInternal);
+}
+
+// ConsumerDone drops queued pages, releases blocked producers, and flips
+// AllConsumersDone so producers can stop early (LIMIT-style cancellation).
+TEST(PartitionedExchangeTest, ConsumerDoneReleasesProducers) {
+  Page sample({MakeBigintVector(std::vector<int64_t>(64, 1))});
+  PartitionedExchange exchange(2, /*capacity_bytes=*/1);
+  exchange.SetProducerCount(1);
+  EXPECT_FALSE(exchange.AllConsumersDone());
+  std::thread producer([&] {
+    exchange.Push(0, sample);
+    exchange.Push(1, sample);  // blocks until a consumer closes
+    exchange.ProducerDone();
+  });
+  while (exchange.pages_pushed() < 1) std::this_thread::yield();
+  exchange.ConsumerDone(0);  // frees partition 0's bytes -> unblocks
+  producer.join();
+  EXPECT_FALSE(exchange.AllConsumersDone());
+  // Partition 1 still delivers its page; partition 0 is closed (EOF).
+  auto closed = exchange.Next(0);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_FALSE(closed->has_value());
+  auto open = exchange.Next(1);
+  ASSERT_TRUE(open.ok());
+  EXPECT_TRUE(open->has_value());
+  exchange.ConsumerDone(1);
+  EXPECT_TRUE(exchange.AllConsumersDone());
+  EXPECT_EQ(exchange.buffered_bytes(), 0);
 }
 
 TEST(WorkerTest, LifecycleAndGracefulShutdown) {

@@ -174,6 +174,57 @@ TEST(ObservabilityTest, ExplainAnalyzeAnnotatesEveryNodeAndReconciles) {
   EXPECT_NE(text.find("[tasks:"), std::string::npos) << text;
 }
 
+TEST(ObservabilityTest, ExplainAnalyzeShowsPartitionedExchanges) {
+  ObsCluster cluster("obs-exchange");
+  Session session;
+  auto analyzed =
+      cluster->Execute(std::string("EXPLAIN ANALYZE ") + kGroupBy, session);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string text = analyzed->Row(0)[0].ToString();
+
+  // The partial-aggregation leaf hash-partitions its output into the final
+  // aggregation's intermediate stage; the rendered plan shows the scheme,
+  // the partition count, and the exchanged bytes per stage.
+  EXPECT_NE(text.find("(intermediate)"), std::string::npos) << text;
+  EXPECT_NE(text.find("partitions, exchanged:"), std::string::npos) << text;
+  EXPECT_NE(text.find("hash("), std::string::npos) << text;
+
+  // The same numbers land in the structured per-stage stats.
+  bool saw_partitioned_stage = false;
+  for (const auto& stage : analyzed->stats.stages) {
+    if (stage.num_partitions > 1 && stage.exchanged_bytes > 0) {
+      saw_partitioned_stage = true;
+    }
+  }
+  EXPECT_TRUE(saw_partitioned_stage);
+
+  // Exchange counters ride along in the per-query metric snapshot, and the
+  // buffered high-water mark respects the (default) byte budget.
+  EXPECT_GT(analyzed->exec_metrics["exchange.page.pushed"], 0);
+  EXPECT_GT(analyzed->exec_metrics["exchange.byte.pushed"], 0);
+  EXPECT_GT(analyzed->exec_metrics["exchange.peak_buffered_bytes"], 0);
+  EXPECT_EQ(analyzed->exec_metrics["exchange.page.dropped"], 0);
+}
+
+TEST(ObservabilityTest, ExchangePeakStaysWithinSessionBudget) {
+  ObsCluster cluster("obs-budget");
+  Session session;
+  session.properties["exchange_buffer_bytes"] = "8192";
+  auto result = cluster->Execute(kGroupBy, session);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_rows, 10);
+  // Bounded buffering: the high-water mark can overshoot the budget by at
+  // most one page (a producer only learns the buffer is full after its
+  // reservation), never more.
+  int64_t peak = result->exec_metrics["exchange.peak_buffered_bytes"];
+  int64_t pages = result->exec_metrics["exchange.page.pushed"];
+  int64_t bytes = result->exec_metrics["exchange.byte.pushed"];
+  ASSERT_GT(pages, 0);
+  int64_t max_page = bytes;  // conservative upper bound for one page
+  EXPECT_GT(peak, 0);
+  EXPECT_LE(peak, 8192 + max_page);
+}
+
 TEST(ObservabilityTest, JournalOrdersLifecycleUnderSimulatedClock) {
   ObsCluster cluster("obs-journal");
   Session session;

@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
+#include "presto/cluster/cluster.h"
 #include "presto/common/compression.h"
 #include "presto/common/random.h"
+#include "presto/connectors/memory/memory_connector.h"
 #include "presto/expr/serialization.h"
 #include "presto/fs/memory_file_system.h"
 #include "presto/lakefile/reader.h"
@@ -115,6 +120,122 @@ TEST(ExpressionFuzzTest, CorruptSerializedExpressionsRejected) {
     ByteReader reader(corrupted.data(), corrupted.size());
     (void)DeserializeExpression(&reader);  // must not crash
   }
+}
+
+// Rows of a result, boxed and sorted: page arrival order varies across
+// partitions and runs, so comparisons must be order-insensitive.
+std::vector<std::string> SortedResultRows(const QueryResult& result) {
+  std::vector<std::string> rows;
+  for (const Page& page : result.pages) {
+    for (size_t r = 0; r < page.num_rows(); ++r) {
+      std::string row;
+      for (size_t c = 0; c < page.num_columns(); ++c) {
+        row += page.column(c)->GetValue(r).ToString() + "|";
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// Graceful worker shrink racing a running multi-stage query: every query
+// must keep producing correct results, and a drained worker must never
+// receive an intermediate-stage (or any other) task after it stops
+// accepting work.
+TEST(ClusterRobustnessTest, GracefulShrinkRacesMultiStageQuery) {
+  PrestoCluster cluster("shrink-race", 2, 2);
+  auto memory = std::make_shared<MemoryConnector>();
+  TypePtr facts_type =
+      Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  TypePtr dim_type = Type::Row({"key", "w"}, {Type::Bigint(), Type::Bigint()});
+  ASSERT_TRUE(memory->CreateTable("raw", "facts", facts_type).ok());
+  ASSERT_TRUE(memory->CreateTable("raw", "dim", dim_type).ok());
+  Random rng(83);
+  for (int p = 0; p < 8; ++p) {
+    std::vector<int64_t> k(500), v(500);
+    for (size_t i = 0; i < k.size(); ++i) {
+      k[i] = static_cast<int64_t>(rng.NextBelow(50));
+      v[i] = static_cast<int64_t>(rng.NextBelow(1000));
+    }
+    ASSERT_TRUE(memory
+                    ->AppendPage("raw", "facts",
+                                 Page({MakeBigintVector(std::move(k)),
+                                       MakeBigintVector(std::move(v))}))
+                    .ok());
+  }
+  {
+    std::vector<int64_t> key(50), w(50);
+    for (size_t i = 0; i < key.size(); ++i) {
+      key[i] = static_cast<int64_t>(i);
+      w[i] = static_cast<int64_t>(i * 10);
+    }
+    ASSERT_TRUE(memory
+                    ->AppendPage("raw", "dim",
+                                 Page({MakeBigintVector(std::move(key)),
+                                       MakeBigintVector(std::move(w))}))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("mem", memory).ok());
+
+  // Join + group-by: a leaf stage per scan, a partitioned join stage, and a
+  // final-aggregation stage — plenty of intermediate-stage tasks in flight.
+  const std::string sql =
+      "SELECT d.w, count(*), sum(f.v) FROM mem.raw.facts f "
+      "JOIN mem.raw.dim d ON f.k = d.key GROUP BY d.w";
+  Session session;
+  auto reference = cluster.Execute(sql, session);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::vector<std::string> expected = SortedResultRows(*reference);
+
+  std::string victim = cluster.ExpandWorker(2);
+  std::shared_ptr<Worker> victim_worker;
+  for (const auto& worker : cluster.coordinator().ActiveWorkers()) {
+    if (worker->id() == victim) victim_worker = worker;
+  }
+  ASSERT_NE(victim_worker, nullptr);
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        Session s;
+        auto result = cluster.Execute(sql, s);
+        if (!result.ok() || SortedResultRows(*result) != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Let queries land on the victim, then drain it mid-flight.
+  for (int i = 0; i < 2 && !stop.load(); ++i) {
+    Session s;
+    (void)cluster.Execute(sql, s);
+  }
+  ASSERT_TRUE(cluster.ShrinkWorkerAndWait(victim).ok());
+
+  // The drained worker is out of the scheduling set, fully idle, and must
+  // stay that way: snapshot its completed-task count, run more multi-stage
+  // queries, and verify no new task (leaf or intermediate) ever reached it.
+  for (const auto& worker : cluster.coordinator().ActiveWorkers()) {
+    EXPECT_NE(worker->id(), victim);
+  }
+  EXPECT_EQ(victim_worker->state(), WorkerState::kShutDown);
+  EXPECT_EQ(victim_worker->active_tasks(), 0);
+  const int64_t tasks_after_drain = victim_worker->tasks_completed();
+  for (int i = 0; i < 3; ++i) {
+    Session s;
+    auto result = cluster.Execute(sql, s);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(SortedResultRows(*result), expected);
+  }
+  EXPECT_EQ(victim_worker->tasks_completed(), tasks_after_drain)
+      << "drained worker received tasks after shutdown";
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "queries racing the shrink produced wrong results";
 }
 
 TEST(SqlFuzzTest, MangledQueriesNeverCrashTheParser) {

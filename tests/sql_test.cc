@@ -174,15 +174,19 @@ TEST_F(PlanShapeTest, CountStarKeepsOneColumn) {
 
 TEST_F(PlanShapeTest, AggregationSplitsAcrossFragments) {
   std::string plan = Explain("SELECT a, sum(b) FROM t GROUP BY a");
-  // Partial in the leaf fragment, final above the remote source.
-  size_t final_pos = plan.find("Aggregate(FINAL)");
-  size_t remote_pos = plan.find("RemoteSource");
+  // Partial in the leaf fragment (hash-partitioned on the group-by key),
+  // final in its own intermediate stage above a partitioned remote source.
   size_t partial_pos = plan.find("Aggregate(PARTIAL)");
+  size_t final_pos = plan.find("Aggregate(FINAL)");
+  ASSERT_NE(partial_pos, std::string::npos) << plan;
   ASSERT_NE(final_pos, std::string::npos) << plan;
-  ASSERT_NE(remote_pos, std::string::npos);
-  ASSERT_NE(partial_pos, std::string::npos);
-  EXPECT_LT(final_pos, remote_pos);
-  EXPECT_LT(remote_pos, partial_pos);
+  // The final aggregation reads from a partitioned remote source below it.
+  size_t remote_below_final = plan.find("RemoteSource", final_pos);
+  ASSERT_NE(remote_below_final, std::string::npos) << plan;
+  EXPECT_NE(plan.find("partitioned]", remote_below_final), std::string::npos)
+      << plan;
+  // The partial leaf hash-partitions its output on the group-by key.
+  EXPECT_NE(plan.find("[output: hash("), std::string::npos) << plan;
 }
 
 TEST_F(PlanShapeTest, SortLimitFusesToDistributedTopN) {
