@@ -250,6 +250,34 @@ int main(int argc, char** argv) {
         s.inline_millis / s.staged_millis);
   }
 
+  // -- Fault-tolerance overhead: recovery armed, fault rate zero -------------
+  // Arming retries wraps every leaf task in the retry/backoff/deadline
+  // machinery (attempt bookkeeping, buffered leaf output, heartbeat sweeps,
+  // deadline checks at batch boundaries). With no faults injected the whole
+  // apparatus must stay within a 2% budget of the bare run — fault tolerance
+  // that taxes the happy path gets turned off in production.
+  std::printf("\n=== Fault-tolerance machinery overhead (fault rate 0) ===\n\n");
+  QueryResult armed_result, bare_result;
+  double armed_millis = best_of(queries[0].sql,
+                                {{"query_max_task_retries", "3"},
+                                 {"query_timeout_millis", "600000"}},
+                                5, &armed_result);
+  double bare_millis = best_of(queries[0].sql, {}, 5, &bare_result);
+  double retry_overhead_pct = (armed_millis - bare_millis) / bare_millis * 100.0;
+  std::printf(
+      "%-28s armed %8.1f ms  bare %8.1f ms  overhead %+.2f%% (budget 2%%)\n",
+      queries[0].name, armed_millis, bare_millis, retry_overhead_pct);
+  if (armed_result.total_rows != bare_result.total_rows) {
+    std::fprintf(stderr, "fault-tolerance row mismatch: %lld vs %lld\n",
+                 static_cast<long long>(armed_result.total_rows),
+                 static_cast<long long>(bare_result.total_rows));
+    return 1;
+  }
+  if (armed_result.exec_metrics["task.retry.count"] != 0) {
+    std::fprintf(stderr, "spurious retry at fault rate 0\n");
+    return 1;
+  }
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -294,7 +322,12 @@ int main(int argc, char** argv) {
         static_cast<long long>(s.exchange_pages),
         i + 1 < shuffles.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f,
+               "  ],\n  \"fault_tolerance\": {\"query\": \"%s\", "
+               "\"recovery_armed_millis\": %.2f, \"bare_millis\": %.2f, "
+               "\"overhead_pct\": %.2f, \"budget_pct\": 2.0}\n}\n",
+               queries[0].name, armed_millis, bare_millis,
+               retry_overhead_pct);
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

@@ -19,12 +19,25 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   (cd build && ctest --output-on-failure)
 fi
 
+# Chaos stage: an amplified fault-injection sweep on top of the normal suite
+# (which already runs each chaos test once at default settings). Seeds and
+# iteration counts are env knobs so CI can rotate fault schedules:
+#   PRESTO_CHAOS_SEED   base seed for fault schedules (default 20260806)
+#   PRESTO_CHAOS_ITERS  fault-schedule iterations     (default 8 here)
+CHAOS_FILTER='ChaosQueryTest.*:QueryTimeoutTest.*:ExchangeFaultFuzzTest.*'
+CHAOS_SEED="${PRESTO_CHAOS_SEED:-20260806}"
+CHAOS_ITERS="${PRESTO_CHAOS_ITERS:-8}"
+
 if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan build =="
   cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS"
   echo "== tsan tests =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
+  echo "== tsan chaos (seed=$CHAOS_SEED iters=$CHAOS_ITERS) =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      PRESTO_CHAOS_SEED="$CHAOS_SEED" PRESTO_CHAOS_ITERS="$CHAOS_ITERS" \
+      ./tests/presto_tests --gtest_filter="$CHAOS_FILTER")
 fi
 
 if [[ "$MODE" != "--tsan-only" ]]; then
@@ -33,6 +46,10 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   cmake --build build-asan -j "$JOBS"
   echo "== asan tests =="
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
+  echo "== asan chaos (seed=$CHAOS_SEED iters=$CHAOS_ITERS) =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      PRESTO_CHAOS_SEED="$CHAOS_SEED" PRESTO_CHAOS_ITERS="$CHAOS_ITERS" \
+      ./tests/presto_tests --gtest_filter="$CHAOS_FILTER")
 fi
 
 echo "OK: requested suites passed"

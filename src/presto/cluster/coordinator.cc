@@ -1,8 +1,13 @@
 #include "presto/cluster/coordinator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
+#include "presto/common/fault_injection.h"
+#include "presto/common/random.h"
 #include "presto/exec/operators.h"
 #include "presto/planner/optimizer.h"
 #include "presto/sql/analyzer.h"
@@ -66,8 +71,16 @@ Status Coordinator::ShrinkWorker(const std::string& worker_id,
   if (target == nullptr) {
     return Status::NotFound("no such worker: " + worker_id);
   }
-  target->RequestGracefulShutdown(grace_period_nanos);
-  return Status::OK();
+  // Propagate the worker's own state-machine verdict: a second shrink of the
+  // same worker is kAlreadyExists, shrinking a crashed worker kUnavailable.
+  // Returning OK here (as an earlier version did) made double-shrink
+  // indistinguishable from success and hid races in elastic-scaling drivers.
+  return target->TryRequestGracefulShutdown(grace_period_nanos);
+}
+
+std::vector<std::string> Coordinator::BlacklistedWorkers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(blacklisted_.begin(), blacklisted_.end());
 }
 
 std::vector<std::shared_ptr<Worker>> Coordinator::ActiveWorkers() const {
@@ -96,10 +109,11 @@ struct TaskLatch {
   int remaining = 0;
 
   void Done() {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      --remaining;
-    }
+    // Notify under the lock: the waiter destroys this latch as soon as it
+    // observes remaining == 0, so an unlocked notify_all() would race the
+    // destructor.
+    std::lock_guard<std::mutex> lock(mu);
+    --remaining;
     cv.notify_all();
   }
   void Wait() {
@@ -311,6 +325,59 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
                                              const Session& session,
                                              Stopwatch watch,
                                              bool force_stats) {
+  // Per-query deadline (session query_timeout_millis), measured on the real
+  // monotonic clock rather than the injected Clock: a wedged query under a
+  // SimulatedClock nobody advances is exactly what the timeout must break.
+  int64_t deadline_steady_nanos = 0;
+  {
+    std::string prop = session.Property("query_timeout_millis", "");
+    if (!prop.empty()) {
+      int64_t millis = std::strtoll(prop.c_str(), nullptr, 10);
+      if (millis > 0) {
+        deadline_steady_nanos = SteadyNowNanos() + millis * 1'000'000;
+      }
+    }
+  }
+  bool recovery_enabled =
+      std::strtoll(session.Property("query_max_task_retries", "0").c_str(),
+                   nullptr, 10) > 0;
+  // One registry across attempts: counters (task retries, restart, partial
+  // work of a failed first run) accumulate so the terminal journal event and
+  // the result's exec_metrics reflect the whole recovery story.
+  MetricsRegistry query_metrics;
+  auto attempt = ExecutePlanOnce(query_id, fragmented, session, watch,
+                                 force_stats, deadline_steady_nanos,
+                                 &query_metrics);
+  bool deadline_expired = deadline_steady_nanos > 0 &&
+                          SteadyNowNanos() >= deadline_steady_nanos;
+  if (!attempt.ok() && recovery_enabled && !deadline_expired &&
+      IsRetryableStatus(attempt.status())) {
+    // Leaf-task retry handles transient leaf failures surgically; transient
+    // errors that still escape (intermediate stages fail fast by latching
+    // their exchange — their upstream partitions are already partially
+    // consumed, so re-running just that task would drop rows) are recovered
+    // by restarting the whole query once.
+    metrics_.Increment("query.restarted");
+    query_metrics.Increment("query.restarted");
+    journal_.Record(query_id, QueryEventKind::kRestarted,
+                    attempt.status().ToString());
+    attempt = ExecutePlanOnce(query_id, fragmented, session, watch, force_stats,
+                              deadline_steady_nanos, &query_metrics);
+  }
+  if (!attempt.ok()) {
+    if (attempt.status().message().find("query deadline exceeded") !=
+        std::string::npos) {
+      metrics_.Increment("query.timeout");
+    }
+    return RecordFailure(query_id, attempt.status(), &query_metrics);
+  }
+  return attempt;
+}
+
+Result<QueryResult> Coordinator::ExecutePlanOnce(
+    int64_t query_id, const FragmentedPlan& fragmented, const Session& session,
+    Stopwatch watch, bool force_stats, int64_t deadline_steady_nanos,
+    MetricsRegistry* query_metrics) {
   QueryResult result;
   result.query_id = query_id;
   result.num_fragments = static_cast<int>(fragmented.fragments.size());
@@ -342,16 +409,17 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     }
   }
 
-  // One registry per query, shared by every task (thread-safe); snapshotted
-  // into the result after the root fragment drains.
-  auto query_metrics = std::make_shared<MetricsRegistry>();
+  // The per-query registry (owned by the ExecutePlan wrapper, shared across
+  // restart attempts) is shared by every task; snapshotted into the result
+  // after the root fragment drains.
   // Per-operator stats tree, merged across tasks keyed by plan node id.
   bool collect_stats =
       force_stats || session.Property("query_stats", "true") != "false";
   auto collector = std::make_shared<QueryStatsCollector>();
   ExecutionLimits limits;
-  limits.metrics = query_metrics.get();
+  limits.metrics = query_metrics;
   limits.collect_stats = collect_stats;
+  limits.deadline_steady_nanos = deadline_steady_nanos;
   {
     std::string max_build = session.Property("max_join_build_rows", "");
     if (!max_build.empty()) {
@@ -360,6 +428,17 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     limits.vectorized_kernels =
         session.Property("vectorized_kernels", "true") != "false";
   }
+
+  // Leaf-task retry knobs. Retries buffer leaf output until the attempt
+  // succeeds (so a half-run attempt never leaks pages into its exchange),
+  // which is why the retry path is opt-in per session.
+  int max_task_retries = static_cast<int>(std::strtoll(
+      session.Property("query_max_task_retries", "0").c_str(), nullptr, 10));
+  if (max_task_retries < 0) max_task_retries = 0;
+  int64_t retry_backoff_millis = std::strtoll(
+      session.Property("task_retry_backoff_millis", "2").c_str(), nullptr, 10);
+  if (retry_backoff_millis < 0) retry_backoff_millis = 0;
+  const bool buffer_leaf_output = max_task_retries > 0;
 
   struct FragmentState {
     const PlanFragment* fragment = nullptr;
@@ -383,19 +462,17 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     if (fragment.leaf) {
       TableScanNode* scan = FindScan(fragment.root);
       if (scan == nullptr) {
-        return RecordFailure(
-            query_id, Status::Internal("leaf fragment without a table scan"),
-            nullptr);
+        return Status::Internal("leaf fragment without a table scan");
       }
       auto connector = catalogs_->GetConnector(scan->catalog());
       if (!connector.ok()) {
-        return RecordFailure(query_id, connector.status(), nullptr);
+        return connector.status();
       }
       auto splits = (*connector)->CreateSplits(scan->table_schema_name(),
                                                scan->table_name(),
                                                *scan->accepted(), parallelism);
       if (!splits.ok()) {
-        return RecordFailure(query_id, splits.status(), nullptr);
+        return splits.status();
       }
       result.num_splits += static_cast<int>(splits->size());
       size_t num_tasks = std::min<size_t>(
@@ -419,7 +496,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
 
     auto route_channels = ResolveRouteChannels(fragment);
     if (!route_channels.ok()) {
-      return RecordFailure(query_id, route_channels.status(), nullptr);
+      return route_channels.status();
     }
     state.route_channels = std::move(*route_channels);
     int exchange_partitions =
@@ -427,8 +504,9 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
             ? hash_partitions
             : 1;
     state.exchange = std::make_unique<PartitionedExchange>(
-        exchange_partitions, exchange_capacity, query_metrics.get());
+        exchange_partitions, exchange_capacity, query_metrics);
     state.exchange->SetProducerCount(state.num_tasks);
+    state.exchange->SetDeadlineNanos(deadline_steady_nanos);
     exchange_refs[fragment.id] = state.exchange.get();
     stage_tracker->remaining[fragment.id] = state.num_tasks;
   }
@@ -480,10 +558,19 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   // Task body: build the fragment's operator tree and pump pages into its
   // exchange (hash-routed or gathered per the fragment's partitioning
   // scheme), consulting the fragment result cache first for leaf stages.
+  //
+  // Returns OK only after fully finalizing the producer slot (output pushed,
+  // ProducerDone, inputs closed, stage accounting done). On failure it
+  // returns the error WITHOUT touching the exchange: the caller either
+  // retries the attempt (leaf tasks, when the error is transient) or
+  // finalizes the slot as failed via finalize_failed. With buffer_output the
+  // attempt's pages are held locally and published only on success, so a
+  // half-run retryable attempt never leaks rows downstream.
   auto run_task = [this, &exchange_refs, use_fragment_cache, limits,
                    collect_stats, collector, stage_tracker, query_id](
-                      FragmentState* state, std::vector<SplitPtr> splits,
-                      int partition) {
+                      FragmentState* state,
+                      const std::vector<SplitPtr>& splits_in, int partition,
+                      Worker* host, bool buffer_output) -> Status {
     Stopwatch task_watch;
     const PlanFragment* fragment = state->fragment;
     PartitionedExchange* out = state->exchange.get();
@@ -494,9 +581,9 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
         out->PushPartitioned(page, state->route_channels);
       }
     };
-    // Closing consumed partitions at exit (every path) releases upstream
-    // producers blocked on bounded exchanges and cascades early-exit
-    // cancellation down the plan.
+    // Closing consumed partitions at exit (every completed path) releases
+    // upstream producers blocked on bounded exchanges and cascades
+    // early-exit cancellation down the plan.
     auto close_inputs = [&] {
       for (const RemoteInput& input : state->inputs) {
         auto it = exchange_refs.find(input.fragment_id);
@@ -512,11 +599,23 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
                         "fragment " + std::to_string(fragment->id));
       }
     };
+    // The host worker dying mid-task is the crash signal: the task aborts at
+    // its next page boundary with kUnavailable, exactly like a remote task
+    // whose worker process disappeared. The worker.kill fault point lets the
+    // chaos tests script that death deterministically.
+    auto check_host = [&]() -> Status {
+      if (host == nullptr) return Status::OK();
+      if (FaultInjector::Global().ShouldTrigger("worker.kill")) host->Kill();
+      if (host->state() == WorkerState::kDead) {
+        return Status::Unavailable("worker " + host->id() + " died mid-task");
+      }
+      return Status::OK();
+    };
     std::string cache_key;
     bool cacheable = use_fragment_cache && fragment->leaf;
     if (cacheable) {
       cache_key = fragment->root->ToString();
-      for (const SplitPtr& split : splits) {
+      for (const SplitPtr& split : splits_in) {
         cache_key += "\n";
         cache_key += split->ToString();
       }
@@ -533,21 +632,19 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
                              task_watch.ElapsedNanos());
         }
         finish_stage();
-        return;
+        return Status::OK();
       }
     }
+    RETURN_IF_ERROR(FaultInjector::Global().Hit("worker.task.body"));
+    // The builder copies splits into the scan operator, so each retry
+    // attempt rebuilds from the task's own (retained) split list.
+    std::vector<SplitPtr> splits = splits_in;
     OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(),
                             &exchange_refs, &splits, limits, partition);
     auto op = builder.Build(fragment->root);
-    if (!op.ok()) {
-      out->Fail(op.status());
-      out->ProducerDone();
-      close_inputs();
-      finish_stage();
-      return;
-    }
-    std::vector<Page> produced;
-    bool failed = false;
+    if (!op.ok()) return op.status();
+    std::vector<Page> produced;   // for the fragment result cache
+    std::vector<Page> buffered;   // held-back output when retries are armed
     bool truncated = false;
     while (true) {
       if (out->AllConsumersDone()) {
@@ -555,17 +652,20 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
         truncated = true;
         break;
       }
+      RETURN_IF_ERROR(check_host());
       auto page = (*op)->Next();
-      if (!page.ok()) {
-        out->Fail(page.status());
-        failed = true;
-        break;
-      }
+      if (!page.ok()) return page.status();
       if (!page->has_value()) break;
       if (cacheable) produced.push_back(**page);
-      push_output(std::move(**page));
+      if (buffer_output) {
+        buffered.push_back(std::move(**page));
+      } else {
+        push_output(std::move(**page));
+      }
     }
-    if (cacheable && !failed && !truncated) {
+    // Success: publish and finalize the producer slot.
+    for (Page& page : buffered) push_output(std::move(page));
+    if (cacheable && !truncated) {
       fragment_cache_.Put(cache_key,
                           std::make_shared<const std::vector<Page>>(
                               std::move(produced)));
@@ -579,6 +679,30 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
                          task_watch.ElapsedNanos());
     }
     finish_stage();
+    return Status::OK();
+  };
+
+  // Terminal failure of a task slot: latch the error into the fragment's
+  // exchange (consumers see it instead of hanging), release the producer
+  // slot, and keep the input/stage accounting consistent with success.
+  auto finalize_failed = [this, &exchange_refs, stage_tracker, query_id](
+                             FragmentState* state, int partition,
+                             const Status& st) {
+    PartitionedExchange* out = state->exchange.get();
+    out->Fail(st);
+    out->ProducerDone();
+    for (const RemoteInput& input : state->inputs) {
+      auto it = exchange_refs.find(input.fragment_id);
+      if (it == exchange_refs.end()) continue;
+      it->second->ConsumerDone(
+          input.hash_partitioned ? partition % it->second->num_partitions()
+                                 : 0);
+    }
+    if (stage_tracker->TaskDone(state->fragment->id)) {
+      journal_.Record(query_id, QueryEventKind::kStageFinished,
+                      "fragment " + std::to_string(state->fragment->id) +
+                          " (failed: " + st.ToString() + ")");
+    }
   };
 
   journal_.Record(query_id, QueryEventKind::kScheduled,
@@ -589,31 +713,170 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   // Tasks refused by every worker (embedded mode, or every worker draining)
   // run on query-owned threads: inline execution would deadlock, because a
   // producer can block on a bounded exchange before its consumer ever runs.
+  // Retried leaf tasks resubmit concurrently from worker threads, so the
+  // fallback-thread list is mutex-protected.
   std::vector<std::thread> local_threads;
-  size_t next_worker = 0;
-  auto dispatch = [&](TaskSpec& task, bool dedicated) {
-    auto body = [run_task, latch, state = task.state,
-                 splits = std::move(task.splits),
-                 partition = task.partition]() mutable {
-      run_task(state, std::move(splits), partition);
-      latch->Done();
-    };
-    for (size_t attempt = 0; attempt < workers.size(); ++attempt) {
-      auto& worker = workers[next_worker];
-      next_worker = (next_worker + 1) % workers.size();
-      bool submitted = dedicated ? worker->SubmitDedicatedTask(body)
-                                 : worker->SubmitTask(body);
-      if (submitted) return;
-    }
+  std::mutex local_mu;
+  auto add_local = [&local_threads, &local_mu](std::function<void()> body) {
+    std::lock_guard<std::mutex> lock(local_mu);
     local_threads.emplace_back(std::move(body));
   };
-  // Intermediate stages first (always-running consumers), then leaves.
-  for (TaskSpec& task : stage_tasks) dispatch(task, /*dedicated=*/true);
-  for (TaskSpec& task : leaf_tasks) dispatch(task, /*dedicated=*/false);
+  auto next_worker = std::make_shared<std::atomic<size_t>>(0);
+
+  // Liveness sweep, run before each retry dispatch: heartbeat every member;
+  // a worker that stopped answering is blacklisted (journaled once per
+  // coordinator) and — no longer ACTIVE — drops out of scheduling.
+  auto blacklist_dead_workers = [this, query_id, query_metrics] {
+    std::vector<std::shared_ptr<Worker>> members;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      members = workers_;
+    }
+    for (const auto& member : members) {
+      if (member->Heartbeat()) continue;
+      bool fresh = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        fresh = blacklisted_.insert(member->id()).second;
+      }
+      if (fresh) {
+        metrics_.Increment("worker.blacklisted");
+        query_metrics->Increment("worker.blacklisted");
+        journal_.Record(query_id, QueryEventKind::kWorkerBlacklisted,
+                        member->id());
+      }
+    }
+  };
+
+  // Intermediate stages run on dedicated worker threads (always-running
+  // consumers that keep the bounded exchanges draining) and fail fast: their
+  // upstream partitions are already partially consumed, so the recovery unit
+  // for them is the whole query (ExecutePlan's restart), not the task.
+  auto stage_body = [&run_task, &finalize_failed, latch](
+                        FragmentState* state, int partition, Worker* host) {
+    static const std::vector<SplitPtr> kNoSplits;
+    Status st = run_task(state, kNoSplits, partition, host,
+                         /*buffer_output=*/false);
+    if (!st.ok()) finalize_failed(state, partition, st);
+    latch->Done();
+  };
+  for (TaskSpec& task : stage_tasks) {
+    FragmentState* state = task.state;
+    int partition = task.partition;
+    bool dispatched = false;
+    for (size_t i = 0; i < workers.size() && !dispatched; ++i) {
+      auto& worker = workers[next_worker->fetch_add(1) % workers.size()];
+      Worker* host = worker.get();
+      dispatched = worker->SubmitDedicatedTask(
+          [&stage_body, state, partition, host] {
+            stage_body(state, partition, host);
+          });
+    }
+    if (!dispatched) {
+      add_local([&stage_body, state, partition] {
+        stage_body(state, partition, nullptr);
+      });
+    }
+  }
+
+  // Leaf tasks are the retry unit: an attempt that fails with a retryable
+  // status (kUnavailable/kIoError — S3 throttle, dead worker, injected
+  // fault) re-dispatches onto a fresh healthy-worker snapshot after a capped
+  // exponential backoff with jitter. Output buffering above guarantees the
+  // exchange saw nothing from the failed attempt. The two recursive bodies
+  // live behind shared_ptr<std::function> so a resubmitted attempt can name
+  // them from whichever worker thread it lands on; every frame reference
+  // ([&]) stays valid because the latch holds this frame alive until the
+  // final attempt of every task has finished.
+  struct LeafTask {
+    FragmentState* state = nullptr;
+    std::vector<SplitPtr> splits;
+    int partition = 0;
+    int attempt = 0;
+  };
+  auto backoff_rng = std::make_shared<Random>(static_cast<uint64_t>(query_id));
+  auto backoff_mu = std::make_shared<std::mutex>();
+  auto run_leaf_attempt = std::make_shared<
+      std::function<void(std::shared_ptr<LeafTask>, Worker*)>>();
+  auto submit_leaf =
+      std::make_shared<std::function<void(std::shared_ptr<LeafTask>)>>();
+  // run_leaf_attempt reaches submit_leaf through the frame ([&]), not an
+  // owning copy: each owning the other's shared_ptr would be a reference
+  // cycle that leaks both function objects.
+  *run_leaf_attempt = [&, backoff_rng, backoff_mu](
+                          std::shared_ptr<LeafTask> task, Worker* host) {
+    Status st = run_task(task->state, task->splits, task->partition, host,
+                         buffer_leaf_output);
+    if (st.ok()) {
+      latch->Done();
+      return;
+    }
+    bool deadline_expired = deadline_steady_nanos > 0 &&
+                            SteadyNowNanos() >= deadline_steady_nanos;
+    if (IsRetryableStatus(st) && task->attempt < max_task_retries &&
+        !deadline_expired) {
+      ++task->attempt;
+      metrics_.Increment("task.retry.count");
+      query_metrics->Increment("task.retry.count");
+      journal_.Record(
+          query_id, QueryEventKind::kTaskRetried,
+          "fragment " + std::to_string(task->state->fragment->id) +
+              " partition " + std::to_string(task->partition) + " attempt " +
+              std::to_string(task->attempt) + ": " + st.ToString());
+      blacklist_dead_workers();
+      // Capped exponential backoff with jitter: uniform in [ceiling/2,
+      // ceiling] where ceiling doubles per attempt up to 64x the base.
+      int64_t ceiling_millis =
+          retry_backoff_millis << std::min(task->attempt - 1, 6);
+      int64_t delay_millis = 0;
+      if (ceiling_millis > 0) {
+        std::lock_guard<std::mutex> lock(*backoff_mu);
+        delay_millis = backoff_rng->NextInRange((ceiling_millis + 1) / 2,
+                                                ceiling_millis);
+      }
+      if (delay_millis > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
+      }
+      (*submit_leaf)(task);
+      return;
+    }
+    finalize_failed(task->state, task->partition, st);
+    latch->Done();
+  };
+  *submit_leaf = [this, &add_local, run_leaf_attempt, next_worker](
+                     std::shared_ptr<LeafTask> task) {
+    std::vector<std::shared_ptr<Worker>> healthy = ActiveWorkers();
+    for (size_t i = 0; i < healthy.size(); ++i) {
+      auto& worker = healthy[next_worker->fetch_add(1) % healthy.size()];
+      Worker* host = worker.get();
+      auto body = [run_leaf_attempt, task, host] {
+        (*run_leaf_attempt)(task, host);
+      };
+      // First attempts ride pool slots in consumption order (see
+      // LeafConsumptionOrder). A retry re-enters the queue out of order: in
+      // a pool slot it could sit behind probe-side producers blocked on a
+      // bounded exchange whose consumer is still waiting for this very
+      // build-side task — a deadlock — so retries get a dedicated thread.
+      bool submitted = task->attempt == 0 ? worker->SubmitTask(body)
+                                          : worker->SubmitDedicatedTask(body);
+      if (submitted) return;
+    }
+    // No healthy worker accepted the task: run it on a query-owned thread.
+    add_local(
+        [run_leaf_attempt, task] { (*run_leaf_attempt)(task, nullptr); });
+  };
+  for (TaskSpec& task : leaf_tasks) {
+    auto leaf = std::make_shared<LeafTask>();
+    leaf->state = task.state;
+    leaf->splits = std::move(task.splits);
+    leaf->partition = task.partition;
+    (*submit_leaf)(leaf);
+  }
 
   // Teardown helpers: close every exchange partition (turning any further
   // production into drops and waking blocked producers), then wait for all
-  // tasks to fully exit before the exchanges go out of scope.
+  // tasks — including in-flight retries — to fully exit before the
+  // exchanges go out of scope.
   auto shutdown_exchanges = [&] {
     for (auto& [id, state] : states) {
       if (state.exchange != nullptr) state.exchange->CloseAllPartitions();
@@ -621,6 +884,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   };
   auto finish_tasks = [&] {
     latch->Wait();
+    std::lock_guard<std::mutex> lock(local_mu);
     for (std::thread& thread : local_threads) thread.join();
     local_threads.clear();
   };
@@ -634,14 +898,14 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   if (!root_op.ok()) {
     shutdown_exchanges();
     finish_tasks();
-    return RecordFailure(query_id, root_op.status(), query_metrics.get());
+    return root_op.status();
   }
   while (true) {
     auto page = (*root_op)->Next();
     if (!page.ok()) {
       shutdown_exchanges();
       finish_tasks();
-      return RecordFailure(query_id, page.status(), query_metrics.get());
+      return page.status();
     }
     if (!page->has_value()) break;
     result.total_rows += static_cast<int64_t>((*page)->num_rows());

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,10 +76,14 @@ class Coordinator {
   // -- worker membership: elastic expansion / graceful shrink ----------------
   void AddWorker(std::shared_ptr<Worker> worker);
   /// Sends the shutdown command; the worker drains per the grace-period
-  /// protocol and is dropped from scheduling immediately.
+  /// protocol and is dropped from scheduling immediately. kNotFound for an
+  /// unknown worker id, kAlreadyExists when the worker is already draining or
+  /// shut down, kUnavailable when it died.
   Status ShrinkWorker(const std::string& worker_id, int64_t grace_period_nanos);
   std::vector<std::shared_ptr<Worker>> ActiveWorkers() const;
   size_t num_workers() const;
+  /// Worker ids the liveness check found dead and removed from scheduling.
+  std::vector<std::string> BlacklistedWorkers() const;
 
   // -- queries -------------------------------------------------------------------
   /// Executes one statement. Plain queries return their result pages;
@@ -112,11 +117,28 @@ class Coordinator {
   Result<FragmentedPlan> PlanSql(const std::string& sql, const Session& session);
   Result<FragmentedPlan> PlanQuery(const sql::Query& query,
                                    const Session& session);
-  /// Schedules and runs an already-fragmented plan; records scheduled /
-  /// stage-finished / completed / failed / slow-query journal events.
+  /// Fault-tolerant entry point around ExecutePlanOnce: arms the query
+  /// deadline (session query_timeout_millis), restarts the whole query once
+  /// when a transient (kUnavailable/kIoError) error escapes leaf-task retry
+  /// — intermediate-stage failures latch their exchange and fail fast, so
+  /// the restart is the recovery path for them — and records the terminal
+  /// failed/timeout events. Restart is armed only when the session enables
+  /// recovery (query_max_task_retries > 0).
   Result<QueryResult> ExecutePlan(int64_t query_id, const FragmentedPlan& plan,
                                   const Session& session, Stopwatch watch,
                                   bool force_stats);
+  /// Schedules and runs an already-fragmented plan; records scheduled /
+  /// stage-finished / completed / slow-query journal events. Leaf tasks that
+  /// fail with a retryable status are re-dispatched to healthy workers (up to
+  /// query_max_task_retries times, capped exponential backoff with jitter),
+  /// blacklisting workers that stopped answering heartbeats. Does NOT record
+  /// kFailed — the ExecutePlan wrapper owns terminal failure accounting.
+  Result<QueryResult> ExecutePlanOnce(int64_t query_id,
+                                      const FragmentedPlan& plan,
+                                      const Session& session, Stopwatch watch,
+                                      bool force_stats,
+                                      int64_t deadline_steady_nanos,
+                                      MetricsRegistry* query_metrics);
   /// Bumps failure counters and journals a kFailed event carrying a snapshot
   /// of whatever per-query counters accumulated before the error, then
   /// passes the status through.
@@ -133,6 +155,7 @@ class Coordinator {
 
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<Worker>> workers_;
+  std::set<std::string> blacklisted_;  // dead workers, by liveness check
   std::atomic<int64_t> queries_completed_{0};
   std::atomic<int64_t> queries_failed_{0};
 };

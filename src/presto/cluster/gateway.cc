@@ -1,5 +1,9 @@
 #include "presto/cluster/gateway.h"
 
+#include <algorithm>
+
+#include "presto/common/fault_injection.h"
+
 namespace presto {
 
 namespace {
@@ -7,7 +11,9 @@ constexpr char kRoutingSchema[] = "gateway";
 constexpr char kRoutingTable[] = "routing";
 }  // namespace
 
-PrestoGateway::PrestoGateway(mysqlite::MySqlLite* routing_db) : db_(routing_db) {
+PrestoGateway::PrestoGateway(mysqlite::MySqlLite* routing_db,
+                             int unhealthy_threshold)
+    : db_(routing_db), unhealthy_threshold_(std::max(1, unhealthy_threshold)) {
   // The routing table may already exist (shared MySQL instance).
   (void)db_->CreateTable(
       kRoutingSchema, kRoutingTable,
@@ -21,8 +27,59 @@ Status PrestoGateway::RegisterCluster(const std::string& name,
   if (clusters_.count(name) > 0) {
     return Status::AlreadyExists("cluster already registered: " + name);
   }
-  clusters_[name] = cluster;
+  clusters_[name].cluster = cluster;
   return Status::OK();
+}
+
+void PrestoGateway::ReportClusterFailure(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clusters_.find(name);
+  if (it == clusters_.end()) return;
+  ClusterEntry& entry = it->second;
+  ++entry.consecutive_failures;
+  if (entry.healthy && entry.consecutive_failures >= unhealthy_threshold_) {
+    entry.healthy = false;
+    metrics_.Increment("gateway.cluster.unhealthy");
+  }
+}
+
+void PrestoGateway::ReportClusterSuccess(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clusters_.find(name);
+  if (it == clusters_.end()) return;
+  ClusterEntry& entry = it->second;
+  entry.consecutive_failures = 0;
+  if (!entry.healthy) {
+    entry.healthy = true;
+    metrics_.Increment("gateway.cluster.recovered");
+  }
+}
+
+bool PrestoGateway::IsClusterHealthy(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clusters_.find(name);
+  return it != clusters_.end() && it->second.healthy;
+}
+
+Result<std::pair<std::string, PrestoCluster*>> PrestoGateway::PickHealthyLocked(
+    const std::string& target) {
+  auto it = clusters_.find(target);
+  if (it == clusters_.end()) {
+    return Status::NotFound("route points at unregistered cluster: " + target);
+  }
+  if (it->second.healthy) {
+    return std::make_pair(target, it->second.cluster);
+  }
+  // Failover: first healthy cluster in name order, so repeated failovers
+  // land on the same stand-in instead of spraying traffic.
+  for (auto& [name, entry] : clusters_) {
+    if (entry.healthy) {
+      metrics_.Increment("gateway.route.failover");
+      return std::make_pair(name, entry.cluster);
+    }
+  }
+  return Status::Unavailable("no healthy cluster to route to (target " +
+                             target + " and all alternates are unhealthy)");
 }
 
 Status PrestoGateway::SetRoute(const std::string& kind,
@@ -90,18 +147,41 @@ Result<PrestoCluster*> PrestoGateway::Route(const Session& session) {
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = clusters_.find(target);
-  if (it == clusters_.end()) {
-    return Status::NotFound("route points at unregistered cluster: " + target);
-  }
-  metrics_.Increment("gateway.query.redirects." + target);
-  return it->second;
+  ASSIGN_OR_RETURN(auto picked, PickHealthyLocked(target));
+  metrics_.Increment("gateway.query.redirects." + picked.first);
+  return picked.second;
 }
 
 Result<QueryResult> PrestoGateway::Submit(const std::string& sql,
                                           const Session& session) {
-  ASSIGN_OR_RETURN(PrestoCluster * cluster, Route(session));
-  return cluster->Execute(sql, session);
+  // Route, execute, and keep failing over while clusters die under the
+  // query: each retryable failure counts against its cluster's health, and
+  // the next attempt re-routes (which skips anything now unhealthy). A
+  // terminal error (bad SQL, unknown table) returns immediately — rerunning
+  // it elsewhere would fail identically and poison every cluster's score.
+  // Enough attempts for the routed target to exhaust its failure threshold
+  // and the query to still try every other cluster once.
+  size_t attempts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempts = std::max<size_t>(1, clusters_.size()) +
+               static_cast<size_t>(unhealthy_threshold_) - 1;
+  }
+  Status last;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    auto routed = Route(session);
+    if (!routed.ok()) return routed.status();
+    PrestoCluster* cluster = *routed;
+    auto result = cluster->Execute(sql, session);
+    if (result.ok() || !IsRetryableStatus(result.status())) {
+      ReportClusterSuccess(cluster->name());
+      return result;
+    }
+    last = result.status();
+    ReportClusterFailure(cluster->name());
+    metrics_.Increment("gateway.query.retried");
+  }
+  return last;
 }
 
 Status PrestoGateway::DrainClusterRoutes(const std::string& from,

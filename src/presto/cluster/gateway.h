@@ -24,9 +24,17 @@ namespace presto {
 /// default. The gateway only redirects — queries execute on the target
 /// cluster's own coordinator, so the gateway never becomes a bottleneck for
 /// query execution (Section XII.B).
+///
+/// Health-aware routing: `unhealthy_threshold` consecutive retryable
+/// failures (kUnavailable/kIoError — coordinator down, substrate outage)
+/// mark a cluster unhealthy and Route/Submit fail over to the remaining
+/// healthy clusters; the first success on a sick cluster restores it.
+/// Terminal errors (bad SQL, missing tables) are the user's fault, not the
+/// cluster's, and never count against health.
 class PrestoGateway {
  public:
-  explicit PrestoGateway(mysqlite::MySqlLite* routing_db);
+  explicit PrestoGateway(mysqlite::MySqlLite* routing_db,
+                         int unhealthy_threshold = 3);
 
   Status RegisterCluster(const std::string& name, PrestoCluster* cluster);
 
@@ -36,28 +44,49 @@ class PrestoGateway {
   Status SetDefaultRoute(const std::string& cluster);
   Status RemoveRoutes(const std::string& principal);
 
-  /// Resolves the redirect target for a session.
+  /// Resolves the redirect target for a session. An unhealthy target fails
+  /// over to a healthy registered cluster (gateway.route.failover);
+  /// kUnavailable when every cluster is sick.
   Result<PrestoCluster*> Route(const Session& session);
 
-  /// Convenience: route + execute (what a client library does after the
-  /// redirect).
+  /// Route + execute (what a client library does after the redirect), with
+  /// health bookkeeping: a retryable execution failure counts against the
+  /// cluster and the query fails over to the remaining healthy clusters.
   Result<QueryResult> Submit(const std::string& sql, const Session& session);
 
   /// Maintenance drain: every route pointing at `from` is rewritten to
   /// `to`, so the cluster can be upgraded "with no downtime for end users".
   Status DrainClusterRoutes(const std::string& from, const std::string& to);
 
+  /// Health bookkeeping, also callable by out-of-band probes: a retryable
+  /// failure increments the consecutive-failure count (unhealthy at the
+  /// threshold); a success restores the cluster immediately.
+  void ReportClusterFailure(const std::string& name);
+  void ReportClusterSuccess(const std::string& name);
+  bool IsClusterHealthy(const std::string& name) const;
+
   MetricsRegistry& metrics() { return metrics_; }
 
  private:
+  struct ClusterEntry {
+    PrestoCluster* cluster = nullptr;
+    int consecutive_failures = 0;
+    bool healthy = true;
+  };
+
   Status SetRoute(const std::string& kind, const std::string& principal,
                   const std::string& cluster);
   Result<std::string> LookupRoute(const std::string& kind,
                                   const std::string& principal);
+  /// The routed target if healthy, else the first healthy cluster by name
+  /// (deterministic failover order). Holds mu_.
+  Result<std::pair<std::string, PrestoCluster*>> PickHealthyLocked(
+      const std::string& target);
 
   mysqlite::MySqlLite* db_;
-  std::mutex mu_;
-  std::map<std::string, PrestoCluster*> clusters_;
+  const int unhealthy_threshold_;
+  mutable std::mutex mu_;
+  std::map<std::string, ClusterEntry> clusters_;
   MetricsRegistry metrics_;
 };
 

@@ -21,6 +21,12 @@ const char* QueryEventKindToString(QueryEventKind kind) {
       return "failed";
     case QueryEventKind::kSlowQuery:
       return "slow_query";
+    case QueryEventKind::kTaskRetried:
+      return "task_retried";
+    case QueryEventKind::kWorkerBlacklisted:
+      return "worker_blacklisted";
+    case QueryEventKind::kRestarted:
+      return "query_restarted";
   }
   return "unknown";
 }

@@ -21,6 +21,9 @@ enum class QueryEventKind {
   kCompleted,      // result returned to the client
   kFailed,         // query errored (carries partial counters)
   kSlowQuery,      // wall time crossed the slow_query_millis threshold
+  kTaskRetried,        // a leaf task failed transiently and was re-dispatched
+  kWorkerBlacklisted,  // liveness check found a dead worker; out of scheduling
+  kRestarted,          // transient stage-level error; whole query re-run once
 };
 
 const char* QueryEventKindToString(QueryEventKind kind);

@@ -10,6 +10,8 @@ const char* WorkerStateToString(WorkerState state) {
       return "SHUTTING_DOWN";
     case WorkerState::kShutDown:
       return "SHUT_DOWN";
+    case WorkerState::kDead:
+      return "DEAD";
   }
   return "?";
 }
@@ -83,12 +85,39 @@ bool Worker::SubmitDedicatedTask(std::function<void()> task) {
 }
 
 void Worker::RequestGracefulShutdown(int64_t grace_period_nanos) {
+  (void)TryRequestGracefulShutdown(grace_period_nanos);
+}
+
+Status Worker::TryRequestGracefulShutdown(int64_t grace_period_nanos) {
   WorkerState expected = WorkerState::kActive;
   if (!state_.compare_exchange_strong(expected, WorkerState::kShuttingDown)) {
-    return;  // already shutting down or down
+    if (expected == WorkerState::kDead) {
+      return Status::Unavailable("worker is dead: " + id_);
+    }
+    return Status::AlreadyExists("worker already draining or shut down: " +
+                                 id_);
   }
   shutdown_thread_ = std::thread(
       [this, grace_period_nanos] { GracefulShutdownSequence(grace_period_nanos); });
+  return Status::OK();
+}
+
+void Worker::Kill() {
+  // Only an active worker can crash; a draining or drained worker is
+  // already leaving the fleet through the graceful protocol.
+  WorkerState expected = WorkerState::kActive;
+  if (!state_.compare_exchange_strong(expected, WorkerState::kDead)) return;
+  // Wake anything parked on this worker's lifecycle waits; running tasks
+  // notice kDead cooperatively and drain active_tasks_ on their way out.
+  std::lock_guard<std::mutex> lock(mu_);
+  drained_cv_.notify_all();
+  shutdown_cv_.notify_all();
+}
+
+bool Worker::Heartbeat() {
+  if (state_.load() == WorkerState::kDead) return false;
+  heartbeats_.fetch_add(1);
+  return true;
 }
 
 void Worker::GracefulShutdownSequence(int64_t grace_period_nanos) {
@@ -114,8 +143,10 @@ void Worker::GracefulShutdownSequence(int64_t grace_period_nanos) {
 void Worker::AwaitShutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    shutdown_cv_.wait(lock,
-                      [this] { return state_.load() == WorkerState::kShutDown; });
+    shutdown_cv_.wait(lock, [this] {
+      WorkerState s = state_.load();
+      return s == WorkerState::kShutDown || s == WorkerState::kDead;
+    });
   }
   // Reap the shutdown thread here rather than leaving it for the destructor:
   // long-lived clusters would otherwise hold one finished-but-unjoined thread

@@ -11,6 +11,7 @@
 
 #include "presto/common/clock.h"
 #include "presto/common/metrics.h"
+#include "presto/common/status.h"
 #include "presto/common/thread_pool.h"
 
 namespace presto {
@@ -20,7 +21,12 @@ namespace presto {
 /// coordinator is aware of the shutdown and stops sending tasks … the worker
 /// will block until all active tasks are complete … sleep for the grace
 /// period again … finally shut down."
-enum class WorkerState { kActive, kShuttingDown, kShutDown };
+///
+/// kDead is the crash path (no grace, no drain): the process disappeared.
+/// Tasks still running on a dead worker abort cooperatively at their next
+/// page boundary; the coordinator's liveness check blacklists the worker and
+/// re-dispatches its splits to healthy peers.
+enum class WorkerState { kActive, kShuttingDown, kShutDown, kDead };
 
 const char* WorkerStateToString(WorkerState state);
 
@@ -53,6 +59,21 @@ class Worker {
   /// Starts the graceful shutdown sequence asynchronously.
   void RequestGracefulShutdown(int64_t grace_period_nanos = 120'000'000'000 /* 2 min */);
 
+  /// Status-returning variant for coordinator-driven shrink: kAlreadyExists
+  /// when the worker is already draining or down, kUnavailable when it died.
+  Status TryRequestGracefulShutdown(int64_t grace_period_nanos);
+
+  /// Crash-style kill: the worker stops accepting tasks immediately and its
+  /// running tasks observe kDead at their next page boundary and abort with
+  /// kUnavailable. No grace period, no drain — this is a failure, not a
+  /// shrink.
+  void Kill();
+
+  /// Liveness probe (the coordinator's heartbeat): true while the worker
+  /// responds, false once it is dead. Counts probes for observability.
+  bool Heartbeat();
+  int64_t heartbeats_received() const { return heartbeats_.load(); }
+
   /// Blocks until the worker reaches SHUT_DOWN.
   void AwaitShutdown();
 
@@ -70,6 +91,7 @@ class Worker {
   std::atomic<WorkerState> state_{WorkerState::kActive};
   std::atomic<int> active_tasks_{0};
   std::atomic<int64_t> tasks_completed_{0};
+  std::atomic<int64_t> heartbeats_{0};
 
   MetricsRegistry metrics_;
   MetricsRegistry::Counter* const tasks_submitted_counter_ =

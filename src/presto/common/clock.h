@@ -12,6 +12,16 @@
 
 namespace presto {
 
+/// Monotonic wall-clock reading used for real-time deadlines (query
+/// timeouts). Distinct from the virtual Clock: a query deadline must fire
+/// even when nothing advances simulated time — that wedged state is exactly
+/// what the deadline exists to break.
+inline int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Wall-clock stopwatch for benchmarks.
 class Stopwatch {
  public:

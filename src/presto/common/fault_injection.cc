@@ -1,0 +1,119 @@
+#include "presto/common/fault_injection.h"
+
+#include <algorithm>
+
+namespace presto {
+
+namespace {
+
+// FNV-1a over the point name: mixed with the seed it gives every point its
+// own deterministic PRNG stream, so arming point B does not perturb the
+// fault schedule point A already replays.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  points_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmProbabilistic(const std::string& point, double p,
+                                     StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& entry = points_[point];
+  entry.kind = Kind::kProbabilistic;
+  entry.probability = p;
+  entry.code = code;
+  entry.rng = Random(seed_ ^ HashName(point));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmScripted(const std::string& point,
+                                std::vector<int64_t> failing_calls,
+                                StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& entry = points_[point];
+  entry.kind = Kind::kScripted;
+  std::sort(failing_calls.begin(), failing_calls.end());
+  entry.failing_calls = std::move(failing_calls);
+  entry.code = code;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmCrash(const std::string& point, int64_t after_calls,
+                             StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& entry = points_[point];
+  entry.kind = Kind::kCrash;
+  entry.crash_after = after_calls;
+  entry.code = code;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Hit(const std::string& point) {
+  if (!enabled_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return Status::OK();
+  Point& entry = it->second;
+  ++entry.calls;
+  bool fire = false;
+  switch (entry.kind) {
+    case Kind::kProbabilistic:
+      fire = entry.rng.NextBool(entry.probability);
+      break;
+    case Kind::kScripted:
+      fire = std::binary_search(entry.failing_calls.begin(),
+                                entry.failing_calls.end(), entry.calls);
+      break;
+    case Kind::kCrash:
+      fire = entry.calls > entry.crash_after;
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++entry.injected;
+  return Status(entry.code, "injected fault at " + point + " (call " +
+                                std::to_string(entry.calls) + ")");
+}
+
+int64_t FaultInjector::CallCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+int64_t FaultInjector::InjectedCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.injected;
+}
+
+int64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, entry] : points_) total += entry.injected;
+  return total;
+}
+
+}  // namespace presto

@@ -1,0 +1,114 @@
+#ifndef PRESTO_COMMON_FAULT_INJECTION_H_
+#define PRESTO_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "presto/common/random.h"
+#include "presto/common/status.h"
+
+namespace presto {
+
+/// Deterministic, seedable fault injector threaded through the I/O and
+/// execution layers (S3 object store, simulated HDFS, connector split
+/// readers, the exchange, worker task bodies, gateway submission). Faults
+/// become a first-class, testable input: the chaos differential test arms a
+/// schedule, runs the query corpus, and asserts results are either identical
+/// to the fault-free run or fail with a classified, non-corrupt error.
+///
+/// Three fault kinds per named point:
+///  - probabilistic: each call fails with probability p, drawn from a PRNG
+///    derived from (seed, point name) so schedules replay exactly;
+///  - scripted: an explicit list of 1-based call indices that fail (precise
+///    regression tests: "the 3rd split open fails");
+///  - crash-style: from the Nth call onward every call fails — the point
+///    never recovers, modeling a died process rather than a flaky request.
+///
+/// The injector is a process-wide singleton so fault points do not thread a
+/// handle through every constructor. The disabled fast path is one relaxed
+/// atomic load; tests that arm faults must disarm them (Reset) before
+/// returning. Thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Disarms every point and clears call counters. Leaves the seed alone.
+  void Reset();
+
+  /// Seeds the per-point PRNGs (and resets armed points/counters so a chaos
+  /// iteration starts from a clean slate).
+  void Seed(uint64_t seed);
+  uint64_t seed() const { return seed_; }
+
+  /// Arms `point` to fail each call with probability `p`.
+  void ArmProbabilistic(const std::string& point, double p,
+                        StatusCode code = StatusCode::kUnavailable);
+
+  /// Arms `point` to fail exactly the listed 1-based call indices.
+  void ArmScripted(const std::string& point, std::vector<int64_t> failing_calls,
+                   StatusCode code = StatusCode::kUnavailable);
+
+  /// Arms `point` to fail every call from the `after_calls + 1`-th onward
+  /// (crash-style: the point goes down and stays down).
+  void ArmCrash(const std::string& point, int64_t after_calls,
+                StatusCode code = StatusCode::kUnavailable);
+
+  /// Fault point: returns OK or the injected error, advancing the point's
+  /// call counter. The disabled path (no point armed anywhere) is one
+  /// relaxed atomic load and no allocation.
+  Status Hit(const std::string& point);
+
+  /// Boolean fault point for triggers that are not status-shaped (e.g.
+  /// "kill this worker now"). True when the point fires.
+  bool ShouldTrigger(const std::string& point) { return !Hit(point).ok(); }
+
+  /// Times `point` was evaluated / times it actually injected a fault.
+  int64_t CallCount(const std::string& point) const;
+  int64_t InjectedCount(const std::string& point) const;
+  /// Faults injected across all points.
+  int64_t TotalInjected() const;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector() = default;
+
+  enum class Kind { kProbabilistic, kScripted, kCrash };
+  struct Point {
+    Kind kind = Kind::kProbabilistic;
+    double probability = 0;
+    std::vector<int64_t> failing_calls;  // scripted, 1-based, sorted
+    int64_t crash_after = 0;
+    StatusCode code = StatusCode::kUnavailable;
+    Random rng{0};
+    int64_t calls = 0;
+    int64_t injected = 0;
+  };
+
+  // Counters survive for unarmed points too, so tests can assert a fault
+  // point was exercised without arming it.
+  struct Stats {
+    int64_t calls = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  uint64_t seed_ = 42;
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+/// True for errors worth retrying: transient unavailability (S3 5xx, a died
+/// worker, a latched exchange) and I/O errors. Everything else — user errors,
+/// corruption, resource exhaustion, internal invariants — is terminal.
+inline bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIoError;
+}
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_FAULT_INJECTION_H_

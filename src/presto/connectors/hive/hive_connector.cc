@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "presto/common/fault_injection.h"
 #include "presto/vector/vector_builder.h"
 
 namespace presto {
@@ -587,6 +588,7 @@ Result<std::vector<SplitPtr>> HiveConnector::CreateSplits(
 
 Result<std::unique_ptr<ConnectorPageSource>> HiveConnector::CreatePageSource(
     const SplitPtr& split, const AcceptedPushdown& pushdown) {
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("connector.split.open"));
   auto hive_split = std::dynamic_pointer_cast<const HiveSplit>(
       std::shared_ptr<const ConnectorSplit>(split));
   if (hive_split == nullptr) {

@@ -1,5 +1,7 @@
 #include "presto/connectors/memory/memory_connector.h"
 
+#include "presto/common/fault_injection.h"
+
 namespace presto {
 
 namespace {
@@ -25,6 +27,7 @@ class MemoryPageSource final : public ConnectorPageSource {
         next_(split_->begin) {}
 
   Result<std::optional<Page>> NextPage() override {
+    RETURN_IF_ERROR(FaultInjector::Global().Hit("connector.split.read"));
     while (next_ < split_->end) {
       const Page& page = (*split_->pages)[next_++];
       if (page.num_rows() == 0) continue;
@@ -175,6 +178,7 @@ Result<std::vector<SplitPtr>> MemoryConnector::CreateSplits(
 
 Result<std::unique_ptr<ConnectorPageSource>> MemoryConnector::CreatePageSource(
     const SplitPtr& split, const AcceptedPushdown& pushdown) {
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("connector.split.open"));
   auto memory_split = std::dynamic_pointer_cast<const MemorySplit>(
       std::shared_ptr<const ConnectorSplit>(split));
   if (memory_split == nullptr) {

@@ -1,10 +1,26 @@
 #include "presto/exec/exchange.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "presto/common/clock.h"
+#include "presto/common/fault_injection.h"
 #include "presto/exec/kernels/kernels.h"
 
 namespace presto {
+
+namespace {
+
+Status DeadlineStatus() {
+  return Status::Unavailable("query deadline exceeded (query_timeout_millis)");
+}
+
+std::chrono::steady_clock::time_point ToTimePoint(int64_t steady_nanos) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(steady_nanos));
+}
+
+}  // namespace
 
 PartitionedExchange::PartitionedExchange(int num_partitions,
                                          int64_t capacity_bytes,
@@ -26,7 +42,22 @@ void PartitionedExchange::SetProducerCount(int n) {
   producers_ = n;
 }
 
+void PartitionedExchange::SetDeadlineNanos(int64_t steady_deadline_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_steady_nanos_ = steady_deadline_nanos;
+}
+
 void PartitionedExchange::Push(int partition, Page page) {
+  {
+    // Chaos hook: a failed shuffle transfer latches the whole exchange, the
+    // fail-fast path for intermediate stages (the coordinator restarts the
+    // query once when the error is transient).
+    Status fault = FaultInjector::Global().Hit("exchange.push");
+    if (!fault.ok()) {
+      Fail(std::move(fault));
+      return;
+    }
+  }
   const int64_t bytes = page.EstimateBytes();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -34,9 +65,21 @@ void PartitionedExchange::Push(int partition, Page page) {
       if (producer_blocked_counter_ != nullptr) {
         producer_blocked_counter_->Add(1);
       }
-      producer_cv_.wait(lock, [this, partition] {
+      auto have_room = [this, partition] {
         return buffered_bytes_ < capacity_bytes_ || DropLocked(partition);
-      });
+      };
+      if (deadline_steady_nanos_ > 0) {
+        if (!producer_cv_.wait_until(lock, ToTimePoint(deadline_steady_nanos_),
+                                     have_room)) {
+          // Deadline while blocked on backpressure: latch the timeout so the
+          // whole query unwinds instead of wedging this producer forever.
+          FailLocked(DeadlineStatus());
+          producer_cv_.notify_all();
+          consumer_cv_.notify_all();
+        }
+      } else {
+        producer_cv_.wait(lock, have_room);
+      }
     }
     if (DropLocked(partition)) {
       if (pages_dropped_counter_ != nullptr) pages_dropped_counter_->Add(1);
@@ -83,14 +126,18 @@ void PartitionedExchange::ProducerDone() {
   consumer_cv_.notify_all();
 }
 
+void PartitionedExchange::FailLocked(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+  // The error wins over buffered pages; release their bytes so any blocked
+  // producer wakes into the drop path.
+  for (Partition& partition : partitions_) partition.pages.clear();
+  buffered_bytes_ = 0;
+}
+
 void PartitionedExchange::Fail(Status status) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (status_.ok()) status_ = std::move(status);
-    // The error wins over buffered pages; release their bytes so any blocked
-    // producer wakes into the drop path.
-    for (Partition& partition : partitions_) partition.pages.clear();
-    buffered_bytes_ = 0;
+    FailLocked(std::move(status));
   }
   producer_cv_.notify_all();
   consumer_cv_.notify_all();
@@ -101,10 +148,21 @@ Result<std::optional<Page>> PartitionedExchange::Next(int partition) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     Partition& part = partitions_[partition];
-    consumer_cv_.wait(lock, [this, &part] {
+    auto have_page = [this, &part] {
       return !part.pages.empty() || part.closed || producers_ <= 0 ||
              !status_.ok();
-    });
+    };
+    if (deadline_steady_nanos_ > 0) {
+      if (!consumer_cv_.wait_until(lock, ToTimePoint(deadline_steady_nanos_),
+                                   have_page)) {
+        FailLocked(DeadlineStatus());
+        producer_cv_.notify_all();
+        consumer_cv_.notify_all();
+        return status_;
+      }
+    } else {
+      consumer_cv_.wait(lock, have_page);
+    }
     if (!status_.ok()) return status_;
     if (part.pages.empty()) return std::optional<Page>();  // end-of-stream
     entry = std::move(part.pages.front());

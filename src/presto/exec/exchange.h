@@ -38,6 +38,13 @@ class PartitionedExchange {
   /// Must be called before producers start.
   void SetProducerCount(int n);
 
+  /// Arms a cooperative real-time deadline (SteadyNowNanos epoch, 0 = none).
+  /// Producers blocked on backpressure and consumers blocked waiting for
+  /// pages wake at the deadline and the exchange latches a "query deadline
+  /// exceeded" error, so a hung or fault-looping query can never wedge the
+  /// stage scheduler's drain barrier.
+  void SetDeadlineNanos(int64_t steady_deadline_nanos);
+
   /// Enqueues a whole page into one partition; blocks while the exchange is
   /// over budget. Pages pushed after Fail() or into a closed partition are
   /// dropped (counted in exchange.page.dropped).
@@ -96,6 +103,10 @@ class PartitionedExchange {
     return !status_.ok() || partitions_[partition].closed;
   }
 
+  // Latches `status` and clears buffered pages; caller holds mu_ and must
+  // notify both condition variables after releasing it.
+  void FailLocked(Status status);
+
   mutable std::mutex mu_;
   std::condition_variable producer_cv_;  // space freed / close / failure
   std::condition_variable consumer_cv_;  // page arrived / producers done / failure
@@ -107,6 +118,7 @@ class PartitionedExchange {
   int64_t pages_pushed_ = 0;
   int open_partitions_ = 0;
   int producers_ = 0;
+  int64_t deadline_steady_nanos_ = 0;  // 0 = no deadline
   Status status_;
 
   MetricsRegistry::Counter* pages_pushed_counter_ = nullptr;

@@ -10,6 +10,10 @@
 namespace presto {
 
 Result<std::optional<Page>> Operator::Next() {
+  if (deadline_steady_nanos_ > 0 && SteadyNowNanos() >= deadline_steady_nanos_) {
+    return Status::Unavailable(
+        "query deadline exceeded (query_timeout_millis)");
+  }
   if (!collect_stats_) {
     // Row/page counts stay on (the engine and tests rely on rows_produced);
     // only the clock reads and byte estimation are skipped.
@@ -1230,6 +1234,7 @@ Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
   ASSIGN_OR_RETURN(OperatorPtr op, BuildNode(node));
   op->SetIdentity(node->id(), OperatorTypeName(node->kind()));
   op->set_collect_stats(limits_.collect_stats);
+  op->set_deadline_nanos(limits_.deadline_steady_nanos);
   return op;
 }
 

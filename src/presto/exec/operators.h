@@ -55,6 +55,14 @@ class Operator {
   /// them anyway.
   void set_collect_stats(bool on) { collect_stats_ = on; }
 
+  /// Arms the cooperative per-query deadline (SteadyNowNanos epoch, 0 =
+  /// none): Next() checks it at every batch boundary and returns a clean
+  /// kUnavailable once it passes, so a hung or fault-looping query unwinds
+  /// instead of running forever (session property query_timeout_millis).
+  void set_deadline_nanos(int64_t steady_nanos) {
+    deadline_steady_nanos_ = steady_nanos;
+  }
+
   /// Appends this operator's stats (input side derived from children, or
   /// mirrored from output for leaves) and recursively every child's.
   void CollectStats(std::vector<OperatorStats>* out) const;
@@ -70,6 +78,7 @@ class Operator {
 
   OperatorStats stats_;
   bool collect_stats_ = true;
+  int64_t deadline_steady_nanos_ = 0;
 
  private:
   std::vector<const Operator*> children_;
@@ -95,6 +104,10 @@ struct ExecutionLimits {
   /// Record per-operator wall/CPU time and byte counts (session property
   /// query_stats). Row/page counts are recorded regardless.
   bool collect_stats = true;
+  /// Absolute real-time deadline (SteadyNowNanos epoch, 0 = none) enforced
+  /// cooperatively at operator batch boundaries; derived from the session
+  /// property query_timeout_millis.
+  int64_t deadline_steady_nanos = 0;
 };
 
 /// Builds operator trees from plan fragments. `exchanges` resolves

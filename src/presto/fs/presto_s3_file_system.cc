@@ -4,6 +4,9 @@
 #include <cstring>
 #include <functional>
 
+#include "presto/common/fault_injection.h"
+#include "presto/common/random.h"
+
 namespace presto {
 
 namespace {
@@ -11,21 +14,37 @@ namespace {
 Status BackoffRetry(Clock* clock, const PrestoS3Options& options,
                     MetricsRegistry* metrics,
                     const std::function<Status()>& op) {
-  int64_t delay = options.base_backoff_nanos;
+  // Decorrelated jitter ("Exponential Backoff And Jitter", AWS architecture
+  // blog): each delay is uniform in [base, 3 * previous], clamped to
+  // max_backoff_nanos. Jitter de-synchronizes the herd of readers that a
+  // throttling window creates — with plain doubling they all come back at
+  // the same instant and re-trip the 503. The RNG seed is fixed so backoff
+  // schedules replay exactly in simulated time.
+  Random rng(0x533352455452ULL /* "S3RETR" */);
+  int64_t previous_delay = options.base_backoff_nanos;
+  int64_t total_backoff = 0;
   Status last;
   for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
-    if (attempt > 0) {
-      metrics->Increment("s3fs.request.retries");
-      metrics->Increment("s3fs.backoff.nanos", delay);
-      clock->AdvanceNanos(delay);
-      delay *= 2;
-    }
     last = op();
-    if (last.ok() || last.code() != StatusCode::kUnavailable) return last;
+    if (last.ok() || !IsRetryableStatus(last)) return last;
+    if (attempt == options.max_retries) break;
+    int64_t ceiling = std::min(options.max_backoff_nanos,
+                               std::max(options.base_backoff_nanos,
+                                        previous_delay * 3));
+    int64_t delay = rng.NextInRange(options.base_backoff_nanos, ceiling);
+    if (total_backoff + delay > options.max_elapsed_nanos) break;
+    metrics->Increment("s3.request.retried");
+    metrics->Increment("s3fs.request.retries");
+    metrics->Increment("s3fs.backoff.nanos", delay);
+    clock->AdvanceNanos(delay);
+    total_backoff += delay;
+    previous_delay = delay;
   }
-  return Status::Unavailable("S3 still unavailable after " +
-                             std::to_string(options.max_retries) +
-                             " retries: " + last.message());
+  metrics->Increment("s3.retry.exhausted");
+  return Status::Unavailable(
+      "S3 still unavailable after " + std::to_string(options.max_retries) +
+      " retries (" + std::to_string(total_backoff / 1'000'000) +
+      " ms backoff): " + last.message());
 }
 
 }  // namespace

@@ -18,7 +18,15 @@ struct PrestoS3Options {
   bool lazy_seek = true;
   size_t read_ahead_bytes = 256 * 1024;
   int max_retries = 6;
-  int64_t base_backoff_nanos = 10'000'000;  // 10 ms, doubles per attempt
+  int64_t base_backoff_nanos = 10'000'000;  // 10 ms floor per delay
+  /// Per-delay ceiling for the decorrelated-jitter backoff: each delay is
+  /// uniform in [base, 3 * previous], clamped here, so a long retry chain
+  /// stops doubling instead of sleeping for minutes.
+  int64_t max_backoff_nanos = 500'000'000;  // 500 ms
+  /// Total backoff budget across one logical operation. Once cumulative
+  /// sleep would cross this the retry loop gives up (s3.retry.exhausted)
+  /// even if max_retries attempts remain.
+  int64_t max_elapsed_nanos = 5'000'000'000;  // 5 s
   size_t multipart_threshold = 4 * 1024 * 1024;
   size_t part_size = 2 * 1024 * 1024;
   int upload_parallelism = 4;

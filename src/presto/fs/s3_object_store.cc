@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "presto/common/fault_injection.h"
+
 namespace presto {
 
 Status S3ObjectStore::BeginRequestLocked(const char* op, size_t bytes) {
@@ -14,6 +16,14 @@ Status S3ObjectStore::BeginRequestLocked(const char* op, size_t bytes) {
     // A failed request still costs the round trip.
     clock_->AdvanceNanos(config_.first_byte_latency_nanos);
     return Status::Unavailable("503 SlowDown: please reduce request rate");
+  }
+  // Chaos hook: the "s3.request" fault point injects transient failures on
+  // top of (or instead of) the store's own throttle model.
+  Status fault = FaultInjector::Global().Hit("s3.request");
+  if (!fault.ok()) {
+    metrics_.Increment("s3.request.throttled");
+    clock_->AdvanceNanos(config_.first_byte_latency_nanos);
+    return fault;
   }
   clock_->AdvanceNanos(config_.first_byte_latency_nanos +
                        static_cast<int64_t>(bytes) * config_.per_byte_nanos);

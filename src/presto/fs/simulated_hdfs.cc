@@ -1,10 +1,13 @@
 #include "presto/fs/simulated_hdfs.h"
 
+#include "presto/common/fault_injection.h"
+
 namespace presto {
 
 Result<std::shared_ptr<RandomAccessFile>> SimulatedHdfs::OpenForRead(
     const std::string& path) {
   metrics_.Increment("fs.file.open_read");
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("hdfs.read.open"));
   return storage_.OpenForRead(path);
 }
 
@@ -18,12 +21,14 @@ Result<std::vector<FileInfo>> SimulatedHdfs::ListFiles(
     const std::string& directory) {
   metrics_.Increment("fs.dir.list");
   clock_->AdvanceNanos(MetadataCharge(latency_.list_files_nanos));
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("hdfs.namenode.list"));
   return storage_.ListFiles(directory);
 }
 
 Result<FileInfo> SimulatedHdfs::GetFileInfo(const std::string& path) {
   metrics_.Increment("fs.file.stat");
   clock_->AdvanceNanos(MetadataCharge(latency_.get_file_info_nanos));
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("hdfs.namenode.stat"));
   return storage_.GetFileInfo(path);
 }
 

@@ -22,6 +22,13 @@ struct Session {
   ///   multi_stage_execution  = "true" (default) | "false"
   ///   exchange_buffer_bytes  = per-exchange byte budget (default 32 MiB)
   ///   hash_partition_count   = partitions per hash-partitioned stage
+  ///   query_max_task_retries = leaf-task retry budget on retryable
+  ///                            failures (default 0: recovery disabled)
+  ///   task_retry_backoff_millis = base retry backoff, doubles per attempt
+  ///                            with jitter, capped at 64x (default 2)
+  ///   query_timeout_millis   = per-query deadline, enforced cooperatively
+  ///                            at operator-batch and exchange waits
+  ///                            (default: none)
   std::string Property(const std::string& name,
                        const std::string& default_value) const {
     auto it = properties.find(name);

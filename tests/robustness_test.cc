@@ -238,6 +238,41 @@ TEST(ClusterRobustnessTest, GracefulShrinkRacesMultiStageQuery) {
       << "queries racing the shrink produced wrong results";
 }
 
+// Regression: ShrinkWorker must return clean, classified statuses on its
+// error paths instead of silently no-opping — an unknown id is kNotFound, a
+// second shrink of the same worker is kAlreadyExists, and a crashed (dead)
+// worker cannot be drained gracefully (kUnavailable).
+TEST(ClusterRobustnessTest, ShrinkWorkerErrorPaths) {
+  PrestoCluster cluster("shrink-errors", 3, 1);
+  Coordinator& coordinator = cluster.coordinator();
+  const int64_t grace = 1'000'000'000;
+
+  Status unknown = coordinator.ShrinkWorker("no-such-worker", grace);
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound) << unknown.ToString();
+
+  std::string drained = cluster.ExpandWorker(1);
+  ASSERT_TRUE(cluster.ShrinkWorkerAndWait(drained).ok());
+  Status again = coordinator.ShrinkWorker(drained, grace);
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists) << again.ToString();
+
+  std::string crashed = cluster.ExpandWorker(1);
+  for (const auto& worker : coordinator.ActiveWorkers()) {
+    if (worker->id() == crashed) worker->Kill();
+  }
+  Status dead = coordinator.ShrinkWorker(crashed, grace);
+  EXPECT_EQ(dead.code(), StatusCode::kUnavailable) << dead.ToString();
+
+  // The survivors still execute queries after all three error paths.
+  auto memory = std::make_shared<MemoryConnector>();
+  ASSERT_TRUE(
+      memory->CreateTable("raw", "t", Type::Row({"x"}, {Type::Bigint()})).ok());
+  ASSERT_TRUE(
+      memory->AppendPage("raw", "t", Page({MakeBigintVector({1, 2, 3})})).ok());
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("mem", memory).ok());
+  auto result = cluster.Execute("SELECT sum(x) FROM mem.raw.t", Session());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
 TEST(SqlFuzzTest, MangledQueriesNeverCrashTheParser) {
   const std::string base =
       "SELECT a.x, count(*) FROM cat.sch.t a JOIN u ON a.id = u.id "
