@@ -8,6 +8,7 @@
 // Emits machine-readable results to BENCH_engine.json (path overridable via
 // argv[1]).
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -187,11 +188,19 @@ int main(int argc, char** argv) {
   // with pre-registered sharded counters the 10M-row group-by must stay
   // within 2% of the uninstrumented run.
   std::printf("\n=== Operator stats instrumentation overhead ===\n\n");
+  // Interleaved reps, not two back-to-back blocks: allocator / page-cache
+  // warmup drift between blocks otherwise reads as fake overhead.
   QueryResult instrumented, uninstrumented;
-  double stats_on_millis =
-      best_of(queries[0].sql, {}, 5, &instrumented);  // query_stats defaults on
-  double stats_off_millis =
-      best_of(queries[0].sql, {{"query_stats", "false"}}, 5, &uninstrumented);
+  double stats_on_millis = 1e18, stats_off_millis = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    stats_on_millis = std::min(
+        stats_on_millis,
+        best_of(queries[0].sql, {}, 1, &instrumented));  // stats default on
+    stats_off_millis =
+        std::min(stats_off_millis, best_of(queries[0].sql,
+                                           {{"query_stats", "false"}}, 1,
+                                           &uninstrumented));
+  }
   double overhead_pct =
       (stats_on_millis - stats_off_millis) / stats_off_millis * 100.0;
   std::printf(
@@ -257,12 +266,19 @@ int main(int argc, char** argv) {
   // apparatus must stay within a 2% budget of the bare run — fault tolerance
   // that taxes the happy path gets turned off in production.
   std::printf("\n=== Fault-tolerance machinery overhead (fault rate 0) ===\n\n");
+  // Interleaved reps, not two back-to-back blocks: allocator / page-cache
+  // warmup drift between blocks otherwise reads as fake overhead.
   QueryResult armed_result, bare_result;
-  double armed_millis = best_of(queries[0].sql,
-                                {{"query_max_task_retries", "3"},
-                                 {"query_timeout_millis", "600000"}},
-                                5, &armed_result);
-  double bare_millis = best_of(queries[0].sql, {}, 5, &bare_result);
+  double armed_millis = 1e18, bare_millis = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    armed_millis = std::min(armed_millis,
+                            best_of(queries[0].sql,
+                                    {{"query_max_task_retries", "3"},
+                                     {"query_timeout_millis", "600000"}},
+                                    1, &armed_result));
+    bare_millis =
+        std::min(bare_millis, best_of(queries[0].sql, {}, 1, &bare_result));
+  }
   double retry_overhead_pct = (armed_millis - bare_millis) / bare_millis * 100.0;
   std::printf(
       "%-28s armed %8.1f ms  bare %8.1f ms  overhead %+.2f%% (budget 2%%)\n",
@@ -275,6 +291,70 @@ int main(int argc, char** argv) {
   }
   if (armed_result.exec_metrics["task.retry.count"] != 0) {
     std::fprintf(stderr, "spurious retry at fault rate 0\n");
+    return 1;
+  }
+
+  // -- Memory management: spill throughput and reservation overhead ----------
+  // The same 10M-row group-by runs unconstrained (hash tables fully
+  // in memory) and under a query_max_memory cap small enough that the
+  // aggregation revokes itself into sorted spill runs and merge-reads them on
+  // output. Row counts must match exactly; the slowdown is the price of
+  // running a query that does not fit. Separately, memory_accounting=false
+  // strips every pool reservation out of the hot path — with lock-free
+  // per-level atomics the accounted run must stay within a 2% budget.
+  std::printf("\n=== Spill vs in-memory, reservation overhead ===\n\n");
+  QueryResult in_memory_result, spilled_result;
+  double in_memory_millis = best_of(queries[0].sql, {}, 3, &in_memory_result);
+  double spilled_millis =
+      best_of(queries[0].sql,
+              {{"query_max_memory", "16777216"},
+               {"spill_path", "/tmp/presto_spill_bench"}},
+              3, &spilled_result);
+  int64_t spill_runs = spilled_result.exec_metrics["spill.run.written"];
+  int64_t spill_bytes = spilled_result.exec_metrics["spill.byte.written"];
+  if (spilled_result.total_rows != in_memory_result.total_rows) {
+    std::fprintf(stderr, "spill row mismatch: %lld vs %lld\n",
+                 static_cast<long long>(spilled_result.total_rows),
+                 static_cast<long long>(in_memory_result.total_rows));
+    return 1;
+  }
+  if (spill_runs == 0) {
+    std::fprintf(stderr, "16 MiB cap did not force a spill\n");
+    return 1;
+  }
+  std::printf(
+      "%-28s in-memory %8.1f ms  spilled %8.1f ms (%lld runs, %.1f MB)  "
+      "slowdown %.2fx\n",
+      queries[0].name, in_memory_millis, spilled_millis,
+      static_cast<long long>(spill_runs), spill_bytes / 1048576.0,
+      spilled_millis / in_memory_millis);
+
+  // Interleave the accounted / unaccounted reps: running them as two
+  // back-to-back blocks lets allocator and page-cache warmup from the spill
+  // runs above systematically favor whichever block goes second, which reads
+  // as fake reservation overhead (or a fake speedup).
+  QueryResult accounted_result, unaccounted_result;
+  double accounted_millis = 1e18, unaccounted_millis = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    accounted_millis = std::min(
+        accounted_millis, best_of(queries[0].sql, {}, 1, &accounted_result));
+    unaccounted_millis =
+        std::min(unaccounted_millis,
+                 best_of(queries[0].sql, {{"memory_accounting", "false"}}, 1,
+                         &unaccounted_result));
+  }
+  double memory_overhead_pct =
+      (accounted_millis - unaccounted_millis) / unaccounted_millis * 100.0;
+  std::printf(
+      "%-28s accounted %7.1f ms  unaccounted %7.1f ms  overhead %+.2f%% "
+      "(budget 2%%), query peak %.1f MB\n",
+      queries[0].name, accounted_millis, unaccounted_millis,
+      memory_overhead_pct,
+      accounted_result.exec_metrics["memory.query.peak_bytes"] / 1048576.0);
+  if (accounted_result.total_rows != unaccounted_result.total_rows) {
+    std::fprintf(stderr, "memory-accounting row mismatch: %lld vs %lld\n",
+                 static_cast<long long>(accounted_result.total_rows),
+                 static_cast<long long>(unaccounted_result.total_rows));
     return 1;
   }
 
@@ -325,9 +405,23 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  ],\n  \"fault_tolerance\": {\"query\": \"%s\", "
                "\"recovery_armed_millis\": %.2f, \"bare_millis\": %.2f, "
-               "\"overhead_pct\": %.2f, \"budget_pct\": 2.0}\n}\n",
+               "\"overhead_pct\": %.2f, \"budget_pct\": 2.0},\n",
                queries[0].name, armed_millis, bare_millis,
                retry_overhead_pct);
+  std::fprintf(
+      f,
+      "  \"memory\": {\"query\": \"%s\",\n"
+      "    \"spill\": {\"in_memory_millis\": %.2f, \"spilled_millis\": %.2f, "
+      "\"slowdown\": %.2f, \"runs_written\": %lld, \"bytes_written\": %lld},\n"
+      "    \"reservation_overhead\": {\"accounted_millis\": %.2f, "
+      "\"unaccounted_millis\": %.2f, \"overhead_pct\": %.2f, "
+      "\"budget_pct\": 2.0, \"query_peak_bytes\": %lld}}\n}\n",
+      queries[0].name, in_memory_millis, spilled_millis,
+      spilled_millis / in_memory_millis, static_cast<long long>(spill_runs),
+      static_cast<long long>(spill_bytes), accounted_millis,
+      unaccounted_millis, memory_overhead_pct,
+      static_cast<long long>(
+          accounted_result.exec_metrics["memory.query.peak_bytes"]));
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

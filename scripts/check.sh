@@ -28,16 +28,31 @@ CHAOS_FILTER='ChaosQueryTest.*:QueryTimeoutTest.*:ExchangeFaultFuzzTest.*'
 CHAOS_SEED="${PRESTO_CHAOS_SEED:-20260806}"
 CHAOS_ITERS="${PRESTO_CHAOS_ITERS:-8}"
 
+# Memory-pressure stage: the spill / admission / low-memory-killer paths all
+# run with tiny query_max_memory caps, so re-running them under the
+# sanitizers shakes out races in reservation walks, revocation, and the
+# killer's cross-thread cancellation. The acceptance-scale spill test is
+# shrunk for sanitizer speed (full 10M rows runs in the regular suite).
+MEMORY_FILTER='MemoryPoolTest.*:SpillDifferentialTest.*:SpillLargeScaleTest.*'
+MEMORY_FILTER="$MEMORY_FILTER:AdmissionTest.*:LowMemoryKillerTest.*"
+MEMORY_FILTER="$MEMORY_FILTER:ExchangeMemoryTest.*:MemoryCountersTest.*"
+MEMORY_SCALE_ROWS="${PRESTO_SPILL_SCALE_ROWS:-2000000}"
+
 if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan build =="
   cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS"
   echo "== tsan tests =="
-  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      PRESTO_SPILL_SCALE_ROWS="$MEMORY_SCALE_ROWS" ctest --output-on-failure)
   echo "== tsan chaos (seed=$CHAOS_SEED iters=$CHAOS_ITERS) =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       PRESTO_CHAOS_SEED="$CHAOS_SEED" PRESTO_CHAOS_ITERS="$CHAOS_ITERS" \
       ./tests/presto_tests --gtest_filter="$CHAOS_FILTER")
+  echo "== tsan memory pressure (scale_rows=$MEMORY_SCALE_ROWS) =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      PRESTO_SPILL_SCALE_ROWS="$MEMORY_SCALE_ROWS" \
+      ./tests/presto_tests --gtest_filter="$MEMORY_FILTER")
 fi
 
 if [[ "$MODE" != "--tsan-only" ]]; then
@@ -45,11 +60,16 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   cmake -B build-asan -S . -DPRESTO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   echo "== asan tests =="
-  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" ctest --output-on-failure)
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      PRESTO_SPILL_SCALE_ROWS="$MEMORY_SCALE_ROWS" ctest --output-on-failure)
   echo "== asan chaos (seed=$CHAOS_SEED iters=$CHAOS_ITERS) =="
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
       PRESTO_CHAOS_SEED="$CHAOS_SEED" PRESTO_CHAOS_ITERS="$CHAOS_ITERS" \
       ./tests/presto_tests --gtest_filter="$CHAOS_FILTER")
+  echo "== asan memory pressure (scale_rows=$MEMORY_SCALE_ROWS) =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      PRESTO_SPILL_SCALE_ROWS="$MEMORY_SCALE_ROWS" \
+      ./tests/presto_tests --gtest_filter="$MEMORY_FILTER")
 fi
 
 echo "OK: requested suites passed"

@@ -16,10 +16,15 @@ namespace presto {
 /// partitions, Presto will skip caching those directories to guarantee data
 /// freshness." — open partitions keep receiving files from near-real-time
 /// ingestion, so their listings always go to the NameNode.
+/// Listings are byte-weighted: each cached directory counts its paths'
+/// bytes against `capacity_bytes` (LRU eviction) and charges them to the
+/// process-wide cache memory pool.
 class FileListCache {
  public:
-  explicit FileListCache(size_t capacity = 10000)
-      : cache_(capacity, "cache.file_list") {}
+  explicit FileListCache(size_t capacity_bytes = 32 << 20)
+      : cache_(capacity_bytes, "cache.file_list") {
+    cache_.SetMemoryPool(ProcessCachePool()->AddChild("cache.file_list"));
+  }
 
   /// Lists `directory` through the cache. `sealed` comes from the table's
   /// partition metadata: only sealed directories are cached.
@@ -31,7 +36,7 @@ class FileListCache {
     ASSIGN_OR_RETURN(std::vector<FileInfo> listed, fs->ListFiles(directory));
     auto shared =
         std::make_shared<const std::vector<FileInfo>>(std::move(listed));
-    if (sealed) cache_.Put(directory, shared);
+    if (sealed) cache_.Put(directory, shared, EstimateListingBytes(*shared));
     return shared;
   }
 
@@ -41,6 +46,14 @@ class FileListCache {
   MetricsRegistry& metrics() { return cache_.metrics(); }
 
  private:
+  static int64_t EstimateListingBytes(const std::vector<FileInfo>& files) {
+    int64_t bytes = static_cast<int64_t>(sizeof(std::vector<FileInfo>));
+    for (const FileInfo& file : files) {
+      bytes += static_cast<int64_t>(sizeof(FileInfo) + file.path.size());
+    }
+    return bytes;
+  }
+
   LruCache<std::vector<FileInfo>> cache_;
 };
 

@@ -15,11 +15,20 @@ namespace presto {
 /// remote storage. Also, a worker caches common columnar file and stripe
 /// footers in memory … due to the high hit rate of footers as they are the
 /// indexes to the data itself."
+///
+/// Handles are capped by entry count; footers are byte-weighted (their
+/// estimated in-memory size counts against footer_capacity_bytes, evicting
+/// LRU-first). Both charge their resident bytes to the process-wide cache
+/// memory pool so cache memory is visible next to query memory.
 class FooterCache {
  public:
-  explicit FooterCache(size_t capacity = 20000)
+  explicit FooterCache(size_t capacity = 20000,
+                       size_t footer_capacity_bytes = 64 << 20)
       : handles_(capacity, "cache.file_handle"),
-        footers_(capacity, "cache.footer") {}
+        footers_(footer_capacity_bytes, "cache.footer") {
+    handles_.SetMemoryPool(ProcessCachePool()->AddChild("cache.file_handle"));
+    footers_.SetMemoryPool(ProcessCachePool()->AddChild("cache.footer"));
+  }
 
   /// Opens a file through the handle cache: a hit skips the getFileInfo /
   /// open round trip to remote storage.
@@ -43,7 +52,7 @@ class FooterCache {
                      lakefile::ReadFooter(file.get()));
     auto shared =
         std::make_shared<const lakefile::FileFooter>(std::move(footer));
-    footers_.Put(path, shared);
+    footers_.Put(path, shared, EstimateFooterBytes(*shared));
     return shared;
   }
 
@@ -56,6 +65,14 @@ class FooterCache {
   MetricsRegistry& footer_metrics() { return footers_.metrics(); }
 
  private:
+  // Rough resident size: fixed header plus per-row-group metadata. Exact
+  // accounting is not the point — the same estimator drives both eviction
+  // and the pool charge, so they stay consistent.
+  static int64_t EstimateFooterBytes(const lakefile::FileFooter& footer) {
+    return static_cast<int64_t>(sizeof(lakefile::FileFooter)) +
+           static_cast<int64_t>(footer.row_groups.size()) * 64;
+  }
+
   LruCache<std::shared_ptr<RandomAccessFile>> handles_;
   LruCache<lakefile::FileFooter> footers_;
 };

@@ -1,6 +1,7 @@
 #ifndef PRESTO_CACHE_LRU_CACHE_H_
 #define PRESTO_CACHE_LRU_CACHE_H_
 
+#include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
@@ -8,17 +9,26 @@
 #include <optional>
 #include <string>
 
+#include "presto/common/memory_pool.h"
 #include "presto/common/metrics.h"
 
 namespace presto {
 
-/// Thread-safe LRU cache with entry-count capacity. Values are shared_ptrs
-/// so hits stay valid while entries are evicted concurrently.
+/// Thread-safe LRU cache with byte-weighted capacity. Every entry carries a
+/// weight (its estimated bytes; defaults to 1, which degenerates to plain
+/// entry-count LRU) and entries are evicted oldest-first while the total
+/// weight exceeds `capacity`. Values are shared_ptrs so hits stay valid
+/// while entries are evicted concurrently.
+///
+/// An optional MemoryPool (SetMemoryPool) is charged for every resident
+/// entry's weight, making cache memory visible in the worker's memory
+/// hierarchy alongside query memory; a failed reservation means the entry is
+/// simply not cached (caching is best-effort, never an error).
 ///
 /// Counter names follow the subsystem.object.verb scheme: the prefix names
 /// the cache instance (e.g. "cache.footer") and the cache appends
-/// .hits/.misses/.evictions. Counters are pre-registered so the hot path is
-/// a single relaxed atomic add.
+/// .hits/.misses/.evictions/.evicted.bytes. Counters are pre-registered so
+/// the hot path is a single relaxed atomic add.
 template <typename V>
 class LruCache {
  public:
@@ -26,7 +36,23 @@ class LruCache {
       : capacity_(capacity == 0 ? 1 : capacity),
         hits_(metrics_.FindOrRegister(metric_prefix + ".hits")),
         misses_(metrics_.FindOrRegister(metric_prefix + ".misses")),
-        evictions_(metrics_.FindOrRegister(metric_prefix + ".evictions")) {}
+        evictions_(metrics_.FindOrRegister(metric_prefix + ".evictions")),
+        evicted_bytes_(
+            metrics_.FindOrRegister(metric_prefix + ".evicted.bytes")) {}
+
+  ~LruCache() { Clear(); }
+
+  /// Attaches a memory pool (typically a child of ProcessCachePool());
+  /// resident entries' weights are reserved against it.
+  void SetMemoryPool(std::shared_ptr<MemoryPool> pool) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pool_ != nullptr && total_weight_ > 0) pool_->Release(total_weight_);
+    pool_ = std::move(pool);
+    if (pool_ != nullptr && total_weight_ > 0) {
+      // Best-effort re-charge of what is already resident.
+      if (!pool_->Reserve(total_weight_).ok()) pool_ = nullptr;
+    }
+  }
 
   std::optional<std::shared_ptr<const V>> Get(const std::string& key) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -41,20 +67,41 @@ class LruCache {
     return it->second.value;
   }
 
-  void Put(const std::string& key, std::shared_ptr<const V> value) {
+  /// Inserts or replaces `key`. `weight` is the entry's estimated bytes
+  /// (counts against capacity and the attached pool); the default of 1 keeps
+  /// entry-count semantics for callers without a byte estimate.
+  void Put(const std::string& key, std::shared_ptr<const V> value,
+           int64_t weight = 1) {
+    if (weight < 1) weight = 1;
     std::lock_guard<std::mutex> lock(mu_);
+    if (pool_ != nullptr && !pool_->Reserve(weight).ok()) {
+      return;  // worker has no budget for cache growth: skip caching
+    }
     auto it = index_.find(key);
     if (it != index_.end()) {
+      total_weight_ -= it->second.weight;
+      if (pool_ != nullptr) pool_->Release(it->second.weight);
       it->second.value = std::move(value);
+      it->second.weight = weight;
+      total_weight_ += weight;
       order_.splice(order_.begin(), order_, it->second.order_it);
-      return;
+    } else {
+      order_.push_front(key);
+      index_[key] = Entry{std::move(value), weight, order_.begin()};
+      total_weight_ += weight;
     }
-    order_.push_front(key);
-    index_[key] = Entry{std::move(value), order_.begin()};
-    if (index_.size() > capacity_) {
-      index_.erase(order_.back());
-      order_.pop_back();
+    // Evict oldest-first while over budget; the just-inserted entry survives
+    // even when it alone exceeds capacity (an oversized entry evicts
+    // everything else, then ages out normally).
+    while (total_weight_ > static_cast<int64_t>(capacity_) &&
+           index_.size() > 1) {
+      auto victim = index_.find(order_.back());
+      total_weight_ -= victim->second.weight;
+      if (pool_ != nullptr) pool_->Release(victim->second.weight);
+      evicted_bytes_->Add(victim->second.weight);
       evictions_->Add(1);
+      index_.erase(victim);
+      order_.pop_back();
     }
   }
 
@@ -62,12 +109,16 @@ class LruCache {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) return;
+    total_weight_ -= it->second.weight;
+    if (pool_ != nullptr) pool_->Release(it->second.weight);
     order_.erase(it->second.order_it);
     index_.erase(it);
   }
 
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
+    if (pool_ != nullptr && total_weight_ > 0) pool_->Release(total_weight_);
+    total_weight_ = 0;
     index_.clear();
     order_.clear();
   }
@@ -77,22 +128,32 @@ class LruCache {
     return index_.size();
   }
 
+  /// Total weight (estimated bytes) of resident entries.
+  int64_t weight_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_weight_;
+  }
+
   MetricsRegistry& metrics() { return metrics_; }
 
  private:
   struct Entry {
     std::shared_ptr<const V> value;
+    int64_t weight = 1;
     std::list<std::string>::iterator order_it;
   };
 
-  const size_t capacity_;
+  const size_t capacity_;  // total weight budget (bytes, or entries at w=1)
   MetricsRegistry metrics_;
   MetricsRegistry::Counter* const hits_;
   MetricsRegistry::Counter* const misses_;
   MetricsRegistry::Counter* const evictions_;
+  MetricsRegistry::Counter* const evicted_bytes_;
   mutable std::mutex mu_;
   std::list<std::string> order_;  // front = most recent
   std::map<std::string, Entry> index_;
+  int64_t total_weight_ = 0;
+  std::shared_ptr<MemoryPool> pool_;  // null = cache memory unaccounted
 };
 
 }  // namespace presto

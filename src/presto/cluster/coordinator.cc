@@ -272,6 +272,82 @@ Status Coordinator::RecordFailure(int64_t query_id, const Status& status,
   return status;
 }
 
+bool Coordinator::OnMemoryPressure(int64_t requesting_query_id,
+                                   int64_t bytes_requested) {
+  int64_t victim_id = -1;
+  int64_t victim_reserved = -1;
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    // A kill already in flight is freeing memory as the victim unwinds; don't
+    // stack a second victim. The requester retries — unless it *is* the
+    // victim, in which case retrying is pointless (it observes its own flag).
+    for (const auto& [id, query] : active_queries_) {
+      if (query.killed->load(std::memory_order_relaxed)) {
+        return id != requesting_query_id;
+      }
+    }
+    const ActiveQuery* victim = nullptr;
+    for (const auto& [id, query] : active_queries_) {
+      int64_t reserved = query.pool->reserved_bytes();
+      if (reserved > victim_reserved) {
+        victim_reserved = reserved;
+        victim_id = id;
+        victim = &query;
+      }
+    }
+    if (victim == nullptr || victim_reserved <= 0) return false;
+    victim->killed->store(true, std::memory_order_relaxed);
+  }
+  // The flag alone suffices: operators poll it at every batch boundary, so
+  // the victim unwinds (releasing its pools) without any exchange plumbing.
+  metrics_.Increment("query.killed.memory");
+  journal_.Record(victim_id, QueryEventKind::kKilledMemory,
+                  "largest reservation under worker memory pressure",
+                  {{"reserved_bytes", victim_reserved},
+                   {"bytes_requested", bytes_requested},
+                   {"requesting_query", requesting_query_id}});
+  return victim_id != requesting_query_id;
+}
+
+Status Coordinator::AdmitQuery(int64_t query_id, int64_t query_queue_max,
+                               int64_t deadline_steady_nanos) {
+  const int64_t high_water = static_cast<int64_t>(
+      static_cast<double>(options_.worker_memory_bytes) *
+      options_.admission_high_water);
+  std::unique_lock<std::mutex> lock(active_mu_);
+  if (worker_pool_->reserved_bytes() < high_water) return Status::OK();
+  if (queued_now_ >= query_queue_max) {
+    return Status::ResourceExhausted(
+        "admission queue full: " + std::to_string(queued_now_) +
+        " queries already queued (query_queue_max=" +
+        std::to_string(query_queue_max) + ")");
+  }
+  ++queued_now_;
+  metrics_.Increment("query.queued");
+  journal_.Record(query_id, QueryEventKind::kQueued,
+                  "reserved worker memory at or above high-water mark",
+                  {{"reserved_bytes", worker_pool_->reserved_bytes()},
+                   {"high_water_bytes", high_water}});
+  // Poll rather than relying purely on notification: memory is also released
+  // by operators mid-query (pool atomics have no coordinator hook), so a
+  // 10ms re-check keeps admission prompt without coupling pools to the
+  // coordinator lock.
+  while (worker_pool_->reserved_bytes() >= high_water) {
+    if (deadline_steady_nanos > 0 &&
+        SteadyNowNanos() >= deadline_steady_nanos) {
+      --queued_now_;
+      return Status::Unavailable(
+          "query deadline exceeded (query_timeout_millis) while queued for "
+          "admission");
+    }
+    admission_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  --queued_now_;
+  journal_.Record(query_id, QueryEventKind::kAdmitted,
+                  "reserved worker memory dropped below high-water mark");
+  return Status::OK();
+}
+
 Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
                                             const Session& session) {
   Stopwatch watch;
@@ -345,9 +421,71 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   // work of a failed first run) accumulate so the terminal journal event and
   // the result's exec_metrics reflect the whole recovery story.
   MetricsRegistry query_metrics;
+
+  // -- Admission control: a queued query holds no memory yet, so it waits
+  // here, before its pools even exist.
+  int64_t query_queue_max = std::strtoll(
+      session.Property("query_queue_max", "64").c_str(), nullptr, 10);
+  if (query_queue_max < 0) query_queue_max = 0;
+  Status admitted =
+      AdmitQuery(query_id, query_queue_max, deadline_steady_nanos);
+  if (!admitted.ok()) {
+    if (admitted.message().find("query deadline exceeded") !=
+        std::string::npos) {
+      metrics_.Increment("query.timeout");
+    }
+    return RecordFailure(query_id, admitted, &query_metrics);
+  }
+
+  // -- Per-query memory context: worker -> query.<id> -> {user, system}.
+  // The registration below makes the query visible to the low-memory killer;
+  // the guard unregisters it on every exit path and wakes queued queries.
+  QueryMemoryContext memory_ctx;
+  const QueryMemoryContext* memory = nullptr;
+  struct ActiveGuard {
+    Coordinator* coordinator;
+    int64_t query_id;
+    bool armed = false;
+    ~ActiveGuard() {
+      if (!armed) return;
+      {
+        std::lock_guard<std::mutex> lock(coordinator->active_mu_);
+        coordinator->active_queries_.erase(query_id);
+      }
+      coordinator->admission_cv_.notify_all();
+    }
+  } active_guard{this, query_id};
+  if (session.Property("memory_accounting", "true") != "false") {
+    int64_t query_max_memory = 1LL << 30;
+    {
+      std::string prop = session.Property("query_max_memory", "");
+      if (!prop.empty()) {
+        int64_t parsed = std::strtoll(prop.c_str(), nullptr, 10);
+        if (parsed > 0) query_max_memory = parsed;
+      }
+    }
+    memory_ctx.query =
+        worker_pool_->AddChild("query." + std::to_string(query_id));
+    memory_ctx.user = memory_ctx.query->AddChild("user", query_max_memory);
+    memory_ctx.system = memory_ctx.query->AddChild("system");
+    memory_ctx.killed = std::make_shared<std::atomic<bool>>(false);
+    memory_ctx.spill_enabled =
+        session.Property("spill_enabled", "true") != "false";
+    memory_ctx.spill_dir =
+        session.Property("spill_path", "/tmp/presto_spill") + "/query-" +
+        std::to_string(query_id);
+    memory = &memory_ctx;
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_queries_[query_id] =
+          ActiveQuery{memory_ctx.query, memory_ctx.killed};
+    }
+    active_guard.armed = true;
+  }
+
   auto attempt = ExecutePlanOnce(query_id, fragmented, session, watch,
                                  force_stats, deadline_steady_nanos,
-                                 &query_metrics);
+                                 &query_metrics, memory);
   bool deadline_expired = deadline_steady_nanos > 0 &&
                           SteadyNowNanos() >= deadline_steady_nanos;
   if (!attempt.ok() && recovery_enabled && !deadline_expired &&
@@ -362,7 +500,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     journal_.Record(query_id, QueryEventKind::kRestarted,
                     attempt.status().ToString());
     attempt = ExecutePlanOnce(query_id, fragmented, session, watch, force_stats,
-                              deadline_steady_nanos, &query_metrics);
+                              deadline_steady_nanos, &query_metrics, memory);
   }
   if (!attempt.ok()) {
     if (attempt.status().message().find("query deadline exceeded") !=
@@ -377,7 +515,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
 Result<QueryResult> Coordinator::ExecutePlanOnce(
     int64_t query_id, const FragmentedPlan& fragmented, const Session& session,
     Stopwatch watch, bool force_stats, int64_t deadline_steady_nanos,
-    MetricsRegistry* query_metrics) {
+    MetricsRegistry* query_metrics, const QueryMemoryContext* memory) {
   QueryResult result;
   result.query_id = query_id;
   result.num_fragments = static_cast<int>(fragmented.fragments.size());
@@ -427,6 +565,17 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     }
     limits.vectorized_kernels =
         session.Property("vectorized_kernels", "true") != "false";
+  }
+  if (memory != nullptr) {
+    // Task pools are added per task inside run_task; everything else about
+    // the memory hierarchy is shared across the query's tasks.
+    limits.query_user_pool = memory->user.get();
+    limits.arbiter = this;
+    limits.query_id = query_id;
+    limits.query_killed = memory->killed;
+    limits.spill_enabled = memory->spill_enabled;
+    limits.spill_fs = spill_fs_.get();
+    limits.spill_dir = memory->spill_dir;
   }
 
   // Leaf-task retry knobs. Retries buffer leaf output until the attempt
@@ -507,6 +656,14 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
         exchange_partitions, exchange_capacity, query_metrics);
     state.exchange->SetProducerCount(state.num_tasks);
     state.exchange->SetDeadlineNanos(deadline_steady_nanos);
+    if (memory != nullptr) {
+      // Exchange buffers live in the query's system subtree (uncapped at the
+      // query level): a tiny query_max_memory squeezes operators into
+      // spilling without starving shuffle buffers, while the worker cap
+      // still sees every buffered byte.
+      state.exchange->SetMemoryPool(memory->system->AddChild(
+          "exchange." + std::to_string(fragment.id)));
+    }
     exchange_refs[fragment.id] = state.exchange.get();
     stage_tracker->remaining[fragment.id] = state.num_tasks;
   }
@@ -567,7 +724,7 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // attempt's pages are held locally and published only on success, so a
   // half-run retryable attempt never leaks rows downstream.
   auto run_task = [this, &exchange_refs, use_fragment_cache, limits,
-                   collect_stats, collector, stage_tracker, query_id](
+                   collect_stats, collector, stage_tracker, query_id, memory](
                       FragmentState* state,
                       const std::vector<SplitPtr>& splits_in, int partition,
                       Worker* host, bool buffer_output) -> Status {
@@ -639,8 +796,17 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     // The builder copies splits into the scan operator, so each retry
     // attempt rebuilds from the task's own (retained) split list.
     std::vector<SplitPtr> splits = splits_in;
+    // Each task (and each retry attempt) gets its own pool under the query's
+    // user subtree; operators hang their leaf pools off it, and destroying
+    // the attempt's operator tree returns every byte.
+    ExecutionLimits task_limits = limits;
+    if (memory != nullptr) {
+      task_limits.task_pool = memory->user->AddChild(
+          "task." + std::to_string(fragment->id) + "." +
+          std::to_string(partition));
+    }
     OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(),
-                            &exchange_refs, &splits, limits, partition);
+                            &exchange_refs, &splits, task_limits, partition);
     auto op = builder.Build(fragment->root);
     if (!op.ok()) return op.status();
     std::vector<Page> produced;   // for the fragment result cache
@@ -666,9 +832,12 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     // Success: publish and finalize the producer slot.
     for (Page& page : buffered) push_output(std::move(page));
     if (cacheable && !truncated) {
+      int64_t cache_weight = 0;
+      for (const Page& page : produced) cache_weight += page.EstimateBytes();
       fragment_cache_.Put(cache_key,
                           std::make_shared<const std::vector<Page>>(
-                              std::move(produced)));
+                              std::move(produced)),
+                          cache_weight);
     }
     out->ProducerDone();
     close_inputs();
@@ -892,8 +1061,12 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // -- Run the root fragment on the coordinator. --------------------------------
   const PlanFragment& root = fragmented.fragments[0];
   Stopwatch root_watch;
+  ExecutionLimits root_limits = limits;
+  if (memory != nullptr) {
+    root_limits.task_pool = memory->user->AddChild("task.root");
+  }
   OperatorBuilder builder(catalogs_, &FunctionRegistry::Default(), &exchange_refs,
-                          nullptr, limits);
+                          nullptr, root_limits);
   auto root_op = builder.Build(root.root);
   if (!root_op.ok()) {
     shutdown_exchanges();
@@ -928,8 +1101,29 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   }
   query_metrics->FindOrRegister("exchange.peak_buffered_bytes")
       ->Add(peak_exchange_bytes);
+  if (memory != nullptr) {
+    // Query-level memory high-water mark (user + system subtrees). On the
+    // rare restarted query this accumulates one value per attempt, matching
+    // how every other counter in the shared registry behaves.
+    query_metrics->FindOrRegister("memory.query.peak_bytes")
+        ->Add(memory->query->peak_bytes());
+  }
 
   result.exec_metrics = query_metrics->Snapshot();
+  {
+    int64_t spill_runs = 0;
+    int64_t spill_bytes = 0;
+    auto it = result.exec_metrics.find("spill.run.written");
+    if (it != result.exec_metrics.end()) spill_runs = it->second;
+    it = result.exec_metrics.find("spill.byte.written");
+    if (it != result.exec_metrics.end()) spill_bytes = it->second;
+    if (spill_runs > 0) {
+      journal_.Record(query_id, QueryEventKind::kOperatorSpilled,
+                      std::to_string(spill_runs) + " runs under memory pressure",
+                      {{"spill.run.written", spill_runs},
+                       {"spill.byte.written", spill_bytes}});
+    }
+  }
   if (collect_stats) {
     std::vector<OperatorStats> ops;
     (*root_op)->CollectStats(&ops);

@@ -1,6 +1,8 @@
 #ifndef PRESTO_CLUSTER_COORDINATOR_H_
 #define PRESTO_CLUSTER_COORDINATOR_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,10 +11,13 @@
 #include <vector>
 
 #include "presto/cache/lru_cache.h"
+#include "presto/common/memory_pool.h"
 #include "presto/connector/connector.h"
 #include "presto/cluster/query_journal.h"
 #include "presto/cluster/worker.h"
 #include "presto/exec/query_stats.h"
+#include "presto/fs/file_system.h"
+#include "presto/fs/local_file_system.h"
 #include "presto/planner/fragmenter.h"
 #include "presto/planner/session.h"
 #include "presto/vector/page.h"
@@ -58,20 +63,40 @@ struct CoordinatorOptions {
   const Clock* clock = nullptr;
   /// Ring capacity of the query event journal.
   size_t journal_capacity = 1024;
+  /// Capacity of the worker-level memory pool every query's reservations
+  /// count against (this embedded cluster models one worker process).
+  int64_t worker_memory_bytes = 8LL << 30;
+  /// Admission control high-water mark as a fraction of worker_memory_bytes:
+  /// new queries queue while reserved worker memory is at or above it.
+  double admission_high_water = 0.85;
 };
 
 /// Single-coordinator query engine (Section III): parses incoming SQL into
 /// an AST, analyzes it into a logical plan, runs the optimizer rounds,
 /// fragments the physical plan, and schedules tasks on worker execution
 /// slots. There is one coordinator per cluster; it is stateful.
-class Coordinator {
+///
+/// Memory management: the coordinator owns the worker-level MemoryPool root.
+/// Each query gets a child pool split into a "user" subtree (capped by the
+/// session property query_max_memory; operators reserve there) and a
+/// "system" subtree (exchange buffers). Under pressure it degrades in order:
+/// revocable operators spill, new queries queue at the admission high-water
+/// mark, and as the last resort the low-memory killer (MemoryArbiter)
+/// cancels the query with the largest reservation.
+class Coordinator : public MemoryArbiter {
  public:
   Coordinator(CatalogRegistry* catalogs,
               CoordinatorOptions options = CoordinatorOptions())
       : catalogs_(catalogs),
         options_(options),
         journal_(options.clock != nullptr ? options.clock : DefaultSystemClock(),
-                 options.journal_capacity) {}
+                 options.journal_capacity) {
+    worker_pool_ = MemoryPool::CreateRoot("worker", options_.worker_memory_bytes,
+                                          &metrics_);
+    spill_fs_ = std::make_unique<LocalFileSystem>();
+    fragment_cache_.SetMemoryPool(
+        ProcessCachePool()->AddChild("cache.fragment_result"));
+  }
 
   // -- worker membership: elastic expansion / graceful shrink ----------------
   void AddWorker(std::shared_ptr<Worker> worker);
@@ -113,7 +138,37 @@ class Coordinator {
   MetricsRegistry& fragment_cache_metrics() { return fragment_cache_.metrics(); }
   void InvalidateFragmentCache() { fragment_cache_.Clear(); }
 
+  /// Worker-level memory pool root; query pools hang off it. Exposed so
+  /// tests and benches can observe or pre-reserve worker memory.
+  MemoryPool* worker_pool() { return worker_pool_.get(); }
+
+  /// Low-memory killer (MemoryArbiter): invoked by an operator whose
+  /// reservation failed at the worker cap even after self-revocation. Kills
+  /// (sets the cancellation flag of) the active query with the largest
+  /// reservation — at most one victim in flight at a time — and returns true
+  /// when the caller should retry its reservation. Returns false when the
+  /// caller itself is (or just became) the victim, or nothing can be freed.
+  bool OnMemoryPressure(int64_t requesting_query_id,
+                        int64_t bytes_requested) override;
+
  private:
+  /// Per-query memory wiring threaded from ExecutePlan into the execution
+  /// layers. Null when the session disabled accounting.
+  struct QueryMemoryContext {
+    std::shared_ptr<MemoryPool> query;   // worker -> query.<id>
+    std::shared_ptr<MemoryPool> user;    // capped at query_max_memory
+    std::shared_ptr<MemoryPool> system;  // exchange buffers (uncapped)
+    std::shared_ptr<std::atomic<bool>> killed;
+    bool spill_enabled = true;
+    std::string spill_dir;
+  };
+
+  /// Admission control: blocks until reserved worker memory drops below the
+  /// high-water mark (journaling query_queued / query_admitted), fails with
+  /// kResourceExhausted when query_queue_max queries are already waiting,
+  /// and gives up at the query deadline.
+  Status AdmitQuery(int64_t query_id, int64_t query_queue_max,
+                    int64_t deadline_steady_nanos);
   Result<FragmentedPlan> PlanSql(const std::string& sql, const Session& session);
   Result<FragmentedPlan> PlanQuery(const sql::Query& query,
                                    const Session& session);
@@ -138,7 +193,8 @@ class Coordinator {
                                       const Session& session, Stopwatch watch,
                                       bool force_stats,
                                       int64_t deadline_steady_nanos,
-                                      MetricsRegistry* query_metrics);
+                                      MetricsRegistry* query_metrics,
+                                      const QueryMemoryContext* memory);
   /// Bumps failure counters and journals a kFailed event carrying a snapshot
   /// of whatever per-query counters accumulated before the error, then
   /// passes the status through.
@@ -147,7 +203,9 @@ class Coordinator {
 
   CatalogRegistry* catalogs_;
   CoordinatorOptions options_;
-  LruCache<std::vector<Page>> fragment_cache_{256, "cache.fragment_result"};
+  /// Byte-weighted: entries are charged their pages' estimated bytes.
+  LruCache<std::vector<Page>> fragment_cache_{256 << 20,
+                                              "cache.fragment_result"};
 
   QueryJournal journal_;
   MetricsRegistry metrics_;
@@ -158,6 +216,22 @@ class Coordinator {
   std::set<std::string> blacklisted_;  // dead workers, by liveness check
   std::atomic<int64_t> queries_completed_{0};
   std::atomic<int64_t> queries_failed_{0};
+
+  // -- memory management ------------------------------------------------------
+  /// Root of the worker memory hierarchy (capacity worker_memory_bytes).
+  std::shared_ptr<MemoryPool> worker_pool_;
+  /// File system behind the spill area (fault-injection covered in tests).
+  std::unique_ptr<FileSystem> spill_fs_;
+  /// Guards the active-query registry and admission queue below.
+  mutable std::mutex active_mu_;
+  /// Signaled whenever a query releases its pool, waking queued queries.
+  std::condition_variable admission_cv_;
+  struct ActiveQuery {
+    std::shared_ptr<MemoryPool> pool;            // query.<id> subtree
+    std::shared_ptr<std::atomic<bool>> killed;   // low-memory kill flag
+  };
+  std::map<int64_t, ActiveQuery> active_queries_;
+  int64_t queued_now_ = 0;  // queries currently waiting for admission
 };
 
 }  // namespace presto

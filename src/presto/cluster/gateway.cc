@@ -1,6 +1,7 @@
 #include "presto/cluster/gateway.h"
 
 #include <algorithm>
+#include <set>
 
 #include "presto/common/fault_injection.h"
 
@@ -168,12 +169,39 @@ Result<QueryResult> PrestoGateway::Submit(const std::string& sql,
                static_cast<size_t>(unhealthy_threshold_) - 1;
   }
   Status last;
+  // Clusters that refused this query for overload (kResourceExhausted:
+  // admission queue full, memory-killed). Overload is a property of the
+  // cluster's current load, not its health, so these failovers carry no
+  // health penalty — but each overloaded cluster is tried at most once.
+  std::set<std::string> overloaded;
   for (size_t attempt = 0; attempt < attempts; ++attempt) {
-    auto routed = Route(session);
-    if (!routed.ok()) return routed.status();
-    PrestoCluster* cluster = *routed;
+    PrestoCluster* cluster = nullptr;
+    if (overloaded.empty()) {
+      auto routed = Route(session);
+      if (!routed.ok()) return routed.status();
+      cluster = *routed;
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [name, entry] : clusters_) {
+        if (entry.healthy && overloaded.count(name) == 0) {
+          cluster = entry.cluster;
+          break;
+        }
+      }
+      if (cluster == nullptr) return last;  // everywhere healthy is overloaded
+    }
     auto result = cluster->Execute(sql, session);
-    if (result.ok() || !IsRetryableStatus(result.status())) {
+    if (result.ok()) {
+      ReportClusterSuccess(cluster->name());
+      return result;
+    }
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      last = result.status();
+      overloaded.insert(cluster->name());
+      metrics_.Increment("gateway.query.overload_failover");
+      continue;
+    }
+    if (!IsRetryableStatus(result.status())) {
       ReportClusterSuccess(cluster->name());
       return result;
     }

@@ -52,6 +52,10 @@ class PrestoGateway {
   /// Route + execute (what a client library does after the redirect), with
   /// health bookkeeping: a retryable execution failure counts against the
   /// cluster and the query fails over to the remaining healthy clusters.
+  /// kResourceExhausted (admission queue full / memory-killed) means the
+  /// cluster is overloaded, not sick: the query fails over to another
+  /// healthy cluster without a health penalty
+  /// (gateway.query.overload_failover).
   Result<QueryResult> Submit(const std::string& sql, const Session& session);
 
   /// Maintenance drain: every route pointing at `from` is rewritten to

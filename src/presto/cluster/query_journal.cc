@@ -27,6 +27,14 @@ const char* QueryEventKindToString(QueryEventKind kind) {
       return "worker_blacklisted";
     case QueryEventKind::kRestarted:
       return "query_restarted";
+    case QueryEventKind::kQueued:
+      return "query_queued";
+    case QueryEventKind::kAdmitted:
+      return "query_admitted";
+    case QueryEventKind::kKilledMemory:
+      return "query_killed_memory";
+    case QueryEventKind::kOperatorSpilled:
+      return "operator_spilled";
   }
   return "unknown";
 }

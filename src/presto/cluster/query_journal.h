@@ -24,6 +24,10 @@ enum class QueryEventKind {
   kTaskRetried,        // a leaf task failed transiently and was re-dispatched
   kWorkerBlacklisted,  // liveness check found a dead worker; out of scheduling
   kRestarted,          // transient stage-level error; whole query re-run once
+  kQueued,             // admission control held the query (worker memory high)
+  kAdmitted,           // a previously queued query got its admission slot
+  kKilledMemory,       // low-memory killer cancelled the largest query
+  kOperatorSpilled,    // revocable operators wrote spill runs under pressure
 };
 
 const char* QueryEventKindToString(QueryEventKind kind);

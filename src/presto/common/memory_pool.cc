@@ -1,0 +1,90 @@
+#include "presto/common/memory_pool.h"
+
+#include <vector>
+
+namespace presto {
+
+std::shared_ptr<MemoryPool> MemoryPool::CreateRoot(std::string name,
+                                                   int64_t capacity_bytes,
+                                                   MetricsRegistry* metrics) {
+  return std::shared_ptr<MemoryPool>(
+      new MemoryPool(std::move(name), capacity_bytes, nullptr, metrics));
+}
+
+std::shared_ptr<MemoryPool> MemoryPool::AddChild(std::string name,
+                                                 int64_t capacity_bytes) {
+  return std::shared_ptr<MemoryPool>(new MemoryPool(
+      std::move(name), capacity_bytes, shared_from_this(), nullptr));
+}
+
+MemoryPool::MemoryPool(std::string name, int64_t capacity_bytes,
+                       std::shared_ptr<MemoryPool> parent,
+                       MetricsRegistry* metrics)
+    : name_(std::move(name)),
+      capacity_bytes_(capacity_bytes),
+      parent_(std::move(parent)) {
+  if (metrics != nullptr) {
+    reserved_counter_ = metrics->FindOrRegister("memory.reserved.bytes");
+  }
+}
+
+MemoryPool::~MemoryPool() {
+  // Backstop for failure paths that dropped a pool without releasing: hand
+  // the residue back to the ancestors so the worker pool doesn't leak
+  // phantom reservation. (RAII via MemoryReservation releases before this.)
+  int64_t residue = reserved_.load(std::memory_order_relaxed);
+  if (residue > 0 && parent_ != nullptr) parent_->Release(residue);
+}
+
+void MemoryPool::UpdatePeak(int64_t reserved_now) {
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (reserved_now > peak &&
+         !peak_.compare_exchange_weak(peak, reserved_now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Status MemoryPool::Reserve(int64_t bytes, const MemoryPool** failed_pool) {
+  if (bytes <= 0) return Status::OK();
+  // Walk leaf -> root, reserving at each level; on a cap violation unwind
+  // the levels already charged so a failed reservation is a no-op.
+  std::vector<MemoryPool*> charged;
+  for (MemoryPool* p = this; p != nullptr; p = p->parent_.get()) {
+    int64_t cur = p->reserved_.load(std::memory_order_relaxed);
+    while (true) {
+      if (p->capacity_bytes_ != kUnlimited && cur + bytes > p->capacity_bytes_) {
+        for (MemoryPool* c : charged) {
+          c->reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+        }
+        if (failed_pool != nullptr) *failed_pool = p;
+        return Status::ResourceExhausted(
+            "memory pool '" + p->name_ + "' exceeded: requested " +
+            std::to_string(bytes) + " bytes, reserved " + std::to_string(cur) +
+            " of " + std::to_string(p->capacity_bytes_));
+      }
+      if (p->reserved_.compare_exchange_weak(cur, cur + bytes,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    p->UpdatePeak(cur + bytes);
+    charged.push_back(p);
+    if (p->reserved_counter_ != nullptr) p->reserved_counter_->Add(bytes);
+  }
+  return Status::OK();
+}
+
+void MemoryPool::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  for (MemoryPool* p = this; p != nullptr; p = p->parent_.get()) {
+    p->reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<MemoryPool> ProcessCachePool() {
+  static std::shared_ptr<MemoryPool> pool =
+      MemoryPool::CreateRoot("cache", MemoryPool::kUnlimited);
+  return pool;
+}
+
+}  // namespace presto

@@ -1,0 +1,154 @@
+#ifndef PRESTO_COMMON_MEMORY_POOL_H_
+#define PRESTO_COMMON_MEMORY_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "presto/common/metrics.h"
+#include "presto/common/status.h"
+
+namespace presto {
+
+/// Hierarchical memory accounting. A pool tree mirrors the execution tree —
+/// worker -> query -> task -> operator — and every allocation-ish event
+/// (hash-table growth, sort buffers, exchange queues, cache entries)
+/// reserves estimated bytes from its leaf pool. A reservation propagates to
+/// every ancestor and is checked against each level's capacity, so both
+/// per-query caps (session property query_max_memory) and the per-worker cap
+/// are enforced at reservation time, before the memory is actually used.
+///
+/// This is accounting, not allocation: operators still use ordinary
+/// containers and report their EstimateBytes()-style footprint. The tree is
+/// lock-free — reserved bytes and peaks are per-pool atomics, and a failed
+/// reservation unwinds the partial walk — so reservation on the hot path is
+/// one relaxed CAS per tree level.
+///
+/// Lifetime: children hold a shared_ptr to their parent, so a leaf pool held
+/// by an operator keeps the whole chain alive. Destroying a pool with a
+/// residual reservation (failure-path backstop; RAII releases normally)
+/// returns the residue to its ancestors.
+///
+/// Counters (root's registry, may be null): memory.reserved.bytes is the
+/// cumulative bytes ever reserved anywhere in the tree (monotonic; current
+/// usage is reserved() on the root), memory.revoked.bytes is bumped by
+/// operators when revocation (spill) releases memory.
+class MemoryPool : public std::enable_shared_from_this<MemoryPool> {
+ public:
+  static constexpr int64_t kUnlimited = 0;
+
+  /// Creates a root (worker-level) pool. `capacity_bytes` of kUnlimited
+  /// disables the cap at this level.
+  static std::shared_ptr<MemoryPool> CreateRoot(
+      std::string name, int64_t capacity_bytes = kUnlimited,
+      MetricsRegistry* metrics = nullptr);
+
+  /// Creates a child pool; reservations against the child count against this
+  /// pool (and its ancestors) too.
+  std::shared_ptr<MemoryPool> AddChild(std::string name,
+                                       int64_t capacity_bytes = kUnlimited);
+
+  ~MemoryPool();
+
+  /// Reserves `bytes` against this pool and every ancestor. On failure
+  /// nothing is reserved and the returned kResourceExhausted names the
+  /// exhausted pool; if `failed_pool` is non-null it is set to that pool so
+  /// callers can tell a query-cap failure (spill / fail the query) from a
+  /// worker-cap failure (invoke the low-memory killer).
+  Status Reserve(int64_t bytes, const MemoryPool** failed_pool = nullptr);
+
+  /// Returns `bytes` previously reserved through this pool.
+  void Release(int64_t bytes);
+
+  const std::string& name() const { return name_; }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  /// Bytes currently reserved through this pool (including descendants).
+  int64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of reserved_bytes().
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  MemoryPool* parent() const { return parent_.get(); }
+
+ private:
+  MemoryPool(std::string name, int64_t capacity_bytes,
+             std::shared_ptr<MemoryPool> parent, MetricsRegistry* metrics);
+
+  void UpdatePeak(int64_t reserved_now);
+
+  const std::string name_;
+  const int64_t capacity_bytes_;  // kUnlimited = no cap at this level
+  const std::shared_ptr<MemoryPool> parent_;
+  std::atomic<int64_t> reserved_{0};
+  std::atomic<int64_t> peak_{0};
+  MetricsRegistry::Counter* reserved_counter_ = nullptr;  // root only
+};
+
+/// Tracks one logical consumer's reservation against a pool and releases it
+/// on destruction. SetBytes() moves the reservation to a new absolute
+/// footprint (reserving the delta or releasing the surplus), which matches
+/// how operators re-estimate after each consumed page.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(std::shared_ptr<MemoryPool> pool)
+      : pool_(std::move(pool)) {}
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  ~MemoryReservation() { Clear(); }
+
+  /// Adjusts the reservation to `bytes` total. Shrinking always succeeds;
+  /// growing may fail with kResourceExhausted, leaving the old reservation
+  /// in place.
+  Status SetBytes(int64_t bytes, const MemoryPool** failed_pool = nullptr) {
+    if (!pool_) return Status::OK();
+    if (bytes < 0) bytes = 0;
+    if (bytes > bytes_) {
+      Status st = pool_->Reserve(bytes - bytes_, failed_pool);
+      if (!st.ok()) return st;
+    } else if (bytes < bytes_) {
+      pool_->Release(bytes_ - bytes);
+    }
+    bytes_ = bytes;
+    return Status::OK();
+  }
+
+  /// Releases the whole reservation (idempotent).
+  void Clear() {
+    if (pool_ && bytes_ > 0) pool_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+  int64_t bytes() const { return bytes_; }
+  MemoryPool* pool() const { return pool_.get(); }
+
+ private:
+  std::shared_ptr<MemoryPool> pool_;
+  int64_t bytes_ = 0;
+};
+
+/// Worker-level memory arbitration hook. When an operator's reservation
+/// fails at the *worker* cap (not its query cap) even after revoking itself,
+/// it asks the arbiter to free memory; the coordinator implements this as
+/// the low-memory killer (cancel the largest-reservation query). Returns
+/// true if memory was (or is being) freed and the caller should retry the
+/// reservation.
+class MemoryArbiter {
+ public:
+  virtual ~MemoryArbiter() = default;
+  virtual bool OnMemoryPressure(int64_t requesting_query_id,
+                                int64_t bytes_requested) = 0;
+};
+
+/// Process-wide pool that metadata caches (footer / file-list / file-handle)
+/// charge their entries to, so cache memory is visible alongside query
+/// memory. Uncapped by default; individual caches enforce their own byte
+/// capacities via weighted LRU eviction.
+std::shared_ptr<MemoryPool> ProcessCachePool();
+
+}  // namespace presto
+
+#endif  // PRESTO_COMMON_MEMORY_POOL_H_

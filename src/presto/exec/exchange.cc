@@ -37,9 +37,26 @@ PartitionedExchange::PartitionedExchange(int num_partitions,
   }
 }
 
+PartitionedExchange::~PartitionedExchange() {
+  // Entries still queued at teardown (e.g. a LIMIT satisfied early) release
+  // their reservation here.
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleasePoolLocked(buffered_bytes_);
+  buffered_bytes_ = 0;
+}
+
 void PartitionedExchange::SetProducerCount(int n) {
   std::lock_guard<std::mutex> lock(mu_);
   producers_ = n;
+}
+
+void PartitionedExchange::SetMemoryPool(std::shared_ptr<MemoryPool> pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_ = std::move(pool);
+}
+
+void PartitionedExchange::ReleasePoolLocked(int64_t bytes) {
+  if (pool_ != nullptr && bytes > 0) pool_->Release(bytes);
 }
 
 void PartitionedExchange::SetDeadlineNanos(int64_t steady_deadline_nanos) {
@@ -84,6 +101,20 @@ void PartitionedExchange::Push(int partition, Page page) {
     if (DropLocked(partition)) {
       if (pages_dropped_counter_ != nullptr) pages_dropped_counter_->Add(1);
       return;
+    }
+    if (pool_ != nullptr) {
+      Status st = pool_->Reserve(bytes);
+      if (!st.ok()) {
+        // Worker memory exhausted while buffering shuffle data: latch the
+        // classified error so the whole query unwinds instead of queueing
+        // pages the worker has no budget for.
+        FailLocked(std::move(st));
+        if (pages_dropped_counter_ != nullptr) pages_dropped_counter_->Add(1);
+        lock.unlock();
+        producer_cv_.notify_all();
+        consumer_cv_.notify_all();
+        return;
+      }
     }
     partitions_[partition].pages.push_back(Entry{std::move(page), bytes});
     buffered_bytes_ += bytes;
@@ -131,6 +162,7 @@ void PartitionedExchange::FailLocked(Status status) {
   // The error wins over buffered pages; release their bytes so any blocked
   // producer wakes into the drop path.
   for (Partition& partition : partitions_) partition.pages.clear();
+  ReleasePoolLocked(buffered_bytes_);
   buffered_bytes_ = 0;
 }
 
@@ -168,6 +200,7 @@ Result<std::optional<Page>> PartitionedExchange::Next(int partition) {
     entry = std::move(part.pages.front());
     part.pages.pop_front();
     buffered_bytes_ -= entry.bytes;
+    ReleasePoolLocked(entry.bytes);
   }
   producer_cv_.notify_all();
   return std::optional<Page>(std::move(entry.page));
@@ -180,7 +213,10 @@ void PartitionedExchange::ConsumerDone(int partition) {
     if (part.closed) return;
     part.closed = true;
     --open_partitions_;
-    for (const Entry& entry : part.pages) buffered_bytes_ -= entry.bytes;
+    for (const Entry& entry : part.pages) {
+      buffered_bytes_ -= entry.bytes;
+      ReleasePoolLocked(entry.bytes);
+    }
     part.pages.clear();
   }
   producer_cv_.notify_all();
@@ -194,7 +230,10 @@ void PartitionedExchange::CloseAllPartitions() {
       if (part.closed) continue;
       part.closed = true;
       --open_partitions_;
-      for (const Entry& entry : part.pages) buffered_bytes_ -= entry.bytes;
+      for (const Entry& entry : part.pages) {
+        buffered_bytes_ -= entry.bytes;
+        ReleasePoolLocked(entry.bytes);
+      }
       part.pages.clear();
     }
   }

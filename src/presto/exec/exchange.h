@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "presto/common/memory_pool.h"
 #include "presto/common/metrics.h"
 #include "presto/common/status.h"
 #include "presto/vector/page.h"
@@ -32,8 +33,18 @@ class PartitionedExchange {
  public:
   PartitionedExchange(int num_partitions, int64_t capacity_bytes,
                       MetricsRegistry* metrics = nullptr);
+  ~PartitionedExchange();
 
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
+  /// Attaches a memory pool (the query's system-memory subtree): every
+  /// buffered entry's bytes are reserved on enqueue and released when the
+  /// entry leaves the buffer, so exchange memory is visible to the worker cap
+  /// alongside operator memory and the pool's peak reconciles with
+  /// peak_buffered_bytes(). A failed reservation (worker full) latches the
+  /// exchange with the classified kResourceExhausted. Must be set before
+  /// producers start.
+  void SetMemoryPool(std::shared_ptr<MemoryPool> pool);
 
   /// Must be called before producers start.
   void SetProducerCount(int n);
@@ -107,6 +118,10 @@ class PartitionedExchange {
   // notify both condition variables after releasing it.
   void FailLocked(Status status);
 
+  // Releases `bytes` back to the attached pool (caller holds mu_; pool ops
+  // are lock-free atomics, safe under the lock).
+  void ReleasePoolLocked(int64_t bytes);
+
   mutable std::mutex mu_;
   std::condition_variable producer_cv_;  // space freed / close / failure
   std::condition_variable consumer_cv_;  // page arrived / producers done / failure
@@ -120,6 +135,7 @@ class PartitionedExchange {
   int producers_ = 0;
   int64_t deadline_steady_nanos_ = 0;  // 0 = no deadline
   Status status_;
+  std::shared_ptr<MemoryPool> pool_;  // null = exchange memory unaccounted
 
   MetricsRegistry::Counter* pages_pushed_counter_ = nullptr;
   MetricsRegistry::Counter* bytes_pushed_counter_ = nullptr;

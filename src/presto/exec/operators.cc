@@ -1,10 +1,14 @@
 #include "presto/exec/operators.h"
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
 #include <unordered_map>
 
 #include "presto/common/clock.h"
 #include "presto/exec/kernels/kernels.h"
+#include "presto/exec/spill.h"
 #include "presto/vector/vector_builder.h"
 
 namespace presto {
@@ -13,6 +17,10 @@ Result<std::optional<Page>> Operator::Next() {
   if (deadline_steady_nanos_ > 0 && SteadyNowNanos() >= deadline_steady_nanos_) {
     return Status::Unavailable(
         "query deadline exceeded (query_timeout_millis)");
+  }
+  if (kill_flag_ != nullptr && kill_flag_->load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted(
+        "Query killed: worker memory exhausted (low-memory killer)");
   }
   if (!collect_stats_) {
     // Row/page counts stay on (the engine and tests rely on rows_produced);
@@ -72,6 +80,137 @@ void Bump(MetricsRegistry::Counter* counter, int64_t delta) {
 // ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
+
+// Per-operator memory accounting: owns a leaf pool under the task pool and a
+// running reservation equal to the operator's estimated footprint. Growing
+// the footprint can fail at two capped levels of the pool tree; callers
+// degrade differently per level:
+//   - query user cap (session query_max_memory): the query outgrew its own
+//     budget -> revoke self (spill) if enabled, else fail the query;
+//   - worker cap: the whole worker is full -> ask the arbiter (the
+//     coordinator's low-memory killer) to free memory elsewhere and retry.
+// When limits.task_pool is null (memory_accounting=false) every call is a
+// no-op, which is also the bench baseline for reservation overhead.
+class OperatorMemory {
+ public:
+  void Init(const ExecutionLimits& limits, const std::string& name) {
+    if (limits.task_pool == nullptr) return;
+    pool_ = limits.task_pool->AddChild(name);
+    query_user_pool_ = limits.query_user_pool;
+    arbiter_ = limits.arbiter;
+    query_id_ = limits.query_id;
+    killed_ = limits.query_killed;
+    if (limits.metrics != nullptr) {
+      revoked_counter_ = limits.metrics->FindOrRegister("memory.revoked.bytes");
+    }
+  }
+
+  ~OperatorMemory() { ReleaseAll(); }
+
+  bool enabled() const { return pool_ != nullptr; }
+  int64_t bytes() const { return bytes_; }
+
+  void ReleaseAll() {
+    if (pool_ != nullptr && bytes_ > 0) pool_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+  /// Revocation released `bytes` of previously-reserved operator state
+  /// (counted once per spill, before the footprint is re-estimated).
+  void RecordRevoked(int64_t bytes) { Bump(revoked_counter_, bytes); }
+
+  /// Moves the reservation to `bytes` total. Shrinking always succeeds;
+  /// growing may fail, in which case `*at_query_cap` tells whether the
+  /// failure was the query's own cap (true) or the worker cap (false).
+  Status ReserveTotal(int64_t bytes, bool* at_query_cap) {
+    *at_query_cap = false;
+    if (pool_ == nullptr) return Status::OK();
+    if (bytes < 0) bytes = 0;
+    if (bytes <= bytes_) {
+      pool_->Release(bytes_ - bytes);
+      bytes_ = bytes;
+      return Status::OK();
+    }
+    const MemoryPool* failed = nullptr;
+    Status st = pool_->Reserve(bytes - bytes_, &failed);
+    if (st.ok()) {
+      bytes_ = bytes;
+      return st;
+    }
+    *at_query_cap = failed == query_user_pool_ && query_user_pool_ != nullptr;
+    return st;
+  }
+
+  /// ReserveTotal plus worker-cap arbitration: on a worker-cap failure asks
+  /// the arbiter (low-memory killer) to free memory and retries for up to
+  /// ~2s, checking the query's own kill flag each round (the killer may pick
+  /// *this* query as the victim).
+  Status ReserveTotalWithArbiter(int64_t bytes, bool* at_query_cap) {
+    Status st = ReserveTotal(bytes, at_query_cap);
+    if (st.ok() || *at_query_cap || arbiter_ == nullptr) return st;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      if (killed_ != nullptr && killed_->load(std::memory_order_relaxed)) {
+        return Status::ResourceExhausted(
+            "Query killed: worker memory exhausted (low-memory killer)");
+      }
+      if (!arbiter_->OnMemoryPressure(query_id_, bytes - bytes_)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+      st = ReserveTotal(bytes, at_query_cap);
+      if (st.ok() || *at_query_cap) return st;
+    }
+    if (killed_ != nullptr && killed_->load(std::memory_order_relaxed)) {
+      return Status::ResourceExhausted(
+          "Query killed: worker memory exhausted (low-memory killer)");
+    }
+    return st;
+  }
+
+ private:
+  std::shared_ptr<MemoryPool> pool_;
+  MemoryPool* query_user_pool_ = nullptr;
+  MemoryArbiter* arbiter_ = nullptr;
+  int64_t query_id_ = 0;
+  std::shared_ptr<const std::atomic<bool>> killed_;
+  MetricsRegistry::Counter* revoked_counter_ = nullptr;
+  int64_t bytes_ = 0;
+};
+
+// Compares the leading `num_keys` columns of two spill-run rows with a
+// nulls-first total order. GROUP BY treats NULL as an ordinary key value, so
+// unlike ORDER BY there is no per-key direction — any total order works as
+// long as spill and merge agree.
+int CompareRunKeys(const Page& a, size_t a_row, const Page& b, size_t b_row,
+                   size_t num_keys) {
+  for (size_t k = 0; k < num_keys; ++k) {
+    const Vector& ca = *a.column(k);
+    const Vector& cb = *b.column(k);
+    bool null_a = ca.IsNull(a_row);
+    bool null_b = cb.IsNull(b_row);
+    if (null_a || null_b) {
+      if (null_a == null_b) continue;
+      return null_a ? -1 : 1;
+    }
+    int cmp = ca.CompareAt(a_row, cb, b_row);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+// Splits `page` into ~4096-row slices so k-way merge readers hold bounded
+// memory per run instead of one table-sized page.
+std::vector<Page> ChunkPage(const Page& page, size_t chunk_rows = 4096) {
+  std::vector<Page> out;
+  size_t n = page.num_rows();
+  for (size_t start = 0; start < n; start += chunk_rows) {
+    size_t count = std::min(chunk_rows, n - start);
+    std::vector<int32_t> rows(count);
+    for (size_t i = 0; i < count; ++i) {
+      rows[i] = static_cast<int32_t>(start + i);
+    }
+    out.push_back(page.SliceRows(rows));
+  }
+  return out;
+}
 
 // Concatenates vectors of the same type (fast paths for flat scalars).
 Result<VectorPtr> ConcatVectors(const TypePtr& type,
@@ -187,12 +326,6 @@ Result<Page> ConcatPages(const std::vector<VariablePtr>& variables,
     }
   }
   return Page(std::move(columns), rows);
-}
-
-uint64_t HashRow(const Page& page, const std::vector<int>& channels, size_t row) {
-  uint64_t h = 0;
-  for (int c : channels) h = HashCombine(h, page.column(c)->HashAt(row));
-  return h;
 }
 
 bool RowsEqual(const Page& a, const std::vector<int>& a_channels, size_t a_row,
@@ -418,20 +551,35 @@ class HashAggregationOperator final : public Operator {
           limits.metrics->FindOrRegister("exec.agg.table_bytes");
     }
     InitKernel(limits);
+    memory_.Init(limits, "op.HashAggregation");
+    metrics_ = limits.metrics;
+    if (memory_.enabled() && limits.spill_enabled &&
+        limits.spill_fs != nullptr && !limits.spill_dir.empty()) {
+      spill_fs_ = limits.spill_fs;
+      spill_dir_ = limits.spill_dir;
+    }
   }
 
  protected:
   Result<std::optional<Page>> NextInternal() override {
-    if (done_) return std::optional<Page>();
-    done_ = true;
-    if (use_kernel_) {
-      RETURN_IF_ERROR(ConsumeInputKernel());
-      RecordPeakBuffered(static_cast<int64_t>(key_table_->num_groups()));
-      Bump(table_bytes_counter_, key_table_->EstimateBytes());
-      return ProduceOutputKernel();
+    if (!consumed_) {
+      consumed_ = true;
+      if (use_kernel_) {
+        RETURN_IF_ERROR(ConsumeInputKernel());
+        RecordPeakBuffered(static_cast<int64_t>(key_table_->num_groups()));
+        Bump(table_bytes_counter_, key_table_->EstimateBytes());
+      } else {
+        RETURN_IF_ERROR(ConsumeInput().status());
+        RecordPeakBuffered(static_cast<int64_t>(num_groups_));
+      }
+      if (spiller_ != nullptr && spiller_->num_runs() > 0) {
+        RETURN_IF_ERROR(StartMerge());
+      }
     }
-    RETURN_IF_ERROR(ConsumeInput().status());
-    RecordPeakBuffered(static_cast<int64_t>(num_groups_));
+    if (merge_ != nullptr) return NextMergedPage();
+    if (produced_) return std::optional<Page>();
+    produced_ = true;
+    if (use_kernel_) return ProduceOutputKernel();
     return ProduceOutput();
   }
 
@@ -460,7 +608,8 @@ class HashAggregationOperator final : public Operator {
       if (g == nullptr) return;
       grouped.push_back(std::move(g));
     }
-    key_table_ = std::make_unique<kernels::NormalizedKeyTable>(std::move(kinds));
+    key_table_ = std::make_unique<kernels::NormalizedKeyTable>(kinds);
+    key_kinds_ = std::move(kinds);  // kept to rebuild the table after a spill
     grouped_ = std::move(grouped);
     use_kernel_ = true;
   }
@@ -508,6 +657,7 @@ class HashAggregationOperator final : public Operator {
               n));
         }
       }
+      if (memory_.enabled()) RETURN_IF_ERROR(GrowFootprint());
     }
     return Status::OK();
   }
@@ -579,6 +729,7 @@ class HashAggregationOperator final : public Operator {
       }
       Bump(groups_created_counter_,
            static_cast<int64_t>(num_groups_ - groups_before));
+      if (memory_.enabled()) RETURN_IF_ERROR(GrowFootprint());
     }
     return true;
   }
@@ -645,6 +796,198 @@ class HashAggregationOperator final : public Operator {
     return std::optional<Page>(Page(std::move(columns), rows));
   }
 
+  // -- Memory accounting & revocable spill ----------------------------------
+
+  // Estimated in-memory footprint of the current hash table state. The
+  // kernel table self-reports; grouped/boxed accumulator state is a
+  // fixed-width per-group approximation.
+  int64_t EstimateTableBytes() const {
+    if (use_kernel_) {
+      return key_table_->EstimateBytes() +
+             static_cast<int64_t>(key_table_->num_groups()) * 32 *
+                 static_cast<int64_t>(aggs_.size() + 1);
+    }
+    return static_cast<int64_t>(num_groups_) *
+           (64 + 48 * static_cast<int64_t>(key_channels_.size() + aggs_.size()));
+  }
+
+  // Degradation ladder for a failed reservation: revoke self (spill the
+  // table as a sorted run) when spill is enabled; otherwise a query-cap
+  // failure is terminal and a worker-cap failure asks the arbiter (the
+  // low-memory killer) before giving up.
+  Status GrowFootprint() {
+    bool at_query_cap = false;
+    Status st = memory_.ReserveTotal(EstimateTableBytes(), &at_query_cap);
+    if (st.ok()) return st;
+    if (spill_fs_ != nullptr) {
+      RETURN_IF_ERROR(SpillPartial());
+      return memory_.ReserveTotalWithArbiter(EstimateTableBytes(),
+                                             &at_query_cap);
+    }
+    if (at_query_cap) return st;  // outgrew query_max_memory, spill disabled
+    return memory_.ReserveTotalWithArbiter(EstimateTableBytes(), &at_query_cap);
+  }
+
+  // Materializes the current groups as one [keys..., intermediates...] page
+  // sorted by key (nulls-first) — the run format spill and merge agree on.
+  Result<std::optional<Page>> BuildIntermediatePage() {
+    size_t rows = 0;
+    std::vector<VectorPtr> columns;
+    if (use_kernel_) {
+      rows = key_table_->num_groups();
+      if (rows == 0) return std::optional<Page>();
+      ASSIGN_OR_RETURN(columns, key_table_->BuildKeyColumns(key_types_));
+      for (auto& g : grouped_) {
+        ASSIGN_OR_RETURN(VectorPtr column, g->Build(/*intermediate=*/true));
+        columns.push_back(std::move(column));
+      }
+    } else {
+      rows = num_groups_;
+      if (rows == 0) return std::optional<Page>();
+      std::vector<VectorBuilder> builders;
+      for (const TypePtr& t : key_types_) builders.emplace_back(t);
+      for (const AggSpec& agg : aggs_) {
+        builders.emplace_back(agg.function->intermediate_type);
+      }
+      for (auto& [hash, bucket] : groups_) {
+        for (Group& group : bucket) {
+          for (size_t k = 0; k < group.keys.size(); ++k) {
+            RETURN_IF_ERROR(builders[k].Append(group.keys[k]));
+          }
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            RETURN_IF_ERROR(builders[key_channels_.size() + a].Append(
+                group.accumulators[a]->Intermediate()));
+          }
+        }
+      }
+      for (auto& b : builders) columns.push_back(b.Build());
+    }
+    Page page(std::move(columns), rows);
+    std::vector<int32_t> order(rows);
+    for (size_t i = 0; i < rows; ++i) order[i] = static_cast<int32_t>(i);
+    size_t num_keys = key_channels_.size();
+    std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      return CompareRunKeys(page, a, page, b, num_keys) < 0;
+    });
+    return std::optional<Page>(page.SliceRows(order));
+  }
+
+  // Revokes this operator: writes the sorted intermediate state as one spill
+  // run, releases its accounted footprint, and starts an empty table.
+  Status SpillPartial() {
+    ASSIGN_OR_RETURN(std::optional<Page> run, BuildIntermediatePage());
+    if (!run.has_value()) return Status::OK();
+    if (spiller_ == nullptr) {
+      spiller_ = std::make_unique<Spiller>(spill_fs_, spill_dir_, metrics_);
+    }
+    int64_t before = spiller_->total_bytes();
+    RETURN_IF_ERROR(spiller_->SpillRun(ChunkPage(*run)));
+    memory_.RecordRevoked(memory_.bytes());
+    RecordSpill(spiller_->total_bytes() - before);
+    ResetTable();
+    return Status::OK();
+  }
+
+  void ResetTable() {
+    if (use_kernel_) {
+      key_table_ = std::make_unique<kernels::NormalizedKeyTable>(key_kinds_);
+      std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped;
+      for (const AggSpec& agg : aggs_) {
+        grouped.push_back(
+            kernels::MakeGroupedAccumulator(*agg.function, agg.output_type));
+      }
+      grouped_ = std::move(grouped);
+    } else {
+      groups_.clear();
+      num_groups_ = 0;
+    }
+  }
+
+  Status StartMerge() {
+    // The not-yet-spilled remainder participates as an in-memory run — no
+    // extra I/O, and it is already within the query's cap.
+    ASSIGN_OR_RETURN(std::optional<Page> last, BuildIntermediatePage());
+    std::vector<Page> memory_run;
+    if (last.has_value()) memory_run = ChunkPage(*last);
+    ASSIGN_OR_RETURN(std::vector<std::unique_ptr<SpillFile::Reader>> readers,
+                     spiller_->OpenAllRuns());
+    size_t num_keys = key_channels_.size();
+    merge_ = std::make_unique<SpillMergeCursor>(
+        std::move(readers), std::move(memory_run),
+        [num_keys](const Page& a, size_t ar, const Page& b, size_t br) {
+          return CompareRunKeys(a, ar, b, br, num_keys);
+        });
+    return Status::OK();
+  }
+
+  // Streaming group-merge over the sorted runs: equal-key rows are adjacent,
+  // so each output group folds one run of rows through fresh accumulators
+  // via MergeIntermediate, then emits Intermediate() (partial step) or
+  // Final(). Output is batched into ~4096-row pages.
+  Result<std::optional<Page>> NextMergedPage() {
+    if (merge_done_) return std::optional<Page>();
+    std::vector<VectorBuilder> builders;
+    for (const TypePtr& t : key_types_) builders.emplace_back(t);
+    for (const AggSpec& agg : aggs_) {
+      builders.emplace_back(step_ == AggregationStep::kPartial
+                                ? agg.function->intermediate_type
+                                : agg.output_type);
+    }
+    size_t num_keys = key_channels_.size();
+    size_t rows = 0;
+    while (rows < 4096 && !merge_done_) {
+      if (!merge_has_row_) {
+        ASSIGN_OR_RETURN(merge_has_row_, merge_->Advance());
+        if (!merge_has_row_) {
+          merge_done_ = true;
+          break;
+        }
+      }
+      std::vector<Value> keys;
+      keys.reserve(num_keys);
+      for (size_t k = 0; k < num_keys; ++k) {
+        keys.push_back(merge_->page().column(k)->GetValue(merge_->row()));
+      }
+      std::vector<std::unique_ptr<Accumulator>> accs;
+      for (const AggSpec& agg : aggs_) accs.push_back(agg.function->factory());
+      while (true) {
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          accs[a]->MergeIntermediate(
+              merge_->page().column(num_keys + a)->GetValue(merge_->row()));
+        }
+        ASSIGN_OR_RETURN(bool more, merge_->Advance());
+        if (!more) {
+          merge_has_row_ = false;
+          merge_done_ = true;
+          break;
+        }
+        bool same = true;
+        for (size_t k = 0; k < num_keys; ++k) {
+          if (!keys[k].Equals(
+                  merge_->page().column(k)->GetValue(merge_->row()))) {
+            same = false;
+            break;
+          }
+        }
+        if (!same) break;  // merge_has_row_ stays true: next group starts here
+      }
+      for (size_t k = 0; k < num_keys; ++k) {
+        RETURN_IF_ERROR(builders[k].Append(keys[k]));
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        Value value = step_ == AggregationStep::kPartial
+                          ? accs[a]->Intermediate()
+                          : accs[a]->Final();
+        RETURN_IF_ERROR(builders[num_keys + a].Append(value));
+      }
+      ++rows;
+    }
+    if (rows == 0) return std::optional<Page>();
+    std::vector<VectorPtr> columns;
+    for (auto& b : builders) columns.push_back(b.Build());
+    return std::optional<Page>(Page(std::move(columns), rows));
+  }
+
   OperatorPtr child_;
   std::vector<int> key_channels_;
   std::vector<TypePtr> key_types_;
@@ -655,18 +998,30 @@ class HashAggregationOperator final : public Operator {
   MetricsRegistry::Counter* hash_probes_counter_ = nullptr;
   MetricsRegistry::Counter* groups_created_counter_ = nullptr;
   MetricsRegistry::Counter* table_bytes_counter_ = nullptr;
-  bool done_ = false;
+  bool consumed_ = false;
+  bool produced_ = false;
 
   // Kernel path.
   bool use_kernel_ = false;
   std::unique_ptr<kernels::NormalizedKeyTable> key_table_;
   std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped_;
   std::vector<int32_t> group_ids_;  // per-page scratch
+  std::vector<TypeKind> key_kinds_;
 
   // Boxed fallback.
   std::unordered_map<uint64_t, std::vector<Group>> groups_;
   size_t num_groups_ = 0;
   std::vector<uint64_t> hash_scratch_;
+
+  // Memory accounting & spill.
+  MetricsRegistry* metrics_ = nullptr;
+  OperatorMemory memory_;
+  FileSystem* spill_fs_ = nullptr;  // null = spill disabled
+  std::string spill_dir_;
+  std::unique_ptr<Spiller> spiller_;
+  std::unique_ptr<SpillMergeCursor> merge_;
+  bool merge_has_row_ = false;
+  bool merge_done_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -696,6 +1051,7 @@ class HashJoinOperator final : public Operator {
         max_build_rows_(limits.max_join_build_rows) {
     AddChild(probe_.get());
     AddChild(build_.get());
+    memory_.Init(limits, "op.HashJoin");
     if (limits.metrics != nullptr) {
       build_rows_counter_ = limits.metrics->FindOrRegister("exec.join.build_rows");
       hash_probes_counter_ =
@@ -753,6 +1109,7 @@ class HashJoinOperator final : public Operator {
   Status BuildTable() {
     std::vector<Page> pages;
     int64_t build_rows = 0;
+    int64_t build_bytes = 0;
     while (true) {
       ASSIGN_OR_RETURN(std::optional<Page> page, build_->Next());
       if (!page.has_value()) break;
@@ -765,7 +1122,18 @@ class HashJoinOperator final : public Operator {
             " rows (set session property max_join_build_rows, or rewrite "
             "the query for Presto-on-Spark)");
       }
+      build_bytes += page->EstimateBytes();
       pages.push_back(std::move(*page));
+      // Build tables are not revocable: a query-cap failure is terminal, a
+      // worker-cap failure asks the low-memory killer before giving up.
+      if (memory_.enabled()) {
+        bool at_query_cap = false;
+        Status st = memory_.ReserveTotal(build_bytes, &at_query_cap);
+        if (!st.ok() && !at_query_cap) {
+          st = memory_.ReserveTotalWithArbiter(build_bytes, &at_query_cap);
+        }
+        RETURN_IF_ERROR(st);
+      }
     }
     ASSIGN_OR_RETURN(build_page_, ConcatPages(build_vars_, pages));
     // Append one all-null row used to null-extend LEFT-join misses.
@@ -982,6 +1350,7 @@ class HashJoinOperator final : public Operator {
   std::map<std::string, int> combined_layout_;
   FunctionRegistry* functions_;
   int64_t max_build_rows_;
+  OperatorMemory memory_;
   MetricsRegistry::Counter* build_rows_counter_ = nullptr;
   MetricsRegistry::Counter* hash_probes_counter_ = nullptr;
   MetricsRegistry::Counter* kernel_pages_counter_ = nullptr;
@@ -1011,7 +1380,8 @@ class NestedLoopJoinOperator final : public Operator {
   NestedLoopJoinOperator(OperatorPtr probe, OperatorPtr build, JoinKind kind,
                          std::vector<VariablePtr> build_vars, ExprPtr filter,
                          std::map<std::string, int> combined_layout,
-                         FunctionRegistry* functions, int64_t max_build_rows)
+                         FunctionRegistry* functions,
+                         const ExecutionLimits& limits)
       : probe_(std::move(probe)),
         build_(std::move(build)),
         kind_(kind),
@@ -1019,9 +1389,10 @@ class NestedLoopJoinOperator final : public Operator {
         filter_(std::move(filter)),
         combined_layout_(std::move(combined_layout)),
         functions_(functions),
-        max_build_rows_(max_build_rows) {
+        max_build_rows_(limits.max_join_build_rows) {
     AddChild(probe_.get());
     AddChild(build_.get());
+    memory_.Init(limits, "op.NestedLoopJoin");
   }
 
  protected:
@@ -1029,6 +1400,7 @@ class NestedLoopJoinOperator final : public Operator {
     if (!built_) {
       std::vector<Page> pages;
       int64_t build_rows = 0;
+      int64_t build_bytes = 0;
       while (true) {
         ASSIGN_OR_RETURN(std::optional<Page> page, build_->Next());
         if (!page.has_value()) break;
@@ -1038,7 +1410,16 @@ class NestedLoopJoinOperator final : public Operator {
               "Insufficient Resource: join build side exceeds " +
               std::to_string(max_build_rows_) + " rows");
         }
+        build_bytes += page->EstimateBytes();
         pages.push_back(std::move(*page));
+        if (memory_.enabled()) {
+          bool at_query_cap = false;
+          Status st = memory_.ReserveTotal(build_bytes, &at_query_cap);
+          if (!st.ok() && !at_query_cap) {
+            st = memory_.ReserveTotalWithArbiter(build_bytes, &at_query_cap);
+          }
+          RETURN_IF_ERROR(st);
+        }
       }
       ASSIGN_OR_RETURN(build_page_, ConcatPages(build_vars_, pages));
       built_ = true;
@@ -1108,6 +1489,7 @@ class NestedLoopJoinOperator final : public Operator {
   std::map<std::string, int> combined_layout_;
   FunctionRegistry* functions_;
   int64_t max_build_rows_;
+  OperatorMemory memory_;
 
   bool built_ = false;
   Page build_page_;
@@ -1124,59 +1506,185 @@ class SortOperator final : public Operator {
  public:
   SortOperator(OperatorPtr child, std::vector<VariablePtr> output_vars,
                std::vector<int> channels, std::vector<bool> ascending,
-               int64_t limit)
+               int64_t limit, const ExecutionLimits& limits)
       : child_(std::move(child)),
         output_vars_(std::move(output_vars)),
         channels_(std::move(channels)),
         ascending_(std::move(ascending)),
         limit_(limit) {
     AddChild(child_.get());
+    memory_.Init(limits, "op.Sort");
+    metrics_ = limits.metrics;
+    if (memory_.enabled() && limits.spill_enabled &&
+        limits.spill_fs != nullptr && !limits.spill_dir.empty()) {
+      spill_fs_ = limits.spill_fs;
+      spill_dir_ = limits.spill_dir;
+    }
   }
 
  protected:
   Result<std::optional<Page>> NextInternal() override {
-    if (done_) return std::optional<Page>();
-    done_ = true;
-    std::vector<Page> pages;
-    while (true) {
-      ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
-      if (!page.has_value()) break;
-      pages.push_back(std::move(*page));
+    if (!consumed_) {
+      consumed_ = true;
+      while (true) {
+        ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
+        if (!page.has_value()) break;
+        buffered_bytes_ += page->EstimateBytes();
+        buffered_rows_ += static_cast<int64_t>(page->num_rows());
+        RecordPeakBuffered(buffered_rows_);
+        pages_.push_back(std::move(*page));
+        if (memory_.enabled()) RETURN_IF_ERROR(GrowFootprint());
+      }
+      if (spiller_ != nullptr && spiller_->num_runs() > 0) {
+        RETURN_IF_ERROR(StartMerge());
+      }
     }
-    ASSIGN_OR_RETURN(Page all, ConcatPages(output_vars_, pages));
-    RecordPeakBuffered(static_cast<int64_t>(all.num_rows()));
+    if (merge_ != nullptr) return NextMergedPage();
+    if (produced_) return std::optional<Page>();
+    produced_ = true;
+    ASSIGN_OR_RETURN(std::optional<Page> sorted, SortBuffered());
+    if (!sorted.has_value()) return std::optional<Page>();
+    if (limit_ >= 0 && static_cast<int64_t>(sorted->num_rows()) > limit_) {
+      std::vector<int32_t> head(limit_);
+      for (int64_t i = 0; i < limit_; ++i) head[i] = static_cast<int32_t>(i);
+      return std::optional<Page>(sorted->SliceRows(head));
+    }
+    return sorted;
+  }
+
+ private:
+  // Presto default null ordering: NULLS LAST for ASC, FIRST for DESC. Both
+  // the in-memory sort and the spill-run merge use this exact comparator,
+  // so runs written sorted merge back in the same global order.
+  int CompareSortKeys(const Page& a, size_t a_row, const Page& b,
+                      size_t b_row) const {
+    for (size_t k = 0; k < channels_.size(); ++k) {
+      const Vector& ca = *a.column(channels_[k]);
+      const Vector& cb = *b.column(channels_[k]);
+      bool null_a = ca.IsNull(a_row);
+      bool null_b = cb.IsNull(b_row);
+      if (null_a || null_b) {
+        if (null_a == null_b) continue;
+        bool a_first = ascending_[k] ? !null_a : null_a;
+        return a_first ? -1 : 1;
+      }
+      int cmp = ca.CompareAt(a_row, cb, b_row);
+      if (cmp != 0) {
+        if (!ascending_[k]) cmp = -cmp;
+        return cmp < 0 ? -1 : 1;
+      }
+    }
+    return 0;
+  }
+
+  // Concatenates and sorts the buffered pages, consuming them. Returns
+  // nullopt when nothing is buffered.
+  Result<std::optional<Page>> SortBuffered() {
+    ASSIGN_OR_RETURN(Page all, ConcatPages(output_vars_, pages_));
+    pages_.clear();
+    buffered_rows_ = 0;
     if (all.num_rows() == 0) return std::optional<Page>();
     std::vector<int32_t> order(all.num_rows());
     for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
     std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-      for (size_t k = 0; k < channels_.size(); ++k) {
-        const Vector& column = *all.column(channels_[k]);
-        // Presto default null ordering: NULLS LAST for ASC, FIRST for DESC.
-        bool null_a = column.IsNull(a);
-        bool null_b = column.IsNull(b);
-        if (null_a || null_b) {
-          if (null_a == null_b) continue;
-          return ascending_[k] ? !null_a : null_a;
-        }
-        int cmp = column.CompareAt(a, column, b);
-        if (cmp != 0) return ascending_[k] ? cmp < 0 : cmp > 0;
-      }
-      return false;
+      return CompareSortKeys(all, a, all, b) < 0;
     });
-    if (limit_ >= 0 && static_cast<int64_t>(order.size()) > limit_) {
-      order.resize(limit_);
-    }
-    Page out = all.SliceRows(order);
-    return std::optional<Page>(std::move(out));
+    return std::optional<Page>(all.SliceRows(order));
   }
 
- private:
+  // Same degradation ladder as aggregation: revoke self (spill a sorted
+  // run), else fail at the query cap / arbitrate at the worker cap.
+  Status GrowFootprint() {
+    bool at_query_cap = false;
+    Status st = memory_.ReserveTotal(buffered_bytes_, &at_query_cap);
+    if (st.ok()) return st;
+    if (spill_fs_ != nullptr) {
+      RETURN_IF_ERROR(SpillBuffered());
+      return memory_.ReserveTotalWithArbiter(buffered_bytes_, &at_query_cap);
+    }
+    if (at_query_cap) return st;  // outgrew query_max_memory, spill disabled
+    return memory_.ReserveTotalWithArbiter(buffered_bytes_, &at_query_cap);
+  }
+
+  Status SpillBuffered() {
+    ASSIGN_OR_RETURN(std::optional<Page> sorted, SortBuffered());
+    if (!sorted.has_value()) return Status::OK();
+    if (spiller_ == nullptr) {
+      spiller_ = std::make_unique<Spiller>(spill_fs_, spill_dir_, metrics_);
+    }
+    int64_t before = spiller_->total_bytes();
+    RETURN_IF_ERROR(spiller_->SpillRun(ChunkPage(*sorted)));
+    memory_.RecordRevoked(memory_.bytes());
+    RecordSpill(spiller_->total_bytes() - before);
+    buffered_bytes_ = 0;
+    return Status::OK();
+  }
+
+  Status StartMerge() {
+    ASSIGN_OR_RETURN(std::optional<Page> last, SortBuffered());
+    std::vector<Page> memory_run;
+    if (last.has_value()) memory_run = ChunkPage(*last);
+    ASSIGN_OR_RETURN(std::vector<std::unique_ptr<SpillFile::Reader>> readers,
+                     spiller_->OpenAllRuns());
+    merge_ = std::make_unique<SpillMergeCursor>(
+        std::move(readers), std::move(memory_run),
+        [this](const Page& a, size_t ar, const Page& b, size_t br) {
+          return CompareSortKeys(a, ar, b, br);
+        });
+    return Status::OK();
+  }
+
+  // Emits globally ordered rows from the k-way merge in ~4096-row pages,
+  // honoring limit_ across the whole output.
+  Result<std::optional<Page>> NextMergedPage() {
+    if (merge_done_) return std::optional<Page>();
+    std::vector<VectorBuilder> builders;
+    for (const VariablePtr& v : output_vars_) builders.emplace_back(v->type());
+    size_t rows = 0;
+    while (rows < 4096) {
+      if (limit_ >= 0 && emitted_ >= limit_) {
+        merge_done_ = true;
+        break;
+      }
+      ASSIGN_OR_RETURN(bool more, merge_->Advance());
+      if (!more) {
+        merge_done_ = true;
+        break;
+      }
+      for (size_t c = 0; c < output_vars_.size(); ++c) {
+        RETURN_IF_ERROR(builders[c].Append(
+            merge_->page().column(c)->GetValue(merge_->row())));
+      }
+      ++rows;
+      ++emitted_;
+    }
+    if (rows == 0) return std::optional<Page>();
+    std::vector<VectorPtr> columns;
+    for (auto& b : builders) columns.push_back(b.Build());
+    return std::optional<Page>(Page(std::move(columns), rows));
+  }
+
   OperatorPtr child_;
   std::vector<VariablePtr> output_vars_;
   std::vector<int> channels_;
   std::vector<bool> ascending_;
   int64_t limit_;
-  bool done_ = false;
+  bool consumed_ = false;
+  bool produced_ = false;
+
+  std::vector<Page> pages_;
+  int64_t buffered_bytes_ = 0;
+  int64_t buffered_rows_ = 0;
+
+  // Memory accounting & spill.
+  MetricsRegistry* metrics_ = nullptr;
+  OperatorMemory memory_;
+  FileSystem* spill_fs_ = nullptr;  // null = spill disabled
+  std::string spill_dir_;
+  std::unique_ptr<Spiller> spiller_;
+  std::unique_ptr<SpillMergeCursor> merge_;
+  bool merge_done_ = false;
+  int64_t emitted_ = 0;
 };
 
 }  // namespace
@@ -1235,6 +1743,7 @@ Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
   op->SetIdentity(node->id(), OperatorTypeName(node->kind()));
   op->set_collect_stats(limits_.collect_stats);
   op->set_deadline_nanos(limits_.deadline_steady_nanos);
+  op->set_kill_flag(limits_.query_killed);
   return op;
 }
 
@@ -1339,7 +1848,7 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
         return OperatorPtr(new NestedLoopJoinOperator(
             std::move(probe), std::move(build), join->join_kind(),
             std::move(build_vars), join->filter(), std::move(combined_layout),
-            functions_, limits_.max_join_build_rows));
+            functions_, limits_));
       }
       std::vector<int> probe_keys, build_keys;
       std::vector<TypePtr> probe_key_types, build_key_types;
@@ -1387,7 +1896,7 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
       return OperatorPtr(new SortOperator(std::move(child),
                                           node->sources()[0]->OutputVariables(),
                                           std::move(channels),
-                                          std::move(ascending), limit));
+                                          std::move(ascending), limit, limits_));
     }
     case PlanNodeKind::kOutput:
       return Build(node->sources()[0]);

@@ -1,17 +1,20 @@
 #ifndef PRESTO_EXEC_OPERATORS_H_
 #define PRESTO_EXEC_OPERATORS_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "presto/common/memory_pool.h"
 #include "presto/common/metrics.h"
 #include "presto/connector/connector.h"
 #include "presto/exec/exchange.h"
 #include "presto/exec/query_stats.h"
 #include "presto/expr/evaluator.h"
+#include "presto/fs/file_system.h"
 #include "presto/planner/plan.h"
 
 namespace presto {
@@ -63,6 +66,14 @@ class Operator {
     deadline_steady_nanos_ = steady_nanos;
   }
 
+  /// Arms the low-memory-killer cancellation flag: Next() checks it at every
+  /// batch boundary (same cadence as the deadline) and returns a classified
+  /// kResourceExhausted once the coordinator sets it, so a killed query's
+  /// tasks unwind cooperatively and release their reservations.
+  void set_kill_flag(std::shared_ptr<const std::atomic<bool>> flag) {
+    kill_flag_ = std::move(flag);
+  }
+
   /// Appends this operator's stats (input side derived from children, or
   /// mirrored from output for leaves) and recursively every child's.
   void CollectStats(std::vector<OperatorStats>* out) const;
@@ -76,9 +87,17 @@ class Operator {
     if (rows > stats_.peak_buffered_rows) stats_.peak_buffered_rows = rows;
   }
 
+  /// Records one revocation: `bytes` of in-memory state written out as a
+  /// spill run (surfaced in EXPLAIN ANALYZE per-operator spill stats).
+  void RecordSpill(int64_t bytes) {
+    stats_.spilled_bytes += bytes;
+    stats_.spilled_runs += 1;
+  }
+
   OperatorStats stats_;
   bool collect_stats_ = true;
   int64_t deadline_steady_nanos_ = 0;
+  std::shared_ptr<const std::atomic<bool>> kill_flag_;
 
  private:
   std::vector<const Operator*> children_;
@@ -108,6 +127,30 @@ struct ExecutionLimits {
   /// cooperatively at operator batch boundaries; derived from the session
   /// property query_timeout_millis.
   int64_t deadline_steady_nanos = 0;
+
+  // -- Memory accounting (null/defaults = accounting off) --------------------
+  /// Task-level memory pool; memory-hungry operators (aggregation, sort,
+  /// join builds) add child pools and reserve their EstimateBytes footprint
+  /// as it grows. Null disables accounting (session memory_accounting=false).
+  std::shared_ptr<MemoryPool> task_pool;
+  /// The query's user-memory pool (the query_max_memory cap level), used to
+  /// classify a reservation failure: failing at this level means the query
+  /// outgrew its own cap (spill or fail); failing above it means the worker
+  /// is full (ask the arbiter / low-memory killer).
+  MemoryPool* query_user_pool = nullptr;
+  /// Worker-level arbitration hook (the coordinator's low-memory killer);
+  /// may be null. Invoked only after self-revocation could not free enough.
+  MemoryArbiter* arbiter = nullptr;
+  /// Coordinator-assigned id of the owning query (arbiter bookkeeping).
+  int64_t query_id = 0;
+  /// Low-memory-killer cancellation flag shared with the coordinator.
+  std::shared_ptr<const std::atomic<bool>> query_killed;
+  /// Revocable spill (session spill_enabled / spill_path): when a
+  /// reservation fails at the query cap, HashAggregation and Sort write
+  /// sorted runs to spill_dir behind spill_fs and merge them on output.
+  bool spill_enabled = false;
+  FileSystem* spill_fs = nullptr;
+  std::string spill_dir;
 };
 
 /// Builds operator trees from plan fragments. `exchanges` resolves

@@ -21,6 +21,8 @@ void OperatorStats::Merge(const OperatorStats& other) {
   peak_buffered_rows = std::max(peak_buffered_rows, other.peak_buffered_rows);
   kernel_pages += other.kernel_pages;
   fallback_pages += other.fallback_pages;
+  spilled_bytes += other.spilled_bytes;
+  spilled_runs += other.spilled_runs;
   num_instances += other.num_instances > 0 ? other.num_instances : 1;
 }
 
@@ -38,6 +40,12 @@ std::string OperatorStats::ToString() const {
   if (kernel_pages > 0 || fallback_pages > 0) {
     out += ", pages: " + std::to_string(kernel_pages) + " kernel / " +
            std::to_string(fallback_pages) + " fallback";
+  }
+  if (spilled_runs > 0) {
+    char spill_buf[64];
+    std::snprintf(spill_buf, sizeof(spill_buf), ", spilled: %.1f KB (%lld runs)",
+                  spilled_bytes / 1024.0, static_cast<long long>(spilled_runs));
+    out += spill_buf;
   }
   if (num_instances > 1) {
     out += ", instances: " + std::to_string(num_instances);

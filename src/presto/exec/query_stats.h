@@ -44,6 +44,12 @@ struct OperatorStats {
   int64_t kernel_pages = 0;
   int64_t fallback_pages = 0;
 
+  /// Revocable-memory spill activity (aggregation/sort only; zero
+  /// elsewhere): bytes of in-memory state written out as sorted runs, and
+  /// how many runs were written.
+  int64_t spilled_bytes = 0;
+  int64_t spilled_runs = 0;
+
   /// Number of operator instances merged into this record (tasks running the
   /// same plan node).
   int num_instances = 0;

@@ -1,0 +1,323 @@
+#include "presto/exec/spill.h"
+
+#include <atomic>
+
+#include "presto/common/bytes.h"
+#include "presto/common/fault_injection.h"
+#include "presto/expr/serialization.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+constexpr uint32_t kSpillMagic = 0x53504C31;  // "SPL1"
+
+// Column encodings inside a spill block.
+constexpr uint8_t kTagInt64 = 0;   // BIGINT / INTEGER / TIMESTAMP
+constexpr uint8_t kTagDouble = 1;
+constexpr uint8_t kTagBool = 2;
+constexpr uint8_t kTagString = 3;
+constexpr uint8_t kTagBoxed = 4;   // per-row SerializeValue (complex types)
+
+// Uniquifies run file names across concurrently spilling operators (task
+// retries can run two attempts of the same partition at once).
+std::atomic<uint64_t> g_spill_file_seq{0};
+
+template <typename T>
+void WriteTypedColumn(const FlatVector<T>& vec, uint8_t tag, ByteBuffer* out) {
+  out->PutU8(tag);
+  size_t n = vec.size();
+  out->PutU8(vec.has_nulls() ? 1 : 0);
+  if (vec.has_nulls()) out->PutRaw(vec.raw_nulls(), n);
+  if constexpr (std::is_same_v<T, std::string>) {
+    for (size_t i = 0; i < n; ++i) out->PutString(vec.ValueAt(i));
+  } else {
+    out->PutRaw(vec.values().data(), n * sizeof(T));
+  }
+}
+
+Status WriteColumn(const VectorPtr& raw, ByteBuffer* out) {
+  ASSIGN_OR_RETURN(VectorPtr flat, Vector::Flatten(raw));
+  TypeKind kind = flat->type()->kind();
+  if (IsIntegerLike(kind)) {
+    WriteTypedColumn(static_cast<const FlatVector<int64_t>&>(*flat), kTagInt64,
+                     out);
+  } else if (kind == TypeKind::kDouble) {
+    WriteTypedColumn(static_cast<const FlatVector<double>&>(*flat), kTagDouble,
+                     out);
+  } else if (kind == TypeKind::kBoolean) {
+    WriteTypedColumn(static_cast<const FlatVector<uint8_t>&>(*flat), kTagBool,
+                     out);
+  } else if (kind == TypeKind::kVarchar) {
+    WriteTypedColumn(static_cast<const FlatVector<std::string>&>(*flat),
+                     kTagString, out);
+  } else {
+    out->PutU8(kTagBoxed);
+    for (size_t i = 0; i < flat->size(); ++i) {
+      SerializeValue(flat->GetValue(i), out);
+    }
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Result<VectorPtr> ReadTypedColumn(const TypePtr& type, size_t num_rows,
+                                  ByteReader* reader) {
+  ASSIGN_OR_RETURN(uint8_t has_nulls, reader->ReadU8());
+  std::vector<uint8_t> nulls;
+  if (has_nulls != 0) {
+    nulls.resize(num_rows);
+    RETURN_IF_ERROR(reader->ReadRaw(nulls.data(), num_rows));
+  }
+  std::vector<T> values;
+  if constexpr (std::is_same_v<T, std::string>) {
+    values.reserve(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      ASSIGN_OR_RETURN(std::string s, reader->ReadString());
+      values.push_back(std::move(s));
+    }
+  } else {
+    values.resize(num_rows);
+    RETURN_IF_ERROR(reader->ReadRaw(values.data(), num_rows * sizeof(T)));
+  }
+  return std::static_pointer_cast<Vector>(
+      std::make_shared<FlatVector<T>>(type, std::move(values),
+                                      std::move(nulls)));
+}
+
+Result<VectorPtr> ReadColumn(const TypePtr& type, size_t num_rows,
+                             ByteReader* reader) {
+  ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case kTagInt64:
+      return ReadTypedColumn<int64_t>(type, num_rows, reader);
+    case kTagDouble:
+      return ReadTypedColumn<double>(type, num_rows, reader);
+    case kTagBool:
+      return ReadTypedColumn<uint8_t>(type, num_rows, reader);
+    case kTagString:
+      return ReadTypedColumn<std::string>(type, num_rows, reader);
+    case kTagBoxed: {
+      VectorBuilder builder(type);
+      for (size_t i = 0; i < num_rows; ++i) {
+        ASSIGN_OR_RETURN(Value v, DeserializeValue(reader));
+        RETURN_IF_ERROR(builder.Append(v));
+      }
+      return builder.Build();
+    }
+    default:
+      return Status::Corruption("spill: unknown column tag " +
+                                std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+SpillFile::SpillFile(FileSystem* fs, std::string path, MetricsRegistry* metrics)
+    : fs_(fs), path_(std::move(path)) {
+  if (metrics != nullptr) {
+    runs_written_counter_ = metrics->FindOrRegister("spill.run.written");
+    bytes_written_counter_ = metrics->FindOrRegister("spill.byte.written");
+    bytes_read_counter_ = metrics->FindOrRegister("spill.byte.read");
+  }
+}
+
+Status SpillFile::WriteRun(const std::vector<Page>& pages) {
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("spill.write"));
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                   fs_->OpenForWrite(path_));
+
+  ByteBuffer buf;
+  buf.PutU32(kSpillMagic);
+  ByteBuffer header;
+  size_t num_columns = pages.empty() ? 0 : pages[0].num_columns();
+  header.PutVarint(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    header.PutString(pages[0].column(c)->type()->ToString());
+  }
+  buf.PutU32(static_cast<uint32_t>(header.size()));
+  buf.PutRaw(header.data(), header.size());
+  RETURN_IF_ERROR(file->Append(buf.bytes()));
+  bytes_written_ += static_cast<int64_t>(buf.size());
+
+  for (const Page& page : pages) {
+    if (page.empty()) continue;
+    RETURN_IF_ERROR(FaultInjector::Global().Hit("spill.write"));
+    ByteBuffer block;
+    block.PutVarint(page.num_rows());
+    for (size_t c = 0; c < page.num_columns(); ++c) {
+      RETURN_IF_ERROR(WriteColumn(page.column(c), &block));
+    }
+    ByteBuffer framed;
+    framed.PutU32(static_cast<uint32_t>(block.size()));
+    framed.PutRaw(block.data(), block.size());
+    RETURN_IF_ERROR(file->Append(framed.bytes()));
+    bytes_written_ += static_cast<int64_t>(framed.size());
+  }
+
+  ByteBuffer end;
+  end.PutU32(0);
+  RETURN_IF_ERROR(file->Append(end.bytes()));
+  bytes_written_ += static_cast<int64_t>(end.size());
+  RETURN_IF_ERROR(file->Close());
+
+  if (runs_written_counter_ != nullptr) runs_written_counter_->Add(1);
+  if (bytes_written_counter_ != nullptr) {
+    bytes_written_counter_->Add(bytes_written_);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SpillFile::Reader>> SpillFile::OpenReader() const {
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("spill.read"));
+  ASSIGN_OR_RETURN(std::shared_ptr<RandomAccessFile> file,
+                   fs_->OpenForRead(path_));
+  auto reader = std::unique_ptr<Reader>(new Reader());
+  reader->file_ = std::move(file);
+  reader->bytes_read_counter_ = bytes_read_counter_;
+
+  uint8_t fixed[8];
+  ASSIGN_OR_RETURN(size_t n, reader->file_->Read(0, sizeof(fixed), fixed));
+  if (n < sizeof(fixed)) return Status::Corruption("spill: truncated header");
+  ByteReader head(fixed, sizeof(fixed));
+  ASSIGN_OR_RETURN(uint32_t magic, head.ReadU32());
+  if (magic != kSpillMagic) return Status::Corruption("spill: bad magic");
+  ASSIGN_OR_RETURN(uint32_t header_len, head.ReadU32());
+
+  std::vector<uint8_t> header_bytes(header_len);
+  ASSIGN_OR_RETURN(n, reader->file_->Read(8, header_len, header_bytes.data()));
+  if (n < header_len) return Status::Corruption("spill: truncated header");
+  ByteReader header(header_bytes);
+  ASSIGN_OR_RETURN(uint64_t num_columns, header.ReadVarint());
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    ASSIGN_OR_RETURN(std::string text, header.ReadString());
+    ASSIGN_OR_RETURN(TypePtr type, Type::Parse(text));
+    reader->types_.push_back(std::move(type));
+  }
+  reader->offset_ = 8 + header_len;
+  return reader;
+}
+
+Result<std::optional<Page>> SpillFile::Reader::Next() {
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("spill.read"));
+  uint8_t len_bytes[4];
+  ASSIGN_OR_RETURN(size_t n, file_->Read(offset_, 4, len_bytes));
+  if (n < 4) return Status::Corruption("spill: truncated block length");
+  ByteReader len_reader(len_bytes, 4);
+  ASSIGN_OR_RETURN(uint32_t block_len, len_reader.ReadU32());
+  offset_ += 4;
+  if (block_len == 0) return std::optional<Page>();
+
+  std::vector<uint8_t> block(block_len);
+  ASSIGN_OR_RETURN(n, file_->Read(offset_, block_len, block.data()));
+  if (n < block_len) return Status::Corruption("spill: truncated block");
+  offset_ += block_len;
+  if (bytes_read_counter_ != nullptr) {
+    bytes_read_counter_->Add(static_cast<int64_t>(block_len) + 4);
+  }
+
+  ByteReader reader(block);
+  ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadVarint());
+  std::vector<VectorPtr> columns;
+  columns.reserve(types_.size());
+  for (const TypePtr& type : types_) {
+    ASSIGN_OR_RETURN(VectorPtr col, ReadColumn(type, num_rows, &reader));
+    columns.push_back(std::move(col));
+  }
+  return std::optional<Page>(Page(std::move(columns), num_rows));
+}
+
+void SpillFile::Remove() {
+  Status st = fs_->DeleteFile(path_);
+  (void)st;  // best effort: a vanished spill file is fine on teardown
+}
+
+Spiller::Spiller(FileSystem* fs, std::string dir, MetricsRegistry* metrics)
+    : fs_(fs), dir_(std::move(dir)), metrics_(metrics) {}
+
+Spiller::~Spiller() {
+  for (auto& run : runs_) run->Remove();
+}
+
+Status Spiller::SpillRun(const std::vector<Page>& pages) {
+  uint64_t seq = g_spill_file_seq.fetch_add(1, std::memory_order_relaxed);
+  std::string path = dir_ + "/run-" + std::to_string(runs_.size()) + "-" +
+                     std::to_string(seq) + ".spill";
+  auto file = std::make_unique<SpillFile>(fs_, std::move(path), metrics_);
+  RETURN_IF_ERROR(file->WriteRun(pages));
+  total_bytes_ += file->bytes_written();
+  runs_.push_back(std::move(file));
+  return Status::OK();
+}
+
+Result<std::vector<std::unique_ptr<SpillFile::Reader>>> Spiller::OpenAllRuns()
+    const {
+  std::vector<std::unique_ptr<SpillFile::Reader>> readers;
+  readers.reserve(runs_.size());
+  for (const auto& run : runs_) {
+    ASSIGN_OR_RETURN(std::unique_ptr<SpillFile::Reader> reader,
+                     run->OpenReader());
+    readers.push_back(std::move(reader));
+  }
+  return readers;
+}
+
+SpillMergeCursor::SpillMergeCursor(
+    std::vector<std::unique_ptr<SpillFile::Reader>> readers,
+    std::vector<Page> in_memory_run, Comparator cmp)
+    : cmp_(std::move(cmp)) {
+  for (auto& reader : readers) {
+    Source s;
+    s.reader = std::move(reader);
+    sources_.push_back(std::move(s));
+  }
+  if (!in_memory_run.empty()) {
+    Source s;
+    s.memory_pages = std::move(in_memory_run);
+    sources_.push_back(std::move(s));
+  }
+}
+
+Status SpillMergeCursor::LoadIfNeeded(Source* s) {
+  while (!s->exhausted && (!s->loaded || s->row >= s->page.num_rows())) {
+    if (s->reader != nullptr) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, s->reader->Next());
+      if (!page.has_value()) {
+        s->exhausted = true;
+        break;
+      }
+      s->page = std::move(*page);
+    } else {
+      if (s->memory_index >= s->memory_pages.size()) {
+        s->exhausted = true;
+        break;
+      }
+      s->page = std::move(s->memory_pages[s->memory_index++]);
+    }
+    s->row = 0;
+    s->loaded = true;
+  }
+  return Status::OK();
+}
+
+Result<bool> SpillMergeCursor::Advance() {
+  if (started_) {
+    sources_[current_].row++;
+  }
+  started_ = true;
+  size_t best = sources_.size();
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    Source* s = &sources_[i];
+    RETURN_IF_ERROR(LoadIfNeeded(s));
+    if (s->exhausted) continue;
+    if (best == sources_.size() ||
+        cmp_(s->page, s->row, sources_[best].page, sources_[best].row) < 0) {
+      best = i;
+    }
+  }
+  if (best == sources_.size()) return false;
+  current_ = best;
+  return true;
+}
+
+}  // namespace presto

@@ -1,0 +1,142 @@
+#ifndef PRESTO_EXEC_SPILL_H_
+#define PRESTO_EXEC_SPILL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "presto/common/metrics.h"
+#include "presto/fs/file_system.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+
+/// Revocable-memory spill area for a single operator. When an operator's
+/// memory reservation fails, it revokes itself: the in-memory state is
+/// sorted, written out as one run file, and memory is released; on output
+/// the sorted runs are merge-read back. Runs live behind the `fs` layer
+/// (LocalFileSystem in production, MemoryFileSystem in tests) so the fault
+/// injector's spill.write / spill.read points cover disk trouble the same
+/// way they cover connector I/O.
+///
+/// Run file format (columnar, self-describing):
+///   header:  u32 magic, varint num_columns, per column a Type::ToString()
+///            string (parsed back on read)
+///   blocks:  varint block_bytes, then one page: varint num_rows, per
+///            column u8 tag (typed flat or boxed), nulls, then raw typed
+///            data or per-row serialized Values
+///   trailer: varint 0 (end of run)
+///
+/// Counters (per-query registry, may be null): spill.run.written,
+/// spill.byte.written, spill.byte.read.
+class SpillFile {
+ public:
+  SpillFile(FileSystem* fs, std::string path, MetricsRegistry* metrics);
+
+  /// Writes `pages` (already in run order) as one run and closes the file.
+  /// All pages must share the column types of the first.
+  Status WriteRun(const std::vector<Page>& pages);
+
+  /// Bytes written by WriteRun.
+  int64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+  /// Sequential page reader over a written run.
+  class Reader {
+   public:
+    /// Returns the next page, or nullopt at end of run.
+    Result<std::optional<Page>> Next();
+
+   private:
+    friend class SpillFile;
+    std::shared_ptr<RandomAccessFile> file_;
+    std::vector<TypePtr> types_;
+    uint64_t offset_ = 0;
+    MetricsRegistry::Counter* bytes_read_counter_ = nullptr;
+  };
+
+  Result<std::unique_ptr<Reader>> OpenReader() const;
+
+  /// Deletes the run file (best effort; called by the owning Spiller).
+  void Remove();
+
+ private:
+  FileSystem* fs_;
+  std::string path_;
+  int64_t bytes_written_ = 0;
+  MetricsRegistry::Counter* runs_written_counter_ = nullptr;
+  MetricsRegistry::Counter* bytes_written_counter_ = nullptr;
+  MetricsRegistry::Counter* bytes_read_counter_ = nullptr;
+};
+
+/// Owns the spill files of one operator instance: hands out uniquely named
+/// run files under `<dir>/` and deletes them all on destruction.
+class Spiller {
+ public:
+  Spiller(FileSystem* fs, std::string dir, MetricsRegistry* metrics);
+  ~Spiller();
+
+  Spiller(const Spiller&) = delete;
+  Spiller& operator=(const Spiller&) = delete;
+
+  /// Spills `pages` as one sorted run.
+  Status SpillRun(const std::vector<Page>& pages);
+
+  int num_runs() const { return static_cast<int>(runs_.size()); }
+  int64_t total_bytes() const { return total_bytes_; }
+
+  /// Opens a reader per run, in spill order.
+  Result<std::vector<std::unique_ptr<SpillFile::Reader>>> OpenAllRuns() const;
+
+ private:
+  FileSystem* fs_;
+  std::string dir_;
+  MetricsRegistry* metrics_;
+  std::vector<std::unique_ptr<SpillFile>> runs_;
+  int64_t total_bytes_ = 0;
+};
+
+/// Streaming k-way merge over sorted spill runs (plus optionally one final
+/// in-memory run). `Comparator(page_a, row_a, page_b, row_b)` returns <0,
+/// 0, >0 and must match the order the runs were written in. The cursor
+/// yields globally ordered rows one at a time; callers batch them back into
+/// pages.
+class SpillMergeCursor {
+ public:
+  using Comparator = std::function<int(const Page&, size_t, const Page&, size_t)>;
+
+  SpillMergeCursor(std::vector<std::unique_ptr<SpillFile::Reader>> readers,
+                   std::vector<Page> in_memory_run, Comparator cmp);
+
+  /// Positions on the smallest remaining row. Returns false at end of data.
+  Result<bool> Advance();
+
+  /// Current row (valid after Advance() returned true).
+  const Page& page() const { return sources_[current_].page; }
+  size_t row() const { return sources_[current_].row; }
+
+ private:
+  struct Source {
+    std::unique_ptr<SpillFile::Reader> reader;  // null for the memory run
+    std::vector<Page> memory_pages;             // memory-run backing
+    size_t memory_index = 0;
+    Page page;
+    size_t row = 0;
+    bool exhausted = false;
+    bool loaded = false;
+  };
+
+  Status LoadIfNeeded(Source* s);
+
+  std::vector<Source> sources_;
+  Comparator cmp_;
+  size_t current_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTO_EXEC_SPILL_H_

@@ -29,6 +29,28 @@ struct Session {
   ///   query_timeout_millis   = per-query deadline, enforced cooperatively
   ///                            at operator-batch and exchange waits
   ///                            (default: none)
+  ///   query_max_memory       = per-query user-memory cap in bytes; the
+  ///                            query's operators (hash tables, sort
+  ///                            buffers, join builds) reserve against it
+  ///                            and spill or fail when it is exceeded
+  ///                            (default 1 GiB)
+  ///   spill_enabled          = "true" (default) | "false": revocable
+  ///                            operators (aggregation, order-by) write
+  ///                            sorted runs to disk when the query cap is
+  ///                            hit and merge them on output; off makes
+  ///                            exceeding query_max_memory a
+  ///                            kResourceExhausted failure
+  ///   spill_path             = spill-area directory; each query spills
+  ///                            under <spill_path>/query-<id>
+  ///                            (default /tmp/presto_spill)
+  ///   query_queue_max        = admission-control queue depth: queries
+  ///                            arriving while reserved worker memory is
+  ///                            above the high-water mark wait here;
+  ///                            arrivals beyond this fail immediately
+  ///                            (default 64)
+  ///   memory_accounting      = "true" (default) | "false": disables the
+  ///                            memory-pool hierarchy entirely (used to
+  ///                            measure reservation overhead in benches)
   std::string Property(const std::string& name,
                        const std::string& default_value) const {
     auto it = properties.find(name);

@@ -1,0 +1,787 @@
+// Memory-management tests: the hierarchical MemoryPool subsystem and its
+// degradation ladder — revocable spill (aggregation/order-by), admission
+// control at the coordinator, and the low-memory killer — plus the
+// byte-weighted caches and exchange memory accounting that feed the same
+// pool tree. Spill correctness is differential: a query forced to spill
+// must produce exactly the rows of the same query run fully in memory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "presto/cache/lru_cache.h"
+#include "presto/cluster/cluster.h"
+#include "presto/common/fault_injection.h"
+#include "presto/common/memory_pool.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/exec/exchange.h"
+#include "presto/exec/spill.h"
+#include "presto/fs/memory_file_system.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+// Rows of a result, boxed and sorted for order-insensitive comparison.
+std::vector<std::string> SortedRows(const QueryResult& result) {
+  std::vector<std::string> rows;
+  for (const Page& page : result.pages) {
+    for (size_t r = 0; r < page.num_rows(); ++r) {
+      std::string row;
+      for (size_t c = 0; c < page.num_columns(); ++c) {
+        row += page.column(c)->GetValue(r).ToString();
+        row += "|";
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// Row strings in arrival order, for ORDER BY results.
+std::vector<std::string> OrderedRows(const QueryResult& result) {
+  std::vector<std::string> rows;
+  for (const Page& page : result.pages) {
+    for (size_t r = 0; r < page.num_rows(); ++r) {
+      std::string row;
+      for (size_t c = 0; c < page.num_columns(); ++c) {
+        row += page.column(c)->GetValue(r).ToString();
+        row += "|";
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+bool JournalHasKind(const Coordinator& coordinator, int64_t query_id,
+                    QueryEventKind kind) {
+  for (const QueryEvent& event : coordinator.journal().EventsForQuery(query_id)) {
+    if (event.kind == kind) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryPool hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(MemoryPoolTest, HierarchicalCapsAndClassification) {
+  MetricsRegistry metrics;
+  auto worker = MemoryPool::CreateRoot("worker", 1000, &metrics);
+  auto query = worker->AddChild("query.1");
+  auto user = query->AddChild("user", 400);
+
+  EXPECT_TRUE(user->Reserve(300).ok());
+  EXPECT_EQ(user->reserved_bytes(), 300);
+  EXPECT_EQ(query->reserved_bytes(), 300);
+  EXPECT_EQ(worker->reserved_bytes(), 300);
+
+  // Query-cap failure: classified by failed_pool == the user pool.
+  const MemoryPool* failed = nullptr;
+  Status at_query = user->Reserve(200, &failed);
+  EXPECT_EQ(at_query.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(failed, user.get());
+  // Failed walks reserve nothing anywhere.
+  EXPECT_EQ(user->reserved_bytes(), 300);
+  EXPECT_EQ(worker->reserved_bytes(), 300);
+
+  // Worker-cap failure: a sibling query hits the root level.
+  auto other = worker->AddChild("query.2")->AddChild("user", 10'000);
+  failed = nullptr;
+  Status at_worker = other->Reserve(800, &failed);
+  EXPECT_EQ(at_worker.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(failed, worker.get());
+
+  user->Release(300);
+  EXPECT_EQ(worker->reserved_bytes(), 0);
+  EXPECT_EQ(worker->peak_bytes(), 300);
+  // Cumulative reservation traffic counter lives on the root's registry.
+  EXPECT_EQ(metrics.Get("memory.reserved.bytes"), 300);
+}
+
+TEST(MemoryPoolTest, ConcurrentReservationsNeverOverCommit) {
+  const int64_t kCap = 100'000;
+  auto root = MemoryPool::CreateRoot("worker", kCap);
+  std::atomic<bool> over_cap{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&root, &over_cap, t] {
+      uint64_t state = 1000 + static_cast<uint64_t>(t);
+      auto next = [&state] {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+      };
+      auto leaf = root->AddChild("leaf." + std::to_string(t));
+      int64_t held = 0;
+      for (int i = 0; i < 2000; ++i) {
+        int64_t bytes = 1 + static_cast<int64_t>(next() % 512);
+        if (next() % 3 != 0) {
+          if (leaf->Reserve(bytes).ok()) held += bytes;
+        } else if (held > 0) {
+          int64_t release = std::min<int64_t>(held, bytes);
+          leaf->Release(release);
+          held -= release;
+        }
+        if (root->reserved_bytes() > kCap) over_cap.store(true);
+      }
+      leaf->Release(held);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(over_cap.load()) << "root exceeded its capacity";
+  EXPECT_EQ(root->reserved_bytes(), 0);
+  EXPECT_LE(root->peak_bytes(), kCap);
+}
+
+TEST(MemoryPoolTest, ReservationRaii) {
+  auto root = MemoryPool::CreateRoot("worker", 100);
+  {
+    MemoryReservation reservation(root);
+    EXPECT_TRUE(reservation.SetBytes(60).ok());
+    EXPECT_EQ(root->reserved_bytes(), 60);
+    EXPECT_TRUE(reservation.SetBytes(30).ok());  // shrink always succeeds
+    EXPECT_EQ(root->reserved_bytes(), 30);
+    EXPECT_FALSE(reservation.SetBytes(200).ok());
+    EXPECT_EQ(reservation.bytes(), 30) << "failed grow leaves the old amount";
+  }
+  EXPECT_EQ(root->reserved_bytes(), 0) << "destructor releases";
+}
+
+// ---------------------------------------------------------------------------
+// Spill files
+// ---------------------------------------------------------------------------
+
+TEST(SpillFileTest, RunRoundTripsTypedAndNullData) {
+  MemoryFileSystem fs;
+  MetricsRegistry metrics;
+  SpillFile file(&fs, "spill/run0", &metrics);
+
+  std::vector<Page> pages;
+  for (int p = 0; p < 3; ++p) {
+    VectorBuilder keys(Type::Bigint());
+    VectorBuilder names(Type::Varchar());
+    VectorBuilder vals(Type::Double());
+    for (int i = 0; i < 100; ++i) {
+      if (i % 9 == 0) {
+        keys.AppendNull();
+      } else {
+        ASSERT_TRUE(keys.Append(Value::Int(p * 100 + i)).ok());
+      }
+      ASSERT_TRUE(names.Append(Value::String("name-" + std::to_string(i))).ok());
+      if (i % 7 == 0) {
+        vals.AppendNull();
+      } else {
+        ASSERT_TRUE(vals.Append(Value::Double(i / 8.0)).ok());
+      }
+    }
+    pages.push_back(Page({keys.Build(), names.Build(), vals.Build()}));
+  }
+  ASSERT_TRUE(file.WriteRun(pages).ok());
+  EXPECT_GT(file.bytes_written(), 0);
+  EXPECT_EQ(metrics.Get("spill.run.written"), 1);
+
+  auto reader = file.OpenReader();
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  size_t page_index = 0;
+  while (true) {
+    auto batch = (*reader)->Next();
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    if (!batch->has_value()) break;
+    ASSERT_LT(page_index, pages.size());
+    const Page& expected = pages[page_index];
+    ASSERT_EQ((*batch)->num_rows(), expected.num_rows());
+    for (size_t c = 0; c < expected.num_columns(); ++c) {
+      for (size_t r = 0; r < expected.num_rows(); ++r) {
+        EXPECT_EQ((*batch)->column(c)->GetValue(r).ToString(),
+                  expected.column(c)->GetValue(r).ToString())
+            << "page " << page_index << " col " << c << " row " << r;
+      }
+    }
+    ++page_index;
+  }
+  EXPECT_EQ(page_index, pages.size());
+  EXPECT_GT(metrics.Get("spill.byte.read"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange memory accounting
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeMemoryTest, PoolReconcilesWithBufferedBytes) {
+  auto root = MemoryPool::CreateRoot("worker");
+  auto pool = root->AddChild("exchange.1");
+  PartitionedExchange exchange(1, 1 << 20);
+  exchange.SetMemoryPool(pool);
+  exchange.SetProducerCount(1);
+
+  for (int i = 0; i < 4; ++i) {
+    std::vector<int64_t> values(100, i);
+    exchange.Push(0, Page({MakeBigintVector(std::move(values))}));
+    EXPECT_EQ(pool->reserved_bytes(), exchange.buffered_bytes());
+  }
+  EXPECT_GT(pool->reserved_bytes(), 0);
+  EXPECT_EQ(pool->peak_bytes(), exchange.peak_buffered_bytes());
+
+  auto page = exchange.Next(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(pool->reserved_bytes(), exchange.buffered_bytes());
+
+  exchange.ConsumerDone(0);
+  EXPECT_EQ(pool->reserved_bytes(), 0) << "closing a partition releases";
+  EXPECT_EQ(exchange.buffered_bytes(), 0);
+}
+
+TEST(ExchangeMemoryTest, FailedReservationLatchesClassifiedError) {
+  auto root = MemoryPool::CreateRoot("worker", 64);  // absurdly small worker
+  PartitionedExchange exchange(1, 1 << 20);
+  exchange.SetMemoryPool(root->AddChild("exchange.1"));
+  exchange.SetProducerCount(1);
+
+  std::vector<int64_t> values(1000, 7);
+  exchange.Push(0, Page({MakeBigintVector(std::move(values))}));
+  auto page = exchange.Next(0);
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(root->reserved_bytes(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-weighted LRU cache
+// ---------------------------------------------------------------------------
+
+TEST(LruCacheWeightTest, EvictsByWeightAndChargesPool) {
+  auto root = MemoryPool::CreateRoot("cache-root");
+  LruCache<int> cache(100, "cache.test");
+  cache.SetMemoryPool(root->AddChild("cache.test"));
+
+  cache.Put("a", std::make_shared<const int>(1), 40);
+  cache.Put("b", std::make_shared<const int>(2), 40);
+  EXPECT_EQ(root->reserved_bytes(), 80);
+  ASSERT_TRUE(cache.Get("a").has_value());  // a becomes most recent
+  cache.Put("c", std::make_shared<const int>(3), 40);
+  EXPECT_FALSE(cache.Get("b").has_value()) << "b was least recently used";
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.metrics().Get("cache.test.evictions"), 1);
+  EXPECT_EQ(cache.metrics().Get("cache.test.evicted.bytes"), 40);
+  EXPECT_EQ(cache.weight_bytes(), 80);
+  EXPECT_EQ(root->reserved_bytes(), 80);
+
+  // An oversized entry evicts everything else but is itself retained.
+  cache.Put("big", std::make_shared<const int>(4), 500);
+  EXPECT_TRUE(cache.Get("big").has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(root->reserved_bytes(), 500);
+
+  cache.Clear();
+  EXPECT_EQ(root->reserved_bytes(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: spill differential, admission control, low-memory killer
+// ---------------------------------------------------------------------------
+
+// Randomized facts table exercising dictionary encodings and NULLs in both
+// keys and values — the encodings a spilled run must round-trip exactly.
+void LoadRandomFacts(MemoryConnector* memory, int pages, size_t rows_per_page) {
+  TypePtr facts_type =
+      Type::Row({"k_int", "k_str", "v_int", "v_double", "seq"},
+                {Type::Bigint(), Type::Varchar(), Type::Bigint(),
+                 Type::Double(), Type::Bigint()});
+  ASSERT_TRUE(memory->CreateTable("raw", "facts", facts_type).ok());
+  uint64_t state = 4242;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  const std::vector<std::string> words = {"ash", "birch", "cedar", "dogwood",
+                                          "elm",  "fir",   "ginkgo", ""};
+  int64_t seq_base = 0;
+  for (int p = 0; p < pages; ++p) {
+    size_t n = rows_per_page;
+    std::vector<int64_t> k_int(n), v_int(n), seq(n);
+    std::vector<uint8_t> k_int_nulls(n), v_int_nulls(n), v_double_nulls(n);
+    std::vector<std::string> k_str(n);
+    std::vector<double> v_double(n);
+    for (size_t i = 0; i < n; ++i) {
+      k_int[i] = static_cast<int64_t>(next() % 401) - 13;
+      k_int_nulls[i] = next() % 10 == 0;
+      k_str[i] = words[next() % words.size()];
+      v_int[i] = static_cast<int64_t>(next() % 1000) - 500;
+      v_int_nulls[i] = next() % 7 == 0;
+      v_double[i] = (static_cast<int64_t>(next() % 2000) - 1000) / 8.0;
+      v_double_nulls[i] = next() % 9 == 0;
+      seq[i] = seq_base++;
+    }
+    std::vector<VectorPtr> columns = {
+        std::make_shared<Int64Vector>(Type::Bigint(), k_int, k_int_nulls),
+        std::make_shared<StringVector>(Type::Varchar(), k_str,
+                                       std::vector<uint8_t>{}),
+        std::make_shared<Int64Vector>(Type::Bigint(), v_int, v_int_nulls),
+        std::make_shared<DoubleVector>(Type::Double(), v_double,
+                                       v_double_nulls),
+        MakeBigintVector(std::move(seq))};
+    if (p % 2 == 1) {
+      // Dictionary-encode the key columns with dictionary-level nulls.
+      for (size_t c = 0; c < 2; ++c) {
+        std::vector<int32_t> indices(n);
+        std::vector<uint8_t> top_nulls(n);
+        for (size_t i = 0; i < n; ++i) {
+          indices[i] = static_cast<int32_t>(next() % n);
+          top_nulls[i] = next() % 13 == 0;
+        }
+        columns[c] = std::make_shared<DictionaryVector>(
+            columns[c], std::move(indices), std::move(top_nulls));
+      }
+    }
+    ASSERT_TRUE(
+        memory->AppendPage("raw", "facts", Page(std::move(columns), n)).ok());
+  }
+}
+
+class SpillDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new PrestoCluster("spill-diff", 2, 2);
+    auto memory = std::make_shared<MemoryConnector>();
+    LoadRandomFacts(memory.get(), 20, 400);
+    ASSERT_TRUE(cluster_->catalogs().RegisterCatalog("mem", memory).ok());
+  }
+
+  // Runs `sql` comfortably in memory and again under a cap tiny enough to
+  // force spilling; both row sets must match exactly and the constrained run
+  // must actually have spilled.
+  static void ExpectSpillMatchesInMemory(const std::string& sql, bool ordered,
+                                         bool force_boxed = false,
+                                         bool require_spill = true) {
+    Session roomy;
+    if (force_boxed) roomy.properties["vectorized_kernels"] = "false";
+    auto reference = cluster_->Execute(sql, roomy);
+    ASSERT_TRUE(reference.ok()) << sql << "\n" << reference.status().ToString();
+
+    Session tight = roomy;
+    tight.properties["query_max_memory"] = "65536";
+    tight.properties["spill_path"] = "/tmp/presto_spill_test";
+    auto spilled = cluster_->Execute(sql, tight);
+    ASSERT_TRUE(spilled.ok()) << sql << "\n" << spilled.status().ToString();
+
+    if (ordered) {
+      EXPECT_EQ(OrderedRows(*spilled), OrderedRows(*reference)) << sql;
+    } else {
+      EXPECT_EQ(SortedRows(*spilled), SortedRows(*reference)) << sql;
+    }
+    EXPECT_GT(spilled->exec_metrics.at("memory.query.peak_bytes"), 0);
+    if (!require_spill) return;
+    auto runs = spilled->exec_metrics.find("spill.run.written");
+    ASSERT_NE(runs, spilled->exec_metrics.end())
+        << sql << " never spilled under a 64 KiB cap";
+    EXPECT_GT(runs->second, 0) << sql;
+    EXPECT_TRUE(JournalHasKind(cluster_->coordinator(), spilled->query_id,
+                               QueryEventKind::kOperatorSpilled))
+        << sql;
+  }
+
+  static PrestoCluster* cluster_;
+};
+
+PrestoCluster* SpillDifferentialTest::cluster_ = nullptr;
+
+TEST_F(SpillDifferentialTest, GroupByKernelPath) {
+  ExpectSpillMatchesInMemory(
+      "SELECT k_int, count(*), sum(v_int), min(v_double), max(v_double) "
+      "FROM mem.raw.facts GROUP BY k_int",
+      /*ordered=*/false);
+}
+
+TEST_F(SpillDifferentialTest, GroupByBoxedPathWithStringKeys) {
+  ExpectSpillMatchesInMemory(
+      "SELECT k_int, k_str, count(*), sum(v_int) FROM mem.raw.facts "
+      "GROUP BY k_int, k_str",
+      /*ordered=*/false, /*force_boxed=*/true);
+}
+
+TEST_F(SpillDifferentialTest, OrderByUniqueKeys) {
+  // seq is unique, so the spilled merge order is fully determined and must
+  // equal the in-memory sort row for row.
+  ExpectSpillMatchesInMemory(
+      "SELECT seq, k_int, v_int FROM mem.raw.facts ORDER BY seq DESC",
+      /*ordered=*/true);
+}
+
+TEST_F(SpillDifferentialTest, OrderByWithLimit) {
+  // ORDER BY + LIMIT keeps only the top rows in memory, so a 64 KiB cap is
+  // routinely satisfied without revoking — the differential check still must
+  // hold, spilling is optional.
+  ExpectSpillMatchesInMemory(
+      "SELECT seq, v_double FROM mem.raw.facts ORDER BY seq LIMIT 137",
+      /*ordered=*/true, /*force_boxed=*/false, /*require_spill=*/false);
+}
+
+TEST_F(SpillDifferentialTest, SpillDisabledFailsClassified) {
+  Session session;
+  session.properties["query_max_memory"] = "65536";
+  session.properties["spill_enabled"] = "false";
+  auto result = cluster_->Execute(
+      "SELECT k_int, k_str, count(*), sum(v_int) FROM mem.raw.facts "
+      "GROUP BY k_int, k_str",
+      session);
+  ASSERT_FALSE(result.ok()) << "64 KiB cap without spill must fail";
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+}
+
+TEST_F(SpillDifferentialTest, ExplainAnalyzeShowsSpillStats) {
+  Session session;
+  session.properties["query_max_memory"] = "65536";
+  auto result = cluster_->Execute(
+      "EXPLAIN ANALYZE SELECT k_int, count(*), sum(v_int) FROM mem.raw.facts "
+      "GROUP BY k_int",
+      session);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->total_rows, 1);
+  std::string text = result->Row(0)[0].ToString();
+  EXPECT_NE(text.find("spilled:"), std::string::npos)
+      << "EXPLAIN ANALYZE lost per-operator spill stats:\n"
+      << text;
+}
+
+// Chaos: spill-area I/O faults must surface as classified errors (or be
+// recovered by query restart), never crash, hang, or corrupt results.
+TEST_F(SpillDifferentialTest, SpillWriteFaultSurfacesClean) {
+  // The wide two-key group-by: a single task's hash table alone exceeds the
+  // 64 KiB cap, so every run spills regardless of how task reservations
+  // interleave (a narrower query can dodge the cap under unlucky
+  // scheduling, and then the armed fault never fires).
+  const std::string sql =
+      "SELECT k_int, k_str, count(*), sum(v_int) FROM mem.raw.facts "
+      "GROUP BY k_int, k_str";
+  Session tight;
+  tight.properties["query_max_memory"] = "65536";
+  auto reference = cluster_->Execute(sql, tight);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_GT(reference->exec_metrics["spill.run.written"], 0)
+      << "reference run under the tight cap must itself spill";
+  const auto expected = SortedRows(*reference);
+
+  FaultInjector::Global().ArmScripted("spill.write", {1},
+                                      StatusCode::kIoError);
+  auto faulted = cluster_->Execute(sql, tight);
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(faulted.ok()) << "first spill write was scripted to fail";
+  EXPECT_TRUE(IsRetryableStatus(faulted.status()) ||
+              faulted.status().code() == StatusCode::kResourceExhausted)
+      << faulted.status().ToString();
+
+  // Probabilistic chaos over both spill points: identical rows or a
+  // classified failure, across several seeds.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultInjector::Global().Seed(seed);
+    FaultInjector::Global().ArmProbabilistic("spill.write", 0.05,
+                                             StatusCode::kIoError);
+    FaultInjector::Global().ArmProbabilistic("spill.read", 0.05,
+                                             StatusCode::kIoError);
+    auto chaotic = cluster_->Execute(sql, tight);
+    if (chaotic.ok()) {
+      EXPECT_EQ(SortedRows(*chaotic), expected) << "seed " << seed;
+    } else {
+      EXPECT_TRUE(IsRetryableStatus(chaotic.status()) ||
+                  chaotic.status().code() == StatusCode::kResourceExhausted)
+          << "seed " << seed << ": " << chaotic.status().ToString();
+    }
+  }
+  FaultInjector::Global().Reset();
+
+  // The spill area is healthy again afterwards.
+  auto recovered = cluster_->Execute(sql, tight);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(SortedRows(*recovered), expected);
+}
+
+// Acceptance-scale spill: a group-by over ten million rows whose hash tables
+// cannot fit the query cap completes by spilling and matches the uncapped
+// run exactly. PRESTO_SPILL_SCALE_ROWS shrinks the table for sanitizer runs.
+TEST(SpillLargeScaleTest, TenMillionRowGroupBySpillsAndMatches) {
+  PrestoCluster cluster("spill-10m", 2, 2);
+  auto memory = std::make_shared<MemoryConnector>();
+  TypePtr facts_type = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  ASSERT_TRUE(memory->CreateTable("raw", "big", facts_type).ok());
+  uint64_t state = 7;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  int64_t kRows = 10'000'000;
+  if (const char* env = std::getenv("PRESTO_SPILL_SCALE_ROWS")) {
+    int64_t parsed = std::strtoll(env, nullptr, 10);
+    if (parsed > 0) kRows = parsed;
+  }
+  constexpr size_t kPageRows = 250'000;
+  for (int64_t done = 0; done < kRows; done += kPageRows) {
+    std::vector<int64_t> k(kPageRows), v(kPageRows);
+    for (size_t i = 0; i < kPageRows; ++i) {
+      k[i] = static_cast<int64_t>(next() % 200'000);
+      v[i] = static_cast<int64_t>(next() % 1000);
+    }
+    ASSERT_TRUE(memory
+                    ->AppendPage("raw", "big",
+                                 Page({MakeBigintVector(std::move(k)),
+                                       MakeBigintVector(std::move(v))}))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("mem", memory).ok());
+
+  const std::string sql =
+      "SELECT k, count(*), sum(v) FROM mem.raw.big GROUP BY k";
+  auto reference = cluster.Execute(sql, Session());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Session tight;
+  tight.properties["query_max_memory"] = "4194304";  // 4 MiB across all tasks
+  auto spilled = cluster.Execute(sql, tight);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  EXPECT_EQ(spilled->total_rows, reference->total_rows);
+  EXPECT_EQ(SortedRows(*spilled), SortedRows(*reference));
+  EXPECT_GT(spilled->exec_metrics.at("spill.run.written"), 0);
+  EXPECT_GT(spilled->exec_metrics.at("spill.byte.written"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CoordinatorOptions options;
+    options.worker_memory_bytes = 16 << 20;
+    options.admission_high_water = 0.5;  // queue above 8 MiB reserved
+    cluster_ = std::make_unique<PrestoCluster>("admission", 1, 2, options);
+    auto memory = std::make_shared<MemoryConnector>();
+    ASSERT_TRUE(
+        memory->CreateTable("raw", "t", Type::Row({"x"}, {Type::Bigint()}))
+            .ok());
+    ASSERT_TRUE(
+        memory->AppendPage("raw", "t", Page({MakeBigintVector({1, 2, 3})}))
+            .ok());
+    ASSERT_TRUE(cluster_->catalogs().RegisterCatalog("mem", memory).ok());
+  }
+
+  std::unique_ptr<PrestoCluster> cluster_;
+};
+
+TEST_F(AdmissionTest, QueriesQueueUntilMemoryDrains) {
+  Coordinator& coordinator = cluster_->coordinator();
+  // Simulate other queries holding worker memory above the high-water mark.
+  ASSERT_TRUE(coordinator.worker_pool()->Reserve(10 << 20).ok());
+
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    auto result = cluster_->Execute("SELECT sum(x) FROM mem.raw.t", Session());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    done.store(true);
+  });
+
+  // The query must park in the admission queue, journaling query_queued.
+  bool queued = false;
+  for (int i = 0; i < 500 && !queued; ++i) {
+    for (const QueryEvent& event : coordinator.journal().Events()) {
+      if (event.kind == QueryEventKind::kQueued) queued = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(queued) << "query never queued under memory pressure";
+  EXPECT_FALSE(done.load()) << "query ran while the worker was over the mark";
+
+  // Draining the pressure admits it.
+  coordinator.worker_pool()->Release(10 << 20);
+  client.join();
+  EXPECT_TRUE(done.load());
+  bool admitted = false;
+  for (const QueryEvent& event : coordinator.journal().Events()) {
+    if (event.kind == QueryEventKind::kAdmitted) admitted = true;
+  }
+  EXPECT_TRUE(admitted);
+  EXPECT_GE(coordinator.metrics().Get("query.queued"), 1);
+}
+
+TEST_F(AdmissionTest, FullQueueFailsImmediately) {
+  Coordinator& coordinator = cluster_->coordinator();
+  ASSERT_TRUE(coordinator.worker_pool()->Reserve(10 << 20).ok());
+
+  Session session;
+  session.properties["query_queue_max"] = "0";
+  auto result = cluster_->Execute("SELECT sum(x) FROM mem.raw.t", session);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+
+  coordinator.worker_pool()->Release(10 << 20);
+  auto ok_again = cluster_->Execute("SELECT sum(x) FROM mem.raw.t", session);
+  EXPECT_TRUE(ok_again.ok()) << ok_again.status().ToString();
+}
+
+TEST_F(AdmissionTest, QueuedQueryHonorsDeadline) {
+  Coordinator& coordinator = cluster_->coordinator();
+  ASSERT_TRUE(coordinator.worker_pool()->Reserve(10 << 20).ok());
+
+  Session session;
+  session.properties["query_timeout_millis"] = "50";
+  auto result = cluster_->Execute("SELECT sum(x) FROM mem.raw.t", session);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("query deadline exceeded"),
+            std::string::npos)
+      << result.status().ToString();
+  coordinator.worker_pool()->Release(10 << 20);
+}
+
+// ---------------------------------------------------------------------------
+// Low-memory killer
+// ---------------------------------------------------------------------------
+
+TEST(LowMemoryKillerTest, KillsOnlyTheLargestQuery) {
+  CoordinatorOptions options;
+  options.worker_memory_bytes = 48 << 20;
+  PrestoCluster cluster("killer", 2, 2, options);
+  auto memory = std::make_shared<MemoryConnector>();
+  TypePtr hog_type = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  ASSERT_TRUE(memory->CreateTable("raw", "hog", hog_type).ok());
+  uint64_t state = 11;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int p = 0; p < 8; ++p) {
+    constexpr size_t n = 250'000;
+    std::vector<int64_t> k(n), v(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Nearly all-distinct keys: the hash tables must hold ~2M groups,
+      // far beyond the 48 MiB worker budget.
+      k[i] = static_cast<int64_t>(p) * n + static_cast<int64_t>(i);
+      v[i] = static_cast<int64_t>(next() % 100);
+    }
+    ASSERT_TRUE(memory
+                    ->AppendPage("raw", "hog",
+                                 Page({MakeBigintVector(std::move(k)),
+                                       MakeBigintVector(std::move(v))}))
+                    .ok());
+  }
+  ASSERT_TRUE(memory->CreateTable("raw", "small",
+                                  Type::Row({"x"}, {Type::Bigint()}))
+                  .ok());
+  ASSERT_TRUE(
+      memory->AppendPage("raw", "small", Page({MakeBigintVector({1, 2, 3})}))
+          .ok());
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("mem", memory).ok());
+
+  // The hog: a huge-cardinality group-by whose own cap exceeds the worker
+  // budget, with spill off — its only exits are the worker cap and the
+  // killer.
+  Session hog_session;
+  hog_session.properties["query_max_memory"] =
+      std::to_string(1LL << 30);
+  hog_session.properties["spill_enabled"] = "false";
+  std::atomic<bool> hog_done{false};
+  Status hog_status;
+  std::thread hog([&] {
+    auto result = cluster.Execute(
+        "SELECT k, count(*), sum(v) FROM mem.raw.hog GROUP BY k", hog_session);
+    hog_status = result.ok() ? Status::OK() : result.status();
+    hog_done.store(true);
+  });
+
+  // Small queries run throughout; every one must survive (queueing briefly
+  // at admission is fine, dying is not).
+  std::vector<Status> small_statuses;
+  while (!hog_done.load()) {
+    auto small = cluster.Execute("SELECT sum(x) FROM mem.raw.small", Session());
+    small_statuses.push_back(small.ok() ? Status::OK() : small.status());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  hog.join();
+
+  ASSERT_FALSE(hog_status.ok()) << "the hog cannot fit the worker";
+  EXPECT_EQ(hog_status.code(), StatusCode::kResourceExhausted)
+      << hog_status.ToString();
+  EXPECT_NE(hog_status.message().find("killed"), std::string::npos)
+      << hog_status.ToString();
+  for (const Status& status : small_statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_GE(cluster.coordinator().metrics().Get("query.killed.memory"), 1);
+
+  // The journal names the victim; no small query was ever the victim.
+  int64_t victims = 0;
+  int64_t hog_victim_events = 0;
+  for (const QueryEvent& event : cluster.coordinator().journal().Events()) {
+    if (event.kind != QueryEventKind::kKilledMemory) continue;
+    ++victims;
+    // The hog failed, so its id never landed in a QueryResult; recover it
+    // from the kFailed journal event instead.
+    for (const QueryEvent& failed : cluster.coordinator().journal().Events()) {
+      if (failed.kind == QueryEventKind::kFailed &&
+          failed.query_id == event.query_id) {
+        ++hog_victim_events;
+      }
+    }
+  }
+  EXPECT_GE(victims, 1);
+  EXPECT_EQ(victims, hog_victim_events)
+      << "a kill landed on a query that did not fail (i.e. not the hog)";
+
+  // The worker recovers: the same hog query spills its way through when
+  // allowed to.
+  Session spilling = hog_session;
+  spilling.properties["spill_enabled"] = "true";
+  spilling.properties["query_max_memory"] = std::to_string(8 << 20);
+  auto retry = cluster.Execute(
+      "SELECT k, count(*), sum(v) FROM mem.raw.hog GROUP BY k", spilling);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end counters
+// ---------------------------------------------------------------------------
+
+TEST(MemoryCountersTest, ReservationsVisibleOnHappyPath) {
+  PrestoCluster cluster("memory-counters", 1, 2);
+  auto memory = std::make_shared<MemoryConnector>();
+  ASSERT_TRUE(
+      memory->CreateTable("raw", "t", Type::Row({"k", "v"},
+                                                {Type::Bigint(), Type::Bigint()}))
+          .ok());
+  std::vector<int64_t> k(5000), v(5000);
+  for (size_t i = 0; i < k.size(); ++i) {
+    k[i] = static_cast<int64_t>(i % 100);
+    v[i] = static_cast<int64_t>(i);
+  }
+  ASSERT_TRUE(memory
+                  ->AppendPage("raw", "t",
+                               Page({MakeBigintVector(std::move(k)),
+                                     MakeBigintVector(std::move(v))}))
+                  .ok());
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("mem", memory).ok());
+
+  auto result = cluster.Execute(
+      "SELECT k, count(*), sum(v) FROM mem.raw.t GROUP BY k", Session());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->exec_metrics.at("memory.query.peak_bytes"), 0);
+  EXPECT_GT(cluster.coordinator().metrics().Get("memory.reserved.bytes"), 0);
+  // All pools drain after the query: nothing left reserved on the worker.
+  EXPECT_EQ(cluster.coordinator().worker_pool()->reserved_bytes(), 0);
+
+  // memory_accounting=false switches the whole subsystem off.
+  Session off;
+  off.properties["memory_accounting"] = "false";
+  auto unaccounted = cluster.Execute(
+      "SELECT k, count(*), sum(v) FROM mem.raw.t GROUP BY k", off);
+  ASSERT_TRUE(unaccounted.ok()) << unaccounted.status().ToString();
+  EXPECT_EQ(unaccounted->exec_metrics.count("memory.query.peak_bytes"), 0u);
+}
+
+}  // namespace
+}  // namespace presto
