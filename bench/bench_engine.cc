@@ -259,6 +259,77 @@ int main(int argc, char** argv) {
         s.inline_millis / s.staged_millis);
   }
 
+  // -- Morsel-driven intra-task parallelism: task_threads scaling ------------
+  // The group-by and the join re-run with morsel execution off (one operator
+  // chain per task, the pre-morsel path) and then at task_threads 1/2/4/8.
+  // On a single-core host the scaling curve is expected to be flat — the
+  // interesting deltas are morsel-on-at-1-thread vs the legacy chain (radix
+  // partitioning + reservation batching with zero added parallelism) and
+  // that N threads cost at most linear memory (thread-local tables).
+  std::printf("\n=== Morsel-driven parallelism (task_threads scaling) ===\n\n");
+  struct ParallelResult {
+    const char* name;
+    std::string sql;
+    size_t input_rows = 0;
+    double single_chain_millis = 0;  // morsel_execution=false
+    std::vector<int> threads;
+    std::vector<double> millis;
+    int64_t peak_bytes_at_1 = 0;
+    int64_t peak_bytes_at_max = 0;
+  };
+  const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+  std::vector<ParallelResult> parallel_results;
+  for (size_t qi : {size_t{0}, size_t{3}}) {
+    ParallelResult p;
+    p.name = queries[qi].name;
+    p.sql = queries[qi].sql;
+    p.input_rows = queries[qi].input_rows;
+    QueryResult legacy;
+    p.single_chain_millis =
+        best_of(p.sql, {{"morsel_execution", "false"}}, 3, &legacy);
+    std::printf("%-28s single-chain %8.1f ms\n", p.name,
+                p.single_chain_millis);
+    for (int t : kThreadCounts) {
+      QueryResult r;
+      double ms = best_of(
+          p.sql, {{"task_threads", std::to_string(t)}}, 3, &r);
+      if (r.total_rows != legacy.total_rows) {
+        std::fprintf(stderr, "parallelism row mismatch on %s at %d threads: "
+                     "%lld vs %lld\n", p.name, t,
+                     static_cast<long long>(r.total_rows),
+                     static_cast<long long>(legacy.total_rows));
+        return 1;
+      }
+      p.threads.push_back(t);
+      p.millis.push_back(ms);
+      int64_t peak = r.exec_metrics["memory.query.peak_bytes"];
+      if (t == 1) p.peak_bytes_at_1 = peak;
+      if (t == kThreadCounts.back()) p.peak_bytes_at_max = peak;
+      std::printf(
+          "%-28s %2d threads %10.1f ms (%6.1f Mrows/s)  vs single-chain "
+          "%.2fx  peak %.1f MB\n",
+          p.name, t, ms, static_cast<double>(p.input_rows) / 1e3 / ms,
+          p.single_chain_millis / ms, peak / 1048576.0);
+    }
+    // Memory budget: thread-local radix tables may cost at most linear
+    // memory in task_threads, plus one reservation quantum of batching
+    // slack per chain (64 MiB covers both with room for allocator noise).
+    // A violation means per-chain state is being duplicated superlinearly
+    // or reservation batching stopped returning shrunk reservations.
+    int64_t budget = p.peak_bytes_at_1 * kThreadCounts.back() + (64LL << 20);
+    if (p.peak_bytes_at_max > budget) {
+      std::fprintf(stderr,
+                   "memory budget violated on %s: peak at %d threads %lld "
+                   "exceeds %lld (peak at 1 thread %lld)\n",
+                   p.name, kThreadCounts.back(),
+                   static_cast<long long>(p.peak_bytes_at_max),
+                   static_cast<long long>(budget),
+                   static_cast<long long>(p.peak_bytes_at_1));
+      return 1;
+    }
+    parallel_results.push_back(std::move(p));
+  }
+
   // -- Fault-tolerance overhead: recovery armed, fault rate zero -------------
   // Arming retries wraps every leaf task in the retry/backoff/deadline
   // machinery (attempt bookkeeping, buffered leaf output, heartbeat sweeps,
@@ -401,6 +472,29 @@ int main(int argc, char** argv) {
         static_cast<long long>(s.exchanged_bytes),
         static_cast<long long>(s.exchange_pages),
         i + 1 < shuffles.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"parallelism\": [\n");
+  for (size_t i = 0; i < parallel_results.size(); ++i) {
+    const ParallelResult& p = parallel_results[i];
+    std::fprintf(f,
+                 "    {\"query\": \"%s\", \"single_chain_millis\": %.2f,\n"
+                 "     \"peak_bytes_at_1_thread\": %lld, "
+                 "\"peak_bytes_at_%d_threads\": %lld,\n"
+                 "     \"runs\": [",
+                 p.name, p.single_chain_millis,
+                 static_cast<long long>(p.peak_bytes_at_1),
+                 kThreadCounts.back(),
+                 static_cast<long long>(p.peak_bytes_at_max));
+    for (size_t j = 0; j < p.threads.size(); ++j) {
+      std::fprintf(
+          f,
+          "{\"threads\": %d, \"millis\": %.2f, \"mrows_per_sec\": %.1f}%s",
+          p.threads[j], p.millis[j],
+          static_cast<double>(p.input_rows) / 1e3 / p.millis[j],
+          j + 1 < p.threads.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n",
+                 i + 1 < parallel_results.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"fault_tolerance\": {\"query\": \"%s\", "

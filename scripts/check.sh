@@ -38,6 +38,12 @@ MEMORY_FILTER="$MEMORY_FILTER:AdmissionTest.*:LowMemoryKillerTest.*"
 MEMORY_FILTER="$MEMORY_FILTER:ExchangeMemoryTest.*:MemoryCountersTest.*"
 MEMORY_SCALE_ROWS="${PRESTO_SPILL_SCALE_ROWS:-2000000}"
 
+# Morsel stage: the work-stealing pool and the differential tests that drive
+# parallel operator chains at 2 and 8 threads — the paths where a hot-path
+# lock would hide and a missed happens-before would race (thread-local radix
+# tables merged at finalize, claim-slot protocol, batched reservations).
+MORSEL_FILTER='WorkStealingPoolTest.*:RunParallelTest.*:MorselDifferentialTest.*'
+
 if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan build =="
   cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
@@ -53,6 +59,9 @@ if [[ "$MODE" != "--asan-only" ]]; then
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       PRESTO_SPILL_SCALE_ROWS="$MEMORY_SCALE_ROWS" \
       ./tests/presto_tests --gtest_filter="$MEMORY_FILTER")
+  echo "== tsan morsel parallelism =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$MORSEL_FILTER")
 fi
 
 if [[ "$MODE" != "--tsan-only" ]]; then
@@ -70,6 +79,9 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
       PRESTO_SPILL_SCALE_ROWS="$MEMORY_SCALE_ROWS" \
       ./tests/presto_tests --gtest_filter="$MEMORY_FILTER")
+  echo "== asan morsel parallelism =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$MORSEL_FILTER")
 fi
 
 echo "OK: requested suites passed"

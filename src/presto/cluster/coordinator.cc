@@ -527,6 +527,24 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // leaf task should get at least one split.
   size_t parallelism = std::max<size_t>(
       1, std::max<size_t>(workers.size(), 1) * options_.tasks_per_fragment);
+  // Morsel-driven intra-task parallelism (session morsel_execution /
+  // task_threads): tasks replicate their consume chains over a shared morsel
+  // source instead of multiplying task counts, so under morsel mode each
+  // worker runs one task per fragment and parallelism moves inside the task.
+  const bool morsel_execution =
+      session.Property("morsel_execution", "true") != "false";
+  int task_threads = static_cast<int>(std::min<unsigned>(
+      16, std::max<unsigned>(1, std::thread::hardware_concurrency())));
+  {
+    std::string prop = session.Property("task_threads", "");
+    if (!prop.empty()) {
+      task_threads = std::max<int>(
+          1, static_cast<int>(std::strtoll(prop.c_str(), nullptr, 10)));
+    }
+  }
+  if (!morsel_execution) task_threads = 1;
+  const size_t task_parallelism =
+      morsel_execution ? std::max<size_t>(1, workers.size()) : parallelism;
   // Partition count of hash-partitioned stages (session hash_partition_count).
   int hash_partitions = static_cast<int>(parallelism);
   {
@@ -565,6 +583,17 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     }
     limits.vectorized_kernels =
         session.Property("vectorized_kernels", "true") != "false";
+    limits.task_threads = task_threads;
+    std::string morsel_rows = session.Property("morsel_rows", "");
+    if (!morsel_rows.empty()) {
+      int64_t parsed = std::strtoll(morsel_rows.c_str(), nullptr, 10);
+      if (parsed > 0) limits.morsel_rows = static_cast<size_t>(parsed);
+    }
+    std::string quantum = session.Property("memory_reservation_quantum", "");
+    if (!quantum.empty()) {
+      int64_t parsed = std::strtoll(quantum.c_str(), nullptr, 10);
+      if (parsed >= 0) limits.memory_quantum = parsed;
+    }
   }
   if (memory != nullptr) {
     // Task pools are added per task inside run_task; everything else about
@@ -624,8 +653,10 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
         return splits.status();
       }
       result.num_splits += static_cast<int>(splits->size());
+      // Morsel mode keeps the split count (fine-grained morsels) but runs
+      // one leaf task per worker: chains inside the task share the splits.
       size_t num_tasks = std::min<size_t>(
-          std::max<size_t>(1, splits->size()), parallelism);
+          std::max<size_t>(1, splits->size()), task_parallelism);
       // Round-robin splits across tasks.
       std::vector<std::vector<SplitPtr>> batches(num_tasks);
       for (size_t i = 0; i < splits->size(); ++i) {
@@ -732,11 +763,9 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     const PlanFragment* fragment = state->fragment;
     PartitionedExchange* out = state->exchange.get();
     auto push_output = [&](Page page) {
-      if (state->route_channels.empty()) {
-        out->Push(0, std::move(page));
-      } else {
-        out->PushPartitioned(page, state->route_channels);
-      }
+      // Gather (empty route_channels) also goes through PushPartitioned so
+      // its pass-through pages tick the zero-copy counter.
+      out->PushPartitioned(page, state->route_channels);
     };
     // Closing consumed partitions at exit (every completed path) releases
     // upstream producers blocked on bounded exchanges and cascades
@@ -800,6 +829,10 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     // user subtree; operators hang their leaf pools off it, and destroying
     // the attempt's operator tree returns every byte.
     ExecutionLimits task_limits = limits;
+    // Replicated chains borrow helper threads from the host worker's local
+    // pool; a task running on a query-owned fallback thread has no pool and
+    // its chains run serially on the task thread (correct, just unhelped).
+    task_limits.morsel_pool = host != nullptr ? host->morsel_pool() : nullptr;
     if (memory != nullptr) {
       task_limits.task_pool = memory->user->AddChild(
           "task." + std::to_string(fragment->id) + "." +
@@ -1062,6 +1095,7 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   const PlanFragment& root = fragmented.fragments[0];
   Stopwatch root_watch;
   ExecutionLimits root_limits = limits;
+  root_limits.morsel_pool = root_morsel_pool_.get();
   if (memory != nullptr) {
     root_limits.task_pool = memory->user->AddChild("task.root");
   }

@@ -96,6 +96,9 @@ class Coordinator : public MemoryArbiter {
     spill_fs_ = std::make_unique<LocalFileSystem>();
     fragment_cache_.SetMemoryPool(
         ProcessCachePool()->AddChild("cache.fragment_result"));
+    // Helper pool for morsel-parallel root fragments, which run on the
+    // coordinator thread and so cannot borrow a worker's pool.
+    root_morsel_pool_ = std::make_unique<WorkStealingPool>(2);
   }
 
   // -- worker membership: elastic expansion / graceful shrink ----------------
@@ -208,6 +211,7 @@ class Coordinator : public MemoryArbiter {
                                               "cache.fragment_result"};
 
   QueryJournal journal_;
+  std::unique_ptr<WorkStealingPool> root_morsel_pool_;
   MetricsRegistry metrics_;
   std::atomic<int64_t> next_query_id_{1};
 

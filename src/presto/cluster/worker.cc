@@ -1,5 +1,7 @@
 #include "presto/cluster/worker.h"
 
+#include <algorithm>
+
 namespace presto {
 
 const char* WorkerStateToString(WorkerState state) {
@@ -18,6 +20,13 @@ const char* WorkerStateToString(WorkerState state) {
 
 Worker::Worker(std::string id, size_t execution_slots, Clock* clock)
     : id_(std::move(id)), pool_(execution_slots) {
+  // At least two helper threads even on small machines so parallel chains
+  // genuinely interleave (and sanitizers see real concurrency); capped so a
+  // wide cluster simulation doesn't multiply idle threads.
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  morsel_pool_ = std::make_unique<WorkStealingPool>(
+      std::min<size_t>(8, std::max<size_t>(2, hw)));
   if (clock == nullptr) {
     owned_clock_ = std::make_unique<SystemClock>();
     clock_ = owned_clock_.get();

@@ -81,6 +81,12 @@ class Worker {
   /// worker.task.busy_nanos (wall time spent inside task bodies).
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Worker-local helper pool for morsel-driven intra-task parallelism:
+  /// replicated operator chains of one task borrow threads from here (the
+  /// task's own thread always participates, so a busy pool only reduces
+  /// parallelism, never progress). Shared by all tasks on this worker.
+  WorkStealingPool* morsel_pool() { return morsel_pool_.get(); }
+
  private:
   void GracefulShutdownSequence(int64_t grace_period_nanos);
 
@@ -88,6 +94,7 @@ class Worker {
   std::unique_ptr<SystemClock> owned_clock_;
   Clock* clock_;
   ThreadPool pool_;
+  std::unique_ptr<WorkStealingPool> morsel_pool_;
   std::atomic<WorkerState> state_{WorkerState::kActive};
   std::atomic<int> active_tasks_{0};
   std::atomic<int64_t> tasks_completed_{0};

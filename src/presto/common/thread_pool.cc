@@ -39,6 +39,111 @@ void ThreadPool::Shutdown() {
   }
 }
 
+WorkStealingPool::WorkStealingPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.resize(num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() { Shutdown(); }
+
+bool WorkStealingPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+bool WorkStealingPool::PopTask(size_t self, std::function<void()>* task) {
+  // Own deque first (front: oldest local work), then steal from the back of
+  // the longest sibling deque.
+  if (self < queues_.size() && !queues_[self].empty()) {
+    *task = std::move(queues_[self].front());
+    queues_[self].pop_front();
+    return true;
+  }
+  size_t victim = queues_.size();
+  size_t longest = 0;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (i != self && queues_[i].size() > longest) {
+      longest = queues_[i].size();
+      victim = i;
+    }
+  }
+  if (victim == queues_.size()) return false;
+  *task = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  ++steals_;
+  return true;
+}
+
+bool WorkStealingPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!PopTask(queues_.size(), &task)) return false;
+    ++active_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    if (--pending_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void WorkStealingPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void WorkStealingPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+int64_t WorkStealingPool::steals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steals_;
+}
+
+void WorkStealingPool::WorkerLoop(size_t self) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (true) {
+        if (PopTask(self, &task)) break;
+        if (shutdown_) return;  // every deque drained
+        work_cv_.wait(lock);
+      }
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

@@ -44,6 +44,64 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// Work-stealing pool for morsel-driven execution. Each pool thread owns a
+/// deque; Submit spreads tasks round-robin across the deques, a thread pops
+/// its own deque from the front and steals from the back of a sibling's when
+/// its own runs dry. External threads participate through TryRunOne (the
+/// morsel executor's calling thread drains its share of the work instead of
+/// blocking), so query progress never depends on a pool thread being free —
+/// helpers are an assist, not a requirement.
+///
+/// Tasks are morsel-sized (tens of thousands of rows, ~milliseconds), so the
+/// queues are guarded by one mutex: the lock is touched once per morsel, far
+/// off the hot path, and keeps the stealing protocol trivially race-free.
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(size_t num_threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues a task on the next deque (round-robin). Returns false if the
+  /// pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is immediately
+  /// available (steals from the back of the fullest deque). Returns false
+  /// when every deque is empty.
+  bool TryRunOne();
+
+  /// Blocks until every submitted task has finished running.
+  void WaitIdle();
+
+  /// Stops accepting tasks, drains the queues, joins all threads.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Tasks executed by a thread other than the one whose deque they were
+  /// placed on (includes TryRunOne assists). Load-balancing observability.
+  int64_t steals() const;
+
+ private:
+  void WorkerLoop(size_t self);
+  /// Pops a task: `self`'s own deque front first, then the back of the
+  /// longest sibling deque. `self` == num_threads() for external callers.
+  bool PopTask(size_t self, std::function<void()>* task);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> threads_;
+  size_t next_queue_ = 0;  // round-robin Submit placement
+  size_t active_ = 0;
+  size_t pending_ = 0;  // queued + active (WaitIdle waits for 0)
+  int64_t steals_ = 0;
+  bool shutdown_ = false;
+};
+
 }  // namespace presto
 
 #endif  // PRESTO_COMMON_THREAD_POOL_H_

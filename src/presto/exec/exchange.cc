@@ -34,6 +34,7 @@ PartitionedExchange::PartitionedExchange(int num_partitions,
     pages_dropped_counter_ = metrics->FindOrRegister("exchange.page.dropped");
     producer_blocked_counter_ =
         metrics->FindOrRegister("exchange.producer.blocked");
+    zero_copy_counter_ = metrics->FindOrRegister("exchange.page.zero_copy");
   }
 }
 
@@ -65,6 +66,12 @@ void PartitionedExchange::SetDeadlineNanos(int64_t steady_deadline_nanos) {
 }
 
 void PartitionedExchange::Push(int partition, Page page) {
+  const int64_t bytes = page.EstimateBytes();
+  PushWithBytes(partition, std::move(page), bytes);
+}
+
+void PartitionedExchange::PushWithBytes(int partition, Page page,
+                                        int64_t bytes) {
   {
     // Chaos hook: a failed shuffle transfer latches the whole exchange, the
     // fail-fast path for intermediate stages (the coordinator restarts the
@@ -75,7 +82,6 @@ void PartitionedExchange::Push(int partition, Page page) {
       return;
     }
   }
-  const int64_t bytes = page.EstimateBytes();
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (buffered_bytes_ >= capacity_bytes_ && !DropLocked(partition)) {
@@ -131,6 +137,7 @@ void PartitionedExchange::PushPartitioned(const Page& page,
                                           const std::vector<int>& channels) {
   if (page.num_rows() == 0) return;
   if (num_partitions() == 1 || channels.empty()) {
+    if (zero_copy_counter_ != nullptr) zero_copy_counter_->Add(1);
     Push(0, page);
     return;
   }
@@ -141,11 +148,32 @@ void PartitionedExchange::PushPartitioned(const Page& page,
   for (size_t r = 0; r < hashes.size(); ++r) {
     rows[hashes[r] % n].push_back(static_cast<int32_t>(r));
   }
+  int only = -1;
+  for (size_t p = 0; p < rows.size(); ++p) {
+    if (rows[p].empty()) continue;
+    only = only == -1 ? static_cast<int>(p) : -2;
+  }
+  if (only >= 0) {
+    // Every row hashed to one partition (clustered input): pass the page
+    // through as-is — the consumer shares the producer's vectors.
+    if (zero_copy_counter_ != nullptr) zero_copy_counter_->Add(1);
+    Push(only, page);
+    return;
+  }
+  const int64_t base_bytes = page.EstimateBytes();
+  const auto total_rows = static_cast<int64_t>(page.num_rows());
   for (size_t p = 0; p < rows.size(); ++p) {
     if (rows[p].empty()) continue;
     // Zero-copy for flat columns: each partition slice is a dictionary wrap
-    // over the original page's vectors.
-    Push(static_cast<int>(p), page.WrapRows(rows[p]));
+    // over the original page's vectors. Account each slice its row-share of
+    // the base page plus its own indices — the wraps share one base, so
+    // charging every slice the full base would multiply shuffle bytes by
+    // the fan-out.
+    const auto slice_rows = static_cast<int64_t>(rows[p].size());
+    int64_t bytes =
+        slice_rows * static_cast<int64_t>(sizeof(int32_t)) +
+        base_bytes * slice_rows / total_rows;
+    PushWithBytes(static_cast<int>(p), page.WrapRows(rows[p]), bytes);
   }
 }
 

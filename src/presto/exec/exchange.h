@@ -63,8 +63,12 @@ class PartitionedExchange {
 
   /// Routes each row of `page` to partition hash(channels) % num_partitions
   /// using the typed kernels' batch hashing, then pushes the per-partition
-  /// slices (zero-copy dictionary wraps). With one partition this is
-  /// equivalent to Push(0, page).
+  /// slices (zero-copy dictionary wraps). A slice's buffered bytes are its
+  /// amortized share of the base page (indices plus base * rows/total), so
+  /// the fan-out does not multiply accounted shuffle bytes. When every row
+  /// lands in one partition — always true for gather, common for clustered
+  /// input — the original page is passed through by shared_ptr without
+  /// rewrapping (counted in exchange.page.zero_copy).
   void PushPartitioned(const Page& page, const std::vector<int>& channels);
 
   /// Marks one producer finished; a partition reaches end-of-stream when all
@@ -109,6 +113,10 @@ class PartitionedExchange {
     bool closed = false;
   };
 
+  // Enqueue with precomputed accounted bytes (Push computes EstimateBytes;
+  // PushPartitioned passes each slice's amortized share of the base page).
+  void PushWithBytes(int partition, Page page, int64_t bytes);
+
   // True when a push to `partition` should be discarded instead of queued.
   bool DropLocked(int partition) const {
     return !status_.ok() || partitions_[partition].closed;
@@ -141,6 +149,7 @@ class PartitionedExchange {
   MetricsRegistry::Counter* bytes_pushed_counter_ = nullptr;
   MetricsRegistry::Counter* pages_dropped_counter_ = nullptr;
   MetricsRegistry::Counter* producer_blocked_counter_ = nullptr;
+  MetricsRegistry::Counter* zero_copy_counter_ = nullptr;
 };
 
 }  // namespace presto

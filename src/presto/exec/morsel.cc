@@ -1,0 +1,108 @@
+#include "presto/exec/morsel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+
+namespace presto {
+
+SplitMorselSource::SplitMorselSource(Connector* connector,
+                                     AcceptedPushdown pushdown,
+                                     std::vector<SplitPtr> splits,
+                                     size_t morsel_rows)
+    : connector_(connector),
+      pushdown_(std::move(pushdown)),
+      splits_(std::move(splits)),
+      morsel_rows_(morsel_rows == 0 ? 65536 : morsel_rows) {}
+
+Result<std::optional<Page>> SplitMorselSource::NextMorsel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (true) {
+    if (next_chunk_ < chunks_.size()) {
+      return std::optional<Page>(chunks_[next_chunk_++]);
+    }
+    if (source_ == nullptr) {
+      if (next_split_ >= splits_.size()) return std::optional<Page>();
+      ASSIGN_OR_RETURN(source_, connector_->CreatePageSource(
+                                    splits_[next_split_++], pushdown_));
+    }
+    ASSIGN_OR_RETURN(std::optional<Page> page, source_->NextPage());
+    if (!page.has_value()) {
+      source_.reset();
+      continue;
+    }
+    size_t n = page->num_rows();
+    if (n == 0) continue;
+    if (n <= morsel_rows_) return page;
+    // Slice an oversized page into morsel-sized zero-copy row-range wraps.
+    chunks_.clear();
+    next_chunk_ = 0;
+    std::vector<int32_t> rows;
+    for (size_t start = 0; start < n; start += morsel_rows_) {
+      size_t end = std::min(n, start + morsel_rows_);
+      rows.resize(end - start);
+      for (size_t i = start; i < end; ++i) {
+        rows[i - start] = static_cast<int32_t>(i);
+      }
+      chunks_.push_back(page->WrapRows(rows));
+    }
+  }
+}
+
+Status RunParallel(WorkStealingPool* pool, int parallelism,
+                   const std::function<Status(int)>& body) {
+  if (parallelism <= 1) return parallelism == 1 ? body(0) : Status::OK();
+
+  // Claim protocol: every runner (caller or helper) claims slots until none
+  // remain. A helper that reaches the front of the pool's queue after the
+  // caller claimed everything finds no slot and exits without touching
+  // `body`, so the caller can safely return as soon as next_ == parallelism
+  // and running_ == 0 — no handshake with unstarted helpers is needed.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    int next = 0;
+    int running = 0;
+    int parallelism = 0;
+    const std::function<Status(int)>* body = nullptr;
+    Status error;
+
+    bool TryClaim(int* slot) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (next >= parallelism) return false;
+      *slot = next++;
+      ++running;
+      return true;
+    }
+    void FinishSlot(Status st) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (error.ok() && !st.ok()) error = std::move(st);
+      if (--running == 0) cv.notify_all();
+    }
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->parallelism = parallelism;
+  shared->body = &body;
+
+  auto drain = [](const std::shared_ptr<Shared>& s) {
+    int slot = 0;
+    while (s->TryClaim(&slot)) s->FinishSlot((*s->body)(slot));
+  };
+
+  int helpers = parallelism - 1;
+  if (pool != nullptr) {
+    helpers = std::min<int>(helpers, static_cast<int>(pool->num_threads()));
+    for (int i = 0; i < helpers; ++i) {
+      if (!pool->Submit([shared, drain] { drain(shared); })) break;
+    }
+  }
+  drain(shared);
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] {
+    return shared->running == 0 && shared->next >= shared->parallelism;
+  });
+  return shared->error;
+}
+
+}  // namespace presto

@@ -1,0 +1,104 @@
+#ifndef PRESTO_EXEC_MORSEL_H_
+#define PRESTO_EXEC_MORSEL_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "presto/common/thread_pool.h"
+#include "presto/connector/connector.h"
+#include "presto/exec/exchange.h"
+#include "presto/exec/operators.h"
+#include "presto/vector/page.h"
+
+namespace presto {
+
+/// Thread-safe source of cache-sized row batches ("morsels") shared by the
+/// replicated operator chains of one morsel-parallel task. Each chain pulls
+/// its next morsel from the shared source whenever it finishes one, so work
+/// distributes itself: a chain stuck on an expensive morsel simply claims
+/// fewer, and a fast chain drains the tail (the scheduling half of
+/// morsel-driven parallelism; the work-stealing pool supplies the threads).
+class MorselSource {
+ public:
+  virtual ~MorselSource() = default;
+
+  /// Next morsel, or nullopt when the source is exhausted. Thread-safe;
+  /// morsels are handed out exactly once.
+  virtual Result<std::optional<Page>> NextMorsel() = 0;
+};
+
+/// Morsels from a leaf scan: the task's split batch is opened split by split
+/// and each page is handed out as one morsel (pages larger than
+/// `morsel_rows` are sliced into zero-copy row-range wraps first). The lock
+/// covers only the page fetch and slice bookkeeping — decoding, filtering
+/// and aggregation of the morsel all run outside it.
+class SplitMorselSource final : public MorselSource {
+ public:
+  SplitMorselSource(Connector* connector, AcceptedPushdown pushdown,
+                    std::vector<SplitPtr> splits, size_t morsel_rows);
+
+  Result<std::optional<Page>> NextMorsel() override;
+
+ private:
+  Connector* connector_;
+  AcceptedPushdown pushdown_;
+  std::vector<SplitPtr> splits_;
+  size_t morsel_rows_;
+
+  std::mutex mu_;
+  size_t next_split_ = 0;
+  std::unique_ptr<ConnectorPageSource> source_;
+  std::vector<Page> chunks_;  // slices of an oversized page
+  size_t next_chunk_ = 0;
+};
+
+/// Morsels from one partition of an upstream exchange. PartitionedExchange's
+/// consumer side is already thread-safe and pages arrive morsel-sized (the
+/// producer chunked them), so this is a thin adapter.
+class ExchangeMorselSource final : public MorselSource {
+ public:
+  ExchangeMorselSource(PartitionedExchange* exchange, int partition)
+      : exchange_(exchange), partition_(partition) {}
+
+  Result<std::optional<Page>> NextMorsel() override {
+    return exchange_->Next(partition_);
+  }
+
+ private:
+  PartitionedExchange* exchange_;
+  int partition_;
+};
+
+/// Leaf of a replicated chain: pulls from the shared morsel source. Stamped
+/// with the plan node id of the scan / remote source it replaces, so the
+/// per-chain stats merge back into that node's record and EXPLAIN ANALYZE
+/// totals reconcile exactly (each morsel is counted by exactly one chain).
+class MorselScanOperator final : public Operator {
+ public:
+  explicit MorselScanOperator(std::shared_ptr<MorselSource> source)
+      : source_(std::move(source)) {}
+
+ protected:
+  Result<std::optional<Page>> NextInternal() override {
+    return source_->NextMorsel();
+  }
+
+ private:
+  std::shared_ptr<MorselSource> source_;
+};
+
+/// Runs `body(0) .. body(parallelism-1)` with the calling thread as the
+/// first runner and pool threads as optional helpers. Runner slots are
+/// claimed one at a time, so completion never depends on a helper actually
+/// starting: if the pool is busy (or null) the caller claims every slot
+/// itself. Returns the first non-OK status. `body` must be safe to call
+/// concurrently for distinct indices.
+Status RunParallel(WorkStealingPool* pool, int parallelism,
+                   const std::function<Status(int)>& body);
+
+}  // namespace presto
+
+#endif  // PRESTO_EXEC_MORSEL_H_

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "presto/common/clock.h"
+#include "presto/common/thread_pool.h"
 #include "presto/exec/kernels/kernels.h"
+#include "presto/exec/morsel.h"
 #include "presto/exec/spill.h"
 #include "presto/vector/vector_builder.h"
 
@@ -100,6 +103,7 @@ class OperatorMemory {
     arbiter_ = limits.arbiter;
     query_id_ = limits.query_id;
     killed_ = limits.query_killed;
+    quantum_ = limits.memory_quantum > 0 ? limits.memory_quantum : 0;
     if (limits.metrics != nullptr) {
       revoked_counter_ = limits.metrics->FindOrRegister("memory.revoked.bytes");
     }
@@ -126,6 +130,15 @@ class OperatorMemory {
     *at_query_cap = false;
     if (pool_ == nullptr) return Status::OK();
     if (bytes < 0) bytes = 0;
+    // Reservations move in quantum steps: the target is rounded up to the
+    // next multiple, so a steadily growing operator touches the shared pool
+    // tree once per quantum instead of once per page, and shrinks smaller
+    // than a quantum are kept (they are reused a page later). Cap accuracy
+    // degrades by at most one quantum per operator.
+    if (quantum_ > 0 && bytes > 0) {
+      bytes += quantum_ - 1 - (bytes + quantum_ - 1) % quantum_;
+    }
+    if (bytes == bytes_) return Status::OK();
     if (bytes <= bytes_) {
       pool_->Release(bytes_ - bytes);
       bytes_ = bytes;
@@ -172,6 +185,7 @@ class OperatorMemory {
   int64_t query_id_ = 0;
   std::shared_ptr<const std::atomic<bool>> killed_;
   MetricsRegistry::Counter* revoked_counter_ = nullptr;
+  int64_t quantum_ = 0;
   int64_t bytes_ = 0;
 };
 
@@ -528,16 +542,23 @@ class HashAggregationOperator final : public Operator {
     TypePtr output_type;
   };
 
+  /// `extra_chains` are the replicated morsel chains beyond `child` (empty
+  /// for a classic single-threaded task): each chain consumes into its own
+  /// thread-local radix-partitioned state, merged partition-wise after every
+  /// chain finishes — the hot consume path never takes a lock.
   HashAggregationOperator(OperatorPtr child, std::vector<int> key_channels,
                           std::vector<TypePtr> key_types,
                           std::vector<AggSpec> aggs, AggregationStep step,
-                          const ExecutionLimits& limits)
+                          const ExecutionLimits& limits,
+                          std::vector<OperatorPtr> extra_chains = {})
       : child_(std::move(child)),
+        extra_chains_(std::move(extra_chains)),
         key_channels_(std::move(key_channels)),
         key_types_(std::move(key_types)),
         aggs_(std::move(aggs)),
         step_(step) {
     AddChild(child_.get());
+    for (const OperatorPtr& chain : extra_chains_) AddChild(chain.get());
     if (limits.metrics != nullptr) {
       kernel_pages_counter_ =
           limits.metrics->FindOrRegister("exec.agg.kernel_pages");
@@ -551,9 +572,31 @@ class HashAggregationOperator final : public Operator {
           limits.metrics->FindOrRegister("exec.agg.table_bytes");
     }
     InitKernel(limits);
-    memory_.Init(limits, "op.HashAggregation");
+    for (size_t k = 0; k < key_channels_.size(); ++k) {
+      inter_key_channels_.push_back(static_cast<int>(k));
+    }
+    radix_target_bits_ = key_channels_.empty() ? 0 : kRadixBits;
+    for (size_t k = 0; k < key_types_.size(); ++k) {
+      run_vars_.push_back(VariableReferenceExpression::Make(
+          "k" + std::to_string(k), key_types_[k]));
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      run_vars_.push_back(VariableReferenceExpression::Make(
+          "a" + std::to_string(a), aggs_[a].function->intermediate_type));
+    }
     metrics_ = limits.metrics;
-    if (memory_.enabled() && limits.spill_enabled &&
+    morsel_pool_ = limits.morsel_pool;
+    size_t num_chains = 1 + extra_chains_.size();
+    for (size_t i = 0; i < num_chains; ++i) {
+      auto s = std::make_unique<LocalState>();
+      s->chain = i == 0 ? child_.get() : extra_chains_[i - 1].get();
+      s->memory.Init(limits, num_chains == 1
+                                 ? "op.HashAggregation"
+                                 : "op.HashAggregation.t" + std::to_string(i));
+      if (use_kernel_) s->parts.push_back(MakePartition());
+      locals_.push_back(std::move(s));
+    }
+    if (locals_[0]->memory.enabled() && limits.spill_enabled &&
         limits.spill_fs != nullptr && !limits.spill_dir.empty()) {
       spill_fs_ = limits.spill_fs;
       spill_dir_ = limits.spill_dir;
@@ -564,22 +607,24 @@ class HashAggregationOperator final : public Operator {
   Result<std::optional<Page>> NextInternal() override {
     if (!consumed_) {
       consumed_ = true;
-      if (use_kernel_) {
-        RETURN_IF_ERROR(ConsumeInputKernel());
-        RecordPeakBuffered(static_cast<int64_t>(key_table_->num_groups()));
-        Bump(table_bytes_counter_, key_table_->EstimateBytes());
-      } else {
-        RETURN_IF_ERROR(ConsumeInput().status());
-        RecordPeakBuffered(static_cast<int64_t>(num_groups_));
-      }
+      RETURN_IF_ERROR(ConsumeAllChains());
       if (spiller_ != nullptr && spiller_->num_runs() > 0) {
+        // Spilled: every chain's remainder joins the sorted merge as its own
+        // in-memory run, so no cross-chain table merge is needed.
         RETURN_IF_ERROR(StartMerge());
+      } else if (locals_.size() > 1) {
+        if (use_kernel_) {
+          RETURN_IF_ERROR(MergeLocalStatesKernel());
+        } else {
+          MergeLocalStatesBoxed();
+        }
+        RETURN_IF_ERROR(SettleAfterMerge());
       }
     }
     if (merge_ != nullptr) return NextMergedPage();
+    if (use_kernel_) return ProduceOutputKernel();
     if (produced_) return std::optional<Page>();
     produced_ = true;
-    if (use_kernel_) return ProduceOutputKernel();
     return ProduceOutput();
   }
 
@@ -587,6 +632,38 @@ class HashAggregationOperator final : public Operator {
   struct Group {
     std::vector<Value> keys;
     std::vector<std::unique_ptr<Accumulator>> accumulators;
+  };
+
+  /// One radix partition of a chain's kernel-path state: a cache-sized
+  /// normalized-key table plus its grouped accumulators.
+  struct KernelPartition {
+    std::unique_ptr<kernels::NormalizedKeyTable> table;
+    std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped;
+  };
+
+  /// Per-chain state: everything a consuming thread touches is confined to
+  /// its own LocalState (tables, scratch, memory reservation, counters), so
+  /// the parallel consume needs no synchronization beyond the morsel source.
+  /// Counters fold into the operator's stats after the chains join.
+  struct LocalState {
+    Operator* chain = nullptr;
+    // Kernel path: 2^radix_bits partitions routed by the high hash bits;
+    // starts at one partition and upgrades past kRadixUpgradeGroups.
+    int radix_bits = 0;
+    std::vector<KernelPartition> parts;
+    // Boxed fallback.
+    std::unordered_map<uint64_t, std::vector<Group>> groups;
+    size_t num_groups = 0;
+    // Chain-confined scratch.
+    std::vector<int32_t> group_ids;
+    std::vector<uint64_t> hash_scratch;
+    std::vector<std::vector<int32_t>> part_rows;
+    // Accounting & counters.
+    OperatorMemory memory;
+    int64_t kernel_pages = 0;
+    int64_t fallback_pages = 0;
+    int64_t spilled_bytes = 0;
+    int64_t spilled_runs = 0;
   };
 
   // The kernel path is chosen statically per operator: every key kind must
@@ -598,7 +675,6 @@ class HashAggregationOperator final : public Operator {
     kinds.reserve(key_types_.size());
     for (const TypePtr& t : key_types_) kinds.push_back(t->kind());
     if (!kernels::NormalizedKeyTable::SupportsKeyKinds(kinds)) return;
-    std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped;
     for (const AggSpec& agg : aggs_) {
       if (agg.arg_channels.size() > 1) return;
       if (step_ == AggregationStep::kFinal && agg.arg_channels.size() != 1) {
@@ -606,136 +682,396 @@ class HashAggregationOperator final : public Operator {
       }
       auto g = kernels::MakeGroupedAccumulator(*agg.function, agg.output_type);
       if (g == nullptr) return;
-      grouped.push_back(std::move(g));
     }
-    key_table_ = std::make_unique<kernels::NormalizedKeyTable>(kinds);
-    key_kinds_ = std::move(kinds);  // kept to rebuild the table after a spill
-    grouped_ = std::move(grouped);
+    key_kinds_ = std::move(kinds);
     use_kernel_ = true;
   }
 
-  Status ConsumeInputKernel() {
-    while (true) {
-      ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
-      if (!page.has_value()) break;
-      size_t n = page->num_rows();
-      // Load lazy columns / simplify encodings once per page; dictionaries
-      // stay dictionaries (kernels gather through the indices).
-      std::vector<VectorPtr> columns = page->columns();
-      for (int c : key_channels_) {
-        ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
-      }
-      for (const AggSpec& agg : aggs_) {
-        for (int c : agg.arg_channels) {
-          ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
-        }
-      }
-      Page prepared(std::move(columns), n);
+  KernelPartition MakePartition() const {
+    KernelPartition part;
+    part.table = std::make_unique<kernels::NormalizedKeyTable>(key_kinds_);
+    for (const AggSpec& agg : aggs_) {
+      part.grouped.push_back(
+          kernels::MakeGroupedAccumulator(*agg.function, agg.output_type));
+    }
+    return part;
+  }
 
-      size_t groups_before = key_table_->num_groups();
-      group_ids_.clear();
-      ASSIGN_OR_RETURN(int64_t probes,
-                       key_table_->MapRows(prepared, key_channels_,
-                                           /*insert_missing=*/true,
-                                           /*skip_null_keys=*/false,
-                                           &group_ids_));
-      stats_.kernel_pages += 1;
-      Bump(kernel_pages_counter_, 1);
-      Bump(hash_probes_counter_, probes);
-      Bump(groups_created_counter_,
-           static_cast<int64_t>(key_table_->num_groups() - groups_before));
-      for (auto& g : grouped_) g->EnsureGroups(key_table_->num_groups());
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        if (step_ == AggregationStep::kFinal) {
-          RETURN_IF_ERROR(grouped_[a]->MergeBatch(
-              prepared.column(aggs_[a].arg_channels[0]), group_ids_.data(), n));
-        } else if (aggs_[a].arg_channels.empty()) {
-          RETURN_IF_ERROR(grouped_[a]->AddBatch(nullptr, group_ids_.data(), n));
-        } else {
-          RETURN_IF_ERROR(grouped_[a]->AddBatch(
-              &prepared.column(aggs_[a].arg_channels[0]), group_ids_.data(),
-              n));
+  int64_t NumGroups(const LocalState& s) const {
+    if (!use_kernel_) return static_cast<int64_t>(s.num_groups);
+    int64_t total = 0;
+    for (const KernelPartition& part : s.parts) {
+      total += static_cast<int64_t>(part.table->num_groups());
+    }
+    return total;
+  }
+
+  Status ConsumeAllChains() {
+    Status st;
+    if (locals_.size() == 1) {
+      st = ConsumeChain(*locals_[0]);
+    } else {
+      st = RunParallel(morsel_pool_, static_cast<int>(locals_.size()),
+                       [this](int i) { return ConsumeChain(*locals_[i]); });
+    }
+    // Fold per-chain counters into the shared stats record after the chains
+    // join; consuming threads never touch stats_ directly.
+    int64_t total_groups = 0;
+    int64_t table_bytes = 0;
+    for (const auto& s : locals_) {
+      stats_.kernel_pages += s->kernel_pages;
+      stats_.fallback_pages += s->fallback_pages;
+      stats_.spilled_bytes += s->spilled_bytes;
+      stats_.spilled_runs += s->spilled_runs;
+      total_groups += NumGroups(*s);
+      if (use_kernel_) {
+        for (const KernelPartition& part : s->parts) {
+          table_bytes += part.table->EstimateBytes();
         }
       }
-      if (memory_.enabled()) RETURN_IF_ERROR(GrowFootprint());
+    }
+    RecordPeakBuffered(total_groups);
+    if (use_kernel_) Bump(table_bytes_counter_, table_bytes);
+    return st;
+  }
+
+  Status ConsumeChain(LocalState& s) {
+    while (true) {
+      ASSIGN_OR_RETURN(std::optional<Page> page, s.chain->Next());
+      if (!page.has_value()) break;
+      if (use_kernel_) {
+        RETURN_IF_ERROR(ConsumePageKernel(s, *page));
+      } else {
+        RETURN_IF_ERROR(ConsumePageBoxed(s, *page));
+      }
+      if (s.memory.enabled()) RETURN_IF_ERROR(GrowFootprint(s));
     }
     return Status::OK();
   }
 
-  Result<std::optional<Page>> ProduceOutputKernel() {
-    if (key_channels_.empty()) {
-      // Global aggregations emit exactly one row even over empty input.
-      key_table_->EnsureGlobalGroup();
-      for (auto& g : grouped_) g->EnsureGroups(key_table_->num_groups());
+  Status ConsumePageKernel(LocalState& s, const Page& page) {
+    size_t n = page.num_rows();
+    // Load lazy columns / simplify encodings once per page; dictionaries
+    // stay dictionaries (kernels gather through the indices).
+    std::vector<VectorPtr> columns = page.columns();
+    for (int c : key_channels_) {
+      ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
     }
-    size_t rows = key_table_->num_groups();
+    for (const AggSpec& agg : aggs_) {
+      for (int c : agg.arg_channels) {
+        ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
+      }
+    }
+    Page prepared(std::move(columns), n);
+    s.kernel_pages += 1;
+    Bump(kernel_pages_counter_, 1);
+    if (s.radix_bits == 0) {
+      RETURN_IF_ERROR(ConsumeIntoPartition(&s, s.parts[0], prepared,
+                                           key_channels_,
+                                           /*merge_mode=*/false));
+      if (radix_target_bits_ > 0 &&
+          s.parts[0].table->num_groups() >= kRadixUpgradeGroups) {
+        RETURN_IF_ERROR(UpgradeRadix(s));
+      }
+      return Status::OK();
+    }
+    return RouteToPartitions(s, prepared, key_channels_, /*merge_mode=*/false);
+  }
+
+  // Feeds `page` into one partition's table and accumulators. In merge mode
+  // the page is an intermediate-state page ([keys..., intermediates...]) and
+  // every aggregate folds via MergeBatch; otherwise the page is raw input
+  // and the step decides. `s` supplies reusable scratch when the caller has
+  // a chain-confined state (finalize-time merges pass null).
+  Status ConsumeIntoPartition(LocalState* s, KernelPartition& part,
+                              const Page& page, const std::vector<int>& keys,
+                              bool merge_mode) {
+    size_t n = page.num_rows();
+    size_t groups_before = part.table->num_groups();
+    std::vector<int32_t> scratch_ids;
+    std::vector<int32_t>& gids = s != nullptr ? s->group_ids : scratch_ids;
+    gids.clear();
+    ASSIGN_OR_RETURN(int64_t probes,
+                     part.table->MapRows(page, keys,
+                                         /*insert_missing=*/true,
+                                         /*skip_null_keys=*/false, &gids));
+    Bump(hash_probes_counter_, probes);
+    Bump(groups_created_counter_,
+         static_cast<int64_t>(part.table->num_groups() - groups_before));
+    for (auto& g : part.grouped) g->EnsureGroups(part.table->num_groups());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (merge_mode) {
+        RETURN_IF_ERROR(part.grouped[a]->MergeBatch(
+            page.column(keys.size() + a), gids.data(), n));
+      } else if (step_ == AggregationStep::kFinal) {
+        RETURN_IF_ERROR(part.grouped[a]->MergeBatch(
+            page.column(aggs_[a].arg_channels[0]), gids.data(), n));
+      } else if (aggs_[a].arg_channels.empty()) {
+        RETURN_IF_ERROR(part.grouped[a]->AddBatch(nullptr, gids.data(), n));
+      } else {
+        RETURN_IF_ERROR(part.grouped[a]->AddBatch(
+            &page.column(aggs_[a].arg_channels[0]), gids.data(), n));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Routes each row of `page` to its radix partition — the high bits of the
+  // content hash, disjoint from the low bits the exchange's hash routing
+  // uses — and consumes each partition's rows as a zero-copy row wrap.
+  Status RouteToPartitions(LocalState& s, const Page& page,
+                           const std::vector<int>& keys, bool merge_mode) {
+    size_t n = page.num_rows();
+    kernels::HashPage(page, keys, &s.hash_scratch);
+    size_t num_parts = s.parts.size();
+    s.part_rows.resize(num_parts);
+    for (auto& rows : s.part_rows) rows.clear();
+    int shift = 64 - s.radix_bits;
+    for (size_t i = 0; i < n; ++i) {
+      s.part_rows[s.hash_scratch[i] >> shift].push_back(
+          static_cast<int32_t>(i));
+    }
+    for (size_t p = 0; p < num_parts; ++p) {
+      if (s.part_rows[p].empty()) continue;
+      if (s.part_rows[p].size() == n) {
+        RETURN_IF_ERROR(
+            ConsumeIntoPartition(&s, s.parts[p], page, keys, merge_mode));
+      } else {
+        Page sub = page.WrapRows(s.part_rows[p]);
+        RETURN_IF_ERROR(
+            ConsumeIntoPartition(&s, s.parts[p], sub, keys, merge_mode));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Builds one partition's state as a [keys..., intermediates...] page (one
+  // row per group), the common currency of radix upgrade, cross-chain merge
+  // and spill runs.
+  Result<std::optional<Page>> BuildStatePage(KernelPartition& part) {
+    size_t rows = part.table->num_groups();
     if (rows == 0) return std::optional<Page>();
     ASSIGN_OR_RETURN(std::vector<VectorPtr> columns,
-                     key_table_->BuildKeyColumns(key_types_));
-    for (auto& g : grouped_) {
-      ASSIGN_OR_RETURN(
-          VectorPtr column,
-          g->Build(/*intermediate=*/step_ == AggregationStep::kPartial));
+                     part.table->BuildKeyColumns(key_types_));
+    for (auto& g : part.grouped) {
+      ASSIGN_OR_RETURN(VectorPtr column, g->Build(/*intermediate=*/true));
       columns.push_back(std::move(column));
     }
     return std::optional<Page>(Page(std::move(columns), rows));
   }
 
-  Result<bool> ConsumeInput() {
-    while (true) {
-      ASSIGN_OR_RETURN(std::optional<Page> page, child_->Next());
-      if (!page.has_value()) break;
-      // Flatten needed columns once per page.
-      std::vector<VectorPtr> flat(page->num_columns());
-      auto flat_column = [&](int c) -> Result<VectorPtr> {
-        if (flat[c] == nullptr) {
-          ASSIGN_OR_RETURN(flat[c], Vector::Flatten(page->column(c)));
+  // Once a chain's table crosses the upgrade threshold, cache misses start
+  // to dominate, so the state re-hashes into 2^kRadixBits cache-sized
+  // partitions. Carried groups re-enter through the intermediate-merge path:
+  // each folds into a zero-initialized fresh accumulator, which is bit-exact
+  // (0 + S == S), so results never depend on when the upgrade happens.
+  Status UpgradeRadix(LocalState& s) {
+    ASSIGN_OR_RETURN(std::optional<Page> carried, BuildStatePage(s.parts[0]));
+    s.radix_bits = radix_target_bits_;
+    s.parts.clear();
+    for (int p = 0; p < (1 << s.radix_bits); ++p) {
+      s.parts.push_back(MakePartition());
+    }
+    if (carried.has_value()) {
+      RETURN_IF_ERROR(RouteToPartitions(s, *carried, inter_key_channels_,
+                                        /*merge_mode=*/true));
+    }
+    return Status::OK();
+  }
+
+  // Cross-chain finalize: every chain's state folds into locals_[0]
+  // partition-wise, each partition by (potentially) a different pool thread.
+  // Partitions are radix-disjoint, so no two merge tasks touch the same
+  // table.
+  Status MergeLocalStatesKernel() {
+    if (key_channels_.empty()) return MergeGlobalStatesKernel();
+    int target_bits = 0;
+    for (const auto& s : locals_) {
+      target_bits = std::max(target_bits, s->radix_bits);
+    }
+    for (const auto& s : locals_) {
+      if (s->radix_bits < target_bits) {
+        s->radix_bits = radix_target_bits_;  // == target_bits when > 0
+        std::vector<KernelPartition> old_parts = std::move(s->parts);
+        s->parts.clear();
+        for (int p = 0; p < (1 << s->radix_bits); ++p) {
+          s->parts.push_back(MakePartition());
         }
-        return flat[c];
-      };
-      // Pre-flatten aggregate argument channels.
-      std::vector<std::vector<VectorPtr>> agg_args(aggs_.size());
+        ASSIGN_OR_RETURN(std::optional<Page> carried,
+                         BuildStatePage(old_parts[0]));
+        if (carried.has_value()) {
+          RETURN_IF_ERROR(RouteToPartitions(*s, *carried, inter_key_channels_,
+                                            /*merge_mode=*/true));
+        }
+      }
+    }
+    size_t num_parts = locals_[0]->parts.size();
+    return RunParallel(
+        morsel_pool_, static_cast<int>(num_parts), [this](int p) -> Status {
+          for (size_t t = 1; t < locals_.size(); ++t) {
+            ASSIGN_OR_RETURN(std::optional<Page> page,
+                             BuildStatePage(locals_[t]->parts[p]));
+            if (!page.has_value()) continue;
+            RETURN_IF_ERROR(ConsumeIntoPartition(
+                nullptr, locals_[0]->parts[p], *page, inter_key_channels_,
+                /*merge_mode=*/true));
+          }
+          return Status::OK();
+        });
+  }
+
+  // Keyless (global) aggregation: each chain holds at most one group; fold
+  // their intermediates into the first chain's global group.
+  Status MergeGlobalStatesKernel() {
+    KernelPartition& target = locals_[0]->parts[0];
+    for (size_t t = 1; t < locals_.size(); ++t) {
+      KernelPartition& src = locals_[t]->parts[0];
+      if (src.table->num_groups() == 0) continue;
+      ASSIGN_OR_RETURN(std::optional<Page> page, BuildStatePage(src));
+      target.table->EnsureGlobalGroup();
+      for (auto& g : target.grouped) g->EnsureGroups(target.table->num_groups());
+      std::vector<int32_t> gids(page->num_rows(), 0);
       for (size_t a = 0; a < aggs_.size(); ++a) {
-        for (int c : aggs_[a].arg_channels) {
-          ASSIGN_OR_RETURN(VectorPtr v, flat_column(c));
-          agg_args[a].push_back(std::move(v));
-        }
+        RETURN_IF_ERROR(target.grouped[a]->MergeBatch(
+            page->column(a), gids.data(), page->num_rows()));
       }
-      for (int c : key_channels_) {
-        RETURN_IF_ERROR(flat_column(c).status());
-      }
-      Page flat_page(flat, page->num_rows());
+    }
+    return Status::OK();
+  }
 
-      // Batch-hash the key columns (one virtual call per column per page)
-      // even on the boxed path; only group lookup boxes Values.
-      if (!key_channels_.empty()) {
-        kernels::HashPage(flat_page, key_channels_, &hash_scratch_);
-      }
-      stats_.fallback_pages += 1;
-      Bump(fallback_pages_counter_, 1);
-      size_t groups_before = num_groups_;
+  // After the merge, the extra chains' states are dead: drop them, release
+  // their reservations, and re-reserve the first chain's (merged) footprint.
+  Status SettleAfterMerge() {
+    for (size_t t = 1; t < locals_.size(); ++t) {
+      ResetState(*locals_[t]);
+      locals_[t]->memory.ReleaseAll();
+    }
+    if (locals_[0]->memory.enabled()) {
+      bool at_query_cap = false;
+      return locals_[0]->memory.ReserveTotalWithArbiter(
+          EstimateStateBytes(*locals_[0]), &at_query_cap);
+    }
+    return Status::OK();
+  }
 
-      for (size_t row = 0; row < page->num_rows(); ++row) {
-        uint64_t h = key_channels_.empty() ? 0 : hash_scratch_[row];
-        Group* group = FindOrCreateGroup(flat_page, row, h);
-        for (size_t a = 0; a < aggs_.size(); ++a) {
-          if (step_ == AggregationStep::kFinal) {
-            group->accumulators[a]->MergeIntermediate(
-                agg_args[a][0]->GetValue(row));
-          } else {
-            group->accumulators[a]->Add(agg_args[a], row);
+  void MergeLocalStatesBoxed() {
+    LocalState& dst = *locals_[0];
+    for (size_t t = 1; t < locals_.size(); ++t) {
+      LocalState& src = *locals_[t];
+      for (auto& [hash, bucket] : src.groups) {
+        for (Group& group : bucket) {
+          Group* target = FindBoxedGroup(dst, hash, group.keys);
+          if (target == nullptr) {
+            dst.groups[hash].push_back(std::move(group));
+            ++dst.num_groups;
+            continue;
+          }
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            target->accumulators[a]->MergeIntermediate(
+                group.accumulators[a]->Intermediate());
           }
         }
       }
-      Bump(groups_created_counter_,
-           static_cast<int64_t>(num_groups_ - groups_before));
-      if (memory_.enabled()) RETURN_IF_ERROR(GrowFootprint());
+      src.groups.clear();
+      src.num_groups = 0;
     }
-    return true;
   }
 
-  Group* FindOrCreateGroup(const Page& page, size_t row, uint64_t hash) {
-    auto& bucket = groups_[hash];
+  Group* FindBoxedGroup(LocalState& s, uint64_t hash,
+                        const std::vector<Value>& keys) {
+    auto it = s.groups.find(hash);
+    if (it == s.groups.end()) return nullptr;
+    for (Group& group : it->second) {
+      bool equal = true;
+      for (size_t k = 0; k < keys.size(); ++k) {
+        if (!group.keys[k].Equals(keys[k])) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return &group;
+    }
+    return nullptr;
+  }
+
+  Result<std::optional<Page>> ProduceOutputKernel() {
+    LocalState& s = *locals_[0];
+    if (key_channels_.empty() && !global_group_ensured_) {
+      // Global aggregations emit exactly one row even over empty input.
+      global_group_ensured_ = true;
+      s.parts[0].table->EnsureGlobalGroup();
+      for (auto& g : s.parts[0].grouped) {
+        g->EnsureGroups(s.parts[0].table->num_groups());
+      }
+    }
+    while (produce_partition_ < s.parts.size()) {
+      KernelPartition& part = s.parts[produce_partition_++];
+      size_t rows = part.table->num_groups();
+      if (rows == 0) continue;
+      ASSIGN_OR_RETURN(std::vector<VectorPtr> columns,
+                       part.table->BuildKeyColumns(key_types_));
+      for (auto& g : part.grouped) {
+        ASSIGN_OR_RETURN(
+            VectorPtr column,
+            g->Build(/*intermediate=*/step_ == AggregationStep::kPartial));
+        columns.push_back(std::move(column));
+      }
+      return std::optional<Page>(Page(std::move(columns), rows));
+    }
+    return std::optional<Page>();
+  }
+
+  Status ConsumePageBoxed(LocalState& s, const Page& page) {
+    // Flatten needed columns once per page.
+    std::vector<VectorPtr> flat(page.num_columns());
+    auto flat_column = [&](int c) -> Result<VectorPtr> {
+      if (flat[c] == nullptr) {
+        ASSIGN_OR_RETURN(flat[c], Vector::Flatten(page.column(c)));
+      }
+      return flat[c];
+    };
+    // Pre-flatten aggregate argument channels.
+    std::vector<std::vector<VectorPtr>> agg_args(aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      for (int c : aggs_[a].arg_channels) {
+        ASSIGN_OR_RETURN(VectorPtr v, flat_column(c));
+        agg_args[a].push_back(std::move(v));
+      }
+    }
+    for (int c : key_channels_) {
+      RETURN_IF_ERROR(flat_column(c).status());
+    }
+    Page flat_page(flat, page.num_rows());
+
+    // Batch-hash the key columns (one virtual call per column per page)
+    // even on the boxed path; only group lookup boxes Values.
+    if (!key_channels_.empty()) {
+      kernels::HashPage(flat_page, key_channels_, &s.hash_scratch);
+    }
+    s.fallback_pages += 1;
+    Bump(fallback_pages_counter_, 1);
+    size_t groups_before = s.num_groups;
+
+    for (size_t row = 0; row < page.num_rows(); ++row) {
+      uint64_t h = key_channels_.empty() ? 0 : s.hash_scratch[row];
+      Group* group = FindOrCreateGroup(s, flat_page, row, h);
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (step_ == AggregationStep::kFinal) {
+          group->accumulators[a]->MergeIntermediate(
+              agg_args[a][0]->GetValue(row));
+        } else {
+          group->accumulators[a]->Add(agg_args[a], row);
+        }
+      }
+    }
+    Bump(groups_created_counter_,
+         static_cast<int64_t>(s.num_groups - groups_before));
+    return Status::OK();
+  }
+
+  Group* FindOrCreateGroup(LocalState& s, const Page& page, size_t row,
+                           uint64_t hash) {
+    auto& bucket = s.groups[hash];
     for (auto& group : bucket) {
       bool equal = true;
       for (size_t k = 0; k < key_channels_.size(); ++k) {
@@ -754,19 +1090,20 @@ class HashAggregationOperator final : public Operator {
       group.accumulators.push_back(agg.function->factory());
     }
     bucket.push_back(std::move(group));
-    ++num_groups_;
+    ++s.num_groups;
     return &bucket.back();
   }
 
   Result<std::optional<Page>> ProduceOutput() {
+    LocalState& s = *locals_[0];
     // Global aggregations emit exactly one row even over empty input.
-    if (key_channels_.empty() && num_groups_ == 0) {
+    if (key_channels_.empty() && s.num_groups == 0) {
       Group group;
       for (const AggSpec& agg : aggs_) {
         group.accumulators.push_back(agg.function->factory());
       }
-      groups_[0].push_back(std::move(group));
-      ++num_groups_;
+      s.groups[0].push_back(std::move(group));
+      ++s.num_groups;
     }
     std::vector<VectorBuilder> builders;
     for (const TypePtr& t : key_types_) builders.emplace_back(t);
@@ -776,7 +1113,7 @@ class HashAggregationOperator final : public Operator {
                                 : agg.output_type);
     }
     size_t rows = 0;
-    for (auto& [hash, bucket] : groups_) {
+    for (auto& [hash, bucket] : s.groups) {
       for (Group& group : bucket) {
         for (size_t k = 0; k < group.keys.size(); ++k) {
           RETURN_IF_ERROR(builders[k].Append(group.keys[k]));
@@ -798,58 +1135,70 @@ class HashAggregationOperator final : public Operator {
 
   // -- Memory accounting & revocable spill ----------------------------------
 
-  // Estimated in-memory footprint of the current hash table state. The
-  // kernel table self-reports; grouped/boxed accumulator state is a
+  // Estimated in-memory footprint of one chain's hash table state. The
+  // kernel tables self-report; grouped/boxed accumulator state is a
   // fixed-width per-group approximation.
-  int64_t EstimateTableBytes() const {
+  int64_t EstimateStateBytes(const LocalState& s) const {
     if (use_kernel_) {
-      return key_table_->EstimateBytes() +
-             static_cast<int64_t>(key_table_->num_groups()) * 32 *
-                 static_cast<int64_t>(aggs_.size() + 1);
+      int64_t total = 0;
+      for (const KernelPartition& part : s.parts) {
+        total += part.table->EstimateBytes() +
+                 static_cast<int64_t>(part.table->num_groups()) * 32 *
+                     static_cast<int64_t>(aggs_.size() + 1);
+      }
+      return total;
     }
-    return static_cast<int64_t>(num_groups_) *
+    return static_cast<int64_t>(s.num_groups) *
            (64 + 48 * static_cast<int64_t>(key_channels_.size() + aggs_.size()));
   }
 
   // Degradation ladder for a failed reservation: revoke self (spill the
-  // table as a sorted run) when spill is enabled; otherwise a query-cap
-  // failure is terminal and a worker-cap failure asks the arbiter (the
-  // low-memory killer) before giving up.
-  Status GrowFootprint() {
+  // chain's tables as a sorted run) when spill is enabled; otherwise a
+  // query-cap failure is terminal and a worker-cap failure asks the arbiter
+  // (the low-memory killer) before giving up.
+  Status GrowFootprint(LocalState& s) {
     bool at_query_cap = false;
-    Status st = memory_.ReserveTotal(EstimateTableBytes(), &at_query_cap);
+    Status st = s.memory.ReserveTotal(EstimateStateBytes(s), &at_query_cap);
     if (st.ok()) return st;
     if (spill_fs_ != nullptr) {
-      RETURN_IF_ERROR(SpillPartial());
-      return memory_.ReserveTotalWithArbiter(EstimateTableBytes(),
-                                             &at_query_cap);
+      RETURN_IF_ERROR(SpillPartial(s));
+      return s.memory.ReserveTotalWithArbiter(EstimateStateBytes(s),
+                                              &at_query_cap);
     }
     if (at_query_cap) return st;  // outgrew query_max_memory, spill disabled
-    return memory_.ReserveTotalWithArbiter(EstimateTableBytes(), &at_query_cap);
+    return s.memory.ReserveTotalWithArbiter(EstimateStateBytes(s),
+                                            &at_query_cap);
   }
 
-  // Materializes the current groups as one [keys..., intermediates...] page
+  // Materializes one chain's groups as one [keys..., intermediates...] page
   // sorted by key (nulls-first) — the run format spill and merge agree on.
-  Result<std::optional<Page>> BuildIntermediatePage() {
+  Result<std::optional<Page>> BuildIntermediatePage(LocalState& s) {
     size_t rows = 0;
     std::vector<VectorPtr> columns;
     if (use_kernel_) {
-      rows = key_table_->num_groups();
-      if (rows == 0) return std::optional<Page>();
-      ASSIGN_OR_RETURN(columns, key_table_->BuildKeyColumns(key_types_));
-      for (auto& g : grouped_) {
-        ASSIGN_OR_RETURN(VectorPtr column, g->Build(/*intermediate=*/true));
-        columns.push_back(std::move(column));
+      std::vector<Page> part_pages;
+      for (KernelPartition& part : s.parts) {
+        ASSIGN_OR_RETURN(std::optional<Page> page, BuildStatePage(part));
+        if (page.has_value()) part_pages.push_back(std::move(*page));
       }
+      if (part_pages.empty()) return std::optional<Page>();
+      Page merged;
+      if (part_pages.size() == 1) {
+        merged = std::move(part_pages[0]);
+      } else {
+        ASSIGN_OR_RETURN(merged, ConcatPages(run_vars_, part_pages));
+      }
+      rows = merged.num_rows();
+      columns = merged.columns();
     } else {
-      rows = num_groups_;
+      rows = s.num_groups;
       if (rows == 0) return std::optional<Page>();
       std::vector<VectorBuilder> builders;
       for (const TypePtr& t : key_types_) builders.emplace_back(t);
       for (const AggSpec& agg : aggs_) {
         builders.emplace_back(agg.function->intermediate_type);
       }
-      for (auto& [hash, bucket] : groups_) {
+      for (auto& [hash, bucket] : s.groups) {
         for (Group& group : bucket) {
           for (size_t k = 0; k < group.keys.size(); ++k) {
             RETURN_IF_ERROR(builders[k].Append(group.keys[k]));
@@ -872,48 +1221,54 @@ class HashAggregationOperator final : public Operator {
     return std::optional<Page>(page.SliceRows(order));
   }
 
-  // Revokes this operator: writes the sorted intermediate state as one spill
-  // run, releases its accounted footprint, and starts an empty table.
-  Status SpillPartial() {
-    ASSIGN_OR_RETURN(std::optional<Page> run, BuildIntermediatePage());
+  // Revokes one chain: writes its sorted intermediate state as one spill
+  // run, releases its accounted footprint, and starts empty tables. Sorting
+  // and state rebuilding are chain-local; only the spiller append is shared
+  // (and rare), so it hides behind a mutex.
+  Status SpillPartial(LocalState& s) {
+    ASSIGN_OR_RETURN(std::optional<Page> run, BuildIntermediatePage(s));
     if (!run.has_value()) return Status::OK();
-    if (spiller_ == nullptr) {
-      spiller_ = std::make_unique<Spiller>(spill_fs_, spill_dir_, metrics_);
+    int64_t delta = 0;
+    {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      if (spiller_ == nullptr) {
+        spiller_ = std::make_unique<Spiller>(spill_fs_, spill_dir_, metrics_);
+      }
+      int64_t before = spiller_->total_bytes();
+      RETURN_IF_ERROR(spiller_->SpillRun(ChunkPage(*run)));
+      delta = spiller_->total_bytes() - before;
     }
-    int64_t before = spiller_->total_bytes();
-    RETURN_IF_ERROR(spiller_->SpillRun(ChunkPage(*run)));
-    memory_.RecordRevoked(memory_.bytes());
-    RecordSpill(spiller_->total_bytes() - before);
-    ResetTable();
+    s.memory.RecordRevoked(s.memory.bytes());
+    s.spilled_bytes += delta;
+    s.spilled_runs += 1;
+    ResetState(s);
     return Status::OK();
   }
 
-  void ResetTable() {
+  void ResetState(LocalState& s) {
     if (use_kernel_) {
-      key_table_ = std::make_unique<kernels::NormalizedKeyTable>(key_kinds_);
-      std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped;
-      for (const AggSpec& agg : aggs_) {
-        grouped.push_back(
-            kernels::MakeGroupedAccumulator(*agg.function, agg.output_type));
-      }
-      grouped_ = std::move(grouped);
+      size_t num_parts = s.parts.size();
+      s.parts.clear();
+      for (size_t p = 0; p < num_parts; ++p) s.parts.push_back(MakePartition());
     } else {
-      groups_.clear();
-      num_groups_ = 0;
+      s.groups.clear();
+      s.num_groups = 0;
     }
   }
 
   Status StartMerge() {
-    // The not-yet-spilled remainder participates as an in-memory run — no
-    // extra I/O, and it is already within the query's cap.
-    ASSIGN_OR_RETURN(std::optional<Page> last, BuildIntermediatePage());
-    std::vector<Page> memory_run;
-    if (last.has_value()) memory_run = ChunkPage(*last);
+    // Every chain's not-yet-spilled remainder participates as its own
+    // in-memory run — no extra I/O, and already within the query's cap.
+    std::vector<std::vector<Page>> memory_runs;
+    for (auto& s : locals_) {
+      ASSIGN_OR_RETURN(std::optional<Page> last, BuildIntermediatePage(*s));
+      if (last.has_value()) memory_runs.push_back(ChunkPage(*last));
+    }
     ASSIGN_OR_RETURN(std::vector<std::unique_ptr<SpillFile::Reader>> readers,
                      spiller_->OpenAllRuns());
     size_t num_keys = key_channels_.size();
     merge_ = std::make_unique<SpillMergeCursor>(
-        std::move(readers), std::move(memory_run),
+        std::move(readers), std::move(memory_runs),
         [num_keys](const Page& a, size_t ar, const Page& b, size_t br) {
           return CompareRunKeys(a, ar, b, br, num_keys);
         });
@@ -988,7 +1343,15 @@ class HashAggregationOperator final : public Operator {
     return std::optional<Page>(Page(std::move(columns), rows));
   }
 
+  // A chain upgrades from one table to 2^kRadixBits radix partitions once
+  // it crosses kRadixUpgradeGroups groups: below that a single table fits in
+  // cache and partitioning is pure overhead (a modular-key or global
+  // aggregate never upgrades).
+  static constexpr int kRadixBits = 5;
+  static constexpr size_t kRadixUpgradeGroups = 8192;
+
   OperatorPtr child_;
+  std::vector<OperatorPtr> extra_chains_;
   std::vector<int> key_channels_;
   std::vector<TypePtr> key_types_;
   std::vector<AggSpec> aggs_;
@@ -999,25 +1362,26 @@ class HashAggregationOperator final : public Operator {
   MetricsRegistry::Counter* groups_created_counter_ = nullptr;
   MetricsRegistry::Counter* table_bytes_counter_ = nullptr;
   bool consumed_ = false;
-  bool produced_ = false;
+  bool produced_ = false;  // boxed path emits one page
+  bool global_group_ensured_ = false;
+  size_t produce_partition_ = 0;  // kernel output cursor
 
   // Kernel path.
   bool use_kernel_ = false;
-  std::unique_ptr<kernels::NormalizedKeyTable> key_table_;
-  std::vector<std::unique_ptr<kernels::GroupedAccumulator>> grouped_;
-  std::vector<int32_t> group_ids_;  // per-page scratch
   std::vector<TypeKind> key_kinds_;
+  std::vector<int> inter_key_channels_;  // 0..num_keys-1 (state pages)
+  int radix_target_bits_ = 0;            // 0 = keyless, never partitions
+  std::vector<VariablePtr> run_vars_;    // [keys..., intermediates...] types
 
-  // Boxed fallback.
-  std::unordered_map<uint64_t, std::vector<Group>> groups_;
-  size_t num_groups_ = 0;
-  std::vector<uint64_t> hash_scratch_;
+  // Per-chain states; locals_[0] belongs to child_ and survives the merge.
+  WorkStealingPool* morsel_pool_ = nullptr;
+  std::vector<std::unique_ptr<LocalState>> locals_;
 
-  // Memory accounting & spill.
+  // Memory accounting & spill (the spiller is shared across chains).
   MetricsRegistry* metrics_ = nullptr;
-  OperatorMemory memory_;
   FileSystem* spill_fs_ = nullptr;  // null = spill disabled
   std::string spill_dir_;
+  std::mutex spill_mu_;
   std::unique_ptr<Spiller> spiller_;
   std::unique_ptr<SpillMergeCursor> merge_;
   bool merge_has_row_ = false;
@@ -1032,15 +1396,21 @@ class HashAggregationOperator final : public Operator {
 // materialized into a hash table (broadcast-style).
 class HashJoinOperator final : public Operator {
  public:
+  /// `extra_build_chains` are replicated morsel chains for the build side
+  /// (empty for a classic single-threaded task): the chains drain the shared
+  /// build source in parallel, then the concatenated rows are
+  /// radix-partitioned into per-partition hash tables built in parallel.
   HashJoinOperator(OperatorPtr probe, OperatorPtr build, JoinKind kind,
                    std::vector<int> probe_keys, std::vector<int> build_keys,
                    std::vector<TypePtr> probe_key_types,
                    std::vector<TypePtr> build_key_types,
                    std::vector<VariablePtr> build_vars, ExprPtr filter,
                    std::map<std::string, int> combined_layout,
-                   FunctionRegistry* functions, const ExecutionLimits& limits)
+                   FunctionRegistry* functions, const ExecutionLimits& limits,
+                   std::vector<OperatorPtr> extra_build_chains = {})
       : probe_(std::move(probe)),
         build_(std::move(build)),
+        extra_build_(std::move(extra_build_chains)),
         kind_(kind),
         probe_keys_(std::move(probe_keys)),
         build_keys_(std::move(build_keys)),
@@ -1048,9 +1418,11 @@ class HashJoinOperator final : public Operator {
         filter_(std::move(filter)),
         combined_layout_(std::move(combined_layout)),
         functions_(functions),
-        max_build_rows_(limits.max_join_build_rows) {
+        max_build_rows_(limits.max_join_build_rows),
+        morsel_pool_(limits.morsel_pool) {
     AddChild(probe_.get());
     AddChild(build_.get());
+    for (const OperatorPtr& chain : extra_build_) AddChild(chain.get());
     memory_.Init(limits, "op.HashJoin");
     if (limits.metrics != nullptr) {
       build_rows_counter_ = limits.metrics->FindOrRegister("exec.join.build_rows");
@@ -1072,9 +1444,11 @@ class HashJoinOperator final : public Operator {
       RETURN_IF_ERROR(BuildTable());
       built_ = true;
       RecordPeakBuffered(null_row_index_);
-      if (key_table_ != nullptr) {
-        Bump(table_bytes_counter_, key_table_->EstimateBytes());
+      int64_t table_bytes = 0;
+      for (const BuildPartition& part : parts_) {
+        if (part.table != nullptr) table_bytes += part.table->EstimateBytes();
       }
+      Bump(table_bytes_counter_, table_bytes);
     }
     while (true) {
       ASSIGN_OR_RETURN(std::optional<Page> page, probe_->Next());
@@ -1107,33 +1481,54 @@ class HashJoinOperator final : public Operator {
   }
 
   Status BuildTable() {
-    std::vector<Page> pages;
-    int64_t build_rows = 0;
-    int64_t build_bytes = 0;
-    while (true) {
-      ASSIGN_OR_RETURN(std::optional<Page> page, build_->Next());
-      if (!page.has_value()) break;
-      build_rows += static_cast<int64_t>(page->num_rows());
-      if (build_rows > max_build_rows_) {
-        // Section XII.C: the error users translate Hive/Spark queries over.
-        return Status::ResourceExhausted(
-            "Insufficient Resource: join build side exceeds " +
-            std::to_string(max_build_rows_) +
-            " rows (set session property max_join_build_rows, or rewrite "
-            "the query for Presto-on-Spark)");
-      }
-      build_bytes += page->EstimateBytes();
-      pages.push_back(std::move(*page));
-      // Build tables are not revocable: a query-cap failure is terminal, a
-      // worker-cap failure asks the low-memory killer before giving up.
-      if (memory_.enabled()) {
-        bool at_query_cap = false;
-        Status st = memory_.ReserveTotal(build_bytes, &at_query_cap);
-        if (!st.ok() && !at_query_cap) {
-          st = memory_.ReserveTotalWithArbiter(build_bytes, &at_query_cap);
+    // Drain the build side; with replicated morsel chains every chain
+    // collects pages thread-locally and only the row/byte bookkeeping (and
+    // its reservation ladder) is serialized, once per page.
+    size_t num_chains = 1 + extra_build_.size();
+    std::vector<std::vector<Page>> chain_pages(num_chains);
+    std::mutex mu;
+    int64_t build_rows = 0;   // guarded by mu when parallel
+    int64_t build_bytes = 0;  // guarded by mu when parallel
+    auto consume = [&](int i) -> Status {
+      Operator* chain = i == 0 ? build_.get() : extra_build_[i - 1].get();
+      while (true) {
+        ASSIGN_OR_RETURN(std::optional<Page> page, chain->Next());
+        if (!page.has_value()) return Status::OK();
+        int64_t page_rows = static_cast<int64_t>(page->num_rows());
+        int64_t page_bytes = page->EstimateBytes();
+        chain_pages[i].push_back(std::move(*page));
+        std::lock_guard<std::mutex> lock(mu);
+        build_rows += page_rows;
+        if (build_rows > max_build_rows_) {
+          // Section XII.C: the error users translate Hive/Spark queries over.
+          return Status::ResourceExhausted(
+              "Insufficient Resource: join build side exceeds " +
+              std::to_string(max_build_rows_) +
+              " rows (set session property max_join_build_rows, or rewrite "
+              "the query for Presto-on-Spark)");
         }
-        RETURN_IF_ERROR(st);
+        build_bytes += page_bytes;
+        // Build tables are not revocable: a query-cap failure is terminal, a
+        // worker-cap failure asks the low-memory killer before giving up.
+        if (memory_.enabled()) {
+          bool at_query_cap = false;
+          Status st = memory_.ReserveTotal(build_bytes, &at_query_cap);
+          if (!st.ok() && !at_query_cap) {
+            st = memory_.ReserveTotalWithArbiter(build_bytes, &at_query_cap);
+          }
+          RETURN_IF_ERROR(st);
+        }
       }
+    };
+    if (num_chains == 1) {
+      RETURN_IF_ERROR(consume(0));
+    } else {
+      RETURN_IF_ERROR(RunParallel(morsel_pool_,
+                                  static_cast<int>(num_chains), consume));
+    }
+    std::vector<Page> pages;
+    for (auto& collected : chain_pages) {
+      for (Page& page : collected) pages.push_back(std::move(page));
     }
     ASSIGN_OR_RETURN(build_page_, ConcatPages(build_vars_, pages));
     // Append one all-null row used to null-extend LEFT-join misses.
@@ -1151,26 +1546,73 @@ class HashJoinOperator final : public Operator {
     Bump(build_rows_counter_, null_row_index_);
 
     if (use_kernel_) {
-      // Normalized-key table maps each distinct key to a key id; duplicate
-      // build rows chain through head_/next_. NULL keys never enter (SQL
+      // Normalized-key tables map each distinct key to a key id; duplicate
+      // build rows chain through head/next_. NULL keys never enter (SQL
       // equality). Chains are threaded in reverse so traversal yields
-      // ascending build-row order.
-      key_table_ =
-          std::make_unique<kernels::NormalizedKeyTable>(build_key_kinds_);
-      std::vector<int32_t> key_ids;
-      ASSIGN_OR_RETURN(int64_t probes,
-                       key_table_->MapRows(build_page_, build_keys_,
-                                           /*insert_missing=*/true,
-                                           /*skip_null_keys=*/true, &key_ids));
-      Bump(hash_probes_counter_, probes);
-      head_.assign(key_table_->num_groups(), -1);
-      next_.assign(key_ids.size(), -1);
-      for (int32_t r = null_row_index_ - 1; r >= 0; --r) {
-        int32_t k = key_ids[r];
-        if (k == kernels::NormalizedKeyTable::kNoGroup) continue;
-        next_[r] = head_[k];
-        head_[k] = r;
+      // ascending build-row order. Large build sides radix-partition on the
+      // high bits of the content hash: each partition's table stays
+      // cache-sized and the partitions build in parallel (their row sets are
+      // disjoint, so the shared next_ array is written at disjoint indices).
+      radix_bits_ = null_row_index_ >= (1 << 16) ? kJoinRadixBits : 0;
+      if (radix_bits_ == 0) {
+        parts_.resize(1);
+        BuildPartition& part = parts_[0];
+        part.table =
+            std::make_unique<kernels::NormalizedKeyTable>(build_key_kinds_);
+        std::vector<int32_t> key_ids;
+        ASSIGN_OR_RETURN(int64_t probes,
+                         part.table->MapRows(build_page_, build_keys_,
+                                             /*insert_missing=*/true,
+                                             /*skip_null_keys=*/true,
+                                             &key_ids));
+        Bump(hash_probes_counter_, probes);
+        part.head.assign(part.table->num_groups(), -1);
+        next_.assign(key_ids.size(), -1);
+        for (int32_t r = null_row_index_ - 1; r >= 0; --r) {
+          int32_t k = key_ids[r];
+          if (k == kernels::NormalizedKeyTable::kNoGroup) continue;
+          next_[r] = part.head[k];
+          part.head[k] = r;
+        }
+        return Status::OK();
       }
+      kernels::HashPage(build_page_, build_keys_, &hash_scratch_);
+      parts_.clear();
+      parts_.resize(static_cast<size_t>(1) << radix_bits_);
+      int shift = 64 - radix_bits_;
+      for (int32_t r = 0; r < null_row_index_; ++r) {
+        parts_[hash_scratch_[r] >> shift].rows.push_back(r);
+      }
+      next_.assign(build_page_.num_rows(), -1);
+      std::atomic<int64_t> total_probes{0};
+      Status st = RunParallel(
+          morsel_pool_, static_cast<int>(parts_.size()),
+          [&](int p) -> Status {
+            BuildPartition& part = parts_[p];
+            part.table =
+                std::make_unique<kernels::NormalizedKeyTable>(build_key_kinds_);
+            if (part.rows.empty()) return Status::OK();
+            Page sub = build_page_.WrapRows(part.rows);
+            std::vector<int32_t> key_ids;
+            ASSIGN_OR_RETURN(int64_t probes,
+                             part.table->MapRows(sub, build_keys_,
+                                                 /*insert_missing=*/true,
+                                                 /*skip_null_keys=*/true,
+                                                 &key_ids));
+            total_probes.fetch_add(probes, std::memory_order_relaxed);
+            part.head.assign(part.table->num_groups(), -1);
+            for (size_t idx = part.rows.size(); idx-- > 0;) {
+              int32_t k = key_ids[idx];
+              if (k == kernels::NormalizedKeyTable::kNoGroup) continue;
+              int32_t r = part.rows[idx];
+              next_[r] = part.head[k];
+              part.head[k] = r;
+            }
+            return Status::OK();
+          });
+      RETURN_IF_ERROR(st);
+      Bump(hash_probes_counter_,
+           total_probes.load(std::memory_order_relaxed));
       return Status::OK();
     }
 
@@ -1193,30 +1635,66 @@ class HashJoinOperator final : public Operator {
   }
 
   // Fills the matching (probe_row, build_row) pairs via the normalized-key
-  // table: one MapRows pass over the page, then chain traversal — no
-  // per-pair RowsEqual.
+  // tables: one MapRows pass per touched partition, then chain traversal —
+  // no per-pair RowsEqual. With radix partitioning, each probe row's chain
+  // head is first scattered into match_head_ and the pairs are then emitted
+  // in probe-row order, so the output is identical to the single-table path.
   Status ProbeKernel(const Page& probe_page, std::vector<int32_t>* probe_rows,
                      std::vector<int32_t>* build_rows) {
+    size_t n = probe_page.num_rows();
     std::vector<VectorPtr> columns = probe_page.columns();
     for (int c : probe_keys_) {
       ASSIGN_OR_RETURN(columns[c], kernels::PrepareColumn(columns[c]));
     }
-    Page prepared(std::move(columns), probe_page.num_rows());
-    std::vector<int32_t> key_ids;
-    ASSIGN_OR_RETURN(int64_t probes,
-                     key_table_->MapRows(prepared, probe_keys_,
-                                         /*insert_missing=*/false,
-                                         /*skip_null_keys=*/true, &key_ids));
+    Page prepared(std::move(columns), n);
     stats_.kernel_pages += 1;
     Bump(kernel_pages_counter_, 1);
-    Bump(hash_probes_counter_, probes);
-    for (size_t r = 0; r < key_ids.size(); ++r) {
-      size_t before = build_rows->size();
-      if (key_ids[r] != kernels::NormalizedKeyTable::kNoGroup) {
-        for (int32_t b = head_[key_ids[r]]; b >= 0; b = next_[b]) {
-          probe_rows->push_back(static_cast<int32_t>(r));
-          build_rows->push_back(b);
+    if (radix_bits_ == 0) {
+      std::vector<int32_t> key_ids;
+      ASSIGN_OR_RETURN(int64_t probes,
+                       parts_[0].table->MapRows(prepared, probe_keys_,
+                                                /*insert_missing=*/false,
+                                                /*skip_null_keys=*/true,
+                                                &key_ids));
+      Bump(hash_probes_counter_, probes);
+      match_head_.assign(n, -1);
+      for (size_t r = 0; r < n; ++r) {
+        if (key_ids[r] != kernels::NormalizedKeyTable::kNoGroup) {
+          match_head_[r] = parts_[0].head[key_ids[r]];
         }
+      }
+    } else {
+      kernels::HashPage(prepared, probe_keys_, &hash_scratch_);
+      probe_part_rows_.resize(parts_.size());
+      for (auto& rows : probe_part_rows_) rows.clear();
+      int shift = 64 - radix_bits_;
+      for (size_t r = 0; r < n; ++r) {
+        probe_part_rows_[hash_scratch_[r] >> shift].push_back(
+            static_cast<int32_t>(r));
+      }
+      match_head_.assign(n, -1);
+      for (size_t p = 0; p < parts_.size(); ++p) {
+        if (probe_part_rows_[p].empty() || parts_[p].head.empty()) continue;
+        Page sub = prepared.WrapRows(probe_part_rows_[p]);
+        std::vector<int32_t> key_ids;
+        ASSIGN_OR_RETURN(int64_t probes,
+                         parts_[p].table->MapRows(sub, probe_keys_,
+                                                  /*insert_missing=*/false,
+                                                  /*skip_null_keys=*/true,
+                                                  &key_ids));
+        Bump(hash_probes_counter_, probes);
+        for (size_t idx = 0; idx < key_ids.size(); ++idx) {
+          if (key_ids[idx] != kernels::NormalizedKeyTable::kNoGroup) {
+            match_head_[probe_part_rows_[p][idx]] = parts_[p].head[key_ids[idx]];
+          }
+        }
+      }
+    }
+    for (size_t r = 0; r < n; ++r) {
+      size_t before = build_rows->size();
+      for (int32_t b = match_head_[r]; b >= 0; b = next_[b]) {
+        probe_rows->push_back(static_cast<int32_t>(r));
+        build_rows->push_back(b);
       }
       if (kind_ == JoinKind::kLeft && build_rows->size() == before) {
         probe_rows->push_back(static_cast<int32_t>(r));
@@ -1340,8 +1818,22 @@ class HashJoinOperator final : public Operator {
     return std::optional<Page>(std::move(merged));
   }
 
+  // Build sides at or above 2^16 rows radix-partition into 2^kJoinRadixBits
+  // cache-sized tables; smaller ones use a single table (partitioning small
+  // builds is pure overhead).
+  static constexpr int kJoinRadixBits = 4;
+
+  /// One radix partition of the build side: its normalized-key table, the
+  /// per-key chain heads, and the (ascending) build rows it owns.
+  struct BuildPartition {
+    std::unique_ptr<kernels::NormalizedKeyTable> table;
+    std::vector<int32_t> head;
+    std::vector<int32_t> rows;
+  };
+
   OperatorPtr probe_;
   OperatorPtr build_;
+  std::vector<OperatorPtr> extra_build_;
   JoinKind kind_;
   std::vector<int> probe_keys_;
   std::vector<int> build_keys_;
@@ -1350,6 +1842,7 @@ class HashJoinOperator final : public Operator {
   std::map<std::string, int> combined_layout_;
   FunctionRegistry* functions_;
   int64_t max_build_rows_;
+  WorkStealingPool* morsel_pool_ = nullptr;
   OperatorMemory memory_;
   MetricsRegistry::Counter* build_rows_counter_ = nullptr;
   MetricsRegistry::Counter* hash_probes_counter_ = nullptr;
@@ -1361,12 +1854,15 @@ class HashJoinOperator final : public Operator {
   Page build_page_;
   int32_t null_row_index_ = 0;
 
-  // Kernel path: key id -> chain of build rows (head_/next_), ascending.
+  // Kernel path: per-partition key id -> chain of build rows (head/next_),
+  // ascending; next_ is global (build rows are partition-disjoint).
   bool use_kernel_ = false;
   std::vector<TypeKind> build_key_kinds_;
-  std::unique_ptr<kernels::NormalizedKeyTable> key_table_;
-  std::vector<int32_t> head_;
+  int radix_bits_ = 0;
+  std::vector<BuildPartition> parts_;
   std::vector<int32_t> next_;
+  std::vector<int32_t> match_head_;  // per-probe-row chain head scratch
+  std::vector<std::vector<int32_t>> probe_part_rows_;
 
   // Boxed fallback.
   std::unordered_map<uint64_t, std::vector<int32_t>> table_;
@@ -1747,12 +2243,71 @@ Result<OperatorPtr> OperatorBuilder::Build(const PlanNodePtr& node) {
   return op;
 }
 
+Result<std::shared_ptr<MorselSource>> OperatorBuilder::MakeMorselSource(
+    const PlanNodePtr& node) {
+  // Walk through stateless row-preserving nodes; anything stateful (limit,
+  // nested aggregation/join/sort) disqualifies the subtree — replicating it
+  // across chains would change semantics.
+  const PlanNode* cur = node.get();
+  while (cur->kind() == PlanNodeKind::kFilter ||
+         cur->kind() == PlanNodeKind::kProject) {
+    cur = cur->sources()[0].get();
+  }
+  if (cur->kind() == PlanNodeKind::kTableScan) {
+    const auto* scan = static_cast<const TableScanNode*>(cur);
+    if (!scan->accepted().has_value() || splits_ == nullptr ||
+        splits_->empty()) {
+      return std::shared_ptr<MorselSource>();
+    }
+    ASSIGN_OR_RETURN(Connector * connector,
+                     catalogs_->GetConnector(scan->catalog()));
+    return std::shared_ptr<MorselSource>(new SplitMorselSource(
+        connector, *scan->accepted(), *splits_, limits_.morsel_rows));
+  }
+  if (cur->kind() == PlanNodeKind::kRemoteSource) {
+    const auto* remote = static_cast<const RemoteSourceNode*>(cur);
+    auto it = exchanges_->find(remote->fragment_id());
+    if (it == exchanges_->end()) return std::shared_ptr<MorselSource>();
+    int partition =
+        remote->source_partitioning() == PartitioningScheme::Kind::kHash
+            ? task_partition_ % it->second->num_partitions()
+            : 0;
+    return std::shared_ptr<MorselSource>(
+        new ExchangeMorselSource(it->second, partition));
+  }
+  return std::shared_ptr<MorselSource>();
+}
+
+Result<std::vector<OperatorPtr>> OperatorBuilder::BuildParallelChains(
+    const PlanNodePtr& node) {
+  std::vector<OperatorPtr> chains;
+  if (limits_.task_threads <= 1 || morsel_source_override_ != nullptr) {
+    return chains;
+  }
+  ASSIGN_OR_RETURN(std::shared_ptr<MorselSource> source,
+                   MakeMorselSource(node));
+  if (source == nullptr) return chains;
+  // Every chain is a full copy of the subtree sharing one morsel source, so
+  // each page is processed by exactly one chain and the per-node stats of
+  // the replicas sum to the single-threaded totals.
+  morsel_source_override_ = std::move(source);
+  for (int i = 0; i < limits_.task_threads; ++i) {
+    ASSIGN_OR_RETURN(OperatorPtr chain, Build(node));
+    chains.push_back(std::move(chain));
+  }
+  morsel_source_override_.reset();
+  return chains;
+}
+
 Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
   switch (node->kind()) {
     case PlanNodeKind::kTableScan: {
       const auto* scan = static_cast<const TableScanNode*>(node.get());
       if (!scan->accepted().has_value()) {
         return Status::Internal("table scan was not negotiated: " + scan->Label());
+      }
+      if (morsel_source_override_ != nullptr) {
+        return OperatorPtr(new MorselScanOperator(morsel_source_override_));
       }
       if (splits_ == nullptr) {
         return Status::Internal("no splits provided for leaf fragment");
@@ -1768,6 +2323,9 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
                                             &values->rows()));
     }
     case PlanNodeKind::kRemoteSource: {
+      if (morsel_source_override_ != nullptr) {
+        return OperatorPtr(new MorselScanOperator(morsel_source_override_));
+      }
       const auto* remote = static_cast<const RemoteSourceNode*>(node.get());
       auto it = exchanges_->find(remote->fragment_id());
       if (it == exchanges_->end()) {
@@ -1803,7 +2361,15 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
     }
     case PlanNodeKind::kAggregate: {
       const auto* agg = static_cast<const AggregateNode*>(node.get());
-      ASSIGN_OR_RETURN(OperatorPtr child, Build(agg->sources()[0]));
+      ASSIGN_OR_RETURN(std::vector<OperatorPtr> chains,
+                       BuildParallelChains(agg->sources()[0]));
+      OperatorPtr child;
+      if (chains.empty()) {
+        ASSIGN_OR_RETURN(child, Build(agg->sources()[0]));
+      } else {
+        child = std::move(chains.front());
+        chains.erase(chains.begin());
+      }
       auto layout = MakeLayout(agg->sources()[0]->OutputVariables());
       std::vector<int> key_channels;
       std::vector<TypePtr> key_types;
@@ -1834,21 +2400,33 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
       }
       return OperatorPtr(new HashAggregationOperator(
           std::move(child), std::move(key_channels), std::move(key_types),
-          std::move(specs), agg->step(), limits_));
+          std::move(specs), agg->step(), limits_, std::move(chains)));
     }
     case PlanNodeKind::kJoin: {
       const auto* join = static_cast<const JoinNode*>(node.get());
       ASSIGN_OR_RETURN(OperatorPtr probe, Build(join->sources()[0]));
-      ASSIGN_OR_RETURN(OperatorPtr build, Build(join->sources()[1]));
       auto probe_layout = MakeLayout(join->sources()[0]->OutputVariables());
       auto build_layout = MakeLayout(join->sources()[1]->OutputVariables());
       auto combined_layout = MakeLayout(join->OutputVariables());
       std::vector<VariablePtr> build_vars = join->sources()[1]->OutputVariables();
       if (join->criteria().empty()) {
+        ASSIGN_OR_RETURN(OperatorPtr build, Build(join->sources()[1]));
         return OperatorPtr(new NestedLoopJoinOperator(
             std::move(probe), std::move(build), join->join_kind(),
             std::move(build_vars), join->filter(), std::move(combined_layout),
             functions_, limits_));
+      }
+      // The build side is merge-friendly (row sets concatenate), so it may
+      // consume through replicated morsel chains; the probe side streams on
+      // the task thread.
+      ASSIGN_OR_RETURN(std::vector<OperatorPtr> build_chains,
+                       BuildParallelChains(join->sources()[1]));
+      OperatorPtr build;
+      if (build_chains.empty()) {
+        ASSIGN_OR_RETURN(build, Build(join->sources()[1]));
+      } else {
+        build = std::move(build_chains.front());
+        build_chains.erase(build_chains.begin());
       }
       std::vector<int> probe_keys, build_keys;
       std::vector<TypePtr> probe_key_types, build_key_types;
@@ -1868,7 +2446,7 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
           std::move(probe_keys), std::move(build_keys),
           std::move(probe_key_types), std::move(build_key_types),
           std::move(build_vars), join->filter(), std::move(combined_layout),
-          functions_, limits_));
+          functions_, limits_, std::move(build_chains)));
     }
     case PlanNodeKind::kSort:
     case PlanNodeKind::kTopN: {

@@ -19,9 +19,14 @@
 
 namespace presto {
 
+class WorkStealingPool;
+class MorselSource;
+
 /// Pull-based vectorized operator: Next() produces the next page or nullopt
-/// when exhausted. Single-threaded within a task; parallelism comes from
-/// running tasks (one per split batch) concurrently.
+/// when exhausted. Each operator instance is driven by one thread at a time;
+/// parallelism comes from running tasks concurrently and, within a task,
+/// from morsel-driven replicated operator chains that share a morsel source
+/// and merge in their parent (aggregation, join build).
 ///
 /// Next() is a non-virtual wrapper that records OperatorStats (output
 /// rows/bytes/pages, wall and thread-CPU time) around the subclass's
@@ -128,6 +133,22 @@ struct ExecutionLimits {
   /// property query_timeout_millis.
   int64_t deadline_steady_nanos = 0;
 
+  // -- Morsel-driven intra-task parallelism ----------------------------------
+  /// Number of replicated operator chains per eligible task subtree (session
+  /// property task_threads). 1 = classic single-threaded task.
+  int task_threads = 1;
+  /// Worker-local work-stealing pool supplying helper threads for the
+  /// replicated chains. Not owned; null means the calling thread runs every
+  /// chain itself (correct, just serial).
+  WorkStealingPool* morsel_pool = nullptr;
+  /// Target morsel size in rows: leaf scans hand out pages at most this
+  /// large so chains load-balance at cache-friendly granularity.
+  size_t morsel_rows = 65536;
+  /// Memory reservations move in steps of this many bytes (0 = byte-exact):
+  /// per-chain operator state batches its pool-tree updates so accounting
+  /// stays off the per-page hot path (session memory_reservation_quantum).
+  int64_t memory_quantum = 1 << 20;
+
   // -- Memory accounting (null/defaults = accounting off) --------------------
   /// Task-level memory pool; memory-hungry operators (aggregation, sort,
   /// join builds) add child pools and reserve their EstimateBytes footprint
@@ -180,12 +201,28 @@ class OperatorBuilder {
  private:
   Result<OperatorPtr> BuildNode(const PlanNodePtr& node);
 
+  /// Builds `limits_.task_threads` copies of the subtree under `node`, all
+  /// pulling from one shared morsel source, for a parent that merges their
+  /// partial states (aggregation consume, join build). Returns an empty
+  /// vector when the subtree is not eligible (stateful nodes, no splits) or
+  /// parallelism is off.
+  Result<std::vector<OperatorPtr>> BuildParallelChains(const PlanNodePtr& node);
+
+  /// The shared morsel source for the subtree, or null if ineligible: the
+  /// subtree must be a chain of stateless row-preserving nodes over a single
+  /// negotiated table scan (with splits) or remote source.
+  Result<std::shared_ptr<MorselSource>> MakeMorselSource(
+      const PlanNodePtr& node);
+
   const CatalogRegistry* catalogs_;
   FunctionRegistry* functions_;
   const std::map<int, PartitionedExchange*>* exchanges_;
   const std::vector<SplitPtr>* splits_;
   ExecutionLimits limits_;
   int task_partition_ = 0;
+  /// Non-null while building replicated chains: leaf scan / remote source
+  /// nodes become MorselScanOperators over this shared source.
+  std::shared_ptr<MorselSource> morsel_source_override_;
 };
 
 }  // namespace presto

@@ -262,18 +262,34 @@ Result<std::vector<std::unique_ptr<SpillFile::Reader>>> Spiller::OpenAllRuns()
   return readers;
 }
 
+namespace {
+std::vector<std::vector<Page>> WrapSingleRun(std::vector<Page> run) {
+  std::vector<std::vector<Page>> runs;
+  if (!run.empty()) runs.push_back(std::move(run));
+  return runs;
+}
+}  // namespace
+
 SpillMergeCursor::SpillMergeCursor(
     std::vector<std::unique_ptr<SpillFile::Reader>> readers,
     std::vector<Page> in_memory_run, Comparator cmp)
+    : SpillMergeCursor(std::move(readers),
+                       WrapSingleRun(std::move(in_memory_run)),
+                       std::move(cmp)) {}
+
+SpillMergeCursor::SpillMergeCursor(
+    std::vector<std::unique_ptr<SpillFile::Reader>> readers,
+    std::vector<std::vector<Page>> in_memory_runs, Comparator cmp)
     : cmp_(std::move(cmp)) {
   for (auto& reader : readers) {
     Source s;
     s.reader = std::move(reader);
     sources_.push_back(std::move(s));
   }
-  if (!in_memory_run.empty()) {
+  for (auto& run : in_memory_runs) {
+    if (run.empty()) continue;
     Source s;
-    s.memory_pages = std::move(in_memory_run);
+    s.memory_pages = std::move(run);
     sources_.push_back(std::move(s));
   }
 }

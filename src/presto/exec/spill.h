@@ -111,6 +111,12 @@ class SpillMergeCursor {
   SpillMergeCursor(std::vector<std::unique_ptr<SpillFile::Reader>> readers,
                    std::vector<Page> in_memory_run, Comparator cmp);
 
+  /// Multi-memory-run overload: each inner vector is one independently
+  /// sorted in-memory run (one per morsel chain of a parallel aggregation).
+  SpillMergeCursor(std::vector<std::unique_ptr<SpillFile::Reader>> readers,
+                   std::vector<std::vector<Page>> in_memory_runs,
+                   Comparator cmp);
+
   /// Positions on the smallest remaining row. Returns false at end of data.
   Result<bool> Advance();
 

@@ -51,6 +51,23 @@ struct Session {
   ///   memory_accounting      = "true" (default) | "false": disables the
   ///                            memory-pool hierarchy entirely (used to
   ///                            measure reservation overhead in benches)
+  ///   morsel_execution       = "true" (default) | "false": split leaf
+  ///                            scans into cache-sized morsels pulled by a
+  ///                            worker-local work-stealing pool; off runs
+  ///                            one operator chain per task and forces
+  ///                            task_threads = 1
+  ///   task_threads           = operator chains per task under morsel
+  ///                            execution; each chain owns thread-local
+  ///                            radix-partitioned aggregation/join state
+  ///                            merged partition-wise at finalize (default
+  ///                            min(16, hardware threads))
+  ///   morsel_rows            = target rows per morsel; leaf splits and
+  ///                            exchange pages are re-chunked to about this
+  ///                            granularity (default 65536)
+  ///   memory_reservation_quantum = operator reservations are rounded up to
+  ///                            this many bytes so the pool tree is touched
+  ///                            once per quantum, not once per page; 0
+  ///                            reserves exact sizes (default 1 MiB)
   std::string Property(const std::string& name,
                        const std::string& default_value) const {
     auto it = properties.find(name);

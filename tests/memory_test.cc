@@ -646,6 +646,11 @@ TEST_F(AdmissionTest, QueuedQueryHonorsDeadline) {
 TEST(LowMemoryKillerTest, KillsOnlyTheLargestQuery) {
   CoordinatorOptions options;
   options.worker_memory_bytes = 48 << 20;
+  // The small-query loop below journals several events per iteration for as
+  // long as the hog lives; under TSan that is tens of thousands of events,
+  // and the default 1024-entry ring would evict the hog's kill event before
+  // the victim scan at the end.
+  options.journal_capacity = 1 << 18;
   PrestoCluster cluster("killer", 2, 2, options);
   auto memory = std::make_shared<MemoryConnector>();
   TypePtr hog_type = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
