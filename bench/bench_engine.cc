@@ -429,6 +429,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- Tracing overhead: query_trace on vs off ------------------------------
+  // query_trace=true records the full span tree (stage / task / operator /
+  // exchange / spill spans) through the sharded TraceRecorder and renders it
+  // to Chrome trace JSON at the end. Spans are opened lazily and blocked-time
+  // deltas ride the existing stats clock reads, so the traced run must stay
+  // within a 2% budget of the untraced run (stats on in both).
+  std::printf("\n=== Tracing overhead (query_trace on vs off) ===\n\n");
+  // Interleaved reps, not two back-to-back blocks: allocator / page-cache
+  // warmup drift between blocks otherwise reads as fake overhead.
+  QueryResult traced_result, untraced_result;
+  double traced_millis = 1e18, untraced_millis = 1e18;
+  for (int rep = 0; rep < 9; ++rep) {
+    traced_millis =
+        std::min(traced_millis, best_of(queries[0].sql,
+                                        {{"query_trace", "true"}}, 1,
+                                        &traced_result));
+    untraced_millis = std::min(
+        untraced_millis, best_of(queries[0].sql, {}, 1, &untraced_result));
+  }
+  double tracing_overhead_pct =
+      (traced_millis - untraced_millis) / untraced_millis * 100.0;
+  int64_t trace_spans = static_cast<int64_t>(traced_result.trace_spans.size());
+  std::printf(
+      "%-28s traced %8.1f ms  untraced %8.1f ms  overhead %+.2f%% "
+      "(budget 2%%), %lld spans\n",
+      queries[0].name, traced_millis, untraced_millis, tracing_overhead_pct,
+      static_cast<long long>(trace_spans));
+  if (traced_result.total_rows != untraced_result.total_rows) {
+    std::fprintf(stderr, "tracing row mismatch: %lld vs %lld\n",
+                 static_cast<long long>(traced_result.total_rows),
+                 static_cast<long long>(untraced_result.total_rows));
+    return 1;
+  }
+  if (trace_spans == 0 || traced_result.trace_json.empty()) {
+    std::fprintf(stderr, "traced run produced no spans\n");
+    return 1;
+  }
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -509,13 +547,20 @@ int main(int argc, char** argv) {
       "\"slowdown\": %.2f, \"runs_written\": %lld, \"bytes_written\": %lld},\n"
       "    \"reservation_overhead\": {\"accounted_millis\": %.2f, "
       "\"unaccounted_millis\": %.2f, \"overhead_pct\": %.2f, "
-      "\"budget_pct\": 2.0, \"query_peak_bytes\": %lld}}\n}\n",
+      "\"budget_pct\": 2.0, \"query_peak_bytes\": %lld}},\n",
       queries[0].name, in_memory_millis, spilled_millis,
       spilled_millis / in_memory_millis, static_cast<long long>(spill_runs),
       static_cast<long long>(spill_bytes), accounted_millis,
       unaccounted_millis, memory_overhead_pct,
       static_cast<long long>(
           accounted_result.exec_metrics["memory.query.peak_bytes"]));
+  std::fprintf(f,
+               "  \"tracing_overhead\": {\"query\": \"%s\", "
+               "\"traced_millis\": %.2f, \"untraced_millis\": %.2f, "
+               "\"overhead_pct\": %.2f, \"budget_pct\": 2.0, "
+               "\"spans_recorded\": %lld}\n}\n",
+               queries[0].name, traced_millis, untraced_millis,
+               tracing_overhead_pct, static_cast<long long>(trace_spans));
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

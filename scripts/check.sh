@@ -44,6 +44,12 @@ MEMORY_SCALE_ROWS="${PRESTO_SPILL_SCALE_ROWS:-2000000}"
 # tables merged at finalize, claim-slot protocol, batched reservations).
 MORSEL_FILTER='WorkStealingPoolTest.*:RunParallelTest.*:MorselDifferentialTest.*'
 
+# Tracing stage: a traced spilling query recorded from many threads at once
+# (span shards, blocked-time carry across the morsel pool, lazy operator-span
+# opening) plus the Chrome trace JSON round-trip validation — the spots where
+# a recorder race or a context-scope leak would hide.
+TRACE_FILTER='TraceTest.*:TraceClusterTest.*'
+
 if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan build =="
   cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
@@ -62,6 +68,9 @@ if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan morsel parallelism =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$MORSEL_FILTER")
+  echo "== tsan tracing =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$TRACE_FILTER")
 fi
 
 if [[ "$MODE" != "--tsan-only" ]]; then
@@ -82,6 +91,9 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   echo "== asan morsel parallelism =="
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$MORSEL_FILTER")
+  echo "== asan tracing =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$TRACE_FILTER")
 fi
 
 echo "OK: requested suites passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -98,6 +99,18 @@ size_t Coordinator::num_workers() const {
 }
 
 namespace {
+
+// Stable per-query correlation id: query id in the high bits (so traces sort
+// by query), steady-clock entropy in the low bits (so re-used ids across
+// coordinator restarts stay distinguishable in external log aggregation).
+std::string MakeTraceId(int64_t query_id) {
+  uint64_t bits = (static_cast<uint64_t>(query_id) << 32) ^
+                  (static_cast<uint64_t>(SteadyNowNanos()) & 0xffffffffu);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
 
 // Keeps exchange buffers alive until every producer task has fully exited:
 // without this, the root fragment can observe "all producers done" and let
@@ -310,7 +323,8 @@ bool Coordinator::OnMemoryPressure(int64_t requesting_query_id,
 }
 
 Status Coordinator::AdmitQuery(int64_t query_id, int64_t query_queue_max,
-                               int64_t deadline_steady_nanos) {
+                               int64_t deadline_steady_nanos,
+                               int64_t* queued_nanos_out) {
   const int64_t high_water = static_cast<int64_t>(
       static_cast<double>(options_.worker_memory_bytes) *
       options_.admission_high_water);
@@ -328,6 +342,12 @@ Status Coordinator::AdmitQuery(int64_t query_id, int64_t query_queue_max,
                   "reserved worker memory at or above high-water mark",
                   {{"reserved_bytes", worker_pool_->reserved_bytes()},
                    {"high_water_bytes", high_water}});
+  // From here the query is genuinely waiting: time the wait into the
+  // thread's blocked cell (kQueued) and, when tracing, record an admission
+  // span under the query span installed by ExecutePlan.
+  const int64_t wait_start = SteadyNowNanos();
+  BlockedTimer blocked(BlockedKind::kQueued);
+  TraceEventScope span(TraceKind::kAdmission, "admission_queue");
   // Poll rather than relying purely on notification: memory is also released
   // by operators mid-query (pool atomics have no coordinator hook), so a
   // 10ms re-check keeps admission prompt without coupling pools to the
@@ -336,6 +356,9 @@ Status Coordinator::AdmitQuery(int64_t query_id, int64_t query_queue_max,
     if (deadline_steady_nanos > 0 &&
         SteadyNowNanos() >= deadline_steady_nanos) {
       --queued_now_;
+      if (queued_nanos_out != nullptr) {
+        *queued_nanos_out = SteadyNowNanos() - wait_start;
+      }
       return Status::Unavailable(
           "query deadline exceeded (query_timeout_millis) while queued for "
           "admission");
@@ -343,6 +366,9 @@ Status Coordinator::AdmitQuery(int64_t query_id, int64_t query_queue_max,
     admission_cv_.wait_for(lock, std::chrono::milliseconds(10));
   }
   --queued_now_;
+  if (queued_nanos_out != nullptr) {
+    *queued_nanos_out = SteadyNowNanos() - wait_start;
+  }
   journal_.Record(query_id, QueryEventKind::kAdmitted,
                   "reserved worker memory dropped below high-water mark");
   return Status::OK();
@@ -352,6 +378,9 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
                                             const Session& session) {
   Stopwatch watch;
   int64_t query_id = next_query_id_.fetch_add(1);
+  // Register the trace id before the first event so every journal entry of
+  // this query (kCreated included) carries it.
+  journal_.SetTraceId(query_id, MakeTraceId(query_id));
   journal_.Record(query_id, QueryEventKind::kCreated, sql);
 
   auto statement = sql::ParseStatement(sql);
@@ -376,6 +405,7 @@ Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
   if (statement->kind == sql::Statement::Kind::kExplain) {
     QueryResult result;
     result.query_id = query_id;
+    result.trace_id = journal_.TraceIdFor(query_id);
     result.num_fragments = static_cast<int>(plan->fragments.size());
     SetTextResult(&result, plan->ToString());
     result.wall_millis = watch.ElapsedMillis();
@@ -422,13 +452,37 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   // the result's exec_metrics reflect the whole recovery story.
   MetricsRegistry query_metrics;
 
+  // -- Tracing (session query_trace=true): one recorder per query, rooted at
+  // a kQuery span. The context scope installs it on the coordinator thread;
+  // task dispatch re-installs it on worker threads per attempt.
+  const bool tracing = session.Property("query_trace", "false") == "true";
+  TraceState trace_state;
+  TraceState* trace = nullptr;
+  if (tracing) {
+    trace_state.recorder = std::make_shared<TraceRecorder>();
+    trace_state.query_span = trace_state.recorder->BeginSpan(
+        TraceKind::kQuery, "query#" + std::to_string(query_id), 0);
+    trace = &trace_state;
+  }
+  TraceContextScope trace_ctx(
+      tracing ? trace_state.recorder.get() : nullptr,
+      tracing ? trace_state.query_span : 0);
+
   // -- Admission control: a queued query holds no memory yet, so it waits
   // here, before its pools even exist.
   int64_t query_queue_max = std::strtoll(
       session.Property("query_queue_max", "64").c_str(), nullptr, 10);
   if (query_queue_max < 0) query_queue_max = 0;
-  Status admitted =
-      AdmitQuery(query_id, query_queue_max, deadline_steady_nanos);
+  int64_t queued_nanos = 0;
+  Status admitted = AdmitQuery(query_id, query_queue_max,
+                               deadline_steady_nanos, &queued_nanos);
+  if (queued_nanos > 0) {
+    // Into the per-query registry now, so the exec_metrics snapshot taken at
+    // the end of ExecutePlanOnce (and the slow-query event reusing it)
+    // carries the admission share of the blocked-time breakdown.
+    query_metrics.FindOrRegister("trace.blocked.queued.nanos")
+        ->Add(queued_nanos);
+  }
   if (!admitted.ok()) {
     if (admitted.message().find("query deadline exceeded") !=
         std::string::npos) {
@@ -485,7 +539,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
 
   auto attempt = ExecutePlanOnce(query_id, fragmented, session, watch,
                                  force_stats, deadline_steady_nanos,
-                                 &query_metrics, memory);
+                                 &query_metrics, memory, trace);
   bool deadline_expired = deadline_steady_nanos > 0 &&
                           SteadyNowNanos() >= deadline_steady_nanos;
   if (!attempt.ok() && recovery_enabled && !deadline_expired &&
@@ -500,7 +554,8 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     journal_.Record(query_id, QueryEventKind::kRestarted,
                     attempt.status().ToString());
     attempt = ExecutePlanOnce(query_id, fragmented, session, watch, force_stats,
-                              deadline_steady_nanos, &query_metrics, memory);
+                              deadline_steady_nanos, &query_metrics, memory,
+                              trace);
   }
   if (!attempt.ok()) {
     if (attempt.status().message().find("query deadline exceeded") !=
@@ -509,13 +564,44 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     }
     return RecordFailure(query_id, attempt.status(), &query_metrics);
   }
+  attempt->trace_id = journal_.TraceIdFor(query_id);
+  attempt->stats.queued_nanos = queued_nanos;
+
+  // Latency histograms (coordinator registry, Prometheus-exported): query
+  // end-to-end and admission wait always; per-stage and per-operator wall
+  // time whenever stats were collected.
+  metrics_.RecordHistogram(
+      "query.latency.micros",
+      static_cast<int64_t>(attempt->wall_millis * 1000.0));
+  if (queued_nanos > 0) {
+    metrics_.RecordHistogram("query.queued.micros", queued_nanos / 1000);
+  }
+  for (const StageStats& stage : attempt->stats.stages) {
+    metrics_.RecordHistogram("stage.latency.micros", stage.wall_nanos / 1000);
+  }
+  for (const auto& [node_id, op] : attempt->stats.operators) {
+    metrics_.RecordHistogram("operator.latency.micros", op.wall_nanos / 1000);
+  }
+
+  if (tracing) {
+    trace_state.recorder->EndSpanWithArgs(
+        trace_state.query_span,
+        {{"queued_nanos", queued_nanos},
+         {"output_rows", attempt->total_rows},
+         {"tasks", attempt->num_tasks}});
+    std::string trace_id = attempt->trace_id;
+    attempt->trace_json =
+        trace_state.recorder->ToChromeTraceJson(query_id, trace_id);
+    attempt->trace_spans = trace_state.recorder->Snapshot();
+  }
   return attempt;
 }
 
 Result<QueryResult> Coordinator::ExecutePlanOnce(
     int64_t query_id, const FragmentedPlan& fragmented, const Session& session,
     Stopwatch watch, bool force_stats, int64_t deadline_steady_nanos,
-    MetricsRegistry* query_metrics, const QueryMemoryContext* memory) {
+    MetricsRegistry* query_metrics, const QueryMemoryContext* memory,
+    TraceState* trace) {
   QueryResult result;
   result.query_id = query_id;
   result.num_fragments = static_cast<int>(fragmented.fragments.size());
@@ -569,8 +655,11 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // restart attempts) is shared by every task; snapshotted into the result
   // after the root fragment drains.
   // Per-operator stats tree, merged across tasks keyed by plan node id.
-  bool collect_stats =
-      force_stats || session.Property("query_stats", "true") != "false";
+  // Tracing implies stats: the Next() fast path for collect_stats=false
+  // skips the blocked accounting and span plumbing entirely, so a traced
+  // query must run with stats on for its spans to reconcile with anything.
+  bool collect_stats = force_stats || trace != nullptr ||
+                       session.Property("query_stats", "true") != "false";
   auto collector = std::make_shared<QueryStatsCollector>();
   ExecutionLimits limits;
   limits.metrics = query_metrics;
@@ -698,6 +787,42 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     exchange_refs[fragment.id] = state.exchange.get();
     stage_tracker->remaining[fragment.id] = state.num_tasks;
   }
+
+  // Stage spans, one per fragment under the query span, opened before any
+  // task dispatches (so task spans always find their parent) and ended at
+  // teardown once every task span has closed. Built up front: the map is
+  // read-only — and so safely shared — once tasks are running.
+  if (trace != nullptr) {
+    for (const PlanFragment& fragment : fragmented.fragments) {
+      trace->stage_spans[fragment.id] = trace->recorder->BeginSpan(
+          TraceKind::kStage, "stage#" + std::to_string(fragment.id),
+          trace->query_span);
+    }
+  }
+  // Wraps one task attempt in a kTask span under its stage's span and
+  // installs the trace context on the executing thread, so operator spans
+  // opened inside the attempt nest under the task.
+  auto traced_task = [trace](FragmentState* state, int partition, int attempt,
+                             const std::function<Status()>& body) -> Status {
+    TraceRecorder* rec = trace != nullptr ? trace->recorder.get() : nullptr;
+    if (rec == nullptr) return body();
+    int64_t parent = trace->query_span;
+    auto it = trace->stage_spans.find(state->fragment->id);
+    if (it != trace->stage_spans.end()) parent = it->second;
+    std::string name = "fragment" + std::to_string(state->fragment->id) +
+                       ".task" + std::to_string(partition);
+    if (attempt > 0) name += ".attempt" + std::to_string(attempt);
+    int64_t span = rec->BeginSpan(TraceKind::kTask, name, parent);
+    Status st;
+    {
+      TraceContextScope scope(rec, span);
+      st = body();
+    }
+    rec->EndSpanWithArgs(span, {{"ok", st.ok() ? 1 : 0},
+                                {"partition", partition},
+                                {"attempt", attempt}});
+    return st;
+  };
 
   // -- Task lists. --------------------------------------------------------------
   struct TaskSpec {
@@ -954,11 +1079,13 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // consumers that keep the bounded exchanges draining) and fail fast: their
   // upstream partitions are already partially consumed, so the recovery unit
   // for them is the whole query (ExecutePlan's restart), not the task.
-  auto stage_body = [&run_task, &finalize_failed, latch](
+  auto stage_body = [&run_task, &finalize_failed, &traced_task, latch](
                         FragmentState* state, int partition, Worker* host) {
     static const std::vector<SplitPtr> kNoSplits;
-    Status st = run_task(state, kNoSplits, partition, host,
-                         /*buffer_output=*/false);
+    Status st = traced_task(state, partition, /*attempt=*/0, [&] {
+      return run_task(state, kNoSplits, partition, host,
+                      /*buffer_output=*/false);
+    });
     if (!st.ok()) finalize_failed(state, partition, st);
     latch->Done();
   };
@@ -1007,8 +1134,10 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // cycle that leaks both function objects.
   *run_leaf_attempt = [&, backoff_rng, backoff_mu](
                           std::shared_ptr<LeafTask> task, Worker* host) {
-    Status st = run_task(task->state, task->splits, task->partition, host,
-                         buffer_leaf_output);
+    Status st = traced_task(task->state, task->partition, task->attempt, [&] {
+      return run_task(task->state, task->splits, task->partition, host,
+                      buffer_leaf_output);
+    });
     if (st.ok()) {
       latch->Done();
       return;
@@ -1037,7 +1166,23 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
                                                 ceiling_millis);
       }
       if (delay_millis > 0) {
+        // Backoff span parented to the stage (no task context is live here —
+        // the failed attempt's span already closed), so retry gaps show up
+        // between the attempt spans in the trace timeline.
+        int64_t backoff_span = 0;
+        TraceRecorder* rec = trace != nullptr ? trace->recorder.get() : nullptr;
+        if (rec != nullptr) {
+          auto it = trace->stage_spans.find(task->state->fragment->id);
+          backoff_span = rec->BeginSpan(
+              TraceKind::kRetryBackoff, "task_retry_backoff",
+              it != trace->stage_spans.end() ? it->second : trace->query_span);
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
+        if (rec != nullptr) {
+          rec->EndSpanWithArgs(backoff_span,
+                               {{"delay_millis", delay_millis},
+                                {"attempt", task->attempt}});
+        }
       }
       (*submit_leaf)(task);
       return;
@@ -1107,22 +1252,51 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     finish_tasks();
     return root_op.status();
   }
-  while (true) {
-    auto page = (*root_op)->Next();
-    if (!page.ok()) {
-      shutdown_exchanges();
-      finish_tasks();
-      return page.status();
+  // The root task span lives under stage#0 like any remote task's would;
+  // operator spans of the root fragment nest under it via the context scope.
+  TraceRecorder* root_rec = trace != nullptr ? trace->recorder.get() : nullptr;
+  int64_t root_task_span = 0;
+  if (root_rec != nullptr) {
+    root_task_span = root_rec->BeginSpan(
+        TraceKind::kTask, "fragment" + std::to_string(root.id) + ".task0",
+        trace->stage_spans.count(root.id) > 0 ? trace->stage_spans[root.id]
+                                              : trace->query_span);
+  }
+  Status drained = Status::OK();
+  {
+    TraceContextScope root_scope(root_rec, root_task_span);
+    while (true) {
+      auto page = (*root_op)->Next();
+      if (!page.ok()) {
+        drained = page.status();
+        break;
+      }
+      if (!page->has_value()) break;
+      result.total_rows += static_cast<int64_t>((*page)->num_rows());
+      result.pages.push_back(std::move(**page));
     }
-    if (!page->has_value()) break;
-    result.total_rows += static_cast<int64_t>((*page)->num_rows());
-    result.pages.push_back(std::move(**page));
+  }
+  if (root_rec != nullptr) {
+    root_rec->EndSpanWithArgs(root_task_span, {{"ok", drained.ok() ? 1 : 0}});
+  }
+  if (!drained.ok()) {
+    shutdown_exchanges();
+    finish_tasks();
+    return drained;
   }
   // Cancel whatever upstream production the root no longer needs (LIMIT-style
   // early exit), then wait for every producer task to fully exit before the
   // exchanges go away.
   shutdown_exchanges();
   finish_tasks();
+  // Every task span is closed once the latch clears, so ending the stage
+  // spans here keeps them temporal supersets of their children (a stage span
+  // ended from inside the last task would close before that task's own span).
+  if (trace != nullptr) {
+    for (const auto& [fragment_id, span_id] : trace->stage_spans) {
+      trace->recorder->EndSpan(span_id);
+    }
+  }
 
   // The exchange.* counters accumulate per-page; the high-water mark is
   // per-exchange state, surfaced as the max across the query's exchanges.
@@ -1143,6 +1317,53 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
         ->Add(memory->query->peak_bytes());
   }
 
+  if (collect_stats) {
+    std::vector<OperatorStats> ops;
+    (*root_op)->CollectStats(&ops);
+    collector->AddTask(root.id, (*root_op)->stats().plan_node_id, ops,
+                       root_watch.ElapsedNanos());
+    for (auto& [id, state] : states) {
+      if (state.exchange != nullptr) {
+        collector->SetStageExchange(id, state.exchange->num_partitions(),
+                                    state.exchange->bytes_pushed());
+      }
+    }
+    result.stats = collector->Finish();
+    // Blocked-time breakdown totals into the per-query registry, before the
+    // exec_metrics snapshot below so the slow-query event (which reuses that
+    // snapshot) carries them. Like total_wall_nanos, these sum operator
+    // Next()-frame time: a parent frame includes the children it pulled.
+    int64_t exchange_wait = 0;
+    int64_t spill_io = 0;
+    int64_t memory_wait = 0;
+    int64_t spill_write = 0;
+    int64_t spill_read = 0;
+    for (const auto& [node_id, op] : result.stats.operators) {
+      exchange_wait += op.exchange_wait_nanos;
+      spill_io += op.spill_io_nanos;
+      memory_wait += op.memory_wait_nanos;
+      spill_write += op.spill_write_bytes;
+      spill_read += op.spill_read_bytes;
+    }
+    if (exchange_wait > 0) {
+      query_metrics->FindOrRegister("trace.blocked.exchange_wait.nanos")
+          ->Add(exchange_wait);
+    }
+    if (spill_io > 0) {
+      query_metrics->FindOrRegister("trace.blocked.spill_io.nanos")
+          ->Add(spill_io);
+    }
+    if (memory_wait > 0) {
+      query_metrics->FindOrRegister("trace.blocked.memory_wait.nanos")
+          ->Add(memory_wait);
+    }
+    if (spill_write > 0) {
+      query_metrics->FindOrRegister("trace.spill.write_bytes")->Add(spill_write);
+    }
+    if (spill_read > 0) {
+      query_metrics->FindOrRegister("trace.spill.read_bytes")->Add(spill_read);
+    }
+  }
   result.exec_metrics = query_metrics->Snapshot();
   {
     int64_t spill_runs = 0;
@@ -1158,25 +1379,10 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
                        {"spill.byte.written", spill_bytes}});
     }
   }
-  if (collect_stats) {
-    std::vector<OperatorStats> ops;
-    (*root_op)->CollectStats(&ops);
-    collector->AddTask(root.id, (*root_op)->stats().plan_node_id, ops,
-                       root_watch.ElapsedNanos());
-    for (auto& [id, state] : states) {
-      if (state.exchange != nullptr) {
-        collector->SetStageExchange(id, state.exchange->num_partitions(),
-                                    state.exchange->bytes_pushed());
-      }
-    }
-  }
   // The root stage is finished once its fragment has drained — journaled
   // unconditionally so the lifecycle is complete even with query_stats=false.
   journal_.Record(query_id, QueryEventKind::kStageFinished,
                   "fragment " + std::to_string(root.id));
-  if (collect_stats) {
-    result.stats = collector->Finish();
-  }
 
   // Output metadata.
   if (root.root->kind() == PlanNodeKind::kOutput) {

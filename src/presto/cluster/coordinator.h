@@ -12,6 +12,7 @@
 
 #include "presto/cache/lru_cache.h"
 #include "presto/common/memory_pool.h"
+#include "presto/common/trace.h"
 #include "presto/connector/connector.h"
 #include "presto/cluster/query_journal.h"
 #include "presto/cluster/worker.h"
@@ -50,6 +51,14 @@ struct QueryResult {
   /// Per-operator/per-stage stats tree merged across tasks. Populated unless
   /// the session property query_stats=false disables collection.
   QueryStats stats;
+  /// Correlation id joining this result to its journal events and trace.
+  std::string trace_id;
+  /// Chrome trace-event JSON of the query's span tree (query -> stage ->
+  /// task -> chain -> operator plus waits). Populated only when the session
+  /// property query_trace=true; loadable in chrome://tracing / Perfetto.
+  std::string trace_json;
+  /// The raw recorded spans behind trace_json (same condition).
+  std::vector<TraceSpan> trace_spans;
 
   /// Boxes one result row (r indexes across all pages).
   std::vector<Value> Row(size_t r) const;
@@ -166,12 +175,25 @@ class Coordinator : public MemoryArbiter {
     std::string spill_dir;
   };
 
+  /// Per-query tracing wiring (session property query_trace=true): the
+  /// recorder every layer appends spans to, plus the ids of the spans the
+  /// coordinator itself owns. Null/absent when tracing is off.
+  struct TraceState {
+    std::shared_ptr<TraceRecorder> recorder;
+    int64_t query_span = 0;
+    /// Fragment id -> stage span, created before task dispatch and ended at
+    /// stage teardown. Read-only during execution (built up front).
+    std::map<int, int64_t> stage_spans;
+  };
+
   /// Admission control: blocks until reserved worker memory drops below the
   /// high-water mark (journaling query_queued / query_admitted), fails with
   /// kResourceExhausted when query_queue_max queries are already waiting,
-  /// and gives up at the query deadline.
+  /// and gives up at the query deadline. `queued_nanos_out` (optional)
+  /// receives the wall time spent waiting in the queue.
   Status AdmitQuery(int64_t query_id, int64_t query_queue_max,
-                    int64_t deadline_steady_nanos);
+                    int64_t deadline_steady_nanos,
+                    int64_t* queued_nanos_out = nullptr);
   Result<FragmentedPlan> PlanSql(const std::string& sql, const Session& session);
   Result<FragmentedPlan> PlanQuery(const sql::Query& query,
                                    const Session& session);
@@ -197,7 +219,8 @@ class Coordinator : public MemoryArbiter {
                                       bool force_stats,
                                       int64_t deadline_steady_nanos,
                                       MetricsRegistry* query_metrics,
-                                      const QueryMemoryContext* memory);
+                                      const QueryMemoryContext* memory,
+                                      TraceState* trace);
   /// Bumps failure counters and journals a kFailed event carrying a snapshot
   /// of whatever per-query counters accumulated before the error, then
   /// passes the status through.

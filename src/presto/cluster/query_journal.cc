@@ -41,8 +41,9 @@ const char* QueryEventKindToString(QueryEventKind kind) {
 
 std::string QueryEvent::ToString() const {
   std::ostringstream out;
-  out << "[" << timestamp_nanos << "] query " << query_id << " "
-      << QueryEventKindToString(kind);
+  out << "[" << timestamp_nanos << "] query " << query_id;
+  if (!trace_id.empty()) out << " trace=" << trace_id;
+  out << " " << QueryEventKindToString(kind);
   if (!detail.empty()) {
     out << ": " << detail;
   }
@@ -71,12 +72,28 @@ void QueryJournal::Record(int64_t query_id, QueryEventKind kind,
   event.timestamp_nanos = std::max(clock_->NowNanos(), last_timestamp_ + 1);
   last_timestamp_ = event.timestamp_nanos;
   event.sequence = next_sequence_++;
+  auto trace_it = trace_ids_.find(query_id);
+  if (trace_it != trace_ids_.end()) event.trace_id = trace_it->second;
   event.detail = std::move(detail);
   event.counters = std::move(counters);
   events_.push_back(std::move(event));
   while (events_.size() > capacity_) {
     events_.pop_front();
   }
+}
+
+void QueryJournal::SetTraceId(int64_t query_id, std::string trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ids_[query_id] = std::move(trace_id);
+  // Bounded: query ids are assigned monotonically, so pruning the smallest
+  // keys drops the oldest queries.
+  while (trace_ids_.size() > 1024) trace_ids_.erase(trace_ids_.begin());
+}
+
+std::string QueryJournal::TraceIdFor(int64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = trace_ids_.find(query_id);
+  return it == trace_ids_.end() ? "" : it->second;
 }
 
 std::vector<QueryEvent> QueryJournal::Events() const {

@@ -41,6 +41,10 @@ struct QueryEvent {
   QueryEventKind kind = QueryEventKind::kCreated;
   int64_t timestamp_nanos = 0;  // from the coordinator's Clock
   int64_t sequence = 0;         // global, strictly increasing
+  /// Stable correlation id of the query (hex), stamped on every event of the
+  /// query once the coordinator registers it via SetTraceId — joins the
+  /// journal with trace dumps and client-side logs.
+  std::string trace_id;
   std::string detail;
   std::map<std::string, int64_t> counters;
 
@@ -59,6 +63,14 @@ class QueryJournal {
   void Record(int64_t query_id, QueryEventKind kind, std::string detail = "",
               std::map<std::string, int64_t> counters = {});
 
+  /// Registers the query's trace id; every subsequent (and this query's
+  /// future) event carries it. The mapping is bounded — oldest registrations
+  /// are pruned past 1024 live queries.
+  void SetTraceId(int64_t query_id, std::string trace_id);
+
+  /// The registered trace id for a query ("" if unknown/pruned).
+  std::string TraceIdFor(int64_t query_id) const;
+
   /// Copy of the retained events, oldest first.
   std::vector<QueryEvent> Events() const;
 
@@ -76,6 +88,7 @@ class QueryJournal {
 
   mutable std::mutex mu_;
   std::deque<QueryEvent> events_;
+  std::map<int64_t, std::string> trace_ids_;  // query id -> trace id
   int64_t next_sequence_ = 0;
   int64_t last_timestamp_ = -1;
 };

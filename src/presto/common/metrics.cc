@@ -1,5 +1,7 @@
 #include "presto/common/metrics.h"
 
+#include <cstdio>
+
 namespace presto {
 
 MetricsRegistry::Counter* MetricsRegistry::FindOrRegister(
@@ -21,10 +23,23 @@ int64_t MetricsRegistry::Get(const std::string& name) const {
   return it == shard.index.end() ? 0 : it->second->Get();
 }
 
+MetricsRegistry::Histogram* MetricsRegistry::FindOrRegisterHistogram(
+    const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.hist_index.find(name);
+  if (it != shard.hist_index.end()) return it->second;
+  shard.hist_storage.emplace_back();
+  Histogram* histogram = &shard.hist_storage.back();
+  shard.hist_index.emplace(name, histogram);
+  return histogram;
+}
+
 void MetricsRegistry::Reset() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (Counter& counter : shard.storage) counter.Reset();
+    for (Histogram& histogram : shard.hist_storage) histogram.Reset();
   }
 }
 
@@ -37,6 +52,40 @@ std::map<std::string, int64_t> MetricsRegistry::Snapshot() const {
     }
   }
   return out;
+}
+
+std::map<std::string, MetricsRegistry::HistogramSnapshot>
+MetricsRegistry::SnapshotHistograms() const {
+  std::map<std::string, HistogramSnapshot> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, histogram] : shard.hist_index) {
+      HistogramSnapshot snap;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        snap.buckets[i] =
+            histogram->buckets_[i].load(std::memory_order_relaxed);
+      }
+      snap.count = histogram->Count();
+      snap.sum = histogram->Sum();
+      out[name] = snap;
+    }
+  }
+  return out;
+}
+
+int64_t MetricsRegistry::HistogramSnapshot::Percentile(double q) const {
+  if (count <= 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t seen = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::BucketUpperBound(i);
+  }
+  return Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
 }
 
 std::string MetricsRegistry::SanitizeName(const std::string& name) {
@@ -52,15 +101,55 @@ std::string MetricsRegistry::SanitizeName(const std::string& name) {
   return out;
 }
 
-std::string MetricsRegistry::RenderText(const std::string& prefix) const {
+std::string MetricsRegistry::RenderMerged(
+    const std::map<std::string, int64_t>& counters,
+    const std::map<std::string, HistogramSnapshot>& histograms) {
+  // Two-pointer walk over the sorted maps so the merged exposition is in
+  // strict metric-name order regardless of metric type — deterministic and
+  // test-diffable.
   std::string out;
-  // Snapshot gives deterministic (sorted) order.
-  for (const auto& [name, value] : Snapshot()) {
-    std::string metric = SanitizeName(prefix + name);
+  auto ci = counters.begin();
+  auto hi = histograms.begin();
+  auto render_counter = [&out](const std::string& metric, int64_t value) {
     out += "# TYPE " + metric + " counter\n";
     out += metric + " " + std::to_string(value) + "\n";
+  };
+  auto render_histogram = [&out](const std::string& metric,
+                                 const HistogramSnapshot& snap) {
+    out += "# TYPE " + metric + " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "{quantile=\"%g\"}", q);
+      out += metric + label + " " + std::to_string(snap.Percentile(q)) + "\n";
+    }
+    out += metric + "_sum " + std::to_string(snap.sum) + "\n";
+    out += metric + "_count " + std::to_string(snap.count) + "\n";
+  };
+  while (ci != counters.end() || hi != histograms.end()) {
+    if (hi == histograms.end() ||
+        (ci != counters.end() && ci->first <= hi->first)) {
+      render_counter(ci->first, ci->second);
+      ++ci;
+    } else {
+      render_histogram(hi->first, hi->second);
+      ++hi;
+    }
   }
   return out;
+}
+
+std::string MetricsRegistry::RenderText(const std::string& prefix) const {
+  // Snapshots give deterministic (sorted) order; re-key with the sanitized
+  // prefixed names (still sorted maps) and render merged.
+  std::map<std::string, int64_t> counters;
+  for (const auto& [name, value] : Snapshot()) {
+    counters[SanitizeName(prefix + name)] += value;
+  }
+  std::map<std::string, HistogramSnapshot> histograms;
+  for (const auto& [name, snap] : SnapshotHistograms()) {
+    histograms[SanitizeName(prefix + name)].Merge(snap);
+  }
+  return RenderMerged(counters, histograms);
 }
 
 void MetricsExposition::AddRegistry(const std::string& prefix,
@@ -75,18 +164,19 @@ void MetricsExposition::AddGauge(const std::string& name,
 
 std::string MetricsExposition::RenderText() const {
   // Merge all sources by sanitized name so identically named counters from
-  // different registries (e.g. one per worker) roll up into one sample.
+  // different registries (e.g. one per worker) roll up into one sample, and
+  // same-named histograms merge bucket-wise before quantiles are computed.
   std::map<std::string, int64_t> counters;
+  std::map<std::string, MetricsRegistry::HistogramSnapshot> histograms;
   for (const auto& [prefix, registry] : registries_) {
     for (const auto& [name, value] : registry->Snapshot()) {
       counters[MetricsRegistry::SanitizeName(prefix + name)] += value;
     }
+    for (const auto& [name, snap] : registry->SnapshotHistograms()) {
+      histograms[MetricsRegistry::SanitizeName(prefix + name)].Merge(snap);
+    }
   }
-  std::string out;
-  for (const auto& [metric, value] : counters) {
-    out += "# TYPE " + metric + " counter\n";
-    out += metric + " " + std::to_string(value) + "\n";
-  }
+  std::string out = MetricsRegistry::RenderMerged(counters, histograms);
   for (const auto& [name, fn] : gauges_) {
     std::string metric = MetricsRegistry::SanitizeName(name);
     out += "# TYPE " + metric + " gauge\n";

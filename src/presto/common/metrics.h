@@ -44,6 +44,78 @@ class MetricsRegistry {
     std::atomic<int64_t> value_{0};
   };
 
+  /// One log2-bucketed latency/size histogram. Bucket i holds samples whose
+  /// value needs i significant bits (0, 1, 2-3, 4-7, ... 2^62-...), so
+  /// Record() is a shift-free bit_width plus one relaxed atomic add — cheap
+  /// enough for per-query and per-operator latency recording. Percentile()
+  /// answers with the bucket's inclusive upper bound (2^i - 1), i.e. within
+  /// 2x of the true quantile, which is the resolution tail-latency SLOs need.
+  class alignas(64) Histogram {
+   public:
+    static constexpr int kNumBuckets = 64;
+
+    /// Bucket index for a value: 0 for v <= 0, otherwise bit_width(v).
+    static int BucketFor(int64_t value) {
+      if (value <= 0) return 0;
+      int width = 0;
+      uint64_t v = static_cast<uint64_t>(value);
+      while (v != 0) {
+        ++width;
+        v >>= 1;
+      }
+      return width < kNumBuckets ? width : kNumBuckets - 1;
+    }
+
+    /// Inclusive upper bound of bucket i.
+    static int64_t BucketUpperBound(int i) {
+      if (i <= 0) return 0;
+      if (i >= 63) return INT64_MAX;
+      return (int64_t{1} << i) - 1;
+    }
+
+    void Record(int64_t value) {
+      buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      sum_.fetch_add(value > 0 ? value : 0, std::memory_order_relaxed);
+    }
+
+    int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+    int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    void Reset() {
+      for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+      count_.store(0, std::memory_order_relaxed);
+      sum_.store(0, std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+    std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> sum_{0};
+  };
+
+  /// Point-in-time histogram state. Carries the raw buckets (not just
+  /// quantiles) so the exposition can merge same-named histograms across
+  /// registries before computing quantiles.
+  struct HistogramSnapshot {
+    std::array<int64_t, Histogram::kNumBuckets> buckets{};
+    int64_t count = 0;
+    int64_t sum = 0;
+
+    void Merge(const HistogramSnapshot& other) {
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        buckets[i] += other.buckets[i];
+      }
+      count += other.count;
+      sum += other.sum;
+    }
+
+    /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+    /// the ceil(q * count)-th sample. 0 for an empty histogram.
+    int64_t Percentile(double q) const;
+  };
+
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
@@ -60,16 +132,37 @@ class MetricsRegistry {
 
   int64_t Get(const std::string& name) const;
 
-  /// Zeroes every counter. Registrations (and cached Counter pointers)
-  /// remain valid.
+  /// Returns the histogram named `name`, creating it if needed. Same
+  /// stable-pointer contract as FindOrRegister. Histograms and counters live
+  /// in separate namespaces (the same name may exist as both, though the
+  /// catalog avoids it).
+  Histogram* FindOrRegisterHistogram(const std::string& name);
+
+  /// Cold-path convenience: one lookup + record.
+  void RecordHistogram(const std::string& name, int64_t value) {
+    FindOrRegisterHistogram(name)->Record(value);
+  }
+
+  /// Zeroes every counter and histogram. Registrations (and cached
+  /// Counter/Histogram pointers) remain valid.
   void Reset();
 
   std::map<std::string, int64_t> Snapshot() const;
+  std::map<std::string, HistogramSnapshot> SnapshotHistograms() const;
 
-  /// Renders every counter in Prometheus text exposition format, one
-  /// `# TYPE` line plus one sample per counter. `prefix` is prepended to
-  /// each metric name before sanitization (e.g. "hdfs." -> hdfs_fs_dir_list).
+  /// Renders every counter and histogram in Prometheus text exposition
+  /// format, merged in sorted metric-name order so output is deterministic
+  /// and test-diffable. Counters render as one `# TYPE` line plus one
+  /// sample; histograms render as summaries (quantile-labeled samples plus
+  /// _sum and _count). `prefix` is prepended to each metric name before
+  /// sanitization (e.g. "hdfs." -> hdfs_fs_dir_list).
   std::string RenderText(const std::string& prefix = "") const;
+
+  /// Renders one merged counter map + histogram map in sorted name order.
+  /// Shared by RenderText and MetricsExposition. Keys must be sanitized.
+  static std::string RenderMerged(
+      const std::map<std::string, int64_t>& counters,
+      const std::map<std::string, HistogramSnapshot>& histograms);
 
   /// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; every other
   /// character (the dots of subsystem.object.verb, dashes in cluster names)
@@ -81,6 +174,8 @@ class MetricsRegistry {
     mutable std::mutex mu;
     std::unordered_map<std::string, Counter*> index;
     std::deque<Counter> storage;  // deque: stable addresses on growth
+    std::unordered_map<std::string, Histogram*> hist_index;
+    std::deque<Histogram> hist_storage;
   };
 
   static constexpr size_t kNumShards = 16;

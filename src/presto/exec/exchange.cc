@@ -5,6 +5,7 @@
 
 #include "presto/common/clock.h"
 #include "presto/common/fault_injection.h"
+#include "presto/common/trace.h"
 #include "presto/exec/kernels/kernels.h"
 
 namespace presto {
@@ -88,6 +89,11 @@ void PartitionedExchange::PushWithBytes(int partition, Page page,
       if (producer_blocked_counter_ != nullptr) {
         producer_blocked_counter_->Add(1);
       }
+      // Backpressure: the producer is genuinely blocked from here on. Time
+      // it into the thread's blocked cell (attributed at task level — the
+      // push happens outside any operator's Next() frame) and record a span.
+      BlockedTimer blocked(BlockedKind::kExchangeWait);
+      TraceEventScope span(TraceKind::kExchangeWait, "exchange_produce_wait");
       auto have_room = [this, partition] {
         return buffered_bytes_ < capacity_bytes_ || DropLocked(partition);
       };
@@ -212,16 +218,23 @@ Result<std::optional<Page>> PartitionedExchange::Next(int partition) {
       return !part.pages.empty() || part.closed || producers_ <= 0 ||
              !status_.ok();
     };
-    if (deadline_steady_nanos_ > 0) {
-      if (!consumer_cv_.wait_until(lock, ToTimePoint(deadline_steady_nanos_),
-                                   have_page)) {
-        FailLocked(DeadlineStatus());
-        producer_cv_.notify_all();
-        consumer_cv_.notify_all();
-        return status_;
+    if (!have_page()) {
+      // Nothing buffered: this consumer blocks on upstream producers. The
+      // wait lands in the pulling operator's Next() frame (RemoteSource /
+      // morsel exchange source), so it attributes to that operator.
+      BlockedTimer blocked(BlockedKind::kExchangeWait);
+      TraceEventScope span(TraceKind::kExchangeWait, "exchange_consume_wait");
+      if (deadline_steady_nanos_ > 0) {
+        if (!consumer_cv_.wait_until(lock, ToTimePoint(deadline_steady_nanos_),
+                                     have_page)) {
+          FailLocked(DeadlineStatus());
+          producer_cv_.notify_all();
+          consumer_cv_.notify_all();
+          return status_;
+        }
+      } else {
+        consumer_cv_.wait(lock, have_page);
       }
-    } else {
-      consumer_cv_.wait(lock, have_page);
     }
     if (!status_.ok()) return status_;
     if (part.pages.empty()) return std::optional<Page>();  // end-of-stream

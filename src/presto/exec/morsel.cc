@@ -4,6 +4,8 @@
 #include <atomic>
 #include <condition_variable>
 
+#include "presto/common/trace.h"
+
 namespace presto {
 
 SplitMorselSource::SplitMorselSource(Connector* connector,
@@ -89,11 +91,48 @@ Status RunParallel(WorkStealingPool* pool, int parallelism,
     while (s->TryClaim(&slot)) s->FinishSlot((*s->body)(slot));
   };
 
+  // Blocked-time carry: helper threads accumulate their cells' deltas
+  // (spill I/O, memory waits, exchange waits incurred while running `body`)
+  // here, and the caller folds the total into its own cell after the join.
+  // That preserves the cumulative attribution rule across the fan-out — the
+  // operator whose Next() frame ran RunParallel absorbs the helpers' blocked
+  // time exactly as if it had run every slot itself. Only the Submit path is
+  // instrumented (the caller's own drain already writes its own cell), so
+  // nothing is counted twice.
+  struct Carry {
+    std::atomic<int64_t> nanos[kNumBlockedKinds] = {};
+    std::atomic<int64_t> spill_write_bytes{0};
+    std::atomic<int64_t> spill_read_bytes{0};
+  };
+  auto carry = std::make_shared<Carry>();
+
+  // Helper slots measure their cell delta around each body call and publish
+  // it to the carry *before* FinishSlot, so the caller's cv join below
+  // happens-after every contribution.
+  auto helper_drain = [carry](const std::shared_ptr<Shared>& s) {
+    int slot = 0;
+    while (s->TryClaim(&slot)) {
+      BlockedCounters before = ThreadBlockedCounters();
+      Status st = (*s->body)(slot);
+      BlockedCounters delta = ThreadBlockedCounters().Delta(before);
+      for (int k = 0; k < kNumBlockedKinds; ++k) {
+        carry->nanos[k].fetch_add(delta.nanos[k], std::memory_order_relaxed);
+      }
+      carry->spill_write_bytes.fetch_add(delta.spill_write_bytes,
+                                         std::memory_order_relaxed);
+      carry->spill_read_bytes.fetch_add(delta.spill_read_bytes,
+                                        std::memory_order_relaxed);
+      s->FinishSlot(std::move(st));
+    }
+  };
+
   int helpers = parallelism - 1;
   if (pool != nullptr) {
     helpers = std::min<int>(helpers, static_cast<int>(pool->num_threads()));
     for (int i = 0; i < helpers; ++i) {
-      if (!pool->Submit([shared, drain] { drain(shared); })) break;
+      if (!pool->Submit([shared, helper_drain] { helper_drain(shared); })) {
+        break;
+      }
     }
   }
   drain(shared);
@@ -102,6 +141,16 @@ Status RunParallel(WorkStealingPool* pool, int parallelism,
   shared->cv.wait(lock, [&] {
     return shared->running == 0 && shared->next >= shared->parallelism;
   });
+  lock.unlock();
+  BlockedCounters carried;
+  for (int k = 0; k < kNumBlockedKinds; ++k) {
+    carried.nanos[k] = carry->nanos[k].load(std::memory_order_relaxed);
+  }
+  carried.spill_write_bytes =
+      carry->spill_write_bytes.load(std::memory_order_relaxed);
+  carried.spill_read_bytes =
+      carry->spill_read_bytes.load(std::memory_order_relaxed);
+  ThreadBlockedCounters().Accumulate(carried);
   return shared->error;
 }
 

@@ -35,19 +35,67 @@ Result<std::optional<Page>> Operator::Next() {
     }
     return page;
   }
+  // Lazily open this instance's trace span at the first stats-collecting
+  // Next() under a live context: by then the enclosing (parent/task/chain)
+  // span is installed, so the tree nests naturally with the pull order.
+  if (trace_recorder_ == nullptr && trace_span_id_ == 0) {
+    TraceContext& ctx = ThreadTraceContext();
+    if (ctx.recorder != nullptr) {
+      trace_recorder_ = ctx.recorder;
+      trace_span_id_ = trace_recorder_->BeginSpan(
+          TraceKind::kOperator,
+          stats_.operator_type + "#" + std::to_string(stats_.plan_node_id),
+          ctx.span_id);
+    }
+  }
+  // Children pulled inside NextInternal parent their spans under this one.
+  TraceContextScope trace_scope(trace_recorder_, trace_span_id_);
   Stopwatch wall;
   int64_t cpu_start = CpuStopwatch::NowNanos();
+  BlockedCounters blocked_start = ThreadBlockedCounters();
   Result<std::optional<Page>> result = NextInternal();
   stats_.wall_nanos += wall.ElapsedNanos();
   stats_.cpu_nanos += CpuStopwatch::NowNanos() - cpu_start;
-  if (!result.ok()) return result;
+  BlockedCounters delta = ThreadBlockedCounters().Delta(blocked_start);
+  stats_.exchange_wait_nanos +=
+      delta.nanos[static_cast<int>(BlockedKind::kExchangeWait)];
+  stats_.spill_io_nanos += delta.nanos[static_cast<int>(BlockedKind::kSpillIo)];
+  stats_.memory_wait_nanos +=
+      delta.nanos[static_cast<int>(BlockedKind::kMemoryWait)];
+  stats_.queued_nanos += delta.nanos[static_cast<int>(BlockedKind::kQueued)];
+  stats_.spill_write_bytes += delta.spill_write_bytes;
+  stats_.spill_read_bytes += delta.spill_read_bytes;
+  if (!result.ok()) {
+    FinishTraceSpan();
+    return result;
+  }
   const std::optional<Page>& page = result.value();
   if (page.has_value()) {
     stats_.output_rows += static_cast<int64_t>(page->num_rows());
     stats_.output_pages += 1;
     stats_.output_bytes += page->EstimateBytes();
+  } else {
+    FinishTraceSpan();
   }
   return result;
+}
+
+void Operator::FinishTraceSpan() {
+  if (trace_recorder_ == nullptr) return;
+  TraceRecorder* recorder = trace_recorder_;
+  trace_recorder_ = nullptr;  // idempotent: exhaustion then destruction
+  recorder->EndSpanWithArgs(
+      trace_span_id_,
+      {{"plan_node_id", stats_.plan_node_id},
+       {"output_rows", stats_.output_rows},
+       {"wall_nanos", stats_.wall_nanos},
+       {"cpu_nanos", stats_.cpu_nanos},
+       {"exchange_wait_nanos", stats_.exchange_wait_nanos},
+       {"spill_io_nanos", stats_.spill_io_nanos},
+       {"memory_wait_nanos", stats_.memory_wait_nanos},
+       {"queued_nanos", stats_.queued_nanos},
+       {"spill_write_bytes", stats_.spill_write_bytes},
+       {"spill_read_bytes", stats_.spill_read_bytes}});
 }
 
 void Operator::CollectStats(std::vector<OperatorStats>* out) const {
@@ -161,6 +209,12 @@ class OperatorMemory {
   Status ReserveTotalWithArbiter(int64_t bytes, bool* at_query_cap) {
     Status st = ReserveTotal(bytes, at_query_cap);
     if (st.ok() || *at_query_cap || arbiter_ == nullptr) return st;
+    // Only reached once the reservation actually failed at the worker cap:
+    // everything below is arbiter-wait time, attributed to the operator that
+    // is growing (and to a memory_wait span when tracing).
+    BlockedTimer blocked(BlockedKind::kMemoryWait);
+    TraceEventScope span(TraceKind::kMemoryWait, "arbiter_wait");
+    span.SetArg("requested_bytes", bytes - bytes_);
     for (int attempt = 0; attempt < 500; ++attempt) {
       if (killed_ != nullptr && killed_->load(std::memory_order_relaxed)) {
         return Status::ResourceExhausted(
@@ -707,12 +761,27 @@ class HashAggregationOperator final : public Operator {
   }
 
   Status ConsumeAllChains() {
+    // Each chain runs under its own kChain span (parented to this
+    // operator's span) with the trace context installed on whichever thread
+    // executes it, so the chain's replicated operators self-register their
+    // spans in the right subtree.
+    auto consume_traced = [this](int i) {
+      int64_t chain_span = 0;
+      if (trace_recorder_ != nullptr) {
+        chain_span = trace_recorder_->BeginSpan(
+            TraceKind::kChain, "chain#" + std::to_string(i), trace_span_id_);
+      }
+      TraceContextScope scope(trace_recorder_, chain_span);
+      Status st = ConsumeChain(*locals_[i]);
+      if (trace_recorder_ != nullptr) trace_recorder_->EndSpan(chain_span);
+      return st;
+    };
     Status st;
     if (locals_.size() == 1) {
-      st = ConsumeChain(*locals_[0]);
+      st = consume_traced(0);
     } else {
       st = RunParallel(morsel_pool_, static_cast<int>(locals_.size()),
-                       [this](int i) { return ConsumeChain(*locals_[i]); });
+                       consume_traced);
     }
     // Fold per-chain counters into the shared stats record after the chains
     // join; consuming threads never touch stats_ directly.
@@ -1489,7 +1558,7 @@ class HashJoinOperator final : public Operator {
     std::mutex mu;
     int64_t build_rows = 0;   // guarded by mu when parallel
     int64_t build_bytes = 0;  // guarded by mu when parallel
-    auto consume = [&](int i) -> Status {
+    auto consume_chain = [&](int i) -> Status {
       Operator* chain = i == 0 ? build_.get() : extra_build_[i - 1].get();
       while (true) {
         ASSIGN_OR_RETURN(std::optional<Page> page, chain->Next());
@@ -1519,6 +1588,20 @@ class HashJoinOperator final : public Operator {
           RETURN_IF_ERROR(st);
         }
       }
+    };
+    // As in aggregation: each build chain runs under its own kChain span
+    // with the trace context installed on the executing thread.
+    auto consume = [&, this](int i) -> Status {
+      int64_t chain_span = 0;
+      if (trace_recorder_ != nullptr) {
+        chain_span = trace_recorder_->BeginSpan(
+            TraceKind::kChain, "build_chain#" + std::to_string(i),
+            trace_span_id_);
+      }
+      TraceContextScope trace_scope(trace_recorder_, chain_span);
+      Status st = consume_chain(i);
+      if (trace_recorder_ != nullptr) trace_recorder_->EndSpan(chain_span);
+      return st;
     };
     if (num_chains == 1) {
       RETURN_IF_ERROR(consume(0));

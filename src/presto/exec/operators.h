@@ -10,6 +10,7 @@
 
 #include "presto/common/memory_pool.h"
 #include "presto/common/metrics.h"
+#include "presto/common/trace.h"
 #include "presto/connector/connector.h"
 #include "presto/exec/exchange.h"
 #include "presto/exec/query_stats.h"
@@ -36,7 +37,11 @@ class MorselSource;
 /// children's outputs.
 class Operator {
  public:
-  virtual ~Operator() = default;
+  virtual ~Operator() {
+    // An operator abandoned mid-stream (limit reached, error unwound the
+    // task) still closes its trace span with whatever it accumulated.
+    FinishTraceSpan();
+  }
 
   /// Pulls the next page (or nullopt when exhausted), recording stats.
   Result<std::optional<Page>> Next();
@@ -103,6 +108,18 @@ class Operator {
   bool collect_stats_ = true;
   int64_t deadline_steady_nanos_ = 0;
   std::shared_ptr<const std::atomic<bool>> kill_flag_;
+
+  /// This operator instance's trace span, lazily opened at the first Next()
+  /// under a live TraceContext (the pull model guarantees the parent's span
+  /// exists by then). Subclasses that fan work out to other threads
+  /// (aggregation chains, join builds) use these to parent their sub-spans.
+  TraceRecorder* trace_recorder_ = nullptr;
+  int64_t trace_span_id_ = 0;
+
+  /// Closes the operator span (idempotent), stamping the final stats as span
+  /// args — the trace and OperatorStats reconcile exactly because both are
+  /// the same integers.
+  void FinishTraceSpan();
 
  private:
   std::vector<const Operator*> children_;

@@ -18,6 +18,12 @@ void OperatorStats::Merge(const OperatorStats& other) {
   output_pages += other.output_pages;
   wall_nanos += other.wall_nanos;
   cpu_nanos += other.cpu_nanos;
+  exchange_wait_nanos += other.exchange_wait_nanos;
+  spill_io_nanos += other.spill_io_nanos;
+  memory_wait_nanos += other.memory_wait_nanos;
+  queued_nanos += other.queued_nanos;
+  spill_write_bytes += other.spill_write_bytes;
+  spill_read_bytes += other.spill_read_bytes;
   peak_buffered_rows = std::max(peak_buffered_rows, other.peak_buffered_rows);
   kernel_pages += other.kernel_pages;
   fallback_pages += other.fallback_pages;
@@ -33,6 +39,12 @@ std::string OperatorStats::ToString() const {
                 static_cast<long long>(output_rows), output_bytes / 1024.0,
                 wall_nanos / 1e6, cpu_nanos / 1e6);
   std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                ", blocked: exch %.2f / spill-io %.2f / mem %.2f / "
+                "queued %.2f ms",
+                exchange_wait_nanos / 1e6, spill_io_nanos / 1e6,
+                memory_wait_nanos / 1e6, queued_nanos / 1e6);
+  out += buf;
   out += ", input: " + std::to_string(input_rows) + " rows";
   if (peak_buffered_rows > 0) {
     out += ", peak buffered: " + std::to_string(peak_buffered_rows) + " rows";
@@ -41,10 +53,12 @@ std::string OperatorStats::ToString() const {
     out += ", pages: " + std::to_string(kernel_pages) + " kernel / " +
            std::to_string(fallback_pages) + " fallback";
   }
-  if (spilled_runs > 0) {
-    char spill_buf[64];
-    std::snprintf(spill_buf, sizeof(spill_buf), ", spilled: %.1f KB (%lld runs)",
-                  spilled_bytes / 1024.0, static_cast<long long>(spilled_runs));
+  if (spilled_runs > 0 || spill_write_bytes > 0 || spill_read_bytes > 0) {
+    char spill_buf[128];
+    std::snprintf(spill_buf, sizeof(spill_buf),
+                  ", spilled: %.1f KB (%lld runs, wrote %.1f KB, read %.1f KB)",
+                  spilled_bytes / 1024.0, static_cast<long long>(spilled_runs),
+                  spill_write_bytes / 1024.0, spill_read_bytes / 1024.0);
     out += spill_buf;
   }
   if (num_instances > 1) {
@@ -129,6 +143,12 @@ void RenderNode(const PlanNode& node, const QueryStats& stats, int indent,
 std::string RenderPlanWithStats(const FragmentedPlan& plan,
                                 const QueryStats& stats) {
   std::string out;
+  if (stats.queued_nanos > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "Queued: %.2f ms\n",
+                  stats.queued_nanos / 1e6);
+    out += buf;
+  }
   for (const PlanFragment& fragment : plan.fragments) {
     out += "Fragment " + std::to_string(fragment.id) +
            (fragment.leaf ? " (leaf)"

@@ -35,6 +35,22 @@ struct OperatorStats {
   int64_t wall_nanos = 0;
   int64_t cpu_nanos = 0;
 
+  /// Blocked-time breakdown of wall_nanos, attributed through the thread's
+  /// BlockedCounters cell (see trace.h). Cumulative like wall/cpu: a parent
+  /// includes children pulled on the same thread and work carried back from
+  /// morsel-chain pool threads. queued_nanos is always 0 at operator level
+  /// (admission queueing happens before operators exist); it exists so the
+  /// breakdown vector is uniform across span kinds.
+  int64_t exchange_wait_nanos = 0;
+  int64_t spill_io_nanos = 0;
+  int64_t memory_wait_nanos = 0;
+  int64_t queued_nanos = 0;
+
+  /// Spill I/O volume through this operator's Next() frames: bytes written
+  /// as runs and bytes read back during merge.
+  int64_t spill_write_bytes = 0;
+  int64_t spill_read_bytes = 0;
+
   /// High-water mark of rows this operator held buffered (hash table groups,
   /// join build rows, sort buffer).
   int64_t peak_buffered_rows = 0;
@@ -84,6 +100,10 @@ struct QueryStats {
   int64_t total_tasks = 0;
   int64_t total_wall_nanos = 0;  // summed task wall time (not elapsed time)
   int64_t total_cpu_nanos = 0;
+
+  /// Wall time the query spent in the coordinator's admission queue before
+  /// any task ran (0 when admitted immediately).
+  int64_t queued_nanos = 0;
 
   /// Total rows/bytes the root fragment's root operator produced — must
   /// reconcile with QueryResult::total_rows.

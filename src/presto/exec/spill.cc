@@ -4,6 +4,7 @@
 
 #include "presto/common/bytes.h"
 #include "presto/common/fault_injection.h"
+#include "presto/common/trace.h"
 #include "presto/expr/serialization.h"
 #include "presto/vector/vector_builder.h"
 
@@ -123,6 +124,11 @@ SpillFile::SpillFile(FileSystem* fs, std::string path, MetricsRegistry* metrics)
 }
 
 Status SpillFile::WriteRun(const std::vector<Page>& pages) {
+  // The entire run write (serialization + appends) counts as spill I/O in
+  // the writing thread's blocked cell; the bytes feed per-operator
+  // spill_write_bytes through the Next() wrapper's cell snapshot.
+  BlockedTimer blocked(BlockedKind::kSpillIo);
+  TraceEventScope span(TraceKind::kSpillWrite, "spill_write_run");
   RETURN_IF_ERROR(FaultInjector::Global().Hit("spill.write"));
   ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
                    fs_->OpenForWrite(path_));
@@ -165,10 +171,14 @@ Status SpillFile::WriteRun(const std::vector<Page>& pages) {
   if (bytes_written_counter_ != nullptr) {
     bytes_written_counter_->Add(bytes_written_);
   }
+  AddThreadSpillWriteBytes(bytes_written_);
+  span.SetArg("bytes", bytes_written_);
   return Status::OK();
 }
 
 Result<std::unique_ptr<SpillFile::Reader>> SpillFile::OpenReader() const {
+  BlockedTimer blocked(BlockedKind::kSpillIo);
+  TraceEventScope span(TraceKind::kSpillRead, "spill_open_run");
   RETURN_IF_ERROR(FaultInjector::Global().Hit("spill.read"));
   ASSIGN_OR_RETURN(std::shared_ptr<RandomAccessFile> file,
                    fs_->OpenForRead(path_));
@@ -199,6 +209,10 @@ Result<std::unique_ptr<SpillFile::Reader>> SpillFile::OpenReader() const {
 }
 
 Result<std::optional<Page>> SpillFile::Reader::Next() {
+  // Per-block read+decode: cheap enough not to span individually, but every
+  // nanosecond counts as spill I/O (the merge loop lives inside an
+  // operator's Next() frame, so the cell delta attributes there).
+  BlockedTimer blocked(BlockedKind::kSpillIo);
   RETURN_IF_ERROR(FaultInjector::Global().Hit("spill.read"));
   uint8_t len_bytes[4];
   ASSIGN_OR_RETURN(size_t n, file_->Read(offset_, 4, len_bytes));
@@ -215,6 +229,7 @@ Result<std::optional<Page>> SpillFile::Reader::Next() {
   if (bytes_read_counter_ != nullptr) {
     bytes_read_counter_->Add(static_cast<int64_t>(block_len) + 4);
   }
+  AddThreadSpillReadBytes(static_cast<int64_t>(block_len) + 4);
 
   ByteReader reader(block);
   ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadVarint());

@@ -68,6 +68,17 @@ struct Session {
   ///                            this many bytes so the pool tree is touched
   ///                            once per quantum, not once per page; 0
   ///                            reserves exact sizes (default 1 MiB)
+  ///   query_trace            = "false" (default) | "true": record the
+  ///                            query's span tree (query -> stage -> task ->
+  ///                            chain -> operator, plus admission/exchange/
+  ///                            spill/memory waits) and return it on the
+  ///                            QueryResult as Chrome trace-event JSON
+  ///                            (trace_json, loadable in chrome://tracing);
+  ///                            implies stats collection
+  ///   slow_query_millis      = wall-time threshold above which a slow_query
+  ///                            journal event is recorded carrying the full
+  ///                            per-query counter snapshot, including the
+  ///                            trace.blocked.* breakdown (default: off)
   std::string Property(const std::string& name,
                        const std::string& default_value) const {
     auto it = properties.find(name);

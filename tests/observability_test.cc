@@ -332,9 +332,16 @@ TEST(ObservabilityTest, ClusterMetricsRenderAsPrometheusText) {
             std::string::npos);
   EXPECT_NE(text.find("cluster_workers_active 2"), std::string::npos);
   EXPECT_NE(text.find("coordinator_journal_events"), std::string::npos);
+  // Latency histograms export as summaries with quantile labels.
+  EXPECT_NE(text.find("# TYPE query_latency_micros summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("query_latency_micros{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("query_latency_micros_count 1"), std::string::npos);
 
-  // Valid Prometheus text: every non-comment line is "<name> <int>", names
-  // restricted to [a-zA-Z0-9_:].
+  // Valid Prometheus text: every non-comment line is "<name>[{labels}] <int>",
+  // names restricted to [a-zA-Z0-9_:].
   size_t start = 0;
   while (start < text.size()) {
     size_t end = text.find('\n', start);
@@ -344,7 +351,16 @@ TEST(ObservabilityTest, ClusterMetricsRenderAsPrometheusText) {
     if (line.empty() || line[0] == '#') continue;
     size_t space = line.find(' ');
     ASSERT_NE(space, std::string::npos) << line;
-    for (char c : line.substr(0, space)) {
+    std::string name = line.substr(0, space);
+    // Optional label block ({quantile="0.95"}) must be balanced and
+    // terminal; the name-charset rule applies to what precedes it.
+    size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+      ASSERT_FALSE(name.empty()) << line;
+    }
+    for (char c : name) {
       EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
                   c == ':')
           << line;
