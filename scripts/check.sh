@@ -44,6 +44,16 @@ MEMORY_SCALE_ROWS="${PRESTO_SPILL_SCALE_ROWS:-2000000}"
 # tables merged at finalize, claim-slot protocol, batched reservations).
 MORSEL_FILTER='WorkStealingPoolTest.*:RunParallelTest.*:MorselDifferentialTest.*'
 
+# Lazy-scan stage: the v2 page reader (page skipping, dictionary-code
+# predicates, late materialization), the legacy-vs-lazy differential sweep,
+# the page-read chaos iteration, and the scan-stats plumbing through morsel
+# chains into EXPLAIN ANALYZE — the handoffs where a stale selection vector
+# or a racing stats fold would hide.
+LAZY_SCAN_FILTER='LakeFilePagesTest.*:LakeFileTest.LazyReadsDecodeOnlyMatchingRows'
+LAZY_SCAN_FILTER="$LAZY_SCAN_FILTER:DifferentialTest.*"
+LAZY_SCAN_FILTER="$LAZY_SCAN_FILTER:ChaosQueryTest.LazyScanPageReadFaultsNeverCorruptResults"
+LAZY_SCAN_FILTER="$LAZY_SCAN_FILTER:ObservabilityTest.ExplainAnalyzeShowsLazyScanStatsAndEnforcedPushdown"
+
 # Tracing stage: a traced spilling query recorded from many threads at once
 # (span shards, blocked-time carry across the morsel pool, lazy operator-span
 # opening) plus the Chrome trace JSON round-trip validation — the spots where
@@ -71,6 +81,9 @@ if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan tracing =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$TRACE_FILTER")
+  echo "== tsan lazy scan =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$LAZY_SCAN_FILTER")
 fi
 
 if [[ "$MODE" != "--tsan-only" ]]; then
@@ -94,6 +107,9 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   echo "== asan tracing =="
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$TRACE_FILTER")
+  echo "== asan lazy scan =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$LAZY_SCAN_FILTER")
 fi
 
 echo "OK: requested suites passed"

@@ -40,6 +40,8 @@ const char* TraceKindName(TraceKind kind) {
       return "spill_read";
     case TraceKind::kMemoryWait:
       return "memory_wait";
+    case TraceKind::kScanDecode:
+      return "scan_decode";
   }
   return "unknown";
 }

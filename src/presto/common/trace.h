@@ -35,11 +35,12 @@ enum class BlockedKind : int {
   kSpillIo = 1,       // spill run write/read/merge I/O
   kMemoryWait = 2,    // waiting on the memory arbiter for a reservation
   kQueued = 3,        // admission-queue wait (query level only)
+  kScanIo = 4,        // scan-side file reads (lakefile page/dictionary/footer)
 };
-inline constexpr int kNumBlockedKinds = 4;
+inline constexpr int kNumBlockedKinds = 5;
 
 struct BlockedCounters {
-  int64_t nanos[kNumBlockedKinds] = {0, 0, 0, 0};
+  int64_t nanos[kNumBlockedKinds] = {};
   int64_t spill_write_bytes = 0;
   int64_t spill_read_bytes = 0;
 
@@ -104,6 +105,7 @@ enum class TraceKind : int {
   kSpillWrite = 8,
   kSpillRead = 9,
   kMemoryWait = 10,   // one arbiter wait loop
+  kScanDecode = 11,   // one scan NextBatch: page reads + decode of one batch
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -25,6 +25,47 @@ class ConnectorSplit {
 
 using SplitPtr = std::shared_ptr<ConnectorSplit>;
 
+/// Work counters of one scan source, in file-format-neutral terms. File
+/// connectors map their reader stats here; the scan operator folds them into
+/// OperatorStats (EXPLAIN ANALYZE) and lakefile.* metrics counters.
+struct ScanSourceStats {
+  int64_t row_groups_total = 0;
+  int64_t row_groups_skipped = 0;    // via chunk stats or dictionary probe
+  int64_t pages_total = 0;           // data pages of all chunks examined
+  int64_t pages_read = 0;            // pages actually read and decompressed
+  int64_t pages_skipped_stats = 0;   // skipped via per-page min/max / nulls
+  int64_t pages_skipped_lazy = 0;    // skipped because no selected row needs them
+  int64_t rows_pruned_late = 0;      // rows excluded from late materialization
+  int64_t dict_code_filter_hits = 0; // predicate rows answered on dict codes
+  int64_t bytes_read = 0;
+
+  void Accumulate(const ScanSourceStats& d) {
+    row_groups_total += d.row_groups_total;
+    row_groups_skipped += d.row_groups_skipped;
+    pages_total += d.pages_total;
+    pages_read += d.pages_read;
+    pages_skipped_stats += d.pages_skipped_stats;
+    pages_skipped_lazy += d.pages_skipped_lazy;
+    rows_pruned_late += d.rows_pruned_late;
+    dict_code_filter_hits += d.dict_code_filter_hits;
+    bytes_read += d.bytes_read;
+  }
+
+  ScanSourceStats Delta(const ScanSourceStats& since) const {
+    ScanSourceStats d;
+    d.row_groups_total = row_groups_total - since.row_groups_total;
+    d.row_groups_skipped = row_groups_skipped - since.row_groups_skipped;
+    d.pages_total = pages_total - since.pages_total;
+    d.pages_read = pages_read - since.pages_read;
+    d.pages_skipped_stats = pages_skipped_stats - since.pages_skipped_stats;
+    d.pages_skipped_lazy = pages_skipped_lazy - since.pages_skipped_lazy;
+    d.rows_pruned_late = rows_pruned_late - since.rows_pruned_late;
+    d.dict_code_filter_hits = dict_code_filter_hits - since.dict_code_filter_hits;
+    d.bytes_read = bytes_read - since.bytes_read;
+    return d;
+  }
+};
+
 /// Streams pages of one split into the engine — the role of
 /// ConnectorRecordSetProvider/ConnectorPageSource: "upon getting data streams
 /// from underlying systems, how Presto parses and transforms them".
@@ -34,6 +75,10 @@ class ConnectorPageSource {
 
   /// Next page of data, or nullopt when the split is exhausted.
   virtual Result<std::optional<Page>> NextPage() = 0;
+
+  /// Cumulative scan-side work counters of this source so far. Sources that
+  /// do not track them return zeros.
+  virtual ScanSourceStats scan_stats() const { return {}; }
 };
 
 /// A connector: metadata + split manager + page-source factory, the trio the

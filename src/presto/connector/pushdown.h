@@ -16,6 +16,10 @@ namespace presto {
 /// dotted nested leaf path) OP literal(s). The planner converts pushable
 /// RowExpression conjuncts into this form; anything that does not normalize
 /// stays in the engine as a residual filter.
+///
+/// This is the one predicate struct shared across layers: the lakefile
+/// reader aliases it as lakefile::LeafPredicate, so a conjunct accepted by a
+/// connector flows into the file reader without translation.
 struct SimplePredicate {
   enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
   std::string column;  // may be a dotted nested path, e.g. "base.city_id"
@@ -59,6 +63,12 @@ struct AcceptedPushdown {
   std::vector<size_t> predicate_indices;
   bool limit_pushed = false;
   bool aggregations_pushed = false;
+  /// True when the connector guarantees every absorbed predicate is
+  /// *enforced* — emitted rows are exactly the matching rows, not a
+  /// best-effort pruned superset. Only then may the planner drop the
+  /// absorbed conjuncts from the engine-side residual filter; otherwise the
+  /// pushed predicates act as pruning hints and the filter re-checks them.
+  bool predicates_enforced = false;
   /// ROW type of pages the source will produce (projection applied; when
   /// aggregations_pushed: group keys followed by partial aggregate columns).
   TypePtr output_schema;

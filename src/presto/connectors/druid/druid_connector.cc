@@ -225,6 +225,8 @@ Result<AcceptedPushdown> DruidConnector::NegotiatePushdown(
     accepted.limit_pushed = true;
     accepted.request.limit = desired.limit;
   }
+  // Druid filters are exact (native filter clauses), not pruning hints.
+  accepted.predicates_enforced = true;
   return accepted;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "presto/common/fault_injection.h"
+#include "presto/common/trace.h"
 #include "presto/vector/vector_builder.h"
 
 namespace presto {
@@ -35,26 +36,6 @@ bool IsScalarLeafPath(const TypePtr& row_type, const std::string& dotted) {
     node = node->child(*idx).get();
   }
   return node->IsScalar();
-}
-
-lakefile::LeafPredicate::Op ToLeafOp(SimplePredicate::Op op) {
-  switch (op) {
-    case SimplePredicate::Op::kEq:
-      return lakefile::LeafPredicate::Op::kEq;
-    case SimplePredicate::Op::kNe:
-      return lakefile::LeafPredicate::Op::kNe;
-    case SimplePredicate::Op::kLt:
-      return lakefile::LeafPredicate::Op::kLt;
-    case SimplePredicate::Op::kLe:
-      return lakefile::LeafPredicate::Op::kLe;
-    case SimplePredicate::Op::kGt:
-      return lakefile::LeafPredicate::Op::kGt;
-    case SimplePredicate::Op::kGe:
-      return lakefile::LeafPredicate::Op::kGe;
-    case SimplePredicate::Op::kIn:
-      return lakefile::LeafPredicate::Op::kIn;
-  }
-  return lakefile::LeafPredicate::Op::kEq;
 }
 
 // Partition-value predicate evaluation (string compare semantics).
@@ -149,8 +130,10 @@ class HivePageSource final : public ConnectorPageSource {
     while (true) {
       std::optional<Page> raw;
       if (legacy_reader_ != nullptr) {
+        TraceEventScope span(TraceKind::kScanDecode, "scan-decode");
         ASSIGN_OR_RETURN(raw, legacy_reader_->NextBatch(file_columns_));
       } else if (native_reader_ != nullptr) {
+        TraceEventScope span(TraceKind::kScanDecode, "scan-decode");
         ASSIGN_OR_RETURN(raw, native_reader_->NextBatch(scan_spec_));
       } else {
         raw = std::nullopt;  // file contributes nothing (predicate on missing leaf)
@@ -177,6 +160,28 @@ class HivePageSource final : public ConnectorPageSource {
       rows_emitted_ += static_cast<int64_t>(out.num_rows());
       return std::optional<Page>(std::move(out));
     }
+  }
+
+  ScanSourceStats scan_stats() const override {
+    const lakefile::ReaderStats* rs = nullptr;
+    if (native_reader_ != nullptr) {
+      rs = &native_reader_->stats();
+    } else if (legacy_reader_ != nullptr) {
+      rs = &legacy_reader_->stats();
+    }
+    if (rs == nullptr) return {};
+    ScanSourceStats s;
+    s.row_groups_total = rs->row_groups_total;
+    s.row_groups_skipped =
+        rs->row_groups_skipped_stats + rs->row_groups_skipped_dictionary;
+    s.pages_total = rs->pages_total;
+    s.pages_read = rs->pages_read;
+    s.pages_skipped_stats = rs->pages_skipped_stats;
+    s.pages_skipped_lazy = rs->pages_skipped_lazy;
+    s.rows_pruned_late = rs->rows_pruned_late;
+    s.dict_code_filter_hits = rs->dict_code_filter_hits;
+    s.bytes_read = rs->bytes_read;
+    return s;
   }
 
  private:
@@ -230,11 +235,9 @@ class HivePageSource final : public ConnectorPageSource {
       if (file_leaf_paths.count(pred.column) == 0) {
         return Status::OK();  // reader stays null: zero rows from this file
       }
-      lakefile::LeafPredicate leaf_pred;
-      leaf_pred.leaf_path = pred.column;
-      leaf_pred.op = ToLeafOp(pred.op);
-      leaf_pred.operands = pred.values;
-      scan_spec_.predicates.push_back(std::move(leaf_pred));
+      // lakefile::LeafPredicate IS SimplePredicate: accepted conjuncts flow
+      // into the file reader without translation.
+      scan_spec_.predicates.push_back(pred);
     }
     scan_spec_.columns = file_columns_;
     for (const std::string& leaf : pushdown_.request.required_leaves) {
@@ -494,6 +497,11 @@ Result<AcceptedPushdown> HiveConnector::NegotiatePushdown(
       accepted.limit_pushed = true;
       accepted.request.limit = desired.limit;
     }
+    // The native reader evaluates every absorbed conjunct row-by-row (page
+    // stats and dictionary codes only prune; survivors are still tested), so
+    // emitted rows are exactly the matching rows and the engine may drop the
+    // absorbed conjuncts from its residual filter.
+    accepted.predicates_enforced = true;
   }
 
   // Output schema keeps the FULL table column types: nested column pruning

@@ -91,6 +91,9 @@ Result<AcceptedPushdown> MySqlConnector::NegotiatePushdown(
     accepted.limit_pushed = true;
     accepted.request.limit = desired.limit;
   }
+  // The server applies WHERE exactly, so absorbed conjuncts need no engine
+  // re-check.
+  accepted.predicates_enforced = true;
   std::vector<std::string> names;
   std::vector<TypePtr> types;
   for (const std::string& column : desired.columns) {

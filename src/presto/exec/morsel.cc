@@ -30,6 +30,7 @@ Result<std::optional<Page>> SplitMorselSource::NextMorsel() {
     }
     ASSIGN_OR_RETURN(std::optional<Page> page, source_->NextPage());
     if (!page.has_value()) {
+      finished_sources_.Accumulate(source_->scan_stats());
       source_.reset();
       continue;
     }
@@ -49,6 +50,15 @@ Result<std::optional<Page>> SplitMorselSource::NextMorsel() {
       chunks_.push_back(page->WrapRows(rows));
     }
   }
+}
+
+ScanSourceStats SplitMorselSource::TakeScanStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScanSourceStats total = finished_sources_;
+  if (source_ != nullptr) total.Accumulate(source_->scan_stats());
+  ScanSourceStats delta = total.Delta(handed_out_);
+  handed_out_ = total;
+  return delta;
 }
 
 Status RunParallel(WorkStealingPool* pool, int parallelism,

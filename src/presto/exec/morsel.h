@@ -28,6 +28,11 @@ class MorselSource {
   /// Next morsel, or nullopt when the source is exhausted. Thread-safe;
   /// morsels are handed out exactly once.
   virtual Result<std::optional<Page>> NextMorsel() = 0;
+
+  /// Scan-side work counters accrued since the last call, handed out exactly
+  /// once across all chains (so per-chain folds sum to the true totals).
+  /// Non-scan sources return zeros.
+  virtual ScanSourceStats TakeScanStats() { return {}; }
 };
 
 /// Morsels from a leaf scan: the task's split batch is opened split by split
@@ -42,6 +47,8 @@ class SplitMorselSource final : public MorselSource {
 
   Result<std::optional<Page>> NextMorsel() override;
 
+  ScanSourceStats TakeScanStats() override;
+
  private:
   Connector* connector_;
   AcceptedPushdown pushdown_;
@@ -53,6 +60,8 @@ class SplitMorselSource final : public MorselSource {
   std::unique_ptr<ConnectorPageSource> source_;
   std::vector<Page> chunks_;  // slices of an oversized page
   size_t next_chunk_ = 0;
+  ScanSourceStats finished_sources_;  // stats of closed page sources
+  ScanSourceStats handed_out_;        // totals already returned by Take
 };
 
 /// Morsels from one partition of an upstream exchange. PartitionedExchange's
@@ -83,7 +92,23 @@ class MorselScanOperator final : public Operator {
 
  protected:
   Result<std::optional<Page>> NextInternal() override {
-    return source_->NextMorsel();
+    ASSIGN_OR_RETURN(std::optional<Page> page, source_->NextMorsel());
+    if (!page.has_value()) {
+      // Fold whatever scan work is still unclaimed into this chain's stats;
+      // TakeScanStats hands out each increment exactly once, so the chains'
+      // merged records sum to the true scan totals.
+      ScanSourceStats d = source_->TakeScanStats();
+      stats_.scan_row_groups_total += d.row_groups_total;
+      stats_.scan_row_groups_skipped += d.row_groups_skipped;
+      stats_.scan_pages_total += d.pages_total;
+      stats_.scan_pages_read += d.pages_read;
+      stats_.scan_pages_skipped_stats += d.pages_skipped_stats;
+      stats_.scan_pages_skipped_lazy += d.pages_skipped_lazy;
+      stats_.scan_rows_pruned_late += d.rows_pruned_late;
+      stats_.scan_dict_code_hits += d.dict_code_filter_hits;
+      stats_.scan_bytes_read += d.bytes_read;
+    }
+    return page;
   }
 
  private:

@@ -63,6 +63,7 @@ Result<std::optional<Page>> Operator::Next() {
   stats_.memory_wait_nanos +=
       delta.nanos[static_cast<int>(BlockedKind::kMemoryWait)];
   stats_.queued_nanos += delta.nanos[static_cast<int>(BlockedKind::kQueued)];
+  stats_.scan_io_nanos += delta.nanos[static_cast<int>(BlockedKind::kScanIo)];
   stats_.spill_write_bytes += delta.spill_write_bytes;
   stats_.spill_read_bytes += delta.spill_read_bytes;
   if (!result.ok()) {
@@ -94,8 +95,13 @@ void Operator::FinishTraceSpan() {
        {"spill_io_nanos", stats_.spill_io_nanos},
        {"memory_wait_nanos", stats_.memory_wait_nanos},
        {"queued_nanos", stats_.queued_nanos},
+       {"scan_io_nanos", stats_.scan_io_nanos},
        {"spill_write_bytes", stats_.spill_write_bytes},
-       {"spill_read_bytes", stats_.spill_read_bytes}});
+       {"spill_read_bytes", stats_.spill_read_bytes},
+       {"scan_pages_read", stats_.scan_pages_read},
+       {"scan_pages_skipped",
+        stats_.scan_pages_skipped_stats + stats_.scan_pages_skipped_lazy},
+       {"scan_rows_pruned_late", stats_.scan_rows_pruned_late}});
 }
 
 void Operator::CollectStats(std::vector<OperatorStats>* out) const {
@@ -413,10 +419,23 @@ bool RowsEqual(const Page& a, const std::vector<int>& a_channels, size_t a_row,
 class TableScanOperator final : public Operator {
  public:
   TableScanOperator(Connector* connector, AcceptedPushdown pushdown,
-                    std::vector<SplitPtr> splits)
+                    std::vector<SplitPtr> splits, MetricsRegistry* metrics)
       : connector_(connector),
         pushdown_(std::move(pushdown)),
-        splits_(std::move(splits)) {}
+        splits_(std::move(splits)) {
+    if (metrics != nullptr) {
+      pages_read_counter_ = metrics->FindOrRegister("lakefile.pages.read");
+      pages_skipped_stats_counter_ =
+          metrics->FindOrRegister("lakefile.pages.skipped_stats");
+      pages_skipped_lazy_counter_ =
+          metrics->FindOrRegister("lakefile.pages.skipped_lazy");
+      rows_pruned_counter_ =
+          metrics->FindOrRegister("lakefile.rows.pruned_late");
+      dict_code_hits_counter_ =
+          metrics->FindOrRegister("lakefile.dict_code.filter_hits");
+      bytes_read_counter_ = metrics->FindOrRegister("lakefile.bytes.read");
+    }
+  }
 
  protected:
   Result<std::optional<Page>> NextInternal() override {
@@ -425,8 +444,10 @@ class TableScanOperator final : public Operator {
         if (next_split_ >= splits_.size()) return std::optional<Page>();
         ASSIGN_OR_RETURN(source_, connector_->CreatePageSource(
                                       splits_[next_split_++], pushdown_));
+        source_seen_ = ScanSourceStats();
       }
       ASSIGN_OR_RETURN(std::optional<Page> page, source_->NextPage());
+      HarvestScanStats();
       if (!page.has_value()) {
         source_.reset();
         continue;
@@ -437,11 +458,43 @@ class TableScanOperator final : public Operator {
   }
 
  private:
+  /// Folds the source's counters-since-last-harvest into OperatorStats and
+  /// the lakefile.* metrics. Incremental (per NextPage) so EXPLAIN ANALYZE
+  /// and metrics stay live even for long splits, and exact at exhaustion.
+  void HarvestScanStats() {
+    if (source_ == nullptr) return;
+    ScanSourceStats now = source_->scan_stats();
+    ScanSourceStats d = now.Delta(source_seen_);
+    source_seen_ = now;
+    stats_.scan_row_groups_total += d.row_groups_total;
+    stats_.scan_row_groups_skipped += d.row_groups_skipped;
+    stats_.scan_pages_total += d.pages_total;
+    stats_.scan_pages_read += d.pages_read;
+    stats_.scan_pages_skipped_stats += d.pages_skipped_stats;
+    stats_.scan_pages_skipped_lazy += d.pages_skipped_lazy;
+    stats_.scan_rows_pruned_late += d.rows_pruned_late;
+    stats_.scan_dict_code_hits += d.dict_code_filter_hits;
+    stats_.scan_bytes_read += d.bytes_read;
+    Bump(pages_read_counter_, d.pages_read);
+    Bump(pages_skipped_stats_counter_, d.pages_skipped_stats);
+    Bump(pages_skipped_lazy_counter_, d.pages_skipped_lazy);
+    Bump(rows_pruned_counter_, d.rows_pruned_late);
+    Bump(dict_code_hits_counter_, d.dict_code_filter_hits);
+    Bump(bytes_read_counter_, d.bytes_read);
+  }
+
   Connector* connector_;
   AcceptedPushdown pushdown_;
   std::vector<SplitPtr> splits_;
   size_t next_split_ = 0;
   std::unique_ptr<ConnectorPageSource> source_;
+  ScanSourceStats source_seen_;  // last harvested snapshot of source_
+  MetricsRegistry::Counter* pages_read_counter_ = nullptr;
+  MetricsRegistry::Counter* pages_skipped_stats_counter_ = nullptr;
+  MetricsRegistry::Counter* pages_skipped_lazy_counter_ = nullptr;
+  MetricsRegistry::Counter* rows_pruned_counter_ = nullptr;
+  MetricsRegistry::Counter* dict_code_hits_counter_ = nullptr;
+  MetricsRegistry::Counter* bytes_read_counter_ = nullptr;
 };
 
 class ValuesOperator final : public Operator {
@@ -2398,7 +2451,7 @@ Result<OperatorPtr> OperatorBuilder::BuildNode(const PlanNodePtr& node) {
       ASSIGN_OR_RETURN(Connector * connector,
                        catalogs_->GetConnector(scan->catalog()));
       return OperatorPtr(new TableScanOperator(connector, *scan->accepted(),
-                                               *splits_));
+                                               *splits_, limits_.metrics));
     }
     case PlanNodeKind::kValues: {
       const auto* values = static_cast<const ValuesNode*>(node.get());

@@ -22,6 +22,7 @@ void OperatorStats::Merge(const OperatorStats& other) {
   spill_io_nanos += other.spill_io_nanos;
   memory_wait_nanos += other.memory_wait_nanos;
   queued_nanos += other.queued_nanos;
+  scan_io_nanos += other.scan_io_nanos;
   spill_write_bytes += other.spill_write_bytes;
   spill_read_bytes += other.spill_read_bytes;
   peak_buffered_rows = std::max(peak_buffered_rows, other.peak_buffered_rows);
@@ -29,6 +30,15 @@ void OperatorStats::Merge(const OperatorStats& other) {
   fallback_pages += other.fallback_pages;
   spilled_bytes += other.spilled_bytes;
   spilled_runs += other.spilled_runs;
+  scan_row_groups_total += other.scan_row_groups_total;
+  scan_row_groups_skipped += other.scan_row_groups_skipped;
+  scan_pages_total += other.scan_pages_total;
+  scan_pages_read += other.scan_pages_read;
+  scan_pages_skipped_stats += other.scan_pages_skipped_stats;
+  scan_pages_skipped_lazy += other.scan_pages_skipped_lazy;
+  scan_rows_pruned_late += other.scan_rows_pruned_late;
+  scan_dict_code_hits += other.scan_dict_code_hits;
+  scan_bytes_read += other.scan_bytes_read;
   num_instances += other.num_instances > 0 ? other.num_instances : 1;
 }
 
@@ -41,11 +51,30 @@ std::string OperatorStats::ToString() const {
   std::string out = buf;
   std::snprintf(buf, sizeof(buf),
                 ", blocked: exch %.2f / spill-io %.2f / mem %.2f / "
-                "queued %.2f ms",
+                "queued %.2f / scan-io %.2f ms",
                 exchange_wait_nanos / 1e6, spill_io_nanos / 1e6,
-                memory_wait_nanos / 1e6, queued_nanos / 1e6);
+                memory_wait_nanos / 1e6, queued_nanos / 1e6,
+                scan_io_nanos / 1e6);
   out += buf;
   out += ", input: " + std::to_string(input_rows) + " rows";
+  if (scan_pages_total > 0 || scan_row_groups_total > 0) {
+    char scan_buf[256];
+    std::snprintf(
+        scan_buf, sizeof(scan_buf),
+        ", scan: row_groups %lld (skipped %lld), pages %lld read / "
+        "%lld pages_skipped (stats %lld, lazy %lld), rows_pruned %lld, "
+        "dict_code_hits %lld, read %.1f KB",
+        static_cast<long long>(scan_row_groups_total),
+        static_cast<long long>(scan_row_groups_skipped),
+        static_cast<long long>(scan_pages_read),
+        static_cast<long long>(scan_pages_skipped_stats +
+                               scan_pages_skipped_lazy),
+        static_cast<long long>(scan_pages_skipped_stats),
+        static_cast<long long>(scan_pages_skipped_lazy),
+        static_cast<long long>(scan_rows_pruned_late),
+        static_cast<long long>(scan_dict_code_hits), scan_bytes_read / 1024.0);
+    out += scan_buf;
+  }
   if (peak_buffered_rows > 0) {
     out += ", peak buffered: " + std::to_string(peak_buffered_rows) + " rows";
   }

@@ -45,6 +45,7 @@ struct OperatorStats {
   int64_t spill_io_nanos = 0;
   int64_t memory_wait_nanos = 0;
   int64_t queued_nanos = 0;
+  int64_t scan_io_nanos = 0;
 
   /// Spill I/O volume through this operator's Next() frames: bytes written
   /// as runs and bytes read back during merge.
@@ -65,6 +66,18 @@ struct OperatorStats {
   /// how many runs were written.
   int64_t spilled_bytes = 0;
   int64_t spilled_runs = 0;
+
+  /// Lazy-scan work counters (TableScan only; zero elsewhere), harvested
+  /// from the connector page sources feeding the scan.
+  int64_t scan_row_groups_total = 0;
+  int64_t scan_row_groups_skipped = 0;
+  int64_t scan_pages_total = 0;
+  int64_t scan_pages_read = 0;
+  int64_t scan_pages_skipped_stats = 0;
+  int64_t scan_pages_skipped_lazy = 0;
+  int64_t scan_rows_pruned_late = 0;
+  int64_t scan_dict_code_hits = 0;
+  int64_t scan_bytes_read = 0;
 
   /// Number of operator instances merged into this record (tasks running the
   /// same plan node).

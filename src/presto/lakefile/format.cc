@@ -9,7 +9,8 @@ namespace lakefile {
 
 namespace {
 
-void SerializeColumnChunk(const ColumnChunkMeta& chunk, ByteBuffer* out) {
+void SerializeColumnChunk(const ColumnChunkMeta& chunk, uint32_t version,
+                          ByteBuffer* out) {
   out->PutString(chunk.leaf_path);
   out->PutVarint(chunk.offset);
   out->PutVarint(chunk.total_bytes);
@@ -25,9 +26,25 @@ void SerializeColumnChunk(const ColumnChunkMeta& chunk, ByteBuffer* out) {
     SerializeValue(chunk.min, out);
     SerializeValue(chunk.max, out);
   }
+  if (version < 2) return;
+  out->PutVarint(chunk.pages.size());
+  for (const DataPageMeta& page : chunk.pages) {
+    out->PutVarint(page.offset);
+    out->PutVarint(page.total_bytes);
+    out->PutVarint(page.num_entries);
+    out->PutVarint(page.num_rows);
+    out->PutVarint(page.first_row);
+    out->PutVarint(static_cast<uint64_t>(page.null_count));
+    out->PutU8(page.has_stats ? 1 : 0);
+    if (page.has_stats) {
+      SerializeValue(page.min, out);
+      SerializeValue(page.max, out);
+    }
+  }
 }
 
-Result<ColumnChunkMeta> DeserializeColumnChunk(ByteReader* reader) {
+Result<ColumnChunkMeta> DeserializeColumnChunk(ByteReader* reader,
+                                               uint32_t version) {
   ColumnChunkMeta chunk;
   ASSIGN_OR_RETURN(chunk.leaf_path, reader->ReadString());
   ASSIGN_OR_RETURN(chunk.offset, reader->ReadVarint());
@@ -48,6 +65,25 @@ Result<ColumnChunkMeta> DeserializeColumnChunk(ByteReader* reader) {
     ASSIGN_OR_RETURN(chunk.min, DeserializeValue(reader));
     ASSIGN_OR_RETURN(chunk.max, DeserializeValue(reader));
   }
+  if (version < 2) return chunk;
+  ASSIGN_OR_RETURN(uint64_t num_pages, reader->ReadVarint());
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    DataPageMeta page;
+    ASSIGN_OR_RETURN(page.offset, reader->ReadVarint());
+    ASSIGN_OR_RETURN(page.total_bytes, reader->ReadVarint());
+    ASSIGN_OR_RETURN(page.num_entries, reader->ReadVarint());
+    ASSIGN_OR_RETURN(page.num_rows, reader->ReadVarint());
+    ASSIGN_OR_RETURN(page.first_row, reader->ReadVarint());
+    ASSIGN_OR_RETURN(uint64_t page_nulls, reader->ReadVarint());
+    page.null_count = static_cast<int64_t>(page_nulls);
+    ASSIGN_OR_RETURN(uint8_t page_stats, reader->ReadU8());
+    page.has_stats = page_stats != 0;
+    if (page.has_stats) {
+      ASSIGN_OR_RETURN(page.min, DeserializeValue(reader));
+      ASSIGN_OR_RETURN(page.max, DeserializeValue(reader));
+    }
+    chunk.pages.push_back(std::move(page));
+  }
   return chunk;
 }
 
@@ -63,7 +99,7 @@ void SerializeFooter(const FileFooter& footer, ByteBuffer* out) {
     out->PutVarint(group.num_rows);
     out->PutVarint(group.columns.size());
     for (const ColumnChunkMeta& chunk : group.columns) {
-      SerializeColumnChunk(chunk, out);
+      SerializeColumnChunk(chunk, footer.version, out);
     }
   }
 }
@@ -72,7 +108,7 @@ Result<FileFooter> DeserializeFooter(const uint8_t* data, size_t size) {
   ByteReader reader(data, size);
   FileFooter footer;
   ASSIGN_OR_RETURN(footer.version, reader.ReadU32());
-  if (footer.version != kFormatVersion) {
+  if (footer.version < kMinFormatVersion || footer.version > kFormatVersion) {
     return Status::Corruption("unsupported lakefile version " +
                               std::to_string(footer.version));
   }
@@ -87,7 +123,8 @@ Result<FileFooter> DeserializeFooter(const uint8_t* data, size_t size) {
     ASSIGN_OR_RETURN(group.num_rows, reader.ReadVarint());
     ASSIGN_OR_RETURN(uint64_t num_cols, reader.ReadVarint());
     for (uint64_t c = 0; c < num_cols; ++c) {
-      ASSIGN_OR_RETURN(ColumnChunkMeta chunk, DeserializeColumnChunk(&reader));
+      ASSIGN_OR_RETURN(ColumnChunkMeta chunk,
+                       DeserializeColumnChunk(&reader, footer.version));
       group.columns.push_back(std::move(chunk));
     }
     footer.row_groups.push_back(std::move(group));

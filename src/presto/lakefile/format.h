@@ -16,7 +16,7 @@ namespace lakefile {
 /// substitutions). Layout:
 ///
 ///   [magic "LAKE1"]
-///   row group 0: [dict page?][data page] per leaf column, column by column
+///   row group 0: [dict page?][data page]+ per leaf column, column by column
 ///   row group 1: ...
 ///   [footer bytes]
 ///   [footer length u32]["LAKE1"]
@@ -24,14 +24,36 @@ namespace lakefile {
 /// Data is "first horizontally partitioned into groups of rows, then within
 /// each group vertically partitioned into columns" (paper Fig. 3); the
 /// footer stores codecs, encodings, and column-level min/max statistics.
+///
+/// Format v2 splits each column chunk into multiple data pages (~8k rows
+/// each) and records per-page offsets, null counts, and min/max stats in the
+/// footer, so a selective reader can range-read exactly the pages whose
+/// stats may match. v1 files (one data page per chunk, no page list) remain
+/// readable: the reader synthesizes a single-page list from the chunk meta.
 inline constexpr char kMagic[] = "LAKE1";
 inline constexpr size_t kMagicLen = 5;
-inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kMinFormatVersion = 1;
 
 /// Physical encodings of value data within a page.
 enum class PageEncoding : uint8_t {
   kPlain = 0,
   kDictionary = 1,
+};
+
+/// Per-data-page metadata (format v2). Offsets are relative to the chunk
+/// start so a page can be range-read without touching its neighbors; stats
+/// cover only the page's values, enabling page-granular skipping.
+struct DataPageMeta {
+  uint64_t offset = 0;       // byte offset relative to ColumnChunkMeta::offset
+  uint64_t total_bytes = 0;  // header + compressed body
+  uint64_t num_entries = 0;  // rep/def entries in this page
+  uint64_t num_rows = 0;     // rows whose entries start in this page
+  uint64_t first_row = 0;    // row index within the row group
+  int64_t null_count = 0;
+  bool has_stats = false;
+  Value min;                 // valid when has_stats
+  Value max;
 };
 
 /// Per-column-chunk metadata stored in the footer.
@@ -49,6 +71,7 @@ struct ColumnChunkMeta {
   bool has_stats = false;
   Value min;                  // valid when has_stats
   Value max;
+  std::vector<DataPageMeta> pages;  // v2 page list; empty for v1 chunks
 };
 
 /// Per-row-group metadata.

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "presto/common/fault_injection.h"
+#include "presto/common/trace.h"
 #include "presto/vector/vector_builder.h"
 
 namespace presto {
@@ -57,18 +59,29 @@ Status DecodeLevels(ByteReader* reader, size_t count, bool vectorized,
                     : DecodeLevelsScalar(reader, count, out);
 }
 
-// Raw (already decompressed) pages of one column chunk.
-struct ChunkPages {
+// Decoded dictionary page of one column chunk (pages share it).
+struct Dictionary {
+  bool present = false;
+  std::vector<int64_t> ints;
+  std::vector<std::string> strings;
+
+  size_t cardinality() const {
+    return std::max(ints.size(), strings.size());
+  }
+};
+
+// One raw data page: header plus decompressed body (rep | def | values).
+struct RawPage {
   PageHeader header;
-  std::vector<uint8_t> body;  // rep | def | values
-  bool has_dictionary = false;
-  std::vector<int64_t> dict_ints;
-  std::vector<std::string> dict_strings;
+  std::vector<uint8_t> body;
 };
 
 Result<std::vector<uint8_t>> ReadRegion(RandomAccessFile* file, uint64_t offset,
                                         size_t n, ReaderStats* stats) {
   std::vector<uint8_t> bytes(n);
+  // Scan I/O is blocked time: attribute it like exchange/spill waits so
+  // EXPLAIN ANALYZE and traces show where a scan-bound query sits.
+  BlockedTimer timer(BlockedKind::kScanIo);
   size_t done = 0;
   while (done < n) {
     ASSIGN_OR_RETURN(size_t got,
@@ -97,88 +110,160 @@ Result<std::pair<PageHeader, std::vector<uint8_t>>> ParsePage(
   return std::make_pair(header, std::move(body));
 }
 
-Status DecodeDictionaryPage(const Leaf& leaf, const PageHeader& header,
-                            const std::vector<uint8_t>& body, ChunkPages* pages) {
-  pages->has_dictionary = true;
-  ByteReader values(body.data(), body.size());
-  if (leaf.type->kind() == TypeKind::kVarchar) {
-    pages->dict_strings.reserve(header.num_entries);
-    for (uint32_t i = 0; i < header.num_entries; ++i) {
-      ASSIGN_OR_RETURN(std::string s, values.ReadString());
-      pages->dict_strings.push_back(std::move(s));
-    }
-  } else {
-    pages->dict_ints.resize(header.num_entries);
-    RETURN_IF_ERROR(values.ReadRaw(pages->dict_ints.data(),
-                                   header.num_entries * sizeof(int64_t)));
-  }
-  return Status::OK();
-}
-
-// Reads and decompresses all pages of a chunk with a single range read.
-Result<ChunkPages> ReadChunk(RandomAccessFile* file, const Leaf& leaf,
-                             const ColumnChunkMeta& meta,
-                             CompressionKind compression, ReaderStats* stats) {
-  ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                   ReadRegion(file, meta.offset, meta.total_bytes, stats));
-  ByteReader reader(raw.data(), raw.size());
-  ChunkPages pages;
-  if (meta.encoding == PageEncoding::kDictionary) {
-    ASSIGN_OR_RETURN(auto dict, ParsePage(&reader, compression));
-    RETURN_IF_ERROR(DecodeDictionaryPage(leaf, dict.first, dict.second, &pages));
-  }
-  ASSIGN_OR_RETURN(auto data, ParsePage(&reader, compression));
-  pages.header = data.first;
-  pages.body = std::move(data.second);
-  return pages;
-}
-
-// Reads only the dictionary page of a chunk (dictionary pushdown probe).
-Result<ChunkPages> ReadDictionaryOnly(RandomAccessFile* file, const Leaf& leaf,
-                                      const ColumnChunkMeta& meta,
-                                      CompressionKind compression,
-                                      ReaderStats* stats) {
+// Reads the dictionary page of a chunk when present (dictionary pushdown
+// probe, code-bitmap filtering, and value materialization all share it).
+Result<Dictionary> MaybeReadDictionary(RandomAccessFile* file, const Leaf& leaf,
+                                       const ColumnChunkMeta& meta,
+                                       CompressionKind compression,
+                                       ReaderStats* stats) {
+  Dictionary dict;
+  if (meta.encoding != PageEncoding::kDictionary) return dict;
   ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
                    ReadRegion(file, meta.dictionary_offset,
                               meta.dictionary_bytes, stats));
   ByteReader reader(raw.data(), raw.size());
-  ChunkPages pages;
-  ASSIGN_OR_RETURN(auto dict, ParsePage(&reader, compression));
-  RETURN_IF_ERROR(DecodeDictionaryPage(leaf, dict.first, dict.second, &pages));
-  return pages;
+  ASSIGN_OR_RETURN(auto page, ParsePage(&reader, compression));
+  dict.present = true;
+  ByteReader values(page.second.data(), page.second.size());
+  if (leaf.type->kind() == TypeKind::kVarchar) {
+    dict.strings.reserve(page.first.num_entries);
+    for (uint32_t i = 0; i < page.first.num_entries; ++i) {
+      ASSIGN_OR_RETURN(std::string s, values.ReadString());
+      dict.strings.push_back(std::move(s));
+    }
+  } else {
+    dict.ints.resize(page.first.num_entries);
+    RETURN_IF_ERROR(values.ReadRaw(dict.ints.data(),
+                                   page.first.num_entries * sizeof(int64_t)));
+  }
+  return dict;
 }
 
-// Decodes one leaf chunk into a DecodedLeaf. When `selected_entries` is
-// non-null (sorted entry indices), only those entries' values are
-// materialized (lazy reads); skipped string values are never copied.
-Result<DecodedLeaf> DecodeLeafChunk(const Leaf& leaf, const ChunkPages& pages,
-                                    bool vectorized,
-                                    const std::vector<int32_t>* selected_entries,
-                                    ReaderStats* stats) {
-  DecodedLeaf out;
-  out.leaf = leaf;
-  const PageHeader& header = pages.header;
-  size_t count = header.num_entries;
+// ===========================================================================
+// Stage 1 — PageReader: iterates one chunk's data pages, range-reading and
+// decompressing only the pages the caller asks for. v1 chunks (no footer
+// page list) synthesize a single page covering the whole chunk, so the
+// page-granular pipeline handles both format versions uniformly.
+// ===========================================================================
 
-  ByteReader rep_reader(pages.body.data(), header.rep_bytes);
-  ByteReader def_reader(pages.body.data() + header.rep_bytes, header.def_bytes);
-  ByteReader value_reader(pages.body.data() + header.rep_bytes + header.def_bytes,
-                          header.value_bytes);
-
-  std::vector<uint8_t> all_rep, all_def;
-  if (leaf.max_rep > 0) {
-    RETURN_IF_ERROR(DecodeLevels(&rep_reader, count, vectorized, &all_rep));
+class PageReader {
+ public:
+  PageReader(RandomAccessFile* file, const ColumnChunkMeta& meta,
+             uint64_t group_rows, CompressionKind compression,
+             ReaderStats* stats)
+      : file_(file), meta_(meta), compression_(compression), stats_(stats) {
+    if (!meta.pages.empty()) {
+      pages_ = meta.pages;
+    } else {
+      DataPageMeta page;
+      page.offset = meta.dictionary_bytes;  // data follows the dict page
+      page.total_bytes = meta.total_bytes - meta.dictionary_bytes;
+      page.num_entries = meta.num_entries;
+      page.num_rows = group_rows;
+      page.first_row = 0;
+      page.null_count = meta.null_count;
+      page.has_stats = meta.has_stats;
+      page.min = meta.min;
+      page.max = meta.max;
+      pages_.push_back(std::move(page));
+    }
   }
-  RETURN_IF_ERROR(DecodeLevels(&def_reader, count, vectorized, &all_def));
+
+  size_t num_pages() const { return pages_.size(); }
+  const DataPageMeta& page_meta(size_t i) const { return pages_[i]; }
+
+  /// Reads and decompresses page `i`. Fault point `lakefile.page.read`
+  /// mirrors connector.split.read: an armed injector turns page reads into
+  /// classified I/O errors so chaos tests can prove a failed page never
+  /// produces wrong results.
+  Result<RawPage> Read(size_t i) {
+    RETURN_IF_ERROR(FaultInjector::Global().Hit("lakefile.page.read"));
+    const DataPageMeta& pm = pages_[i];
+    ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                     ReadRegion(file_, meta_.offset + pm.offset, pm.total_bytes,
+                                stats_));
+    ByteReader reader(raw.data(), raw.size());
+    ASSIGN_OR_RETURN(auto parsed, ParsePage(&reader, compression_));
+    if (parsed.first.num_entries != pm.num_entries) {
+      return Status::Corruption("page entry count mismatch in " +
+                                meta_.leaf_path);
+    }
+    ++stats_->pages_read;
+    return RawPage{parsed.first, std::move(parsed.second)};
+  }
+
+ private:
+  RandomAccessFile* file_;
+  const ColumnChunkMeta& meta_;
+  CompressionKind compression_;
+  ReaderStats* stats_;
+  std::vector<DataPageMeta> pages_;
+};
+
+// ===========================================================================
+// Stage 2 — LevelDecoder: rep/def levels of one page.
+// ===========================================================================
+
+struct PageLevels {
+  std::vector<uint8_t> rep;  // empty for unrepeated leaves
+  std::vector<uint8_t> def;
+};
+
+Result<PageLevels> DecodePageLevels(const Leaf& leaf, const RawPage& page,
+                                    bool vectorized) {
+  PageLevels levels;
+  const PageHeader& header = page.header;
+  ByteReader rep_reader(page.body.data(), header.rep_bytes);
+  ByteReader def_reader(page.body.data() + header.rep_bytes, header.def_bytes);
+  if (leaf.max_rep > 0) {
+    RETURN_IF_ERROR(
+        DecodeLevels(&rep_reader, header.num_entries, vectorized, &levels.rep));
+  }
+  RETURN_IF_ERROR(
+      DecodeLevels(&def_reader, header.num_entries, vectorized, &levels.def));
+  return levels;
+}
+
+// ===========================================================================
+// Stage 3 — TypedDecoder: value decode of one page, appended into a
+// DecodedLeaf. `selected_entries` (page-relative, sorted) materializes only
+// those entries (late materialization); skipped values are never copied.
+// ===========================================================================
+
+// Decodes a dictionary-coded page's varint codes (one per valued entry)
+// without materializing any value — predicate evaluation on codes.
+Result<std::vector<uint32_t>> DecodePageCodes(const RawPage& page,
+                                              const PageLevels& levels,
+                                              const Leaf& leaf) {
+  const PageHeader& header = page.header;
+  ByteReader value_reader(
+      page.body.data() + header.rep_bytes + header.def_bytes,
+      header.value_bytes);
+  std::vector<uint32_t> codes;
+  for (size_t e = 0; e < levels.def.size(); ++e) {
+    if (levels.def[e] != leaf.max_def) continue;
+    ASSIGN_OR_RETURN(uint64_t code, value_reader.ReadVarint());
+    codes.push_back(static_cast<uint32_t>(code));
+  }
+  return codes;
+}
+
+Status DecodePageValues(const Leaf& leaf, const Dictionary& dict,
+                        const RawPage& page, const PageLevels& levels,
+                        bool vectorized,
+                        const std::vector<int32_t>* selected_entries,
+                        DecodedLeaf* out, ReaderStats* stats) {
+  const PageHeader& header = page.header;
+  const size_t count = header.num_entries;
+  ByteReader value_reader(
+      page.body.data() + header.rep_bytes + header.def_bytes,
+      header.value_bytes);
 
   // Value presence per entry.
-  auto has_value = [&](size_t e) { return all_def[e] == leaf.max_def; };
+  auto has_value = [&](size_t e) { return levels.def[e] == leaf.max_def; };
 
-  // Entry subset view.
+  // Entry subset view (page-relative indices).
   const bool subset = selected_entries != nullptr;
-  size_t out_entries = subset ? selected_entries->size() : count;
-  out.def.reserve(out_entries);
-  if (leaf.max_rep > 0) out.rep.reserve(out_entries);
 
   auto for_each_entry = [&](auto&& on_entry) -> Status {
     size_t sel_cursor = 0;
@@ -195,42 +280,42 @@ Result<DecodedLeaf> DecodeLeafChunk(const Leaf& leaf, const ChunkPages& pages,
   };
 
   auto append_levels = [&](size_t e) {
-    out.def.push_back(all_def[e]);
-    if (leaf.max_rep > 0) out.rep.push_back(all_rep[e]);
+    out->def.push_back(levels.def[e]);
+    if (leaf.max_rep > 0) out->rep.push_back(levels.rep[e]);
   };
 
   // -- Dictionary-encoded values ------------------------------------------
-  if (pages.has_dictionary) {
+  if (dict.present) {
     RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
       uint64_t index = 0;
       if (has_value(e)) {
         ASSIGN_OR_RETURN(index, value_reader.ReadVarint());
-        ++stats->values_decoded;
       }
       if (!selected) return Status::OK();
       append_levels(e);
       if (has_value(e)) {
         if (leaf.type->kind() == TypeKind::kVarchar) {
-          if (index >= pages.dict_strings.size()) {
+          if (index >= dict.strings.size()) {
             return Status::Corruption("dictionary index out of range");
           }
-          out.strings.push_back(pages.dict_strings[index]);
+          out->strings.push_back(dict.strings[index]);
         } else {
-          if (index >= pages.dict_ints.size()) {
+          if (index >= dict.ints.size()) {
             return Status::Corruption("dictionary index out of range");
           }
-          out.ints.push_back(pages.dict_ints[index]);
+          out->ints.push_back(dict.ints[index]);
         }
+        ++stats->values_decoded;
       }
       return Status::OK();
     }));
-    return out;
+    return Status::OK();
   }
 
   // -- PLAIN values ----------------------------------------------------------
   switch (leaf.type->kind()) {
     case TypeKind::kVarchar: {
-      RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
+      return for_each_entry([&](size_t e, bool selected) -> Status {
         if (!has_value(e)) {
           if (selected) append_levels(e);
           return Status::OK();
@@ -240,17 +325,16 @@ Result<DecodedLeaf> DecodeLeafChunk(const Leaf& leaf, const ChunkPages& pages,
           append_levels(e);
           std::string s(len, '\0');
           RETURN_IF_ERROR(value_reader.ReadRaw(s.data(), len));
-          out.strings.push_back(std::move(s));
+          out->strings.push_back(std::move(s));
           ++stats->values_decoded;
         } else {
           RETURN_IF_ERROR(value_reader.Skip(len));  // lazy: never copied
         }
         return Status::OK();
-      }));
-      return out;
+      });
     }
     case TypeKind::kBoolean: {
-      RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
+      return for_each_entry([&](size_t e, bool selected) -> Status {
         if (!has_value(e)) {
           if (selected) append_levels(e);
           return Status::OK();
@@ -258,12 +342,11 @@ Result<DecodedLeaf> DecodeLeafChunk(const Leaf& leaf, const ChunkPages& pages,
         ASSIGN_OR_RETURN(uint8_t b, value_reader.ReadU8());
         if (selected) {
           append_levels(e);
-          out.bools.push_back(b);
+          out->bools.push_back(b);
           ++stats->values_decoded;
         }
         return Status::OK();
-      }));
-      return out;
+      });
     }
     case TypeKind::kDouble:
     default: {
@@ -272,23 +355,25 @@ Result<DecodedLeaf> DecodeLeafChunk(const Leaf& leaf, const ChunkPages& pages,
       size_t total_values = header.value_bytes / width;
       if (!subset && vectorized && count == total_values) {
         // Fast path: dense column, bulk copy straight out of the page.
-        out.def = std::move(all_def);
-        out.rep = std::move(all_rep);
+        out->def.insert(out->def.end(), levels.def.begin(), levels.def.end());
+        out->rep.insert(out->rep.end(), levels.rep.begin(), levels.rep.end());
         if (is_double) {
-          out.doubles.resize(total_values);
-          RETURN_IF_ERROR(value_reader.ReadRaw(out.doubles.data(),
+          size_t base = out->doubles.size();
+          out->doubles.resize(base + total_values);
+          RETURN_IF_ERROR(value_reader.ReadRaw(out->doubles.data() + base,
                                                total_values * width));
         } else {
-          out.ints.resize(total_values);
-          RETURN_IF_ERROR(value_reader.ReadRaw(out.ints.data(),
+          size_t base = out->ints.size();
+          out->ints.resize(base + total_values);
+          RETURN_IF_ERROR(value_reader.ReadRaw(out->ints.data() + base,
                                                total_values * width));
         }
         stats->values_decoded += static_cast<int64_t>(total_values);
-        return out;
+        return Status::OK();
       }
       // General path: fixed-width values allow O(1) skips.
       size_t value_index = 0;
-      RETURN_IF_ERROR(for_each_entry([&](size_t e, bool selected) -> Status {
+      return for_each_entry([&](size_t e, bool selected) -> Status {
         if (!has_value(e)) {
           if (selected) append_levels(e);
           return Status::OK();
@@ -299,15 +384,14 @@ Result<DecodedLeaf> DecodeLeafChunk(const Leaf& leaf, const ChunkPages& pages,
         RETURN_IF_ERROR(value_reader.Seek(my_index * width));
         if (is_double) {
           ASSIGN_OR_RETURN(double v, value_reader.ReadDouble());
-          out.doubles.push_back(v);
+          out->doubles.push_back(v);
         } else {
           ASSIGN_OR_RETURN(int64_t v, value_reader.ReadI64());
-          out.ints.push_back(v);
+          out->ints.push_back(v);
         }
         ++stats->values_decoded;
         return Status::OK();
-      }));
-      return out;
+      });
     }
   }
 }
@@ -336,51 +420,63 @@ bool CompareMatches(LeafPredicate::Op op, int cmp) {
   return false;
 }
 
-/// Can any value in [min, max] satisfy the predicate? (row-group skipping)
-bool StatsMayMatch(const ColumnChunkMeta& meta, const LeafPredicate& pred) {
-  if (!meta.has_stats) return true;
+/// Can any value in [min, max] satisfy the predicate? Shared by row-group
+/// (chunk stats) and page (per-page stats) skipping.
+bool RangeMayMatch(bool has_stats, const Value& min, const Value& max,
+                   const LeafPredicate& pred) {
+  if (!has_stats) return true;
   switch (pred.op) {
     case LeafPredicate::Op::kEq:
-      return pred.operands[0].Compare(meta.min) >= 0 &&
-             pred.operands[0].Compare(meta.max) <= 0;
+      return pred.values[0].Compare(min) >= 0 &&
+             pred.values[0].Compare(max) <= 0;
     case LeafPredicate::Op::kIn: {
-      for (const Value& v : pred.operands) {
-        if (v.Compare(meta.min) >= 0 && v.Compare(meta.max) <= 0) return true;
+      for (const Value& v : pred.values) {
+        if (v.Compare(min) >= 0 && v.Compare(max) <= 0) return true;
       }
       return false;
     }
     case LeafPredicate::Op::kNe:
       // Only skippable when every value equals the operand.
-      return !(meta.min.Compare(meta.max) == 0 &&
-               meta.min.Compare(pred.operands[0]) == 0);
+      return !(min.Compare(max) == 0 && min.Compare(pred.values[0]) == 0);
     case LeafPredicate::Op::kLt:
-      return meta.min.Compare(pred.operands[0]) < 0;
+      return min.Compare(pred.values[0]) < 0;
     case LeafPredicate::Op::kLe:
-      return meta.min.Compare(pred.operands[0]) <= 0;
+      return min.Compare(pred.values[0]) <= 0;
     case LeafPredicate::Op::kGt:
-      return meta.max.Compare(pred.operands[0]) > 0;
+      return max.Compare(pred.values[0]) > 0;
     case LeafPredicate::Op::kGe:
-      return meta.max.Compare(pred.operands[0]) >= 0;
+      return max.Compare(pred.values[0]) >= 0;
   }
   return true;
 }
 
+bool StatsMayMatch(const ColumnChunkMeta& meta, const LeafPredicate& pred) {
+  return RangeMayMatch(meta.has_stats, meta.min, meta.max, pred);
+}
+
+bool PageMayMatch(const DataPageMeta& page, const LeafPredicate& pred) {
+  // An all-NULL page can never satisfy a conjunct (NULL never matches),
+  // so it is skippable even without min/max stats.
+  if (page.null_count == static_cast<int64_t>(page.num_entries)) return false;
+  return RangeMayMatch(page.has_stats, page.min, page.max, pred);
+}
+
 /// Does any dictionary value satisfy an equality/IN predicate?
-bool DictionaryMayMatch(const ChunkPages& dict, const Leaf& leaf,
+bool DictionaryMayMatch(const Dictionary& dict, const Leaf& leaf,
                         const LeafPredicate& pred) {
   if (pred.op != LeafPredicate::Op::kEq && pred.op != LeafPredicate::Op::kIn) {
     return true;
   }
   if (leaf.type->kind() == TypeKind::kVarchar) {
-    for (const std::string& v : dict.dict_strings) {
-      for (const Value& operand : pred.operands) {
+    for (const std::string& v : dict.strings) {
+      for (const Value& operand : pred.values) {
         if (operand.is_string() && operand.string_value() == v) return true;
       }
     }
     return false;
   }
-  for (int64_t v : dict.dict_ints) {
-    for (const Value& operand : pred.operands) {
+  for (int64_t v : dict.ints) {
+    for (const Value& operand : pred.values) {
       if (operand.is_int() && operand.int_value() == v) return true;
     }
   }
@@ -405,7 +501,7 @@ void ApplyPredicate(const DecodedLeaf& leaf, const LeafPredicate& pred,
     switch (leaf.leaf.type->kind()) {
       case TypeKind::kVarchar: {
         const std::string& value = leaf.strings[v];
-        for (const Value& operand : pred.operands) {
+        for (const Value& operand : pred.values) {
           int cmp = value.compare(operand.string_value());
           if (CompareMatches(pred.op, cmp)) {
             matches = true;
@@ -416,7 +512,7 @@ void ApplyPredicate(const DecodedLeaf& leaf, const LeafPredicate& pred,
       }
       case TypeKind::kDouble: {
         double value = leaf.doubles[v];
-        for (const Value& operand : pred.operands) {
+        for (const Value& operand : pred.values) {
           double o = operand.AsDouble();
           int cmp = value < o ? -1 : (value > o ? 1 : 0);
           if (CompareMatches(pred.op, cmp)) {
@@ -428,7 +524,7 @@ void ApplyPredicate(const DecodedLeaf& leaf, const LeafPredicate& pred,
       }
       case TypeKind::kBoolean: {
         bool value = leaf.bools[v] != 0;
-        for (const Value& operand : pred.operands) {
+        for (const Value& operand : pred.values) {
           int cmp = static_cast<int>(value) - static_cast<int>(operand.bool_value());
           if (CompareMatches(pred.op, cmp)) {
             matches = true;
@@ -439,7 +535,7 @@ void ApplyPredicate(const DecodedLeaf& leaf, const LeafPredicate& pred,
       }
       default: {
         int64_t value = leaf.ints[v];
-        for (const Value& operand : pred.operands) {
+        for (const Value& operand : pred.values) {
           int64_t o = operand.is_int() ? operand.int_value()
                                        : static_cast<int64_t>(operand.AsDouble());
           int cmp = value < o ? -1 : (value > o ? 1 : 0);
@@ -455,6 +551,27 @@ void ApplyPredicate(const DecodedLeaf& leaf, const LeafPredicate& pred,
   }
   // A fully-consumed cursor is not required: trailing entries without values
   // were already masked out above.
+}
+
+/// Translates a predicate into a per-dictionary-code match bitmap: the
+/// conjunct is evaluated once per distinct value instead of once per row, and
+/// rows are then filtered by testing their codes — no value materialization.
+/// Implemented by running ApplyPredicate over the dictionary itself (each
+/// code is one "row" of a synthetic dense leaf).
+std::vector<uint8_t> BuildCodeBitmap(const Leaf& leaf, const Dictionary& dict,
+                                     const LeafPredicate& pred) {
+  DecodedLeaf dl;
+  dl.leaf = leaf;
+  size_t cardinality = dict.cardinality();
+  dl.def.assign(cardinality, static_cast<uint8_t>(leaf.max_def));
+  if (leaf.type->kind() == TypeKind::kVarchar) {
+    dl.strings = dict.strings;
+  } else {
+    dl.ints = dict.ints;
+  }
+  std::vector<uint8_t> bitmap(cardinality, 1);
+  ApplyPredicate(dl, pred, &bitmap);
+  return bitmap;
 }
 
 // ===========================================================================
@@ -611,10 +728,10 @@ Result<std::optional<Page>> NativeLakeFileReader::NextBatch(const ScanSpec& spec
     bool skipped = false;
     if (options_.predicate_pushdown) {
       for (const LeafPredicate& pred : spec.predicates) {
-        auto chunk = chunk_by_path.find(pred.leaf_path);
+        auto chunk = chunk_by_path.find(pred.column);
         if (chunk == chunk_by_path.end()) {
           return Status::InvalidArgument("predicate on unknown leaf " +
-                                         pred.leaf_path);
+                                         pred.column);
         }
         if (!StatsMayMatch(*chunk->second, pred)) {
           ++stats_.row_groups_skipped_stats;
@@ -625,20 +742,49 @@ Result<std::optional<Page>> NativeLakeFileReader::NextBatch(const ScanSpec& spec
     }
     if (skipped) continue;
 
+    // ---- Per-group column state: one PageReader and (optional) decoded
+    // dictionary per leaf chunk touched by the filter or projection stage. ---
+    std::map<std::string, std::unique_ptr<PageReader>> page_readers;
+    std::map<std::string, Dictionary> dictionaries;
+    auto reader_for = [&](const std::string& path) -> PageReader* {
+      auto it = page_readers.find(path);
+      if (it == page_readers.end()) {
+        it = page_readers
+                 .emplace(path, std::make_unique<PageReader>(
+                                    file_.get(), *chunk_by_path.at(path),
+                                    group.num_rows, footer_->compression,
+                                    &stats_))
+                 .first;
+        stats_.pages_total += static_cast<int64_t>(it->second->num_pages());
+      }
+      return it->second.get();
+    };
+    auto dictionary_for =
+        [&](const std::string& path) -> Result<const Dictionary*> {
+      auto it = dictionaries.find(path);
+      if (it == dictionaries.end()) {
+        ASSIGN_OR_RETURN(
+            Dictionary dict,
+            MaybeReadDictionary(file_.get(), *leaf_by_path.at(path),
+                                *chunk_by_path.at(path), footer_->compression,
+                                &stats_));
+        it = dictionaries.emplace(path, std::move(dict)).first;
+      }
+      return &it->second;
+    };
+
     // ---- Dictionary pushdown. -----------------------------------------------
     if (options_.dictionary_pushdown) {
       for (const LeafPredicate& pred : spec.predicates) {
-        const ColumnChunkMeta& chunk = *chunk_by_path.at(pred.leaf_path);
+        const ColumnChunkMeta& chunk = *chunk_by_path.at(pred.column);
         if (chunk.encoding != PageEncoding::kDictionary) continue;
-        auto leaf_it = leaf_by_path.find(pred.leaf_path);
+        auto leaf_it = leaf_by_path.find(pred.column);
         if (leaf_it == leaf_by_path.end()) {
           return Status::InvalidArgument("predicate on unknown leaf " +
-                                         pred.leaf_path);
+                                         pred.column);
         }
-        ASSIGN_OR_RETURN(ChunkPages dict,
-                         ReadDictionaryOnly(file_.get(), *leaf_it->second, chunk,
-                                            footer_->compression, &stats_));
-        if (!DictionaryMayMatch(dict, *leaf_it->second, pred)) {
+        ASSIGN_OR_RETURN(const Dictionary* dict, dictionary_for(pred.column));
+        if (!DictionaryMayMatch(*dict, *leaf_it->second, pred)) {
           ++stats_.row_groups_skipped_dictionary;
           skipped = true;
           break;
@@ -649,30 +795,122 @@ Result<std::optional<Page>> NativeLakeFileReader::NextBatch(const ScanSpec& spec
 
     ++stats_.row_groups_scanned;
 
-    // ---- Decode predicate leaves and filter rows. ---------------------------
-    std::map<std::string, DecodedLeaf> decoded;
+    // ---- Stage 1: filter columns, page by page. -----------------------------
+    // Pages whose per-page stats cannot match zero their row range without
+    // being read; dictionary-coded pages are filtered on codes via a
+    // per-conjunct code bitmap (no value materialization); plain pages
+    // materialize page-locally and evaluate normally. The result is the
+    // row-group selection vector driving late materialization below.
     std::vector<uint8_t> mask(group.num_rows, 1);
+    std::vector<std::pair<std::string, std::vector<const LeafPredicate*>>>
+        preds_by_path;
     for (const LeafPredicate& pred : spec.predicates) {
-      auto leaf_it = leaf_by_path.find(pred.leaf_path);
+      auto leaf_it = leaf_by_path.find(pred.column);
       if (leaf_it == leaf_by_path.end() || leaf_it->second->max_rep != 0) {
         return Status::InvalidArgument("predicate leaf must be non-repeated: " +
-                                       pred.leaf_path);
+                                       pred.column);
       }
-      if (decoded.count(pred.leaf_path) == 0) {
-        const ColumnChunkMeta& chunk = *chunk_by_path.at(pred.leaf_path);
-        ASSIGN_OR_RETURN(ChunkPages pages,
-                         ReadChunk(file_.get(), *leaf_it->second, chunk,
-                                   footer_->compression, &stats_));
-        ASSIGN_OR_RETURN(DecodedLeaf leaf,
-                         DecodeLeafChunk(*leaf_it->second, pages,
-                                         options_.vectorized, nullptr, &stats_));
-        decoded.emplace(pred.leaf_path, std::move(leaf));
+      auto it = std::find_if(
+          preds_by_path.begin(), preds_by_path.end(),
+          [&](const auto& p) { return p.first == pred.column; });
+      if (it == preds_by_path.end()) {
+        preds_by_path.push_back({pred.column, {&pred}});
+      } else {
+        it->second.push_back(&pred);
       }
-      ApplyPredicate(decoded.at(pred.leaf_path), pred, &mask);
     }
+
+    for (const auto& [path, preds] : preds_by_path) {
+      const Leaf& leaf = *leaf_by_path.at(path);
+      PageReader* pages = reader_for(path);
+      ASSIGN_OR_RETURN(const Dictionary* dict, dictionary_for(path));
+      std::vector<std::vector<uint8_t>> code_bitmaps;
+      if (dict->present) {
+        for (const LeafPredicate* pred : preds) {
+          code_bitmaps.push_back(BuildCodeBitmap(leaf, *dict, *pred));
+        }
+      }
+      for (size_t i = 0; i < pages->num_pages(); ++i) {
+        const DataPageMeta& pm = pages->page_meta(i);
+        const size_t row0 = pm.first_row;
+        const size_t nrows = pm.num_rows;
+        // An earlier filter column already killed every row in this page.
+        bool any_alive = false;
+        for (size_t r = 0; r < nrows && !any_alive; ++r) {
+          any_alive = mask[row0 + r] != 0;
+        }
+        if (!any_alive) {
+          ++stats_.pages_skipped_lazy;
+          continue;
+        }
+        if (options_.page_skipping) {
+          bool may_match = true;
+          for (const LeafPredicate* pred : preds) {
+            if (!PageMayMatch(pm, *pred)) {
+              may_match = false;
+              break;
+            }
+          }
+          if (!may_match) {
+            std::fill(mask.begin() + row0, mask.begin() + row0 + nrows, 0);
+            ++stats_.pages_skipped_stats;
+            continue;
+          }
+        }
+        ASSIGN_OR_RETURN(RawPage raw, pages->Read(i));
+        ASSIGN_OR_RETURN(PageLevels levels,
+                         DecodePageLevels(leaf, raw, options_.vectorized));
+        if (dict->present) {
+          // Evaluate on dictionary codes: no value is materialized.
+          ASSIGN_OR_RETURN(std::vector<uint32_t> codes,
+                           DecodePageCodes(raw, levels, leaf));
+          size_t value_cursor = 0;
+          for (size_t r = 0; r < nrows; ++r) {
+            bool has_value = levels.def[r] == leaf.max_def;
+            uint32_t code = 0;
+            if (has_value) {
+              if (value_cursor >= codes.size()) {
+                return Status::Corruption("dictionary code underflow in " +
+                                          path);
+              }
+              code = codes[value_cursor++];
+            }
+            uint8_t& m = mask[row0 + r];
+            if (m == 0) continue;
+            if (!has_value) {
+              m = 0;  // NULL never matches a pushed conjunct
+              continue;
+            }
+            for (const std::vector<uint8_t>& bitmap : code_bitmaps) {
+              if (code >= bitmap.size()) {
+                return Status::Corruption("dictionary code out of range in " +
+                                          path);
+              }
+              ++stats_.dict_code_filter_hits;
+              if (bitmap[code] == 0) {
+                m = 0;
+                break;
+              }
+            }
+          }
+        } else {
+          DecodedLeaf page_leaf;
+          page_leaf.leaf = leaf;
+          RETURN_IF_ERROR(DecodePageValues(leaf, *dict, raw, levels,
+                                           options_.vectorized, nullptr,
+                                           &page_leaf, &stats_));
+          std::vector<uint8_t> page_mask(mask.begin() + row0,
+                                         mask.begin() + row0 + nrows);
+          for (const LeafPredicate* pred : preds) {
+            ApplyPredicate(page_leaf, *pred, &page_mask);
+          }
+          std::copy(page_mask.begin(), page_mask.end(), mask.begin() + row0);
+        }
+      }
+    }
+
     std::vector<int32_t> selected;
-    bool all_selected = spec.predicates.empty();
-    if (all_selected) {
+    if (spec.predicates.empty()) {
       selected.resize(group.num_rows);
       for (size_t i = 0; i < group.num_rows; ++i) {
         selected[i] = static_cast<int32_t>(i);
@@ -682,14 +920,30 @@ Result<std::optional<Page>> NativeLakeFileReader::NextBatch(const ScanSpec& spec
         if (mask[i] != 0) selected.push_back(static_cast<int32_t>(i));
       }
     }
-    if (selected.empty()) continue;
+    if (selected.empty()) {
+      if (options_.lazy_reads) {
+        stats_.rows_pruned_late += static_cast<int64_t>(group.num_rows);
+      }
+      continue;
+    }
+    const bool all_selected = selected.size() == group.num_rows;
 
+    // Late-materialization strategy: below ~7/8 selectivity decode only the
+    // selected rows of projected columns ("lazy"); at or above it, decoding
+    // densely and emitting a zero-copy selection-vector wrap is cheaper than
+    // per-row gathering, so surviving rows ride a dictionary-index wrap.
     bool lazy = options_.lazy_reads && !all_selected;
+    const bool wrap = lazy && selected.size() * 8 >= group.num_rows * 7;
+    if (wrap) lazy = false;
+    if (lazy) {
+      stats_.rows_pruned_late +=
+          static_cast<int64_t>(group.num_rows - selected.size());
+    }
 
-    // ---- Decode projected leaves. -------------------------------------------
-    // With lazy reads: decode only the selected rows of each remaining leaf.
+    // ---- Stage 2: projected leaves — only surviving pages, selected rows. ---
     // Note: selected row indices equal entry indices only for maxrep==0
     // leaves; repeated leaves expand to entry ranges via their rep levels.
+    std::map<std::string, DecodedLeaf> decoded;
     auto decode_projected = [&](const std::string& path) -> Status {
       if (decoded.count(path) > 0) return Status::OK();
       auto leaf_it = leaf_by_path.find(path);
@@ -698,86 +952,66 @@ Result<std::optional<Page>> NativeLakeFileReader::NextBatch(const ScanSpec& spec
         return Status::NotFound("leaf not present in file: " + path);
       }
       const Leaf& leaf = *leaf_it->second;
-      ASSIGN_OR_RETURN(ChunkPages pages,
-                       ReadChunk(file_.get(), leaf, *chunk_it->second,
-                                 footer_->compression, &stats_));
-      const std::vector<int32_t>* selection = nullptr;
-      std::vector<int32_t> entry_selection;
-      if (lazy) {
-        if (leaf.max_rep == 0) {
-          selection = &selected;
-        } else {
-          // Map selected rows to entry ranges via rep levels.
-          ByteReader rep_reader(pages.body.data(), pages.header.rep_bytes);
-          std::vector<uint8_t> rep;
-          RETURN_IF_ERROR(DecodeLevels(&rep_reader, pages.header.num_entries,
-                                       options_.vectorized, &rep));
-          std::vector<int32_t> starts;
-          for (size_t e = 0; e < rep.size(); ++e) {
-            if (rep[e] == 0) starts.push_back(static_cast<int32_t>(e));
+      PageReader* pages = reader_for(path);
+      ASSIGN_OR_RETURN(const Dictionary* dict, dictionary_for(path));
+      DecodedLeaf out;
+      out.leaf = leaf;
+      for (size_t i = 0; i < pages->num_pages(); ++i) {
+        const DataPageMeta& pm = pages->page_meta(i);
+        std::vector<int32_t> page_rows;  // page-relative selected rows
+        if (lazy) {
+          auto begin = std::lower_bound(selected.begin(), selected.end(),
+                                        static_cast<int32_t>(pm.first_row));
+          auto end =
+              std::lower_bound(selected.begin(), selected.end(),
+                               static_cast<int32_t>(pm.first_row + pm.num_rows));
+          if (begin == end) {
+            // No selected row falls in this page: never read it.
+            ++stats_.pages_skipped_lazy;
+            continue;
           }
-          for (int32_t row : selected) {
-            int32_t begin = starts[row];
-            int32_t end = row + 1 < static_cast<int32_t>(starts.size())
-                              ? starts[row + 1]
-                              : static_cast<int32_t>(rep.size());
-            for (int32_t e = begin; e < end; ++e) entry_selection.push_back(e);
+          page_rows.reserve(static_cast<size_t>(end - begin));
+          for (auto it = begin; it != end; ++it) {
+            page_rows.push_back(*it - static_cast<int32_t>(pm.first_row));
           }
-          selection = &entry_selection;
         }
+        ASSIGN_OR_RETURN(RawPage raw, pages->Read(i));
+        ASSIGN_OR_RETURN(PageLevels levels,
+                         DecodePageLevels(leaf, raw, options_.vectorized));
+        const std::vector<int32_t>* selection = nullptr;
+        std::vector<int32_t> entry_selection;
+        if (lazy) {
+          if (leaf.max_rep == 0) {
+            selection = &page_rows;  // entry index == page-relative row
+          } else {
+            // Expand page-relative rows to entry ranges via rep levels.
+            std::vector<int32_t> starts;
+            for (size_t e = 0; e < levels.rep.size(); ++e) {
+              if (levels.rep[e] == 0) starts.push_back(static_cast<int32_t>(e));
+            }
+            for (int32_t row : page_rows) {
+              int32_t begin_e = starts[row];
+              int32_t end_e = row + 1 < static_cast<int32_t>(starts.size())
+                                  ? starts[row + 1]
+                                  : static_cast<int32_t>(levels.rep.size());
+              for (int32_t e = begin_e; e < end_e; ++e) {
+                entry_selection.push_back(e);
+              }
+            }
+            selection = &entry_selection;
+          }
+        }
+        RETURN_IF_ERROR(DecodePageValues(leaf, *dict, raw, levels,
+                                         options_.vectorized, selection, &out,
+                                         &stats_));
       }
-      ASSIGN_OR_RETURN(DecodedLeaf decoded_leaf,
-                       DecodeLeafChunk(leaf, pages, options_.vectorized,
-                                       selection, &stats_));
-      decoded.emplace(path, std::move(decoded_leaf));
+      decoded.emplace(path, std::move(out));
       return Status::OK();
     };
 
     for (const auto& paths : column_leaf_paths) {
       for (const std::string& path : paths) {
         RETURN_IF_ERROR(decode_projected(path));
-      }
-    }
-
-    // Predicate leaves were decoded in full; subset them if assembling lazily.
-    if (lazy) {
-      for (auto& [path, leaf] : decoded) {
-        if (leaf.def.size() == group.num_rows && leaf.leaf.max_rep == 0 &&
-            leaf.def.size() != selected.size()) {
-          // Rebuild the subset in place.
-          DecodedLeaf subset;
-          subset.leaf = leaf.leaf;
-          size_t value_cursor = 0;
-          size_t sel_cursor = 0;
-          for (size_t e = 0; e < leaf.def.size(); ++e) {
-            bool has_value = leaf.def[e] == leaf.leaf.max_def;
-            bool is_selected =
-                sel_cursor < selected.size() &&
-                selected[sel_cursor] == static_cast<int32_t>(e);
-            if (is_selected) {
-              ++sel_cursor;
-              subset.def.push_back(leaf.def[e]);
-              if (has_value) {
-                switch (leaf.leaf.type->kind()) {
-                  case TypeKind::kVarchar:
-                    subset.strings.push_back(leaf.strings[value_cursor]);
-                    break;
-                  case TypeKind::kDouble:
-                    subset.doubles.push_back(leaf.doubles[value_cursor]);
-                    break;
-                  case TypeKind::kBoolean:
-                    subset.bools.push_back(leaf.bools[value_cursor]);
-                    break;
-                  default:
-                    subset.ints.push_back(leaf.ints[value_cursor]);
-                    break;
-                }
-              }
-            }
-            if (has_value) ++value_cursor;
-          }
-          leaf = std::move(subset);
-        }
       }
     }
 
@@ -795,7 +1029,9 @@ Result<std::optional<Page>> NativeLakeFileReader::NextBatch(const ScanSpec& spec
     }
     Page page(std::move(columns), out_rows);
     if (!lazy && !all_selected) {
-      page = page.SliceRows(selected);
+      // High selectivity: zero-copy selection-vector wrap. With lazy reads
+      // disabled entirely, fall back to the materializing row slice.
+      page = wrap ? page.WrapRows(selected) : page.SliceRows(selected);
     }
     stats_.rows_output += static_cast<int64_t>(page.num_rows());
     return std::optional<Page>(std::move(page));
@@ -987,12 +1223,23 @@ Result<std::optional<Page>> LegacyLakeFileReader::NextBatch(
       if (chunk_it == chunk_by_path.end()) {
         return Status::Corruption("missing chunk for leaf " + leaf.path);
       }
-      ASSIGN_OR_RETURN(ChunkPages pages,
-                       ReadChunk(file_.get(), leaf, *chunk_it->second,
-                                 footer_->compression, &stats_));
-      ASSIGN_OR_RETURN(DecodedLeaf decoded,
-                       DecodeLeafChunk(leaf, pages, /*vectorized=*/false,
-                                       nullptr, &stats_));
+      const ColumnChunkMeta& chunk = *chunk_it->second;
+      ASSIGN_OR_RETURN(Dictionary dict,
+                       MaybeReadDictionary(file_.get(), leaf, chunk,
+                                           footer_->compression, &stats_));
+      PageReader pages(file_.get(), chunk, group.num_rows, footer_->compression,
+                       &stats_);
+      stats_.pages_total += static_cast<int64_t>(pages.num_pages());
+      DecodedLeaf decoded;
+      decoded.leaf = leaf;
+      for (size_t i = 0; i < pages.num_pages(); ++i) {
+        ASSIGN_OR_RETURN(RawPage raw, pages.Read(i));
+        ASSIGN_OR_RETURN(PageLevels levels,
+                         DecodePageLevels(leaf, raw, /*vectorized=*/false));
+        RETURN_IF_ERROR(DecodePageValues(leaf, dict, raw, levels,
+                                         /*vectorized=*/false, nullptr,
+                                         &decoded, &stats_));
+      }
       flat_decoded.push_back(std::move(decoded));
     }
     column_types.push_back(std::move(type));

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "presto/connector/pushdown.h"
 #include "presto/fs/file_system.h"
 #include "presto/lakefile/format.h"
 #include "presto/lakefile/shred.h"
@@ -21,18 +22,16 @@ struct ReaderOptions {
   bool nested_column_pruning = true;  // read only required leaf columns
   bool predicate_pushdown = true;     // skip row groups via footer min/max
   bool dictionary_pushdown = true;    // skip row groups via dictionary pages
+  bool page_skipping = true;          // skip data pages via per-page min/max (v2)
   bool lazy_reads = true;             // materialize projected cols for matching rows only
   bool vectorized = true;             // batch level/value decode
 };
 
 /// A single conjunct of a pushed-down scan predicate, bound to a leaf path
-/// (maxrep==0 scalar leaves only, e.g. "base.city_id").
-struct LeafPredicate {
-  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
-  std::string leaf_path;
-  Op op = Op::kEq;
-  std::vector<Value> operands;  // 1 operand, or N for kIn
-};
+/// (maxrep==0 scalar leaves only, e.g. "base.city_id"). This is the same
+/// struct the connector layer negotiates (`column` holds the dotted leaf
+/// path), so accepted conjuncts flow into the reader without translation.
+using LeafPredicate = SimplePredicate;
 
 /// What to read: projected top-level columns (with optional nested pruning
 /// to specific leaf paths) plus an AND-of-conjuncts predicate.
@@ -45,12 +44,23 @@ struct ScanSpec {
   std::vector<LeafPredicate> predicates;
 };
 
-/// Observed work counters, reported by the reader benches.
+/// Observed work counters, reported by the reader benches and surfaced
+/// through the scan operator into EXPLAIN ANALYZE / lakefile.* metrics.
 struct ReaderStats {
   int64_t row_groups_total = 0;
   int64_t row_groups_scanned = 0;
   int64_t row_groups_skipped_stats = 0;
   int64_t row_groups_skipped_dictionary = 0;
+  /// Page-granular pruning (format v2 multi-page chunks).
+  int64_t pages_total = 0;          // data pages of all chunks examined
+  int64_t pages_read = 0;           // pages actually read and decompressed
+  int64_t pages_skipped_stats = 0;  // skipped via per-page min/max / null count
+  int64_t pages_skipped_lazy = 0;   // skipped because no selected row needs them
+  /// Rows excluded from late materialization of projected columns.
+  int64_t rows_pruned_late = 0;
+  /// Predicate row-evaluations answered on dictionary codes (no value
+  /// materialization).
+  int64_t dict_code_filter_hits = 0;
   int64_t bytes_read = 0;
   int64_t values_decoded = 0;
   int64_t rows_output = 0;

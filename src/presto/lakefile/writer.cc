@@ -9,31 +9,35 @@ namespace lakefile {
 namespace {
 
 // Levels are RLE-encoded as (varint run_length, u8 value) pairs.
-void EncodeLevels(const std::vector<uint8_t>& levels, ByteBuffer* out) {
+
+// Level/value encoders work on subranges so one chunk can emit several
+// pages, each covering a row slice of the buffered column.
+void EncodeLevels(const uint8_t* levels, size_t count, ByteBuffer* out) {
   size_t i = 0;
-  while (i < levels.size()) {
+  while (i < count) {
     size_t j = i + 1;
-    while (j < levels.size() && levels[j] == levels[i]) ++j;
+    while (j < count && levels[j] == levels[i]) ++j;
     out->PutVarint(j - i);
     out->PutU8(levels[i]);
     i = j;
   }
 }
 
-void EncodePlainInts(const std::vector<int64_t>& values, ByteBuffer* out) {
-  out->PutRaw(values.data(), values.size() * sizeof(int64_t));
+void EncodePlainInts(const int64_t* values, size_t count, ByteBuffer* out) {
+  out->PutRaw(values, count * sizeof(int64_t));
 }
 
-void EncodePlainDoubles(const std::vector<double>& values, ByteBuffer* out) {
-  out->PutRaw(values.data(), values.size() * sizeof(double));
+void EncodePlainDoubles(const double* values, size_t count, ByteBuffer* out) {
+  out->PutRaw(values, count * sizeof(double));
 }
 
-void EncodePlainBools(const std::vector<uint8_t>& values, ByteBuffer* out) {
-  out->PutRaw(values.data(), values.size());
+void EncodePlainBools(const uint8_t* values, size_t count, ByteBuffer* out) {
+  out->PutRaw(values, count);
 }
 
-void EncodePlainStrings(const std::vector<std::string>& values, ByteBuffer* out) {
-  for (const std::string& s : values) out->PutString(s);
+void EncodePlainStrings(const std::string* values, size_t count,
+                        ByteBuffer* out) {
+  for (size_t i = 0; i < count; ++i) out->PutString(values[i]);
 }
 
 struct DictionaryPlan {
@@ -79,8 +83,8 @@ DictionaryPlan PlanStringDictionary(const std::vector<std::string>& values,
   return plan;
 }
 
-void EncodeIndices(const std::vector<uint32_t>& indices, ByteBuffer* out) {
-  for (uint32_t idx : indices) out->PutVarint(idx);
+void EncodeIndices(const uint32_t* indices, size_t count, ByteBuffer* out) {
+  for (size_t i = 0; i < count; ++i) out->PutVarint(indices[i]);
 }
 
 // Writes one page: header (uncompressed) + compressed body.
@@ -104,21 +108,25 @@ void EmitPage(uint32_t num_entries, const ByteBuffer& rep, const ByteBuffer& def
   file->PutRaw(compressed.data(), compressed.size());
 }
 
-// Computes min/max/null statistics for a leaf buffer.
-void FillStats(const Leaf& leaf, const LeafBuffer& buffer, ColumnChunkMeta* meta) {
-  meta->null_count =
-      static_cast<int64_t>(buffer.num_entries() - buffer.num_values(leaf));
-  if (leaf.max_rep != 0 || buffer.num_values(leaf) == 0) return;
+// Computes min/max over a value subrange [first, first + count) of the leaf
+// buffer; leaves `has_stats` false for repeated leaves, booleans, and empty
+// ranges (same rules at chunk and page granularity).
+template <typename Meta>
+void FillMinMax(const Leaf& leaf, const LeafBuffer& buffer, size_t first,
+                size_t count, Meta* meta) {
+  if (leaf.max_rep != 0 || count == 0) return;
   switch (leaf.type->kind()) {
     case TypeKind::kDouble: {
-      auto [lo, hi] = std::minmax_element(buffer.doubles.begin(), buffer.doubles.end());
+      auto [lo, hi] = std::minmax_element(buffer.doubles.begin() + first,
+                                          buffer.doubles.begin() + first + count);
       meta->min = Value::Double(*lo);
       meta->max = Value::Double(*hi);
       meta->has_stats = true;
       return;
     }
     case TypeKind::kVarchar: {
-      auto [lo, hi] = std::minmax_element(buffer.strings.begin(), buffer.strings.end());
+      auto [lo, hi] = std::minmax_element(buffer.strings.begin() + first,
+                                          buffer.strings.begin() + first + count);
       meta->min = Value::String(*lo);
       meta->max = Value::String(*hi);
       meta->has_stats = true;
@@ -127,7 +135,8 @@ void FillStats(const Leaf& leaf, const LeafBuffer& buffer, ColumnChunkMeta* meta
     case TypeKind::kBoolean:
       return;  // no useful min/max
     default: {
-      auto [lo, hi] = std::minmax_element(buffer.ints.begin(), buffer.ints.end());
+      auto [lo, hi] = std::minmax_element(buffer.ints.begin() + first,
+                                          buffer.ints.begin() + first + count);
       meta->min = Value::Int(*lo);
       meta->max = Value::Int(*hi);
       meta->has_stats = true;
@@ -136,8 +145,11 @@ void FillStats(const Leaf& leaf, const LeafBuffer& buffer, ColumnChunkMeta* meta
   }
 }
 
-// Encodes one column chunk (optional dictionary page + one data page) into
-// `file`, returning its metadata.
+// Encodes one column chunk (optional dictionary page + data pages) into
+// `file`, returning its metadata. At format v2 the chunk is split into
+// ~page_rows-row pages at row boundaries, each with its own footer stats so
+// readers can skip page ranges; v1 keeps the old single-page layout. The
+// dictionary (when used) spans the whole chunk — pages share it.
 ColumnChunkMeta EncodeChunk(const Leaf& leaf, const LeafBuffer& buffer,
                             const WriterOptions& options, ByteBuffer* file) {
   ColumnChunkMeta meta;
@@ -145,11 +157,9 @@ ColumnChunkMeta EncodeChunk(const Leaf& leaf, const LeafBuffer& buffer,
   meta.offset = file->size();
   meta.num_entries = buffer.num_entries();
   meta.num_values = buffer.num_values(leaf);
-  FillStats(leaf, buffer, &meta);
-
-  ByteBuffer rep, def;
-  if (leaf.max_rep > 0) EncodeLevels(buffer.rep, &rep);
-  EncodeLevels(buffer.def, &def);
+  meta.null_count =
+      static_cast<int64_t>(buffer.num_entries() - buffer.num_values(leaf));
+  FillMinMax(leaf, buffer, 0, buffer.num_values(leaf), &meta);
 
   // Try dictionary encoding for integer and string leaves.
   DictionaryPlan plan;
@@ -175,40 +185,94 @@ ColumnChunkMeta EncodeChunk(const Leaf& leaf, const LeafBuffer& buffer,
     ByteBuffer dict_values;
     uint32_t cardinality;
     if (leaf.type->kind() == TypeKind::kVarchar) {
-      EncodePlainStrings(plan.string_dict, &dict_values);
+      EncodePlainStrings(plan.string_dict.data(), plan.string_dict.size(),
+                         &dict_values);
       cardinality = static_cast<uint32_t>(plan.string_dict.size());
     } else {
-      EncodePlainInts(plan.int_dict, &dict_values);
+      EncodePlainInts(plan.int_dict.data(), plan.int_dict.size(), &dict_values);
       cardinality = static_cast<uint32_t>(plan.int_dict.size());
     }
     meta.dictionary_cardinality = cardinality;
     ByteBuffer empty;
     EmitPage(cardinality, empty, empty, dict_values, options.compression, file);
     meta.dictionary_bytes = file->size() - meta.dictionary_offset;
-    // Data page: varint indices.
-    ByteBuffer indices;
-    EncodeIndices(plan.indices, &indices);
-    EmitPage(static_cast<uint32_t>(buffer.num_entries()), rep, def, indices,
-             options.compression, file);
   } else {
     meta.encoding = PageEncoding::kPlain;
-    ByteBuffer values;
-    switch (leaf.type->kind()) {
-      case TypeKind::kBoolean:
-        EncodePlainBools(buffer.bools, &values);
-        break;
-      case TypeKind::kDouble:
-        EncodePlainDoubles(buffer.doubles, &values);
-        break;
-      case TypeKind::kVarchar:
-        EncodePlainStrings(buffer.strings, &values);
-        break;
-      default:
-        EncodePlainInts(buffer.ints, &values);
-        break;
+  }
+
+  // Entry index of every row start (an entry starts a row iff the leaf is
+  // unrepeated or its repetition level is 0).
+  const size_t total_entries = buffer.num_entries();
+  std::vector<size_t> row_starts;
+  if (leaf.max_rep == 0) {
+    row_starts.resize(total_entries);
+    for (size_t e = 0; e < total_entries; ++e) row_starts[e] = e;
+  } else {
+    for (size_t e = 0; e < total_entries; ++e) {
+      if (buffer.rep[e] == 0) row_starts.push_back(e);
     }
-    EmitPage(static_cast<uint32_t>(buffer.num_entries()), rep, def, values,
+  }
+  const size_t total_rows = row_starts.size();
+  const size_t rows_per_page =
+      options.format_version >= 2 && options.page_rows > 0
+          ? options.page_rows
+          : (total_rows == 0 ? 1 : total_rows);
+
+  size_t value_cursor = 0;
+  for (size_t row = 0; row < total_rows; row += rows_per_page) {
+    const size_t page_num_rows = std::min(rows_per_page, total_rows - row);
+    const size_t first_entry = row_starts[row];
+    const size_t end_entry = row + page_num_rows < total_rows
+                                 ? row_starts[row + page_num_rows]
+                                 : total_entries;
+    const size_t page_entries = end_entry - first_entry;
+    const size_t first_value = value_cursor;
+    for (size_t e = first_entry; e < end_entry; ++e) {
+      if (buffer.def[e] == leaf.max_def) ++value_cursor;
+    }
+    const size_t page_values = value_cursor - first_value;
+
+    ByteBuffer rep, def;
+    if (leaf.max_rep > 0) {
+      EncodeLevels(buffer.rep.data() + first_entry, page_entries, &rep);
+    }
+    EncodeLevels(buffer.def.data() + first_entry, page_entries, &def);
+
+    ByteBuffer values;
+    if (plan.use_dictionary) {
+      EncodeIndices(plan.indices.data() + first_value, page_values, &values);
+    } else {
+      switch (leaf.type->kind()) {
+        case TypeKind::kBoolean:
+          EncodePlainBools(buffer.bools.data() + first_value, page_values,
+                           &values);
+          break;
+        case TypeKind::kDouble:
+          EncodePlainDoubles(buffer.doubles.data() + first_value, page_values,
+                             &values);
+          break;
+        case TypeKind::kVarchar:
+          EncodePlainStrings(buffer.strings.data() + first_value, page_values,
+                             &values);
+          break;
+        default:
+          EncodePlainInts(buffer.ints.data() + first_value, page_values,
+                          &values);
+          break;
+      }
+    }
+
+    DataPageMeta page_meta;
+    page_meta.offset = file->size() - meta.offset;
+    page_meta.num_entries = page_entries;
+    page_meta.num_rows = page_num_rows;
+    page_meta.first_row = row;
+    page_meta.null_count = static_cast<int64_t>(page_entries - page_values);
+    FillMinMax(leaf, buffer, first_value, page_values, &page_meta);
+    EmitPage(static_cast<uint32_t>(page_entries), rep, def, values,
              options.compression, file);
+    page_meta.total_bytes = file->size() - meta.offset - page_meta.offset;
+    if (options.format_version >= 2) meta.pages.push_back(std::move(page_meta));
   }
   meta.total_bytes = file->size() - meta.offset;
   return meta;
@@ -234,6 +298,11 @@ Result<std::unique_ptr<LakeFileWriter>> LakeFileWriter::Create(
   ASSIGN_OR_RETURN(std::vector<Leaf> leaves, EnumerateLeaves(*schema));
   if (options.row_group_rows == 0) {
     return Status::InvalidArgument("row_group_rows must be positive");
+  }
+  if (options.format_version < kMinFormatVersion ||
+      options.format_version > kFormatVersion) {
+    return Status::InvalidArgument("unsupported lakefile format version " +
+                                   std::to_string(options.format_version));
   }
   return std::unique_ptr<LakeFileWriter>(new LakeFileWriter(
       std::move(schema), std::move(leaves), options, mode));
@@ -309,6 +378,7 @@ Result<std::vector<uint8_t>> LakeFileWriter::Finish() {
   RETURN_IF_ERROR(FlushRowGroup());
   finished_ = true;
   FileFooter footer;
+  footer.version = options_.format_version;
   footer.schema = schema_;
   footer.compression = options_.compression;
   footer.num_rows = total_rows_;

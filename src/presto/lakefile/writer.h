@@ -14,8 +14,16 @@ namespace lakefile {
 struct WriterOptions {
   CompressionKind compression = CompressionKind::kNone;
   size_t row_group_rows = 10000;
+  /// Target rows per data page (format v2): chunks are split into pages at
+  /// row boundaries so a selective reader can skip page ranges via per-page
+  /// min/max stats.
+  size_t page_rows = 8192;
   uint32_t dictionary_max_cardinality = 4096;
   bool enable_dictionary = true;
+  /// File format version to emit. kFormatVersion (2) writes multi-page
+  /// chunks with a per-page stats list; 1 writes the old single-page layout
+  /// (used to exercise the reader's back-compat path).
+  uint32_t format_version = kFormatVersion;
 };
 
 /// Which write path to use.

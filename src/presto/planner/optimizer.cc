@@ -510,6 +510,11 @@ Result<PlanNodePtr> Optimizer::PushPredicatesIntoScans(PlanNodePtr node) {
     accepted_predicates.push_back(desired[index]);
   }
   scan->mutable_request().predicates = std::move(accepted_predicates);
+  // Only an *enforcing* connector (emitted rows are exactly the matching
+  // rows) lets us drop absorbed conjuncts from the engine-side filter; a
+  // best-effort connector keeps them as pruning hints and the full residual
+  // re-checks every conjunct.
+  if (!accepted.predicates_enforced) accepted_conjuncts.clear();
   scan->set_accepted(std::move(accepted));
 
   std::vector<ExprPtr> residual;

@@ -59,6 +59,9 @@ std::string TableScanNode::Label() const {
         out += accepted_->request.predicates[i].ToString();
       }
       out += "]";
+      // enforced = the connector emits exactly the matching rows (no engine
+      // residual re-check); hint = pruning only, the filter re-checks.
+      out += accepted_->predicates_enforced ? " enforced" : " hint";
     }
     if (accepted_->limit_pushed) {
       out += " pushedLimit=" + std::to_string(accepted_->request.limit);

@@ -323,6 +323,100 @@ TEST_F(ChaosQueryTest, ScriptedSplitOpenFaultRetriesExactlyOnce) {
   EXPECT_EQ(FaultInjector::Global().InjectedCount("connector.split.open"), 1);
 }
 
+// Lazy-scan chaos: the `lakefile.page.read` fault point fires inside the
+// native reader's PageReader while a selective scan is skipping pages and
+// late-materializing rows. A failed page must surface as a classified
+// retryable error (absorbed by leaf retry) — never as wrong or partial rows.
+TEST_F(ChaosQueryTest, LazyScanPageReadFaultsNeverCorruptResults) {
+  InjectorGuard guard;
+  // A dedicated hive table with many small pages and a sorted key, so the
+  // scan actually exercises page skipping + lazy materialization while the
+  // fault point is armed.
+  TypePtr lazy_type = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  ASSERT_TRUE(hive_->CreateTable("raw", "lazy", lazy_type).ok());
+  {
+    const size_t n = 1600;
+    std::vector<int64_t> k(n), v(n);
+    for (size_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int64_t>(i);
+      v[i] = static_cast<int64_t>(i) * 3;
+    }
+    lakefile::WriterOptions writer_options;
+    writer_options.row_group_rows = n;  // one group; skipping is per page
+    writer_options.page_rows = 64;
+    ASSERT_TRUE(hive_
+                    ->WriteDataFile("raw", "lazy", "",
+                                    {Page({MakeBigintVector(std::move(k)),
+                                           MakeBigintVector(std::move(v))})},
+                                    writer_options)
+                    .ok());
+  }
+  const std::vector<std::string> corpus = {
+      "SELECT k, v FROM s3hive.raw.lazy WHERE k < 40",           // selective
+      "SELECT sum(v) FROM s3hive.raw.lazy WHERE k >= 1500",      // tail pages
+      "SELECT count(*), sum(v) FROM s3hive.raw.lazy",            // full scan
+  };
+  std::map<std::string, std::vector<std::string>> references;
+  for (const std::string& sql : corpus) {
+    auto clean = Run(sql, {});
+    ASSERT_TRUE(clean.ok()) << sql << "\n" << clean.status().ToString();
+    references[sql] = SortedRows(*clean);
+  }
+
+  auto& injector = FaultInjector::Global();
+
+  // Scripted regression: exactly the 2nd page read fails; leaf retry
+  // re-dispatches and the selective scan still returns exact rows.
+  injector.ArmScripted("lakefile.page.read", {2}, StatusCode::kIoError);
+  auto retried = Run(corpus[0], {{"query_max_task_retries", "2"},
+                                 {"task_retry_backoff_millis", "1"}});
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(SortedRows(*retried), references[corpus[0]]);
+  EXPECT_EQ(injector.InjectedCount("lakefile.page.read"), 1);
+  injector.Reset();
+
+  // Probabilistic schedules: every run either matches exactly or fails with
+  // a classified retryable error.
+  const uint64_t base_seed =
+      static_cast<uint64_t>(EnvInt("PRESTO_CHAOS_SEED", 20260806));
+  const int iterations = static_cast<int>(EnvInt("PRESTO_CHAOS_ITERS", 3));
+  int64_t total_injected = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    injector.Seed(base_seed + 1000 + static_cast<uint64_t>(iter));
+    Random knobs(base_seed * 17 + static_cast<uint64_t>(iter));
+    injector.ArmProbabilistic("lakefile.page.read",
+                              0.02 + 0.06 * knobs.NextDouble(),
+                              StatusCode::kIoError);
+    for (const std::string& sql : corpus) {
+      auto result = Run(sql, {{"query_max_task_retries", "3"},
+                              {"task_retry_backoff_millis", "1"},
+                              {"query_timeout_millis", "30000"}});
+      if (result.ok()) {
+        EXPECT_EQ(SortedRows(*result), references[sql])
+            << "page-read fault corrupted results (iter " << iter << ") on\n"
+            << sql;
+      } else {
+        EXPECT_TRUE(IsRetryableStatus(result.status()))
+            << "page-read fault leaked out unclassified (iter " << iter
+            << "): " << result.status().ToString() << "\n"
+            << sql;
+      }
+    }
+    EXPECT_GT(injector.CallCount("lakefile.page.read"), 0)
+        << "lazy scan never reached the page-read fault point";
+    total_injected += injector.TotalInjected();
+  }
+  EXPECT_GT(total_injected, 0) << "schedule never fired a page-read fault";
+  injector.Reset();
+
+  // Disarmed again: the corpus is exact.
+  for (const std::string& sql : corpus) {
+    auto result = Run(sql, {});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(SortedRows(*result), references[sql]);
+  }
+}
+
 // Per-query deadline: a query that cannot finish in time returns a clean
 // kUnavailable "deadline exceeded" instead of wedging the drain barrier.
 TEST(QueryTimeoutTest, DeadlineReturnsCleanUnavailable) {

@@ -8,7 +8,10 @@
 #include <cctype>
 
 #include "presto/cluster/cluster.h"
+#include "presto/connectors/hive/hive_connector.h"
 #include "presto/connectors/memory/memory_connector.h"
+#include "presto/fs/simulated_hdfs.h"
+#include "presto/lakefile/writer.h"
 #include "presto/vector/vector_builder.h"
 
 namespace presto {
@@ -204,6 +207,80 @@ TEST(ObservabilityTest, ExplainAnalyzeShowsPartitionedExchanges) {
   EXPECT_GT(analyzed->exec_metrics["exchange.byte.pushed"], 0);
   EXPECT_GT(analyzed->exec_metrics["exchange.peak_buffered_bytes"], 0);
   EXPECT_EQ(analyzed->exec_metrics["exchange.page.dropped"], 0);
+}
+
+TEST(ObservabilityTest, ExplainAnalyzeShowsLazyScanStatsAndEnforcedPushdown) {
+  // A selective scan over a hive lakefile with many small pages: EXPLAIN
+  // ANALYZE must surface the page-skipping / late-materialization counters
+  // on the TableScan node, mark the pushdown " enforced", and carry NO
+  // residual engine-side Filter (the connector emits exactly matching rows).
+  PrestoCluster cluster("obs-lazyscan", 2, 2, TestOptions());
+  auto hdfs = std::make_unique<SimulatedHdfs>(TestClock());
+  auto hive = std::make_shared<HiveConnector>(hdfs.get(), "warehouse");
+  TypePtr row = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  ASSERT_TRUE(hive->CreateTable("raw", "pts", row).ok());
+  {
+    const size_t n = 2048;
+    std::vector<int64_t> k(n), v(n);
+    for (size_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int64_t>(i);  // sorted: page stats are tight
+      v[i] = static_cast<int64_t>(i) * 5;
+    }
+    lakefile::WriterOptions writer_options;
+    writer_options.row_group_rows = n;  // one group: skipping is per page
+    writer_options.page_rows = 64;
+    ASSERT_TRUE(hive
+                    ->WriteDataFile("raw", "pts", "",
+                                    {Page({MakeBigintVector(std::move(k)),
+                                           MakeBigintVector(std::move(v))})},
+                                    writer_options)
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("lake", hive).ok());
+
+  const std::string sql = "SELECT v FROM lake.raw.pts WHERE k < 40";
+  Session session;
+  auto analyzed = cluster.Execute("EXPLAIN ANALYZE " + sql, session);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string text = analyzed->Row(0)[0].ToString();
+
+  // Scan counters rendered on the TableScan annotation line.
+  EXPECT_NE(text.find("pages_skipped"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows_pruned"), std::string::npos) << text;
+  EXPECT_NE(text.find("scan-io"), std::string::npos) << text;
+
+  // Pushdown fully absorbed: marked enforced, no residual Filter node.
+  EXPECT_NE(text.find("pushedPredicates="), std::string::npos) << text;
+  EXPECT_NE(text.find(" enforced"), std::string::npos) << text;
+  EXPECT_EQ(text.find("Filter["), std::string::npos)
+      << "enforced pushdown must drop the engine-side residual filter:\n"
+      << text;
+
+  // Structured per-operator stats agree with the rendered text.
+  bool saw_scan = false;
+  for (const auto& [id, op] : analyzed->stats.operators) {
+    if (op.operator_type != "TableScan") continue;
+    saw_scan = true;
+    EXPECT_GT(op.scan_pages_total, 0);
+    EXPECT_GT(op.scan_pages_skipped_stats, 0)
+        << "a 2% scan over 64-row pages must skip pages via page stats";
+    EXPECT_GT(op.scan_rows_pruned_late, 0);
+    EXPECT_LT(op.scan_pages_read, op.scan_pages_total);
+    EXPECT_GT(op.scan_bytes_read, 0);
+    EXPECT_EQ(op.output_rows, 40);
+  }
+  EXPECT_TRUE(saw_scan);
+
+  // The lakefile.* counters ride along in the per-query metric snapshot.
+  EXPECT_GT(analyzed->exec_metrics["lakefile.pages.read"], 0);
+  EXPECT_GT(analyzed->exec_metrics["lakefile.pages.skipped_stats"], 0);
+  EXPECT_GT(analyzed->exec_metrics["lakefile.rows.pruned_late"], 0);
+  EXPECT_GT(analyzed->exec_metrics["lakefile.bytes.read"], 0);
+
+  // And the query itself returns exactly the matching rows.
+  auto result = cluster.Execute(sql, session);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_rows, 40);
 }
 
 TEST(ObservabilityTest, ExchangePeakStaysWithinSessionBudget) {
