@@ -1,0 +1,420 @@
+// Multi-tenant workload driver: closed-loop concurrent sessions in three
+// tenant classes (interactive point lookups, batch group-bys, adhoc medium
+// aggregations) driven against one embedded cluster, three phases:
+//
+//   baseline  interactive sessions alone (groups enabled, no competing load)
+//   wfq       the full mix under weighted-fair resource groups
+//   fifo      the same mix with groups disabled (the single-FIFO admission
+//             this PR replaces) — the degradation control
+//
+// Emits per-group p50/p95/p99 latency, QPS, shed/queued/killed/degraded
+// counts to BENCH_workload.json and enforces the workload-isolation
+// acceptance floors: under batch saturation, weighted-fair keeps interactive
+// p95 within 2x of its unloaded baseline while FIFO degrades it >= 5x, with
+// zero interactive sheds, and per-group accounting must reconcile exactly.
+//
+// Usage: bench_workload [out.json] [--quick]
+//   --quick: tiny session/query counts for the sanitizer stage; ratio floors
+//   are skipped (sanitizer scheduling distorts latency), accounting
+//   reconciliation still enforced.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "presto/cluster/cluster.h"
+#include "presto/cluster/resource_groups.h"
+#include "presto/common/random.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/vector/vector.h"
+
+namespace presto {
+namespace {
+
+double NowMillis() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1000.0;
+}
+
+Status FillFacts(MemoryConnector* memory, const std::string& table,
+                 size_t num_rows, int64_t num_keys, uint64_t seed) {
+  Random rng(seed);
+  constexpr size_t kPageRows = 65536;
+  for (size_t done = 0; done < num_rows;) {
+    size_t n = std::min(kPageRows, num_rows - done);
+    std::vector<int64_t> k(n), v(n);
+    for (size_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int64_t>(rng.NextBelow(num_keys));
+      v[i] = static_cast<int64_t>(rng.NextBelow(10000));
+    }
+    RETURN_IF_ERROR(memory->AppendPage(
+        "raw", table,
+        Page({MakeBigintVector(std::move(k)), MakeBigintVector(std::move(v))},
+             n)));
+    done += n;
+  }
+  return Status::OK();
+}
+
+struct SessionSpec {
+  std::string group;
+  std::string sql;
+  int sessions = 0;
+  // Closed-loop iterations for pacing sessions (interactive); 0 = run until
+  // the stop flag (background load).
+  int queries = 0;
+};
+
+struct GroupStats {
+  int sessions = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t failed = 0;  // non-shed failures (killed, timeout, ...)
+  std::vector<double> latencies_millis;  // successful queries only
+
+  double Percentile(double q) const {
+    if (latencies_millis.empty()) return 0;
+    std::vector<double> sorted = latencies_millis;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+};
+
+struct PhaseResult {
+  std::string name;
+  bool groups_enabled = false;
+  double wall_millis = 0;
+  std::map<std::string, GroupStats> groups;
+  std::map<std::string, int64_t> metrics;  // coordinator counter snapshot
+};
+
+// Runs one phase on a fresh cluster: pacing sessions run a fixed query
+// count; background sessions hammer until the pacers finish. Returns false
+// if accounting failed to reconcile.
+PhaseResult RunPhase(const std::string& name, CoordinatorOptions options,
+                     const std::shared_ptr<MemoryConnector>& data,
+                     const std::vector<SessionSpec>& specs, bool* reconciled) {
+  PhaseResult phase;
+  phase.name = name;
+  phase.groups_enabled = options.resource_groups.enabled;
+
+  PrestoCluster cluster("workload-" + name, 2, 2, options);
+  if (!cluster.catalogs().RegisterCatalog("mem", data).ok()) {
+    std::fprintf(stderr, "catalog registration failed\n");
+    *reconciled = false;
+    return phase;
+  }
+
+  std::mutex mu;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Pre-create every group entry: threads only mutate existing entries
+  // (under mu), so the map's structure is never racing with inserts.
+  for (const SessionSpec& spec : specs) {
+    phase.groups[spec.group].sessions += spec.sessions;
+  }
+  const double start = NowMillis();
+  for (const SessionSpec& spec : specs) {
+    for (int s = 0; s < spec.sessions; ++s) {
+      threads.emplace_back([&, spec, s] {
+        Session session;
+        session.properties["resource_group"] = spec.group;
+        session.properties["query_timeout_millis"] = "120000";
+        Random backoff(static_cast<uint64_t>(s) * 7919 + 13);
+        int64_t ok = 0, shed = 0, failed = 0;
+        std::vector<double> latencies;
+        for (int q = 0; spec.queries > 0 ? q < spec.queries : !stop.load();
+             ++q) {
+          const double t0 = NowMillis();
+          auto result = cluster.Execute(spec.sql, session);
+          const double elapsed = NowMillis() - t0;
+          if (result.ok()) {
+            ++ok;
+            latencies.push_back(elapsed);
+          } else if (result.status().code() == StatusCode::kRejected) {
+            ++shed;
+            // Overload backoff, jittered — what a well-behaved client does
+            // on shed. Long enough that shed tenants stop burning
+            // coordinator CPU on parse/plan for doomed retries.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoff.NextInRange(150, 500)));
+          } else {
+            ++failed;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        GroupStats& stats = phase.groups[spec.group];
+        stats.ok += ok;
+        stats.shed += shed;
+        stats.failed += failed;
+        stats.latencies_millis.insert(stats.latencies_millis.end(),
+                                      latencies.begin(), latencies.end());
+      });
+    }
+  }
+  // Pacing sessions are the fixed-count ones; when they all finish, stop the
+  // background load. Join in two waves: fixed-count threads first.
+  size_t pacer_count = 0;
+  for (const SessionSpec& spec : specs) {
+    if (spec.queries > 0) pacer_count += static_cast<size_t>(spec.sessions);
+  }
+  // Threads were created in spec order; pacers are whichever specs have
+  // queries > 0. Join those, flip stop, join the rest.
+  {
+    size_t index = 0;
+    std::vector<size_t> background;
+    for (const SessionSpec& spec : specs) {
+      for (int s = 0; s < spec.sessions; ++s, ++index) {
+        if (spec.queries > 0) {
+          threads[index].join();
+        } else {
+          background.push_back(index);
+        }
+      }
+    }
+    stop.store(true);
+    for (size_t i : background) threads[i].join();
+  }
+  phase.wall_millis = NowMillis() - start;
+
+  // Accounting reconciliation: every slot released, every queue drained,
+  // no leaked worker memory, admitted == completed per group.
+  ResourceGroupManager& manager = cluster.coordinator().resource_groups();
+  const MetricsRegistry& metrics = cluster.coordinator().metrics();
+  bool clean = manager.total_running() == 0 &&
+               cluster.coordinator().worker_pool()->reserved_bytes() == 0;
+  for (const std::string& group : manager.GroupNames()) {
+    clean = clean && manager.running(group) == 0 && manager.queued(group) == 0;
+    clean = clean && metrics.Get("group." + group + ".admitted") ==
+                         metrics.Get("group." + group + ".completed");
+  }
+  if (!clean) {
+    std::fprintf(stderr, "[%s] group accounting did not reconcile\n",
+                 name.c_str());
+    *reconciled = false;
+  }
+  phase.metrics = metrics.Snapshot();
+  return phase;
+}
+
+int64_t MetricOr0(const PhaseResult& phase, const std::string& name) {
+  auto it = phase.metrics.find(name);
+  return it == phase.metrics.end() ? 0 : it->second;
+}
+
+}  // namespace
+}  // namespace presto
+
+int main(int argc, char** argv) {
+  using namespace presto;
+  std::string out_path = "BENCH_workload.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // Shared read-only data: a small interactive table and a larger batch one.
+  const size_t small_rows = quick ? 20'000 : 100'000;
+  const size_t big_rows = quick ? 60'000 : 250'000;
+  auto data = std::make_shared<MemoryConnector>();
+  TypePtr facts = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  if (!data->CreateTable("raw", "small", facts).ok() ||
+      !data->CreateTable("raw", "big", facts).ok() ||
+      !FillFacts(data.get(), "small", small_rows, 64, 1).ok() ||
+      !FillFacts(data.get(), "big", big_rows, 4096, 2).ok()) {
+    std::fprintf(stderr, "data setup failed\n");
+    return 1;
+  }
+
+  const std::string interactive_sql =
+      "SELECT sum(v), count(*) FROM mem.raw.small WHERE k = 7";
+  const std::string batch_sql =
+      "SELECT k, count(*), sum(v), min(v), max(v) FROM mem.raw.big GROUP BY k";
+  const std::string adhoc_sql =
+      "SELECT k, count(*), sum(v) FROM mem.raw.small GROUP BY k";
+
+  // The tenant tree under test: interactive gets weight and quota, batch is
+  // narrow with a shallow queue (so saturation sheds), adhoc in between.
+  ResourceGroupsOptions tree;
+  tree.enabled = true;
+  tree.total_concurrency = 12;
+  tree.default_group = "adhoc";
+  {
+    ResourceGroupConfig interactive;
+    interactive.name = "interactive";
+    interactive.weight = 8;
+    interactive.hard_concurrency = 8;
+    interactive.max_queued = 64;
+    ResourceGroupConfig batch;
+    batch.name = "batch";
+    batch.weight = 2;
+    batch.hard_concurrency = 1;
+    batch.max_queued = 4;
+    batch.degradable = true;
+    ResourceGroupConfig adhoc;
+    adhoc.name = "adhoc";
+    adhoc.weight = 1;
+    adhoc.hard_concurrency = 1;
+    adhoc.max_queued = 8;
+    adhoc.degradable = true;
+    tree.groups = {interactive, batch, adhoc};
+  }
+
+  CoordinatorOptions grouped;
+  grouped.resource_groups = tree;
+  grouped.journal_capacity = 64;  // the driver floods events; keep it small
+  CoordinatorOptions fifo;  // groups disabled: the pre-PR single FIFO
+  fifo.journal_capacity = 64;
+
+  const int interactive_sessions = quick ? 2 : 8;
+  const int interactive_queries = quick ? 6 : 60;
+  const int fifo_interactive_queries = quick ? 4 : 15;
+  const int batch_sessions = quick ? 4 : 24;
+  const int adhoc_sessions = quick ? 2 : 8;
+
+  SessionSpec interactive_spec{"interactive", interactive_sql,
+                               interactive_sessions, interactive_queries};
+  SessionSpec batch_spec{"batch", batch_sql, batch_sessions, 0};
+  SessionSpec adhoc_spec{"adhoc", adhoc_sql, adhoc_sessions, 0};
+
+  bool reconciled = true;
+  std::printf("== phase baseline: %d interactive sessions alone ==\n",
+              interactive_sessions);
+  PhaseResult baseline =
+      RunPhase("baseline", grouped, data, {interactive_spec}, &reconciled);
+  std::printf("   p95 %.1f ms over %zu queries (%.0f ms wall)\n",
+              baseline.groups["interactive"].Percentile(0.95),
+              baseline.groups["interactive"].latencies_millis.size(),
+              baseline.wall_millis);
+
+  std::printf("== phase wfq: + %d batch / %d adhoc sessions, groups on ==\n",
+              batch_sessions, adhoc_sessions);
+  PhaseResult wfq = RunPhase("wfq", grouped, data,
+                             {interactive_spec, batch_spec, adhoc_spec},
+                             &reconciled);
+  std::printf("   interactive p95 %.1f ms, batch ok %lld shed %lld\n",
+              wfq.groups["interactive"].Percentile(0.95),
+              static_cast<long long>(wfq.groups["batch"].ok),
+              static_cast<long long>(wfq.groups["batch"].shed));
+
+  std::printf("== phase fifo: same mix, groups disabled ==\n");
+  SessionSpec fifo_interactive = interactive_spec;
+  fifo_interactive.queries = fifo_interactive_queries;
+  PhaseResult fifo_phase = RunPhase("fifo", fifo, data,
+                                    {fifo_interactive, batch_spec, adhoc_spec},
+                                    &reconciled);
+  std::printf("   interactive p95 %.1f ms\n",
+              fifo_phase.groups["interactive"].Percentile(0.95));
+
+  const double baseline_p95 = baseline.groups["interactive"].Percentile(0.95);
+  const double wfq_p95 = wfq.groups["interactive"].Percentile(0.95);
+  const double fifo_p95 = fifo_phase.groups["interactive"].Percentile(0.95);
+  const double wfq_ratio = baseline_p95 > 0 ? wfq_p95 / baseline_p95 : 0;
+  const double fifo_ratio = baseline_p95 > 0 ? fifo_p95 / baseline_p95 : 0;
+  std::printf(
+      "== isolation: baseline %.1f ms, wfq %.1f ms (%.2fx), fifo %.1f ms "
+      "(%.2fx) ==\n",
+      baseline_p95, wfq_p95, wfq_ratio, fifo_p95, fifo_ratio);
+
+  std::vector<PhaseResult*> phases = {&baseline, &wfq, &fifo_phase};
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"multi_tenant_workload\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"phases\": [\n");
+  for (size_t p = 0; p < phases.size(); ++p) {
+    const PhaseResult& phase = *phases[p];
+    std::fprintf(f,
+                 "    {\"phase\": \"%s\", \"groups_enabled\": %s, "
+                 "\"wall_millis\": %.1f, \"groups\": [\n",
+                 phase.name.c_str(), phase.groups_enabled ? "true" : "false",
+                 phase.wall_millis);
+    size_t g = 0;
+    for (const auto& [group, stats] : phase.groups) {
+      const double qps = phase.wall_millis > 0
+                             ? static_cast<double>(stats.ok) * 1000.0 /
+                                   phase.wall_millis
+                             : 0;
+      std::fprintf(
+          f,
+          "      {\"group\": \"%s\", \"sessions\": %d, \"ok\": %lld, "
+          "\"shed\": %lld, \"failed\": %lld,\n"
+          "       \"qps\": %.1f, \"p50_millis\": %.2f, \"p95_millis\": %.2f, "
+          "\"p99_millis\": %.2f,\n"
+          "       \"queued\": %lld, \"killed\": %lld, \"degraded\": %lld}%s\n",
+          group.c_str(), stats.sessions, static_cast<long long>(stats.ok),
+          static_cast<long long>(stats.shed),
+          static_cast<long long>(stats.failed), qps, stats.Percentile(0.5),
+          stats.Percentile(0.95), stats.Percentile(0.99),
+          static_cast<long long>(MetricOr0(phase, "group." + group + ".queued")),
+          static_cast<long long>(MetricOr0(phase, "group." + group + ".killed")),
+          static_cast<long long>(
+              MetricOr0(phase, "group." + group + ".degraded")),
+          ++g < phase.groups.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", p + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"isolation\": {\"baseline_p95_millis\": %.2f, "
+               "\"wfq_p95_millis\": %.2f, \"fifo_p95_millis\": %.2f,\n"
+               "    \"wfq_over_baseline\": %.2f, \"fifo_over_baseline\": %.2f, "
+               "\"interactive_sheds_wfq\": %lld, \"batch_sheds_wfq\": %lld}\n}\n",
+               baseline_p95, wfq_p95, fifo_p95, wfq_ratio, fifo_ratio,
+               static_cast<long long>(wfq.groups["interactive"].shed),
+               static_cast<long long>(wfq.groups["batch"].shed));
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Acceptance floors.
+  int rc = 0;
+  if (!reconciled) {
+    std::fprintf(stderr, "FAIL: group accounting did not reconcile\n");
+    rc = 1;
+  }
+  if (wfq.groups["interactive"].shed != 0) {
+    std::fprintf(stderr, "FAIL: interactive was load-shed under wfq\n");
+    rc = 1;
+  }
+  if (!quick) {
+    if (wfq.groups["batch"].shed == 0) {
+      std::fprintf(stderr,
+                   "FAIL: batch saturation never shed (overload protection "
+                   "untested)\n");
+      rc = 1;
+    }
+    if (wfq_ratio > 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: weighted-fair interactive p95 %.2fx baseline "
+                   "(floor: <= 2x)\n",
+                   wfq_ratio);
+      rc = 1;
+    }
+    if (fifo_ratio < 5.0) {
+      std::fprintf(stderr,
+                   "FAIL: FIFO control degraded interactive only %.2fx "
+                   "(expected >= 5x)\n",
+                   fifo_ratio);
+      rc = 1;
+    }
+  }
+  return rc;
+}

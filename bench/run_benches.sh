@@ -14,3 +14,7 @@ echo "== bench_engine =="
 echo
 echo "== bench_pushdown =="
 "$build_dir/bench/bench_pushdown"
+
+echo
+echo "== bench_workload =="
+"$build_dir/bench/bench_workload" "$repo_root/BENCH_workload.json"

@@ -54,6 +54,15 @@ LAZY_SCAN_FILTER="$LAZY_SCAN_FILTER:DifferentialTest.*"
 LAZY_SCAN_FILTER="$LAZY_SCAN_FILTER:ChaosQueryTest.LazyScanPageReadFaultsNeverCorruptResults"
 LAZY_SCAN_FILTER="$LAZY_SCAN_FILTER:ObservabilityTest.ExplainAnalyzeShowsLazyScanStatsAndEnforcedPushdown"
 
+# Workload stage: resource-group admission under concurrency — the DRR
+# promotion loop racing TryAdmit/Wait/Release from many session threads, the
+# group memory-pool layer, gateway shed failover, and the chaos worker-kill
+# reconciliation. Plus a --quick pass of the multi-tenant workload driver
+# (ratio floors are skipped under sanitizers; accounting reconciliation and
+# the zero-interactive-shed floor still hold).
+WORKLOAD_FILTER='ResourceGroupManagerTest.*:WorkloadClusterTest.*'
+WORKLOAD_FILTER="$WORKLOAD_FILTER:GatewayShedTest.*:WorkloadChaosTest.*"
+
 # Tracing stage: a traced spilling query recorded from many threads at once
 # (span shards, blocked-time carry across the morsel pool, lazy operator-span
 # opening) plus the Chrome trace JSON round-trip validation — the spots where
@@ -84,6 +93,11 @@ if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan lazy scan =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$LAZY_SCAN_FILTER")
+  echo "== tsan workload =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$WORKLOAD_FILTER")
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ./bench/bench_workload /tmp/BENCH_workload_tsan.json --quick)
 fi
 
 if [[ "$MODE" != "--tsan-only" ]]; then
@@ -110,6 +124,11 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   echo "== asan lazy scan =="
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$LAZY_SCAN_FILTER")
+  echo "== asan workload =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$WORKLOAD_FILTER")
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      ./bench/bench_workload /tmp/BENCH_workload_asan.json --quick)
 fi
 
 echo "OK: requested suites passed"

@@ -289,6 +289,7 @@ bool Coordinator::OnMemoryPressure(int64_t requesting_query_id,
                                    int64_t bytes_requested) {
   int64_t victim_id = -1;
   int64_t victim_reserved = -1;
+  std::string victim_group;
   {
     std::lock_guard<std::mutex> lock(active_mu_);
     // A kill already in flight is freeing memory as the victim unwinds; don't
@@ -310,10 +311,14 @@ bool Coordinator::OnMemoryPressure(int64_t requesting_query_id,
     }
     if (victim == nullptr || victim_reserved <= 0) return false;
     victim->killed->store(true, std::memory_order_relaxed);
+    victim_group = victim->group;
   }
   // The flag alone suffices: operators poll it at every batch boundary, so
   // the victim unwinds (releasing its pools) without any exchange plumbing.
   metrics_.Increment("query.killed.memory");
+  if (!victim_group.empty()) {
+    metrics_.Increment("group." + victim_group + ".killed");
+  }
   journal_.Record(victim_id, QueryEventKind::kKilledMemory,
                   "largest reservation under worker memory pressure",
                   {{"reserved_bytes", victim_reserved},
@@ -322,65 +327,62 @@ bool Coordinator::OnMemoryPressure(int64_t requesting_query_id,
   return victim_id != requesting_query_id;
 }
 
-Status Coordinator::AdmitQuery(int64_t query_id, int64_t query_queue_max,
+Status Coordinator::AdmitQuery(int64_t query_id, const std::string& group,
+                               int64_t query_queue_max,
                                int64_t deadline_steady_nanos,
                                int64_t* queued_nanos_out) {
-  const int64_t high_water = static_cast<int64_t>(
-      static_cast<double>(options_.worker_memory_bytes) *
-      options_.admission_high_water);
-  std::unique_lock<std::mutex> lock(active_mu_);
-  if (worker_pool_->reserved_bytes() < high_water) return Status::OK();
-  if (queued_now_ >= query_queue_max) {
-    return Status::ResourceExhausted(
-        "admission queue full: " + std::to_string(queued_now_) +
-        " queries already queued (query_queue_max=" +
-        std::to_string(query_queue_max) + ")");
+  bool queued = false;
+  Status st = groups_->TryAdmit(group, query_id, query_queue_max, &queued);
+  if (!st.ok()) {
+    // Load shed (kRejected): the group queue is full. The gateway treats
+    // this as cluster overload — back off, don't blind-failover-hammer.
+    metrics_.Increment("query.shed");
+    journal_.Record(query_id, QueryEventKind::kShed, st.message(),
+                    {{"group_running", groups_->running(group)},
+                     {"group_queued", groups_->queued(group)}});
+    return st;
   }
-  ++queued_now_;
+  if (!queued) return Status::OK();  // fast path: slot granted immediately
   metrics_.Increment("query.queued");
   journal_.Record(query_id, QueryEventKind::kQueued,
-                  "reserved worker memory at or above high-water mark",
+                  "waiting in resource group '" + group + "'",
                   {{"reserved_bytes", worker_pool_->reserved_bytes()},
-                   {"high_water_bytes", high_water}});
+                   {"group_running", groups_->running(group)},
+                   {"group_queued", groups_->queued(group)}});
   // From here the query is genuinely waiting: time the wait into the
   // thread's blocked cell (kQueued) and, when tracing, record an admission
   // span under the query span installed by ExecutePlan.
   const int64_t wait_start = SteadyNowNanos();
   BlockedTimer blocked(BlockedKind::kQueued);
-  TraceEventScope span(TraceKind::kAdmission, "admission_queue");
-  // Poll rather than relying purely on notification: memory is also released
-  // by operators mid-query (pool atomics have no coordinator hook), so a
-  // 10ms re-check keeps admission prompt without coupling pools to the
-  // coordinator lock.
-  while (worker_pool_->reserved_bytes() >= high_water) {
-    if (deadline_steady_nanos > 0 &&
-        SteadyNowNanos() >= deadline_steady_nanos) {
-      --queued_now_;
-      if (queued_nanos_out != nullptr) {
-        *queued_nanos_out = SteadyNowNanos() - wait_start;
-      }
-      return Status::Unavailable(
-          "query deadline exceeded (query_timeout_millis) while queued for "
-          "admission");
-    }
-    admission_cv_.wait_for(lock, std::chrono::milliseconds(10));
-  }
-  --queued_now_;
+  TraceEventScope span(TraceKind::kAdmission, "group_queue_wait");
+  st = groups_->Wait(group, query_id, deadline_steady_nanos);
   if (queued_nanos_out != nullptr) {
     *queued_nanos_out = SteadyNowNanos() - wait_start;
   }
-  journal_.Record(query_id, QueryEventKind::kAdmitted,
-                  "reserved worker memory dropped below high-water mark");
-  return Status::OK();
+  if (st.ok()) {
+    journal_.Record(query_id, QueryEventKind::kAdmitted,
+                    "weighted-fair promotion granted a slot in group '" +
+                        group + "'");
+  } else if (st.code() == StatusCode::kRejected) {
+    // Queued-time deadline: stale work is shed rather than run long after
+    // the client gave up on it.
+    metrics_.Increment("query.shed");
+    journal_.Record(query_id, QueryEventKind::kShed, st.message());
+  } else {
+    metrics_.Increment("query.timeout.queued");
+    journal_.Record(query_id, QueryEventKind::kTimeoutQueued, st.message());
+  }
+  return st;
 }
 
 Result<QueryResult> Coordinator::ExecuteSql(const std::string& sql,
                                             const Session& session) {
   Stopwatch watch;
   int64_t query_id = next_query_id_.fetch_add(1);
-  // Register the trace id before the first event so every journal entry of
-  // this query (kCreated included) carries it.
+  // Register the trace id and resource group before the first event so every
+  // journal entry of this query (kCreated included) carries both.
   journal_.SetTraceId(query_id, MakeTraceId(query_id));
+  journal_.SetResourceGroup(query_id, groups_->Resolve(session).name);
   journal_.Record(query_id, QueryEventKind::kCreated, sql);
 
   auto statement = sql::ParseStatement(sql);
@@ -452,6 +454,12 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   // the result's exec_metrics reflect the whole recovery story.
   MetricsRegistry query_metrics;
 
+  // -- Resource group resolution: every query belongs to exactly one group
+  // (the resource_group session property, else the session's group name,
+  // else the default). Journal events (stamped at kCreated) and the trace
+  // root carry it.
+  const ResourceGroupConfig& group = groups_->Resolve(session);
+
   // -- Tracing (session query_trace=true): one recorder per query, rooted at
   // a kQuery span. The context scope installs it on the coordinator thread;
   // task dispatch re-installs it on worker threads per attempt.
@@ -460,8 +468,10 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   TraceState* trace = nullptr;
   if (tracing) {
     trace_state.recorder = std::make_shared<TraceRecorder>();
+    std::string root_name = "query#" + std::to_string(query_id);
+    if (groups_->enabled()) root_name += " group=" + group.name;
     trace_state.query_span = trace_state.recorder->BeginSpan(
-        TraceKind::kQuery, "query#" + std::to_string(query_id), 0);
+        TraceKind::kQuery, root_name, 0);
     trace = &trace_state;
   }
   TraceContextScope trace_ctx(
@@ -474,7 +484,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
       session.Property("query_queue_max", "64").c_str(), nullptr, 10);
   if (query_queue_max < 0) query_queue_max = 0;
   int64_t queued_nanos = 0;
-  Status admitted = AdmitQuery(query_id, query_queue_max,
+  Status admitted = AdmitQuery(query_id, group.name, query_queue_max,
                                deadline_steady_nanos, &queued_nanos);
   if (queued_nanos > 0) {
     // Into the per-query registry now, so the exec_metrics snapshot taken at
@@ -490,10 +500,23 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     }
     return RecordFailure(query_id, admitted, &query_metrics);
   }
+  // Admitted: the group slot is held until every exit path below — the
+  // guard returns it (waking promotion) and closes the group's completion
+  // accounting, so concurrency quotas reconcile exactly even after
+  // restarts, kills, and failures.
+  struct AdmissionGuard {
+    Coordinator* coordinator;
+    std::string group;
+    ~AdmissionGuard() {
+      coordinator->groups_->Release(group);
+      coordinator->metrics_.Increment("group." + group + ".completed");
+    }
+  } admission_guard{this, group.name};
 
-  // -- Per-query memory context: worker -> query.<id> -> {user, system}.
-  // The registration below makes the query visible to the low-memory killer;
-  // the guard unregisters it on every exit path and wakes queued queries.
+  // -- Per-query memory context: worker [-> group] -> query.<id> ->
+  // {user, system}. The registration below makes the query visible to the
+  // low-memory killer; the guard unregisters it on every exit path and
+  // wakes queued queries.
   QueryMemoryContext memory_ctx;
   const QueryMemoryContext* memory = nullptr;
   struct ActiveGuard {
@@ -506,7 +529,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
         std::lock_guard<std::mutex> lock(coordinator->active_mu_);
         coordinator->active_queries_.erase(query_id);
       }
-      coordinator->admission_cv_.notify_all();
+      coordinator->groups_->NotifyCapacity();
     }
   } active_guard{this, query_id};
   if (session.Property("memory_accounting", "true") != "false") {
@@ -518,8 +541,18 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
         if (parsed > 0) query_max_memory = parsed;
       }
     }
+    // Query pools hang off the group's pool layer when resource groups are
+    // enabled, so the group's memory_fraction cap bounds its tenants'
+    // combined reservations (operators classify a group-cap failure like a
+    // query-cap failure: spill or fail, never the cross-tenant killer).
+    MemoryPool* pool_parent = worker_pool_.get();
+    auto group_pool_it = group_pools_.find(group.name);
+    if (group_pool_it != group_pools_.end()) {
+      pool_parent = group_pool_it->second.get();
+      memory_ctx.group = pool_parent;
+    }
     memory_ctx.query =
-        worker_pool_->AddChild("query." + std::to_string(query_id));
+        pool_parent->AddChild("query." + std::to_string(query_id));
     memory_ctx.user = memory_ctx.query->AddChild("user", query_max_memory);
     memory_ctx.system = memory_ctx.query->AddChild("system");
     memory_ctx.killed = std::make_shared<std::atomic<bool>>(false);
@@ -532,14 +565,14 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     {
       std::lock_guard<std::mutex> lock(active_mu_);
       active_queries_[query_id] =
-          ActiveQuery{memory_ctx.query, memory_ctx.killed};
+          ActiveQuery{memory_ctx.query, memory_ctx.killed, group.name};
     }
     active_guard.armed = true;
   }
 
   auto attempt = ExecutePlanOnce(query_id, fragmented, session, watch,
                                  force_stats, deadline_steady_nanos,
-                                 &query_metrics, memory, trace);
+                                 &query_metrics, memory, &group, trace);
   bool deadline_expired = deadline_steady_nanos > 0 &&
                           SteadyNowNanos() >= deadline_steady_nanos;
   if (!attempt.ok() && recovery_enabled && !deadline_expired &&
@@ -555,7 +588,7 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
                     attempt.status().ToString());
     attempt = ExecutePlanOnce(query_id, fragmented, session, watch, force_stats,
                               deadline_steady_nanos, &query_metrics, memory,
-                              trace);
+                              &group, trace);
   }
   if (!attempt.ok()) {
     if (attempt.status().message().find("query deadline exceeded") !=
@@ -601,7 +634,7 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     int64_t query_id, const FragmentedPlan& fragmented, const Session& session,
     Stopwatch watch, bool force_stats, int64_t deadline_steady_nanos,
     MetricsRegistry* query_metrics, const QueryMemoryContext* memory,
-    TraceState* trace) {
+    const ResourceGroupConfig* group, TraceState* trace) {
   QueryResult result;
   result.query_id = query_id;
   result.num_fragments = static_cast<int>(fragmented.fragments.size());
@@ -629,6 +662,22 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     }
   }
   if (!morsel_execution) task_threads = 1;
+  // Soft degradation: before memory pressure reaches spill/queue/kill
+  // territory, degradable groups (batch/adhoc) give up intra-task
+  // parallelism. Fewer concurrent operator chains means a smaller working
+  // set, trading batch latency for cluster headroom.
+  if (group != nullptr && group->degradable && memory != nullptr &&
+      task_threads > 1 &&
+      worker_pool_->reserved_bytes() >=
+          static_cast<int64_t>(options_.degrade_high_water *
+                               static_cast<double>(options_.worker_memory_bytes))) {
+    task_threads = 1;
+    metrics_.Increment("group." + group->name + ".degraded");
+    if (query_metrics != nullptr) query_metrics->Increment("query.degraded");
+    journal_.Record(query_id, QueryEventKind::kDegraded,
+                    "memory pressure shrank task_threads to 1",
+                    {{"reserved_bytes", worker_pool_->reserved_bytes()}});
+  }
   const size_t task_parallelism =
       morsel_execution ? std::max<size_t>(1, workers.size()) : parallelism;
   // Partition count of hash-partitioned stages (session hash_partition_count).
@@ -688,6 +737,7 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     // Task pools are added per task inside run_task; everything else about
     // the memory hierarchy is shared across the query's tasks.
     limits.query_user_pool = memory->user.get();
+    limits.query_group_pool = memory->group;
     limits.arbiter = this;
     limits.query_id = query_id;
     limits.query_killed = memory->killed;

@@ -15,6 +15,7 @@
 #include "presto/common/trace.h"
 #include "presto/connector/connector.h"
 #include "presto/cluster/query_journal.h"
+#include "presto/cluster/resource_groups.h"
 #include "presto/cluster/worker.h"
 #include "presto/exec/query_stats.h"
 #include "presto/fs/file_system.h"
@@ -78,6 +79,16 @@ struct CoordinatorOptions {
   /// Admission control high-water mark as a fraction of worker_memory_bytes:
   /// new queries queue while reserved worker memory is at or above it.
   double admission_high_water = 0.85;
+  /// Resource groups (multi-tenant admission). Disabled by default: one
+  /// unbounded FIFO group gated only by the high-water mark — the
+  /// pre-resource-groups behavior. Enable (e.g. DefaultResourceGroupTree())
+  /// for per-group concurrency quotas, weighted-fair admission, queue-depth
+  /// load shedding, and per-group memory caps.
+  ResourceGroupsOptions resource_groups;
+  /// Soft-degradation watermark as a fraction of worker_memory_bytes: above
+  /// it, queries of degradable groups run with task_threads = 1 so batch
+  /// narrows before the low-memory killer fires.
+  double degrade_high_water = 0.7;
 };
 
 /// Single-coordinator query engine (Section III): parses incoming SQL into
@@ -102,6 +113,32 @@ class Coordinator : public MemoryArbiter {
                  options.journal_capacity) {
     worker_pool_ = MemoryPool::CreateRoot("worker", options_.worker_memory_bytes,
                                           &metrics_);
+    // Admission gate shared by every group: reserved worker memory must sit
+    // below the high-water mark for any query to be admitted.
+    const int64_t high_water = static_cast<int64_t>(
+        static_cast<double>(options_.worker_memory_bytes) *
+        options_.admission_high_water);
+    groups_ = std::make_unique<ResourceGroupManager>(
+        options_.resource_groups, &metrics_,
+        [this, high_water] {
+          return worker_pool_->reserved_bytes() < high_water;
+        });
+    if (groups_->enabled()) {
+      // Per-group pool layer: worker -> group.<name> -> query.<id>. A
+      // memory_fraction below 1 becomes a reservation-time cap, so one
+      // tenant's queries spill (or fail) inside their own budget instead of
+      // invoking the cross-tenant killer.
+      for (const ResourceGroupConfig& group : groups_->options().groups) {
+        int64_t cap = MemoryPool::kUnlimited;
+        if (group.memory_fraction < 1.0) {
+          cap = static_cast<int64_t>(
+              static_cast<double>(options_.worker_memory_bytes) *
+              group.memory_fraction);
+        }
+        group_pools_[group.name] =
+            worker_pool_->AddChild("group." + group.name, cap);
+      }
+    }
     spill_fs_ = std::make_unique<LocalFileSystem>();
     fragment_cache_.SetMemoryPool(
         ProcessCachePool()->AddChild("cache.fragment_result"));
@@ -154,6 +191,17 @@ class Coordinator : public MemoryArbiter {
   /// tests and benches can observe or pre-reserve worker memory.
   MemoryPool* worker_pool() { return worker_pool_.get(); }
 
+  /// Weighted-fair admission across resource groups (tests and benches
+  /// inspect per-group running/queued counts for reconciliation).
+  ResourceGroupManager& resource_groups() { return *groups_; }
+
+  /// The group's memory pool layer (worker -> group -> query), or null when
+  /// resource groups are disabled / the group is unknown.
+  MemoryPool* group_pool(const std::string& group) {
+    auto it = group_pools_.find(group);
+    return it == group_pools_.end() ? nullptr : it->second.get();
+  }
+
   /// Low-memory killer (MemoryArbiter): invoked by an operator whose
   /// reservation failed at the worker cap even after self-revocation. Kills
   /// (sets the cancellation flag of) the active query with the largest
@@ -167,9 +215,13 @@ class Coordinator : public MemoryArbiter {
   /// Per-query memory wiring threaded from ExecutePlan into the execution
   /// layers. Null when the session disabled accounting.
   struct QueryMemoryContext {
-    std::shared_ptr<MemoryPool> query;   // worker -> query.<id>
+    std::shared_ptr<MemoryPool> query;   // worker [-> group] -> query.<id>
     std::shared_ptr<MemoryPool> user;    // capped at query_max_memory
     std::shared_ptr<MemoryPool> system;  // exchange buffers (uncapped)
+    /// The group pool layer above the query pool (null when groups are
+    /// disabled): a reservation failing here means the tenant outgrew its
+    /// group cap — spill or fail within the tenant, never the killer.
+    MemoryPool* group = nullptr;
     std::shared_ptr<std::atomic<bool>> killed;
     bool spill_enabled = true;
     std::string spill_dir;
@@ -186,13 +238,16 @@ class Coordinator : public MemoryArbiter {
     std::map<int, int64_t> stage_spans;
   };
 
-  /// Admission control: blocks until reserved worker memory drops below the
-  /// high-water mark (journaling query_queued / query_admitted), fails with
-  /// kResourceExhausted when query_queue_max queries are already waiting,
-  /// and gives up at the query deadline. `queued_nanos_out` (optional)
-  /// receives the wall time spent waiting in the queue.
-  Status AdmitQuery(int64_t query_id, int64_t query_queue_max,
-                    int64_t deadline_steady_nanos,
+  /// Admission control through the resource-group manager: immediate when
+  /// the group has quota and the memory gate is open, else the query parks
+  /// in its group's queue (journaling query_queued / query_admitted) until
+  /// weighted-fair promotion grants a slot. Sheds with kRejected when the
+  /// group queue is full or the group's queued-time deadline passes
+  /// (journaling query_shed), and gives up at the query deadline
+  /// (query_timeout_queued). `queued_nanos_out` (optional) receives the wall
+  /// time spent waiting.
+  Status AdmitQuery(int64_t query_id, const std::string& group,
+                    int64_t query_queue_max, int64_t deadline_steady_nanos,
                     int64_t* queued_nanos_out = nullptr);
   Result<FragmentedPlan> PlanSql(const std::string& sql, const Session& session);
   Result<FragmentedPlan> PlanQuery(const sql::Query& query,
@@ -220,6 +275,7 @@ class Coordinator : public MemoryArbiter {
                                       int64_t deadline_steady_nanos,
                                       MetricsRegistry* query_metrics,
                                       const QueryMemoryContext* memory,
+                                      const ResourceGroupConfig* group,
                                       TraceState* trace);
   /// Bumps failure counters and journals a kFailed event carrying a snapshot
   /// of whatever per-query counters accumulated before the error, then
@@ -249,16 +305,21 @@ class Coordinator : public MemoryArbiter {
   std::shared_ptr<MemoryPool> worker_pool_;
   /// File system behind the spill area (fault-injection covered in tests).
   std::unique_ptr<FileSystem> spill_fs_;
-  /// Guards the active-query registry and admission queue below.
+  /// Per-group memory pool layer between the worker root and query pools
+  /// (only when resource groups are enabled; capped groups enforce
+  /// memory_fraction at reservation time).
+  std::map<std::string, std::shared_ptr<MemoryPool>> group_pools_;
+  /// Weighted-fair admission (always present; a single unbounded FIFO group
+  /// when resource groups are disabled).
+  std::unique_ptr<ResourceGroupManager> groups_;
+  /// Guards the active-query registry below.
   mutable std::mutex active_mu_;
-  /// Signaled whenever a query releases its pool, waking queued queries.
-  std::condition_variable admission_cv_;
   struct ActiveQuery {
     std::shared_ptr<MemoryPool> pool;            // query.<id> subtree
     std::shared_ptr<std::atomic<bool>> killed;   // low-memory kill flag
+    std::string group;                           // admission group name
   };
   std::map<int64_t, ActiveQuery> active_queries_;
-  int64_t queued_now_ = 0;  // queries currently waiting for admission
 };
 
 }  // namespace presto

@@ -1,9 +1,12 @@
 #include "presto/cluster/gateway.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "presto/common/fault_injection.h"
+#include "presto/common/random.h"
 
 namespace presto {
 
@@ -13,8 +16,11 @@ constexpr char kRoutingTable[] = "routing";
 }  // namespace
 
 PrestoGateway::PrestoGateway(mysqlite::MySqlLite* routing_db,
-                             int unhealthy_threshold)
-    : db_(routing_db), unhealthy_threshold_(std::max(1, unhealthy_threshold)) {
+                             int unhealthy_threshold,
+                             int64_t overload_backoff_millis)
+    : db_(routing_db),
+      unhealthy_threshold_(std::max(1, unhealthy_threshold)),
+      overload_backoff_millis_(std::max<int64_t>(0, overload_backoff_millis)) {
   // The routing table may already exist (shared MySQL instance).
   (void)db_->CreateTable(
       kRoutingSchema, kRoutingTable,
@@ -170,10 +176,13 @@ Result<QueryResult> PrestoGateway::Submit(const std::string& sql,
   }
   Status last;
   // Clusters that refused this query for overload (kResourceExhausted:
-  // admission queue full, memory-killed). Overload is a property of the
-  // cluster's current load, not its health, so these failovers carry no
-  // health penalty — but each overloaded cluster is tried at most once.
+  // memory-killed; kRejected: resource-group load shed). Overload is a
+  // property of the cluster's current load, not its health, so these
+  // failovers carry no health penalty — but each overloaded cluster is
+  // tried at most once, and each rejection is preceded by a jittered
+  // backoff so a shedding cluster isn't immediately hammered elsewhere.
   std::set<std::string> overloaded;
+  Random jitter(reinterpret_cast<uint64_t>(&last) ^ 0x9e3779b97f4a7c15ULL);
   for (size_t attempt = 0; attempt < attempts; ++attempt) {
     PrestoCluster* cluster = nullptr;
     if (overloaded.empty()) {
@@ -195,10 +204,20 @@ Result<QueryResult> PrestoGateway::Submit(const std::string& sql,
       ReportClusterSuccess(cluster->name());
       return result;
     }
-    if (result.status().code() == StatusCode::kResourceExhausted) {
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kResourceExhausted ||
+        code == StatusCode::kRejected) {
       last = result.status();
       overloaded.insert(cluster->name());
       metrics_.Increment("gateway.query.overload_failover");
+      if (code == StatusCode::kRejected) {
+        metrics_.Increment("gateway.route.shed");
+      }
+      if (overload_backoff_millis_ > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            jitter.NextInRange(overload_backoff_millis_ / 2,
+                               overload_backoff_millis_)));
+      }
       continue;
     }
     if (!IsRetryableStatus(result.status())) {

@@ -33,8 +33,11 @@ namespace presto {
 /// cluster's, and never count against health.
 class PrestoGateway {
  public:
+  /// `overload_backoff_millis`: upper bound of the jittered sleep before
+  /// retrying after an overload rejection (0 disables the backoff).
   explicit PrestoGateway(mysqlite::MySqlLite* routing_db,
-                         int unhealthy_threshold = 3);
+                         int unhealthy_threshold = 3,
+                         int64_t overload_backoff_millis = 5);
 
   Status RegisterCluster(const std::string& name, PrestoCluster* cluster);
 
@@ -52,10 +55,12 @@ class PrestoGateway {
   /// Route + execute (what a client library does after the redirect), with
   /// health bookkeeping: a retryable execution failure counts against the
   /// cluster and the query fails over to the remaining healthy clusters.
-  /// kResourceExhausted (admission queue full / memory-killed) means the
-  /// cluster is overloaded, not sick: the query fails over to another
-  /// healthy cluster without a health penalty
-  /// (gateway.query.overload_failover).
+  /// kResourceExhausted (memory-killed) and kRejected (resource-group load
+  /// shed) mean the cluster is overloaded, not sick: the query backs off
+  /// with jitter and fails over to another healthy cluster without a health
+  /// penalty (gateway.query.overload_failover, gateway.route.shed). Blind
+  /// immediate failover on shed would just move the stampede — backoff
+  /// absorbs it.
   Result<QueryResult> Submit(const std::string& sql, const Session& session);
 
   /// Maintenance drain: every route pointing at `from` is rewritten to
@@ -89,6 +94,7 @@ class PrestoGateway {
 
   mysqlite::MySqlLite* db_;
   const int unhealthy_threshold_;
+  const int64_t overload_backoff_millis_;
   mutable std::mutex mu_;
   std::map<std::string, ClusterEntry> clusters_;
   MetricsRegistry metrics_;

@@ -35,6 +35,12 @@ const char* QueryEventKindToString(QueryEventKind kind) {
       return "query_killed_memory";
     case QueryEventKind::kOperatorSpilled:
       return "operator_spilled";
+    case QueryEventKind::kShed:
+      return "query_shed";
+    case QueryEventKind::kTimeoutQueued:
+      return "query_timeout_queued";
+    case QueryEventKind::kDegraded:
+      return "query_degraded";
   }
   return "unknown";
 }
@@ -43,6 +49,7 @@ std::string QueryEvent::ToString() const {
   std::ostringstream out;
   out << "[" << timestamp_nanos << "] query " << query_id;
   if (!trace_id.empty()) out << " trace=" << trace_id;
+  if (!resource_group.empty()) out << " group=" << resource_group;
   out << " " << QueryEventKindToString(kind);
   if (!detail.empty()) {
     out << ": " << detail;
@@ -74,6 +81,8 @@ void QueryJournal::Record(int64_t query_id, QueryEventKind kind,
   event.sequence = next_sequence_++;
   auto trace_it = trace_ids_.find(query_id);
   if (trace_it != trace_ids_.end()) event.trace_id = trace_it->second;
+  auto group_it = groups_.find(query_id);
+  if (group_it != groups_.end()) event.resource_group = group_it->second;
   event.detail = std::move(detail);
   event.counters = std::move(counters);
   events_.push_back(std::move(event));
@@ -88,6 +97,12 @@ void QueryJournal::SetTraceId(int64_t query_id, std::string trace_id) {
   // Bounded: query ids are assigned monotonically, so pruning the smallest
   // keys drops the oldest queries.
   while (trace_ids_.size() > 1024) trace_ids_.erase(trace_ids_.begin());
+}
+
+void QueryJournal::SetResourceGroup(int64_t query_id, std::string group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_[query_id] = std::move(group);
+  while (groups_.size() > 1024) groups_.erase(groups_.begin());
 }
 
 std::string QueryJournal::TraceIdFor(int64_t query_id) const {

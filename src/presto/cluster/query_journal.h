@@ -28,6 +28,9 @@ enum class QueryEventKind {
   kAdmitted,           // a previously queued query got its admission slot
   kKilledMemory,       // low-memory killer cancelled the largest query
   kOperatorSpilled,    // revocable operators wrote spill runs under pressure
+  kShed,               // overload protection rejected the query (kRejected)
+  kTimeoutQueued,      // query_timeout_millis expired while still queued
+  kDegraded,           // memory pressure shrank the query's task_threads
 };
 
 const char* QueryEventKindToString(QueryEventKind kind);
@@ -45,6 +48,10 @@ struct QueryEvent {
   /// query once the coordinator registers it via SetTraceId — joins the
   /// journal with trace dumps and client-side logs.
   std::string trace_id;
+  /// Resource group the query was admitted under ("" before resolution or
+  /// when the registration was pruned), stamped like trace_id via
+  /// SetResourceGroup.
+  std::string resource_group;
   std::string detail;
   std::map<std::string, int64_t> counters;
 
@@ -71,6 +78,10 @@ class QueryJournal {
   /// The registered trace id for a query ("" if unknown/pruned).
   std::string TraceIdFor(int64_t query_id) const;
 
+  /// Registers the query's resource group; every subsequent event of the
+  /// query carries it. Bounded like the trace-id map.
+  void SetResourceGroup(int64_t query_id, std::string group);
+
   /// Copy of the retained events, oldest first.
   std::vector<QueryEvent> Events() const;
 
@@ -89,6 +100,7 @@ class QueryJournal {
   mutable std::mutex mu_;
   std::deque<QueryEvent> events_;
   std::map<int64_t, std::string> trace_ids_;  // query id -> trace id
+  std::map<int64_t, std::string> groups_;     // query id -> resource group
   int64_t next_sequence_ = 0;
   int64_t last_timestamp_ = -1;
 };

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "SCHEMA_VIOLATION";
     case StatusCode::kUserError:
       return "USER_ERROR";
+    case StatusCode::kRejected:
+      return "REJECTED";
   }
   return "UNKNOWN";
 }

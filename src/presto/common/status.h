@@ -25,6 +25,7 @@ enum class StatusCode {
   kSyntaxError,       // SQL lexer/parser errors
   kSchemaViolation,   // schema-evolution rule violations
   kUserError,         // semantic analysis errors surfaced to the query author
+  kRejected,          // load shed: the cluster refused to even queue the work
 };
 
 /// Returns a human-readable name for a status code, e.g. "IO_ERROR".
@@ -79,6 +80,9 @@ class Status {
   }
   static Status UserError(std::string msg) {
     return Status(StatusCode::kUserError, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -154,6 +154,7 @@ class OperatorMemory {
     if (limits.task_pool == nullptr) return;
     pool_ = limits.task_pool->AddChild(name);
     query_user_pool_ = limits.query_user_pool;
+    query_group_pool_ = limits.query_group_pool;
     arbiter_ = limits.arbiter;
     query_id_ = limits.query_id;
     killed_ = limits.query_killed;
@@ -204,7 +205,9 @@ class OperatorMemory {
       bytes_ = bytes;
       return st;
     }
-    *at_query_cap = failed == query_user_pool_ && query_user_pool_ != nullptr;
+    *at_query_cap =
+        (failed == query_user_pool_ && query_user_pool_ != nullptr) ||
+        (failed == query_group_pool_ && query_group_pool_ != nullptr);
     return st;
   }
 
@@ -241,6 +244,7 @@ class OperatorMemory {
  private:
   std::shared_ptr<MemoryPool> pool_;
   MemoryPool* query_user_pool_ = nullptr;
+  MemoryPool* query_group_pool_ = nullptr;
   MemoryArbiter* arbiter_ = nullptr;
   int64_t query_id_ = 0;
   std::shared_ptr<const std::atomic<bool>> killed_;

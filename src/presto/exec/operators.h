@@ -176,6 +176,12 @@ struct ExecutionLimits {
   /// outgrew its own cap (spill or fail); failing above it means the worker
   /// is full (ask the arbiter / low-memory killer).
   MemoryPool* query_user_pool = nullptr;
+  /// The resource group's pool (the memory_fraction cap between query and
+  /// worker); null when resource groups are disabled. A failure here is the
+  /// tenant outgrowing its slice, classified like a query-cap failure (spill
+  /// within the tenant) rather than a worker-cap one — the cross-tenant
+  /// low-memory killer is reserved for genuine worker exhaustion.
+  MemoryPool* query_group_pool = nullptr;
   /// Worker-level arbitration hook (the coordinator's low-memory killer);
   /// may be null. Invoked only after self-revocation could not free enough.
   MemoryArbiter* arbiter = nullptr;

@@ -46,8 +46,14 @@ struct Session {
   ///   query_queue_max        = admission-control queue depth: queries
   ///                            arriving while reserved worker memory is
   ///                            above the high-water mark wait here;
-  ///                            arrivals beyond this fail immediately
-  ///                            (default 64)
+  ///                            arrivals beyond this are load-shed with
+  ///                            kRejected (default 64; with resource groups
+  ///                            enabled the effective depth is the minimum
+  ///                            of this and the group's max_queued)
+  ///   resource_group         = resource group to run under ("interactive",
+  ///                            "batch", "adhoc" in the default tree); falls
+  ///                            back to a group named like the session's
+  ///                            group, then the tree's default group
   ///   memory_accounting      = "true" (default) | "false": disables the
   ///                            memory-pool hierarchy entirely (used to
   ///                            measure reservation overhead in benches)

@@ -617,7 +617,10 @@ TEST_F(AdmissionTest, FullQueueFailsImmediately) {
   session.properties["query_queue_max"] = "0";
   auto result = cluster_->Execute("SELECT sum(x) FROM mem.raw.t", session);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+  // Load shed: a full admission queue is kRejected (overload), distinct from
+  // kResourceExhausted (out of memory) so the gateway backs off instead of
+  // blind-failing-over.
+  EXPECT_EQ(result.status().code(), StatusCode::kRejected)
       << result.status().ToString();
 
   coordinator.worker_pool()->Release(10 << 20);
