@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "presto/cluster/cluster.h"
+#include "presto/common/fault_injection.h"
 #include "presto/common/random.h"
 #include "presto/connectors/hive/hive_connector.h"
 #include "presto/connectors/memory/memory_connector.h"
@@ -368,6 +369,153 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- Spooled-exchange overhead: tee on, fault rate zero --------------------
+  // exchange_spool=true tees every page accepted into an exchange through the
+  // snappy spill codec into a worker-local spool file. The budget is 2% of
+  // the same recovery-armed run without spooling: stage-level recovery that
+  // taxes the fault-free path gets turned off in production. The tee's cost
+  // is the snappy compression of the shuffled bytes — serialize/compress run
+  // outside the spool lock, so on a multi-core worker they overlap operator
+  // work, but on a single-core host they are pure added wall time
+  // proportional to exchanged bytes (the JSON records both so the budget is
+  // judged against the byte volume). Shuffle-raw-rows shapes like the join
+  // pay the most; that cost shows up in the recovery section below, where
+  // its baselines have the tee on.
+  std::printf("\n=== Spooled-exchange tee overhead (fault rate 0) ===\n\n");
+  QueryResult spool_on_result, spool_off_result;
+  double spool_on_millis = 1e18, spool_off_millis = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    spool_on_millis =
+        std::min(spool_on_millis,
+                 best_of(queries[0].sql,
+                         {{"query_max_task_retries", "1"},
+                          {"exchange_spool", "true"}},
+                         1, &spool_on_result));
+    spool_off_millis =
+        std::min(spool_off_millis,
+                 best_of(queries[0].sql, {{"query_max_task_retries", "1"}}, 1,
+                         &spool_off_result));
+  }
+  double spool_overhead_pct =
+      (spool_on_millis - spool_off_millis) / spool_off_millis * 100.0;
+  int64_t spool_pages_written =
+      spool_on_result.exec_metrics["exchange.spool.page.written"];
+  int64_t spool_bytes_written =
+      spool_on_result.exec_metrics["exchange.spool.byte.written"];
+  int64_t spool_bytes_raw =
+      spool_on_result.exec_metrics["exchange.spool.byte.raw"];
+  std::printf(
+      "%-28s spool-on %7.1f ms  spool-off %7.1f ms  overhead %+.2f%% "
+      "(budget 2%%), %lld pages / %.1f MB spooled\n",
+      queries[0].name, spool_on_millis, spool_off_millis, spool_overhead_pct,
+      static_cast<long long>(spool_pages_written),
+      spool_bytes_written / 1048576.0);
+  if (spool_on_result.total_rows != spool_off_result.total_rows) {
+    std::fprintf(stderr, "spool row mismatch: %lld vs %lld\n",
+                 static_cast<long long>(spool_on_result.total_rows),
+                 static_cast<long long>(spool_off_result.total_rows));
+    return 1;
+  }
+  if (spool_pages_written == 0) {
+    std::fprintf(stderr, "spool-on run spooled no pages\n");
+    return 1;
+  }
+
+  // -- Kill-one-worker recovery time: stage re-run vs restart-once -----------
+  // A fresh 3-worker cluster runs the join while a scripted fault kills one
+  // worker host roughly two thirds of the way through the query — late
+  // enough that real upstream work is lost. With exchange_spool on, the lost
+  // intermediate tasks are re-run against the surviving upstream spools
+  // (stage re-run); without it, recovery falls through to restarting the
+  // whole query. Each mode is compared against its own fault-free baseline on
+  // the same cluster shape, so the spool tee cost cancels out and the delta
+  // isolates pure recovery time. Both must produce the fault-free row count.
+  std::printf("\n=== Kill-one-worker recovery (stage re-run vs restart) ===\n\n");
+  struct RecoveryRun {
+    double millis = 0;
+    int64_t rows = 0;
+    int64_t stage_reruns = 0;
+    int64_t restarts = 0;
+    int64_t spool_pages_replayed = 0;
+    int64_t kill_point_calls = 0;  // worker.kill evaluations during the run
+  };
+  auto run_with_kill = [&](bool spool_on, int64_t kill_at, RecoveryRun* out) {
+    PrestoCluster recovery_cluster("recovery-bench", 3, 2);
+    (void)recovery_cluster.catalogs().RegisterCatalog("mem", memory);
+    FaultInjector::Global().Reset();
+    if (kill_at > 0) {
+      FaultInjector::Global().ArmScripted("worker.kill", {kill_at});
+    } else {
+      // Arm at probability 0 so the injector stays enabled and counts
+      // worker.kill evaluations: the baseline's call count is how the kill
+      // point for the faulted runs is placed mid-query.
+      FaultInjector::Global().ArmProbabilistic("worker.kill", 0.0);
+    }
+    Session session;
+    session.properties = {{"query_max_task_retries", "2"},
+                          {"query_timeout_millis", "600000"}};
+    if (spool_on) session.properties["exchange_spool"] = "true";
+    auto result = recovery_cluster.Execute(queries[3].sql, session);
+    out->kill_point_calls = FaultInjector::Global().CallCount("worker.kill");
+    FaultInjector::Global().Reset();
+    if (!result.ok()) {
+      std::fprintf(stderr, "recovery run (spool=%d kill_at=%lld) failed: %s\n",
+                   spool_on ? 1 : 0, static_cast<long long>(kill_at),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    out->millis = result->wall_millis;
+    out->rows = result->total_rows;
+    out->stage_reruns = result->exec_metrics["stage.rerun.count"];
+    out->spool_pages_replayed =
+        result->exec_metrics["exchange.spool.page.replayed"];
+    out->restarts =
+        recovery_cluster.coordinator().metrics().Get("query.restarted");
+  };
+  RecoveryRun baseline_bare, baseline_spooled, recovery_spooled,
+      recovery_restart;
+  run_with_kill(/*spool_on=*/false, /*kill_at=*/0, &baseline_bare);
+  run_with_kill(/*spool_on=*/true, /*kill_at=*/0, &baseline_spooled);
+  const int64_t kill_at = std::max<int64_t>(
+      3, baseline_bare.kill_point_calls * 2 / 3);
+  run_with_kill(/*spool_on=*/true, kill_at, &recovery_spooled);
+  run_with_kill(/*spool_on=*/false, kill_at, &recovery_restart);
+  double spooled_recovery_millis =
+      recovery_spooled.millis - baseline_spooled.millis;
+  double restart_recovery_millis =
+      recovery_restart.millis - baseline_bare.millis;
+  std::printf(
+      "%-28s kill at call %lld of ~%lld\n"
+      "%-28s spooled  %8.1f ms vs baseline %8.1f ms  recovery %+8.1f ms "
+      "(%lld stage re-runs, %lld pages replayed, %lld restarts)\n"
+      "%-28s restart  %8.1f ms vs baseline %8.1f ms  recovery %+8.1f ms "
+      "(%lld stage re-runs, %lld restarts)\n",
+      queries[3].name, static_cast<long long>(kill_at),
+      static_cast<long long>(baseline_bare.kill_point_calls), "",
+      recovery_spooled.millis, baseline_spooled.millis,
+      spooled_recovery_millis,
+      static_cast<long long>(recovery_spooled.stage_reruns),
+      static_cast<long long>(recovery_spooled.spool_pages_replayed),
+      static_cast<long long>(recovery_spooled.restarts), "",
+      recovery_restart.millis, baseline_bare.millis, restart_recovery_millis,
+      static_cast<long long>(recovery_restart.stage_reruns),
+      static_cast<long long>(recovery_restart.restarts));
+  if (recovery_spooled.rows != baseline_bare.rows ||
+      recovery_restart.rows != baseline_bare.rows ||
+      baseline_spooled.rows != baseline_bare.rows) {
+    std::fprintf(stderr, "recovery row mismatch: %lld / %lld vs %lld\n",
+                 static_cast<long long>(recovery_spooled.rows),
+                 static_cast<long long>(recovery_restart.rows),
+                 static_cast<long long>(baseline_bare.rows));
+    return 1;
+  }
+  if (recovery_spooled.restarts != 0) {
+    std::fprintf(stderr,
+                 "spooled run restarted the query instead of re-running the "
+                 "lost stage\n");
+    return 1;
+  }
+
   // -- Memory management: spill throughput and reservation overhead ----------
   // The same 10M-row group-by runs unconstrained (hash tables fully
   // in memory) and under a query_max_memory cap small enough that the
@@ -630,9 +778,31 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  ],\n  \"fault_tolerance\": {\"query\": \"%s\", "
                "\"recovery_armed_millis\": %.2f, \"bare_millis\": %.2f, "
-               "\"overhead_pct\": %.2f, \"budget_pct\": 2.0},\n",
+               "\"overhead_pct\": %.2f, \"budget_pct\": 2.0,\n"
+               "    \"spool_overhead\": {\"query\": \"%s\", "
+               "\"spool_on_millis\": %.2f, \"spool_off_millis\": %.2f, "
+               "\"overhead_pct\": %.2f, \"budget_pct\": 2.0, "
+               "\"spool_pages_written\": %lld, "
+               "\"spool_bytes_written\": %lld, \"spool_bytes_raw\": %lld},\n"
+               "    \"worker_kill_recovery\": {\"query\": \"%s\", "
+               "\"baseline_bare_millis\": %.2f, "
+               "\"baseline_spooled_millis\": %.2f, "
+               "\"stage_rerun_millis\": %.2f, \"restart_millis\": %.2f, "
+               "\"stage_rerun_recovery_millis\": %.2f, "
+               "\"restart_recovery_millis\": %.2f, \"stage_reruns\": %lld, "
+               "\"spool_pages_replayed\": %lld, \"restarts\": %lld}},\n",
                queries[0].name, armed_millis, bare_millis,
-               retry_overhead_pct);
+               retry_overhead_pct, queries[0].name, spool_on_millis,
+               spool_off_millis, spool_overhead_pct,
+               static_cast<long long>(spool_pages_written),
+               static_cast<long long>(spool_bytes_written),
+               static_cast<long long>(spool_bytes_raw), queries[3].name,
+               baseline_bare.millis, baseline_spooled.millis,
+               recovery_spooled.millis, recovery_restart.millis,
+               spooled_recovery_millis, restart_recovery_millis,
+               static_cast<long long>(recovery_spooled.stage_reruns),
+               static_cast<long long>(recovery_spooled.spool_pages_replayed),
+               static_cast<long long>(recovery_restart.restarts));
   std::fprintf(
       f,
       "  \"memory\": {\"query\": \"%s\",\n"

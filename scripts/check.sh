@@ -69,6 +69,17 @@ WORKLOAD_FILTER="$WORKLOAD_FILTER:GatewayShedTest.*:WorkloadChaosTest.*"
 # a recorder race or a context-scope leak would hide.
 TRACE_FILTER='TraceTest.*:TraceClusterTest.*'
 
+# Recovery stage: the stage-level recovery ladder — spool tee/replay racing
+# exchange consumers, attempt-id fencing under concurrent speculative
+# commits, graceful drain racing in-flight submits, and probation heartbeats
+# racing the scheduler. These paths hand pages and task slots across threads
+# at failure boundaries, exactly where a use-after-free or a missed
+# happens-before would hide.
+RECOVERY_FILTER='ExchangeSpoolTest.*:ExchangeFenceTest.*:RecoveryClusterTest.*'
+RECOVERY_FILTER="$RECOVERY_FILTER:WorkerDrainTest.*"
+RECOVERY_FILTER="$RECOVERY_FILTER:ChaosQueryTest.RetryBackoffHonorsQueryDeadline"
+RECOVERY_FILTER="$RECOVERY_FILTER:WorkloadChaosTest.RestartOnceReentersGroupQueueAndReconciles"
+
 if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan build =="
   cmake -B build-tsan -S . -DPRESTO_TSAN=ON >/dev/null
@@ -96,6 +107,9 @@ if [[ "$MODE" != "--asan-only" ]]; then
   echo "== tsan workload =="
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$WORKLOAD_FILTER")
+  echo "== tsan recovery =="
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$RECOVERY_FILTER")
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
       ./bench/bench_workload /tmp/BENCH_workload_tsan.json --quick)
 fi
@@ -127,6 +141,9 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   echo "== asan workload =="
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
       ./tests/presto_tests --gtest_filter="$WORKLOAD_FILTER")
+  echo "== asan recovery =="
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
+      ./tests/presto_tests --gtest_filter="$RECOVERY_FILTER")
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1" \
       ./bench/bench_workload /tmp/BENCH_workload_asan.json --quick)
 fi

@@ -9,6 +9,7 @@
 
 #include "presto/common/fault_injection.h"
 #include "presto/common/random.h"
+#include "presto/exec/exchange_spool.h"
 #include "presto/exec/operators.h"
 #include "presto/planner/optimizer.h"
 #include "presto/sql/analyzer.h"
@@ -79,6 +80,64 @@ Status Coordinator::ShrinkWorker(const std::string& worker_id,
   return target->TryRequestGracefulShutdown(grace_period_nanos);
 }
 
+Status Coordinator::DrainWorker(const std::string& worker_id) {
+  std::shared_ptr<Worker> target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& worker : workers_) {
+      if (worker->id() == worker_id) {
+        target = worker;
+        break;
+      }
+    }
+  }
+  if (target == nullptr) {
+    return Status::NotFound("no such worker: " + worker_id);
+  }
+  // Drain() flips the worker to SHUTTING_DOWN before waiting, so it drops
+  // out of ActiveWorkers() immediately and new dispatches route elsewhere
+  // while this call blocks on its in-flight tasks.
+  RETURN_IF_ERROR(target->Drain());
+  metrics_.Increment("worker.drained");
+  journal_.Record(/*query_id=*/0, QueryEventKind::kWorkerDrained, worker_id);
+  return Status::OK();
+}
+
+int Coordinator::ProbeBlacklistedWorkers() {
+  std::vector<std::shared_ptr<Worker>> members;
+  std::set<std::string> blacklist_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members = workers_;
+    blacklist_snapshot = blacklisted_;
+  }
+  std::vector<std::string> reinstated;
+  for (const auto& member : members) {
+    if (blacklist_snapshot.count(member->id()) == 0) continue;
+    // The probe happens outside mu_ (it is a call into the worker); streak
+    // bookkeeping goes back under the lock.
+    const bool alive = member->Heartbeat();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (blacklisted_.count(member->id()) == 0) continue;  // raced a reinstate
+    if (!alive) {
+      // Flapping host: one failed probe restarts probation from zero, so a
+      // worker must sustain recovery before it sees traffic again.
+      probation_streak_[member->id()] = 0;
+      continue;
+    }
+    if (++probation_streak_[member->id()] >= kProbationProbes) {
+      blacklisted_.erase(member->id());
+      probation_streak_.erase(member->id());
+      reinstated.push_back(member->id());
+    }
+  }
+  for (const std::string& id : reinstated) {
+    metrics_.Increment("worker.reinstated");
+    journal_.Record(/*query_id=*/0, QueryEventKind::kWorkerReinstated, id);
+  }
+  return static_cast<int>(reinstated.size());
+}
+
 std::vector<std::string> Coordinator::BlacklistedWorkers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return std::vector<std::string>(blacklisted_.begin(), blacklisted_.end());
@@ -88,7 +147,11 @@ std::vector<std::shared_ptr<Worker>> Coordinator::ActiveWorkers() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::shared_ptr<Worker>> out;
   for (const auto& worker : workers_) {
-    if (worker->state() == WorkerState::kActive) out.push_back(worker);
+    if (worker->state() != WorkerState::kActive) continue;
+    // A blacklisted worker whose process came back (Revive) is ACTIVE again
+    // but stays out of rotation until the probation sweep reinstates it.
+    if (blacklisted_.count(worker->id()) > 0) continue;
+    out.push_back(worker);
   }
   return out;
 }
@@ -132,6 +195,13 @@ struct TaskLatch {
   void Wait() {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [this] { return remaining <= 0; });
+  }
+  // Registers extra attempts after dispatch (straggler speculation). Must
+  // happen-before Wait() can observe zero — the speculation monitor is
+  // stopped and joined before the drain barrier waits on this latch.
+  void Add(int n) {
+    std::lock_guard<std::mutex> lock(mu);
+    remaining += n;
   }
 };
 
@@ -507,7 +577,11 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
   struct AdmissionGuard {
     Coordinator* coordinator;
     std::string group;
+    // Disarmed across the restart re-admission window (the slot is released
+    // and re-acquired explicitly there); re-armed once re-admission succeeds.
+    bool armed = true;
     ~AdmissionGuard() {
+      if (!armed) return;
       coordinator->groups_->Release(group);
       coordinator->metrics_.Increment("group." + group + ".completed");
     }
@@ -586,6 +660,25 @@ Result<QueryResult> Coordinator::ExecutePlan(int64_t query_id,
     query_metrics.Increment("query.restarted");
     journal_.Record(query_id, QueryEventKind::kRestarted,
                     attempt.status().ToString());
+    // The restarted run re-enters its group's admission queue instead of
+    // riding the first run's slot: release the slot (closing the first run's
+    // admission accounting, and letting weighted-fair promotion schedule
+    // someone else ahead of the re-run), then admit again. Every successful
+    // admission is paired with exactly one release+completed, so
+    // admitted == completed reconciles per group even through restarts.
+    admission_guard.armed = false;
+    groups_->Release(group.name);
+    metrics_.Increment("group." + group.name + ".completed");
+    Status readmitted = AdmitQuery(query_id, group.name, query_queue_max,
+                                   deadline_steady_nanos);
+    if (!readmitted.ok()) {
+      if (readmitted.message().find("query deadline exceeded") !=
+          std::string::npos) {
+        metrics_.Increment("query.timeout");
+      }
+      return RecordFailure(query_id, readmitted, &query_metrics);
+    }
+    admission_guard.armed = true;
     attempt = ExecutePlanOnce(query_id, fragmented, session, watch, force_stats,
                               deadline_steady_nanos, &query_metrics, memory,
                               &group, trace);
@@ -699,6 +792,37 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
       if (parsed > 0) exchange_capacity = parsed;
     }
   }
+  // Spooled exchange (session exchange_spool): every page accepted into an
+  // exchange is also written, snappy-compressed in the spill page encoding,
+  // to a worker-local spool file. A lost intermediate task is then re-run
+  // against the surviving upstream spools (stage re-run) instead of
+  // restarting the whole query. The spool's bytes are capped per query
+  // (exchange_spool_budget_bytes) and charged to the query's system pool.
+  const bool exchange_spool =
+      session.Property("exchange_spool", "false") == "true";
+  int64_t spool_budget_bytes = 256LL << 20;
+  {
+    std::string prop = session.Property("exchange_spool_budget_bytes", "");
+    if (!prop.empty()) {
+      int64_t parsed = std::strtoll(prop.c_str(), nullptr, 10);
+      if (parsed > 0) spool_budget_bytes = parsed;
+    }
+  }
+  // Straggler speculation (session speculative_execution): once enough leaf
+  // tasks of the query have completed, a task running past
+  // quantile(speculation_quantile) * 2 of its siblings' durations gets a
+  // duplicate attempt on another worker; the first attempt to commit wins
+  // (attempt-id fencing at the exchange keeps publication exactly-once).
+  const bool speculative_execution =
+      session.Property("speculative_execution", "false") == "true";
+  double speculation_quantile = 0.75;
+  {
+    std::string prop = session.Property("speculation_quantile", "");
+    if (!prop.empty()) {
+      double parsed = std::strtod(prop.c_str(), nullptr);
+      if (parsed > 0.0 && parsed <= 1.0) speculation_quantile = parsed;
+    }
+  }
 
   // The per-query registry (owned by the ExecutePlan wrapper, shared across
   // restart attempts) is shared by every task; snapshotted into the result
@@ -755,7 +879,14 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   int64_t retry_backoff_millis = std::strtoll(
       session.Property("task_retry_backoff_millis", "2").c_str(), nullptr, 10);
   if (retry_backoff_millis < 0) retry_backoff_millis = 0;
-  const bool buffer_leaf_output = max_task_retries > 0;
+  // Speculation also needs held-back output: two attempts of one task run
+  // concurrently, and only the fence winner may publish.
+  const bool buffer_leaf_output = max_task_retries > 0 || speculative_execution;
+  // Stage re-runs get the same attempt budget as leaf retries (at least one
+  // when spooling is on — the spool exists precisely to re-run stages).
+  const int stage_rerun_budget =
+      exchange_spool ? std::max(1, max_task_retries) : 0;
+  const bool buffer_stage_output = stage_rerun_budget > 0;
 
   struct FragmentState {
     const PlanFragment* fragment = nullptr;
@@ -833,6 +964,25 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
       // still sees every buffered byte.
       state.exchange->SetMemoryPool(memory->system->AddChild(
           "exchange." + std::to_string(fragment.id)));
+    }
+    if (exchange_spool) {
+      // One spool per producing fragment, under the query's spill area; its
+      // framed bytes are charged to the query's system pool like the exchange
+      // buffers they shadow. Each restart attempt builds fresh spools (the
+      // old ones are deleted with their exchange).
+      std::string spool_dir =
+          (memory != nullptr
+               ? memory->spill_dir
+               : "/tmp/presto_spool/query-" + std::to_string(query_id)) +
+          "/spool-fragment-" + std::to_string(fragment.id);
+      std::shared_ptr<MemoryPool> spool_pool;
+      if (memory != nullptr) {
+        spool_pool =
+            memory->system->AddChild("spool." + std::to_string(fragment.id));
+      }
+      state.exchange->SetSpool(std::make_shared<ExchangeSpool>(
+          spill_fs_.get(), std::move(spool_dir), exchange_partitions,
+          query_metrics, std::move(spool_pool), spool_budget_bytes));
     }
     exchange_refs[fragment.id] = state.exchange.get();
     stage_tracker->remaining[fragment.id] = state.num_tasks;
@@ -925,15 +1075,21 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // Returns OK only after fully finalizing the producer slot (output pushed,
   // ProducerDone, inputs closed, stage accounting done). On failure it
   // returns the error WITHOUT touching the exchange: the caller either
-  // retries the attempt (leaf tasks, when the error is transient) or
-  // finalizes the slot as failed via finalize_failed. With buffer_output the
-  // attempt's pages are held locally and published only on success, so a
-  // half-run retryable attempt never leaks rows downstream.
+  // retries the attempt (leaf tasks, when the error is transient), re-runs
+  // the stage against upstream spools, or finalizes the slot as failed via
+  // finalize_failed. With buffer_output the attempt's pages are held locally
+  // and published only on success, so a half-run retryable attempt never
+  // leaks rows downstream — and publication goes through the exchange's
+  // attempt fence, so of two concurrent attempts (straggler speculation)
+  // exactly one commits; the loser returns OK with *superseded_out = true
+  // and must not be retried or finalized.
   auto run_task = [this, &exchange_refs, use_fragment_cache, limits,
                    collect_stats, collector, stage_tracker, query_id, memory](
                       FragmentState* state,
                       const std::vector<SplitPtr>& splits_in, int partition,
-                      Worker* host, bool buffer_output) -> Status {
+                      Worker* host, bool buffer_output, int attempt,
+                      bool* superseded_out,
+                      std::atomic<int64_t>* progress_rows) -> Status {
     Stopwatch task_watch;
     const PlanFragment* fragment = state->fragment;
     PartitionedExchange* out = state->exchange.get();
@@ -981,6 +1137,10 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
         cache_key += split->ToString();
       }
       if (auto hit = fragment_cache_.Get(cache_key)) {
+        if (buffer_output && !out->TryCommitProducer(partition, attempt)) {
+          if (superseded_out != nullptr) *superseded_out = true;
+          return Status::OK();
+        }
         for (const Page& page : **hit) {
           push_output(page);  // pages share immutable vectors
         }
@@ -997,6 +1157,12 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
       }
     }
     RETURN_IF_ERROR(FaultInjector::Global().Hit("worker.task.body"));
+    if (!fragment->leaf) {
+      // Stage-scoped chaos hook: scripts "fail the Nth intermediate task"
+      // deterministically — worker.task.body call order races the far more
+      // numerous leaf bodies, so it cannot target a stage on purpose.
+      RETURN_IF_ERROR(FaultInjector::Global().Hit("worker.task.stage"));
+    }
     // The builder copies splits into the scan operator, so each retry
     // attempt rebuilds from the task's own (retained) split list.
     std::vector<SplitPtr> splits = splits_in;
@@ -1027,9 +1193,20 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
         break;
       }
       RETURN_IF_ERROR(check_host());
+      // Deterministic straggler hook for the speculation tests: a triggered
+      // first attempt stalls as a slow host would, while its duplicate
+      // attempt (dispatched elsewhere) runs at full speed.
+      if (attempt == 0 &&
+          FaultInjector::Global().ShouldTrigger("worker.task.straggle")) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      }
       auto page = (*op)->Next();
       if (!page.ok()) return page.status();
       if (!page->has_value()) break;
+      if (progress_rows != nullptr) {
+        progress_rows->fetch_add(static_cast<int64_t>((*page)->num_rows()),
+                                 std::memory_order_relaxed);
+      }
       if (cacheable) produced.push_back(**page);
       if (buffer_output) {
         buffered.push_back(std::move(**page));
@@ -1037,7 +1214,13 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
         push_output(std::move(**page));
       }
     }
-    // Success: publish and finalize the producer slot.
+    // Success: publish and finalize the producer slot — through the attempt
+    // fence when output was held back, so a speculative sibling that already
+    // committed turns this attempt into a discarded no-op.
+    if (buffer_output && !out->TryCommitProducer(partition, attempt)) {
+      if (superseded_out != nullptr) *superseded_out = true;
+      return Status::OK();
+    }
     for (Page& page : buffered) push_output(std::move(page));
     if (cacheable && !truncated) {
       int64_t cache_weight = 0;
@@ -1061,11 +1244,15 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
 
   // Terminal failure of a task slot: latch the error into the fragment's
   // exchange (consumers see it instead of hanging), release the producer
-  // slot, and keep the input/stage accounting consistent with success.
+  // slot, and keep the input/stage accounting consistent with success. The
+  // terminal failure goes through the same attempt fence as success — if a
+  // speculative sibling already committed the slot, there is nothing left to
+  // finalize and the failure is moot.
   auto finalize_failed = [this, &exchange_refs, stage_tracker, query_id](
                              FragmentState* state, int partition,
-                             const Status& st) {
+                             const Status& st, int attempt, bool fenced) {
     PartitionedExchange* out = state->exchange.get();
+    if (fenced && !out->TryCommitProducer(partition, attempt)) return;
     out->Fail(st);
     out->ProducerDone();
     for (const RemoteInput& input : state->inputs) {
@@ -1126,36 +1313,93 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   };
 
   // Intermediate stages run on dedicated worker threads (always-running
-  // consumers that keep the bounded exchanges draining) and fail fast: their
-  // upstream partitions are already partially consumed, so the recovery unit
-  // for them is the whole query (ExecutePlan's restart), not the task.
-  auto stage_body = [&run_task, &finalize_failed, &traced_task, latch](
-                        FragmentState* state, int partition, Worker* host) {
+  // consumers that keep the bounded exchanges draining). Without a spool
+  // they fail fast: their upstream partitions are already partially
+  // consumed, so the recovery unit is the whole query (ExecutePlan's
+  // restart). With exchange_spool armed, a stage task that fails with a
+  // retryable status is instead re-run in place: its input partitions flip
+  // to replay mode (the replacement attempt streams the complete partition
+  // history from the upstream spools) and its held-back output means the
+  // failed attempt leaked nothing downstream. Replay unavailable (spool
+  // broken, budget blown) falls through to the fail-fast path — the ladder's
+  // next rung is restart-once.
+  struct StageTask {
+    FragmentState* state = nullptr;
+    int partition = 0;
+    int attempt = 0;
+  };
+  auto run_stage_attempt = std::make_shared<
+      std::function<void(std::shared_ptr<StageTask>, Worker*)>>();
+  auto submit_stage =
+      std::make_shared<std::function<void(std::shared_ptr<StageTask>)>>();
+  *run_stage_attempt = [&](std::shared_ptr<StageTask> task, Worker* host) {
     static const std::vector<SplitPtr> kNoSplits;
-    Status st = traced_task(state, partition, /*attempt=*/0, [&] {
-      return run_task(state, kNoSplits, partition, host,
-                      /*buffer_output=*/false);
+    bool superseded = false;
+    Status st = traced_task(task->state, task->partition, task->attempt, [&] {
+      return run_task(task->state, kNoSplits, task->partition, host,
+                      buffer_stage_output, task->attempt, &superseded,
+                      /*progress_rows=*/nullptr);
     });
-    if (!st.ok()) finalize_failed(state, partition, st);
+    if (st.ok()) {
+      latch->Done();
+      return;
+    }
+    bool deadline_expired = deadline_steady_nanos > 0 &&
+                            SteadyNowNanos() >= deadline_steady_nanos;
+    if (IsRetryableStatus(st) && task->attempt < stage_rerun_budget &&
+        !deadline_expired) {
+      // Flip every input partition this task consumes to replay mode. All
+      // must succeed — a partially replayable input set would re-run the
+      // task against a mix of replayed and already-consumed streams.
+      Status reset = Status::OK();
+      for (const RemoteInput& input : task->state->inputs) {
+        auto it = exchange_refs.find(input.fragment_id);
+        if (it == exchange_refs.end()) continue;
+        reset = it->second->ResetPartitionForReplay(
+            input.hash_partitioned
+                ? task->partition % it->second->num_partitions()
+                : 0);
+        if (!reset.ok()) break;
+      }
+      if (reset.ok()) {
+        ++task->attempt;
+        metrics_.Increment("stage.rerun.count");
+        query_metrics->Increment("stage.rerun.count");
+        journal_.Record(
+            query_id, QueryEventKind::kStageRerun,
+            "fragment " + std::to_string(task->state->fragment->id) +
+                " partition " + std::to_string(task->partition) +
+                " attempt " + std::to_string(task->attempt) +
+                " replaying upstream spools: " + st.ToString());
+        blacklist_dead_workers();
+        (*submit_stage)(task);
+        return;
+      }
+    }
+    finalize_failed(task->state, task->partition, st, task->attempt,
+                    buffer_stage_output);
     latch->Done();
   };
-  for (TaskSpec& task : stage_tasks) {
-    FragmentState* state = task.state;
-    int partition = task.partition;
-    bool dispatched = false;
-    for (size_t i = 0; i < workers.size() && !dispatched; ++i) {
-      auto& worker = workers[next_worker->fetch_add(1) % workers.size()];
+  *submit_stage = [this, &add_local, run_stage_attempt, next_worker, &workers](
+                      std::shared_ptr<StageTask> task) {
+    // Re-runs prefer the healthy-worker snapshot (the failed host may have
+    // just been blacklisted); first attempts use the dispatch-time list.
+    std::vector<std::shared_ptr<Worker>> healthy =
+        task->attempt == 0 ? workers : ActiveWorkers();
+    for (size_t i = 0; i < healthy.size(); ++i) {
+      auto& worker = healthy[next_worker->fetch_add(1) % healthy.size()];
       Worker* host = worker.get();
-      dispatched = worker->SubmitDedicatedTask(
-          [&stage_body, state, partition, host] {
-            stage_body(state, partition, host);
-          });
+      bool submitted = worker->SubmitDedicatedTask(
+          [run_stage_attempt, task, host] { (*run_stage_attempt)(task, host); });
+      if (submitted) return;
     }
-    if (!dispatched) {
-      add_local([&stage_body, state, partition] {
-        stage_body(state, partition, nullptr);
-      });
-    }
+    add_local([run_stage_attempt, task] { (*run_stage_attempt)(task, nullptr); });
+  };
+  for (TaskSpec& task : stage_tasks) {
+    auto stage_task = std::make_shared<StageTask>();
+    stage_task->state = task.state;
+    stage_task->partition = task.partition;
+    (*submit_stage)(stage_task);
   }
 
   // Leaf tasks are the retry unit: an attempt that fails with a retryable
@@ -1172,7 +1416,17 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     std::vector<SplitPtr> splits;
     int partition = 0;
     int attempt = 0;
+    // -- speculation bookkeeping (read by the monitor thread) --
+    std::atomic<int64_t> start_nanos{0};      // first attempt began (0 = not yet)
+    std::atomic<int64_t> duration_nanos{0};   // set when the task finished
+    std::atomic<bool> finished{false};
+    std::atomic<bool> speculated{false};      // duplicate attempt launched
+    std::shared_ptr<std::atomic<int64_t>> progress_rows =
+        std::make_shared<std::atomic<int64_t>>(0);
   };
+  // Speculative duplicate attempts use ids far above the retry range so an
+  // attempt id names its provenance in traces and fence decisions.
+  constexpr int kSpeculativeAttemptBase = 100;
   auto backoff_rng = std::make_shared<Random>(static_cast<uint64_t>(query_id));
   auto backoff_mu = std::make_shared<std::mutex>();
   auto run_leaf_attempt = std::make_shared<
@@ -1184,11 +1438,31 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
   // cycle that leaks both function objects.
   *run_leaf_attempt = [&, backoff_rng, backoff_mu](
                           std::shared_ptr<LeafTask> task, Worker* host) {
+    int64_t expected_start = 0;
+    task->start_nanos.compare_exchange_strong(expected_start, SteadyNowNanos());
+    bool superseded = false;
     Status st = traced_task(task->state, task->partition, task->attempt, [&] {
       return run_task(task->state, task->splits, task->partition, host,
-                      buffer_leaf_output);
+                      buffer_leaf_output, task->attempt, &superseded,
+                      task->progress_rows.get());
     });
+    // Mark completion for the speculation monitor on every terminal path
+    // below (success, superseded, exhausted retries) — not on a retryable
+    // failure that resubmits.
+    auto mark_finished = [&task] {
+      task->duration_nanos.store(SteadyNowNanos() -
+                                 task->start_nanos.load());
+      task->finished.store(true);
+    };
+    if (superseded) {
+      // The speculative duplicate won the fence: this attempt's work is
+      // discarded, the winner already finalized the slot.
+      mark_finished();
+      latch->Done();
+      return;
+    }
     if (st.ok()) {
+      mark_finished();
       latch->Done();
       return;
     }
@@ -1227,17 +1501,41 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
               TraceKind::kRetryBackoff, "task_retry_backoff",
               it != trace->stage_spans.end() ? it->second : trace->query_span);
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
+        // The backoff sleep honors query_timeout_millis: wake at the query
+        // deadline if it lands inside the delay, so a long backoff ladder
+        // can never hold a timed-out query alive past its deadline.
+        auto wake = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(delay_millis);
+        if (deadline_steady_nanos > 0) {
+          auto deadline_tp = std::chrono::steady_clock::time_point(
+              std::chrono::nanoseconds(deadline_steady_nanos));
+          if (deadline_tp < wake) wake = deadline_tp;
+        }
+        std::this_thread::sleep_until(wake);
         if (rec != nullptr) {
           rec->EndSpanWithArgs(backoff_span,
                                {{"delay_millis", delay_millis},
                                 {"attempt", task->attempt}});
         }
       }
+      if (deadline_steady_nanos > 0 &&
+          SteadyNowNanos() >= deadline_steady_nanos) {
+        // Deadline hit during (or before) the backoff: finalize with the
+        // canonical timeout status instead of burning another attempt.
+        mark_finished();
+        finalize_failed(
+            task->state, task->partition,
+            Status::Unavailable("query deadline exceeded (query_timeout_millis)"),
+            task->attempt, buffer_leaf_output);
+        latch->Done();
+        return;
+      }
       (*submit_leaf)(task);
       return;
     }
-    finalize_failed(task->state, task->partition, st);
+    mark_finished();
+    finalize_failed(task->state, task->partition, st, task->attempt,
+                    buffer_leaf_output);
     latch->Done();
   };
   *submit_leaf = [this, &add_local, run_leaf_attempt, next_worker](
@@ -1262,12 +1560,110 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     add_local(
         [run_leaf_attempt, task] { (*run_leaf_attempt)(task, nullptr); });
   };
+  std::vector<std::shared_ptr<LeafTask>> all_leaf_tasks;
+  all_leaf_tasks.reserve(leaf_tasks.size());
   for (TaskSpec& task : leaf_tasks) {
     auto leaf = std::make_shared<LeafTask>();
     leaf->state = task.state;
     leaf->splits = std::move(task.splits);
     leaf->partition = task.partition;
+    all_leaf_tasks.push_back(leaf);
     (*submit_leaf)(leaf);
+  }
+
+  // -- Straggler speculation monitor. -------------------------------------------
+  // Watches leaf-task progress from a coordinator-side thread. Once at least
+  // half the leaf tasks have completed, a task still running past
+  // quantile(completed durations) * 2 (plus a floor that keeps trivial
+  // queries from speculating on noise) gets one duplicate attempt on another
+  // worker. Both attempts race to the exchange's attempt fence; the loser
+  // discards its output. The monitor is stopped and joined before the drain
+  // barrier waits on the latch, so its latch->Add() calls are ordered before
+  // the final Wait().
+  auto spec_stop = std::make_shared<std::atomic<bool>>(false);
+  std::thread spec_monitor;
+  if (speculative_execution && !all_leaf_tasks.empty()) {
+    spec_monitor = std::thread([&, spec_stop] {
+      constexpr int64_t kSpeculationFloorNanos = 25'000'000;  // 25ms
+      const size_t n = all_leaf_tasks.size();
+      while (!spec_stop->load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::vector<int64_t> durations;
+        for (const auto& task : all_leaf_tasks) {
+          if (task->finished.load()) {
+            durations.push_back(task->duration_nanos.load());
+          }
+        }
+        if (durations.empty() || durations.size() * 2 < n) continue;
+        std::sort(durations.begin(), durations.end());
+        const size_t idx = static_cast<size_t>(
+            speculation_quantile * static_cast<double>(durations.size() - 1));
+        const int64_t threshold = durations[idx] * 2 + kSpeculationFloorNanos;
+        const int64_t now = SteadyNowNanos();
+        for (const auto& task : all_leaf_tasks) {
+          if (task->finished.load() || task->speculated.load()) continue;
+          const int64_t start = task->start_nanos.load();
+          if (start == 0 || now - start < threshold) continue;
+          if (task->speculated.exchange(true)) continue;
+          latch->Add(1);
+          metrics_.Increment("task.speculative.launched");
+          query_metrics->Increment("task.speculative.launched");
+          journal_.Record(
+              query_id, QueryEventKind::kTaskSpeculated,
+              "fragment " + std::to_string(task->state->fragment->id) +
+                  " partition " + std::to_string(task->partition) +
+                  " running " + std::to_string((now - start) / 1'000'000) +
+                  "ms against threshold " +
+                  std::to_string(threshold / 1'000'000) + "ms");
+          if (trace != nullptr) {
+            auto it = trace->stage_spans.find(task->state->fragment->id);
+            int64_t span = trace->recorder->BeginSpan(
+                TraceKind::kSpeculation, "speculative_attempt",
+                it != trace->stage_spans.end() ? it->second
+                                               : trace->query_span);
+            trace->recorder->EndSpanWithArgs(
+                span, {{"partition", task->partition},
+                       {"elapsed_millis", (now - start) / 1'000'000},
+                       {"threshold_millis", threshold / 1'000'000},
+                       {"progress_rows", task->progress_rows->load()}});
+          }
+          // The duplicate attempt never retries and never finalizes the slot
+          // as failed — the original attempt owns the failure path; the
+          // duplicate either wins the fence or is discarded.
+          std::shared_ptr<LeafTask> original = task;
+          auto spec_run = [&, original](Worker* host) {
+            bool superseded = false;
+            Status st = traced_task(
+                original->state, original->partition, kSpeculativeAttemptBase,
+                [&] {
+                  return run_task(original->state, original->splits,
+                                  original->partition, host,
+                                  /*buffer_output=*/true,
+                                  kSpeculativeAttemptBase, &superseded,
+                                  /*progress_rows=*/nullptr);
+                });
+            const char* outcome = superseded ? "task.speculative.wasted"
+                                 : st.ok()  ? "task.speculative.won"
+                                            : "task.speculative.failed";
+            metrics_.Increment(outcome);
+            query_metrics->Increment(outcome);
+            latch->Done();
+          };
+          bool dispatched = false;
+          std::vector<std::shared_ptr<Worker>> healthy = ActiveWorkers();
+          for (size_t i = 0; i < healthy.size() && !dispatched; ++i) {
+            auto& worker =
+                healthy[next_worker->fetch_add(1) % healthy.size()];
+            Worker* host = worker.get();
+            dispatched = worker->SubmitDedicatedTask(
+                [spec_run, host] { spec_run(host); });
+          }
+          if (!dispatched) {
+            add_local([spec_run] { spec_run(nullptr); });
+          }
+        }
+      }
+    });
   }
 
   // Teardown helpers: close every exchange partition (turning any further
@@ -1280,6 +1676,13 @@ Result<QueryResult> Coordinator::ExecutePlanOnce(
     }
   };
   auto finish_tasks = [&] {
+    // Stop the speculation monitor before waiting on the latch: after the
+    // join no further latch->Add() (or dispatch) can happen, so the barrier
+    // below observes a stable attempt count.
+    if (spec_monitor.joinable()) {
+      spec_stop->store(true);
+      spec_monitor.join();
+    }
     latch->Wait();
     std::lock_guard<std::mutex> lock(local_mu);
     for (std::thread& thread : local_threads) thread.join();

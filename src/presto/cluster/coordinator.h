@@ -154,6 +154,24 @@ class Coordinator : public MemoryArbiter {
   /// unknown worker id, kAlreadyExists when the worker is already draining or
   /// shut down, kUnavailable when it died.
   Status ShrinkWorker(const std::string& worker_id, int64_t grace_period_nanos);
+  /// Synchronous graceful shrink: the worker stops accepting tasks, the call
+  /// blocks until its in-flight tasks complete, and the worker leaves the
+  /// fleet in SHUT_DOWN (journaled as worker_drained, counted in
+  /// worker.drained). Unlike ShrinkWorker there is no grace-period protocol —
+  /// the worker drops out of scheduling at the state flip, before the wait.
+  Status DrainWorker(const std::string& worker_id);
+  /// Probation sweep over blacklisted workers: heartbeat-probe each one and,
+  /// after kProbationProbes consecutive successful probes, re-admit it to
+  /// scheduling (journaled as worker_reinstated, counted in
+  /// worker.reinstated). A failed probe resets the worker's streak. Returns
+  /// the number of workers reinstated by this sweep. Callers (an operations
+  /// loop, tests) invoke it periodically; it is cheap when the blacklist is
+  /// empty.
+  int ProbeBlacklistedWorkers();
+  static constexpr int kProbationProbes = 3;
+  /// Workers eligible for scheduling: ACTIVE state and not blacklisted. A
+  /// revived (restarted) worker stays out of rotation until the probation
+  /// sweep reinstates it.
   std::vector<std::shared_ptr<Worker>> ActiveWorkers() const;
   size_t num_workers() const;
   /// Worker ids the liveness check found dead and removed from scheduling.
@@ -297,6 +315,8 @@ class Coordinator : public MemoryArbiter {
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<Worker>> workers_;
   std::set<std::string> blacklisted_;  // dead workers, by liveness check
+  /// Consecutive successful probation probes per blacklisted worker id.
+  std::map<std::string, int> probation_streak_;
   std::atomic<int64_t> queries_completed_{0};
   std::atomic<int64_t> queries_failed_{0};
 

@@ -41,6 +41,14 @@ const char* QueryEventKindToString(QueryEventKind kind) {
       return "query_timeout_queued";
     case QueryEventKind::kDegraded:
       return "query_degraded";
+    case QueryEventKind::kStageRerun:
+      return "stage_rerun";
+    case QueryEventKind::kTaskSpeculated:
+      return "task_speculated";
+    case QueryEventKind::kWorkerDrained:
+      return "worker_drained";
+    case QueryEventKind::kWorkerReinstated:
+      return "worker_reinstated";
   }
   return "unknown";
 }

@@ -111,6 +111,38 @@ Status Worker::TryRequestGracefulShutdown(int64_t grace_period_nanos) {
   return Status::OK();
 }
 
+Status Worker::Drain() {
+  WorkerState expected = WorkerState::kActive;
+  if (!state_.compare_exchange_strong(expected, WorkerState::kShuttingDown)) {
+    if (expected == WorkerState::kDead) {
+      return Status::Unavailable("worker is dead: " + id_);
+    }
+    return Status::AlreadyExists("worker already draining or shut down: " +
+                                 id_);
+  }
+  // SubmitTask/SubmitDedicatedTask refuse from here on; wait out whatever
+  // was already running (the caller has stopped routing new work here, so
+  // the active count only falls).
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return active_tasks_.load() == 0; });
+  }
+  state_.store(WorkerState::kShutDown);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status Worker::Revive() {
+  WorkerState expected = WorkerState::kDead;
+  if (!state_.compare_exchange_strong(expected, WorkerState::kActive)) {
+    return Status::InvalidArgument("worker is not dead: " + id_);
+  }
+  return Status::OK();
+}
+
 void Worker::Kill() {
   // Only an active worker can crash; a draining or drained worker is
   // already leaving the fleet through the graceful protocol.

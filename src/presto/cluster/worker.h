@@ -63,6 +63,20 @@ class Worker {
   /// when the worker is already draining or down, kUnavailable when it died.
   Status TryRequestGracefulShutdown(int64_t grace_period_nanos);
 
+  /// Synchronous graceful drain: stop accepting new tasks, block until every
+  /// in-flight task completes, then enter SHUT_DOWN. Unlike the async grace
+  /// protocol above there is no grace-period sleep — the caller (the
+  /// coordinator's graceful-shrink path) has already stopped routing tasks
+  /// here by the time it calls this. kAlreadyExists when the worker is
+  /// already draining or down, kUnavailable when it died.
+  Status Drain();
+
+  /// Test/operations hook: brings a killed worker back (kDead -> kActive),
+  /// modeling a crashed node whose process restarted on the same host. The
+  /// coordinator's blacklist probation decides when it gets traffic again.
+  /// kInvalidArgument unless the worker is currently dead.
+  Status Revive();
+
   /// Crash-style kill: the worker stops accepting tasks immediately and its
   /// running tasks observe kDead at their next page boundary and abort with
   /// kUnavailable. No grace period, no drain — this is a failure, not a

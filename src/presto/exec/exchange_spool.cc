@@ -1,0 +1,231 @@
+#include "presto/exec/exchange_spool.h"
+
+#include "presto/common/bytes.h"
+#include "presto/common/compression.h"
+#include "presto/common/fault_injection.h"
+#include "presto/common/trace.h"
+#include "presto/exec/spill.h"
+
+namespace presto {
+
+ExchangeSpool::ExchangeSpool(FileSystem* fs, std::string dir,
+                             int num_partitions, MetricsRegistry* metrics,
+                             std::shared_ptr<MemoryPool> pool,
+                             int64_t budget_bytes)
+    : fs_(fs),
+      dir_(std::move(dir)),
+      pool_(std::move(pool)),
+      budget_bytes_(budget_bytes > 0 ? budget_bytes : INT64_MAX),
+      partitions_(std::max(1, num_partitions)) {
+  if (metrics != nullptr) {
+    pages_written_counter_ =
+        metrics->FindOrRegister("exchange.spool.page.written");
+    bytes_written_counter_ =
+        metrics->FindOrRegister("exchange.spool.byte.written");
+    bytes_raw_counter_ = metrics->FindOrRegister("exchange.spool.byte.raw");
+    bytes_read_counter_ = metrics->FindOrRegister("exchange.spool.byte.read");
+    pages_replayed_counter_ =
+        metrics->FindOrRegister("exchange.spool.page.replayed");
+    partition_broken_counter_ =
+        metrics->FindOrRegister("exchange.spool.partition.broken");
+  }
+}
+
+ExchangeSpool::~ExchangeSpool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
+    if (part.file != nullptr) {
+      (void)part.file->Close();
+      part.file = nullptr;
+    }
+    if (part.opened) {
+      // Best effort: a spool file that outlives the query is just garbage.
+      (void)fs_->DeleteFile(PartitionPath(static_cast<int>(p)));
+    }
+  }
+  if (pool_ != nullptr && pool_reserved_ > 0) pool_->Release(pool_reserved_);
+  pool_reserved_ = 0;
+}
+
+std::string ExchangeSpool::PartitionPath(int partition) const {
+  return dir_ + "/part-" + std::to_string(partition) + ".spool";
+}
+
+Status ExchangeSpool::Append(int partition, const Page& page) {
+  if (page.empty()) return Status::OK();
+  // The whole append (serialize + compress + write) counts as spill I/O for
+  // blocked-time attribution and records a spool-write span.
+  BlockedTimer blocked(BlockedKind::kSpillIo);
+  TraceEventScope span(TraceKind::kSpoolWrite, "spool_write_page");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Partition& part = partitions_[partition];
+    if (part.broken || part.sealed) {
+      return part.broken
+                 ? Status::Unavailable("exchange spool partition is broken")
+                 : Status::Unavailable("exchange spool partition is sealed");
+    }
+  }
+  // Serialize + compress outside the spool-wide lock: every producer task of
+  // a stage tees through one spool, and compression dominates the append, so
+  // doing it under mu_ would serialize the producers. Only the frame write
+  // and accounting need the lock.
+  Status st = FaultInjector::Global().Hit("exchange.spool.write");
+  ByteBuffer block;
+  std::vector<uint8_t> compressed;
+  if (st.ok()) st = SerializeSpillPage(page, &block);
+  if (st.ok()) {
+    compressed = Compress(CompressionKind::kSnappy, block.data(), block.size());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Partition& part = partitions_[partition];
+  if (part.broken || part.sealed) {
+    // Raced a concurrent poison/seal while compressing; nothing was written,
+    // so this append neither breaks the partition nor double-counts it.
+    return part.broken
+               ? Status::Unavailable("exchange spool partition is broken")
+               : Status::Unavailable("exchange spool partition is sealed");
+  }
+  if (st.ok()) {
+    st = AppendFrameLocked(&part, partition, compressed,
+                           static_cast<int64_t>(block.size()));
+  }
+  if (!st.ok()) {
+    // One failed append poisons the partition: its spool is now incomplete,
+    // and an incomplete spool replayed later would silently drop rows. The
+    // coordinator's recovery ladder falls through to restart-once instead.
+    part.broken = true;
+    if (part.file != nullptr) {
+      (void)part.file->Close();
+      part.file = nullptr;
+    }
+    if (partition_broken_counter_ != nullptr) partition_broken_counter_->Add(1);
+  } else {
+    span.SetArg("bytes", static_cast<int64_t>(compressed.size()) + 4);
+  }
+  return st;
+}
+
+Status ExchangeSpool::AppendFrameLocked(Partition* part, int partition,
+                                        const std::vector<uint8_t>& compressed,
+                                        int64_t raw_bytes) {
+  const int64_t frame_bytes =
+      static_cast<int64_t>(compressed.size()) + static_cast<int64_t>(4);
+  if (bytes_spooled_ + frame_bytes > budget_bytes_) {
+    return Status::ResourceExhausted(
+        "exchange spool byte budget exceeded (exchange_spool_budget_bytes)");
+  }
+  if (pool_ != nullptr) {
+    RETURN_IF_ERROR(pool_->Reserve(frame_bytes));
+    pool_reserved_ += frame_bytes;
+  }
+  if (part->file == nullptr) {
+    ASSIGN_OR_RETURN(part->file, fs_->OpenForWrite(PartitionPath(partition)));
+    part->opened = true;
+  }
+  ByteBuffer framed;
+  framed.PutU32(static_cast<uint32_t>(compressed.size()));
+  framed.PutRaw(compressed.data(), compressed.size());
+  RETURN_IF_ERROR(part->file->Append(framed.bytes()));
+  bytes_spooled_ += frame_bytes;
+  part->pages += 1;
+  if (pages_written_counter_ != nullptr) pages_written_counter_->Add(1);
+  if (bytes_written_counter_ != nullptr) {
+    bytes_written_counter_->Add(frame_bytes);
+  }
+  if (bytes_raw_counter_ != nullptr) bytes_raw_counter_->Add(raw_bytes);
+  return Status::OK();
+}
+
+Status ExchangeSpool::Seal(int partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Partition& part = partitions_[partition];
+  if (part.sealed) return Status::OK();
+  part.sealed = true;
+  if (part.file != nullptr) {
+    Status st = part.file->Close();
+    part.file = nullptr;
+    if (!st.ok()) {
+      part.broken = true;
+      if (partition_broken_counter_ != nullptr) {
+        partition_broken_counter_->Add(1);
+      }
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+bool ExchangeSpool::broken(int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_[partition].broken;
+}
+
+int64_t ExchangeSpool::pages_spooled(int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_[partition].pages;
+}
+
+int64_t ExchangeSpool::bytes_spooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_spooled_;
+}
+
+Result<std::unique_ptr<ExchangeSpool::Reader>> ExchangeSpool::OpenReader(
+    int partition) {
+  RETURN_IF_ERROR(Seal(partition));
+  bool opened = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Partition& part = partitions_[partition];
+    if (part.broken) {
+      return Status::Unavailable(
+          "exchange spool partition is broken; replay unavailable");
+    }
+    opened = part.opened;
+  }
+  auto reader = std::unique_ptr<Reader>(new Reader());
+  reader->bytes_read_counter_ = bytes_read_counter_;
+  reader->pages_replayed_counter_ = pages_replayed_counter_;
+  if (!opened) return reader;  // nothing was ever spooled: empty stream
+  BlockedTimer blocked(BlockedKind::kSpillIo);
+  TraceEventScope span(TraceKind::kSpoolRead, "spool_open_partition");
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("exchange.spool.read"));
+  ASSIGN_OR_RETURN(reader->file_, fs_->OpenForRead(PartitionPath(partition)));
+  ASSIGN_OR_RETURN(reader->size_, reader->file_->Size());
+  return reader;
+}
+
+Result<std::optional<Page>> ExchangeSpool::Reader::Next() {
+  if (file_ == nullptr || offset_ >= size_) return std::optional<Page>();
+  BlockedTimer blocked(BlockedKind::kSpillIo);
+  TraceEventScope span(TraceKind::kSpoolRead, "spool_read_page");
+  RETURN_IF_ERROR(FaultInjector::Global().Hit("exchange.spool.read"));
+  uint8_t len_bytes[4];
+  ASSIGN_OR_RETURN(size_t n, file_->Read(offset_, 4, len_bytes));
+  if (n < 4) return Status::Corruption("exchange spool: truncated frame length");
+  ByteReader len_reader(len_bytes, 4);
+  ASSIGN_OR_RETURN(uint32_t frame_len, len_reader.ReadU32());
+  offset_ += 4;
+  if (frame_len == 0 || offset_ + frame_len > size_) {
+    return Status::Corruption("exchange spool: bad frame length");
+  }
+  std::vector<uint8_t> frame(frame_len);
+  ASSIGN_OR_RETURN(n, file_->Read(offset_, frame_len, frame.data()));
+  if (n < frame_len) return Status::Corruption("exchange spool: truncated frame");
+  offset_ += frame_len;
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> block,
+      Decompress(CompressionKind::kSnappy, frame.data(), frame.size()));
+  ByteReader reader(block);
+  ASSIGN_OR_RETURN(Page page, DeserializeSpillPage(&reader));
+  if (bytes_read_counter_ != nullptr) {
+    bytes_read_counter_->Add(static_cast<int64_t>(frame_len) + 4);
+  }
+  if (pages_replayed_counter_ != nullptr) pages_replayed_counter_->Add(1);
+  span.SetArg("bytes", static_cast<int64_t>(frame_len) + 4);
+  return std::optional<Page>(std::move(page));
+}
+
+}  // namespace presto

@@ -114,6 +114,30 @@ Result<VectorPtr> ReadColumn(const TypePtr& type, size_t num_rows,
 
 }  // namespace
 
+Status SerializeSpillPage(const Page& page, ByteBuffer* out) {
+  out->PutVarint(page.num_rows());
+  out->PutVarint(page.num_columns());
+  for (size_t c = 0; c < page.num_columns(); ++c) {
+    out->PutString(page.column(c)->type()->ToString());
+    RETURN_IF_ERROR(WriteColumn(page.column(c), out));
+  }
+  return Status::OK();
+}
+
+Result<Page> DeserializeSpillPage(ByteReader* reader) {
+  ASSIGN_OR_RETURN(uint64_t num_rows, reader->ReadVarint());
+  ASSIGN_OR_RETURN(uint64_t num_columns, reader->ReadVarint());
+  std::vector<VectorPtr> columns;
+  columns.reserve(num_columns);
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    ASSIGN_OR_RETURN(std::string text, reader->ReadString());
+    ASSIGN_OR_RETURN(TypePtr type, Type::Parse(text));
+    ASSIGN_OR_RETURN(VectorPtr col, ReadColumn(type, num_rows, reader));
+    columns.push_back(std::move(col));
+  }
+  return Page(std::move(columns), num_rows);
+}
+
 SpillFile::SpillFile(FileSystem* fs, std::string path, MetricsRegistry* metrics)
     : fs_(fs), path_(std::move(path)) {
   if (metrics != nullptr) {

@@ -8,11 +8,20 @@
 #include <string>
 #include <vector>
 
+#include "presto/common/bytes.h"
 #include "presto/common/metrics.h"
 #include "presto/fs/file_system.h"
 #include "presto/vector/page.h"
 
 namespace presto {
+
+/// Self-describing page block in the spill column encoding, shared by spill
+/// runs and the exchange spool: varint num_rows, varint num_columns, per
+/// column a Type::ToString() string followed by the typed/boxed column data.
+/// (SpillFile runs factor the types into a per-run header instead; the spool
+/// appends pages incrementally, so each block carries its own types.)
+Status SerializeSpillPage(const Page& page, ByteBuffer* out);
+Result<Page> DeserializeSpillPage(ByteReader* reader);
 
 /// Revocable-memory spill area for a single operator. When an operator's
 /// memory reservation fails, it revokes itself: the in-memory state is

@@ -85,6 +85,25 @@ struct Session {
   ///                            journal event is recorded carrying the full
   ///                            per-query counter snapshot, including the
   ///                            trace.blocked.* breakdown (default: off)
+  ///   exchange_spool         = "false" (default) | "true": tee every page
+  ///                            accepted into an exchange to a worker-local
+  ///                            snappy-compressed spool file, so a lost
+  ///                            intermediate task is re-run against the
+  ///                            surviving upstream spools (stage re-run)
+  ///                            instead of restarting the whole query
+  ///   exchange_spool_budget_bytes = per-query cap on spooled (compressed)
+  ///                            bytes; exceeding it marks the partition's
+  ///                            spool broken and recovery falls back to
+  ///                            restart-once (default 256 MiB)
+  ///   speculative_execution  = "false" (default) | "true": watch leaf-task
+  ///                            progress and launch one duplicate attempt
+  ///                            for a task running past the quantile-based
+  ///                            slowness threshold; first attempt to commit
+  ///                            wins via attempt-id fencing at the exchange
+  ///   speculation_quantile   = quantile of completed sibling durations the
+  ///                            straggler threshold is derived from
+  ///                            (threshold = quantile * 2 + floor; default
+  ///                            0.75, valid (0, 1])
   std::string Property(const std::string& name,
                        const std::string& default_value) const {
     auto it = properties.find(name);

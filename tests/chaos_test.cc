@@ -186,9 +186,16 @@ TEST_F(ChaosQueryTest, DifferentialUnderInjectedFaults) {
                               StatusCode::kIoError);
     injector.ArmProbabilistic("worker.task.body", rate);
     injector.ArmProbabilistic("exchange.push", rate / 8);
+    // Spool I/O faults ride the same schedule: a failed tee write breaks the
+    // partition (recovery degrades to restart-once), a failed replay read
+    // aborts a stage re-run mid-replay — neither may ever corrupt results.
+    injector.ArmProbabilistic("exchange.spool.write", rate / 4);
+    injector.ArmProbabilistic("exchange.spool.read", rate / 4,
+                              StatusCode::kIoError);
 
     for (const std::string& sql : Corpus()) {
-      auto result = Run(sql, {{"query_max_task_retries", "3"},
+      auto result = Run(sql, {{"exchange_spool", "true"},
+                              {"query_max_task_retries", "3"},
                               {"task_retry_backoff_millis", "1"},
                               {"query_timeout_millis", "30000"}});
       ++runs;
@@ -415,6 +422,27 @@ TEST_F(ChaosQueryTest, LazyScanPageReadFaultsNeverCorruptResults) {
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ(SortedRows(*result), references[sql]);
   }
+}
+
+// A retry backoff longer than the query deadline must not hold the query
+// alive: the backoff sleep wakes at the deadline and the query fails with
+// the canonical timeout status in bounded wall time.
+TEST_F(ChaosQueryTest, RetryBackoffHonorsQueryDeadline) {
+  InjectorGuard guard;
+  FaultInjector::Global().ArmScripted("connector.split.open", {1});
+  Stopwatch watch;
+  auto result = Run("SELECT count(*), sum(v) FROM mem.raw.facts",
+                    {{"query_max_task_retries", "3"},
+                     {"task_retry_backoff_millis", "10000"},
+                     {"query_timeout_millis", "250"}});
+  ASSERT_FALSE(result.ok())
+      << "the injected fault never failed the query at all";
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("deadline"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_LT(watch.ElapsedNanos(), 5'000'000'000LL)
+      << "a 10s retry backoff outlived a 250ms query deadline";
+  EXPECT_GE(cluster_->coordinator().metrics().Get("query.timeout"), 1);
 }
 
 // Per-query deadline: a query that cannot finish in time returns a clean

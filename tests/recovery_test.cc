@@ -1,0 +1,605 @@
+// Stage-level recovery: the spooled exchange, the stage re-run rung of the
+// recovery ladder, straggler speculation with attempt-id fencing, graceful
+// worker drain, and blacklist probation.
+//
+// The ladder under test (DESIGN.md "Fault tolerance"):
+//   1. leaf-task retry        — transient leaf failures, surgical
+//   2. straggler speculation  — slow tasks, duplicate attempt races the fence
+//   3. stage re-run           — lost intermediate task, replayed from spools
+//   4. restart-once           — everything else that is still transient
+//
+// Each rung must hand off to the next without ever returning wrong results:
+// a broken/corrupt spool degrades recovery coverage, never correctness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "presto/cluster/cluster.h"
+#include "presto/common/fault_injection.h"
+#include "presto/common/memory_pool.h"
+#include "presto/common/metrics.h"
+#include "presto/common/random.h"
+#include "presto/connectors/memory/memory_connector.h"
+#include "presto/exec/exchange.h"
+#include "presto/exec/exchange_spool.h"
+#include "presto/fs/local_file_system.h"
+#include "presto/vector/vector_builder.h"
+
+namespace presto {
+namespace {
+
+// Disarms the global injector on scope exit so a failing assertion cannot
+// leak an armed fault schedule into the next test.
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::Global().Reset(); }
+  ~InjectorGuard() { FaultInjector::Global().Reset(); }
+};
+
+std::vector<std::string> SortedRows(const QueryResult& result) {
+  std::vector<std::string> rows;
+  for (const Page& page : result.pages) {
+    for (size_t r = 0; r < page.num_rows(); ++r) {
+      std::string row;
+      for (size_t c = 0; c < page.num_columns(); ++c) {
+        row += page.column(c)->GetValue(r).ToString() + "|";
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool JournalHasEvent(const Coordinator& coordinator, QueryEventKind kind) {
+  for (const QueryEvent& event : coordinator.journal().Events()) {
+    if (event.kind == kind) return true;
+  }
+  return false;
+}
+
+Page BigintPage(std::vector<int64_t> values) {
+  return Page({MakeBigintVector(std::move(values))});
+}
+
+std::vector<int64_t> PageValues(const Page& page) {
+  std::vector<int64_t> values;
+  for (size_t r = 0; r < page.num_rows(); ++r) {
+    values.push_back(page.column(0)->GetValue(r).int_value());
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// ExchangeSpool unit tests (LocalFileSystem-backed, no cluster)
+// ---------------------------------------------------------------------------
+
+class ExchangeSpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  std::string Dir(const std::string& name) {
+    return ::testing::TempDir() + "/presto_spool_test/" + name;
+  }
+
+  LocalFileSystem fs_;
+  MetricsRegistry metrics_;
+};
+
+TEST_F(ExchangeSpoolTest, RoundTripsPagesPerPartition) {
+  auto pool = MemoryPool::CreateRoot("spool-test");
+  ExchangeSpool spool(&fs_, Dir("roundtrip"), /*num_partitions=*/2, &metrics_,
+                      pool, /*budget_bytes=*/64 << 20);
+
+  ASSERT_TRUE(spool.Append(0, BigintPage({1, 2, 3})).ok());
+  ASSERT_TRUE(spool.Append(0, BigintPage({4, 5})).ok());
+  ASSERT_TRUE(spool.Append(1, BigintPage({42})).ok());
+  EXPECT_EQ(spool.pages_spooled(0), 2);
+  EXPECT_EQ(spool.pages_spooled(1), 1);
+  EXPECT_GT(spool.bytes_spooled(), 0);
+  // Compressed spool bytes are charged to the attached pool.
+  EXPECT_GE(pool->reserved_bytes(), spool.bytes_spooled());
+
+  auto reader = spool.OpenReader(0);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto first = (*reader)->Next();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ(PageValues(**first), (std::vector<int64_t>{1, 2, 3}));
+  auto second = (*reader)->Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ(PageValues(**second), (std::vector<int64_t>{4, 5}));
+  auto eos = (*reader)->Next();
+  ASSERT_TRUE(eos.ok());
+  EXPECT_FALSE(eos->has_value());
+
+  // A sealed partition refuses further appends without becoming broken.
+  EXPECT_FALSE(spool.Append(0, BigintPage({9})).ok());
+  EXPECT_FALSE(spool.broken(0));
+
+  EXPECT_GE(metrics_.Get("exchange.spool.page.written"), 3);
+  EXPECT_GT(metrics_.Get("exchange.spool.byte.written"), 0);
+  EXPECT_GE(metrics_.Get("exchange.spool.page.replayed"), 2);
+  EXPECT_GT(metrics_.Get("exchange.spool.byte.read"), 0);
+}
+
+TEST_F(ExchangeSpoolTest, NeverWrittenPartitionReplaysEmpty) {
+  ExchangeSpool spool(&fs_, Dir("empty"), 2, &metrics_, nullptr,
+                      /*budget_bytes=*/1 << 20);
+  auto reader = spool.OpenReader(1);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto eos = (*reader)->Next();
+  ASSERT_TRUE(eos.ok());
+  EXPECT_FALSE(eos->has_value());
+}
+
+TEST_F(ExchangeSpoolTest, ByteBudgetBreaksPartitionAndRefusesReplay) {
+  ExchangeSpool spool(&fs_, Dir("budget"), 1, &metrics_, nullptr,
+                      /*budget_bytes=*/8);
+  std::vector<int64_t> big(1024);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<int64_t>(i);
+  Status st = spool.Append(0, BigintPage(std::move(big)));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_TRUE(spool.broken(0));
+  // Further appends to the broken partition are dropped quietly.
+  EXPECT_FALSE(spool.Append(0, BigintPage({1})).ok());
+  // Replaying an incomplete spool would silently drop rows: refused.
+  auto reader = spool.OpenReader(0);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(metrics_.Get("exchange.spool.partition.broken"), 1);
+}
+
+TEST_F(ExchangeSpoolTest, InjectedWriteFaultBreaksPartition) {
+  InjectorGuard guard;
+  ExchangeSpool spool(&fs_, Dir("write-fault"), 1, &metrics_, nullptr,
+                      /*budget_bytes=*/1 << 20);
+  FaultInjector::Global().ArmScripted("exchange.spool.write", {1});
+  EXPECT_FALSE(spool.Append(0, BigintPage({1, 2})).ok());
+  EXPECT_TRUE(spool.broken(0));
+  EXPECT_FALSE(spool.OpenReader(0).ok());
+}
+
+TEST_F(ExchangeSpoolTest, InjectedReadFaultFailsReplayNotWrite) {
+  InjectorGuard guard;
+  ExchangeSpool spool(&fs_, Dir("read-fault"), 1, &metrics_, nullptr,
+                      /*budget_bytes=*/1 << 20);
+  ASSERT_TRUE(spool.Append(0, BigintPage({7, 8, 9})).ok());
+  EXPECT_FALSE(spool.broken(0));
+  FaultInjector::Global().ArmScripted("exchange.spool.read", {1});
+  auto reader = spool.OpenReader(0);
+  ASSERT_FALSE(reader.ok()) << "injected read fault did not surface";
+  EXPECT_TRUE(IsRetryableStatus(reader.status())) << reader.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedExchange spool tee + replay + attempt fencing (no cluster)
+// ---------------------------------------------------------------------------
+
+TEST_F(ExchangeSpoolTest, ExchangeTeesAndReplaysFullPartitionHistory) {
+  PartitionedExchange exchange(/*num_partitions=*/1,
+                               /*capacity_bytes=*/64 << 20);
+  exchange.SetProducerCount(1);
+  exchange.SetSpool(std::make_shared<ExchangeSpool>(
+      &fs_, Dir("exchange-replay"), 1, &metrics_, nullptr, 64 << 20));
+
+  exchange.Push(0, BigintPage({1, 2}));
+  exchange.Push(0, BigintPage({3}));
+  // The original consumer drains part of the stream, then dies: its partition
+  // flips to replay mode for the replacement attempt.
+  auto consumed = exchange.Next(0);
+  ASSERT_TRUE(consumed.ok());
+  ASSERT_TRUE(consumed->has_value());
+  ASSERT_TRUE(exchange.ResetPartitionForReplay(0).ok());
+
+  // Pushes after the reset are spooled but bypass the queue; they still count
+  // toward the push totals.
+  exchange.Push(0, BigintPage({4, 5, 6}));
+  exchange.ProducerDone();
+  EXPECT_EQ(exchange.pages_pushed(), 3);
+
+  // The replacement consumer streams the complete history from the spool —
+  // including the page the dead consumer had already popped.
+  std::vector<int64_t> replayed;
+  while (true) {
+    auto page = exchange.Next(0);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    if (!page->has_value()) break;
+    for (int64_t v : PageValues(**page)) replayed.push_back(v);
+  }
+  EXPECT_EQ(replayed, (std::vector<int64_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(exchange.buffered_bytes(), 0);
+}
+
+TEST_F(ExchangeSpoolTest, ReplayUnavailableWithoutSpoolOrWithBrokenSpool) {
+  PartitionedExchange bare(1, 1 << 20);
+  bare.SetProducerCount(1);
+  Status st = bare.ResetPartitionForReplay(0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+
+  InjectorGuard guard;
+  PartitionedExchange spooled(1, 1 << 20);
+  spooled.SetProducerCount(1);
+  spooled.SetSpool(std::make_shared<ExchangeSpool>(
+      &fs_, Dir("broken-replay"), 1, &metrics_, nullptr, 1 << 20));
+  FaultInjector::Global().ArmScripted("exchange.spool.write", {1});
+  spooled.Push(0, BigintPage({1}));  // tee fails, partition marked broken
+  ASSERT_TRUE(spooled.spool()->broken(0));
+  Status broken = spooled.ResetPartitionForReplay(0);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.code(), StatusCode::kUnavailable);
+  // The exchange itself keeps flowing: spooling is insurance, not the path.
+  auto page = spooled.Next(0);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(page->has_value());
+}
+
+TEST(ExchangeFenceTest, FirstAttemptToCommitASlotWins) {
+  PartitionedExchange exchange(2, 1 << 20);
+  exchange.SetProducerCount(2);
+  // Original attempt 0 and speculative attempt 100 race; exactly one commits.
+  EXPECT_TRUE(exchange.TryCommitProducer(/*slot=*/0, /*attempt=*/0));
+  EXPECT_FALSE(exchange.TryCommitProducer(0, 100));
+  EXPECT_FALSE(exchange.TryCommitProducer(0, 1));
+  // Slots fence independently; a speculative winner blocks the original.
+  EXPECT_TRUE(exchange.TryCommitProducer(1, 100));
+  EXPECT_FALSE(exchange.TryCommitProducer(1, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level recovery ladder
+// ---------------------------------------------------------------------------
+
+// Shared fixture: 3 workers, fact/dim tables for multi-stage join/group-by
+// plans whose intermediate stages give the spool something to recover.
+class RecoveryClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    cluster_ = std::make_unique<PrestoCluster>("recovery", 3, 2);
+    auto memory = std::make_shared<MemoryConnector>();
+    TypePtr facts = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+    TypePtr dim = Type::Row({"key", "w"}, {Type::Bigint(), Type::Bigint()});
+    ASSERT_TRUE(memory->CreateTable("raw", "facts", facts).ok());
+    ASSERT_TRUE(memory->CreateTable("raw", "dim", dim).ok());
+    Random rng(4711);
+    for (int p = 0; p < 6; ++p) {
+      size_t n = 400;
+      std::vector<int64_t> k(n), v(n);
+      for (size_t i = 0; i < n; ++i) {
+        k[i] = static_cast<int64_t>(rng.NextBelow(40));
+        v[i] = static_cast<int64_t>(rng.NextBelow(1000));
+      }
+      ASSERT_TRUE(memory
+                      ->AppendPage("raw", "facts",
+                                   Page({MakeBigintVector(std::move(k)),
+                                         MakeBigintVector(std::move(v))}))
+                      .ok());
+    }
+    std::vector<int64_t> key(40), w(40);
+    for (size_t i = 0; i < key.size(); ++i) {
+      key[i] = static_cast<int64_t>(i);
+      w[i] = static_cast<int64_t>(i % 7);
+    }
+    ASSERT_TRUE(memory
+                    ->AppendPage("raw", "dim",
+                                 Page({MakeBigintVector(std::move(key)),
+                                       MakeBigintVector(std::move(w))}))
+                    .ok());
+    ASSERT_TRUE(cluster_->catalogs().RegisterCatalog("mem", memory).ok());
+  }
+
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  Result<QueryResult> Run(const std::string& sql,
+                          std::map<std::string, std::string> props) {
+    Session session;
+    session.properties = std::move(props);
+    return cluster_->Execute(sql, session);
+  }
+
+  static std::string JoinSql() {
+    return "SELECT d.w, count(*), sum(f.v) FROM mem.raw.facts f "
+           "JOIN mem.raw.dim d ON f.k = d.key GROUP BY d.w";
+  }
+
+  std::unique_ptr<PrestoCluster> cluster_;
+};
+
+// The tentpole: a lost intermediate task is re-run against the surviving
+// upstream spools — exact results, no restart-once consumed, journaled as
+// stage_rerun.
+TEST_F(RecoveryClusterTest, LostStageTaskRerunsFromSpoolWithoutRestart) {
+  InjectorGuard guard;
+  auto reference = Run(JoinSql(), {});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  FaultInjector::Global().ArmScripted("worker.task.stage", {1});
+  auto result = Run(JoinSql(), {{"exchange_spool", "true"},
+                                {"query_max_task_retries", "1"},
+                                {"task_retry_backoff_millis", "1"}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SortedRows(*result), SortedRows(*reference));
+
+  const Coordinator& coordinator = cluster_->coordinator();
+  EXPECT_TRUE(JournalHasEvent(coordinator, QueryEventKind::kStageRerun));
+  EXPECT_FALSE(JournalHasEvent(coordinator, QueryEventKind::kRestarted))
+      << "stage re-run should not have consumed the restart-once budget";
+  EXPECT_GE(coordinator.metrics().Get("stage.rerun.count"), 1);
+  EXPECT_EQ(coordinator.metrics().Get("query.restarted"), 0);
+  EXPECT_GE(result->exec_metrics["stage.rerun.count"], 1);
+  EXPECT_GT(result->exec_metrics["exchange.spool.page.written"], 0);
+  EXPECT_GT(result->exec_metrics["exchange.spool.page.replayed"], 0);
+}
+
+// Corrupted spool read mid-replay: the re-run attempt fails retryably and the
+// ladder falls through to restart-once — still exact results, never wrong.
+TEST_F(RecoveryClusterTest, CorruptSpoolReplayFallsBackToRestartOnce) {
+  InjectorGuard guard;
+  auto reference = Run(JoinSql(), {});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  FaultInjector::Global().ArmScripted("worker.task.stage", {1});
+  FaultInjector::Global().ArmScripted("exchange.spool.read", {1},
+                                      StatusCode::kIoError);
+  auto result = Run(JoinSql(), {{"exchange_spool", "true"},
+                                {"query_max_task_retries", "1"},
+                                {"task_retry_backoff_millis", "1"}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SortedRows(*result), SortedRows(*reference));
+
+  const Coordinator& coordinator = cluster_->coordinator();
+  EXPECT_TRUE(JournalHasEvent(coordinator, QueryEventKind::kStageRerun));
+  EXPECT_TRUE(JournalHasEvent(coordinator, QueryEventKind::kRestarted))
+      << "corrupt replay must fall back to restart-once";
+  EXPECT_EQ(coordinator.metrics().Get("query.restarted"), 1);
+  EXPECT_GE(FaultInjector::Global().InjectedCount("exchange.spool.read"), 1)
+      << "the replay never actually touched the corrupted spool";
+}
+
+// Without a spool the same stage loss still recovers — one rung lower, by
+// restarting the query (the pre-spool behavior, unchanged).
+TEST_F(RecoveryClusterTest, StageLossWithoutSpoolStillRestartsOnce) {
+  InjectorGuard guard;
+  auto reference = Run(JoinSql(), {});
+  ASSERT_TRUE(reference.ok());
+
+  FaultInjector::Global().ArmScripted("worker.task.stage", {1});
+  auto result = Run(JoinSql(), {{"query_max_task_retries", "1"},
+                                {"task_retry_backoff_millis", "1"}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SortedRows(*result), SortedRows(*reference));
+  EXPECT_FALSE(
+      JournalHasEvent(cluster_->coordinator(), QueryEventKind::kStageRerun));
+  EXPECT_TRUE(
+      JournalHasEvent(cluster_->coordinator(), QueryEventKind::kRestarted));
+}
+
+// Acceptance: with the spool armed, killing a worker mid-query yields exact
+// results without consuming restart-once — leaf losses retry, stage losses
+// re-run from spools.
+TEST_F(RecoveryClusterTest, WorkerKillWithSpoolRecoversWithoutRestart) {
+  InjectorGuard guard;
+  auto reference = Run(JoinSql(), {});
+  ASSERT_TRUE(reference.ok());
+
+  FaultInjector::Global().ArmScripted("worker.kill", {3});
+  auto result = Run(JoinSql(), {{"exchange_spool", "true"},
+                                {"query_max_task_retries", "2"},
+                                {"task_retry_backoff_millis", "1"}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SortedRows(*result), SortedRows(*reference));
+  EXPECT_EQ(cluster_->coordinator().metrics().Get("query.restarted"), 0)
+      << "worker death with spools armed should never need a restart";
+
+  // The fleet keeps serving after losing the worker.
+  auto again = Run(JoinSql(), {});
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(SortedRows(*again), SortedRows(*reference));
+}
+
+// Straggler speculation: a deterministically-stalled first attempt gets a
+// duplicate; exactly one attempt commits through the fence (exact rows, and
+// the speculative outcome counters reconcile with launches).
+TEST_F(RecoveryClusterTest, StragglerSpeculationIsExactlyOnce) {
+  InjectorGuard guard;
+  const std::string sql =
+      "SELECT k, count(*), sum(v) FROM mem.raw.facts GROUP BY k";
+  auto reference = Run(sql, {});
+  ASSERT_TRUE(reference.ok());
+
+  // Single-stage keeps every task a leaf, so the scripted stall can only
+  // land on a speculatable task.
+  FaultInjector::Global().ArmScripted("worker.task.straggle", {1});
+  auto result = Run(sql, {{"multi_stage_execution", "false"},
+                          {"speculative_execution", "true"},
+                          {"speculation_quantile", "0.5"}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(SortedRows(*result), SortedRows(*reference))
+      << "speculation duplicated or dropped rows";
+
+  const int64_t launched = result->exec_metrics["task.speculative.launched"];
+  EXPECT_GE(launched, 1) << "the stalled task was never speculated";
+  // Every duplicate attempt resolves to exactly one outcome.
+  EXPECT_EQ(launched, result->exec_metrics["task.speculative.won"] +
+                          result->exec_metrics["task.speculative.wasted"] +
+                          result->exec_metrics["task.speculative.failed"]);
+  EXPECT_TRUE(
+      JournalHasEvent(cluster_->coordinator(), QueryEventKind::kTaskSpeculated));
+
+  // Row reconciliation via EXPLAIN ANALYZE-style stats: the winning attempt's
+  // output matches the fault-free reference exactly (checked above), and a
+  // re-run without faults agrees.
+  auto clean = Run(sql, {{"speculative_execution", "true"}});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(SortedRows(*clean), SortedRows(*reference));
+}
+
+// Graceful shrink under load: DrainWorker() stops new placements, lets
+// in-flight queries finish, and journals the drain — no query sees an error.
+TEST_F(RecoveryClusterTest, DrainWorkerUnderLoadCompletesAllQueries) {
+  InjectorGuard guard;
+  const std::string sql = JoinSql();
+  auto reference = Run(sql, {});
+  ASSERT_TRUE(reference.ok());
+  const auto expected = SortedRows(*reference);
+
+  std::string victim = cluster_->coordinator().ActiveWorkers().front()->id();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> load;
+  for (int t = 0; t < 3; ++t) {
+    load.emplace_back([&] {
+      for (int q = 0; q < 3; ++q) {
+        auto result = Run(sql, {});
+        if (!result.ok() || SortedRows(*result) != expected) {
+          ++failures;
+          ADD_FAILURE() << "query failed during drain: "
+                        << (result.ok() ? "wrong rows"
+                                        : result.status().ToString());
+        }
+      }
+    });
+  }
+  Status drained = cluster_->coordinator().DrainWorker(victim);
+  for (auto& t : load) t.join();
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+  EXPECT_EQ(failures.load(), 0);
+
+  const Coordinator& coordinator = cluster_->coordinator();
+  EXPECT_EQ(coordinator.metrics().Get("worker.drained"), 1);
+  EXPECT_TRUE(JournalHasEvent(coordinator, QueryEventKind::kWorkerDrained));
+  EXPECT_EQ(coordinator.ActiveWorkers().size(), 2u);
+  for (const auto& worker : coordinator.ActiveWorkers()) {
+    EXPECT_NE(worker->id(), victim);
+  }
+  // Draining the same worker again is a classified no-op, not a hang.
+  EXPECT_FALSE(cluster_->coordinator().DrainWorker(victim).ok());
+  EXPECT_FALSE(cluster_->coordinator().DrainWorker("no-such-worker").ok());
+
+  // The shrunken fleet still answers exactly.
+  auto after = Run(sql, {});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(SortedRows(*after), expected);
+}
+
+// Blacklist probation: a dead-listed worker that comes back is re-admitted
+// only after sustained heartbeat recovery, journaled as worker_reinstated.
+TEST_F(RecoveryClusterTest, BlacklistedWorkerReinstatedAfterProbation) {
+  InjectorGuard guard;
+  const std::string sql =
+      "SELECT k, count(*), sum(v) FROM mem.raw.facts GROUP BY k";
+  Coordinator& coordinator = cluster_->coordinator();
+
+  // Crash a worker mid-task (scripted kill) so the retry's liveness sweep
+  // blacklists it. The pre-chaos fleet snapshot keeps a handle on the victim
+  // — once blacklisted it no longer appears in ActiveWorkers().
+  auto fleet = coordinator.ActiveWorkers();
+  ASSERT_EQ(fleet.size(), 3u);
+  FaultInjector::Global().ArmScripted("worker.kill", {2});
+  auto result = Run(sql, {{"multi_stage_execution", "false"},
+                          {"query_max_task_retries", "2"},
+                          {"task_retry_backoff_millis", "1"}});
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(coordinator.BlacklistedWorkers().size(), 1u);
+  std::shared_ptr<Worker> victim;
+  for (const auto& worker : fleet) {
+    if (worker->id() == coordinator.BlacklistedWorkers().front()) {
+      victim = worker;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  ASSERT_EQ(victim->state(), WorkerState::kDead);
+
+  // Probing while the worker is still dead never re-admits it.
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 0);
+  EXPECT_EQ(coordinator.BlacklistedWorkers().size(), 1u);
+
+  // The process restarts on the same host — but one good heartbeat is not
+  // enough: re-admission takes kProbationProbes consecutive successes.
+  ASSERT_TRUE(victim->Revive().ok());
+  for (int probe = 1; probe < Coordinator::kProbationProbes; ++probe) {
+    EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 0)
+        << "reinstated after only " << probe << " probes";
+    EXPECT_EQ(coordinator.BlacklistedWorkers().size(), 1u);
+    // Still quarantined: scheduling keeps ignoring it.
+    for (const auto& worker : coordinator.ActiveWorkers()) {
+      EXPECT_NE(worker->id(), victim->id());
+    }
+  }
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 1);
+  EXPECT_TRUE(coordinator.BlacklistedWorkers().empty());
+  EXPECT_GE(coordinator.metrics().Get("worker.reinstated"), 1);
+  EXPECT_TRUE(JournalHasEvent(coordinator, QueryEventKind::kWorkerReinstated));
+  bool scheduled_again = false;
+  for (const auto& worker : coordinator.ActiveWorkers()) {
+    scheduled_again = scheduled_again || worker->id() == victim->id();
+  }
+  EXPECT_TRUE(scheduled_again) << "reinstated worker still not schedulable";
+
+  // A flapping host restarts probation: one failed probe resets the streak.
+  FaultInjector::Global().ArmScripted("worker.kill", {2});
+  auto flaky = Run(sql, {{"multi_stage_execution", "false"},
+                         {"query_max_task_retries", "2"},
+                         {"task_retry_backoff_millis", "1"}});
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(flaky.ok()) << flaky.status().ToString();
+  ASSERT_EQ(coordinator.BlacklistedWorkers().size(), 1u);
+  std::shared_ptr<Worker> flapper;
+  for (const auto& worker : fleet) {
+    if (worker->id() == coordinator.BlacklistedWorkers().front()) {
+      flapper = worker;
+    }
+  }
+  ASSERT_NE(flapper, nullptr);
+  ASSERT_TRUE(flapper->Revive().ok());
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 0);
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 0);
+  flapper->Kill();  // flap
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 0);  // streak resets
+  ASSERT_TRUE(flapper->Revive().ok());
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 0);
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 0);
+  EXPECT_EQ(coordinator.ProbeBlacklistedWorkers(), 1);
+  EXPECT_TRUE(coordinator.BlacklistedWorkers().empty());
+}
+
+// Worker::Drain() directly: refuses double-drain, completes in-flight tasks,
+// and Revive() only resurrects the dead.
+TEST(WorkerDrainTest, DrainWaitsForInFlightTasksAndRefusesNewOnes) {
+  Worker worker("drain-test", 2);
+  std::atomic<bool> release{false};
+  std::atomic<int> completed{0};
+  ASSERT_TRUE(worker.SubmitTask([&] {
+    while (!release.load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+    ++completed;
+  }));
+  std::thread drainer([&] { ASSERT_TRUE(worker.Drain().ok()); });
+  // The drain is blocked on the running task; new work is already refused.
+  while (worker.state() == WorkerState::kActive) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(worker.SubmitTask([] {}));
+  EXPECT_FALSE(worker.SubmitDedicatedTask([] {}));
+  EXPECT_EQ(completed.load(), 0) << "drain returned before the task finished";
+  release.store(true);
+  drainer.join();
+  EXPECT_EQ(worker.state(), WorkerState::kShutDown);
+  EXPECT_EQ(completed.load(), 1);
+  EXPECT_EQ(worker.active_tasks(), 0);
+  // Double drain and reviving a non-dead worker are classified errors.
+  EXPECT_FALSE(worker.Drain().ok());
+  EXPECT_FALSE(worker.Revive().ok());
+}
+
+}  // namespace
+}  // namespace presto

@@ -537,5 +537,73 @@ TEST(WorkloadChaosTest, WorkerKillMidWorkloadReconcilesGroupAccounting) {
   ASSERT_TRUE(after.ok()) << after.status().ToString();
 }
 
+// Restart-once × resource groups: a transient intermediate-stage failure
+// restarts the query, and the restarted run re-enters its group's DRR queue
+// (release + re-admit) instead of riding the first run's slot — so per-group
+// admitted == completed reconciles exactly through the restart.
+TEST(WorkloadChaosTest, RestartOnceReentersGroupQueueAndReconciles) {
+  FaultInjector::Global().Reset();
+  CoordinatorOptions options;
+  options.resource_groups = DefaultResourceGroupTree();
+  PrestoCluster cluster("workload-restart", 3, 2, options);
+  auto memory = std::make_shared<MemoryConnector>();
+  TypePtr facts = Type::Row({"k", "v"}, {Type::Bigint(), Type::Bigint()});
+  ASSERT_TRUE(memory->CreateTable("raw", "facts", facts).ok());
+  Random rng(2026);
+  for (int p = 0; p < 4; ++p) {
+    size_t n = 300;
+    std::vector<int64_t> k(n), v(n);
+    for (size_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int64_t>(rng.NextBelow(20));
+      v[i] = static_cast<int64_t>(rng.NextBelow(1000));
+    }
+    ASSERT_TRUE(memory
+                    ->AppendPage("raw", "facts",
+                                 Page({MakeBigintVector(std::move(k)),
+                                       MakeBigintVector(std::move(v))}))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.catalogs().RegisterCatalog("mem", memory).ok());
+
+  Session session;
+  session.properties["resource_group"] = "interactive";
+  const std::string sql =
+      "SELECT k, count(*), sum(v) FROM mem.raw.facts GROUP BY k";
+  auto reference = cluster.Execute(sql, session);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // A latched shuffle transfer escapes leaf retry (the stage's upstream
+  // partitions are already partially consumed, and no spool is armed), so
+  // recovery is the restart-once rung.
+  FaultInjector::Global().ArmScripted("exchange.push", {1});
+  session.properties["query_max_task_retries"] = "1";
+  session.properties["task_retry_backoff_millis"] = "1";
+  auto result = cluster.Execute(sql, session);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->pages.size(), reference->pages.size());
+  EXPECT_EQ(result->total_rows, reference->total_rows);
+
+  const Coordinator& coordinator = cluster.coordinator();
+  bool restarted = false;
+  for (const QueryEvent& event : coordinator.journal().Events()) {
+    restarted = restarted || event.kind == QueryEventKind::kRestarted;
+  }
+  EXPECT_TRUE(restarted);
+  EXPECT_EQ(coordinator.metrics().Get("query.restarted"), 1);
+
+  // The restart cost one extra admission cycle, and it reconciles: every
+  // admission (including the re-admission) was paired with a completion.
+  ResourceGroupManager& manager = cluster.coordinator().resource_groups();
+  EXPECT_EQ(manager.total_running(), 0);
+  EXPECT_EQ(manager.running("interactive"), 0);
+  EXPECT_EQ(manager.queued("interactive"), 0);
+  const MetricsRegistry& metrics = coordinator.metrics();
+  EXPECT_GE(metrics.Get("group.interactive.admitted"), 3);
+  EXPECT_EQ(metrics.Get("group.interactive.admitted"),
+            metrics.Get("group.interactive.completed"));
+  EXPECT_EQ(cluster.coordinator().worker_pool()->reserved_bytes(), 0);
+}
+
 }  // namespace
 }  // namespace presto
